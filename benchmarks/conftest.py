@@ -1,0 +1,27 @@
+"""Benchmark-suite configuration.
+
+Each bench regenerates one element of the paper's evaluation (Figs. 9-11,
+Table I, and the Figs. 4-8 optimization ladder), prints the paper-style
+rows, and asserts the reproduction's shape targets.  The simulation is
+deterministic, so every bench runs single-shot via ``benchmark.pedantic``;
+the pytest-benchmark timing measures the *harness cost* (how long the
+discrete-event simulation takes to regenerate the element), not the
+simulated runtimes themselves — those are in the printed tables.
+
+Run with ``pytest benchmarks/ --benchmark-only``.
+"""
+
+import pytest
+
+
+@pytest.fixture()
+def oneshot(benchmark):
+    """Run a deterministic experiment exactly once under the benchmark."""
+
+    def run(fn, *args, **kwargs):
+        return benchmark.pedantic(
+            fn, args=args, kwargs=kwargs, rounds=1, iterations=1,
+            warmup_rounds=0,
+        )
+
+    return run

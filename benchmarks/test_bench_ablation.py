@@ -1,0 +1,57 @@
+"""Figs. 4-8: the optimization ladder (ablation of each trick).
+
+The paper develops its implementation step-by-step; this bench isolates
+each step's contribution at s=45 and s=60, 24 threads:
+
+  Fig. 4 — the OpenMP baseline,
+  [16]   — the naive 1:1 for_each port (slower than OpenMP, §III),
+  Fig. 5 — manual partitioning, barrier after every kernel,
+  Fig. 6 — continuation chains (7 barriers per iteration),
+  Fig. 7 — consecutive loops combined into single tasks,
+  Fig. 8 — independent chains run concurrently (stress ∥ hourglass,
+           region ∥ region) — the full implementation,
+  plus Fig. 8 with global (non-task-local) temporaries, isolating the
+  jemalloc/data-locality trick of §IV.
+"""
+
+from repro.harness.experiments import ablation_experiment
+from repro.harness.report import render_table
+
+COLUMNS = ("size", "variant", "ms_per_iter", "speedup_vs_omp")
+
+
+class TestAblation:
+    def test_optimization_ladder(self, oneshot, capsys):
+        records = oneshot(ablation_experiment, sizes=(45, 60), iterations=1)
+        with capsys.disabled():
+            print()
+            print(render_table(
+                records, COLUMNS,
+                title="Figs. 4-8 — optimization ladder, 24 threads",
+            ))
+
+        for size in (45, 60):
+            rungs = {
+                r["variant"]: r["speedup_vs_omp"]
+                for r in records
+                if r["size"] == size
+            }
+            # The naive prior-work port loses to OpenMP (§III).
+            assert rungs["naive for_each [16]"] < 1.0
+            # Every paper step improves on the previous one.
+            ladder = [
+                rungs["partition+barriers (Fig.5)"],
+                rungs["+chains (Fig.6)"],
+                rungs["+combined (Fig.7)"],
+                rungs["+parallel chains (Fig.8)"],
+            ]
+            assert ladder == sorted(ladder), (size, ladder)
+            # Manual partitioning alone already beats both the naive port
+            # and the OpenMP baseline (work stealing + no straggler waits).
+            assert ladder[0] > rungs["naive for_each [16]"]
+            assert ladder[0] > 1.0
+            # Task-local temporaries contribute measurably.
+            assert (
+                rungs["+parallel chains (Fig.8)"]
+                > rungs["Fig.8 w/ global temporaries"]
+            )

@@ -1,0 +1,52 @@
+"""Fig. 10: HPX speed-up over the OpenMP reference, by size and regions.
+
+Regenerates the paper's second experiment: 24 threads fixed, problem sizes
+45-150, regions 11/16/21.  Prints the speed-up matrix — the series of
+Fig. 10 — and asserts the headline numbers: up to ~2.25x at s=45 decaying
+toward ~1.33x at s=150, growing with region count.
+"""
+
+from repro.harness.calibration import check_fig10_speedups
+from repro.harness.experiments import PAPER_REGIONS, PAPER_SIZES, fig10_experiment
+from repro.harness.report import render_table
+
+COLUMNS = ("size", "regions", "omp_ms_per_iter", "hpx_ms_per_iter", "speedup")
+
+# Paper values read off Fig. 10 at 11 regions (for the printed comparison).
+PAPER_SPEEDUPS_11_REGIONS = {45: 2.25, 60: 1.9, 75: 1.6, 90: 1.5, 120: 1.4, 150: 1.33}
+
+
+class TestFig10:
+    def test_fig10_speedup_matrix(self, oneshot, capsys):
+        records = oneshot(
+            fig10_experiment,
+            sizes=PAPER_SIZES,
+            regions=PAPER_REGIONS,
+            iterations=1,
+        )
+        with capsys.disabled():
+            print()
+            print(render_table(
+                records, COLUMNS,
+                title="Fig. 10 — HPX vs OpenMP speed-up, 24 threads",
+            ))
+            print("\npaper Fig. 10 @ 11 regions:",
+                  PAPER_SPEEDUPS_11_REGIONS)
+
+        # Machine-checked shape targets (calibration module).
+        violations = check_fig10_speedups(records)
+        assert violations == [], violations
+
+        by = {(r["size"], r["regions"]): r["speedup"] for r in records}
+
+        # Headline band: 2.25x at the smallest size, ~1.33x at the largest.
+        assert 2.0 <= by[(45, 11)] <= 2.6
+        assert 1.15 <= by[(150, 11)] <= 1.45
+
+        # HPX wins everywhere at 24 threads.
+        assert all(sp > 1.0 for sp in by.values())
+
+        # Region sensitivity strongest at the smallest size (§V-A).
+        gain_small = by[(45, 21)] - by[(45, 11)]
+        gain_large = by[(150, 21)] - by[(150, 11)]
+        assert gain_small > gain_large

@@ -1,0 +1,75 @@
+"""Fig. 11: productive-time ratio of the worker threads.
+
+Regenerates the paper's utilization experiment: the share of total
+execution time that worker threads spend performing computations, measured
+per the paper's methodology (HPX idle-rate counter with task creation
+counted productive; OpenMP per-region busy time, serial portions excluded).
+
+Paper values: OpenMP 54% at s=45 rising to <=87% without saturating; HPX
+>70% at s=45 saturating near 96% above s=90.  Our simulated machine
+reproduces the ordering, growth, and saturation structure; absolute levels
+are recorded against the paper's in EXPERIMENTS.md.
+"""
+
+from repro.harness.experiments import PAPER_SIZES, fig11_experiment
+from repro.harness.report import render_table
+
+COLUMNS = ("size", "omp_utilization", "hpx_utilization")
+
+PAPER_VALUES = {
+    45: (0.54, 0.70),
+    60: (0.63, 0.83),
+    75: (0.70, 0.89),
+    90: (0.77, 0.93),
+    120: (0.83, 0.95),
+    150: (0.87, 0.96),
+}
+
+
+class TestFig11:
+    def test_fig11_utilization(self, oneshot, capsys):
+        records = oneshot(fig11_experiment, sizes=PAPER_SIZES, iterations=1)
+        with capsys.disabled():
+            print()
+            print(render_table(
+                records, COLUMNS,
+                title="Fig. 11 — productive-time ratio, 24 threads "
+                      "(paper: OMP 0.54->0.87, HPX 0.70->0.96)",
+            ))
+
+        by = {r["size"]: r for r in records}
+
+        # HPX above OpenMP at every size.
+        for s in PAPER_SIZES:
+            assert by[s]["hpx_utilization"] > by[s]["omp_utilization"]
+
+        # Both improve with problem size (OpenMP strictly).
+        omps = [by[s]["omp_utilization"] for s in PAPER_SIZES]
+        assert omps == sorted(omps)
+        assert by[150]["hpx_utilization"] > by[45]["hpx_utilization"]
+
+        # HPX saturates above s=90; OpenMP does not reach saturation.
+        assert by[120]["hpx_utilization"] >= 0.95
+        assert by[150]["hpx_utilization"] >= 0.95
+        assert by[150]["hpx_utilization"] - by[120]["hpx_utilization"] < 0.03
+        assert by[150]["omp_utilization"] < 0.92
+
+    def test_fig11_speedup_utilization_correlation(self, oneshot, capsys):
+        """§V-A: 'a strong correlation between the measured speed-ups and
+        the percentage of computation'."""
+        from repro.harness.experiments import fig10_experiment
+
+        util = {
+            r["size"]: r["hpx_utilization"] / r["omp_utilization"]
+            for r in fig11_experiment(sizes=(45, 90, 150), iterations=1)
+        }
+        speed = {
+            r["size"]: r["speedup"]
+            for r in oneshot(
+                fig10_experiment, sizes=(45, 90, 150), regions=(11,),
+                iterations=1,
+            )
+        }
+        # Larger utilization advantage -> larger speed-up (rank agreement).
+        sizes = sorted(util, key=util.get)
+        assert sizes == sorted(speed, key=speed.get)

@@ -1,0 +1,65 @@
+"""Fig. 9: LULESH runtime over thread count for every problem size.
+
+Regenerates the paper's first experiment — "we change both the overall
+problem size and the number of execution threads ... six different problem
+sizes: 45, 60, 75, 90, 120, and 150 ... threads increased in powers of two
+plus 24 and 48" — and prints the runtime series per size (one row per
+thread count, OMP vs HPX), the same series plotted in Fig. 9.
+"""
+
+from repro.harness.experiments import PAPER_SIZES, PAPER_THREADS, fig9_experiment
+from repro.harness.report import render_table
+
+COLUMNS = ("size", "threads", "omp_ms_per_iter", "hpx_ms_per_iter", "speedup")
+
+
+def _by(records, **kv):
+    out = [r for r in records if all(r[k] == v for k, v in kv.items())]
+    assert out, f"no record for {kv}"
+    return out[0] if len(out) == 1 else out
+
+
+class TestFig9:
+    def test_fig9_runtime_over_threads(self, oneshot, capsys):
+        records = oneshot(
+            fig9_experiment,
+            sizes=PAPER_SIZES,
+            threads=PAPER_THREADS,
+            iterations=1,
+        )
+        with capsys.disabled():
+            print()
+            print(render_table(records, COLUMNS,
+                               title="Fig. 9 — runtime per iteration (ms), "
+                                     "11 regions, simulated EPYC 7443P"))
+
+        # Shape: OpenMP faster single-threaded at every size (§V-A).
+        for s in PAPER_SIZES:
+            r = _by(records, size=s, threads=1)
+            assert r["speedup"] < 1.0, f"1-thread crossover broken at s={s}"
+
+        # Shape: minima at 16-24 threads; SMT (>24) slower than 24.
+        for s in PAPER_SIZES:
+            omp = {t: _by(records, size=s, threads=t)["omp_ms_per_iter"]
+                   for t in PAPER_THREADS}
+            hpx = {t: _by(records, size=s, threads=t)["hpx_ms_per_iter"]
+                   for t in PAPER_THREADS}
+            assert min(omp, key=omp.get) in (16, 24)
+            assert min(hpx, key=hpx.get) == 24
+            assert omp[48] > omp[24]
+            assert hpx[32] > hpx[24]
+
+        # Shape: HPX already ahead at 2 threads for the smallest size.
+        assert _by(records, size=45, threads=2)["speedup"] > 1.0
+
+        # Shape: at the largest sizes OpenMP leads at low thread counts and
+        # loses by 16 (paper: crossover below 16 threads).
+        for s in (120, 150):
+            assert _by(records, size=s, threads=2)["speedup"] < 1.0
+            assert _by(records, size=s, threads=16)["speedup"] > 1.0
+
+        # Shape: ~order-of-magnitude speed-up of HPX-24 vs HPX-1 (§V-A).
+        for s in PAPER_SIZES:
+            h1 = _by(records, size=s, threads=1)["hpx_ms_per_iter"]
+            h24 = _by(records, size=s, threads=24)["hpx_ms_per_iter"]
+            assert h1 / h24 > 8.0

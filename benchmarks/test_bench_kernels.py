@@ -1,0 +1,73 @@
+"""Throughput benchmarks of the real NumPy physics kernels.
+
+Not a paper element — a performance-regression suite for the substrate
+itself: per-kernel wall-clock throughput (elements/second) of the
+vectorized LULESH kernels on a mid-size mesh.  These are the kernels whose
+*relative* costs the cost table (:mod:`repro.lulesh.costs`) encodes.
+"""
+
+import pytest
+
+from repro.lulesh.domain import Domain
+from repro.lulesh.kernels import eos as eos_k
+from repro.lulesh.kernels import hourglass as hg_k
+from repro.lulesh.kernels import kinematics as kin_k
+from repro.lulesh.kernels import nodal as nodal_k
+from repro.lulesh.kernels import qcalc as q_k
+from repro.lulesh.kernels import stress as stress_k
+from repro.lulesh.options import LuleshOptions
+from repro.lulesh.reference import SequentialDriver
+
+
+@pytest.fixture(scope="module")
+def warm_domain():
+    """A 20^3 domain advanced a few cycles so all fields are non-trivial."""
+    domain = Domain(LuleshOptions(nx=20, numReg=11))
+    drv = SequentialDriver(domain)
+    for _ in range(3):
+        drv.step()
+    return domain
+
+
+class TestKernelThroughput:
+    def test_integrate_stress(self, benchmark, warm_domain):
+        d = warm_domain
+        stress_k.init_stress_terms(d, 0, d.numElem)
+        benchmark(stress_k.integrate_stress, d, 0, d.numElem)
+
+    def test_hourglass_pipeline(self, benchmark, warm_domain):
+        d = warm_domain
+
+        def run():
+            hg_k.calc_hourglass_control(d, 0, d.numElem)
+            hg_k.calc_fb_hourglass_force(d, 0, d.numElem)
+
+        benchmark(run)
+
+    def test_force_sum(self, benchmark, warm_domain):
+        d = warm_domain
+        benchmark(nodal_k.sum_elem_forces_to_nodes, d, 0, d.numNode)
+
+    def test_kinematics(self, benchmark, warm_domain):
+        d = warm_domain
+        benchmark(kin_k.calc_kinematics, d, 0, d.numElem, d.deltatime)
+
+    def test_monotonic_q_gradients(self, benchmark, warm_domain):
+        d = warm_domain
+        benchmark(q_k.calc_monotonic_q_gradients, d, 0, d.numElem)
+
+    def test_eos_region(self, benchmark, warm_domain):
+        d = warm_domain
+        eos_k.apply_material_properties_prologue(d, 0, d.numElem)
+        lst = d.regions.reg_elem_lists[0]
+
+        def run():
+            eos_k.eval_eos_region(d, lst, rep=1)
+
+        benchmark(run)
+
+    def test_full_leapfrog_iteration(self, benchmark):
+        domain = Domain(LuleshOptions(nx=12, numReg=11))
+        drv = SequentialDriver(domain)
+        drv.step()  # warm
+        benchmark(drv.step)

@@ -1,0 +1,75 @@
+"""§VI future work: multi-node scaling, HPX-async vs MPI-sync exchange.
+
+Not a figure of the paper — its announced next step, built out: "our LULESH
+implementation could be extended to run on multi-node environments and
+compared to an MPI-based implementation.  We anticipate additional benefits
+from using the asynchronous mechanisms of HPX instead of the mostly
+synchronous data exchange mechanisms of MPI."
+
+Sweeps node counts on two interconnects (InfiniBand-class and
+Ethernet-class) and prints runtime, exposed-communication fraction, and the
+HPX-over-MPI speed-up — verifying the anticipated shape: the asynchronous
+style's advantage grows as communication gets relatively more expensive.
+"""
+
+from repro.dist.network import ClusterConfig, NetworkModel
+from repro.dist.timing import run_hpx_dist, run_mpi_dist
+from repro.lulesh.options import LuleshOptions
+from repro.util.tables import format_table
+
+NODES = (1, 2, 3, 5, 9, 15)
+NETWORKS = {
+    "infiniband": NetworkModel(),  # ~1.5 us, 25 GB/s
+    "ethernet": NetworkModel(latency_ns=30_000, bandwidth_bytes_per_ns=1.2),
+}
+
+
+class TestMultiNode:
+    def test_multinode_scaling(self, oneshot, capsys):
+        opts = LuleshOptions(nx=90, numReg=11)
+
+        def sweep():
+            rows = []
+            for net_name, net in NETWORKS.items():
+                for n in NODES:
+                    cl = ClusterConfig(n_nodes=n, network=net)
+                    m = run_mpi_dist(opts, cl, 24, 1)
+                    h = run_hpx_dist(opts, cl, 24, 1)
+                    rows.append([
+                        net_name, n,
+                        m.per_iteration_ns / 1e6, m.comm_fraction,
+                        h.per_iteration_ns / 1e6, h.comm_fraction,
+                        m.runtime_ns / h.runtime_ns,
+                    ])
+            return rows
+
+        rows = oneshot(sweep)
+        with capsys.disabled():
+            print()
+            print(format_table(
+                ["network", "nodes", "mpi_ms", "mpi_comm", "hpx_ms",
+                 "hpx_comm", "hpx_speedup"],
+                rows,
+                title="Multi-node LULESH (s=90, 24 threads/node): "
+                      "MPI-sync vs HPX-async exchange",
+            ))
+
+        by = {(r[0], r[1]): r for r in rows}
+
+        # Strong scaling: more nodes -> faster, for both styles.
+        for net in NETWORKS:
+            mpi_times = [by[(net, n)][2] for n in NODES]
+            hpx_times = [by[(net, n)][4] for n in NODES]
+            assert mpi_times == sorted(mpi_times, reverse=True)
+            assert hpx_times == sorted(hpx_times, reverse=True)
+
+        # HPX-async never loses, and its advantage grows with node count
+        # on the slow network (the paper's anticipated benefit).
+        eth_adv = [by[("ethernet", n)][6] for n in NODES if n > 1]
+        assert all(a > 1.0 for a in eth_adv)
+        assert eth_adv[-1] > eth_adv[0]
+
+        # Exposed comm: MPI's fraction grows with nodes; HPX hides most.
+        for n in NODES[2:]:
+            assert by[("ethernet", n)][3] > by[("ethernet", 2)][3] * 0.99
+            assert by[("ethernet", n)][5] < by[("ethernet", n)][3]

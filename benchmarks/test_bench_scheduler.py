@@ -1,0 +1,97 @@
+"""Scheduler-policy ablation (beyond the paper's fixed default).
+
+The paper runs HPX's default *priority local scheduling policy* without
+using priorities (§V: "we do not utilize different task priorities").  This
+bench varies the scheduler discipline under the full task-based LULESH to
+show (a) why the default is a good choice and (b) whether prioritizing the
+expensive EOS regions — an optimization the paper left on the table — would
+have helped:
+
+* LIFO vs FIFO local queue access (cache-warm depth-first vs breadth-first),
+* FIFO vs LIFO stealing,
+* steal-one vs steal-half,
+* high-priority scheduling of the rep>=10 EOS region chains.
+"""
+
+from repro.core.driver import run_hpx, run_omp
+from repro.core.hpx_lulesh import HpxVariant
+from repro.lulesh.options import LuleshOptions
+from repro.simcore.policy import SchedulerPolicy
+from repro.util.tables import format_table
+
+POLICIES = {
+    "hpx default (lifo/fifo/one)": SchedulerPolicy.hpx_default(),
+    "fifo local": SchedulerPolicy(local_order="fifo"),
+    "lifo steal": SchedulerPolicy(steal_order="lifo"),
+    "steal half": SchedulerPolicy(steal_half=True),
+    "priorities (expensive EOS)": SchedulerPolicy(use_priorities=True),
+}
+
+
+class TestSchedulerAblation:
+    def test_policy_sweep(self, oneshot, capsys):
+        opts = LuleshOptions(nx=45, numReg=11)
+
+        def sweep():
+            omp = run_omp(opts, 24, 1)
+            rows = []
+            for name, policy in POLICIES.items():
+                variant = HpxVariant(
+                    prioritize_expensive_regions=policy.use_priorities
+                )
+                res = run_hpx(opts, 24, 1, policy=policy, variant=variant)
+                rows.append([
+                    name,
+                    res.per_iteration_ns / 1e6,
+                    omp.runtime_ns / res.runtime_ns,
+                ])
+            return rows
+
+        rows = oneshot(sweep)
+        with capsys.disabled():
+            print()
+            print(format_table(
+                ["policy", "ms_per_iter", "speedup_vs_omp"],
+                rows,
+                title="Scheduler-policy ablation, s=45, 24 workers",
+            ))
+
+        by = {r[0]: r[1] for r in rows}
+        default = by["hpx default (lifo/fifo/one)"]
+
+        # Every discipline still beats OpenMP comfortably (the win comes
+        # from the task structure, not a fragile scheduler setting).
+        assert all(r[2] > 1.5 for r in rows)
+
+        # No alternative discipline beats the default by more than ~10% —
+        # the paper's choice of the stock policy is sound.
+        for name, ms in by.items():
+            assert ms > default * 0.90, (name, ms, default)
+
+    def test_dynamic_openmp_counterfactual(self, oneshot, capsys):
+        """Would OpenMP schedule(dynamic) have closed the gap?  No — the
+        straggler savings are eaten by dequeue traffic, and the per-loop
+        barriers (the actual bottleneck the paper removes) remain."""
+        opts = LuleshOptions(nx=45, numReg=11)
+
+        def run():
+            static = run_omp(opts, 24, 1)
+            dynamic = run_omp(opts, 24, 1, omp_schedule="dynamic")
+            hpx = run_hpx(opts, 24, 1)
+            return static.runtime_ns, dynamic.runtime_ns, hpx.runtime_ns
+
+        st, dy, hx = oneshot(run)
+        with capsys.disabled():
+            print()
+            print(format_table(
+                ["variant", "ms_per_iter", "speedup_vs_static"],
+                [
+                    ["OpenMP static (reference)", st / 1e6, 1.0],
+                    ["OpenMP dynamic", dy / 1e6, st / dy],
+                    ["HPX task-based", hx / 1e6, st / hx],
+                ],
+                title="OpenMP-dynamic counterfactual, s=45, 24 threads",
+            ))
+        # Dynamic moves the needle by <10% either way; HPX wins big.
+        assert abs(dy - st) / st < 0.10
+        assert st / hx > 1.8

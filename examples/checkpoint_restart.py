@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Checkpoint / restart and energy accounting.
+
+Demonstrates two production features of the reproduction:
+
+1. **Checkpointing**: run the blast halfway, save the state, "crash",
+   restore into a fresh domain, and finish — verifying the restarted run is
+   bit-identical to an uninterrupted one.
+2. **Energy accounting**: track the internal/kinetic budget over the run;
+   the explicit leapfrog with hourglass damping is dissipative (total
+   energy only decreases).
+
+Run:  python examples/checkpoint_restart.py
+"""
+
+import os
+import tempfile
+
+import numpy as np
+
+from repro.lulesh import (
+    Domain,
+    EnergyTracker,
+    LuleshOptions,
+    SequentialDriver,
+    load_checkpoint,
+    save_checkpoint,
+)
+
+
+def main() -> None:
+    opts = LuleshOptions(nx=10, numReg=5, max_iterations=120)
+
+    # --- the uninterrupted run (ground truth) ---------------------------------
+    truth = Domain(opts)
+    truth_driver = SequentialDriver(truth)
+    tracker = EnergyTracker(truth)
+    for _ in range(120):
+        truth_driver.step()
+        tracker.sample()
+
+    print("energy budget over the uninterrupted run:")
+    for s in tracker.samples[::30]:
+        frac = s.kinetic / s.total if s.total else 0.0
+        print(f"  cycle {s.cycle:3d}: internal {s.internal:10.2f}  "
+              f"kinetic {s.kinetic:10.2f}  total {s.total:10.2f}  "
+              f"(kinetic {frac:.0%})")
+    print(f"dissipation over the run: {tracker.max_drift():.1%} "
+          "(hourglass damping; decreases with resolution)\n")
+
+    # --- checkpointed run -----------------------------------------------------
+    half = Domain(opts)
+    half_driver = SequentialDriver(half)
+    for _ in range(60):
+        half_driver.step()
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "blast.npz")
+        save_checkpoint(half, path)
+        size_kib = os.path.getsize(path) / 1024
+        print(f"checkpoint at cycle {half.cycle}: {size_kib:.0f} KiB")
+
+        resumed = load_checkpoint(opts, path)
+        resumed_driver = SequentialDriver(resumed)
+        for _ in range(60):
+            resumed_driver.step()
+
+    identical = all(
+        np.array_equal(getattr(truth, f), getattr(resumed, f))
+        for f in ("x", "xd", "e", "p", "q", "v", "ss")
+    )
+    print(f"resumed run bit-identical to uninterrupted run: {identical}")
+    assert identical
+    print(f"final cycle {resumed.cycle}, t = {resumed.time:.6e}, "
+          f"origin energy {resumed.origin_energy():.6e}")
+
+
+if __name__ == "__main__":
+    main()

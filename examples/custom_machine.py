@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""What-if studies: predict the paper's experiment on a different machine.
+
+The whole evaluation is parameterized by :class:`MachineConfig` and
+:class:`CostModel`, so "what would the speed-up look like on ..." is one
+function call.  This example asks three such questions:
+
+1. a **128-core** part (the paper's own outlook: "as the current trend goes
+   towards ever larger per-CPU core counts (e.g., 128 from AMD and Ampere,
+   288 from Intel), using our HPX 'native' AMT approach promises to offer
+   better scalability in the future", §V-A),
+2. a machine with a **small last-level cache** (less room for the locality
+   tricks),
+3. a machine with **expensive synchronization** (slow barriers).
+
+Run:  python examples/custom_machine.py
+"""
+
+from repro import CostModel, LuleshOptions, MachineConfig, run_hpx, run_omp
+
+
+def speedup(opts, machine, cost_model, threads):
+    omp = run_omp(opts, threads, 1, machine=machine, cost_model=cost_model)
+    hpx = run_hpx(opts, threads, 1, machine=machine, cost_model=cost_model)
+    return omp.runtime_ns / hpx.runtime_ns, omp, hpx
+
+
+def main() -> None:
+    opts = LuleshOptions(nx=90, numReg=11)
+
+    print("=== 1. the paper's outlook: a 128-core part ===\n")
+    print("  cores  threads |  omp ms/it |  hpx ms/it | speedup")
+    for cores, threads in ((24, 24), (64, 64), (128, 128)):
+        machine = MachineConfig(n_cores=cores)
+        sp, omp, hpx = speedup(opts, machine, CostModel(), threads)
+        print(f"  {cores:5d}  {threads:7d} | {omp.per_iteration_ns/1e6:10.3f} "
+              f"| {hpx.per_iteration_ns/1e6:10.3f} | {sp:6.2f}x")
+    print("\nthe task-based advantage GROWS with core count — the paper's")
+    print("scalability promise, quantified.\n")
+
+    print("=== 2. a cache-starved machine (16 MiB LLC vs 128 MiB) ===\n")
+    for llc_mib in (128, 16):
+        cm = CostModel(llc_bytes=llc_mib * 1024 * 1024)
+        sp, omp, hpx = speedup(opts, MachineConfig(), cm, 24)
+        print(f"  LLC {llc_mib:4d} MiB: omp {omp.per_iteration_ns/1e6:8.3f} "
+              f"hpx {hpx.per_iteration_ns/1e6:8.3f}  speedup {sp:5.2f}x")
+    print("\nless cache -> OpenMP re-streams more -> the chained tasks'")
+    print("locality is worth more.\n")
+
+    print("=== 3. expensive synchronization (5x barrier cost) ===\n")
+    for mult in (1, 5):
+        cm = CostModel(
+            omp_barrier_per_level_ns=2800 * mult,
+            omp_barrier_base_ns=900 * mult,
+        )
+        sp, omp, hpx = speedup(LuleshOptions(nx=45, numReg=11),
+                               MachineConfig(), cm, 24)
+        print(f"  barrier x{mult}: omp {omp.per_iteration_ns/1e6:8.3f} "
+              f"hpx {hpx.per_iteration_ns/1e6:8.3f}  speedup {sp:5.2f}x")
+    print("\nslower barriers punish the 30-regions-per-iteration structure;")
+    print("the 7-barrier task graph barely notices.")
+
+
+if __name__ == "__main__":
+    main()

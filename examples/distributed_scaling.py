@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Multi-node LULESH: the paper's §VI future work, runnable.
+
+Two demonstrations:
+
+1. **Correctness** — runs the real physics on a slab-decomposed mesh (2 and
+   3 ranks, in-process) and shows agreement with the single-domain
+   reference to parallel-summation round-off, plus the exact communication
+   ledger (messages, bytes).
+2. **Timing** — compares MPI-style synchronous halo exchange with HPX-style
+   asynchronous (overlapped) exchange on simulated clusters with two
+   interconnects, showing the anticipated benefit of asynchronous data
+   exchange growing with node count.
+
+Run:  python examples/distributed_scaling.py
+"""
+
+import numpy as np
+
+from repro.dist import run_distributed_reference, run_hpx_dist, run_mpi_dist
+from repro.dist.network import ClusterConfig, NetworkModel
+from repro.lulesh.options import LuleshOptions
+from repro.lulesh.reference import run_reference
+
+
+def correctness() -> None:
+    print("=== distributed physics vs single-domain reference ===\n")
+    opts = LuleshOptions(nx=8, numReg=5, max_iterations=40)
+    ref, ref_summary = run_reference(opts)
+    print(f"reference: {ref_summary.cycles} cycles, "
+          f"origin energy {ref_summary.origin_energy:.6e}")
+    for n_ranks in (2, 3):
+        drv, summary = run_distributed_reference(
+            LuleshOptions(nx=8, numReg=5, max_iterations=40), n_ranks
+        )
+        err = max(
+            float(np.abs(getattr(ref, f) - drv.gather_elem_field(f)).max())
+            / max(1e-30, float(np.abs(getattr(ref, f)).max()))
+            for f in ("e", "p", "q", "v")
+        )
+        print(f"{n_ranks} ranks:  {summary.cycles} cycles, "
+              f"origin energy {summary.origin_energy:.6e}, "
+              f"max rel. field error {err:.2e}")
+        print(f"          comm ledger: {summary.total_messages} messages, "
+              f"{summary.total_bytes / 1024:.1f} KiB on the wire")
+
+
+def timing() -> None:
+    print("\n=== MPI-sync vs HPX-async exchange (simulated clusters) ===\n")
+    opts = LuleshOptions(nx=90, numReg=11)
+    networks = {
+        "InfiniBand-class (1.5us, 25GB/s)": NetworkModel(),
+        "Ethernet-class (30us, 1.2GB/s)": NetworkModel(
+            latency_ns=30_000, bandwidth_bytes_per_ns=1.2
+        ),
+    }
+    for name, net in networks.items():
+        print(f"--- {name} ---")
+        print(f"{'nodes':>6} {'MPI ms/it':>10} {'comm':>6} "
+              f"{'HPX ms/it':>10} {'comm':>6} {'HPX adv':>8}")
+        for n in (1, 2, 3, 5, 9, 15):
+            cl = ClusterConfig(n_nodes=n, network=net)
+            m = run_mpi_dist(opts, cl, 24, 1)
+            h = run_hpx_dist(opts, cl, 24, 1)
+            print(f"{n:>6} {m.per_iteration_ns / 1e6:>10.3f} "
+                  f"{m.comm_fraction:>6.1%} "
+                  f"{h.per_iteration_ns / 1e6:>10.3f} "
+                  f"{h.comm_fraction:>6.1%} "
+                  f"{m.runtime_ns / h.runtime_ns:>7.2f}x")
+        print()
+    print("as §VI anticipates: the asynchronous exchange hides nearly all")
+    print("communication, and its advantage grows with node count as the")
+    print("synchronous version's exposed comm fraction rises.")
+
+
+def main() -> None:
+    correctness()
+    timing()
+
+
+if __name__ == "__main__":
+    main()

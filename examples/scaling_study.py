@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Scaling study: regenerate the paper's Fig. 9 + Fig. 10 sweeps.
+
+Runs the timing-only simulation of both orchestrations over the paper's
+full grid — problem sizes 45-150, thread counts 1-48, regions 11/16/21 —
+and prints runtime curves and the speed-up matrix, annotated with the
+paper's published values.
+
+This is the programmatic equivalent of:
+
+    lulesh-hpx --experiment fig9
+    lulesh-hpx --experiment fig10
+
+Run:  python examples/scaling_study.py [--quick]
+"""
+
+import sys
+import time
+
+from repro.harness.experiments import (
+    PAPER_REGIONS,
+    PAPER_SIZES,
+    PAPER_THREADS,
+    fig9_experiment,
+    fig10_experiment,
+)
+from repro.harness.report import render_table
+
+PAPER_FIG10 = {45: 2.25, 60: 1.9, 75: 1.6, 90: 1.5, 120: 1.4, 150: 1.33}
+
+
+def main() -> None:
+    quick = "--quick" in sys.argv
+    sizes = (45, 90, 150) if quick else PAPER_SIZES
+    threads = (1, 4, 24, 48) if quick else PAPER_THREADS
+    regions = (11, 21) if quick else PAPER_REGIONS
+
+    t0 = time.perf_counter()
+    print("=== Experiment 1 (Fig. 9): runtime over thread count ===\n")
+    fig9 = fig9_experiment(sizes=sizes, threads=threads, iterations=1)
+    print(render_table(
+        fig9,
+        ("size", "threads", "omp_ms_per_iter", "hpx_ms_per_iter", "speedup"),
+    ))
+
+    print("\nobservations (cf. paper §V-A):")
+    for s in sizes:
+        rows = {r["threads"]: r for r in fig9 if r["size"] == s}
+        best_omp = min(rows, key=lambda t: rows[t]["omp_ms_per_iter"])
+        best_hpx = min(rows, key=lambda t: rows[t]["hpx_ms_per_iter"])
+        one = rows[1]["speedup"]
+        print(f"  s={s:3d}: OMP best at {best_omp} threads, HPX best at "
+              f"{best_hpx}; single-thread OMP/HPX = {one:.3f}")
+
+    print("\n=== Experiment 2 (Fig. 10): speed-up by size and regions ===\n")
+    fig10 = fig10_experiment(sizes=sizes, regions=regions, iterations=1)
+    print(render_table(
+        fig10, ("size", "regions", "speedup"),
+    ))
+
+    print("\nmeasured vs paper (11 regions):")
+    for s in sizes:
+        ours = next(
+            r["speedup"] for r in fig10
+            if r["size"] == s and r["regions"] == 11
+        )
+        print(f"  s={s:3d}: measured {ours:.2f}x, paper {PAPER_FIG10[s]:.2f}x")
+
+    print(f"\ntotal sweep time: {time.perf_counter() - t0:.1f}s "
+          f"({'quick grid' if quick else 'full paper grid'})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,17 @@
+"""Legacy setup shim for offline editable installs (no wheel/PEP 517)."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Speeding-Up LULESH on HPX' (SC 2024): many-task "
+        "LULESH on a simulated multicore with HPX-like and OpenMP-like runtimes"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.23"],
+    entry_points={"console_scripts": ["lulesh-hpx = repro.harness.cli:main"]},
+)

@@ -1,0 +1,54 @@
+"""Reproduction of *Speeding-Up LULESH on HPX* (SC 2024).
+
+Kalkhof & Koch port the LULESH 2.0 proxy application to HPX's asynchronous
+many-task model and beat the OpenMP reference by 1.33x-2.25x on a 24-core
+EPYC by replacing loop-and-barrier execution with pre-created task graphs:
+manual partitioning, continuation chains, combined loops, and concurrently
+scheduled independent chains.
+
+This package rebuilds that system end to end in Python (see DESIGN.md for
+the simulated-machine substitution):
+
+- :mod:`repro.lulesh`  — the LULESH 2.0 physics (vectorized NumPy),
+- :mod:`repro.simcore` — the deterministic simulated multicore,
+- :mod:`repro.amt`     — the HPX-like many-task runtime,
+- :mod:`repro.openmp`  — the OpenMP-like fork/join runtime,
+- :mod:`repro.core`    — the paper's task-graph orchestration + baselines,
+- :mod:`repro.dist`    — the §VI multi-node extension,
+- :mod:`repro.harness` — experiments regenerating every figure and table.
+
+Quick start::
+
+    from repro import LuleshOptions, run_hpx, run_omp
+
+    opts = LuleshOptions(nx=45, numReg=11)
+    omp = run_omp(opts, n_threads=24, iterations=1)
+    hpx = run_hpx(opts, n_workers=24, iterations=1)
+    print(f"speed-up: {omp.runtime_ns / hpx.runtime_ns:.2f}x")  # ~2.3x
+"""
+
+from repro.core.driver import RunResult, run_hpx, run_naive_hpx, run_omp
+from repro.core.hpx_lulesh import HpxVariant
+from repro.lulesh.domain import Domain
+from repro.lulesh.options import LuleshOptions
+from repro.lulesh.reference import run_reference
+from repro.simcore.costmodel import CostModel
+from repro.simcore.machine import MachineConfig
+from repro.simcore.policy import SchedulerPolicy
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "LuleshOptions",
+    "Domain",
+    "run_reference",
+    "run_omp",
+    "run_hpx",
+    "run_naive_hpx",
+    "RunResult",
+    "HpxVariant",
+    "MachineConfig",
+    "CostModel",
+    "SchedulerPolicy",
+    "__version__",
+]

@@ -1,0 +1,70 @@
+"""Performance counters, mirroring HPX's counter interface.
+
+The paper's Fig. 11 methodology reads HPX's ``/threads/idle-rate`` counter to
+obtain the share of time worker threads were *not* performing computations.
+:class:`IdleRateCounter` computes the same quantity from the merged execution
+trace: idle-rate = 1 - productive/total, where task creation counts as
+productive and scheduler management (dispatch, steal probes, retires) counts
+toward idle/management time — matching §V-A's description.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.amt.runtime import RunStats
+
+__all__ = ["IdleRateCounter", "WorkerReport"]
+
+
+@dataclass(frozen=True)
+class WorkerReport:
+    """Per-worker counter snapshot."""
+
+    worker: int
+    productive_ns: int
+    overhead_ns: int
+    idle_ns: int
+    tasks_run: int
+    steals: int
+
+    @property
+    def idle_rate(self) -> float:
+        total = self.productive_ns + self.overhead_ns + self.idle_ns
+        if total == 0:
+            return 0.0
+        return 1.0 - self.productive_ns / total
+
+
+class IdleRateCounter:
+    """Computes idle-rate / utilization reports from accumulated stats."""
+
+    def __init__(self, stats: RunStats) -> None:
+        self._stats = stats
+
+    def idle_rate(self) -> float:
+        """Average idle-rate across workers (HPX ``/threads/idle-rate``)."""
+        return 1.0 - self._stats.utilization()
+
+    def utilization(self) -> float:
+        """Average productive-time ratio (the quantity of Fig. 11)."""
+        return self._stats.utilization()
+
+    def per_worker(self) -> list[WorkerReport]:
+        """Per-worker breakdown over the total executed time."""
+        total = self._stats.total_ns
+        reports = []
+        for w in self._stats.trace.workers:
+            productive = w.productive_ns()
+            idle = max(0, total - productive - w.overhead_ns)
+            reports.append(
+                WorkerReport(
+                    worker=w.worker,
+                    productive_ns=productive,
+                    overhead_ns=w.overhead_ns,
+                    idle_ns=idle,
+                    tasks_run=w.tasks_run,
+                    steals=w.steals,
+                )
+            )
+        return reports

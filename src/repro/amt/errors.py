@@ -1,0 +1,17 @@
+"""Error types of the AMT runtime."""
+
+from __future__ import annotations
+
+__all__ = ["AmtError", "FutureError", "DeadlockError"]
+
+
+class AmtError(RuntimeError):
+    """Base class for AMT runtime errors."""
+
+
+class FutureError(AmtError):
+    """Invalid use of a future (e.g. reading a value before execution)."""
+
+
+class DeadlockError(AmtError):
+    """The task graph contains a cycle or an unsatisfiable dependency."""

@@ -1,0 +1,155 @@
+"""Futures: the state/result handle of an asynchronous task.
+
+Mirrors the HPX/C++ ``hpx::future`` surface the paper's Fig. 1 demonstrates:
+``async`` returns a future immediately, ``then`` attaches a continuation that
+runs once the predecessor is ready, and ``get`` blocks for (here: forces
+execution of) the result.
+
+A future is bound to the :class:`~repro.amt.runtime.AmtRuntime` that created
+it and wraps one :class:`~repro.simcore.pool.SimTask`.  Continuations receive
+the *predecessor future* as their single leading argument — the
+``f1.then([](hpx::future<int> &&f) { ... f.get() ... })`` idiom.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.amt.errors import FutureError
+from repro.simcore.pool import SimTask
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.amt.runtime import AmtRuntime
+
+__all__ = ["Future", "SharedFuture"]
+
+
+class Future:
+    """Handle to the eventual result of an asynchronous task."""
+
+    __slots__ = ("_runtime", "_task", "_value", "_has_value", "_retrieved")
+
+    def __init__(self, runtime: "AmtRuntime", task: SimTask) -> None:
+        self._runtime = runtime
+        self._task = task
+        self._value: Any = None
+        self._has_value = False
+        self._retrieved = False
+
+    # --- runtime-internal ---------------------------------------------------
+
+    @property
+    def task(self) -> SimTask:
+        """The underlying simulation task (runtime internal)."""
+        return self._task
+
+    def _set_value(self, value: Any) -> None:
+        self._value = value
+        self._has_value = True
+
+    # --- HPX-like public surface ----------------------------------------------
+
+    def is_ready(self) -> bool:
+        """True once the task has executed (after a flush/get)."""
+        return self._has_value
+
+    def then(
+        self,
+        fn: Callable[..., Any],
+        *args: Any,
+        cost_ns: int = 0,
+        tag: str | None = None,
+    ) -> "Future":
+        """Attach a continuation; returns the continuation's future.
+
+        *fn* is called as ``fn(predecessor_future, *args)`` once this future
+        is ready, exactly like ``hpx::future::then``.  ``cost_ns`` is the
+        simulated work of the continuation.
+        """
+        return self._runtime.continuation(self, fn, *args, cost_ns=cost_ns, tag=tag)
+
+    def get(self) -> Any:
+        """Force execution up to this future and return its value.
+
+        Like ``hpx::future::get``, the value may be retrieved once; HPX
+        futures are move-only and ``get`` invalidates them.  We reproduce the
+        single-retrieval contract to catch ports that would be invalid C++.
+        """
+        if self._retrieved:
+            raise FutureError("future value already retrieved (futures are one-shot)")
+        if not self._has_value:
+            self._runtime.flush()
+            if not self._has_value:
+                raise FutureError(
+                    "future did not become ready after flush (task never ran)"
+                )
+        self._retrieved = True
+        return self._value
+
+    def result_nowait(self) -> Any:
+        """Non-consuming read for continuations over already-ready futures."""
+        if not self._has_value:
+            raise FutureError("future is not ready; use get() or flush first")
+        return self._value
+
+    def share(self) -> "SharedFuture":
+        """Convert to a multiple-readers handle (``hpx::future::share``).
+
+        Like HPX, sharing consumes the unique future: calling ``get`` on the
+        original afterwards is invalid.
+        """
+        if self._retrieved:
+            raise FutureError("cannot share a future whose value was retrieved")
+        self._retrieved = True
+        return SharedFuture(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "ready" if self._has_value else "pending"
+        return f"Future({self._task.tag!r}, {state})"
+
+
+class SharedFuture:
+    """Multi-get view of a future (``hpx::shared_future``).
+
+    ``get`` may be called any number of times, and continuations can still
+    be attached.
+    """
+
+    __slots__ = ("_future",)
+
+    def __init__(self, future: Future) -> None:
+        self._future = future
+
+    @property
+    def task(self) -> SimTask:
+        return self._future.task
+
+    def is_ready(self) -> bool:
+        """True once the underlying task has executed."""
+        return self._future.is_ready()
+
+    def get(self) -> Any:
+        """Force execution if needed; repeatable."""
+        if not self._future._has_value:
+            self._future._runtime.flush()
+            if not self._future._has_value:
+                raise FutureError(
+                    "shared future did not become ready after flush"
+                )
+        return self._future._value
+
+    def then(
+        self,
+        fn: Callable[..., Any],
+        *args: Any,
+        cost_ns: int = 0,
+        tag: str | None = None,
+    ) -> Future:
+        """Attach a continuation (receives the underlying future)."""
+        return self._future._runtime.continuation(
+            self._future, fn, *args, cost_ns=cost_ns, tag=tag
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "ready" if self._future._has_value else "pending"
+        return f"SharedFuture({self._future._task.tag!r}, {state})"

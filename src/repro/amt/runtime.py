@@ -1,0 +1,268 @@
+"""The AMT runtime: task creation, barriers, and graph execution.
+
+Reproduces the HPX usage pattern of the paper's implementation (§IV):
+
+* ``async_`` / ``continuation`` / ``when_all`` / ``dataflow`` build the task
+  graph *without executing anything* — like HPX, creating a task returns
+  immediately and execution is entirely asynchronous;
+* ``wait_all`` is the blocking synchronization barrier of the paper's Fig. 5
+  (it forces execution of everything created so far);
+* ``when_all`` is the non-blocking barrier of Fig. 6 — it returns a future
+  other tasks can depend on, letting the whole leapfrog iteration be
+  pre-created with only a final blocking wait;
+* ``flush`` hands the pre-created graph to the simulated work-stealing
+  worker pool and accumulates timing/trace statistics.
+
+Timing semantics: each ``flush`` simulates one execution segment starting at
+virtual t=0 whose task creations are charged serially to the spawning worker
+(the main thread).  Total program time is the sum of segment makespans —
+faithful to a main loop that blocks at segment boundaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from repro.amt.errors import AmtError
+from repro.amt.future import Future
+from repro.simcore.costmodel import CostModel
+from repro.simcore.machine import MachineConfig
+from repro.simcore.policy import SchedulerPolicy
+from repro.simcore.pool import SimTask, SimWorkerPool
+from repro.simcore.trace import TraceRecorder
+
+__all__ = ["AmtRuntime", "RunStats"]
+
+
+@dataclass
+class RunStats:
+    """Accumulated execution statistics across flushes.
+
+    Attributes:
+        total_ns: summed makespans of all executed segments.
+        n_tasks: tasks executed.
+        n_flushes: number of execution segments (blocking barriers + final).
+        spawn_ns: summed serialized task-creation time.
+        trace: merged per-worker accounting (productive/overhead/steals).
+    """
+
+    n_workers: int
+    record_spans: bool = False
+    total_ns: int = 0
+    n_tasks: int = 0
+    n_flushes: int = 0
+    spawn_ns: int = 0
+    trace: TraceRecorder = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.trace = TraceRecorder(self.n_workers, record_spans=self.record_spans)
+
+    def utilization(self) -> float:
+        """Fig.-11 productive-time ratio across all executed segments."""
+        if self.total_ns == 0:
+            return 1.0
+        return self.trace.utilization(self.total_ns)
+
+
+class AmtRuntime:
+    """HPX-like runtime bound to a simulated machine.
+
+    Task bodies always execute — they carry the future-value bookkeeping
+    (``when_all``/``dataflow`` readiness).  Timing-only runs simply bind
+    no-op user functions, which is what the drivers in :mod:`repro.core`
+    do when no :class:`~repro.lulesh.domain.Domain` is attached.
+
+    Args:
+        machine: the simulated multicore.
+        cost_model: shared overhead table.
+        n_workers: number of OS worker threads (``--hpx:threads``).
+        record_spans: keep per-task Gantt spans on the trace (debugging).
+    """
+
+    def __init__(
+        self,
+        machine: MachineConfig,
+        cost_model: CostModel,
+        n_workers: int,
+        record_spans: bool = False,
+        policy: "SchedulerPolicy | None" = None,
+    ) -> None:
+        self.machine = machine
+        self.cost_model = cost_model
+        self.n_workers = n_workers
+        self._pool = SimWorkerPool(
+            machine, cost_model, n_workers, record_spans=record_spans,
+            policy=policy,
+        )
+        self._record_spans = record_spans
+        self._pending: list[SimTask] = []
+        self._flushing = False
+        self._stats = RunStats(n_workers=n_workers, record_spans=record_spans)
+
+    # --- task creation -----------------------------------------------------
+
+    def _register(self, task: SimTask) -> None:
+        if self._flushing:
+            raise AmtError(
+                "cannot create tasks while the graph is executing; "
+                "pre-create the task graph as the paper does"
+            )
+        self._pending.append(task)
+
+    def async_(
+        self,
+        fn: Callable[..., Any],
+        *args: Any,
+        cost_ns: int = 0,
+        tag: str | None = None,
+        depends: Sequence[Future] = (),
+        priority: int = 0,
+    ) -> Future:
+        """Create a task running ``fn(*args)``; returns its future.
+
+        ``depends`` adds explicit predecessor futures (used to attach work
+        after a non-blocking ``when_all`` barrier); ``priority`` is honoured
+        only under a priority-enabled scheduler policy.
+        """
+        task = SimTask(
+            cost_ns=cost_ns,
+            tag=tag or getattr(fn, "__name__", "task"),
+            priority=priority,
+        )
+        fut = Future(self, task)
+
+        def body() -> None:
+            fut._set_value(fn(*args))
+
+        task.body = body
+        task.depends_on(*[d.task for d in depends])
+        self._register(task)
+        return fut
+
+    def continuation(
+        self,
+        parent: Future,
+        fn: Callable[..., Any],
+        *args: Any,
+        cost_ns: int = 0,
+        tag: str | None = None,
+        priority: int = 0,
+    ) -> Future:
+        """Attach ``fn(parent_future, *args)`` to run after *parent*."""
+        task = SimTask(
+            cost_ns=cost_ns,
+            tag=tag or getattr(fn, "__name__", "then"),
+            priority=priority,
+        )
+        fut = Future(self, task)
+
+        def body() -> None:
+            fut._set_value(fn(parent, *args))
+
+        task.body = body
+        task.depends_on(parent.task)
+        self._register(task)
+        return fut
+
+    def when_all(self, futures: Sequence[Future], tag: str = "when_all") -> Future:
+        """Non-blocking barrier: a future ready when all *futures* are.
+
+        Its value is the list of input futures (HPX's
+        ``future<vector<future<T>>>`` analogue).  Zero compute cost; the join
+        bookkeeping is charged by the pool per dependency edge.
+        """
+        futures = list(futures)
+        task = SimTask(cost_ns=0, tag=tag)
+        fut = Future(self, task)
+
+        def body() -> None:
+            fut._set_value(futures)
+
+        task.body = body
+        task.depends_on(*[f.task for f in futures])
+        self._register(task)
+        return fut
+
+    def dataflow(
+        self,
+        fn: Callable[..., Any],
+        futures: Sequence[Future],
+        *args: Any,
+        cost_ns: int = 0,
+        tag: str | None = None,
+    ) -> Future:
+        """``hpx::dataflow``: run ``fn(futures, *args)`` when all are ready."""
+        gate = self.when_all(futures, tag=f"dataflow-gate")
+        return self.continuation(
+            gate,
+            lambda g, *a: fn(g.result_nowait(), *a),
+            *args,
+            cost_ns=cost_ns,
+            tag=tag or getattr(fn, "__name__", "dataflow"),
+        )
+
+    def make_ready_future(self, value: Any = None) -> Future:
+        """A future that is already ready (no task, no cost)."""
+        task = SimTask(cost_ns=0, tag="ready")
+        fut = Future(self, task)
+        task.body = lambda: fut._set_value(value)
+        self._register(task)
+        return fut
+
+    # --- execution -------------------------------------------------------------
+
+    def wait_all(self, futures: Sequence[Future] | None = None) -> None:
+        """Blocking barrier (paper Fig. 5): execute everything created so far.
+
+        HPX's ``wait_all`` blocks the calling thread until the given futures
+        are ready; since our graphs execute only via flush, any blocking wait
+        drains the whole pending segment.
+        """
+        self.flush()
+        if futures is not None:
+            for f in futures:
+                if not f.is_ready():
+                    raise AmtError(
+                        f"wait_all: future {f!r} not ready after flush; "
+                        "was it created on a different runtime?"
+                    )
+
+    def flush(self) -> int:
+        """Execute all pending tasks; returns this segment's makespan (ns)."""
+        if not self._pending:
+            return 0
+        if self._flushing:
+            raise AmtError("re-entrant flush")
+        tasks, self._pending = self._pending, []
+        self._flushing = True
+        try:
+            result = self._pool.run(tasks, spawn_worker=0)
+        finally:
+            self._flushing = False
+        self._stats.total_ns += result.makespan_ns
+        self._stats.n_tasks += result.n_tasks
+        self._stats.n_flushes += 1
+        self._stats.spawn_ns += result.spawn_total_ns
+        self._stats.trace.merge(result.trace)
+        return result.makespan_ns
+
+    # --- accounting ---------------------------------------------------------
+
+    @property
+    def stats(self) -> RunStats:
+        """Accumulated statistics since construction or last reset."""
+        return self._stats
+
+    def reset_stats(self) -> None:
+        """Clear accumulated statistics (pending tasks are unaffected)."""
+        if self._pending:
+            raise AmtError("cannot reset stats with pending (uncounted) tasks")
+        self._stats = RunStats(
+            n_workers=self.n_workers, record_spans=self._record_spans
+        )
+
+    @property
+    def n_pending(self) -> int:
+        """Tasks created but not yet executed."""
+        return len(self._pending)

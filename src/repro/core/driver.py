@@ -1,0 +1,187 @@
+"""Run modes and results for all three orchestrations.
+
+Two modes, selected by ``execute``:
+
+* **execute=True** — allocates a full :class:`~repro.lulesh.domain.Domain`
+  and runs the real NumPy physics through the orchestration's structure.
+  Used for correctness (bit-identical fields vs the sequential reference)
+  and for the runnable examples.  Simulated timing is still produced.
+* **execute=False** — timing-only: the same task/loop structures are built
+  with ``None`` bodies and only the cost model runs.  This is how the
+  paper-scale experiments (s up to 150, Figs. 9-11) are simulated without
+  allocating gigabytes of field arrays.
+
+Iteration counts are explicit (the artifact's ``--i`` flag): simulated
+speed-ups are per-iteration quantities, so a handful of iterations
+determines them exactly (the simulation is deterministic).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.amt.runtime import AmtRuntime
+from repro.core.hpx_lulesh import HpxLuleshProgram, HpxVariant
+from repro.core.kernel_graph import ProblemShape
+from repro.core.naive_hpx import NaiveHpxProgram
+from repro.core.omp_lulesh import OmpLuleshProgram
+from repro.core.partitioning import table1_partition_sizes
+from repro.lulesh.costs import DEFAULT_COSTS, KernelCosts
+from repro.lulesh.domain import Domain
+from repro.lulesh.options import LuleshOptions
+from repro.simcore.costmodel import CostModel
+from repro.simcore.machine import MachineConfig
+from repro.simcore.policy import SchedulerPolicy
+
+__all__ = ["RunResult", "run_omp", "run_hpx", "run_naive_hpx"]
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Outcome of one orchestrated run.
+
+    Attributes:
+        runtime_ns: total simulated wall-clock time.
+        iterations: leapfrog cycles executed.
+        utilization: productive-time ratio (Fig. 11 quantity).
+        n_tasks: tasks executed (AMT) — 0 for the OpenMP structure.
+        n_loops: parallel loops issued (OpenMP) — 0 for the AMT runs.
+        n_regions: parallel regions entered (OpenMP).
+        domain: the physics state (execute mode only).
+    """
+
+    runtime_ns: int
+    iterations: int
+    utilization: float
+    n_tasks: int = 0
+    n_loops: int = 0
+    n_regions: int = 0
+    domain: Domain | None = None
+
+    @property
+    def per_iteration_ns(self) -> float:
+        if self.iterations == 0:
+            return 0.0
+        return self.runtime_ns / self.iterations
+
+    @property
+    def runtime_s(self) -> float:
+        return self.runtime_ns / 1e9
+
+
+def _shape_and_domain(
+    opts: LuleshOptions, execute: bool
+) -> tuple[ProblemShape, Domain | None]:
+    if execute:
+        domain = Domain(opts)
+        return ProblemShape.from_domain(domain), domain
+    return ProblemShape.from_options(opts), None
+
+
+def run_omp(
+    opts: LuleshOptions,
+    n_threads: int,
+    iterations: int,
+    machine: MachineConfig | None = None,
+    cost_model: CostModel | None = None,
+    costs: KernelCosts = DEFAULT_COSTS,
+    execute: bool = False,
+    omp_schedule: str = "static",
+) -> RunResult:
+    """Run the OpenMP-structured LULESH (the reference baseline).
+
+    ``omp_schedule='dynamic'`` runs the counterfactual where every loop
+    uses OpenMP dynamic scheduling instead of the reference's static.
+    """
+    machine = machine or MachineConfig()
+    cost_model = cost_model or CostModel()
+    shape, domain = _shape_and_domain(opts, execute)
+    from repro.openmp.runtime import OmpRuntime
+
+    omp = OmpRuntime(machine, cost_model, n_threads, execute_bodies=execute,
+                     default_schedule=omp_schedule)
+    program = OmpLuleshProgram(omp, shape, costs, domain)
+    program.run(iterations)
+    stats = omp.stats
+    done = domain.cycle if domain is not None else iterations
+    return RunResult(
+        runtime_ns=stats.total_ns,
+        iterations=done,
+        utilization=stats.utilization(),
+        n_loops=stats.n_loops,
+        n_regions=stats.n_regions,
+        domain=domain,
+    )
+
+
+def run_hpx(
+    opts: LuleshOptions,
+    n_workers: int,
+    iterations: int,
+    machine: MachineConfig | None = None,
+    cost_model: CostModel | None = None,
+    costs: KernelCosts = DEFAULT_COSTS,
+    execute: bool = False,
+    variant: HpxVariant | None = None,
+    nodal_partition: int | None = None,
+    elements_partition: int | None = None,
+    policy: SchedulerPolicy | None = None,
+) -> RunResult:
+    """Run the paper's task-based LULESH.
+
+    Partition sizes default to the Table I policy for ``opts.nx``; pass
+    explicit values for the partition-size sweep (E4) and a *policy* for
+    the scheduler-discipline ablation.
+    """
+    machine = machine or MachineConfig()
+    cost_model = cost_model or CostModel()
+    variant = variant or HpxVariant.full()
+    table_nodal, table_elems = table1_partition_sizes(opts.nx)
+    shape, domain = _shape_and_domain(opts, execute)
+    rt = AmtRuntime(machine, cost_model, n_workers, policy=policy)
+    program = HpxLuleshProgram(
+        rt,
+        shape,
+        costs,
+        nodal_partition=nodal_partition or table_nodal,
+        elements_partition=elements_partition or table_elems,
+        domain=domain,
+        variant=variant,
+    )
+    program.run(iterations)
+    stats = rt.stats
+    done = domain.cycle if domain is not None else iterations
+    return RunResult(
+        runtime_ns=stats.total_ns,
+        iterations=done,
+        utilization=stats.utilization(),
+        n_tasks=stats.n_tasks,
+        domain=domain,
+    )
+
+
+def run_naive_hpx(
+    opts: LuleshOptions,
+    n_workers: int,
+    iterations: int,
+    machine: MachineConfig | None = None,
+    cost_model: CostModel | None = None,
+    costs: KernelCosts = DEFAULT_COSTS,
+    execute: bool = False,
+) -> RunResult:
+    """Run the prior-work [16] for_each-style port."""
+    machine = machine or MachineConfig()
+    cost_model = cost_model or CostModel()
+    shape, domain = _shape_and_domain(opts, execute)
+    rt = AmtRuntime(machine, cost_model, n_workers)
+    program = NaiveHpxProgram(rt, shape, costs, domain)
+    program.run(iterations)
+    stats = rt.stats
+    done = domain.cycle if domain is not None else iterations
+    return RunResult(
+        runtime_ns=stats.total_ns,
+        iterations=done,
+        utilization=stats.utilization(),
+        n_tasks=stats.n_tasks,
+        domain=domain,
+    )

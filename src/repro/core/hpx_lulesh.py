@@ -1,0 +1,565 @@
+"""Task-based LULESH on the HPX-like runtime — the paper's contribution.
+
+One leapfrog iteration is pre-created as a single task graph (§IV: "we
+pre-create *all* tasks for one iteration of the leapfrog algorithm at
+once"), built from four ingredients, each switchable for the ablation bench
+via :class:`HpxVariant`:
+
+1. **Manual partitioning** (Fig. 5): every kernel loop is split into tasks
+   of ``P`` elements/nodes, ``P`` from Table I
+   (:mod:`repro.core.partitioning`).
+2. **Continuation chains** (Fig. 6): consecutive kernels with only
+   per-item dependencies are chained per partition with ``future.then``;
+   global ``when_all`` barriers remain only at the seven points where
+   dependencies cross partitions (element→node transitions, symmetry-plane
+   BCs, face-neighbour reads in monotonic Q, region↔partition mismatches,
+   and the final constraint reduction).
+3. **Loop combining** (Fig. 7): consecutive kernels in a chain are merged
+   into one task — the loops stay separate *inside* the task, preserving
+   LULESH's computational structure.
+4. **Independent chains** (Fig. 8): the stress-force and hourglass-force
+   chains run concurrently, as do the per-region EOS chains (which are
+   further partitioned — "the number of tasks in our implementation remains
+   similar, as we use a fixed partitioning size", §V-A).
+
+Temporaries are task-local by default (the jemalloc/data-locality trick);
+the allocator model charges the alternative global-scratch strategy with
+extra allocation latency and memory-traffic penalty.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Sequence
+
+from repro.amt.future import Future
+from repro.amt.runtime import AmtRuntime
+from repro.core.kernel_graph import ProblemShape
+from repro.core.partitioning import partition_ranges
+from repro.lulesh.costs import KernelCosts
+from repro.lulesh.domain import Domain
+from repro.lulesh.kernels import eos as eos_k
+from repro.lulesh.kernels import hourglass as hg_k
+from repro.lulesh.kernels import kinematics as kin_k
+from repro.lulesh.kernels import nodal as nodal_k
+from repro.lulesh.kernels import qcalc as q_k
+from repro.lulesh.kernels import stress as stress_k
+from repro.lulesh.kernels.constraints import (
+    calc_courant_constraint,
+    calc_hydro_constraint,
+    reduce_time_constraints,
+    time_increment,
+)
+from repro.simcore.allocator import AllocatorModel
+
+__all__ = ["HpxVariant", "HpxLuleshProgram"]
+
+
+@dataclass(frozen=True)
+class HpxVariant:
+    """Which of the paper's optimizations are enabled (ablation knobs)."""
+
+    chain_kernels: bool = True  # Fig. 6 (False => Fig. 5 barriers everywhere)
+    combine_loops: bool = True  # Fig. 7
+    parallel_chains: bool = True  # Fig. 8
+    task_local_temporaries: bool = True  # jemalloc / data-locality trick
+    # Beyond the paper: give the expensive EOS regions (rep >= 10) high
+    # scheduler priority.  The paper leaves priorities unused (§V); the
+    # scheduler-policy ablation tests whether they would have helped.
+    prioritize_expensive_regions: bool = False
+
+    @classmethod
+    def full(cls) -> "HpxVariant":
+        """The paper's final implementation."""
+        return cls()
+
+    @classmethod
+    def fig5(cls) -> "HpxVariant":
+        """Manual partitioning only, barrier after every kernel."""
+        return cls(chain_kernels=False, combine_loops=False, parallel_chains=False)
+
+    @classmethod
+    def fig6(cls) -> "HpxVariant":
+        """+ continuation chains."""
+        return cls(chain_kernels=True, combine_loops=False, parallel_chains=False)
+
+    @classmethod
+    def fig7(cls) -> "HpxVariant":
+        """+ combined loops."""
+        return cls(chain_kernels=True, combine_loops=True, parallel_chains=False)
+
+    def label(self) -> str:
+        """Human-readable rung name for ablation tables."""
+        if not self.chain_kernels:
+            return "partition+barriers (Fig.5)"
+        if not self.combine_loops:
+            return "+chains (Fig.6)"
+        if not self.parallel_chains:
+            return "+combined (Fig.7)"
+        return "full (Fig.8)"
+
+
+@dataclass(frozen=True)
+class _Kernel:
+    """One loop's binding: simulated rate + real body + temp-array count.
+
+    ``ws_rate`` is the rate used for the cache working-set estimate; it
+    differs from ``rate`` only for the EOS kernel, whose ``rep``-fold
+    repetition re-reads the *same* data (work scales with rep, the working
+    set does not).
+    """
+
+    name: str
+    rate: float
+    body: Callable[[int, int], object] | None
+    n_temps: int = 0  # temporary arrays allocated per invocation
+    ws_rate: float | None = None
+
+    @property
+    def working_set_rate(self) -> float:
+        return self.ws_rate if self.ws_rate is not None else self.rate
+
+
+class HpxLuleshProgram:
+    """Builds and runs the per-iteration task graph."""
+
+    def __init__(
+        self,
+        rt: AmtRuntime,
+        shape: ProblemShape,
+        costs: KernelCosts,
+        nodal_partition: int,
+        elements_partition: int,
+        domain: Domain | None = None,
+        variant: HpxVariant = HpxVariant.full(),
+        allocator: AllocatorModel | None = None,
+    ) -> None:
+        if allocator is None:
+            allocator = AllocatorModel(
+                rt.cost_model, task_local=variant.task_local_temporaries
+            )
+        else:
+            allocator = replace(
+                allocator, task_local=variant.task_local_temporaries
+            )
+        self.rt = rt
+        self.shape = shape
+        self.costs = costs
+        self.nodal_partition = nodal_partition
+        self.elements_partition = elements_partition
+        self.domain = domain
+        self.variant = variant
+        self.allocator = allocator
+        self.barriers_per_iteration = 0
+
+    # --- kernel bindings ------------------------------------------------------
+
+    def _bind(self, name: str, rate: float, fn, *args, n_temps: int = 0) -> _Kernel:
+        d = self.domain
+        if d is None or fn is None:
+            return _Kernel(name, rate, None, n_temps)
+        return _Kernel(name, rate, lambda lo, hi: fn(d, *args, lo, hi), n_temps)
+
+    def _task_cost(
+        self,
+        kernels: Sequence[_Kernel],
+        lo: int,
+        hi: int,
+        reuse_items: int | None = None,
+    ) -> int:
+        """Simulated cost of running *kernels* over ``[lo, hi)`` in one task.
+
+        ``reuse_items`` is the cache-reuse working set: the partition size
+        for chained tasks (data stays resident between consecutive kernels),
+        or the whole phase domain when every kernel is followed by a global
+        barrier (Fig. 5 semantics — same streaming behaviour as OpenMP).
+        """
+        n = hi - lo
+        if reuse_items is None:
+            reuse_items = n
+        work = 0
+        for k in kernels:
+            penalty = self.rt.cost_model.stream_penalty(
+                reuse_items, k.working_set_rate, self.rt.n_workers
+            )
+            work += int(round(k.rate * n * penalty))
+        work = self.allocator.scaled_work_ns(work)
+        alloc = 0
+        for k in kernels:
+            if k.n_temps:
+                alloc += self.allocator.charge_temporary(k.n_temps * n * 8)
+        return work + alloc
+
+    def _task_body(
+        self, kernels: Sequence[_Kernel], lo: int, hi: int
+    ) -> Callable[[], None] | None:
+        bodies = [k.body for k in kernels if k.body is not None]
+        if not bodies:
+            return None
+
+        def run() -> None:
+            for b in bodies:
+                b(lo, hi)
+
+        return run
+
+    # --- chain construction ---------------------------------------------------
+
+    def _chain(
+        self,
+        kernels: Sequence[_Kernel],
+        lo: int,
+        hi: int,
+        depends: Sequence[Future],
+        tag: str,
+        reuse_items: int | None = None,
+        priority: int = 0,
+    ) -> Future:
+        """Build one partition's task chain over *kernels*.
+
+        With ``combine_loops`` all kernels become one task; otherwise one
+        task per kernel, linked by continuations.
+        """
+        if self.variant.combine_loops:
+            groups: list[Sequence[_Kernel]] = [kernels]
+        else:
+            groups = [[k] for k in kernels]
+        fut: Future | None = None
+        for gi, group in enumerate(groups):
+            cost = self._task_cost(group, lo, hi, reuse_items=reuse_items)
+            body = self._task_body(group, lo, hi)
+            names = "+".join(k.name for k in group)
+            gtag = f"{tag}:{names}[{lo}:{hi}]"
+            if fut is None:
+                fut = self.rt.async_(
+                    body or _noop, cost_ns=cost, tag=gtag, depends=depends,
+                    priority=priority,
+                )
+            else:
+                fut = self.rt.continuation(
+                    fut, _run_after(body), cost_ns=cost, tag=gtag,
+                    priority=priority,
+                )
+        assert fut is not None
+        return fut
+
+    def _barrier(self, futures: Sequence[Future], tag: str) -> Future:
+        self.barriers_per_iteration += 1
+        return self.rt.when_all(futures, tag=tag)
+
+    # --- one iteration -----------------------------------------------------------
+
+    def build_iteration(self) -> Future:
+        """Pre-create the full task graph for one leapfrog iteration.
+
+        Returns the iteration-final future (the constraint reduction).  With
+        ``chain_kernels=False`` this *executes* blocking barriers along the
+        way (Fig. 5 semantics) and the returned future is already complete
+        after the final flush.
+        """
+        self.barriers_per_iteration = 0
+        c = self.costs
+        d = self.domain
+        shape = self.shape
+        ne, nn = shape.num_elem, shape.num_node
+        pn = self.nodal_partition
+        pe = self.elements_partition
+        dt = d.deltatime if d is not None else 0.0
+        chain = self.variant.chain_kernels
+        parallel = self.variant.parallel_chains
+
+        # Kernel bindings (shared work definition with the OpenMP structure).
+        k_stress = [
+            self._bind("init_stress", c.init_stress, stress_k.init_stress_terms),
+            self._bind(
+                "integrate_stress", c.integrate_stress, stress_k.integrate_stress,
+                n_temps=4,
+            ),
+        ]
+        k_hg = [
+            self._bind(
+                "hg_control", c.hourglass_control, hg_k.calc_hourglass_control,
+                n_temps=7,
+            ),
+            self._bind("fb_hourglass", c.fb_hourglass, hg_k.calc_fb_hourglass_force,
+                       n_temps=2),
+        ]
+        k_nodesum = [
+            self._bind("zero_forces", c.zero_forces, _zero_forces_body),
+            self._bind("sum_forces", c.sum_forces, nodal_k.sum_elem_forces_to_nodes),
+            self._bind("acceleration", c.acceleration, nodal_k.calc_acceleration),
+        ]
+        k_velpos = [
+            self._bind("velocity", c.velocity, nodal_k.calc_velocity_dt, dt),
+            self._bind("position", c.position, nodal_k.calc_position_dt, dt),
+        ]
+        k_kin = [
+            self._bind("kinematics", c.kinematics, kin_k.calc_kinematics_dt, dt,
+                       n_temps=2),
+            self._bind("strain_rates", c.strain_rates,
+                       kin_k.calc_lagrange_elements_part2),
+            self._bind("monoq_gradients", c.monoq_gradients,
+                       q_k.calc_monotonic_q_gradients),
+        ]
+        k_prologue = [
+            self._bind("material_prologue", c.material_prologue,
+                       eos_k.apply_material_properties_prologue, n_temps=1),
+            self._bind("qstop_check", c.qstop_check, q_k.check_q_stop),
+            self._bind("update_volumes", c.update_volumes, eos_k.update_volumes),
+        ]
+
+        def flush_if_unchained(futures: Sequence[Future], tag: str) -> list[Future]:
+            """Fig. 5 semantics: blocking wait_all after every kernel group."""
+            self.barriers_per_iteration += 1
+            self.rt.wait_all(futures)
+            return []
+
+        # ---- Phase 1: element force chains -> B1 ---------------------------------
+        force_finals: list[Future] = []
+        if chain:
+            for lo, hi in partition_ranges(ne, pn):
+                f_stress = self._chain(k_stress, lo, hi, (), "stress")
+                if parallel:
+                    f_hg = self._chain(k_hg, lo, hi, (), "hg")
+                else:
+                    f_hg = self._chain(k_hg, lo, hi, (f_stress,), "hg")
+                force_finals += [f_stress, f_hg]
+            b1 = self._barrier(force_finals, "B1:forces")
+            node_dep: Sequence[Future] = (b1,)
+        else:
+            for kern in k_stress + k_hg:
+                futs = [
+                    self._chain([kern], lo, hi, (), "k", reuse_items=ne)
+                    for lo, hi in partition_ranges(ne, pn)
+                ]
+                flush_if_unchained(futs, kern.name)
+            node_dep = ()
+
+        # ---- Phase 2: node sum/accel -> B2 -> BC -> vel/pos -> B4 -----------------
+        if chain:
+            node_finals = [
+                self._chain(k_nodesum, lo, hi, node_dep, "node")
+                for lo, hi in partition_ranges(nn, pn)
+            ]
+            b2 = self._barrier(node_finals, "B2:accel")
+            bc = self.rt.continuation(
+                b2,
+                _bc_body(d),
+                cost_ns=int(round(3 * c.accel_bc * shape.num_symm_nodes)),
+                tag="accel_bc",
+            )
+            velpos_finals = [
+                self._chain(k_velpos, lo, hi, (bc,), "velpos")
+                for lo, hi in partition_ranges(nn, pn)
+            ]
+            b4 = self._barrier(velpos_finals, "B4:positions")
+            elem_dep: Sequence[Future] = (b4,)
+        else:
+            for kern in k_nodesum:
+                futs = [
+                    self._chain([kern], lo, hi, (), "k", reuse_items=nn)
+                    for lo, hi in partition_ranges(nn, pn)
+                ]
+                flush_if_unchained(futs, kern.name)
+            bc = self.rt.async_(
+                _bc_body(d),
+                cost_ns=int(round(3 * c.accel_bc * shape.num_symm_nodes)),
+                tag="accel_bc",
+            )
+            flush_if_unchained([bc], "bc")
+            for kern in k_velpos:
+                futs = [
+                    self._chain([kern], lo, hi, (), "k", reuse_items=nn)
+                    for lo, hi in partition_ranges(nn, pn)
+                ]
+                flush_if_unchained(futs, kern.name)
+            elem_dep = ()
+
+        # ---- Phase 3: kinematics/gradients chains -> B5 ------------------------------
+        if chain:
+            kin_finals = [
+                self._chain(k_kin, lo, hi, elem_dep, "kin")
+                for lo, hi in partition_ranges(ne, pe)
+            ]
+            b5 = self._barrier(kin_finals, "B5:gradients")
+            region_dep: Sequence[Future] = (b5,)
+        else:
+            for kern in k_kin:
+                futs = [
+                    self._chain([kern], lo, hi, (), "k", reuse_items=ne)
+                    for lo, hi in partition_ranges(ne, pe)
+                ]
+                flush_if_unchained(futs, kern.name)
+            region_dep = ()
+
+        # ---- Phase 4: prologue/update_volumes + per-region chains -> B6 --------------
+        constraint_futs: list[Future] = []
+        if chain:
+            prologue_finals = [
+                self._chain(k_prologue, lo, hi, region_dep, "prologue")
+                for lo, hi in partition_ranges(ne, pe)
+            ]
+            # Region EOS gathers cross partition boundaries (region element
+            # lists are scattered), so the region chains wait on all
+            # prologue partitions via one barrier.
+            b6 = self._barrier(prologue_finals, "B6:prologue")
+            # Without the Fig.-8 insight, regions run one after another (the
+            # reference's call order): each region's chains wait for the
+            # previous *region* to finish, but partitions within a region
+            # still run in parallel.
+            prev_region_gate: Future | None = None
+            for r in range(shape.num_regions):
+                size = shape.region_sizes[r]
+                rep = shape.region_reps[r]
+                region_chain_dep: list[Future] = [b6]
+                if not parallel and prev_region_gate is not None:
+                    region_chain_dep.append(prev_region_gate)
+                region_futs = [
+                    self._region_chain(r, rep, lo, hi, region_chain_dep)
+                    for lo, hi in partition_ranges(size, pe)
+                ]
+                constraint_futs += region_futs
+                if not parallel:
+                    prev_region_gate = self.rt.when_all(
+                        region_futs, tag=f"region_gate[{r}]"
+                    )
+            b6_inputs = constraint_futs
+        else:
+            futs = [
+                self._chain(k_prologue, lo, hi, (), "prologue", reuse_items=ne)
+                for lo, hi in partition_ranges(ne, pe)
+            ]
+            flush_if_unchained(futs, "prologue")
+            for r in range(shape.num_regions):
+                size = shape.region_sizes[r]
+                rep = shape.region_reps[r]
+                futs = [
+                    self._region_chain(r, rep, lo, hi, ())
+                    for lo, hi in partition_ranges(size, pe)
+                ]
+                constraint_futs += futs
+                flush_if_unchained(futs, f"region[{r}]")
+            b6_inputs = constraint_futs
+
+        # ---- Final reduction (B7) ------------------------------------------------
+        self.barriers_per_iteration += 1
+        final = self.rt.dataflow(
+            _reduce_body(d, constraint_futs),
+            b6_inputs,
+            cost_ns=2_000,
+            tag="reduce_dt",
+        )
+        return final
+
+    def _region_chain(
+        self, r: int, rep: int, lo: int, hi: int, depends: Sequence[Future]
+    ) -> Future:
+        """monoq -> EOS(xrep) -> constraints for one region partition."""
+        c = self.costs
+        d = self.domain
+        priority = (
+            1
+            if self.variant.prioritize_expensive_regions and rep >= 10
+            else 0
+        )
+        kernels = [
+            self._bind("monoq_region", c.monoq_region, _monoq_region_body, r,
+                       n_temps=3),
+            _Kernel(
+                f"eos[x{rep}]",
+                c.eos_eval * rep,
+                None
+                if d is None
+                else (lambda lo_, hi_: eos_k.eval_eos_region(
+                    d, d.regions.reg_elem_lists[r], rep, lo_, hi_)),
+                n_temps=12,
+                ws_rate=c.eos_eval,  # repetitions re-read the same data
+            ),
+        ]
+        fut = self._chain(kernels, lo, hi, depends, f"region{r}",
+                          priority=priority)
+        # Constraint task returns its partial minima (consumed by reduce).
+        cost = self._task_cost(
+            [
+                _Kernel("courant", c.courant, None),
+                _Kernel("hydro", c.hydro, None),
+            ],
+            lo,
+            hi,
+        )
+        if d is None:
+            body = lambda _f: (1.0e20, 1.0e20)
+        else:
+
+            def body(_f, r=r, lo=lo, hi=hi):
+                lst = d.regions.reg_elem_lists[r]
+                return (
+                    calc_courant_constraint(d, lst, lo, hi),
+                    calc_hydro_constraint(d, lst, lo, hi),
+                )
+
+        return self.rt.continuation(
+            fut, body, cost_ns=cost, tag=f"constraints[{r}][{lo}:{hi}]",
+            priority=priority,
+        )
+
+    # --- multi-iteration driver ---------------------------------------------------
+
+    def run(self, iterations: int) -> None:
+        """Advance *iterations* cycles, flushing the graph once per cycle."""
+        if iterations < 1:
+            raise ValueError(f"iterations must be >= 1, got {iterations}")
+        for _ in range(iterations):
+            if self.domain is not None:
+                if self.domain.time >= self.domain.opts.stoptime:
+                    break
+                time_increment(self.domain)
+            final = self.build_iteration()
+            self.rt.flush()
+            if not final.is_ready():
+                raise RuntimeError("iteration graph did not complete")
+
+
+def _noop() -> None:
+    return None
+
+
+def _run_after(body: Callable[[], None] | None) -> Callable[[Future], None]:
+    def fn(_parent: Future) -> None:
+        if body is not None:
+            body()
+
+    return fn
+
+
+def _zero_forces_body(domain, lo: int, hi: int) -> None:
+    domain.fx[lo:hi] = 0.0
+    domain.fy[lo:hi] = 0.0
+    domain.fz[lo:hi] = 0.0
+
+
+def _monoq_region_body(domain, r: int, lo: int, hi: int) -> None:
+    q_k.calc_monotonic_q_region(domain, domain.regions.reg_elem_lists[r], lo, hi)
+
+
+def _bc_body(domain) -> Callable[..., None]:
+    def fn(*_args) -> None:
+        if domain is not None:
+            nodal_k.apply_acceleration_bc(domain)
+
+    return fn
+
+
+def _reduce_body(domain, constraint_futs: Sequence[Future]):
+    def fn(_gated) -> tuple[float, float]:
+        courant = 1.0e20
+        hydro = 1.0e20
+        for f in constraint_futs:
+            cmin, hmin = f.result_nowait()
+            courant = min(courant, cmin)
+            hydro = min(hydro, hmin)
+        if domain is not None:
+            reduce_time_constraints(domain, courant, hydro)
+        return courant, hydro
+
+    return fn

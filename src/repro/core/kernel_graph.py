@@ -1,0 +1,130 @@
+"""Shared kernel metadata: problem shape, work costing, and kernel bindings.
+
+Both orchestrations (OpenMP-structured and task-based) must issue the same
+kernels with the same work — this module is the single source of truth for:
+
+* :class:`ProblemShape` — the sizes the *simulated* runs need (element/node
+  counts, region sizes and repetition factors) without allocating the full
+  physics state, so timing-only experiments scale to s=150;
+* :class:`KernelBinding` — a kernel's simulated work rate plus its (optional)
+  real NumPy body over an index range.
+
+A binding's body is ``None`` in timing-only mode; the orchestration layers
+attach costs either way, so "execute" and "simulate" runs traverse identical
+structures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.lulesh.costs import DEFAULT_COSTS, KernelCosts, iteration_work_ns
+from repro.lulesh.domain import Domain
+from repro.lulesh.options import LuleshOptions
+from repro.lulesh.regions import RegionSet
+
+__all__ = ["ProblemShape", "KernelBinding", "EOS_LOOPS_PER_REP"]
+
+# The reference's EvalEOSForElems + CalcEnergyForElems issue ~16 separate
+# parallel loops per repetition (gathers, compression, three pressure
+# evaluations, two q updates, ...).  The OpenMP-structured orchestration
+# models each as its own loop+barrier; their summed work equals the
+# ``eos_eval`` rate.
+EOS_LOOPS_PER_REP = 16
+
+
+@dataclass(frozen=True)
+class ProblemShape:
+    """Sizes of a LULESH problem, sufficient for timing-only simulation."""
+
+    nx: int
+    num_elem: int
+    num_node: int
+    num_symm_nodes: int
+    region_sizes: tuple[int, ...]
+    region_reps: tuple[int, ...]
+
+    @classmethod
+    def from_options(cls, opts: LuleshOptions) -> "ProblemShape":
+        """Build the shape without allocating field arrays.
+
+        Region assignment runs for real (it is cheap and determines the
+        load-imbalance structure); mesh fields are not allocated.
+        """
+        regions = RegionSet(
+            num_elem=opts.numElem,
+            num_reg=opts.numReg,
+            balance=opts.region_balance,
+            cost=opts.region_cost,
+        )
+        return cls(
+            nx=opts.nx,
+            num_elem=opts.numElem,
+            num_node=opts.numNode,
+            num_symm_nodes=(opts.nx + 1) ** 2,
+            region_sizes=tuple(int(s) for s in regions.reg_elem_sizes),
+            region_reps=tuple(regions.rep(r) for r in range(regions.num_reg)),
+        )
+
+    @classmethod
+    def from_domain(cls, domain: Domain) -> "ProblemShape":
+        """Shape of an existing domain (execute mode)."""
+        regions = domain.regions
+        return cls(
+            nx=domain.opts.nx,
+            num_elem=domain.numElem,
+            num_node=domain.numNode,
+            num_symm_nodes=len(domain.mesh.symmX),
+            region_sizes=tuple(int(s) for s in regions.reg_elem_sizes),
+            region_reps=tuple(regions.rep(r) for r in range(regions.num_reg)),
+        )
+
+    @property
+    def num_regions(self) -> int:
+        return len(self.region_sizes)
+
+    def iteration_work_ns(self, costs: KernelCosts = DEFAULT_COSTS) -> float:
+        """Productive work of one leapfrog iteration (single-thread bound)."""
+        return iteration_work_ns(
+            costs, self.num_elem, self.num_node, self.region_sizes, self.region_reps
+        )
+
+
+@dataclass(frozen=True)
+class KernelBinding:
+    """One kernel: a name, a simulated work rate, and an optional real body.
+
+    ``body(lo, hi)`` runs the NumPy kernel over the index range; ``rate`` is
+    the simulated ns-per-item charged by either runtime.
+    """
+
+    name: str
+    rate: float
+    body: Callable[[int, int], object] | None
+
+    def cost_ns(self, lo: int, hi: int) -> int:
+        """Simulated work for ``[lo, hi)``."""
+        return int(round(self.rate * (hi - lo)))
+
+    def run(self, lo: int, hi: int) -> None:
+        """Execute the real body if bound (no-op in timing-only mode)."""
+        if self.body is not None:
+            self.body(lo, hi)
+
+
+def bind(
+    name: str,
+    rate: float,
+    fn: Callable[..., object] | None,
+    *args: object,
+) -> KernelBinding:
+    """Create a binding whose body is ``fn(*args, lo, hi)`` (or None)."""
+    if fn is None:
+        return KernelBinding(name, rate, None)
+    return KernelBinding(name, rate, lambda lo, hi: fn(*args, lo, hi))
+
+
+def group_cost_ns(bindings: Sequence[KernelBinding], lo: int, hi: int) -> int:
+    """Summed simulated work of several kernels over one range."""
+    return sum(b.cost_ns(lo, hi) for b in bindings)

@@ -1,0 +1,170 @@
+"""The prior-work HPX port [16]: 1:1 ``hpx::for_each`` loop replacement.
+
+§III: "A prior effort [16] to realize LULESH in HPX primarily just replaced
+the traditional for-loops with hpx::for_each constructs.  However, this
+version performs significantly worse than the OpenMP reference [17]" — and
+§IV: "in [16], parallel regions are split into multiple for-loops, which
+introduces even *more* synchronization barriers."
+
+This module reproduces that approach: every loop of the reference becomes a
+blocking :func:`repro.amt.algorithms.for_loop` with HPX's default
+auto-chunking.  Each loop pays task creation, scheduling, and a blocking
+barrier — the structure the paper's manual decomposition dismantles.
+"""
+
+from __future__ import annotations
+
+from repro.amt.algorithms import for_loop
+from repro.amt.runtime import AmtRuntime
+from repro.core.kernel_graph import EOS_LOOPS_PER_REP, ProblemShape
+from repro.lulesh.costs import KernelCosts
+from repro.lulesh.domain import Domain
+from repro.lulesh.kernels import eos as eos_k
+from repro.lulesh.kernels import hourglass as hg_k
+from repro.lulesh.kernels import kinematics as kin_k
+from repro.lulesh.kernels import nodal as nodal_k
+from repro.lulesh.kernels import qcalc as q_k
+from repro.lulesh.kernels import stress as stress_k
+from repro.lulesh.kernels.constraints import (
+    calc_courant_constraint,
+    calc_hydro_constraint,
+    reduce_time_constraints,
+    time_increment,
+)
+
+__all__ = ["naive_iteration", "NaiveHpxProgram"]
+
+
+def naive_iteration(
+    rt: AmtRuntime,
+    shape: ProblemShape,
+    costs: KernelCosts,
+    domain: Domain | None = None,
+) -> None:
+    """One leapfrog iteration as a sequence of blocking ``for_each`` loops."""
+    c = costs
+    ne, nn = shape.num_elem, shape.num_node
+    d = domain
+    dt = d.deltatime if d is not None else 0.0
+
+    def body(fn, *args):
+        if d is None:
+            return lambda lo, hi: None
+        return lambda lo, hi: fn(d, *args, lo, hi)
+
+    def loop(n, fn_body, rate, tag):
+        # Loop-at-a-time structure: the reuse working set is the full loop
+        # footprint (same streaming behaviour as the OpenMP reference).
+        rate = rate * rt.cost_model.stream_penalty(n, rate, rt.n_workers)
+        for_loop(rt, 0, n, fn_body, work_ns_per_item=rate, tag=tag)
+
+    # LagrangeNodal
+    loop(nn, body(_zero_forces), c.zero_forces, "zero_forces")
+    loop(ne, body(stress_k.init_stress_terms), c.init_stress, "init_stress")
+    loop(ne, body(stress_k.integrate_stress), c.integrate_stress, "integrate_stress")
+    loop(nn, lambda lo, hi: None, c.sum_forces * 0.5, "collect_stress")
+    loop(ne, body(hg_k.calc_hourglass_control), c.hourglass_control, "hg_control")
+    loop(ne, body(hg_k.calc_fb_hourglass_force), c.fb_hourglass, "fb_hourglass")
+    loop(nn, body(nodal_k.sum_elem_forces_to_nodes), c.sum_forces * 0.5, "collect_hg")
+    loop(nn, body(nodal_k.calc_acceleration), c.acceleration, "acceleration")
+    bc_done = [False]
+
+    def bc_body(lo: int, hi: int) -> None:
+        if d is not None and not bc_done[0]:
+            nodal_k.apply_acceleration_bc(d)
+            bc_done[0] = True
+
+    for _ in range(3):
+        loop(shape.num_symm_nodes, bc_body, c.accel_bc, "accel_bc")
+    loop(nn, body(nodal_k.calc_velocity_dt, dt), c.velocity, "velocity")
+    loop(nn, body(nodal_k.calc_position_dt, dt), c.position, "position")
+
+    # LagrangeElements
+    loop(ne, body(kin_k.calc_kinematics_dt, dt), c.kinematics, "kinematics")
+    loop(ne, body(kin_k.calc_lagrange_elements_part2), c.strain_rates, "strain_rates")
+    loop(ne, body(q_k.calc_monotonic_q_gradients), c.monoq_gradients, "q_gradients")
+    for r in range(shape.num_regions):
+        loop(
+            shape.region_sizes[r],
+            body(_monoq_region, r),
+            c.monoq_region,
+            f"monoq[{r}]",
+        )
+    loop(ne, body(q_k.check_q_stop), c.qstop_check, "qstop_check")
+    loop(ne, body(eos_k.apply_material_properties_prologue), c.material_prologue,
+         "prologue")
+    for r in range(shape.num_regions):
+        rep = shape.region_reps[r]
+        size = shape.region_sizes[r]
+        eos_done = [False]
+
+        def eos_body(lo: int, hi: int, r=r, rep=rep, flag=eos_done) -> None:
+            if d is not None and not flag[0]:
+                eos_k.eval_eos_region(d, d.regions.reg_elem_lists[r], rep)
+                flag[0] = True
+
+        per_loop_rate = c.eos_eval / EOS_LOOPS_PER_REP
+        for _ in range(rep * EOS_LOOPS_PER_REP):
+            loop(size, eos_body, per_loop_rate, f"eos[{r}]")
+    loop(ne, body(eos_k.update_volumes), c.update_volumes, "update_volumes")
+
+    # Constraints
+    acc = {"courant": 1.0e20, "hydro": 1.0e20}
+    for r in range(shape.num_regions):
+        size = shape.region_sizes[r]
+
+        def courant_body(lo: int, hi: int, r=r) -> None:
+            if d is not None:
+                acc["courant"] = min(
+                    acc["courant"],
+                    calc_courant_constraint(d, d.regions.reg_elem_lists[r], lo, hi),
+                )
+
+        def hydro_body(lo: int, hi: int, r=r) -> None:
+            if d is not None:
+                acc["hydro"] = min(
+                    acc["hydro"],
+                    calc_hydro_constraint(d, d.regions.reg_elem_lists[r], lo, hi),
+                )
+
+        loop(size, courant_body, c.courant, f"courant[{r}]")
+        loop(size, hydro_body, c.hydro, f"hydro[{r}]")
+    if d is not None:
+        reduce_time_constraints(d, acc["courant"], acc["hydro"])
+
+
+def _zero_forces(domain, lo: int, hi: int) -> None:
+    domain.fx[lo:hi] = 0.0
+    domain.fy[lo:hi] = 0.0
+    domain.fz[lo:hi] = 0.0
+
+
+def _monoq_region(domain, r: int, lo: int, hi: int) -> None:
+    q_k.calc_monotonic_q_region(domain, domain.regions.reg_elem_lists[r], lo, hi)
+
+
+class NaiveHpxProgram:
+    """Multi-iteration naive (prior-work [16]) HPX LULESH run."""
+
+    def __init__(
+        self,
+        rt: AmtRuntime,
+        shape: ProblemShape,
+        costs: KernelCosts,
+        domain: Domain | None = None,
+    ) -> None:
+        self.rt = rt
+        self.shape = shape
+        self.costs = costs
+        self.domain = domain
+
+    def run(self, iterations: int) -> None:
+        """Advance *iterations* cycles (or fewer if stoptime hits)."""
+        if iterations < 1:
+            raise ValueError(f"iterations must be >= 1, got {iterations}")
+        for _ in range(iterations):
+            if self.domain is not None:
+                if self.domain.time >= self.domain.opts.stoptime:
+                    break
+                time_increment(self.domain)
+            naive_iteration(self.rt, self.shape, self.costs, self.domain)

@@ -1,0 +1,212 @@
+"""OpenMP-structured LULESH — the reference baseline's execution shape.
+
+One leapfrog iteration issues the reference's sequence of parallel regions
+and loops (§II-B: "~30 parallel regions"; §IV Fig. 4: "a sequence of
+parallel for-loops", each ending in an implicit barrier):
+
+* one region per kernel group in ``LagrangeNodal``/``LagrangeElements``;
+* one region *per material region* for the monotonic-Q limiter, for the EOS
+  (whose repetition loop issues ``EOS_LOOPS_PER_REP`` small loops per
+  repetition — the many-tiny-loops structure that degrades with more
+  regions, Fig. 10), and for the time constraints.
+
+In execute mode the loop bodies run the real NumPy kernels chunk-by-chunk;
+in timing-only mode only costs are charged.  Either way the productive work
+charged is identical to the task-based orchestration's — the comparison
+differs only in synchronization structure, matching the paper's fairness
+argument.
+"""
+
+from __future__ import annotations
+
+from repro.core.kernel_graph import EOS_LOOPS_PER_REP, ProblemShape
+from repro.lulesh.costs import KernelCosts
+from repro.lulesh.domain import Domain
+from repro.lulesh.kernels import eos as eos_k
+from repro.lulesh.kernels import hourglass as hg_k
+from repro.lulesh.kernels import kinematics as kin_k
+from repro.lulesh.kernels import nodal as nodal_k
+from repro.lulesh.kernels import qcalc as q_k
+from repro.lulesh.kernels import stress as stress_k
+from repro.lulesh.kernels.constraints import (
+    calc_courant_constraint,
+    calc_hydro_constraint,
+    reduce_time_constraints,
+    time_increment,
+)
+from repro.openmp.runtime import OmpRuntime
+
+__all__ = ["omp_iteration", "OmpLuleshProgram"]
+
+# Serial (master-thread) bookkeeping per iteration: TimeIncrement and the
+# final constraint reduction.  Negligible, as §II-B notes.
+_SERIAL_NS_PER_ITER = 2_000
+
+
+def omp_iteration(
+    omp: OmpRuntime,
+    shape: ProblemShape,
+    costs: KernelCosts,
+    domain: Domain | None = None,
+) -> None:
+    """Issue one leapfrog iteration on the OpenMP-like runtime.
+
+    With *domain* set, the real kernels execute and ``TimeIncrement`` /
+    timestep constraints update the physics state; otherwise this charges
+    simulated time only.
+    """
+    c = costs
+    ne, nn = shape.num_elem, shape.num_node
+    d = domain
+    dt = d.deltatime if d is not None else 0.0
+
+    def body(fn, *args):
+        """Chunk body ``fn(domain, *args, lo, hi)`` or None in timing mode."""
+        if d is None:
+            return None
+        return lambda lo, hi: fn(d, *args, lo, hi)
+
+    # ----- LagrangeNodal --------------------------------------------------
+    with omp.parallel_region("CalcForceForNodes"):
+        omp.loop(nn, body(_zero_forces), work_ns_per_item=c.zero_forces)
+    with omp.parallel_region("InitStressTerms"):
+        omp.loop(ne, body(stress_k.init_stress_terms), work_ns_per_item=c.init_stress)
+    with omp.parallel_region("IntegrateStress"):
+        omp.loop(ne, body(stress_k.integrate_stress), work_ns_per_item=c.integrate_stress)
+        # collection of stress contributions into nodes
+        omp.loop(nn, None, work_ns_per_item=c.sum_forces * 0.5)
+    with omp.parallel_region("CalcHourglassControl"):
+        omp.loop(ne, body(hg_k.calc_hourglass_control), work_ns_per_item=c.hourglass_control)
+    with omp.parallel_region("CalcFBHourglassForce"):
+        omp.loop(ne, body(hg_k.calc_fb_hourglass_force), work_ns_per_item=c.fb_hourglass)
+        # collection of both force buffers into nodes (real body here so the
+        # stress collection above stays a pure cost)
+        omp.loop(nn, body(nodal_k.sum_elem_forces_to_nodes), work_ns_per_item=c.sum_forces * 0.5)
+    with omp.parallel_region("CalcAccelerationForNodes"):
+        omp.loop(nn, body(nodal_k.calc_acceleration), work_ns_per_item=c.acceleration)
+    with omp.parallel_region("ApplyAccelerationBC"):
+        # three symmetry-plane loops; the body applies all three once
+        bc_done = [False]
+
+        def bc_body(lo: int, hi: int) -> None:
+            if not bc_done[0]:
+                nodal_k.apply_acceleration_bc(d)
+                bc_done[0] = True
+
+        omp.loop(shape.num_symm_nodes, bc_body if d is not None else None,
+                 work_ns_per_item=c.accel_bc)
+        omp.loop(shape.num_symm_nodes, None, work_ns_per_item=c.accel_bc)
+        omp.loop(shape.num_symm_nodes, None, work_ns_per_item=c.accel_bc)
+    with omp.parallel_region("CalcVelocityForNodes"):
+        omp.loop(nn, body(nodal_k.calc_velocity_dt, dt), work_ns_per_item=c.velocity)
+    with omp.parallel_region("CalcPositionForNodes"):
+        omp.loop(nn, body(nodal_k.calc_position_dt, dt), work_ns_per_item=c.position)
+
+    # ----- LagrangeElements ------------------------------------------------
+    with omp.parallel_region("CalcKinematics"):
+        omp.loop(ne, body(kin_k.calc_kinematics_dt, dt), work_ns_per_item=c.kinematics)
+    with omp.parallel_region("CalcLagrangeElements"):
+        omp.loop(ne, body(kin_k.calc_lagrange_elements_part2), work_ns_per_item=c.strain_rates)
+    with omp.parallel_region("CalcMonotonicQGradients"):
+        omp.loop(ne, body(q_k.calc_monotonic_q_gradients), work_ns_per_item=c.monoq_gradients)
+    for r in range(shape.num_regions):
+        with omp.parallel_region(f"MonotonicQRegion[{r}]"):
+            omp.loop(
+                shape.region_sizes[r],
+                body(_monoq_region, r),
+                work_ns_per_item=c.monoq_region,
+            )
+    with omp.parallel_region("QStopCheck"):
+        omp.loop(ne, body(q_k.check_q_stop), work_ns_per_item=c.qstop_check)
+    with omp.parallel_region("ApplyMaterialProperties"):
+        omp.loop(ne, body(eos_k.apply_material_properties_prologue),
+                 work_ns_per_item=c.material_prologue)
+    for r in range(shape.num_regions):
+        rep = shape.region_reps[r]
+        size = shape.region_sizes[r]
+        with omp.parallel_region(f"EvalEOS[{r}]"):
+            eos_done = [False]
+
+            def eos_body(lo: int, hi: int, r=r, rep=rep, flag=eos_done) -> None:
+                if not flag[0]:
+                    eos_k.eval_eos_region(d, d.regions.reg_elem_lists[r], rep)
+                    flag[0] = True
+
+            # rep * EOS_LOOPS_PER_REP tiny loops, each with its own barrier —
+            # the structure that shrinks per-loop work as regions grow.
+            per_loop_rate = c.eos_eval / EOS_LOOPS_PER_REP
+            first = True
+            for _ in range(rep):
+                for _ in range(EOS_LOOPS_PER_REP):
+                    omp.loop(
+                        size,
+                        eos_body if (d is not None and first) else None,
+                        work_ns_per_item=per_loop_rate,
+                    )
+                    first = False
+    with omp.parallel_region("UpdateVolumes"):
+        omp.loop(ne, body(eos_k.update_volumes), work_ns_per_item=c.update_volumes)
+
+    # ----- CalcTimeConstraints ---------------------------------------------
+    acc = {"courant": 1.0e20, "hydro": 1.0e20}
+    for r in range(shape.num_regions):
+        size = shape.region_sizes[r]
+
+        def courant_body(lo: int, hi: int, r=r) -> None:
+            acc["courant"] = min(
+                acc["courant"],
+                calc_courant_constraint(d, d.regions.reg_elem_lists[r], lo, hi),
+            )
+
+        def hydro_body(lo: int, hi: int, r=r) -> None:
+            acc["hydro"] = min(
+                acc["hydro"],
+                calc_hydro_constraint(d, d.regions.reg_elem_lists[r], lo, hi),
+            )
+
+        with omp.parallel_region(f"TimeConstraints[{r}]"):
+            omp.loop(size, courant_body if d is not None else None,
+                     work_ns_per_item=c.courant)
+            omp.loop(size, hydro_body if d is not None else None,
+                     work_ns_per_item=c.hydro)
+    if d is not None:
+        reduce_time_constraints(d, acc["courant"], acc["hydro"])
+    omp.single(_SERIAL_NS_PER_ITER)
+
+
+def _zero_forces(domain, lo: int, hi: int) -> None:
+    """The reference's force-zeroing loop in ``CalcForceForNodes``."""
+    domain.fx[lo:hi] = 0.0
+    domain.fy[lo:hi] = 0.0
+    domain.fz[lo:hi] = 0.0
+
+
+def _monoq_region(domain, r: int, lo: int, hi: int) -> None:
+    q_k.calc_monotonic_q_region(domain, domain.regions.reg_elem_lists[r], lo, hi)
+
+
+class OmpLuleshProgram:
+    """Multi-iteration OpenMP-structured LULESH run."""
+
+    def __init__(
+        self,
+        omp: OmpRuntime,
+        shape: ProblemShape,
+        costs: KernelCosts,
+        domain: Domain | None = None,
+    ) -> None:
+        self.omp = omp
+        self.shape = shape
+        self.costs = costs
+        self.domain = domain
+
+    def run(self, iterations: int) -> None:
+        """Advance *iterations* leapfrog cycles (or fewer if stoptime hits)."""
+        if iterations < 1:
+            raise ValueError(f"iterations must be >= 1, got {iterations}")
+        for _ in range(iterations):
+            if self.domain is not None:
+                if self.domain.time >= self.domain.opts.stoptime:
+                    break
+                time_increment(self.domain)
+            omp_iteration(self.omp, self.shape, self.costs, self.domain)

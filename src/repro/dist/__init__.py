@@ -1,0 +1,48 @@
+"""Multi-node LULESH — the paper's §VI future work, built out.
+
+"In future work, our LULESH implementation could be extended to run on
+multi-node environments and compared to an MPI-based implementation.  We
+anticipate additional benefits from using the asynchronous mechanisms of
+HPX instead of the mostly synchronous data exchange mechanisms of MPI."
+
+This package provides that extension on the simulated substrate:
+
+* :mod:`~repro.dist.network`       — cluster model: per-node machines plus
+  an interconnect (latency + bandwidth) cost model;
+* :mod:`~repro.dist.decomposition` — z-slab domain decomposition of the
+  cube mesh across ranks;
+* :mod:`~repro.dist.comm`          — an in-process communicator: neighbour
+  sendrecv of node/element planes and min-allreduce, with byte/message
+  accounting;
+* :mod:`~repro.dist.domain`        — :class:`SlabDomain`: a per-rank LULESH
+  domain with communication boundary conditions, ghost gradient planes,
+  and ordered boundary-force summation (results are *bit-identical* to the
+  single-domain reference, independent of rank count);
+* :mod:`~repro.dist.driver`        — the execute-mode distributed leapfrog
+  (real physics, all ranks in-process);
+* :mod:`~repro.dist.timing`        — simulate-mode timing of the two
+  communication styles: MPI-like **synchronous** halo exchange (comm fully
+  exposed at phase barriers) vs HPX-like **asynchronous** exchange (comm
+  overlapped with interior compute, exposed only beyond the overlap
+  budget).
+"""
+
+from repro.dist.comm import CommStats, PlaneExchanger
+from repro.dist.decomposition import SlabDecomposition
+from repro.dist.domain import SlabDomain
+from repro.dist.driver import DistributedDriver, run_distributed_reference
+from repro.dist.network import ClusterConfig, NetworkModel
+from repro.dist.timing import run_hpx_dist, run_mpi_dist
+
+__all__ = [
+    "CommStats",
+    "PlaneExchanger",
+    "SlabDecomposition",
+    "SlabDomain",
+    "DistributedDriver",
+    "run_distributed_reference",
+    "ClusterConfig",
+    "NetworkModel",
+    "run_hpx_dist",
+    "run_mpi_dist",
+]

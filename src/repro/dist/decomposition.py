@@ -1,0 +1,88 @@
+"""Z-slab domain decomposition of the cube mesh.
+
+The global ``nx**3`` mesh is split into contiguous slabs of element planes
+along the zeta (z) axis — the simplest LULESH-style decomposition with the
+same communication structure as the reference's brick decomposition on one
+axis: each rank shares one *node plane* with each zeta neighbour (forces
+and nodal mass are summed across it) and needs one ghost *element plane* of
+monotonic-Q gradients per neighbour.
+
+Slabs are balanced to within one plane (the first ``nx mod R`` ranks get
+the extra plane).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["SlabDecomposition"]
+
+
+@dataclass(frozen=True)
+class SlabInfo:
+    """One rank's share of the global mesh."""
+
+    rank: int
+    z0: int  # first owned element plane (global)
+    nz: int  # owned element planes
+
+    @property
+    def z1(self) -> int:
+        """One past the last owned element plane."""
+        return self.z0 + self.nz
+
+
+class SlabDecomposition:
+    """Splits ``nx`` element planes across ``n_ranks`` zeta slabs."""
+
+    def __init__(self, nx: int, n_ranks: int) -> None:
+        if nx < 1:
+            raise ValueError(f"nx must be >= 1, got {nx}")
+        if n_ranks < 1:
+            raise ValueError(f"n_ranks must be >= 1, got {n_ranks}")
+        if n_ranks > nx:
+            raise ValueError(
+                f"cannot split {nx} element planes across {n_ranks} ranks"
+            )
+        self.nx = nx
+        self.n_ranks = n_ranks
+        base, rem = divmod(nx, n_ranks)
+        self.slabs: list[SlabInfo] = []
+        z0 = 0
+        for r in range(n_ranks):
+            nz = base + (1 if r < rem else 0)
+            self.slabs.append(SlabInfo(rank=r, z0=z0, nz=nz))
+            z0 += nz
+
+    def slab(self, rank: int) -> SlabInfo:
+        """The slab owned by *rank*."""
+        if not 0 <= rank < self.n_ranks:
+            raise ValueError(f"rank {rank} out of range")
+        return self.slabs[rank]
+
+    def elem_range(self, rank: int) -> tuple[int, int]:
+        """Global element index range ``[lo, hi)`` owned by *rank*."""
+        s = self.slab(rank)
+        per_plane = self.nx * self.nx
+        return s.z0 * per_plane, s.z1 * per_plane
+
+    def owned_node_range(self, rank: int) -> tuple[int, int]:
+        """Global node planes ``[z0, z1]`` present on *rank* (inclusive).
+
+        Adjacent ranks both hold the shared plane ``z1 == next rank's z0``.
+        """
+        s = self.slab(rank)
+        return s.z0, s.z1
+
+    def node_owner(self, plane: int) -> int:
+        """The canonical owner of a node plane (lower rank wins ties)."""
+        if not 0 <= plane <= self.nx:
+            raise ValueError(f"node plane {plane} out of range")
+        for s in self.slabs:
+            if s.z0 <= plane <= s.z1:
+                return s.rank
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = ", ".join(f"r{s.rank}:[{s.z0},{s.z1})" for s in self.slabs)
+        return f"SlabDecomposition(nx={self.nx}, {parts})"

@@ -1,0 +1,200 @@
+"""Per-rank slab domain with communication boundaries.
+
+A :class:`SlabDomain` is a full LULESH :class:`~repro.lulesh.domain.Domain`
+over one z-slab of the global mesh, extended with the distributed-memory
+machinery the MPI reference carries:
+
+* **COMM boundary conditions** on interior zeta faces (the local mesh is
+  built with ``zeta_minus/zeta_plus = 'comm'``),
+* **ghost gradient planes**: ``delv_zeta`` grows by one element plane per
+  zeta neighbour and the ``lzetam``/``lzetap`` adjacency of boundary
+  elements is rewired into the ghost slots — the monotonic-Q limiter then
+  reads neighbour-rank gradients exactly like interior ones,
+* **separate per-node partial-force buffers** for the hourglass
+  contribution, so boundary-plane force totals are assembled in the global
+  phase order (all stress partials, then all hourglass partials) — the
+  distributed results then agree with the single-domain reference to
+  parallel-summation round-off (the association of the per-plane partial
+  sums is the only difference), like the MPI reference.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dist.decomposition import SlabDecomposition
+from repro.lulesh.domain import Domain
+from repro.lulesh.mesh import Mesh
+from repro.lulesh.options import LuleshOptions
+from repro.lulesh.regions import RegionSet
+
+__all__ = ["SlabDomain"]
+
+
+class SlabDomain(Domain):
+    """One rank's share of the global problem."""
+
+    def __init__(
+        self,
+        opts: LuleshOptions,
+        decomp: SlabDecomposition,
+        rank: int,
+        global_regions: RegionSet,
+    ) -> None:
+        if decomp.nx != opts.nx:
+            raise ValueError(
+                f"decomposition is for nx={decomp.nx}, options say {opts.nx}"
+            )
+        slab = decomp.slab(rank)
+        self.rank = rank
+        self.decomp = decomp
+        self.slab = slab
+        mesh = Mesh(
+            opts.nx,
+            opts.mesh_edge,
+            nz=slab.nz,
+            z_offset=slab.z0,
+            zeta_minus="symm" if rank == 0 else "comm",
+            zeta_plus="free" if rank == decomp.n_ranks - 1 else "comm",
+        )
+        lo, hi = decomp.elem_range(rank)
+        regions = global_regions.subset(lo, hi)
+        super().__init__(
+            opts, mesh=mesh, regions=regions, deposit_energy=(rank == 0)
+        )
+        self._setup_ghosts()
+        self._setup_plane_indices()
+        self._allocate_partial_buffers()
+
+    # --- distributed structure -------------------------------------------------
+
+    @property
+    def has_lower_neighbor(self) -> bool:
+        return self.rank > 0
+
+    @property
+    def has_upper_neighbor(self) -> bool:
+        return self.rank < self.decomp.n_ranks - 1
+
+    def _setup_ghosts(self) -> None:
+        """Extend ``delv_zeta`` with ghost planes and rewire adjacency.
+
+        Ghost layout: ``[numElem, numElem + P)`` holds the lower neighbour's
+        top plane, ``[numElem + P, numElem + 2P)`` the upper neighbour's
+        bottom plane (P = elements per plane).  Only ``delv_zeta`` needs
+        ghosts for a z-slab split — xi/eta neighbour reads stay in-slab.
+        """
+        ne = self.numElem
+        p = self.mesh.nx * self.mesh.nx
+        self.plane_elems = p
+        extended = np.zeros(ne + 2 * p, dtype=np.float64)
+        extended[:ne] = self.delv_zeta
+        self.delv_zeta = extended
+        self.ghost_below = slice(ne, ne + p)
+        self.ghost_above = slice(ne + p, ne + 2 * p)
+        if self.has_lower_neighbor:
+            bottom = self.mesh.elem_plane(0)
+            self.mesh.lzetam[bottom] = np.arange(ne, ne + p, dtype=np.int64)
+        if self.has_upper_neighbor:
+            top = self.mesh.elem_plane(self.mesh.nz - 1)
+            self.mesh.lzetap[top] = np.arange(ne + p, ne + 2 * p, dtype=np.int64)
+
+    def _setup_plane_indices(self) -> None:
+        """Node/element plane index arrays used by the exchanges."""
+        self.bottom_nodes = self.mesh.node_plane(0)
+        self.top_nodes = self.mesh.node_plane(self.mesh.nz)
+        self.bottom_elems = self.mesh.elem_plane(0)
+        self.top_elems = self.mesh.elem_plane(self.mesh.nz - 1)
+
+    def _allocate_partial_buffers(self) -> None:
+        """Per-node hourglass partials (kept separate for ordered sums)."""
+        nn = self.numNode
+        self.hgfx_node = np.zeros(nn, dtype=np.float64)
+        self.hgfy_node = np.zeros(nn, dtype=np.float64)
+        self.hgfz_node = np.zeros(nn, dtype=np.float64)
+
+    # --- exchange payloads -------------------------------------------------------
+
+    def boundary_mass_partials(self, side: str) -> np.ndarray:
+        """Nodal-mass partial of the shared plane on *side* ('bottom'/'top')."""
+        nodes = self.bottom_nodes if side == "bottom" else self.top_nodes
+        return self.nodalMass[nodes]
+
+    def combine_boundary_mass(
+        self, side: str, neighbor_partial: np.ndarray
+    ) -> None:
+        """Sum mass partials in global (ascending-rank) order."""
+        if side == "bottom":
+            self.nodalMass[self.bottom_nodes] = (
+                neighbor_partial + self.nodalMass[self.bottom_nodes]
+            )
+        else:
+            self.nodalMass[self.top_nodes] = (
+                self.nodalMass[self.top_nodes] + neighbor_partial
+            )
+
+    def force_partials(self, side: str) -> dict[str, np.ndarray]:
+        """Stress and hourglass force partials of a shared node plane."""
+        nodes = self.bottom_nodes if side == "bottom" else self.top_nodes
+        return {
+            "sx": self.fx[nodes], "sy": self.fy[nodes], "sz": self.fz[nodes],
+            "hx": self.hgfx_node[nodes], "hy": self.hgfy_node[nodes],
+            "hz": self.hgfz_node[nodes],
+        }
+
+    def combine_boundary_forces(
+        self,
+        side: str,
+        own: dict[str, np.ndarray],
+        neighbor: dict[str, np.ndarray],
+    ) -> None:
+        """Assemble shared-plane totals in the global summation order.
+
+        The single-domain reference computes ``f = stress_sum`` then
+        ``f += hourglass_sum``, each sum running over elements in ascending
+        global order.  For a shared plane, elements below the plane (the
+        lower rank's) precede elements above it, so the exact global result
+        is ``(S_below + S_above) + (H_below + H_above)``.
+
+        *own* must be the rank's **pure** partials captured before
+        :meth:`interior_force_total` folded the hourglass term in.
+        """
+        nodes = self.bottom_nodes if side == "bottom" else self.top_nodes
+        for f, skey, hkey in (
+            (self.fx, "sx", "hx"),
+            (self.fy, "sy", "hy"),
+            (self.fz, "sz", "hz"),
+        ):
+            if side == "bottom":  # neighbour is below
+                f[nodes] = (neighbor[skey] + own[skey]) + (
+                    neighbor[hkey] + own[hkey]
+                )
+            else:  # neighbour is above
+                f[nodes] = (own[skey] + neighbor[skey]) + (
+                    own[hkey] + neighbor[hkey]
+                )
+
+    def interior_force_total(self) -> None:
+        """``f += hourglass`` for all nodes (shared planes fixed up after)."""
+        self.fx += self.hgfx_node
+        self.fy += self.hgfy_node
+        self.fz += self.hgfz_node
+
+    def gradient_plane(self, side: str) -> np.ndarray:
+        """Own boundary-plane ``delv_zeta`` values (to send to a neighbour)."""
+        elems = self.bottom_elems if side == "bottom" else self.top_elems
+        return self.delv_zeta[elems]
+
+    def store_gradient_ghosts(self, side: str, values: np.ndarray) -> None:
+        """Install a neighbour's boundary-plane gradients into the ghosts."""
+        if values.shape != (self.plane_elems,):
+            raise ValueError(
+                f"ghost plane must have {self.plane_elems} values, "
+                f"got {values.shape}"
+            )
+        if side == "below":
+            self.delv_zeta[self.ghost_below] = values
+        elif side == "above":
+            self.delv_zeta[self.ghost_above] = values
+        else:
+            raise ValueError(f"side must be 'below' or 'above', got {side!r}")

@@ -1,0 +1,310 @@
+"""Execute-mode distributed leapfrog: real physics across slab ranks.
+
+Advances all ranks in lockstep inside one process, performing the
+distributed algorithm's exact data movements (partial-force plane sums,
+gradient ghost planes, dt allreduce) through the accounted
+:class:`~repro.dist.comm.PlaneExchanger`.
+
+Communication structure per iteration (matching the MPI reference's three
+comm phases):
+
+1. **force exchange** — after the element force kernels, the shared node
+   planes' stress/hourglass partials are summed across neighbours;
+2. **gradient exchange** — after ``CalcMonotonicQGradients``, each rank
+   ships its boundary element plane of ``delv_zeta`` to the neighbour's
+   ghost slots;
+3. **dt allreduce** — the Courant/hydro minima are reduced globally.
+
+Results agree with the single-domain reference to parallel-summation
+round-off for any rank count (ordered boundary summation — see
+:class:`SlabDomain`); the only difference is the association of the
+per-plane partial sums.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dist.comm import PlaneExchanger
+from repro.dist.decomposition import SlabDecomposition
+from repro.dist.domain import SlabDomain
+from repro.lulesh.kernels.constraints import (
+    calc_courant_constraint,
+    calc_hydro_constraint,
+    reduce_time_constraints,
+    time_increment,
+)
+from repro.lulesh.kernels.eos import (
+    apply_material_properties_prologue,
+    eval_eos_region,
+    update_volumes,
+)
+from repro.lulesh.kernels.hourglass import (
+    calc_fb_hourglass_force,
+    calc_hourglass_control,
+)
+from repro.lulesh.kernels.kinematics import (
+    calc_kinematics,
+    calc_lagrange_elements_part2,
+)
+from repro.lulesh.kernels.nodal import (
+    apply_acceleration_bc,
+    calc_acceleration,
+    calc_position,
+    calc_velocity,
+)
+from repro.lulesh.kernels.qcalc import (
+    calc_monotonic_q_gradients,
+    calc_monotonic_q_region,
+    check_q_stop,
+)
+from repro.lulesh.kernels.stress import init_stress_terms, integrate_stress
+from repro.lulesh.options import LuleshOptions
+from repro.lulesh.regions import RegionSet
+
+__all__ = ["DistributedDriver", "DistributedSummary", "run_distributed_reference"]
+
+
+@dataclass(frozen=True)
+class DistributedSummary:
+    """Outcome of a distributed run."""
+
+    n_ranks: int
+    cycles: int
+    final_time: float
+    final_dt: float
+    origin_energy: float
+    total_messages: int
+    total_bytes: int
+
+
+class DistributedDriver:
+    """Lockstep distributed leapfrog over all slab ranks."""
+
+    def __init__(self, opts: LuleshOptions, n_ranks: int) -> None:
+        self.opts = opts
+        self.decomp = SlabDecomposition(opts.nx, n_ranks)
+        self.comm = PlaneExchanger(n_ranks)
+        global_regions = RegionSet(
+            num_elem=opts.numElem,
+            num_reg=opts.numReg,
+            balance=opts.region_balance,
+            cost=opts.region_cost,
+        )
+        self.domains = [
+            SlabDomain(opts, self.decomp, r, global_regions)
+            for r in range(n_ranks)
+        ]
+        self._finalize_nodal_mass()
+
+    @property
+    def n_ranks(self) -> int:
+        return self.decomp.n_ranks
+
+    # --- exchanges -------------------------------------------------------------
+
+    def _neighbor_exchange(self, payload_fn, combine_fn) -> None:
+        """Generic shared-plane exchange between zeta neighbours.
+
+        ``payload_fn(domain, side)`` produces the outgoing plane data for
+        'bottom'/'top'; ``combine_fn(domain, side, received)`` installs the
+        neighbour's.  Posts first (non-blocking send), then fetches.
+        """
+        self.comm.start_phase()
+        for d in self.domains:
+            if d.has_lower_neighbor:
+                self.comm.post(d.rank, d.rank - 1, "up", payload_fn(d, "bottom"))
+            if d.has_upper_neighbor:
+                self.comm.post(d.rank, d.rank + 1, "down", payload_fn(d, "top"))
+        for d in self.domains:
+            if d.has_lower_neighbor:
+                combine_fn(d, "bottom", self.comm.fetch(d.rank, d.rank - 1, "down"))
+            if d.has_upper_neighbor:
+                combine_fn(d, "top", self.comm.fetch(d.rank, d.rank + 1, "up"))
+
+    def _finalize_nodal_mass(self) -> None:
+        """Sum nodal-mass partials across shared planes (once, at init)."""
+        self._neighbor_exchange(
+            lambda d, side: d.boundary_mass_partials(side),
+            lambda d, side, recv: d.combine_boundary_mass(side, recv),
+        )
+
+    @staticmethod
+    def _stack(p: dict[str, np.ndarray]) -> np.ndarray:
+        return np.stack([p["sx"], p["sy"], p["sz"], p["hx"], p["hy"], p["hz"]])
+
+    @staticmethod
+    def _unstack(recv: np.ndarray) -> dict[str, np.ndarray]:
+        return {
+            "sx": recv[0], "sy": recv[1], "sz": recv[2],
+            "hx": recv[3], "hy": recv[4], "hz": recv[5],
+        }
+
+    def _exchange_forces(self) -> None:
+        # Capture the PURE partials before interior totals fold the
+        # hourglass term into fx/fy/fz; post them, form interior totals,
+        # then assemble the shared planes in global summation order from
+        # (own pure partials, received pure partials).
+        self.comm.start_phase()
+        own: dict[tuple[int, str], np.ndarray] = {}
+        for d in self.domains:
+            if d.has_lower_neighbor:
+                p = self._stack(d.force_partials("bottom"))
+                own[(d.rank, "bottom")] = p
+                self.comm.post(d.rank, d.rank - 1, "up", p)
+            if d.has_upper_neighbor:
+                p = self._stack(d.force_partials("top"))
+                own[(d.rank, "top")] = p
+                self.comm.post(d.rank, d.rank + 1, "down", p)
+        for d in self.domains:
+            d.interior_force_total()
+        for d in self.domains:
+            if d.has_lower_neighbor:
+                recv = self.comm.fetch(d.rank, d.rank - 1, "down")
+                d.combine_boundary_forces(
+                    "bottom",
+                    self._unstack(own[(d.rank, "bottom")]),
+                    self._unstack(recv),
+                )
+            if d.has_upper_neighbor:
+                recv = self.comm.fetch(d.rank, d.rank + 1, "up")
+                d.combine_boundary_forces(
+                    "top",
+                    self._unstack(own[(d.rank, "top")]),
+                    self._unstack(recv),
+                )
+
+    def _exchange_gradients(self) -> None:
+        self.comm.start_phase()
+        for d in self.domains:
+            if d.has_lower_neighbor:
+                self.comm.post(d.rank, d.rank - 1, "up", d.gradient_plane("bottom"))
+            if d.has_upper_neighbor:
+                self.comm.post(d.rank, d.rank + 1, "down", d.gradient_plane("top"))
+        for d in self.domains:
+            if d.has_lower_neighbor:
+                d.store_gradient_ghosts(
+                    "below", self.comm.fetch(d.rank, d.rank - 1, "down")
+                )
+            if d.has_upper_neighbor:
+                d.store_gradient_ghosts(
+                    "above", self.comm.fetch(d.rank, d.rank + 1, "up")
+                )
+
+    # --- one iteration -----------------------------------------------------------
+
+    def step(self) -> None:
+        """One distributed leapfrog cycle."""
+        for d in self.domains:
+            time_increment(d)
+        dt = self.domains[0].deltatime
+
+        # LagrangeNodal: element force kernels + per-node partial sums.
+        for d in self.domains:
+            ne = d.numElem
+            init_stress_terms(d, 0, ne)
+            integrate_stress(d, 0, ne)
+            calc_hourglass_control(d, 0, ne)
+            calc_fb_hourglass_force(d, 0, ne)
+            mesh = d.mesh
+            mesh.sum_corners_to_nodes(d.fx_elem, d.fx)
+            mesh.sum_corners_to_nodes(d.fy_elem, d.fy)
+            mesh.sum_corners_to_nodes(d.fz_elem, d.fz)
+            mesh.sum_corners_to_nodes(d.hgfx_elem, d.hgfx_node)
+            mesh.sum_corners_to_nodes(d.hgfy_elem, d.hgfy_node)
+            mesh.sum_corners_to_nodes(d.hgfz_elem, d.hgfz_node)
+
+        self._exchange_forces()
+
+        for d in self.domains:
+            nn = d.numNode
+            calc_acceleration(d, 0, nn)
+            apply_acceleration_bc(d)
+            calc_velocity(d, 0, nn, dt)
+            calc_position(d, 0, nn, dt)
+
+        # LagrangeElements.
+        for d in self.domains:
+            ne = d.numElem
+            calc_kinematics(d, 0, ne, dt)
+            calc_lagrange_elements_part2(d, 0, ne)
+            calc_monotonic_q_gradients(d, 0, ne)
+
+        self._exchange_gradients()
+
+        for d in self.domains:
+            regions = d.regions
+            for r in range(regions.num_reg):
+                calc_monotonic_q_region(d, regions.reg_elem_lists[r], 0, None)
+            check_q_stop(d, 0, d.numElem)
+            apply_material_properties_prologue(d, 0, d.numElem)
+            for r in range(regions.num_reg):
+                eval_eos_region(d, regions.reg_elem_lists[r], regions.rep(r))
+            update_volumes(d, 0, d.numElem)
+
+        # Time constraints: local minima, then global allreduce.
+        courants, hydros = [], []
+        for d in self.domains:
+            regions = d.regions
+            c = h = 1.0e20
+            for r in range(regions.num_reg):
+                lst = regions.reg_elem_lists[r]
+                c = min(c, calc_courant_constraint(d, lst))
+                h = min(h, calc_hydro_constraint(d, lst))
+            courants.append(c)
+            hydros.append(h)
+        gc = self.comm.allreduce_min(courants)
+        gh = self.comm.allreduce_min(hydros)
+        for d in self.domains:
+            reduce_time_constraints(d, gc, gh)
+
+    def run(self, max_iterations: int | None = None) -> DistributedSummary:
+        """Advance until ``stoptime`` or the iteration cap."""
+        d0 = self.domains[0]
+        cap = max_iterations if max_iterations is not None else (
+            self.opts.max_iterations
+        )
+        while d0.time < self.opts.stoptime:
+            if cap is not None and d0.cycle >= cap:
+                break
+            self.step()
+        return DistributedSummary(
+            n_ranks=self.n_ranks,
+            cycles=d0.cycle,
+            final_time=d0.time,
+            final_dt=d0.deltatime,
+            origin_energy=float(d0.e[0]),
+            total_messages=self.comm.total_messages(),
+            total_bytes=self.comm.total_bytes(),
+        )
+
+    # --- gather (validation) ------------------------------------------------------
+
+    def gather_elem_field(self, name: str) -> np.ndarray:
+        """Global element field assembled from the slabs."""
+        return np.concatenate(
+            [getattr(d, name)[: d.numElem] for d in self.domains]
+        )
+
+    def gather_node_field(self, name: str) -> np.ndarray:
+        """Global node field (shared planes taken from the lower rank)."""
+        parts = []
+        plane = (self.opts.nx + 1) ** 2
+        for d in self.domains:
+            arr = getattr(d, name)
+            if d.rank == 0:
+                parts.append(arr)
+            else:
+                parts.append(arr[plane:])  # skip the shared bottom plane
+        return np.concatenate(parts)
+
+
+def run_distributed_reference(
+    opts: LuleshOptions, n_ranks: int, max_iterations: int | None = None
+) -> tuple[DistributedDriver, DistributedSummary]:
+    """Build and run a distributed reference; returns driver + summary."""
+    driver = DistributedDriver(opts, n_ranks)
+    summary = driver.run(max_iterations)
+    return driver, summary

@@ -1,0 +1,67 @@
+"""Cluster model: nodes plus an interconnect cost model.
+
+Message cost follows the classic alpha-beta (Hockney) model:
+``latency + bytes / bandwidth``.  Defaults approximate a commodity HPC
+interconnect (HDR InfiniBand-class: ~1.5 us latency, ~25 GB/s effective
+per-link bandwidth).  The allreduce uses the standard recursive-doubling
+estimate: ``ceil(log2 R)`` rounds of small messages.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.simcore.costmodel import CostModel
+from repro.simcore.machine import MachineConfig
+
+__all__ = ["NetworkModel", "ClusterConfig"]
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """Alpha-beta interconnect cost model (integer nanoseconds / bytes)."""
+
+    latency_ns: int = 1_500
+    bandwidth_bytes_per_ns: float = 25.0  # 25 GB/s effective
+
+    def __post_init__(self) -> None:
+        if self.latency_ns < 0:
+            raise ValueError(f"latency must be non-negative, got {self.latency_ns}")
+        if self.bandwidth_bytes_per_ns <= 0:
+            raise ValueError(
+                f"bandwidth must be positive, got {self.bandwidth_bytes_per_ns}"
+            )
+
+    def message_ns(self, nbytes: int) -> int:
+        """Point-to-point message cost."""
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be non-negative, got {nbytes}")
+        return self.latency_ns + int(round(nbytes / self.bandwidth_bytes_per_ns))
+
+    def sendrecv_ns(self, nbytes_each_way: int) -> int:
+        """Bidirectional neighbour exchange (full-duplex link: one cost)."""
+        return self.message_ns(nbytes_each_way)
+
+    def allreduce_ns(self, n_ranks: int, nbytes: int = 8) -> int:
+        """Small-payload allreduce: recursive doubling rounds."""
+        if n_ranks < 1:
+            raise ValueError(f"n_ranks must be >= 1, got {n_ranks}")
+        if n_ranks == 1:
+            return 0
+        rounds = math.ceil(math.log2(n_ranks))
+        return rounds * self.message_ns(nbytes)
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """A homogeneous cluster: *n_nodes* copies of *machine* on *network*."""
+
+    n_nodes: int = 4
+    machine: MachineConfig = field(default_factory=MachineConfig)
+    cost_model: CostModel = field(default_factory=CostModel)
+    network: NetworkModel = field(default_factory=NetworkModel)
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 1:
+            raise ValueError(f"n_nodes must be >= 1, got {self.n_nodes}")

@@ -1,0 +1,32 @@
+"""Experiment harness: regenerates every table and figure of the paper.
+
+* :mod:`~repro.harness.experiments` — Fig. 9 / Fig. 10 / Fig. 11 / Table I
+  and the Figs. 5-8 optimization-ladder ablation (DESIGN.md E1-E6);
+* :mod:`~repro.harness.report` — paper-style text tables, CSV in the
+  artifact's ``size,regions,iterations,threads,runtime,result`` format,
+  and speed-up math;
+* :mod:`~repro.harness.calibration` — the shape targets the cost-model
+  calibration must satisfy (asserted by the integration tests);
+* :mod:`~repro.harness.cli` — the ``lulesh-hpx`` command-line front end
+  mirroring the artifact's flags (``--s``, ``--r``, ``--i``, ``--q``,
+  ``--hpx:threads``).
+"""
+
+from repro.harness.experiments import (
+    ablation_experiment,
+    fig9_experiment,
+    fig10_experiment,
+    fig11_experiment,
+    table1_experiment,
+)
+from repro.harness.report import artifact_csv_row, speedup
+
+__all__ = [
+    "fig9_experiment",
+    "fig10_experiment",
+    "fig11_experiment",
+    "table1_experiment",
+    "ablation_experiment",
+    "artifact_csv_row",
+    "speedup",
+]

@@ -1,0 +1,126 @@
+"""Shape targets the calibrated cost model must reproduce (DESIGN.md §4/§6).
+
+These are the *qualitative claims of the paper's evaluation*, expressed as
+machine-checkable predicates over the simulated experiments.  The
+integration test-suite asserts them; if a cost-model change breaks a
+target, the reproduction no longer tracks the paper.
+
+Paper-vs-measured values for every element are recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ShapeTarget", "SHAPE_TARGETS", "check_fig10_speedups"]
+
+
+@dataclass(frozen=True)
+class ShapeTarget:
+    """One qualitative claim with its paper reference."""
+
+    name: str
+    claim: str
+    paper_ref: str
+
+
+SHAPE_TARGETS = (
+    ShapeTarget(
+        "speedup-small",
+        "HPX/OMP speed-up at s=45, 24 threads, 11 regions in [2.0, 2.6] "
+        "(paper: 2.25x)",
+        "Fig. 10",
+    ),
+    ShapeTarget(
+        "speedup-large",
+        "HPX/OMP speed-up at s=150, 24 threads, 11 regions in [1.15, 1.45] "
+        "(paper: ~1.33x)",
+        "Fig. 10",
+    ),
+    ShapeTarget(
+        "speedup-decreases",
+        "speed-up at s=45 exceeds s=150 (decays with problem size)",
+        "Fig. 10",
+    ),
+    ShapeTarget(
+        "speedup-grows-with-regions",
+        "at fixed size, more regions give larger speed-up",
+        "Fig. 10",
+    ),
+    ShapeTarget(
+        "omp-single-thread-wins",
+        "at 1 thread the OpenMP version is faster than HPX",
+        "Fig. 9 / §V-A",
+    ),
+    ShapeTarget(
+        "best-at-24-threads",
+        "both runtimes reach their minimum at 16-24 threads; >24 threads "
+        "(SMT) is slower than 24",
+        "Fig. 9",
+    ),
+    ShapeTarget(
+        "hpx-wins-small-early",
+        "for s in {45, 60}, HPX is already faster at 2 threads",
+        "Fig. 9 / §V-A",
+    ),
+    ShapeTarget(
+        "omp-wins-large-few-threads",
+        "for s in {120, 150}, OpenMP is faster below 16 threads",
+        "Fig. 9 / §V-A",
+    ),
+    ShapeTarget(
+        "utilization-ordering",
+        "HPX productive-time ratio exceeds OpenMP's at every size; both "
+        "increase with size; HPX saturates (>=95%) above s=90 while OpenMP "
+        "stays below 90%",
+        "Fig. 11",
+    ),
+    ShapeTarget(
+        "naive-port-slower",
+        "the for_each port [16] is slower than the OpenMP reference",
+        "§III / §IV",
+    ),
+    ShapeTarget(
+        "ablation-monotone",
+        "each optimization rung (Figs. 5-8) is at least as fast as the "
+        "previous",
+        "§IV",
+    ),
+    ShapeTarget(
+        "partition-size-matters",
+        "a too-coarse partition loses at small sizes; a too-fine partition "
+        "loses at large sizes; the optimum grows with problem size",
+        "Table I / §V-A",
+    ),
+)
+
+
+def check_fig10_speedups(records: list[dict]) -> list[str]:
+    """Validate Fig.-10 records against the speed-up shape targets.
+
+    Returns a list of violated target descriptions (empty when all hold).
+    """
+    violations = []
+    by_key = {(r["size"], r["regions"]): r["speedup"] for r in records}
+
+    s45 = by_key.get((45, 11))
+    if s45 is not None and not 2.0 <= s45 <= 2.6:
+        violations.append(f"speedup-small: got {s45:.2f}, want [2.0, 2.6]")
+    s150 = by_key.get((150, 11))
+    if s150 is not None and not 1.15 <= s150 <= 1.45:
+        violations.append(f"speedup-large: got {s150:.2f}, want [1.15, 1.45]")
+    if s45 is not None and s150 is not None and not s45 > s150:
+        violations.append("speedup-decreases: s=45 not above s=150")
+
+    sizes = sorted({r["size"] for r in records})
+    regions = sorted({r["regions"] for r in records})
+    if len(regions) >= 2:
+        for s in sizes:
+            vals = [by_key[(s, r)] for r in regions if (s, r) in by_key]
+            if len(vals) == len(regions) and not all(
+                b >= a * 0.98 for a, b in zip(vals, vals[1:])
+            ):
+                violations.append(
+                    f"speedup-grows-with-regions: size {s} gives {vals}"
+                )
+    return violations

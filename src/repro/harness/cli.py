@@ -1,0 +1,367 @@
+"""``lulesh-hpx`` command line, mirroring the paper artifact's interface.
+
+Single-run mode reproduces the artifact's flags::
+
+    lulesh-hpx --s 45 --r 11 --i 50 --q --hpx:threads=24
+    lulesh-hpx --impl omp --s 45 --i 50 --threads 24
+
+and prints the run "in a CSV-compatible format" with the artifact's header
+``size,regions,iterations,threads,runtime,result``.
+
+Experiment mode regenerates a whole paper element::
+
+    lulesh-hpx --experiment fig9
+    lulesh-hpx --experiment fig10 --csv out.csv
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.driver import run_hpx, run_naive_hpx, run_omp
+from repro.core.hpx_lulesh import HpxVariant
+from repro.harness import experiments as exp
+from repro.harness.report import (
+    ARTIFACT_CSV_HEADER,
+    records_to_csv,
+    render_table,
+)
+from repro.lulesh.options import LuleshOptions
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the lulesh-hpx argument parser (artifact-compatible flags)."""
+    parser = argparse.ArgumentParser(
+        prog="lulesh-hpx",
+        description=(
+            "Task-based LULESH on a simulated multicore — reproduction of "
+            "'Speeding-Up LULESH on HPX' (SC 2024)"
+        ),
+    )
+    parser.add_argument("--s", type=int, default=30, help="problem size (mesh edge)")
+    parser.add_argument("--r", type=int, default=11, help="number of regions")
+    parser.add_argument("--i", type=int, default=10, help="number of iterations")
+    parser.add_argument("--q", action="store_true", help="suppress verbose output")
+    parser.add_argument(
+        "--hpx:threads", dest="hpx_threads", type=int, default=None,
+        help="number of execution threads (HPX form)",
+    )
+    parser.add_argument(
+        "--threads", type=int, default=24, help="number of execution threads"
+    )
+    parser.add_argument(
+        "--impl",
+        choices=("hpx", "omp", "naive"),
+        default="hpx",
+        help="which implementation to run",
+    )
+    parser.add_argument(
+        "--execute",
+        action="store_true",
+        help="run the real physics (default: timing-only simulation)",
+    )
+    parser.add_argument(
+        "--experiment",
+        choices=("fig9", "fig10", "fig11", "table1", "ablation",
+                 "multinode", "scheduler"),
+        default=None,
+        help="regenerate a paper element (or a future-work extension) "
+             "instead of a single run",
+    )
+    parser.add_argument(
+        "--csv", default=None, help="write experiment records to this CSV file"
+    )
+    parser.add_argument(
+        "--variant",
+        choices=("full", "fig5", "fig6", "fig7"),
+        default="full",
+        help="HPX optimization-ladder variant for single runs",
+    )
+    parser.add_argument(
+        "--chart",
+        action="store_true",
+        help="also render ASCII charts for fig9/fig10 experiments",
+    )
+    parser.add_argument(
+        "--trace",
+        default=None,
+        help="write a chrome://tracing JSON of one iteration's task "
+             "schedule to this path (hpx single runs only)",
+    )
+    parser.add_argument(
+        "--save-checkpoint",
+        default=None,
+        help="after an --execute run, save the physics state to this .npz",
+    )
+    parser.add_argument(
+        "--restore-checkpoint",
+        default=None,
+        help="before an --execute run, restore the physics state from "
+             "this .npz (must match --s/--r)",
+    )
+    parser.add_argument(
+        "--vtk",
+        default=None,
+        help="after an --execute run, write the final state as a legacy "
+             "VTK file (view in ParaView)",
+    )
+    parser.add_argument(
+        "--artifact-dir",
+        default=None,
+        help="run the artifact-evaluation flow (run-reduced.sh + "
+             "generate-graphs.py equivalents) into this directory",
+    )
+    return parser
+
+
+def _single_run(args: argparse.Namespace) -> int:
+    threads = args.hpx_threads if args.hpx_threads is not None else args.threads
+    opts = LuleshOptions(
+        nx=args.s, numReg=args.r,
+        max_iterations=args.i if args.execute else None,
+    )
+    if args.trace and args.impl == "hpx":
+        _write_trace(args, opts, threads)
+    if (args.save_checkpoint or args.restore_checkpoint) and not args.execute:
+        raise SystemExit("checkpointing requires --execute (real physics)")
+    if args.restore_checkpoint:
+        # Restored runs drive the sequential reference (the orchestrations
+        # produce identical physics; see the equivalence tests).
+        from repro.lulesh.checkpoint import restore_checkpoint
+        from repro.lulesh.domain import Domain
+        from repro.lulesh.reference import SequentialDriver
+
+        domain = Domain(opts)
+        restore_checkpoint(domain, args.restore_checkpoint)
+        drv = SequentialDriver(domain)
+        start_cycle = domain.cycle
+        for _ in range(args.i):
+            if domain.time >= opts.stoptime:
+                break
+            drv.step()
+        if args.save_checkpoint:
+            from repro.lulesh.checkpoint import save_checkpoint
+
+            save_checkpoint(domain, args.save_checkpoint)
+        if not args.q:
+            print(f"restored at cycle {start_cycle}, advanced to "
+                  f"cycle {domain.cycle} (t={domain.time:.6e})")
+        print(",".join(ARTIFACT_CSV_HEADER))
+        print(f"{args.s},{args.r},{domain.cycle},{threads},0.0,"
+              f"{domain.origin_energy():.6e}")
+        return 0
+    if args.impl == "hpx":
+        variant = {
+            "full": HpxVariant.full,
+            "fig5": HpxVariant.fig5,
+            "fig6": HpxVariant.fig6,
+            "fig7": HpxVariant.fig7,
+        }[args.variant]()
+        result = run_hpx(opts, threads, args.i, execute=args.execute,
+                         variant=variant)
+    else:
+        runner = {"omp": run_omp, "naive": run_naive_hpx}[args.impl]
+        result = runner(opts, threads, args.i, execute=args.execute)
+    if args.save_checkpoint and result.domain is not None:
+        from repro.lulesh.checkpoint import save_checkpoint
+
+        save_checkpoint(result.domain, args.save_checkpoint)
+        if not args.q:
+            print(f"saved checkpoint to {args.save_checkpoint}")
+    if args.vtk and result.domain is not None:
+        from repro.lulesh.vtkout import write_vtk
+
+        write_vtk(result.domain, args.vtk)
+        if not args.q:
+            print(f"wrote VTK state to {args.vtk}")
+    origin_e = result.domain.origin_energy() if result.domain is not None else 0.0
+    if not args.q:
+        print(f"impl={args.impl} size={args.s} regions={args.r} "
+              f"threads={threads} iterations={result.iterations}")
+        print(f"simulated runtime: {result.runtime_s:.6f} s "
+              f"({result.per_iteration_ns/1e6:.3f} ms/iteration)")
+        print(f"worker utilization: {result.utilization:.3f}")
+        if result.domain is not None:
+            print(f"final origin energy: {origin_e:.6e}")
+    print(",".join(ARTIFACT_CSV_HEADER))
+    print(
+        f"{args.s},{args.r},{result.iterations},{threads},"
+        f"{result.runtime_s:.6f},{origin_e:.6e}"
+    )
+    return 0
+
+
+_EXPERIMENTS = {
+    "fig9": (
+        exp.fig9_experiment,
+        ("size", "regions", "threads", "omp_ms_per_iter", "hpx_ms_per_iter", "speedup"),
+        "Fig. 9: runtime over threads per problem size",
+    ),
+    "fig10": (
+        exp.fig10_experiment,
+        ("size", "regions", "threads", "omp_ms_per_iter", "hpx_ms_per_iter", "speedup"),
+        "Fig. 10: HPX speed-up over size and regions (24 threads)",
+    ),
+    "fig11": (
+        exp.fig11_experiment,
+        ("size", "threads", "omp_utilization", "hpx_utilization"),
+        "Fig. 11: productive-time ratio",
+    ),
+    "table1": (
+        exp.table1_experiment,
+        ("size", "nodal_partition", "elements_partition", "hpx_ms_per_iter"),
+        "Table I: partition-size sweep",
+    ),
+    "ablation": (
+        exp.ablation_experiment,
+        ("size", "variant", "ms_per_iter", "speedup_vs_omp"),
+        "Figs. 4-8: optimization ladder",
+    ),
+    "multinode": (
+        lambda: _multinode_experiment(),
+        ("network", "nodes", "mpi_ms_per_iter", "mpi_comm_frac",
+         "hpx_ms_per_iter", "hpx_comm_frac", "hpx_speedup"),
+        "Multi-node (§VI future work): MPI-sync vs HPX-async exchange",
+    ),
+    "scheduler": (
+        lambda: _scheduler_experiment(),
+        ("policy", "ms_per_iter", "speedup_vs_omp"),
+        "Scheduler-policy ablation (beyond the paper)",
+    ),
+}
+
+
+def _experiment(args: argparse.Namespace) -> int:
+    fn, columns, title = _EXPERIMENTS[args.experiment]
+    records = fn()
+    print(render_table(records, columns, title=title))
+    if args.experiment == "table1":
+        from repro.harness.experiments import best_partitions
+
+        print("\nBest partition sizes found (cf. paper Table I):")
+        for s, (pn, pe) in sorted(best_partitions(records).items()):
+            print(f"  size {s:4d}: LagrangeNodal {pn:6d}  LagrangeElements {pe:6d}")
+    if args.chart and args.experiment in ("fig9", "fig10"):
+        from repro.harness.plotting import fig9_chart, fig10_chart
+
+        print()
+        if args.experiment == "fig9":
+            for size in sorted({r["size"] for r in records}):
+                print(fig9_chart(records, size))
+                print()
+        else:
+            print(fig10_chart(records))
+    if args.csv:
+        with open(args.csv, "w", encoding="utf-8") as fh:
+            fh.write(records_to_csv(records, columns))
+        if not args.q:
+            print(f"\nwrote {len(records)} records to {args.csv}")
+    return 0
+
+
+def _multinode_experiment() -> list[dict]:
+    """§VI future work: MPI-sync vs HPX-async over node counts."""
+    from repro.dist.network import ClusterConfig, NetworkModel
+    from repro.dist.timing import run_hpx_dist, run_mpi_dist
+
+    opts = LuleshOptions(nx=90, numReg=11)
+    records = []
+    for net_name, net in (
+        ("infiniband", NetworkModel()),
+        ("ethernet", NetworkModel(latency_ns=30_000, bandwidth_bytes_per_ns=1.2)),
+    ):
+        for n in (1, 2, 3, 5, 9, 15):
+            cl = ClusterConfig(n_nodes=n, network=net)
+            m = run_mpi_dist(opts, cl, 24, 1)
+            h = run_hpx_dist(opts, cl, 24, 1)
+            records.append({
+                "network": net_name,
+                "nodes": n,
+                "mpi_ms_per_iter": m.per_iteration_ns / 1e6,
+                "mpi_comm_frac": m.comm_fraction,
+                "hpx_ms_per_iter": h.per_iteration_ns / 1e6,
+                "hpx_comm_frac": h.comm_fraction,
+                "hpx_speedup": m.runtime_ns / h.runtime_ns,
+            })
+    return records
+
+
+def _scheduler_experiment() -> list[dict]:
+    """Scheduler-discipline ablation at s=45, 24 workers."""
+    from repro.core.hpx_lulesh import HpxVariant as _HV
+    from repro.simcore.policy import SchedulerPolicy
+
+    opts = LuleshOptions(nx=45, numReg=11)
+    omp = run_omp(opts, 24, 1)
+    records = []
+    for name, policy in (
+        ("hpx-default", SchedulerPolicy.hpx_default()),
+        ("fifo-local", SchedulerPolicy(local_order="fifo")),
+        ("lifo-steal", SchedulerPolicy(steal_order="lifo")),
+        ("steal-half", SchedulerPolicy(steal_half=True)),
+        ("priorities", SchedulerPolicy(use_priorities=True)),
+    ):
+        res = run_hpx(
+            opts, 24, 1, policy=policy,
+            variant=_HV(prioritize_expensive_regions=policy.use_priorities),
+        )
+        records.append({
+            "policy": name,
+            "ms_per_iter": res.per_iteration_ns / 1e6,
+            "speedup_vs_omp": omp.runtime_ns / res.runtime_ns,
+        })
+    return records
+
+
+def _write_trace(args: argparse.Namespace, opts: LuleshOptions,
+                 threads: int) -> None:
+    """Record one iteration's task spans and export a Chrome trace."""
+    from repro.amt.runtime import AmtRuntime
+    from repro.core.hpx_lulesh import HpxLuleshProgram
+    from repro.core.kernel_graph import ProblemShape
+    from repro.core.partitioning import table1_partition_sizes
+    from repro.harness.traceview import write_chrome_trace
+    from repro.lulesh.costs import DEFAULT_COSTS
+    from repro.simcore.costmodel import CostModel
+    from repro.simcore.machine import MachineConfig
+
+    rt = AmtRuntime(MachineConfig(), CostModel(), threads, record_spans=True)
+    pn, pe = table1_partition_sizes(opts.nx)
+    program = HpxLuleshProgram(
+        rt, ProblemShape.from_options(opts), DEFAULT_COSTS,
+        nodal_partition=pn, elements_partition=pe,
+    )
+    program.build_iteration()
+    rt.flush()
+    write_chrome_trace(args.trace, rt.stats.trace.spans,
+                       process_name=f"lulesh-hpx s={opts.nx} T={threads}")
+    if not args.q:
+        print(f"wrote task-schedule trace ({len(rt.stats.trace.spans)} spans) "
+              f"to {args.trace}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.artifact_dir is not None:
+        from repro.harness.artifact import (
+            analyze_artifact_csvs,
+            run_artifact_evaluation,
+        )
+
+        hpx_csv, ref_csv = run_artifact_evaluation(args.artifact_dir)
+        result = analyze_artifact_csvs(hpx_csv, ref_csv, charts=args.chart)
+        print(result["report"])
+        if not args.q:
+            print(f"\nwrote {hpx_csv} and {ref_csv}")
+        return 0
+    if args.experiment is not None:
+        return _experiment(args)
+    return _single_run(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

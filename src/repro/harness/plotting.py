@@ -1,0 +1,111 @@
+"""ASCII line/bar charts for the experiment tables (no plotting deps).
+
+The artifact ships a matplotlib script (``generate-graphs.py``); this
+offline reproduction renders the same series as terminal charts instead —
+log-scaled runtime curves for Fig. 9 and speed-up bars for Fig. 10.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+__all__ = ["line_chart", "bar_chart", "fig9_chart", "fig10_chart"]
+
+
+def line_chart(
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    width: int = 64,
+    height: int = 16,
+    log_y: bool = False,
+    title: str | None = None,
+) -> str:
+    """Plot named (x, y) series as an ASCII chart.
+
+    Each series gets a marker (its name's first character).  Points are
+    mapped onto a ``width x height`` grid; y may be log-scaled (Fig. 9's
+    runtime axis is logarithmic).
+    """
+    pts = [(x, y) for s in series.values() for x, y in s]
+    if not pts:
+        raise ValueError("nothing to plot")
+    xs = [p[0] for p in pts]
+    ys = [p[1] for p in pts]
+    if log_y and min(ys) <= 0:
+        raise ValueError("log_y requires positive y values")
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if log_y:
+        y_lo, y_hi = math.log10(y_lo), math.log10(y_hi)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for name, points in series.items():
+        marker = name[0]
+        for x, y in points:
+            yy = math.log10(y) if log_y else y
+            col = int((x - x_lo) / x_span * (width - 1))
+            row = int((yy - y_lo) / y_span * (height - 1))
+            grid[height - 1 - row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    y_top = 10**y_hi if log_y else y_hi
+    y_bot = 10**y_lo if log_y else y_lo
+    lines.append(f"{y_top:12.4g} +" + "-" * width + "+")
+    for row in grid:
+        lines.append(" " * 13 + "|" + "".join(row) + "|")
+    lines.append(f"{y_bot:12.4g} +" + "-" * width + "+")
+    lines.append(" " * 14 + f"{x_lo:<10.4g}" + " " * (width - 20) + f"{x_hi:>10.4g}")
+    legend = "   ".join(f"{name[0]} = {name}" for name in series)
+    lines.append(" " * 14 + legend)
+    return "\n".join(lines)
+
+
+def bar_chart(
+    values: Mapping[str, float], width: int = 48, title: str | None = None
+) -> str:
+    """Horizontal bar chart of named values."""
+    if not values:
+        raise ValueError("nothing to plot")
+    vmax = max(values.values())
+    if vmax <= 0:
+        raise ValueError("bar_chart requires a positive maximum")
+    label_w = max(len(k) for k in values)
+    lines = [title] if title else []
+    for name, v in values.items():
+        n = int(round(width * v / vmax))
+        lines.append(f"{name:<{label_w}} |{'#' * n:<{width}}| {v:.3g}")
+    return "\n".join(lines)
+
+
+def fig9_chart(records: Sequence[Mapping], size: int, width: int = 60) -> str:
+    """The Fig. 9 panel for one problem size: runtime over threads, log y."""
+    omp = [(r["threads"], r["omp_ms_per_iter"]) for r in records
+           if r["size"] == size]
+    hpx = [(r["threads"], r["hpx_ms_per_iter"]) for r in records
+           if r["size"] == size]
+    if not omp:
+        raise ValueError(f"no records for size {size}")
+    return line_chart(
+        {"omp": omp, "hpx": hpx},
+        width=width,
+        log_y=True,
+        title=f"Fig. 9 panel — s={size}: ms/iteration over threads (log y)",
+    )
+
+
+def fig10_chart(records: Sequence[Mapping], regions: int = 11) -> str:
+    """The Fig. 10 series for one region count: speed-up bars by size."""
+    values = {
+        f"s={r['size']}": r["speedup"]
+        for r in records
+        if r["regions"] == regions
+    }
+    if not values:
+        raise ValueError(f"no records for {regions} regions")
+    return bar_chart(
+        values, title=f"Fig. 10 — HPX/OMP speed-up at {regions} regions"
+    )

@@ -1,0 +1,62 @@
+"""Result reporting: paper-style tables, artifact CSV rows, speed-up math.
+
+The artifact description asks for CSV files with the header
+``size, regions, iterations, threads, runtime, result`` and computes
+speed-ups "by dividing the runtime of the reference implementation through
+the runtime of our HPX-based implementation"; these helpers reproduce that
+format exactly so the analysis half of the artifact works unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.util.tables import format_csv, format_table
+
+__all__ = [
+    "ARTIFACT_CSV_HEADER",
+    "artifact_csv_row",
+    "speedup",
+    "render_table",
+    "records_to_csv",
+]
+
+ARTIFACT_CSV_HEADER = ("size", "regions", "iterations", "threads", "runtime", "result")
+
+
+def artifact_csv_row(
+    size: int,
+    regions: int,
+    iterations: int,
+    threads: int,
+    runtime_s: float,
+    result: float,
+) -> tuple:
+    """One row in the artifact's CSV format (runtime in seconds)."""
+    return (size, regions, iterations, threads, runtime_s, result)
+
+
+def speedup(reference_runtime: float, hpx_runtime: float) -> float:
+    """Reference runtime divided by HPX runtime (the paper's definition)."""
+    if hpx_runtime <= 0:
+        raise ValueError(f"hpx_runtime must be positive, got {hpx_runtime}")
+    return reference_runtime / hpx_runtime
+
+
+def render_table(
+    records: Sequence[Mapping[str, object]],
+    columns: Sequence[str],
+    title: str | None = None,
+    floatfmt: str = ".3f",
+) -> str:
+    """Aligned text table from flat record dicts (columns in given order)."""
+    rows = [[rec[c] for c in columns] for rec in records]
+    return format_table(list(columns), rows, floatfmt=floatfmt, title=title)
+
+
+def records_to_csv(
+    records: Sequence[Mapping[str, object]], columns: Sequence[str]
+) -> str:
+    """CSV text from flat record dicts."""
+    rows = [[rec[c] for c in columns] for rec in records]
+    return format_csv(list(columns), rows)

@@ -1,0 +1,94 @@
+"""Execution-trace export and ASCII visualization.
+
+Two consumers:
+
+* :func:`to_chrome_trace` — serializes recorded task spans into the Chrome
+  trace-event format (load in ``chrome://tracing`` or Perfetto) for visual
+  inspection of the task schedule;
+* :func:`ascii_gantt` — a terminal Gantt chart (used by
+  ``examples/task_graph_inspect.py`` and the CLI).
+
+Spans must be recorded by constructing the runtime with
+``record_spans=True``.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import defaultdict
+from typing import Sequence
+
+from repro.simcore.trace import TaskSpan
+
+__all__ = ["to_chrome_trace", "write_chrome_trace", "ascii_gantt"]
+
+
+def to_chrome_trace(
+    spans: Sequence[TaskSpan], process_name: str = "simulated-machine"
+) -> list[dict]:
+    """Convert task spans to Chrome trace-event dicts (phase 'X' events).
+
+    Times are emitted in microseconds (the trace-event unit); worker ids
+    become thread ids.
+    """
+    events: list[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 1,
+            "args": {"name": process_name},
+        }
+    ]
+    for span in spans:
+        events.append(
+            {
+                "name": span.tag,
+                "cat": "task",
+                "ph": "X",
+                "pid": 1,
+                "tid": span.worker,
+                "ts": span.start_ns / 1000.0,
+                "dur": span.duration_ns / 1000.0,
+                "args": {"task_id": span.task_id},
+            }
+        )
+    return events
+
+
+def write_chrome_trace(
+    path: str, spans: Sequence[TaskSpan], process_name: str = "simulated-machine"
+) -> None:
+    """Write a ``chrome://tracing``-loadable JSON file."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(
+            {"traceEvents": to_chrome_trace(spans, process_name)}, fh
+        )
+
+
+def ascii_gantt(
+    spans: Sequence[TaskSpan],
+    makespan_ns: int,
+    n_workers: int,
+    width: int = 72,
+    max_workers: int = 16,
+) -> str:
+    """Terminal Gantt chart: one row per worker, '#' where busy."""
+    if makespan_ns <= 0:
+        raise ValueError(f"makespan must be positive, got {makespan_ns}")
+    if width < 8:
+        raise ValueError(f"width must be >= 8, got {width}")
+    per_worker: dict[int, list[TaskSpan]] = defaultdict(list)
+    for s in spans:
+        per_worker[s.worker].append(s)
+    rows = []
+    for w in range(min(n_workers, max_workers)):
+        cells = [" "] * width
+        for s in per_worker.get(w, []):
+            lo = int(s.start_ns / makespan_ns * width)
+            hi = max(lo + 1, int(s.end_ns / makespan_ns * width))
+            for c in range(lo, min(hi, width)):
+                cells[c] = "#"
+        rows.append(f"w{w:02d} |{''.join(cells)}|")
+    if n_workers > max_workers:
+        rows.append(f"... ({n_workers - max_workers} more workers)")
+    return "\n".join(rows)

@@ -1,0 +1,53 @@
+"""Faithful vectorized NumPy port of the LULESH 2.0 proxy application.
+
+LULESH (Livermore Unstructured Lagrangian Explicit Shock Hydrodynamics,
+LLNL-TR-490254) solves the spherical Sedov blast-wave problem with Lagrange
+hydrodynamics on a hexahedral mesh of ``s**3`` elements and ``(s+1)**3``
+nodes.  This package reimplements the reference implementation's
+computational structure kernel-for-kernel:
+
+* :mod:`~repro.lulesh.options`  — all model constants and run options,
+* :mod:`~repro.lulesh.mesh`     — mesh topology, node sets, element
+  adjacency, boundary-condition masks, gather/scatter maps,
+* :mod:`~repro.lulesh.regions`  — material regions with LULESH's imbalanced
+  sizes and the 1x/2x/20x EOS cost replication,
+* :mod:`~repro.lulesh.domain`   — the central *Domain* data structure and
+  Sedov initialization,
+* :mod:`~repro.lulesh.kernels`  — every leapfrog kernel (stress, hourglass,
+  nodal integration, kinematics, monotonic Q, EOS, time constraints),
+* :mod:`~repro.lulesh.reference` — the sequential driver (ground truth for
+  all parallel orchestrations),
+* :mod:`~repro.lulesh.costs`    — per-kernel work-per-element rates feeding
+  the simulated-machine cost model.
+
+All kernels operate on NumPy arrays over an explicit element/node index
+range ``[lo, hi)`` so the task-based orchestration (:mod:`repro.core`) can
+run them per partition without changing the math.
+"""
+
+from repro.lulesh.options import LuleshOptions
+from repro.lulesh.domain import Domain
+from repro.lulesh.errors import LuleshError, VolumeError, QStopError
+from repro.lulesh.reference import SequentialDriver, run_reference
+from repro.lulesh.diagnostics import EnergyBudget, EnergyTracker, energy_budget
+from repro.lulesh.checkpoint import (
+    load_checkpoint,
+    restore_checkpoint,
+    save_checkpoint,
+)
+
+__all__ = [
+    "LuleshOptions",
+    "Domain",
+    "LuleshError",
+    "VolumeError",
+    "QStopError",
+    "SequentialDriver",
+    "run_reference",
+    "EnergyBudget",
+    "EnergyTracker",
+    "energy_budget",
+    "save_checkpoint",
+    "restore_checkpoint",
+    "load_checkpoint",
+]

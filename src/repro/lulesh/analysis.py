@@ -1,0 +1,79 @@
+"""Post-processing analysis: radial profiles and shock-front tracking.
+
+The Sedov problem is spherically symmetric; the natural way to inspect a
+run is by radius.  These helpers bin element-centered fields by element
+centroid radius and locate the shock front — used by the examples, the
+similarity-exponent validation, and anyone comparing against the analytic
+Sedov-Taylor solution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.lulesh.domain import Domain
+
+__all__ = ["element_radii", "radial_profile", "shock_front", "RadialProfile"]
+
+
+def element_radii(domain: Domain) -> np.ndarray:
+    """Centroid radius of every element in the *deformed* configuration."""
+    nl = domain.mesh.nodelist
+    cx = domain.x[nl].mean(axis=1)
+    cy = domain.y[nl].mean(axis=1)
+    cz = domain.z[nl].mean(axis=1)
+    return np.sqrt(cx * cx + cy * cy + cz * cz)
+
+
+@dataclass(frozen=True)
+class RadialProfile:
+    """A field binned by radius (mass-weighted means per shell)."""
+
+    field: str
+    centers: np.ndarray  # shell center radii
+    values: np.ndarray  # mass-weighted mean field value per shell
+    counts: np.ndarray  # elements per shell
+
+    def peak_radius(self) -> float:
+        """Radius of the shell with the largest value (nonempty shells)."""
+        valid = self.counts > 0
+        if not valid.any():
+            raise ValueError("profile has no populated shells")
+        idx = np.argmax(np.where(valid, self.values, -np.inf))
+        return float(self.centers[idx])
+
+
+def radial_profile(
+    domain: Domain, field: str, n_bins: int = 32
+) -> RadialProfile:
+    """Mass-weighted radial profile of an element field.
+
+    Bins span ``[0, max radius]``; empty shells get value 0 and count 0.
+    """
+    if n_bins < 1:
+        raise ValueError(f"n_bins must be >= 1, got {n_bins}")
+    values = getattr(domain, field, None)
+    if values is None or len(values) < domain.numElem:
+        raise ValueError(f"unknown or non-element field {field!r}")
+    values = np.asarray(values)[: domain.numElem]
+    radii = element_radii(domain)
+    r_max = float(radii.max())
+    edges = np.linspace(0.0, r_max * (1 + 1e-12), n_bins + 1)
+    which = np.clip(np.digitize(radii, edges) - 1, 0, n_bins - 1)
+    mass = domain.elemMass
+    weighted = np.bincount(which, weights=values * mass, minlength=n_bins)
+    weights = np.bincount(which, weights=mass, minlength=n_bins)
+    counts = np.bincount(which, minlength=n_bins)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        means = np.where(weights > 0, weighted / np.maximum(weights, 1e-300), 0.0)
+    centers = 0.5 * (edges[:-1] + edges[1:])
+    return RadialProfile(field=field, centers=centers, values=means,
+                         counts=counts)
+
+
+def shock_front(domain: Domain) -> float:
+    """Radius of the shock front: the pressure-peak element's centroid."""
+    idx = int(np.argmax(domain.p[: domain.numElem]))
+    return float(element_radii(domain)[idx])

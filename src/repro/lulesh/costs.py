@@ -1,0 +1,103 @@
+"""Per-kernel work rates for the simulated-machine cost model.
+
+The discrete-event simulation charges each kernel invocation
+``rate_ns_per_item * n_items`` nanoseconds of productive work (at worker
+speed 1.0).  The rates below approximate a compiled (C++ ``-O3``) LULESH on
+a modern server core — derived from the kernels' arithmetic/memory
+intensity, *not* from timing this NumPy port (whose interpreter overheads
+would be meaningless on the simulated machine).  They are fixed constants so
+every simulation is deterministic; DESIGN.md §6 describes the calibration.
+
+What matters for reproducing the paper is not the absolute numbers but the
+*ratios*: cheap kernels like ``CalcVelocityForNodes`` ("three
+multiply-accumulate operations per loop iteration", §V-A) versus expensive
+ones like the stress/hourglass force integration — those ratios determine
+where synchronization overhead dominates and hence every crossover in
+Figs. 9-11.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, replace
+
+__all__ = ["KernelCosts", "iteration_work_ns", "DEFAULT_COSTS"]
+
+
+@dataclass(frozen=True)
+class KernelCosts:
+    """Work rates in ns per element / node / region-element.
+
+    Element-domain kernels (``LagrangeNodal`` force phase and
+    ``LagrangeElements``), node-domain kernels, and region-domain kernels
+    (per region-element per repetition for the EOS).
+    """
+
+    # LagrangeNodal, element domain
+    init_stress: float = 2.0
+    integrate_stress: float = 90.0
+    hourglass_control: float = 70.0
+    fb_hourglass: float = 110.0
+    # LagrangeNodal, node domain
+    zero_forces: float = 3.0
+    sum_forces: float = 25.0
+    acceleration: float = 6.0
+    accel_bc: float = 2.0  # per symmetry-plane node
+    velocity: float = 9.0
+    position: float = 6.0
+    qstop_check: float = 1.0
+    # LagrangeElements, element domain
+    kinematics: float = 95.0
+    strain_rates: float = 8.0
+    monoq_gradients: float = 60.0
+    material_prologue: float = 6.0
+    update_volumes: float = 4.0
+    # Region domain (per region element)
+    monoq_region: float = 35.0
+    eos_eval: float = 70.0  # per repetition
+    courant: float = 10.0
+    hydro: float = 6.0
+
+    def with_overrides(self, **kwargs: float) -> "KernelCosts":
+        """Copy with selected rates replaced (sensitivity studies)."""
+        return replace(self, **kwargs)
+
+    def as_dict(self) -> dict[str, float]:
+        """All rates as a name -> value mapping."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+DEFAULT_COSTS = KernelCosts()
+
+
+def iteration_work_ns(
+    costs: KernelCosts,
+    num_elem: int,
+    num_node: int,
+    region_sizes,
+    reps,
+) -> float:
+    """Total productive work of one leapfrog iteration, in ns.
+
+    The single-thread lower bound of both orchestrations: Σ over kernels of
+    rate × domain size, with the EOS counted ``rep`` times per region.
+    """
+    c = costs
+    elem_work = (
+        c.init_stress
+        + c.integrate_stress
+        + c.hourglass_control
+        + c.fb_hourglass
+        + c.kinematics
+        + c.strain_rates
+        + c.monoq_gradients
+        + c.material_prologue
+        + c.qstop_check
+        + c.update_volumes
+    ) * num_elem
+    node_work = (
+        c.zero_forces + c.sum_forces + c.acceleration + c.velocity + c.position
+    ) * num_node
+    region_work = 0.0
+    for size, rep in zip(region_sizes, reps):
+        region_work += size * (c.monoq_region + c.eos_eval * rep + c.courant + c.hydro)
+    return elem_work + node_work + region_work

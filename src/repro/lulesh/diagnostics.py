@@ -1,0 +1,82 @@
+"""Energy accounting and run diagnostics.
+
+The leapfrog scheme transports the deposited blast energy between internal
+(element ``e``) and kinetic (nodal velocities) reservoirs; artificial
+viscosity dissipates kinetic energy back into internal.  These helpers
+compute the budget terms for validation and for the examples' output:
+
+* internal energy: ``sum(e * elemMass)`` (mass-specific ``e``),
+* kinetic energy:  ``0.5 * sum(nodalMass * |v|^2)``,
+* total = internal + kinetic, approximately conserved after the initial
+  deposit (the explicit scheme and the hourglass damping drift it slowly).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.lulesh.domain import Domain
+
+__all__ = ["EnergyBudget", "energy_budget", "EnergyTracker"]
+
+
+@dataclass(frozen=True)
+class EnergyBudget:
+    """One snapshot of the energy reservoirs."""
+
+    time: float
+    cycle: int
+    internal: float
+    kinetic: float
+
+    @property
+    def total(self) -> float:
+        return self.internal + self.kinetic
+
+
+def energy_budget(domain: Domain) -> EnergyBudget:
+    """Compute the current energy budget of *domain*."""
+    internal = float(np.sum(domain.e * domain.elemMass))
+    kinetic = 0.5 * float(
+        np.sum(
+            domain.nodalMass
+            * (domain.xd**2 + domain.yd**2 + domain.zd**2)
+        )
+    )
+    return EnergyBudget(
+        time=domain.time, cycle=domain.cycle, internal=internal, kinetic=kinetic
+    )
+
+
+class EnergyTracker:
+    """Collects energy budgets over a run (per-cycle or sampled)."""
+
+    def __init__(self, domain: Domain) -> None:
+        self.domain = domain
+        self.samples: list[EnergyBudget] = [energy_budget(domain)]
+
+    def sample(self) -> EnergyBudget:
+        """Record and return the current budget."""
+        budget = energy_budget(self.domain)
+        self.samples.append(budget)
+        return budget
+
+    @property
+    def initial_total(self) -> float:
+        return self.samples[0].total
+
+    def max_drift(self) -> float:
+        """Largest relative deviation of total energy from the initial."""
+        e0 = self.initial_total
+        if e0 == 0.0:
+            raise ValueError("initial total energy is zero")
+        return max(abs(s.total - e0) / abs(e0) for s in self.samples)
+
+    def kinetic_fraction(self) -> float:
+        """Share of the budget currently in kinetic form."""
+        last = self.samples[-1]
+        if last.total == 0.0:
+            return 0.0
+        return last.kinetic / last.total

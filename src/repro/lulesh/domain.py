@@ -1,0 +1,194 @@
+"""The LULESH *Domain*: all simulation state and the Sedov initialization.
+
+Mirrors the reference's central data structure (§II-B: "The main underlying
+data structure is called Domain, which contains arrays for all element and
+node properties").  Field names keep the LULESH spelling.
+
+Node-centered fields: coordinates ``x,y,z``; velocities ``xd,yd,zd``;
+accelerations ``xdd,ydd,zdd``; forces ``fx,fy,fz``; ``nodalMass``.
+
+Element-centered fields: energy ``e``; pressure ``p``; artificial viscosity
+``q`` (+ linear/quadratic terms ``ql``, ``qq``); relative volume ``v`` (+
+reference volume ``volo``, new volume ``vnew``, increment ``delv``);
+``vdov`` (volume derivative over volume); characteristic length ``arealg``;
+sound speed ``ss``; ``elemMass``; principal strain rates ``dxx,dyy,dzz``;
+monotonic-Q gradients ``delv_xi/eta/zeta`` and ``delx_xi/eta/zeta``.
+
+The Domain also owns the iteration *workspace* — per-iteration temporaries
+(``sigxx``, ``determ``, the per-element-corner force arrays ``fx_elem``...)
+that the reference allocates each iteration.  They are preallocated here and
+reused; whether they are charged as task-local or global allocations is a
+cost-model decision made by the orchestration layer, not a math decision.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.lulesh.kernels.geometry import calc_elem_volume
+from repro.lulesh.mesh import Mesh
+from repro.lulesh.options import LuleshOptions
+from repro.lulesh.regions import RegionSet
+
+__all__ = ["Domain"]
+
+
+class Domain:
+    """Full simulation state for one LULESH run.
+
+    By default this is the single-node cube problem.  The distributed
+    extension (:mod:`repro.dist`) passes a slab *mesh* and a *regions*
+    subset, and suppresses the energy deposit on ranks that do not own the
+    origin element.
+    """
+
+    def __init__(
+        self,
+        opts: LuleshOptions,
+        mesh: Mesh | None = None,
+        regions: RegionSet | None = None,
+        deposit_energy: bool = True,
+    ) -> None:
+        self.opts = opts
+        self.mesh = mesh if mesh is not None else Mesh(opts.nx, opts.mesh_edge)
+        self.regions = regions if regions is not None else RegionSet(
+            num_elem=self.mesh.numElem,
+            num_reg=opts.numReg,
+            balance=opts.region_balance,
+            cost=opts.region_cost,
+        )
+        self.numElem = self.mesh.numElem
+        self.numNode = self.mesh.numNode
+        self.deposit_energy = deposit_energy
+
+        self._allocate_fields()
+        self._allocate_workspace()
+        self._initialize()
+
+    # --- allocation ---------------------------------------------------------
+
+    def _allocate_fields(self) -> None:
+        ne, nn = self.numElem, self.numNode
+        f64 = np.float64
+        # Node-centered.
+        self.x = np.array(self.mesh.x0, dtype=f64)
+        self.y = np.array(self.mesh.y0, dtype=f64)
+        self.z = np.array(self.mesh.z0, dtype=f64)
+        self.xd = np.zeros(nn, dtype=f64)
+        self.yd = np.zeros(nn, dtype=f64)
+        self.zd = np.zeros(nn, dtype=f64)
+        self.xdd = np.zeros(nn, dtype=f64)
+        self.ydd = np.zeros(nn, dtype=f64)
+        self.zdd = np.zeros(nn, dtype=f64)
+        self.fx = np.zeros(nn, dtype=f64)
+        self.fy = np.zeros(nn, dtype=f64)
+        self.fz = np.zeros(nn, dtype=f64)
+        self.nodalMass = np.zeros(nn, dtype=f64)
+        # Element-centered.
+        self.e = np.zeros(ne, dtype=f64)
+        self.p = np.zeros(ne, dtype=f64)
+        self.q = np.zeros(ne, dtype=f64)
+        self.ql = np.zeros(ne, dtype=f64)
+        self.qq = np.zeros(ne, dtype=f64)
+        self.v = np.ones(ne, dtype=f64)
+        self.volo = np.zeros(ne, dtype=f64)
+        self.vnew = np.zeros(ne, dtype=f64)
+        self.delv = np.zeros(ne, dtype=f64)
+        self.vdov = np.zeros(ne, dtype=f64)
+        self.arealg = np.zeros(ne, dtype=f64)
+        self.ss = np.zeros(ne, dtype=f64)
+        self.elemMass = np.zeros(ne, dtype=f64)
+        self.dxx = np.zeros(ne, dtype=f64)
+        self.dyy = np.zeros(ne, dtype=f64)
+        self.dzz = np.zeros(ne, dtype=f64)
+        self.delv_xi = np.zeros(ne, dtype=f64)
+        self.delv_eta = np.zeros(ne, dtype=f64)
+        self.delv_zeta = np.zeros(ne, dtype=f64)
+        self.delx_xi = np.zeros(ne, dtype=f64)
+        self.delx_eta = np.zeros(ne, dtype=f64)
+        self.delx_zeta = np.zeros(ne, dtype=f64)
+
+    def _allocate_workspace(self) -> None:
+        """Per-iteration temporaries (reference allocates these each cycle)."""
+        ne = self.numElem
+        f64 = np.float64
+        self.sigxx = np.zeros(ne, dtype=f64)
+        self.sigyy = np.zeros(ne, dtype=f64)
+        self.sigzz = np.zeros(ne, dtype=f64)
+        self.determ = np.zeros(ne, dtype=f64)
+        # Per-element-corner force contributions (two-phase force summation).
+        # Stress and hourglass forces get separate buffers so their task
+        # chains are truly independent (paper Fig. 8) — the node-domain sum
+        # kernel adds both.
+        self.fx_elem = np.zeros(ne * 8, dtype=f64)
+        self.fy_elem = np.zeros(ne * 8, dtype=f64)
+        self.fz_elem = np.zeros(ne * 8, dtype=f64)
+        self.hgfx_elem = np.zeros(ne * 8, dtype=f64)
+        self.hgfy_elem = np.zeros(ne * 8, dtype=f64)
+        self.hgfz_elem = np.zeros(ne * 8, dtype=f64)
+        # The hourglass chain's own volume buffer (volo*v), so it does not
+        # race with the stress chain's shape-function volume in `determ`.
+        self.hg_determ = np.zeros(ne, dtype=f64)
+        # Hourglass-control intermediates shared between its two kernels.
+        self.dvdx = np.zeros((ne, 8), dtype=f64)
+        self.dvdy = np.zeros((ne, 8), dtype=f64)
+        self.dvdz = np.zeros((ne, 8), dtype=f64)
+        self.x8n = np.zeros((ne, 8), dtype=f64)
+        self.y8n = np.zeros((ne, 8), dtype=f64)
+        self.z8n = np.zeros((ne, 8), dtype=f64)
+        # EOS-clamped relative volume (ApplyMaterialPropertiesForElems).
+        self.vnewc = np.zeros(ne, dtype=f64)
+
+    # --- initialization ---------------------------------------------------------
+
+    def _initialize(self) -> None:
+        """Sedov initial conditions: unit relative volume, origin energy spike."""
+        opts = self.opts
+        nl = self.mesh.nodelist
+        xl, yl, zl = self.x[nl], self.y[nl], self.z[nl]
+        self.volo[:] = calc_elem_volume(xl, yl, zl)
+        if (self.volo <= 0.0).any():
+            raise ValueError("initial mesh contains non-positive volumes")
+        self.elemMass[:] = self.volo
+        corner_mass = np.repeat(self.volo / 8.0, 8)
+        self.mesh.sum_corners_to_nodes(corner_mass, self.nodalMass)
+
+        # Energy deposit in the origin element, scaled with resolution.
+        if self.deposit_energy:
+            self.e[0] = opts.einit
+
+        # Timestep controller state.
+        self.time = 0.0
+        self.cycle = 0
+        self.dtcourant = 1.0e20
+        self.dthydro = 1.0e20
+        if opts.dtfixed > 0.0:
+            self.deltatime = opts.dtfixed
+        else:
+            # Reference: dt0 = 0.5 * cbrt(volo[0]) / sqrt(2 * einit)
+            self.deltatime = (
+                0.5 * np.cbrt(self.volo[0]) / np.sqrt(2.0 * opts.einit)
+            )
+
+    # --- convenience -------------------------------------------------------------
+
+    def gather_elem(
+        self, field: np.ndarray, lo: int = 0, hi: int | None = None
+    ) -> np.ndarray:
+        """Corner values of a nodal field for elements ``[lo, hi)``."""
+        return self.mesh.gather(field, lo, hi)
+
+    def total_energy(self) -> float:
+        """Mass-weighted internal energy (diagnostic)."""
+        return float(np.sum(self.e * self.elemMass))
+
+    def origin_energy(self) -> float:
+        """Final origin energy — LULESH's headline verification value."""
+        return float(self.e[0])
+
+    def copy_state(self) -> dict[str, np.ndarray]:
+        """Snapshot of the physics state (for determinism comparisons)."""
+        names = (
+            "x", "y", "z", "xd", "yd", "zd", "e", "p", "q", "v", "ss",
+        )
+        return {name: getattr(self, name).copy() for name in names}

@@ -1,0 +1,29 @@
+"""LULESH error conditions.
+
+The reference implementation aborts with distinct exit codes when physical
+sanity is violated; we raise typed exceptions instead so tests can assert on
+failure modes (e.g. element inversion under a too-large timestep).
+"""
+
+from __future__ import annotations
+
+__all__ = ["LuleshError", "VolumeError", "QStopError"]
+
+
+class LuleshError(RuntimeError):
+    """Base class for LULESH physics errors."""
+
+
+class VolumeError(LuleshError):
+    """An element volume became non-positive (mesh inversion).
+
+    Matches the reference's ``VolumeError`` abort in
+    ``CalcVolumeForceForElems`` / ``CalcLagrangeElements``.
+    """
+
+
+class QStopError(LuleshError):
+    """Artificial viscosity exceeded ``qstop`` (shock too strong for dt).
+
+    Matches the reference's ``QStopError`` abort in ``CalcQForElems``.
+    """

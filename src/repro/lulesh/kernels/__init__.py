@@ -1,0 +1,29 @@
+"""LULESH 2.0 leapfrog kernels, vectorized over index ranges.
+
+Each module corresponds to a stage of the reference implementation's call
+graph (paper Fig. 3):
+
+* :mod:`~repro.lulesh.kernels.geometry`    — element geometry primitives
+  (volume, characteristic length, shape-function derivatives, face normals,
+  volume derivatives, velocity gradient),
+* :mod:`~repro.lulesh.kernels.stress`      — ``InitStressTermsForElems`` +
+  ``IntegrateStressForElems``,
+* :mod:`~repro.lulesh.kernels.hourglass`   — ``CalcHourglassControlForElems``
+  + ``CalcFBHourglassForceForElems`` (Flanagan–Belytschko),
+* :mod:`~repro.lulesh.kernels.nodal`       — force summation, acceleration,
+  boundary conditions, velocity and position updates,
+* :mod:`~repro.lulesh.kernels.kinematics`  — ``CalcKinematicsForElems`` +
+  deviatoric strain rates,
+* :mod:`~repro.lulesh.kernels.qcalc`       — monotonic Q gradients and the
+  per-region Q evaluation,
+* :mod:`~repro.lulesh.kernels.eos`         — ``ApplyMaterialPropertiesForElems``
+  / ``EvalEOSForElems`` / pressure / energy / sound speed,
+* :mod:`~repro.lulesh.kernels.constraints` — Courant and hydro timestep
+  constraints + the ``TimeIncrement`` controller.
+
+Every kernel takes an explicit ``[lo, hi)`` range (over elements, nodes, or
+a region's element list) so that the OpenMP-structured, task-based, and
+naive orchestrations in :mod:`repro.core` can all call the *same* math on
+their own decompositions — preserving LULESH's computational structure is
+the fairness requirement the paper emphasizes in §IV.
+"""

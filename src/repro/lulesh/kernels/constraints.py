@@ -1,0 +1,108 @@
+"""Timestep constraints and the ``TimeIncrement`` controller.
+
+``CalcTimeConstraintsForElems`` runs per region (like the EOS stage) and
+reduces two bounds over the mesh:
+
+* the **Courant** constraint — characteristic length over the effective
+  signal speed (sound speed plus a compression-rate term), only for
+  elements actually changing volume;
+* the **hydro** constraint — maximum allowed relative volume change per
+  step, ``dvovmax / |vdov|``.
+
+``TimeIncrement`` then applies the reference's ramp-limited controller:
+dt may grow by at most 20% per cycle (and is held if the proposed growth is
+below 10%), is capped at ``dtmax``, and is trimmed to land near ``stoptime``.
+Its runtime is "negligible compared to LagrangeNodal() and
+LagrangeElements()" (§II-B) but it is the once-per-iteration serial
+synchronization point both orchestrations share.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "calc_courant_constraint",
+    "calc_hydro_constraint",
+    "reduce_time_constraints",
+    "time_increment",
+]
+
+
+def calc_courant_constraint(
+    domain, reg_elems: np.ndarray, lo: int = 0, hi: int | None = None
+) -> float:
+    """Minimum Courant dt over ``reg_elems[lo:hi]`` (1e20 if unconstrained)."""
+    if hi is None:
+        hi = len(reg_elems)
+    idx = reg_elems[lo:hi]
+    if idx.size == 0:
+        return 1.0e20
+    qqc2 = 64.0 * domain.opts.qqc * domain.opts.qqc
+    ss = domain.ss[idx]
+    vdov = domain.vdov[idx]
+    arealg = domain.arealg[idx]
+    dtf = ss * ss
+    compressing = vdov < 0.0
+    dtf = dtf + np.where(compressing, qqc2 * arealg * arealg * vdov * vdov, 0.0)
+    dtf = arealg / np.sqrt(dtf)
+    active = vdov != 0.0
+    if not active.any():
+        return 1.0e20
+    return float(np.min(dtf[active]))
+
+
+def calc_hydro_constraint(
+    domain, reg_elems: np.ndarray, lo: int = 0, hi: int | None = None
+) -> float:
+    """Minimum hydro dt over ``reg_elems[lo:hi]`` (1e20 if unconstrained)."""
+    if hi is None:
+        hi = len(reg_elems)
+    idx = reg_elems[lo:hi]
+    if idx.size == 0:
+        return 1.0e20
+    vdov = domain.vdov[idx]
+    active = vdov != 0.0
+    if not active.any():
+        return 1.0e20
+    dvovmax = domain.opts.dvovmax
+    return float(np.min(dvovmax / (np.abs(vdov[active]) + 1.0e-20)))
+
+
+def reduce_time_constraints(domain, courant_min: float, hydro_min: float) -> None:
+    """Store the global reductions (``dtcourant`` / ``dthydro``)."""
+    domain.dtcourant = courant_min
+    domain.dthydro = hydro_min
+
+
+def time_increment(domain) -> None:
+    """``TimeIncrement``: choose dt for this cycle, advance time/cycle."""
+    opts = domain.opts
+    targetdt = opts.stoptime - domain.time
+
+    if opts.dtfixed <= 0.0 and domain.cycle != 0:
+        olddt = domain.deltatime
+        gnewdt = 1.0e20
+        if domain.dtcourant < gnewdt:
+            gnewdt = domain.dtcourant / 2.0
+        if domain.dthydro < gnewdt:
+            gnewdt = domain.dthydro * 2.0 / 3.0
+        newdt = gnewdt
+        ratio = newdt / olddt
+        if ratio >= 1.0:
+            if ratio < opts.deltatimemultlb:
+                newdt = olddt
+            elif ratio > opts.deltatimemultub:
+                newdt = olddt * opts.deltatimemultub
+        if newdt > opts.dtmax:
+            newdt = opts.dtmax
+        domain.deltatime = newdt
+
+    # Trim dt to land cleanly on stoptime (avoid a sliver final step).
+    if targetdt > domain.deltatime and targetdt < 4.0 * domain.deltatime / 3.0:
+        targetdt = 2.0 * domain.deltatime / 3.0
+    if targetdt < domain.deltatime:
+        domain.deltatime = targetdt
+
+    domain.time += domain.deltatime
+    domain.cycle += 1

@@ -1,0 +1,205 @@
+"""Equation of state: ``ApplyMaterialPropertiesForElems`` and friends.
+
+This is the region-wise stage the paper parallelizes across regions (Fig. 8
+second case): all kernels for one region are sequential, but regions are
+independent.  Material-cost differences are modeled by *repeating* the whole
+EOS evaluation ``rep`` times per region (§II-B) — the repetition re-gathers
+and recomputes identically, exactly like ``EvalEOSForElems``'s ``rep`` loop.
+
+The EOS itself is LULESH's gamma-law-like model: pressure from the bulk
+response ``p = (2/3)(1/v) e`` with half-step predictor/corrector energy
+integration, artificial-viscosity coupling via the element sound speed, and
+the reference's cutoffs and clamps reproduced bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.lulesh.errors import VolumeError
+
+__all__ = [
+    "apply_material_properties_prologue",
+    "eval_eos_region",
+    "update_volumes",
+    "calc_pressure",
+    "calc_energy",
+]
+
+_SSC_FLOOR_TEST = 0.1111111e-36
+_SSC_FLOOR = 0.3333333e-18
+
+
+def calc_pressure(
+    e_old: np.ndarray,
+    compression: np.ndarray,
+    vnewc: np.ndarray,
+    pmin: float,
+    p_cut: float,
+    eosvmax: float,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """``CalcPressureForElems``: returns ``(p_new, bvc, pbvc)``."""
+    c1s = 2.0 / 3.0
+    bvc = c1s * (compression + 1.0)
+    pbvc = np.full_like(bvc, c1s)
+    p_new = bvc * e_old
+    p_new[np.abs(p_new) < p_cut] = 0.0
+    if eosvmax != 0.0:
+        p_new[vnewc >= eosvmax] = 0.0
+    np.maximum(p_new, pmin, out=p_new)
+    return p_new, bvc, pbvc
+
+
+def _sound_speed_sq_clamped(
+    pbvc: np.ndarray,
+    e: np.ndarray,
+    vol_sq: np.ndarray,
+    bvc: np.ndarray,
+    p: np.ndarray,
+    rho0: float,
+) -> np.ndarray:
+    """sqrt of (pbvc*e + v^2*bvc*p)/rho0 with the reference's tiny floor."""
+    ssc = (pbvc * e + vol_sq * bvc * p) / rho0
+    return np.where(ssc <= _SSC_FLOOR_TEST, _SSC_FLOOR, np.sqrt(np.maximum(ssc, 0.0)))
+
+
+def calc_energy(
+    p_old: np.ndarray,
+    e_old: np.ndarray,
+    q_old: np.ndarray,
+    compression: np.ndarray,
+    comp_half_step: np.ndarray,
+    vnewc: np.ndarray,
+    work: np.ndarray,
+    delvc: np.ndarray,
+    qq_old: np.ndarray,
+    ql_old: np.ndarray,
+    opts,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """``CalcEnergyForElems``: predictor/corrector energy integration.
+
+    Returns ``(p_new, e_new, q_new, bvc, pbvc)``.
+    """
+    pmin, p_cut, e_cut, q_cut = opts.pmin, opts.p_cut, opts.e_cut, opts.q_cut
+    emin, eosvmax, rho0 = opts.emin, opts.eosvmax, opts.refdens
+
+    e_new = e_old - 0.5 * delvc * (p_old + q_old) + 0.5 * work
+    np.maximum(e_new, emin, out=e_new)
+
+    p_half, bvc, pbvc = calc_pressure(e_new, comp_half_step, vnewc, pmin, p_cut, eosvmax)
+    vhalf = 1.0 / (1.0 + comp_half_step)
+
+    ssc = _sound_speed_sq_clamped(pbvc, e_new, vhalf * vhalf, bvc, p_half, rho0)
+    q_new = np.where(delvc > 0.0, 0.0, ssc * ql_old + qq_old)
+
+    e_new = e_new + 0.5 * delvc * (3.0 * (p_old + q_old) - 4.0 * (p_half + q_new))
+    e_new += 0.5 * work
+    e_new[np.abs(e_new) < e_cut] = 0.0
+    np.maximum(e_new, emin, out=e_new)
+
+    p_new, bvc, pbvc = calc_pressure(e_new, compression, vnewc, pmin, p_cut, eosvmax)
+    ssc = _sound_speed_sq_clamped(pbvc, e_new, vnewc * vnewc, bvc, p_new, rho0)
+    q_tilde = np.where(delvc > 0.0, 0.0, ssc * ql_old + qq_old)
+
+    sixth = 1.0 / 6.0
+    e_new = e_new - (
+        7.0 * (p_old + q_old) - 8.0 * (p_half + q_new) + (p_new + q_tilde)
+    ) * delvc * sixth
+    e_new[np.abs(e_new) < e_cut] = 0.0
+    np.maximum(e_new, emin, out=e_new)
+
+    p_new, bvc, pbvc = calc_pressure(e_new, compression, vnewc, pmin, p_cut, eosvmax)
+    compressing = delvc <= 0.0
+    if compressing.any():
+        ssc = _sound_speed_sq_clamped(pbvc, e_new, vnewc * vnewc, bvc, p_new, rho0)
+        q_final = ssc * ql_old + qq_old
+        q_final[np.abs(q_final) < q_cut] = 0.0
+        q_new = np.where(compressing, q_final, q_new)
+
+    return p_new, e_new, q_new, bvc, pbvc
+
+
+def apply_material_properties_prologue(domain, lo: int, hi: int) -> None:
+    """Clamp ``vnew`` into ``vnewc`` and run the reference's volume sanity check."""
+    opts = domain.opts
+    vnewc = domain.vnew[lo:hi].copy()
+    if opts.eosvmin != 0.0:
+        np.maximum(vnewc, opts.eosvmin, out=vnewc)
+    if opts.eosvmax != 0.0:
+        np.minimum(vnewc, opts.eosvmax, out=vnewc)
+    domain.vnewc[lo:hi] = vnewc
+
+    # Sanity on the *old* volumes, mirroring the reference's abort.
+    vc = domain.v[lo:hi].copy()
+    if opts.eosvmin != 0.0:
+        np.maximum(vc, opts.eosvmin, out=vc)
+    if opts.eosvmax != 0.0:
+        np.minimum(vc, opts.eosvmax, out=vc)
+    if (vc <= 0.0).any():
+        bad = lo + int(np.argmax(vc <= 0.0))
+        raise VolumeError(f"element {bad} volume non-positive entering EOS")
+
+
+def eval_eos_region(
+    domain, reg_elems: np.ndarray, rep: int, lo: int = 0, hi: int | None = None
+) -> None:
+    """``EvalEOSForElems`` for ``reg_elems[lo:hi]`` with *rep* repetitions.
+
+    The repetition loop re-gathers the inputs and recomputes each time —
+    that *is* the extra work that models expensive materials; only the last
+    repetition's values are stored (they are all identical).
+    """
+    if hi is None:
+        hi = len(reg_elems)
+    idx = reg_elems[lo:hi]
+    if idx.size == 0:
+        return
+    if rep < 1:
+        raise ValueError(f"rep must be >= 1, got {rep}")
+    opts = domain.opts
+    vnewc = domain.vnewc[idx]
+
+    p_new = e_new = q_new = bvc = pbvc = None
+    for _ in range(rep):
+        e_old = domain.e[idx]
+        delvc = domain.delv[idx]
+        p_old = domain.p[idx].copy()
+        q_old = domain.q[idx]
+        qq_old = domain.qq[idx]
+        ql_old = domain.ql[idx]
+
+        compression = 1.0 / vnewc - 1.0
+        vchalf = vnewc - delvc * 0.5
+        comp_half_step = 1.0 / vchalf - 1.0
+
+        if opts.eosvmin != 0.0:
+            comp_half_step = np.where(
+                vnewc <= opts.eosvmin, compression, comp_half_step
+            )
+        if opts.eosvmax != 0.0:
+            at_max = vnewc >= opts.eosvmax
+            p_old = np.where(at_max, 0.0, p_old)
+            compression = np.where(at_max, 0.0, compression)
+            comp_half_step = np.where(at_max, 0.0, comp_half_step)
+
+        work = np.zeros_like(e_old)
+        p_new, e_new, q_new, bvc, pbvc = calc_energy(
+            p_old, e_old, q_old, compression, comp_half_step,
+            vnewc, work, delvc, qq_old, ql_old, opts,
+        )
+
+    domain.p[idx] = p_new
+    domain.e[idx] = e_new
+    domain.q[idx] = q_new
+
+    # CalcSoundSpeedForElems
+    ss = _sound_speed_sq_clamped(pbvc, e_new, vnewc * vnewc, bvc, p_new, opts.refdens)
+    domain.ss[idx] = ss
+
+
+def update_volumes(domain, lo: int, hi: int) -> None:
+    """``UpdateVolumesForElems``: commit vnew, snapping near-1 to exactly 1."""
+    v_cut = domain.opts.v_cut
+    v = domain.vnew[lo:hi].copy()
+    v[np.abs(v - 1.0) < v_cut] = 1.0
+    domain.v[lo:hi] = v

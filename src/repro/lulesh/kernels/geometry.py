@@ -1,0 +1,353 @@
+"""Element geometry primitives (vectorized ``CalcElem*`` routines).
+
+All functions take per-element corner arrays of shape ``(n, 8)`` (the
+``CollectDomainNodesToElemNodes`` gather) and return per-element arrays.
+Formulas are transcribed from the reference implementation; corner ordering
+is the LULESH hexahedron: nodes 0-3 on the bottom face (counterclockwise
+looking down the +zeta axis), nodes 4-7 directly above them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "calc_elem_volume",
+    "calc_elem_characteristic_length",
+    "calc_elem_shape_function_derivatives",
+    "calc_elem_node_normals",
+    "calc_elem_velocity_gradient",
+    "calc_elem_volume_derivative",
+    "GAMMA_HOURGLASS",
+]
+
+# The four hourglass base vectors of the Flanagan-Belytschko kinematic
+# hourglass filter (rows: modes, columns: element corners).
+GAMMA_HOURGLASS = np.array(
+    [
+        [1.0, 1.0, -1.0, -1.0, -1.0, -1.0, 1.0, 1.0],
+        [1.0, -1.0, -1.0, 1.0, -1.0, 1.0, 1.0, -1.0],
+        [1.0, -1.0, 1.0, -1.0, 1.0, -1.0, 1.0, -1.0],
+        [-1.0, 1.0, -1.0, 1.0, 1.0, -1.0, 1.0, -1.0],
+    ]
+)
+
+
+def _triple(ax, ay, az, bx, by, bz, cx, cy, cz):
+    """Scalar triple product a . (b x c), elementwise."""
+    return (
+        ax * (by * cz - bz * cy)
+        + ay * (bz * cx - bx * cz)
+        + az * (bx * cy - by * cx)
+    )
+
+
+def calc_elem_volume(x: np.ndarray, y: np.ndarray, z: np.ndarray) -> np.ndarray:
+    """Hexahedron volume (``CalcElemVolume``), shape ``(n,)``.
+
+    The standard 3-triple-product formula: exact for any hexahedron with
+    planar *or* warped (bilinear) faces, 1/12 of the sum of three scalar
+    triple products of face-diagonal combinations.
+    """
+    d = lambda a, b: (x[:, a] - x[:, b], y[:, a] - y[:, b], z[:, a] - z[:, b])
+    dx61, dy61, dz61 = d(6, 1)
+    dx70, dy70, dz70 = d(7, 0)
+    dx63, dy63, dz63 = d(6, 3)
+    dx20, dy20, dz20 = d(2, 0)
+    dx50, dy50, dz50 = d(5, 0)
+    dx64, dy64, dz64 = d(6, 4)
+    dx31, dy31, dz31 = d(3, 1)
+    dx72, dy72, dz72 = d(7, 2)
+    dx43, dy43, dz43 = d(4, 3)
+    dx57, dy57, dz57 = d(5, 7)
+    dx14, dy14, dz14 = d(1, 4)
+    dx25, dy25, dz25 = d(2, 5)
+    volume = (
+        _triple(
+            dx31 + dx72, dy31 + dy72, dz31 + dz72,
+            dx63, dy63, dz63,
+            dx20, dy20, dz20,
+        )
+        + _triple(
+            dx43 + dx57, dy43 + dy57, dz43 + dz57,
+            dx64, dy64, dz64,
+            dx70, dy70, dz70,
+        )
+        + _triple(
+            dx14 + dx25, dy14 + dy25, dz14 + dz25,
+            dx61, dy61, dz61,
+            dx50, dy50, dz50,
+        )
+    )
+    return volume / 12.0
+
+
+def _area_face_sq(
+    x: np.ndarray, y: np.ndarray, z: np.ndarray, c0: int, c1: int, c2: int, c3: int
+) -> np.ndarray:
+    """LULESH ``AreaFace``: 4 * (quad face area)**2 via |f x g|**2."""
+    fx = (x[:, c2] - x[:, c0]) - (x[:, c3] - x[:, c1])
+    fy = (y[:, c2] - y[:, c0]) - (y[:, c3] - y[:, c1])
+    fz = (z[:, c2] - z[:, c0]) - (z[:, c3] - z[:, c1])
+    gx = (x[:, c2] - x[:, c0]) + (x[:, c3] - x[:, c1])
+    gy = (y[:, c2] - y[:, c0]) + (y[:, c3] - y[:, c1])
+    gz = (z[:, c2] - z[:, c0]) + (z[:, c3] - z[:, c1])
+    dot = fx * gx + fy * gy + fz * gz
+    return (fx * fx + fy * fy + fz * fz) * (gx * gx + gy * gy + gz * gz) - dot * dot
+
+
+# The six faces in the reference's evaluation order.
+_FACES = ((0, 1, 2, 3), (4, 5, 6, 7), (0, 1, 5, 4), (1, 2, 6, 5), (2, 3, 7, 6), (3, 0, 4, 7))
+
+
+def calc_elem_characteristic_length(
+    x: np.ndarray, y: np.ndarray, z: np.ndarray, volume: np.ndarray
+) -> np.ndarray:
+    """``CalcElemCharacteristicLength``: 4*V / sqrt(max face metric)."""
+    char = _area_face_sq(x, y, z, *_FACES[0])
+    for face in _FACES[1:]:
+        np.maximum(char, _area_face_sq(x, y, z, *face), out=char)
+    return 4.0 * volume / np.sqrt(char)
+
+
+def calc_elem_shape_function_derivatives(
+    x: np.ndarray, y: np.ndarray, z: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """``CalcElemShapeFunctionDerivatives``.
+
+    Returns ``(b, detv)`` where ``b`` has shape ``(n, 3, 8)`` — the volume
+    derivatives of the trilinear shape functions evaluated at the element
+    center — and ``detv`` is the element volume (8x the Jacobian determinant
+    at the center), shape ``(n,)``.
+    """
+    # Jacobian columns at the element center (0.125 = trilinear weights).
+    def fj(c: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        t60 = c[:, 6] - c[:, 0]
+        t53 = c[:, 5] - c[:, 3]
+        t71 = c[:, 7] - c[:, 1]
+        t42 = c[:, 4] - c[:, 2]
+        fxi = 0.125 * (t60 + t53 - t71 - t42)
+        fet = 0.125 * (t60 - t53 + t71 - t42)
+        fze = 0.125 * (t60 + t53 + t71 + t42)
+        return fxi, fet, fze
+
+    fjxxi, fjxet, fjxze = fj(x)
+    fjyxi, fjyet, fjyze = fj(y)
+    fjzxi, fjzet, fjzze = fj(z)
+
+    # Cofactors of the Jacobian.
+    cjxxi = fjyet * fjzze - fjzet * fjyze
+    cjxet = -fjyxi * fjzze + fjzxi * fjyze
+    cjxze = fjyxi * fjzet - fjzxi * fjyet
+
+    cjyxi = -fjxet * fjzze + fjzet * fjxze
+    cjyet = fjxxi * fjzze - fjzxi * fjxze
+    cjyze = -fjxxi * fjzet + fjzxi * fjxet
+
+    cjzxi = fjxet * fjyze - fjyet * fjxze
+    cjzet = -fjxxi * fjyze + fjyxi * fjxze
+    cjzze = fjxxi * fjyet - fjyxi * fjxet
+
+    n = x.shape[0]
+    b = np.empty((n, 3, 8), dtype=x.dtype)
+    for dim, (cxi, cet, cze) in enumerate(
+        ((cjxxi, cjxet, cjxze), (cjyxi, cjyet, cjyze), (cjzxi, cjzet, cjzze))
+    ):
+        b[:, dim, 0] = -cxi - cet - cze
+        b[:, dim, 1] = cxi - cet - cze
+        b[:, dim, 2] = cxi + cet - cze
+        b[:, dim, 3] = -cxi + cet - cze
+        b[:, dim, 4] = -b[:, dim, 2]
+        b[:, dim, 5] = -b[:, dim, 3]
+        b[:, dim, 6] = -b[:, dim, 0]
+        b[:, dim, 7] = -b[:, dim, 1]
+
+    detv = 8.0 * (fjxet * cjxet + fjyet * cjyet + fjzet * cjzet)
+    return b, detv
+
+
+# Face corner quadruples for CalcElemNodeNormals, reference order.
+_NORMAL_FACES = (
+    (0, 1, 2, 3),
+    (0, 4, 5, 1),
+    (1, 5, 6, 2),
+    (2, 6, 7, 3),
+    (3, 7, 4, 0),
+    (4, 7, 6, 5),
+)
+
+
+# Face->corner incidence matrix (6 faces x 8 corners) for the batched sum.
+_FACE_CORNER = None
+
+
+def _face_corner_matrix() -> "np.ndarray":
+    global _FACE_CORNER
+    if _FACE_CORNER is None:
+        m = np.zeros((6, 8), dtype=np.float64)
+        for f, face in enumerate(_NORMAL_FACES):
+            for c in face:
+                m[f, c] = 1.0
+        _FACE_CORNER = m
+    return _FACE_CORNER
+
+
+_NORMAL_FACE_IDX = None
+
+
+def _normal_face_idx() -> "np.ndarray":
+    global _NORMAL_FACE_IDX
+    if _NORMAL_FACE_IDX is None:
+        _NORMAL_FACE_IDX = np.array(_NORMAL_FACES, dtype=np.intp)  # (6, 4)
+    return _NORMAL_FACE_IDX
+
+
+def calc_elem_node_normals(
+    x: np.ndarray, y: np.ndarray, z: np.ndarray
+) -> np.ndarray:
+    """``CalcElemNodeNormals``: area-weighted outward normals per corner.
+
+    Returns shape ``(n, 3, 8)``: each face's quarter-area normal is added to
+    its four corner nodes (``SumElemFaceNormal``).  All six faces are
+    evaluated in one batched pass; the corner accumulation is the face-to-
+    corner incidence matmul.
+    """
+    idx = _normal_face_idx()
+    n = x.shape[0]
+    # (n, 6, 4) per-face corner coordinates.
+    xf, yf, zf = x[:, idx], y[:, idx], z[:, idx]
+    bis0 = lambda c: 0.5 * (c[:, :, 3] + c[:, :, 2] - c[:, :, 1] - c[:, :, 0])
+    bis1 = lambda c: 0.5 * (c[:, :, 2] + c[:, :, 1] - c[:, :, 3] - c[:, :, 0])
+    bx0, by0, bz0 = bis0(xf), bis0(yf), bis0(zf)
+    bx1, by1, bz1 = bis1(xf), bis1(yf), bis1(zf)
+    areas = np.empty((n, 3, 6), dtype=x.dtype)
+    areas[:, 0, :] = 0.25 * (by0 * bz1 - bz0 * by1)
+    areas[:, 1, :] = 0.25 * (bz0 * bx1 - bx0 * bz1)
+    areas[:, 2, :] = 0.25 * (bx0 * by1 - by0 * bx1)
+    # pf[n, d, c] = sum_f areas[n, d, f] * incidence[f, c]
+    return areas @ _face_corner_matrix()
+
+
+def calc_elem_velocity_gradient(
+    xvel: np.ndarray,
+    yvel: np.ndarray,
+    zvel: np.ndarray,
+    b: np.ndarray,
+    detv: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """``CalcElemVelocityGradient``: principal strain rates (dxx, dyy, dzz).
+
+    Uses the antisymmetry of the centered shape-function derivatives
+    (``b[:, :, 4:] = -b[:, :, perm]``) to fold the 8-corner sums into four
+    differences, exactly as the reference does.
+    """
+    inv_detv = 1.0 / detv
+    pfx = b[:, 0, :]
+    pfy = b[:, 1, :]
+    pfz = b[:, 2, :]
+
+    def principal(pf: np.ndarray, vel: np.ndarray) -> np.ndarray:
+        return inv_detv * (
+            pf[:, 0] * (vel[:, 0] - vel[:, 6])
+            + pf[:, 1] * (vel[:, 1] - vel[:, 7])
+            + pf[:, 2] * (vel[:, 2] - vel[:, 4])
+            + pf[:, 3] * (vel[:, 3] - vel[:, 5])
+        )
+
+    dxx = principal(pfx, xvel)
+    dyy = principal(pfy, yvel)
+    dzz = principal(pfz, zvel)
+    return dxx, dyy, dzz
+
+
+# VoluDer corner-permutation table: row ``a`` lists the six corners whose
+# positions enter the analytic dV/d(x_a) formula.  Derived from the
+# reference's explicit call list; bottom-face rows rotate the bottom ring,
+# top-face rows rotate the top ring in the opposite winding.  Validated
+# against finite differences of calc_elem_volume in the unit tests.
+def _voluder_rows() -> tuple[tuple[int, ...], ...]:
+    rows: list[tuple[int, ...]] = []
+    for a in range(4):  # bottom face corners
+        rows.append(
+            (
+                (a + 1) % 4,
+                (a + 2) % 4,
+                (a + 3) % 4,
+                a + 4,
+                4 + (a + 1) % 4,
+                4 + (a + 3) % 4,
+            )
+        )
+    for b_ in range(4):  # top face corners (reversed winding)
+        rows.append(
+            (
+                4 + (b_ + 3) % 4,
+                4 + (b_ + 2) % 4,
+                4 + (b_ + 1) % 4,
+                b_,
+                (b_ + 3) % 4,
+                (b_ + 1) % 4,
+            )
+        )
+    return tuple(rows)
+
+
+_VOLUDER_ROWS = _voluder_rows()
+
+
+# Row-major index matrix of the permutation table, for batched gathers.
+_VOLUDER_IDX = None
+
+
+def _voluder_idx() -> "np.ndarray":
+    global _VOLUDER_IDX
+    if _VOLUDER_IDX is None:
+        _VOLUDER_IDX = np.array(_VOLUDER_ROWS, dtype=np.intp)  # (8, 6)
+    return _VOLUDER_IDX
+
+
+def calc_elem_volume_derivative(
+    x: np.ndarray, y: np.ndarray, z: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """``CalcElemVolumeDerivative``: (dV/dx_a, dV/dy_a, dV/dz_a).
+
+    Returns three ``(n, 8)`` arrays: the gradient of the element volume with
+    respect to each corner coordinate (used by the hourglass control).
+
+    All eight corner rows are evaluated in one batched pass: the permuted
+    corner coordinates are gathered into ``(n, 8, 6)`` arrays and the
+    VoluDer expression applied across the last axis — identical per-value
+    arithmetic to the row-at-a-time reference, ~4x fewer NumPy dispatches.
+    """
+    idx = _voluder_idx()
+    xp = x[:, idx]  # (n, 8, 6): corner a's six permuted neighbours
+    yp = y[:, idx]
+    zp = z[:, idx]
+    x0, x1, x2, x3, x4, x5 = (xp[:, :, i] for i in range(6))
+    y0, y1, y2, y3, y4, y5 = (yp[:, :, i] for i in range(6))
+    z0, z1, z2, z3, z4, z5 = (zp[:, :, i] for i in range(6))
+    dvdx = (
+        (y1 + y2) * (z0 + z1)
+        - (y0 + y1) * (z1 + z2)
+        + (y0 + y4) * (z3 + z4)
+        - (y3 + y4) * (z0 + z4)
+        - (y2 + y5) * (z3 + z5)
+        + (y3 + y5) * (z2 + z5)
+    ) / 12.0
+    dvdy = (
+        -(x1 + x2) * (z0 + z1)
+        + (x0 + x1) * (z1 + z2)
+        - (x0 + x4) * (z3 + z4)
+        + (x3 + x4) * (z0 + z4)
+        + (x2 + x5) * (z3 + z5)
+        - (x3 + x5) * (z2 + z5)
+    ) / 12.0
+    dvdz = (
+        -(y1 + y2) * (x0 + x1)
+        + (y0 + y1) * (x1 + x2)
+        - (y0 + y4) * (x3 + x4)
+        + (y3 + y4) * (x0 + x4)
+        + (y2 + y5) * (x3 + x5)
+        - (y3 + y5) * (x2 + x5)
+    ) / 12.0
+    return dvdx, dvdy, dvdz

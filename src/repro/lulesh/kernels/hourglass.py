@@ -1,0 +1,99 @@
+"""Hourglass-control kernels (Flanagan–Belytschko kinematic filter).
+
+The second force component of ``LagrangeNodal()``: hexahedral elements with
+single-point integration admit zero-energy "hourglass" deformation modes;
+LULESH damps them with the FB hourglass force.  Two kernels, matching the
+reference decomposition:
+
+* :func:`calc_hourglass_control` (``CalcHourglassControlForElems``) —
+  element volume derivatives + coordinate capture, and the element-inversion
+  check on the *old* volume;
+* :func:`calc_fb_hourglass_force` (``CalcFBHourglassForceForElems``) — the
+  mode projection and force, written into the per-corner force arrays
+  (accumulated on top of the stress forces by the node-domain sum kernel).
+
+The paper runs the whole stress chain and the whole hourglass chain as
+*independent* parallel task chains (Fig. 8) — possible because both only
+read coordinates/velocities and write disjoint per-corner arrays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.lulesh.errors import VolumeError
+from repro.lulesh.kernels.geometry import GAMMA_HOURGLASS, calc_elem_volume_derivative
+
+__all__ = ["calc_hourglass_control", "calc_fb_hourglass_force"]
+
+
+def calc_hourglass_control(domain, lo: int, hi: int) -> None:
+    """``CalcHourglassControlForElems`` over elements ``[lo, hi)``.
+
+    Stores dV/d(corner) and corner coordinates for the force kernel, sets
+    ``determ = volo * v`` (the pre-step element volume), and enforces the
+    positive-volume invariant.
+    """
+    x = domain.gather_elem(domain.x, lo, hi)
+    y = domain.gather_elem(domain.y, lo, hi)
+    z = domain.gather_elem(domain.z, lo, hi)
+    dvdx, dvdy, dvdz = calc_elem_volume_derivative(x, y, z)
+    domain.dvdx[lo:hi] = dvdx
+    domain.dvdy[lo:hi] = dvdy
+    domain.dvdz[lo:hi] = dvdz
+    domain.x8n[lo:hi] = x
+    domain.y8n[lo:hi] = y
+    domain.z8n[lo:hi] = z
+    determ = domain.volo[lo:hi] * domain.v[lo:hi]
+    domain.hg_determ[lo:hi] = determ
+    if (domain.v[lo:hi] <= 0.0).any():
+        bad = lo + int(np.argmax(domain.v[lo:hi] <= 0.0))
+        raise VolumeError(
+            f"non-positive relative volume in element {bad} (hourglass control)"
+        )
+
+
+def calc_fb_hourglass_force(domain, lo: int, hi: int) -> None:
+    """``CalcFBHourglassForceForElems`` over elements ``[lo, hi)``.
+
+    Adds the hourglass force to the per-corner force arrays.  Skipped
+    entirely when ``hgcoef == 0`` (the reference's guard).
+    """
+    hourg = domain.opts.hgcoef
+    if hourg <= 0.0:
+        domain.hgfx_elem.reshape(-1, 8)[lo:hi] = 0.0
+        domain.hgfy_elem.reshape(-1, 8)[lo:hi] = 0.0
+        domain.hgfz_elem.reshape(-1, 8)[lo:hi] = 0.0
+        return
+    gamma = GAMMA_HOURGLASS  # (4 modes, 8 corners)
+    determ = domain.hg_determ[lo:hi]
+    volinv = 1.0 / determ
+
+    # hourmod[m] = sum_a coord8n[a] * gamma[m][a]  -> (n, 4)
+    hmx = domain.x8n[lo:hi] @ gamma.T
+    hmy = domain.y8n[lo:hi] @ gamma.T
+    hmz = domain.z8n[lo:hi] @ gamma.T
+
+    # hourgam[a][m] = gamma[m][a] - volinv * (dvdx[a]*hmx[m] + ...)
+    hourgam = gamma.T[None, :, :] - volinv[:, None, None] * (
+        domain.dvdx[lo:hi][:, :, None] * hmx[:, None, :]
+        + domain.dvdy[lo:hi][:, :, None] * hmy[:, None, :]
+        + domain.dvdz[lo:hi][:, :, None] * hmz[:, None, :]
+    )
+
+    ss1 = domain.ss[lo:hi]
+    mass1 = domain.elemMass[lo:hi]
+    volume13 = np.cbrt(determ)
+    coefficient = -hourg * 0.01 * ss1 * mass1 / volume13
+
+    xd = domain.gather_elem(domain.xd, lo, hi)
+    yd = domain.gather_elem(domain.yd, lo, hi)
+    zd = domain.gather_elem(domain.zd, lo, hi)
+
+    fx = domain.hgfx_elem.reshape(-1, 8)
+    fy = domain.hgfy_elem.reshape(-1, 8)
+    fz = domain.hgfz_elem.reshape(-1, 8)
+    # h[m] = sum_a hourgam[a][m] * vel[a]; force[a] = coeff * hourgam[a][m] h[m]
+    for vel, f in ((xd, fx), (yd, fy), (zd, fz)):
+        h = np.einsum("nam,na->nm", hourgam, vel)
+        f[lo:hi] = coefficient[:, None] * np.einsum("nam,nm->na", hourgam, h)

@@ -1,0 +1,72 @@
+"""Element kinematics: ``CalcKinematicsForElems`` + deviatoric strain rates.
+
+The first stage of ``LagrangeElements()`` (paper Fig. 3 "CalcLagrangeElements"):
+from the updated node positions/velocities compute, per element, the new
+relative volume, its increment, the characteristic length, and the principal
+strain rates at the midpoint configuration; then subtract the volumetric
+part (``vdov/3``) to leave the deviatoric strain rate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.lulesh.errors import VolumeError
+from repro.lulesh.kernels.geometry import (
+    calc_elem_characteristic_length,
+    calc_elem_shape_function_derivatives,
+    calc_elem_velocity_gradient,
+    calc_elem_volume,
+)
+
+__all__ = ["calc_kinematics", "calc_lagrange_elements_part2"]
+
+
+def calc_kinematics(domain, lo: int, hi: int, dt: float) -> None:
+    """``CalcKinematicsForElems`` over elements ``[lo, hi)``."""
+    x = domain.gather_elem(domain.x, lo, hi)
+    y = domain.gather_elem(domain.y, lo, hi)
+    z = domain.gather_elem(domain.z, lo, hi)
+    xd = domain.gather_elem(domain.xd, lo, hi)
+    yd = domain.gather_elem(domain.yd, lo, hi)
+    zd = domain.gather_elem(domain.zd, lo, hi)
+
+    volume = calc_elem_volume(x, y, z)
+    relative_volume = volume / domain.volo[lo:hi]
+    domain.vnew[lo:hi] = relative_volume
+    domain.delv[lo:hi] = relative_volume - domain.v[lo:hi]
+    domain.arealg[lo:hi] = calc_elem_characteristic_length(x, y, z, volume)
+
+    # Strain rates are evaluated at the half-step configuration.
+    dt2 = 0.5 * dt
+    x -= dt2 * xd
+    y -= dt2 * yd
+    z -= dt2 * zd
+    b, detv = calc_elem_shape_function_derivatives(x, y, z)
+    dxx, dyy, dzz = calc_elem_velocity_gradient(xd, yd, zd, b, detv)
+    domain.dxx[lo:hi] = dxx
+    domain.dyy[lo:hi] = dyy
+    domain.dzz[lo:hi] = dzz
+
+
+def calc_kinematics_dt(domain, dt: float, lo: int, hi: int) -> None:
+    """Orchestration-friendly argument order for :func:`calc_kinematics`."""
+    calc_kinematics(domain, lo, hi, dt)
+
+
+def calc_lagrange_elements_part2(domain, lo: int, hi: int) -> None:
+    """Deviatoric strain rates + volume sanity (``CalcLagrangeElements`` tail).
+
+    ``vdov = tr(D)``; the trace third is subtracted from each principal
+    strain rate.  Raises :class:`VolumeError` if any new relative volume is
+    non-positive, like the reference.
+    """
+    vdov = domain.dxx[lo:hi] + domain.dyy[lo:hi] + domain.dzz[lo:hi]
+    vdovthird = vdov / 3.0
+    domain.vdov[lo:hi] = vdov
+    domain.dxx[lo:hi] -= vdovthird
+    domain.dyy[lo:hi] -= vdovthird
+    domain.dzz[lo:hi] -= vdovthird
+    if (domain.vnew[lo:hi] <= 0.0).any():
+        bad = lo + int(np.argmax(domain.vnew[lo:hi] <= 0.0))
+        raise VolumeError(f"element {bad} inverted (vnew <= 0) in kinematics")

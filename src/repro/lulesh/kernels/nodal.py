@@ -1,0 +1,93 @@
+"""Node-centered kernels of ``LagrangeNodal()``.
+
+* :func:`sum_elem_forces_to_nodes` — gathers the stress and hourglass
+  per-corner contributions into nodal forces (the node-domain half of the
+  two-phase force summation; the synchronization point after the parallel
+  force chains of paper Fig. 8);
+* :func:`calc_acceleration` — ``CalcAccelerationForNodes``: a = F / m;
+* :func:`apply_acceleration_bc` —
+  ``ApplyAccelerationBoundaryConditionsForNodes``: zero normal acceleration
+  on the three symmetry planes;
+* :func:`calc_velocity` — ``CalcVelocityForNodes``: v += a*dt with the
+  ``u_cut`` snap-to-zero;
+* :func:`calc_position` — ``CalcPositionForNodes``: x += v*dt.
+
+Velocity and position are the paper's running example of dependence purely
+*per node*: "there is no need to delay the calculation of a specific
+individual node's position until the velocity of all other nodes has been
+calculated" — which is why the HPX port chains them per partition.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "sum_elem_forces_to_nodes",
+    "calc_acceleration",
+    "apply_acceleration_bc",
+    "calc_velocity",
+    "calc_position",
+]
+
+
+def sum_elem_forces_to_nodes(domain, lo: int, hi: int) -> None:
+    """Total force on nodes ``[lo, hi)`` from both per-corner buffers."""
+    mesh = domain.mesh
+    mesh.sum_corners_to_nodes(domain.fx_elem, domain.fx, lo, hi)
+    mesh.sum_corners_to_nodes(domain.fy_elem, domain.fy, lo, hi)
+    mesh.sum_corners_to_nodes(domain.fz_elem, domain.fz, lo, hi)
+    mesh.sum_corners_to_nodes(domain.hgfx_elem, domain.fx, lo, hi, accumulate=True)
+    mesh.sum_corners_to_nodes(domain.hgfy_elem, domain.fy, lo, hi, accumulate=True)
+    mesh.sum_corners_to_nodes(domain.hgfz_elem, domain.fz, lo, hi, accumulate=True)
+
+
+def calc_acceleration(domain, lo: int, hi: int) -> None:
+    """``CalcAccelerationForNodes``: a = F / nodalMass."""
+    m = domain.nodalMass[lo:hi]
+    domain.xdd[lo:hi] = domain.fx[lo:hi] / m
+    domain.ydd[lo:hi] = domain.fy[lo:hi] / m
+    domain.zdd[lo:hi] = domain.fz[lo:hi] / m
+
+
+def apply_acceleration_bc(domain) -> None:
+    """Zero the normal acceleration on the x=0 / y=0 / z=0 symmetry planes.
+
+    Operates on the (small) symmetry node lists rather than a node range;
+    the reference parallelizes over the three lists, and both orchestrations
+    here run it as a single cheap kernel.
+    """
+    mesh = domain.mesh
+    domain.xdd[mesh.symmX] = 0.0
+    domain.ydd[mesh.symmY] = 0.0
+    domain.zdd[mesh.symmZ] = 0.0
+
+
+def calc_velocity(domain, lo: int, hi: int, dt: float) -> None:
+    """``CalcVelocityForNodes``: v += a*dt, tiny values snapped to zero."""
+    u_cut = domain.opts.u_cut
+    for vel, acc in (
+        (domain.xd, domain.xdd),
+        (domain.yd, domain.ydd),
+        (domain.zd, domain.zdd),
+    ):
+        vnew = vel[lo:hi] + acc[lo:hi] * dt
+        vnew[np.abs(vnew) < u_cut] = 0.0
+        vel[lo:hi] = vnew
+
+
+def calc_position(domain, lo: int, hi: int, dt: float) -> None:
+    """``CalcPositionForNodes``: x += v*dt."""
+    domain.x[lo:hi] += domain.xd[lo:hi] * dt
+    domain.y[lo:hi] += domain.yd[lo:hi] * dt
+    domain.z[lo:hi] += domain.zd[lo:hi] * dt
+
+
+def calc_velocity_dt(domain, dt: float, lo: int, hi: int) -> None:
+    """Orchestration-friendly argument order for :func:`calc_velocity`."""
+    calc_velocity(domain, lo, hi, dt)
+
+
+def calc_position_dt(domain, dt: float, lo: int, hi: int) -> None:
+    """Orchestration-friendly argument order for :func:`calc_position`."""
+    calc_position(domain, lo, hi, dt)

@@ -1,0 +1,212 @@
+"""Artificial viscosity: monotonic Q gradients and per-region Q evaluation.
+
+``CalcQForElems`` (paper Fig. 3): first a full-mesh gradient pass computes
+velocity/position gradients along the three logical mesh directions
+(xi/eta/zeta); then, per material region, a limiter ("monotonic Q") converts
+them into the linear and quadratic viscosity terms ``ql`` / ``qq`` consumed
+by the EOS.  Boundary handling follows the reference's bitmask switch:
+symmetry faces mirror the element's own gradient, free faces contribute
+zero, interior faces read the face neighbour via ``lxim``/``lxip`` etc.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.lulesh.errors import QStopError
+from repro.lulesh.mesh import (
+    ETA_M,
+    ETA_M_FREE,
+    ETA_M_SYMM,
+    ETA_P,
+    ETA_P_FREE,
+    ETA_P_SYMM,
+    XI_M,
+    XI_M_FREE,
+    XI_M_SYMM,
+    XI_P,
+    XI_P_FREE,
+    XI_P_SYMM,
+    ZETA_M,
+    ZETA_M_FREE,
+    ZETA_M_SYMM,
+    ZETA_P,
+    ZETA_P_FREE,
+    ZETA_P_SYMM,
+)
+
+__all__ = ["calc_monotonic_q_gradients", "calc_monotonic_q_region", "check_q_stop"]
+
+_PTINY = 1.0e-36
+
+
+def calc_monotonic_q_gradients(domain, lo: int, hi: int) -> None:
+    """``CalcMonotonicQGradientsForElems`` over elements ``[lo, hi)``."""
+    x = domain.gather_elem(domain.x, lo, hi)
+    y = domain.gather_elem(domain.y, lo, hi)
+    z = domain.gather_elem(domain.z, lo, hi)
+    xv = domain.gather_elem(domain.xd, lo, hi)
+    yv = domain.gather_elem(domain.yd, lo, hi)
+    zv = domain.gather_elem(domain.zd, lo, hi)
+
+    vol = domain.volo[lo:hi] * domain.vnew[lo:hi]
+    norm = 1.0 / (vol + _PTINY)
+
+    def face_diff(c: np.ndarray, plus: tuple, minus: tuple, sign: float) -> np.ndarray:
+        s = c[:, plus[0]] + c[:, plus[1]] + c[:, plus[2]] + c[:, plus[3]]
+        t = c[:, minus[0]] + c[:, minus[1]] + c[:, minus[2]] + c[:, minus[3]]
+        return sign * 0.25 * (s - t)
+
+    # Centered direction vectors of the logical axes.
+    dxj = face_diff(x, (0, 1, 5, 4), (3, 2, 6, 7), -1.0)
+    dyj = face_diff(y, (0, 1, 5, 4), (3, 2, 6, 7), -1.0)
+    dzj = face_diff(z, (0, 1, 5, 4), (3, 2, 6, 7), -1.0)
+    dxi = face_diff(x, (1, 2, 6, 5), (0, 3, 7, 4), 1.0)
+    dyi = face_diff(y, (1, 2, 6, 5), (0, 3, 7, 4), 1.0)
+    dzi = face_diff(z, (1, 2, 6, 5), (0, 3, 7, 4), 1.0)
+    dxk = face_diff(x, (4, 5, 6, 7), (0, 1, 2, 3), 1.0)
+    dyk = face_diff(y, (4, 5, 6, 7), (0, 1, 2, 3), 1.0)
+    dzk = face_diff(z, (4, 5, 6, 7), (0, 1, 2, 3), 1.0)
+
+    def direction(
+        a: tuple[np.ndarray, np.ndarray, np.ndarray],
+        b: tuple[np.ndarray, np.ndarray, np.ndarray],
+        vplus: tuple,
+        vminus: tuple,
+        vsign: float,
+        delx_out: np.ndarray,
+        delv_out: np.ndarray,
+    ) -> None:
+        ax = a[1] * b[2] - a[2] * b[1]
+        ay = a[2] * b[0] - a[0] * b[2]
+        az = a[0] * b[1] - a[1] * b[0]
+        delx_out[lo:hi] = vol / np.sqrt(ax * ax + ay * ay + az * az + _PTINY)
+        ax *= norm
+        ay *= norm
+        az *= norm
+        dxv = face_diff(xv, vplus, vminus, vsign)
+        dyv = face_diff(yv, vplus, vminus, vsign)
+        dzv = face_diff(zv, vplus, vminus, vsign)
+        delv_out[lo:hi] = ax * dxv + ay * dyv + az * dzv
+
+    # zeta: normal = di x dj, velocity difference across the k faces
+    direction(
+        (dxi, dyi, dzi), (dxj, dyj, dzj),
+        (4, 5, 6, 7), (0, 1, 2, 3), 1.0,
+        domain.delx_zeta, domain.delv_zeta,
+    )
+    # xi: normal = dj x dk, velocity difference across the i faces
+    direction(
+        (dxj, dyj, dzj), (dxk, dyk, dzk),
+        (1, 2, 6, 5), (0, 3, 7, 4), 1.0,
+        domain.delx_xi, domain.delv_xi,
+    )
+    # eta: normal = dk x di, velocity difference across the j faces
+    direction(
+        (dxk, dyk, dzk), (dxi, dyi, dzi),
+        (0, 1, 5, 4), (3, 2, 6, 7), -1.0,
+        domain.delx_eta, domain.delv_eta,
+    )
+
+
+def _limited_phi(
+    delv: np.ndarray,
+    idx: np.ndarray,
+    bc: np.ndarray,
+    mask: int,
+    symm: int,
+    free: int,
+    neighbor_minus: np.ndarray,
+    mask_p: int,
+    symm_p: int,
+    free_p: int,
+    neighbor_plus: np.ndarray,
+    limiter_mult: float,
+    max_slope: float,
+) -> np.ndarray:
+    """The monotonic limiter for one logical direction."""
+    center = delv[idx]
+    norm = 1.0 / (center + _PTINY)
+
+    bcm = bc & mask
+    delvm = delv[neighbor_minus[idx]]
+    delvm = np.where(bcm == symm, center, delvm)
+    delvm = np.where(bcm == free, 0.0, delvm)
+
+    bcp = bc & mask_p
+    delvp = delv[neighbor_plus[idx]]
+    delvp = np.where(bcp == symm_p, center, delvp)
+    delvp = np.where(bcp == free_p, 0.0, delvp)
+
+    delvm = delvm * norm
+    delvp = delvp * norm
+    phi = 0.5 * (delvm + delvp)
+    delvm = delvm * limiter_mult
+    delvp = delvp * limiter_mult
+    np.minimum(phi, delvm, out=phi)
+    np.minimum(phi, delvp, out=phi)
+    np.clip(phi, 0.0, max_slope, out=phi)
+    return phi
+
+
+def calc_monotonic_q_region(domain, reg_elems: np.ndarray, lo: int, hi: int) -> None:
+    """``CalcMonotonicQRegionForElems`` over ``reg_elems[lo:hi]``."""
+    opts = domain.opts
+    mesh = domain.mesh
+    idx = reg_elems[lo:hi]
+    if idx.size == 0:
+        return
+    bc = mesh.elemBC[idx]
+
+    phixi = _limited_phi(
+        domain.delv_xi, idx, bc,
+        XI_M, XI_M_SYMM, XI_M_FREE, mesh.lxim,
+        XI_P, XI_P_SYMM, XI_P_FREE, mesh.lxip,
+        opts.monoq_limiter_mult, opts.monoq_max_slope,
+    )
+    phieta = _limited_phi(
+        domain.delv_eta, idx, bc,
+        ETA_M, ETA_M_SYMM, ETA_M_FREE, mesh.letam,
+        ETA_P, ETA_P_SYMM, ETA_P_FREE, mesh.letap,
+        opts.monoq_limiter_mult, opts.monoq_max_slope,
+    )
+    phizeta = _limited_phi(
+        domain.delv_zeta, idx, bc,
+        ZETA_M, ZETA_M_SYMM, ZETA_M_FREE, mesh.lzetam,
+        ZETA_P, ZETA_P_SYMM, ZETA_P_FREE, mesh.lzetap,
+        opts.monoq_limiter_mult, opts.monoq_max_slope,
+    )
+
+    delvxxi = np.minimum(domain.delv_xi[idx] * domain.delx_xi[idx], 0.0)
+    delvxeta = np.minimum(domain.delv_eta[idx] * domain.delx_eta[idx], 0.0)
+    delvxzeta = np.minimum(domain.delv_zeta[idx] * domain.delx_zeta[idx], 0.0)
+
+    rho = domain.elemMass[idx] / (domain.volo[idx] * domain.vnew[idx])
+    qlin = -opts.qlc_monoq * rho * (
+        delvxxi * (1.0 - phixi)
+        + delvxeta * (1.0 - phieta)
+        + delvxzeta * (1.0 - phizeta)
+    )
+    qquad = opts.qqc_monoq * rho * (
+        delvxxi * delvxxi * (1.0 - phixi * phixi)
+        + delvxeta * delvxeta * (1.0 - phieta * phieta)
+        + delvxzeta * delvxzeta * (1.0 - phizeta * phizeta)
+    )
+
+    # Expanding elements (vdov > 0) get no artificial viscosity.
+    expanding = domain.vdov[idx] > 0.0
+    qlin[expanding] = 0.0
+    qquad[expanding] = 0.0
+
+    domain.ql[idx] = qlin
+    domain.qq[idx] = qquad
+
+
+def check_q_stop(domain, lo: int, hi: int) -> None:
+    """Abort check of ``CalcQForElems``: q may not exceed ``qstop``."""
+    if (domain.q[lo:hi] > domain.opts.qstop).any():
+        bad = lo + int(np.argmax(domain.q[lo:hi] > domain.opts.qstop))
+        raise QStopError(
+            f"artificial viscosity exceeded qstop={domain.opts.qstop} "
+            f"in element {bad}"
+        )

@@ -1,0 +1,56 @@
+"""Stress-force kernels: ``InitStressTermsForElems`` + ``IntegrateStressForElems``.
+
+The first force component of ``LagrangeNodal()`` (§II-B): the isotropic
+stress ``sig = -p - q`` of each element is integrated over the element's
+faces, producing per-corner force contributions which a separate node-domain
+kernel (:func:`repro.lulesh.kernels.nodal.sum_elem_forces_to_nodes`) gathers
+into nodal forces.  The two-phase split matches the OpenMP reference's
+thread-safe structure and is exactly the task boundary the paper's HPX port
+uses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.lulesh.errors import VolumeError
+from repro.lulesh.kernels.geometry import (
+    calc_elem_node_normals,
+    calc_elem_shape_function_derivatives,
+)
+
+__all__ = ["init_stress_terms", "integrate_stress"]
+
+
+def init_stress_terms(domain, lo: int, hi: int) -> None:
+    """``InitStressTermsForElems``: sig_xx = sig_yy = sig_zz = -p - q."""
+    sig = -domain.p[lo:hi] - domain.q[lo:hi]
+    domain.sigxx[lo:hi] = sig
+    domain.sigyy[lo:hi] = sig
+    domain.sigzz[lo:hi] = sig
+
+
+def integrate_stress(domain, lo: int, hi: int) -> None:
+    """``IntegrateStressForElems`` over elements ``[lo, hi)``.
+
+    Writes per-corner forces into ``fx_elem/fy_elem/fz_elem`` and the element
+    volume into ``determ``; raises :class:`VolumeError` on non-positive
+    volumes like the reference.
+    """
+    x = domain.gather_elem(domain.x, lo, hi)
+    y = domain.gather_elem(domain.y, lo, hi)
+    z = domain.gather_elem(domain.z, lo, hi)
+
+    _, detv = calc_elem_shape_function_derivatives(x, y, z)
+    domain.determ[lo:hi] = detv
+    if (detv <= 0.0).any():
+        bad = lo + int(np.argmax(detv <= 0.0))
+        raise VolumeError(f"non-positive volume in element {bad} during stress")
+
+    b = calc_elem_node_normals(x, y, z)
+    fx = domain.fx_elem.reshape(-1, 8)
+    fy = domain.fy_elem.reshape(-1, 8)
+    fz = domain.fz_elem.reshape(-1, 8)
+    fx[lo:hi] = -domain.sigxx[lo:hi, None] * b[:, 0, :]
+    fy[lo:hi] = -domain.sigyy[lo:hi, None] * b[:, 1, :]
+    fz[lo:hi] = -domain.sigzz[lo:hi, None] * b[:, 2, :]

@@ -1,0 +1,312 @@
+"""Hexahedral mesh topology, node sets, adjacency and gather/scatter maps.
+
+Index conventions follow the reference implementation exactly:
+
+* nodes: ``n(i,j,k) = k*(nx+1)**2 + j*(nx+1) + i`` with ``i`` along x,
+* elements: ``e(i,j,k) = k*nx**2 + j*nx + i``,
+* the 8 corner nodes of an element are ordered bottom face counterclockwise
+  then top face counterclockwise (LULESH ``localNode[0..7]``),
+* element face neighbours ``lxim/lxip`` (xi = i axis), ``letam/letap``
+  (eta = j), ``lzetam/lzetap`` (zeta = k) point to *self* at mesh boundaries,
+* ``elemBC`` carries the per-face boundary-condition bitmask: symmetry on
+  the three minus faces (the Sedov problem simulates one octant), free
+  surface on the three plus faces,
+* ``nodeElemStart`` / ``nodeElemCornerList`` is the CSR corner-to-node map
+  used to accumulate per-element-corner forces into nodal forces — the same
+  structure the OpenMP reference builds for thread-safe force summation.
+
+For the multi-node extension (the paper's §VI future work) the mesh also
+supports **z-slab subdomains**: a box of ``nx x nx x nz`` elements at a
+z-plane offset, whose zeta faces may be communication boundaries
+(``ZETA_*_COMM``) instead of the physical symmetry/free surfaces — exactly
+how the MPI reference marks faces shared with a neighbouring rank.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "XI_M_SYMM",
+    "XI_M_FREE",
+    "XI_M_COMM",
+    "XI_P_SYMM",
+    "XI_P_FREE",
+    "XI_P_COMM",
+    "ETA_M_SYMM",
+    "ETA_M_FREE",
+    "ETA_M_COMM",
+    "ETA_P_SYMM",
+    "ETA_P_FREE",
+    "ETA_P_COMM",
+    "ZETA_M_SYMM",
+    "ZETA_M_FREE",
+    "ZETA_M_COMM",
+    "ZETA_P_SYMM",
+    "ZETA_P_FREE",
+    "ZETA_P_COMM",
+    "XI_M",
+    "XI_P",
+    "ETA_M",
+    "ETA_P",
+    "ZETA_M",
+    "ZETA_P",
+    "Mesh",
+]
+
+# Boundary-condition bitmask values (lulesh.h).  COMM variants mark faces
+# shared with a neighbouring subdomain in the distributed decomposition.
+XI_M_SYMM = 0x00001
+XI_M_FREE = 0x00002
+XI_M_COMM = 0x00004
+XI_M = 0x00007
+XI_P_SYMM = 0x00008
+XI_P_FREE = 0x00010
+XI_P_COMM = 0x00020
+XI_P = 0x00038
+ETA_M_SYMM = 0x00040
+ETA_M_FREE = 0x00080
+ETA_M_COMM = 0x00100
+ETA_M = 0x001C0
+ETA_P_SYMM = 0x00200
+ETA_P_FREE = 0x00400
+ETA_P_COMM = 0x00800
+ETA_P = 0x00E00
+ZETA_M_SYMM = 0x01000
+ZETA_M_FREE = 0x02000
+ZETA_M_COMM = 0x04000
+ZETA_M = 0x07000
+ZETA_P_SYMM = 0x08000
+ZETA_P_FREE = 0x10000
+ZETA_P_COMM = 0x20000
+ZETA_P = 0x38000
+
+_ZETA_BCS = ("symm", "free", "comm")
+
+
+class Mesh:
+    """Static topology of an ``nx * nx * nz`` hexahedral box mesh.
+
+    The default (``nz=None``) is the single-node cube of the reference.
+    For slab subdomains, pass the local plane count ``nz``, the global
+    ``z_offset`` in element planes, and the zeta-face boundary kinds.
+    """
+
+    def __init__(
+        self,
+        nx: int,
+        edge: float = 1.125,
+        nz: int | None = None,
+        z_offset: int = 0,
+        zeta_minus: str = "symm",
+        zeta_plus: str = "free",
+    ) -> None:
+        if nx < 1:
+            raise ValueError(f"nx must be >= 1, got {nx}")
+        if edge <= 0:
+            raise ValueError(f"edge must be positive, got {edge}")
+        if nz is None:
+            nz = nx
+        if nz < 1:
+            raise ValueError(f"nz must be >= 1, got {nz}")
+        if z_offset < 0:
+            raise ValueError(f"z_offset must be non-negative, got {z_offset}")
+        if zeta_minus not in _ZETA_BCS or zeta_plus not in _ZETA_BCS:
+            raise ValueError(
+                f"zeta BCs must be one of {_ZETA_BCS}, "
+                f"got {zeta_minus!r}/{zeta_plus!r}"
+            )
+        self.nx = nx
+        self.nz = nz
+        self.edge = edge
+        self.z_offset = z_offset
+        self.zeta_minus = zeta_minus
+        self.zeta_plus = zeta_plus
+        self.edgeNodes = nx + 1
+        self.numElem = nx * nx * nz
+        self.numNode = (nx + 1) * (nx + 1) * (nz + 1)
+
+        self._build_coordinates()
+        self._build_nodelist()
+        self._build_node_sets()
+        self._build_adjacency()
+        self._build_boundary_masks()
+        self._build_corner_map()
+
+    # --- construction ---------------------------------------------------------
+
+    def _build_coordinates(self) -> None:
+        """Initial node coordinates: uniform lattice, spacing ``edge/nx``."""
+        en = self.edgeNodes
+        h = self.edge / self.nx
+        xy_ticks = h * np.arange(en, dtype=np.float64)
+        z_ticks = h * (self.z_offset + np.arange(self.nz + 1, dtype=np.float64))
+        # n(i,j,k) = k*en^2 + j*en + i with x along i.
+        k, j, i = np.meshgrid(z_ticks, xy_ticks, xy_ticks, indexing="ij")
+        self.x0 = i.ravel()
+        self.y0 = j.ravel()
+        self.z0 = k.ravel()
+
+    def _build_nodelist(self) -> None:
+        """Element-to-corner-node map (numElem, 8), LULESH corner order."""
+        nx, en, nz = self.nx, self.edgeNodes, self.nz
+        kk, jj, ii = np.meshgrid(
+            np.arange(nz), np.arange(nx), np.arange(nx), indexing="ij"
+        )
+        nidx = (kk * en + jj) * en + ii  # node (i,j,k) of each element
+        base = nidx.ravel()
+        plane = en * en
+        self.nodelist = np.empty((self.numElem, 8), dtype=np.int64)
+        self.nodelist[:, 0] = base
+        self.nodelist[:, 1] = base + 1
+        self.nodelist[:, 2] = base + en + 1
+        self.nodelist[:, 3] = base + en
+        self.nodelist[:, 4] = base + plane
+        self.nodelist[:, 5] = base + plane + 1
+        self.nodelist[:, 6] = base + plane + en + 1
+        self.nodelist[:, 7] = base + plane + en
+
+    def _build_node_sets(self) -> None:
+        """Symmetry-plane node lists (x=0, y=0, and z=0 when owned)."""
+        en = self.edgeNodes
+        k, j, i = np.meshgrid(
+            np.arange(self.nz + 1), np.arange(en), np.arange(en), indexing="ij"
+        )
+        nid = ((k * en + j) * en + i).ravel()
+        i, j, k = i.ravel(), j.ravel(), k.ravel()
+        self.symmX = nid[i == 0]
+        self.symmY = nid[j == 0]
+        if self.zeta_minus == "symm":
+            self.symmZ = nid[k == 0]
+        else:
+            self.symmZ = np.array([], dtype=np.int64)
+
+    def _elem_ijk(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        kk, jj, ii = np.meshgrid(
+            np.arange(self.nz), np.arange(self.nx), np.arange(self.nx),
+            indexing="ij",
+        )
+        return ii.ravel(), jj.ravel(), kk.ravel()
+
+    def _build_adjacency(self) -> None:
+        """Face-neighbour element indices; boundary faces point to self.
+
+        For COMM zeta faces the boundary entries also point to self here;
+        the distributed domain rewires them into its ghost-plane slots
+        (see :mod:`repro.dist.domain`).
+        """
+        nx, nz = self.nx, self.nz
+        i, j, k = self._elem_ijk()
+        e = np.arange(self.numElem, dtype=np.int64)
+        self.lxim = np.where(i > 0, e - 1, e)
+        self.lxip = np.where(i < nx - 1, e + 1, e)
+        self.letam = np.where(j > 0, e - nx, e)
+        self.letap = np.where(j < nx - 1, e + nx, e)
+        self.lzetam = np.where(k > 0, e - nx * nx, e)
+        self.lzetap = np.where(k < nz - 1, e + nx * nx, e)
+
+    def _build_boundary_masks(self) -> None:
+        """Per-element BC bitmask for all six logical faces."""
+        nx, nz = self.nx, self.nz
+        i, j, k = self._elem_ijk()
+        bc = np.zeros(self.numElem, dtype=np.int64)
+        bc[i == 0] |= XI_M_SYMM
+        bc[i == nx - 1] |= XI_P_FREE
+        bc[j == 0] |= ETA_M_SYMM
+        bc[j == nx - 1] |= ETA_P_FREE
+        zeta_m_bit = {
+            "symm": ZETA_M_SYMM, "free": ZETA_M_FREE, "comm": ZETA_M_COMM,
+        }[self.zeta_minus]
+        zeta_p_bit = {
+            "symm": ZETA_P_SYMM, "free": ZETA_P_FREE, "comm": ZETA_P_COMM,
+        }[self.zeta_plus]
+        bc[k == 0] |= zeta_m_bit
+        bc[k == nz - 1] |= zeta_p_bit
+        self.elemBC = bc
+
+    def _build_corner_map(self) -> None:
+        """CSR map from nodes to their (element, corner) contributions.
+
+        ``nodeElemCornerList[nodeElemStart[n]:nodeElemStart[n+1]]`` indexes
+        the flattened ``(numElem, 8)`` per-corner arrays for node ``n``.
+        """
+        corners = self.nodelist.ravel()
+        order = np.argsort(corners, kind="stable")
+        sorted_nodes = corners[order]
+        counts = np.bincount(sorted_nodes, minlength=self.numNode)
+        self.nodeElemStart = np.zeros(self.numNode + 1, dtype=np.int64)
+        np.cumsum(counts, out=self.nodeElemStart[1:])
+        self.nodeElemCornerList = order
+
+    # --- node-plane helpers (distributed decomposition) ------------------------
+
+    def node_plane(self, k: int) -> np.ndarray:
+        """Node indices of the z-plane ``k`` (0 <= k <= nz)."""
+        if not 0 <= k <= self.nz:
+            raise ValueError(f"node plane {k} out of range [0, {self.nz}]")
+        en = self.edgeNodes
+        start = k * en * en
+        return np.arange(start, start + en * en, dtype=np.int64)
+
+    def elem_plane(self, k: int) -> np.ndarray:
+        """Element indices of the z-plane ``k`` (0 <= k < nz)."""
+        if not 0 <= k < self.nz:
+            raise ValueError(f"element plane {k} out of range [0, {self.nz})")
+        start = k * self.nx * self.nx
+        return np.arange(start, start + self.nx * self.nx, dtype=np.int64)
+
+    # --- gather / scatter ---------------------------------------------------
+
+    def gather(self, field: np.ndarray, lo: int = 0, hi: int | None = None) -> np.ndarray:
+        """Per-corner view of a nodal field for elements ``[lo, hi)``.
+
+        Returns an ``(hi-lo, 8)`` array, the vectorized equivalent of
+        LULESH's ``CollectDomainNodesToElemNodes``.
+        """
+        if hi is None:
+            hi = self.numElem
+        return field[self.nodelist[lo:hi]]
+
+    def sum_corners_to_nodes(
+        self,
+        per_corner: np.ndarray,
+        out: np.ndarray,
+        lo: int = 0,
+        hi: int | None = None,
+        accumulate: bool = False,
+    ) -> None:
+        """Sum flattened per-corner values into nodes ``[lo, hi)``.
+
+        *per_corner* is the flat view of an ``(numElem, 8)`` array (e.g.
+        ``fx_elem``).  Only nodes in ``[lo, hi)`` are touched — this is the
+        node-domain half of LULESH's two-phase force summation and the unit
+        of work of the task-parallel force-sum kernel.  With
+        ``accumulate=True`` the sums are added to *out* (the hourglass-force
+        ``+=`` path); otherwise they overwrite (the stress-force ``=`` path).
+        """
+        if hi is None:
+            hi = self.numNode
+        if per_corner.shape != (self.numElem * 8,):
+            raise ValueError(
+                f"per_corner must be flat (numElem*8,), got {per_corner.shape}"
+            )
+        start = self.nodeElemStart[lo]
+        stop = self.nodeElemStart[hi]
+        if start == stop:
+            return
+        idx = self.nodeElemCornerList[start:stop]
+        offsets = self.nodeElemStart[lo:hi] - start
+        # reduceat needs strictly valid segment starts; empty segments (nodes
+        # with no corners) cannot occur on this mesh — every node touches at
+        # least one element.
+        sums = np.add.reduceat(per_corner[idx], offsets)
+        if accumulate:
+            out[lo:hi] += sums
+        else:
+            out[lo:hi] = sums
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Mesh(nx={self.nx}, nz={self.nz}, numElem={self.numElem}, "
+            f"numNode={self.numNode})"
+        )

@@ -1,0 +1,117 @@
+"""LULESH 2.0 model constants and run options.
+
+Every constant mirrors the reference implementation's defaults
+(``lulesh.cc`` / ``lulesh_tuple.h``); names keep the LULESH spelling so the
+kernels read like the original.  The command-line surface matches the
+artifact description's flags: ``-s`` size, ``-r`` regions, ``-i`` iteration
+cap, ``-b`` balance, ``-c`` cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["LuleshOptions"]
+
+
+@dataclass(frozen=True)
+class LuleshOptions:
+    """Problem definition and material-model constants.
+
+    Attributes (run options, artifact flags in parentheses):
+        nx: elements per cube edge (``-s``; paper sizes 45..150).
+        numReg: number of material regions (``-r``; default 11).
+        max_iterations: cycle cap (``-i``; the artifact uses this to bound
+            evaluation time; ``None`` runs to ``stoptime``).
+        region_balance: LULESH ``-b``; region-size imbalance exponent.
+        region_cost: LULESH ``-c``; extra EOS cost multiplier base.  The
+            default 1 yields the paper's "doubles the computation for 45% of
+            the regions, and increases it even by twenty times for 5%".
+
+    The remaining attributes are the physics constants of the reference
+    implementation (cutoffs, artificial-viscosity coefficients, EOS bounds,
+    timestep controller parameters).
+    """
+
+    # --- run options ----------------------------------------------------------
+    nx: int = 30
+    numReg: int = 11
+    max_iterations: int | None = None
+    region_balance: int = 1
+    region_cost: int = 1
+
+    # --- mesh ----------------------------------------------------------------
+    mesh_edge: float = 1.125  # physical cube edge length
+
+    # --- initial energy deposit (Sedov source) -----------------------------------
+    ebase: float = 3.948746e7  # energy for the s=45 reference problem
+
+    # --- cutoffs ---------------------------------------------------------------
+    e_cut: float = 1.0e-7  # energy tolerance
+    p_cut: float = 1.0e-7  # pressure tolerance
+    q_cut: float = 1.0e-7  # q tolerance
+    u_cut: float = 1.0e-7  # velocity tolerance
+    v_cut: float = 1.0e-10  # relative-volume tolerance
+
+    # --- hourglass / stress ----------------------------------------------------
+    hgcoef: float = 3.0  # hourglass control coefficient
+    ss4o3: float = 4.0 / 3.0
+
+    # --- artificial viscosity -----------------------------------------------------
+    qstop: float = 1.0e12  # q error tolerance (abort above)
+    monoq_max_slope: float = 1.0
+    monoq_limiter_mult: float = 2.0
+    qlc_monoq: float = 0.5  # linear term coefficient
+    qqc_monoq: float = 2.0 / 3.0  # quadratic term coefficient
+    qqc: float = 2.0
+
+    # --- EOS ----------------------------------------------------------------
+    eosvmax: float = 1.0e9
+    eosvmin: float = 1.0e-9
+    pmin: float = 0.0  # pressure floor
+    emin: float = -1.0e15  # energy floor
+    dvovmax: float = 0.1  # maximum allowable volume change
+    refdens: float = 1.0  # reference density (rho0)
+
+    # --- timestep controller ------------------------------------------------------
+    dtfixed: float = -1.0e-6  # negative => variable dt
+    stoptime: float = 1.0e-2
+    dtmax: float = 1.0e-2
+    deltatimemultlb: float = 1.1
+    deltatimemultub: float = 1.2
+
+    def __post_init__(self) -> None:
+        if self.nx < 1:
+            raise ValueError(f"nx must be >= 1, got {self.nx}")
+        if self.numReg < 1:
+            raise ValueError(f"numReg must be >= 1, got {self.numReg}")
+        if self.max_iterations is not None and self.max_iterations < 1:
+            raise ValueError(
+                f"max_iterations must be >= 1 or None, got {self.max_iterations}"
+            )
+        if self.region_balance < 1:
+            raise ValueError(f"region_balance must be >= 1, got {self.region_balance}")
+        if self.region_cost < 0:
+            raise ValueError(f"region_cost must be >= 0, got {self.region_cost}")
+
+    @property
+    def numElem(self) -> int:
+        """Total mesh elements (``nx**3``)."""
+        return self.nx**3
+
+    @property
+    def numNode(self) -> int:
+        """Total mesh nodes (``(nx+1)**3``)."""
+        return (self.nx + 1) ** 3
+
+    @property
+    def einit(self) -> float:
+        """Initial origin energy, scaled so s=45 matches the reference.
+
+        The reference scales the deposit with the mesh resolution:
+        ``einit = ebase * (nx / 45)**3`` (single-rank form of the
+        ``scale = nx*tp/45`` rule), keeping the physical blast comparable
+        across problem sizes.
+        """
+        scale = self.nx / 45.0
+        return self.ebase * scale**3

@@ -1,0 +1,70 @@
+"""Sequential reference driver — the ground truth for all orchestrations.
+
+Runs the leapfrog algorithm by calling every kernel over its full index
+range in the reference implementation's order.  The OpenMP-structured,
+task-based, and naive HPX orchestrations in :mod:`repro.core` must produce
+*bit-identical* fields to this driver (their decompositions may not change
+the math — the fairness requirement of §IV).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.lulesh.domain import Domain
+from repro.lulesh.options import LuleshOptions
+from repro.lulesh.steps import (
+    lagrange_elements_full,
+    lagrange_nodal_full,
+    time_constraints_full,
+    time_increment,
+)
+
+__all__ = ["SequentialDriver", "RunSummary", "run_reference"]
+
+
+@dataclass(frozen=True)
+class RunSummary:
+    """Outcome of a completed run (the reference's final printout)."""
+
+    cycles: int
+    final_time: float
+    final_dt: float
+    origin_energy: float
+
+
+class SequentialDriver:
+    """Advances a :class:`Domain` with plain sequential kernel calls."""
+
+    def __init__(self, domain: Domain) -> None:
+        self.domain = domain
+
+    def step(self) -> None:
+        """One leapfrog iteration (``TimeIncrement`` + ``LagrangeLeapFrog``)."""
+        d = self.domain
+        time_increment(d)
+        lagrange_nodal_full(d)
+        lagrange_elements_full(d)
+        time_constraints_full(d)
+
+    def run(self) -> RunSummary:
+        """Advance until ``stoptime`` or the iteration cap."""
+        d = self.domain
+        opts = d.opts
+        while d.time < opts.stoptime:
+            if opts.max_iterations is not None and d.cycle >= opts.max_iterations:
+                break
+            self.step()
+        return RunSummary(
+            cycles=d.cycle,
+            final_time=d.time,
+            final_dt=d.deltatime,
+            origin_energy=d.origin_energy(),
+        )
+
+
+def run_reference(opts: LuleshOptions) -> tuple[Domain, RunSummary]:
+    """Build a domain from *opts*, run it to completion, return both."""
+    domain = Domain(opts)
+    summary = SequentialDriver(domain).run()
+    return domain, summary

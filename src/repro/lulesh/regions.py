@@ -1,0 +1,167 @@
+"""Material regions: imbalanced index sets and EOS cost replication.
+
+Reproduces ``Domain::CreateRegionIndexSets`` from the reference: elements are
+assigned to regions in random runs whose lengths follow LULESH's bin table
+(mostly short runs of 1–15 elements, occasionally runs of up to 2048), with
+region choice weighted by ``(r+1)**balance``.  This yields regions of quite
+different sizes — the load imbalance the paper's region-parallel
+``ApplyMaterialPropertiesForElems`` exploits.
+
+Differences in computational intensity between materials are modeled by the
+reference by *repeating* the EOS evaluation: with the default ``cost=1``,
+regions in the lower half run it once, most others twice, and the top ~5%
+twenty times (§II-B: "LULESH doubles the computation for 45% of the
+regions, and increases it even by twenty times for 5%").
+:func:`region_rep` reproduces that formula exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.rng import Lcg
+
+__all__ = ["RegionSet", "region_rep"]
+
+
+def region_rep(r: int, num_reg: int, cost: int = 1) -> int:
+    """EOS repetition count for region *r* (the reference's ``rep``)."""
+    if not 0 <= r < num_reg:
+        raise ValueError(f"region {r} out of range for {num_reg} regions")
+    if r < num_reg // 2:
+        return 1
+    # "you don't get an expensive region unless you at least have 5 regions"
+    if r < num_reg - (num_reg + 15) // 20:
+        return 1 + cost
+    return 10 * (1 + cost)
+
+
+def _run_length(rng: Lcg) -> int:
+    """Length of the next assignment run (reference bin table)."""
+    bin_size = rng.next_in_range(1000)
+    if bin_size < 773:
+        return rng.next_in_range(15) + 1
+    if bin_size < 937:
+        return rng.next_in_range(16) + 16
+    if bin_size < 970:
+        return rng.next_in_range(32) + 32
+    if bin_size < 974:
+        return rng.next_in_range(64) + 64
+    if bin_size < 978:
+        return rng.next_in_range(128) + 128
+    if bin_size < 981:
+        return rng.next_in_range(256) + 256
+    return rng.next_in_range(1537) + 512
+
+
+class RegionSet:
+    """Region assignment of all mesh elements.
+
+    Attributes:
+        num_reg: number of regions.
+        cost: the ``-c`` extra-cost flag (default 1).
+        reg_num_list: 1-based region number of every element
+            (``numElem``-long, like the reference's ``regNumList``).
+        reg_elem_lists: per-region sorted element index arrays.
+        reg_elem_sizes: per-region element counts.
+    """
+
+    def __init__(
+        self,
+        num_elem: int,
+        num_reg: int,
+        balance: int = 1,
+        cost: int = 1,
+        seed: int = 0,
+    ) -> None:
+        if num_elem < 1:
+            raise ValueError(f"num_elem must be >= 1, got {num_elem}")
+        if num_reg < 1:
+            raise ValueError(f"num_reg must be >= 1, got {num_reg}")
+        if balance < 1:
+            raise ValueError(f"balance must be >= 1, got {balance}")
+        self.num_reg = num_reg
+        self.cost = cost
+        self.reg_num_list = np.empty(num_elem, dtype=np.int64)
+
+        if num_reg == 1:
+            self.reg_num_list.fill(1)
+        else:
+            self._assign(num_elem, num_reg, balance, seed)
+
+        self.reg_elem_lists: list[np.ndarray] = []
+        for r in range(num_reg):
+            self.reg_elem_lists.append(
+                np.flatnonzero(self.reg_num_list == r + 1).astype(np.int64)
+            )
+        self.reg_elem_sizes = np.array(
+            [len(lst) for lst in self.reg_elem_lists], dtype=np.int64
+        )
+
+    def _assign(self, num_elem: int, num_reg: int, balance: int, seed: int) -> None:
+        rng = Lcg(seed)
+        # Region weights: chance of region i is proportional to (i+1)**balance.
+        reg_bin_end = np.cumsum([(i + 1) ** balance for i in range(num_reg)])
+        cost_denominator = int(reg_bin_end[-1])
+
+        next_index = 0
+        last_reg = -1
+        while next_index < num_elem:
+            region_var = rng.next_in_range(cost_denominator)
+            i = int(np.searchsorted(reg_bin_end, region_var, side="right"))
+            region_num = (i % num_reg) + 1
+            while region_num == last_reg:
+                region_var = rng.next_in_range(cost_denominator)
+                i = int(np.searchsorted(reg_bin_end, region_var, side="right"))
+                region_num = (i % num_reg) + 1
+            elements = _run_length(rng)
+            run_to = min(next_index + elements, num_elem)
+            self.reg_num_list[next_index:run_to] = region_num
+            next_index = run_to
+            last_reg = region_num
+
+    # --- decomposition -------------------------------------------------------
+
+    def subset(self, lo_elem: int, hi_elem: int) -> "RegionSet":
+        """Restriction to global elements ``[lo_elem, hi_elem)``.
+
+        Returns a region set over *local* indices (global minus ``lo_elem``)
+        with the same region count and cost — how the distributed
+        decomposition shares one global material layout across ranks.
+        Regions with no local elements get empty lists.
+        """
+        if not 0 <= lo_elem <= hi_elem <= len(self.reg_num_list):
+            raise ValueError(
+                f"invalid element range [{lo_elem}, {hi_elem}) for "
+                f"{len(self.reg_num_list)} elements"
+            )
+        sub = RegionSet.__new__(RegionSet)
+        sub.num_reg = self.num_reg
+        sub.cost = self.cost
+        sub.reg_num_list = self.reg_num_list[lo_elem:hi_elem].copy()
+        sub.reg_elem_lists = [
+            np.flatnonzero(sub.reg_num_list == r + 1).astype(np.int64)
+            for r in range(self.num_reg)
+        ]
+        sub.reg_elem_sizes = np.array(
+            [len(lst) for lst in sub.reg_elem_lists], dtype=np.int64
+        )
+        return sub
+
+    # --- queries -------------------------------------------------------------
+
+    def rep(self, r: int) -> int:
+        """EOS repetition count for region *r*."""
+        return region_rep(r, self.num_reg, self.cost)
+
+    def total_eos_work_elems(self) -> int:
+        """Σ over regions of ``size * rep`` — the EOS work in element-evals."""
+        return int(
+            sum(self.reg_elem_sizes[r] * self.rep(r) for r in range(self.num_reg))
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RegionSet(num_reg={self.num_reg}, "
+            f"sizes={self.reg_elem_sizes.tolist()})"
+        )

@@ -1,0 +1,102 @@
+"""Full-range leapfrog steps — the reference call order over whole arrays.
+
+These functions compose the range-kernels of :mod:`repro.lulesh.kernels`
+into the three stages of the reference's ``LagrangeLeapFrog`` (paper
+Fig. 3).  The parallel orchestrations in :mod:`repro.core` issue the *same*
+kernels over partitions; running them here over the full range is both the
+sequential ground truth and the single-threaded baseline's work definition.
+"""
+
+from __future__ import annotations
+
+from repro.lulesh.kernels.constraints import (
+    calc_courant_constraint,
+    calc_hydro_constraint,
+    reduce_time_constraints,
+    time_increment,
+)
+from repro.lulesh.kernels.eos import (
+    apply_material_properties_prologue,
+    eval_eos_region,
+    update_volumes,
+)
+from repro.lulesh.kernels.hourglass import (
+    calc_fb_hourglass_force,
+    calc_hourglass_control,
+)
+from repro.lulesh.kernels.kinematics import (
+    calc_kinematics,
+    calc_lagrange_elements_part2,
+)
+from repro.lulesh.kernels.nodal import (
+    apply_acceleration_bc,
+    calc_acceleration,
+    calc_position,
+    calc_velocity,
+    sum_elem_forces_to_nodes,
+)
+from repro.lulesh.kernels.qcalc import (
+    calc_monotonic_q_gradients,
+    calc_monotonic_q_region,
+    check_q_stop,
+)
+from repro.lulesh.kernels.stress import init_stress_terms, integrate_stress
+
+__all__ = [
+    "time_increment",
+    "lagrange_nodal_full",
+    "lagrange_elements_full",
+    "time_constraints_full",
+]
+
+
+def lagrange_nodal_full(domain) -> None:
+    """``LagrangeNodal()``: forces, acceleration, BCs, velocity, position."""
+    ne, nn = domain.numElem, domain.numNode
+    dt = domain.deltatime
+    # CalcForceForNodes -> CalcVolumeForceForElems
+    init_stress_terms(domain, 0, ne)
+    integrate_stress(domain, 0, ne)
+    calc_hourglass_control(domain, 0, ne)
+    calc_fb_hourglass_force(domain, 0, ne)
+    sum_elem_forces_to_nodes(domain, 0, nn)
+    # Nodal integration.
+    calc_acceleration(domain, 0, nn)
+    apply_acceleration_bc(domain)
+    calc_velocity(domain, 0, nn, dt)
+    calc_position(domain, 0, nn, dt)
+
+
+def lagrange_elements_full(domain) -> None:
+    """``LagrangeElements()``: kinematics, Q, material properties, volumes."""
+    ne = domain.numElem
+    dt = domain.deltatime
+    regions = domain.regions
+
+    calc_kinematics(domain, 0, ne, dt)
+    calc_lagrange_elements_part2(domain, 0, ne)
+
+    # CalcQForElems
+    calc_monotonic_q_gradients(domain, 0, ne)
+    for r in range(regions.num_reg):
+        calc_monotonic_q_region(domain, regions.reg_elem_lists[r], 0, None)
+    check_q_stop(domain, 0, ne)
+
+    # ApplyMaterialPropertiesForElems
+    apply_material_properties_prologue(domain, 0, ne)
+    for r in range(regions.num_reg):
+        eval_eos_region(domain, regions.reg_elem_lists[r], regions.rep(r))
+
+    update_volumes(domain, 0, ne)
+
+
+def time_constraints_full(domain) -> None:
+    """``CalcTimeConstraintsForElems``: reduce Courant + hydro bounds."""
+    regions = domain.regions
+    courant = 1.0e20
+    hydro = 1.0e20
+    for r in range(regions.num_reg):
+        lst = regions.reg_elem_lists[r]
+        courant = min(courant, calc_courant_constraint(domain, lst))
+        hydro = min(hydro, calc_hydro_constraint(domain, lst))
+    reduce_time_constraints(domain, courant, hydro)

@@ -1,0 +1,80 @@
+"""Legacy-VTK export of the domain state (view the blast in ParaView).
+
+Writes the deformed mesh as an ASCII ``STRUCTURED_GRID`` dataset: node
+coordinates as points, velocities as point data, and the thermodynamic
+fields (e, p, q, v, ss) as cell data — the standard way LULESH outputs are
+inspected (the reference has an optional ``-v`` VisIt dump; this is the
+dependency-free equivalent).
+
+The writer is deliberately plain (legacy VTK 3.0 ASCII) so the files open
+in ParaView/VisIt/meshio without any optional libraries on either side.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, TextIO
+
+import numpy as np
+
+from repro.lulesh.domain import Domain
+
+__all__ = ["write_vtk", "DEFAULT_CELL_FIELDS"]
+
+DEFAULT_CELL_FIELDS = ("e", "p", "q", "v", "ss")
+
+
+def _write_points(fh: TextIO, domain: Domain) -> None:
+    fh.write(f"POINTS {domain.numNode} double\n")
+    coords = np.column_stack([domain.x, domain.y, domain.z])
+    for px, py, pz in coords:
+        fh.write(f"{px:.10e} {py:.10e} {pz:.10e}\n")
+
+
+def _write_scalars(fh: TextIO, name: str, values: np.ndarray) -> None:
+    fh.write(f"SCALARS {name} double 1\n")
+    fh.write("LOOKUP_TABLE default\n")
+    for v in values:
+        fh.write(f"{v:.10e}\n")
+
+
+def _write_vectors(fh: TextIO, name: str, vx, vy, vz) -> None:
+    fh.write(f"VECTORS {name} double\n")
+    for a, b, c in zip(vx, vy, vz):
+        fh.write(f"{a:.10e} {b:.10e} {c:.10e}\n")
+
+
+def write_vtk(
+    domain: Domain,
+    path: str,
+    cell_fields: Sequence[str] = DEFAULT_CELL_FIELDS,
+    title: str | None = None,
+) -> None:
+    """Write *domain* to *path* as a legacy VTK structured grid.
+
+    ``cell_fields`` selects which element-centered arrays to emit; any
+    Domain attribute of length ``numElem`` is accepted.
+    """
+    mesh = domain.mesh
+    nx = mesh.nx
+    nz = mesh.nz
+    for name in cell_fields:
+        arr = getattr(domain, name, None)
+        if arr is None or len(arr) < domain.numElem:
+            raise ValueError(f"unknown or non-element field {name!r}")
+    with open(path, "w", encoding="ascii") as fh:
+        fh.write("# vtk DataFile Version 3.0\n")
+        fh.write((title or f"LULESH t={domain.time:.6e} "
+                  f"cycle={domain.cycle}") + "\n")
+        fh.write("ASCII\n")
+        fh.write("DATASET STRUCTURED_GRID\n")
+        # VTK dimensions are in points, x fastest — matching our node order.
+        fh.write(f"DIMENSIONS {nx + 1} {nx + 1} {nz + 1}\n")
+        _write_points(fh, domain)
+
+        fh.write(f"\nPOINT_DATA {domain.numNode}\n")
+        _write_vectors(fh, "velocity", domain.xd, domain.yd, domain.zd)
+        _write_scalars(fh, "nodal_mass", domain.nodalMass)
+
+        fh.write(f"\nCELL_DATA {domain.numElem}\n")
+        for name in cell_fields:
+            _write_scalars(fh, name, getattr(domain, name)[: domain.numElem])

@@ -1,0 +1,24 @@
+"""OpenMP-like fork/join runtime on the simulated machine.
+
+Reproduces the execution model of the LULESH OpenMP reference implementation
+(§II-B: "The OpenMP reference implementation heavily uses parallel
+for-loops.  However, some loops are combined into parallel regions,
+resulting in a total of 30 parallel regions."):
+
+* a fixed thread team (``OMP_NUM_THREADS``),
+* parallel regions with a fork cost at entry,
+* ``parallel for`` loops with *static scheduling* (contiguous chunks) and an
+  implicit barrier after every loop,
+* single-threaded program portions charged to the master thread.
+
+Timing comes from the same :class:`~repro.simcore.costmodel.CostModel` and
+:class:`~repro.simcore.machine.MachineConfig` as the AMT runtime, so the two
+implementations are compared under one machine model.  Loop bodies (the real
+NumPy kernels) execute chunk-by-chunk in index order — identical math to a
+static-scheduled parallel execution.
+"""
+
+from repro.openmp.runtime import OmpRuntime, OmpStats
+from repro.openmp.parallel import static_chunks
+
+__all__ = ["OmpRuntime", "OmpStats", "static_chunks"]

@@ -1,0 +1,31 @@
+"""Static loop scheduling (``schedule(static)``) helpers.
+
+libgomp's default static schedule hands each thread one contiguous chunk of
+⌈n/T⌉ (first ``n mod T`` threads get the larger size).  The chunk layout is
+what determines per-thread busy time and hence the load-imbalance component
+of the barrier wait.
+"""
+
+from __future__ import annotations
+
+__all__ = ["static_chunks"]
+
+
+def static_chunks(n_items: int, n_threads: int) -> list[tuple[int, int]]:
+    """Contiguous ``[lo, hi)`` chunk per thread, libgomp static layout.
+
+    Always returns exactly *n_threads* entries; threads with no work get an
+    empty ``(lo, lo)`` range.  Chunks partition ``[0, n_items)`` exactly.
+    """
+    if n_items < 0:
+        raise ValueError(f"n_items must be non-negative, got {n_items}")
+    if n_threads < 1:
+        raise ValueError(f"n_threads must be >= 1, got {n_threads}")
+    base, rem = divmod(n_items, n_threads)
+    chunks = []
+    lo = 0
+    for t in range(n_threads):
+        size = base + (1 if t < rem else 0)
+        chunks.append((lo, lo + size))
+        lo += size
+    return chunks

@@ -1,0 +1,41 @@
+"""Discrete-event simulated multicore machine.
+
+The paper's evaluation ran on a 24-core AMD EPYC 7443P (48 SMT threads).
+Python's GIL makes real thread-parallel timing measurements meaningless, so —
+per the substitution rule in DESIGN.md — this package provides a
+deterministic discrete-event simulation (DES) of that machine:
+
+* :mod:`repro.simcore.events`    — the virtual clock and event queue,
+* :mod:`repro.simcore.machine`   — cores, SMT pairing and per-worker speeds,
+* :mod:`repro.simcore.costmodel` — all scheduling/synchronization overheads,
+* :mod:`repro.simcore.allocator` — arena-vs-global allocator cost model,
+* :mod:`repro.simcore.pool`      — a work-stealing worker-pool DES that
+  executes dependency graphs of :class:`~repro.simcore.pool.SimTask`,
+* :mod:`repro.simcore.trace`     — busy/overhead/idle accounting.
+
+Both runtime reproductions (:mod:`repro.amt` — HPX-like, and
+:mod:`repro.openmp` — OpenMP-like) run on this substrate so their comparison
+shares one cost model, mirroring the paper's "identical compiler flags" setup.
+"""
+
+from repro.simcore.events import EventQueue
+from repro.simcore.machine import MachineConfig
+from repro.simcore.costmodel import CostModel
+from repro.simcore.allocator import AllocatorModel
+from repro.simcore.policy import SchedulerPolicy, WorkQueue
+from repro.simcore.pool import SimTask, SimWorkerPool, PoolResult
+from repro.simcore.trace import WorkerTrace, TraceRecorder
+
+__all__ = [
+    "EventQueue",
+    "MachineConfig",
+    "CostModel",
+    "AllocatorModel",
+    "SchedulerPolicy",
+    "WorkQueue",
+    "SimTask",
+    "SimWorkerPool",
+    "PoolResult",
+    "WorkerTrace",
+    "TraceRecorder",
+]

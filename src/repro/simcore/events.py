@@ -1,0 +1,72 @@
+"""Virtual clock and event queue for the discrete-event simulation.
+
+A minimal, deterministic DES core: events are ``(time, seq, payload)`` heap
+entries where ``seq`` is a monotonically increasing tiebreaker, so two events
+scheduled for the same virtual instant always pop in scheduling order.  All
+times are integer nanoseconds — integer arithmetic keeps the simulation
+exactly reproducible across platforms (no float-accumulation drift).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Iterator
+
+__all__ = ["EventQueue"]
+
+
+class EventQueue:
+    """Deterministic priority queue of timestamped events.
+
+    Time is integer nanoseconds.  Events with equal timestamps are delivered
+    in insertion order (FIFO), which makes the whole simulation a pure
+    function of its inputs.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[int, int, Any]] = []
+        self._seq = 0
+        self._now = 0
+
+    @property
+    def now(self) -> int:
+        """Current virtual time in nanoseconds (time of the last pop)."""
+        return self._now
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def push(self, time: int, payload: Any) -> None:
+        """Schedule *payload* for virtual *time*.
+
+        Scheduling into the past is a logic error in the caller (it would
+        make the clock non-monotone), so it raises.
+        """
+        if time < self._now:
+            raise ValueError(
+                f"cannot schedule event at t={time} ns; clock is at {self._now} ns"
+            )
+        heapq.heappush(self._heap, (time, self._seq, payload))
+        self._seq += 1
+
+    def pop(self) -> tuple[int, Any]:
+        """Remove and return ``(time, payload)`` of the earliest event."""
+        if not self._heap:
+            raise IndexError("pop from empty EventQueue")
+        time, _seq, payload = heapq.heappop(self._heap)
+        self._now = time
+        return time, payload
+
+    def peek_time(self) -> int:
+        """Time of the earliest pending event (raises if empty)."""
+        if not self._heap:
+            raise IndexError("peek on empty EventQueue")
+        return self._heap[0][0]
+
+    def drain(self) -> Iterator[tuple[int, Any]]:
+        """Yield events in order until the queue is empty."""
+        while self._heap:
+            yield self.pop()

@@ -1,0 +1,106 @@
+"""Scheduler policy knobs for the work-stealing worker pool.
+
+HPX's default is the *priority local scheduling policy* (§V of the paper):
+per-worker queues accessed LIFO locally (newest first — cache-warm
+continuations) and stolen FIFO (oldest first — the work least likely to be
+in the victim's cache), one task per steal, with an optional high-priority
+lane.  The paper explicitly does **not** use task priorities ("we do not
+utilize different task priorities"); the pool supports them anyway so the
+ablation bench can test whether prioritizing the expensive EOS regions
+would have helped.
+
+All combinations stay deterministic — policy only changes *which* queue end
+is touched, never introduces randomness.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+__all__ = ["SchedulerPolicy", "WorkQueue"]
+
+
+@dataclass(frozen=True)
+class SchedulerPolicy:
+    """Queue-access discipline of the simulated scheduler.
+
+    Attributes:
+        local_order: 'lifo' (HPX default: newest task first, cache-warm) or
+            'fifo' (oldest first, breadth-first traversal).
+        steal_order: 'fifo' (HPX default: steal the oldest task) or 'lifo'
+            (steal the victim's newest).
+        steal_half: steal half the victim's queue instead of one task
+            (Cilk-style); reduces steal frequency at the cost of locality.
+        use_priorities: honour :attr:`SimTask.priority` — higher-priority
+            tasks are always dispatched before normal ones.
+    """
+
+    local_order: str = "lifo"
+    steal_order: str = "fifo"
+    steal_half: bool = False
+    use_priorities: bool = False
+
+    def __post_init__(self) -> None:
+        if self.local_order not in ("lifo", "fifo"):
+            raise ValueError(f"local_order must be lifo/fifo, got {self.local_order}")
+        if self.steal_order not in ("fifo", "lifo"):
+            raise ValueError(f"steal_order must be fifo/lifo, got {self.steal_order}")
+
+    @classmethod
+    def hpx_default(cls) -> "SchedulerPolicy":
+        """The priority local scheduling policy as the paper runs it."""
+        return cls()
+
+
+class WorkQueue:
+    """One worker's ready queue, with an optional high-priority lane."""
+
+    __slots__ = ("_policy", "_normal", "_high")
+
+    def __init__(self, policy: SchedulerPolicy) -> None:
+        self._policy = policy
+        self._normal: deque = deque()
+        self._high: deque = deque()
+
+    def __len__(self) -> int:
+        return len(self._normal) + len(self._high)
+
+    def push(self, task) -> None:
+        """Enqueue a ready task (routed to its priority lane)."""
+        if self._policy.use_priorities and task.priority > 0:
+            self._high.append(task)
+        else:
+            self._normal.append(task)
+
+    def _lane_for_pop(self) -> deque | None:
+        if self._high:
+            return self._high
+        if self._normal:
+            return self._normal
+        return None
+
+    def pop_local(self):
+        """Owner's access (LIFO by default)."""
+        lane = self._lane_for_pop()
+        if lane is None:
+            return None
+        if self._policy.local_order == "lifo":
+            return lane.pop()
+        return lane.popleft()
+
+    def steal(self) -> list:
+        """Thief's access: one task (or half the queue with steal_half)."""
+        lane = self._lane_for_pop()
+        if lane is None:
+            return []
+        count = max(1, len(lane) // 2) if self._policy.steal_half else 1
+        stolen = []
+        for _ in range(count):
+            if not lane:
+                break
+            if self._policy.steal_order == "fifo":
+                stolen.append(lane.popleft())
+            else:
+                stolen.append(lane.pop())
+        return stolen

@@ -1,0 +1,359 @@
+"""Work-stealing worker-pool discrete-event simulator.
+
+This is the execution engine underneath the HPX-like runtime
+(:mod:`repro.amt`).  It executes a dependency graph of :class:`SimTask`
+objects on ``n_workers`` simulated OS threads placed on the
+:class:`~repro.simcore.machine.MachineConfig` machine, reproducing the
+mechanics the paper relies on:
+
+* **per-worker queues with LIFO local access and FIFO stealing** — HPX's
+  default *priority local scheduling policy* (§V: "The task scheduling
+  policy being used is HPX's default priority local scheduling policy");
+* **hot continuations** — a task made ready by a completing task is pushed
+  to the completing worker's queue, so a ``future::then`` chain tends to
+  stay on one core (data locality, §IV);
+* **serialized task creation** — the main thread pre-creates the whole task
+  graph (§IV: "we pre-create *all* tasks for one iteration of the leapfrog
+  algorithm at once"), so tasks are *released* over time while other workers
+  already execute released ones;
+* **explicit overhead charging** for spawn / dispatch / steal / retire, which
+  is what makes single-threaded HPX slower than single-threaded OpenMP in
+  Fig. 9 while many-threaded HPX wins.
+
+The simulation is a pure function of its inputs: integer-ns virtual time,
+insertion-ordered event ties, and deterministic victim scan order.
+
+Task bodies, when present, are executed at dispatch time in virtual-time
+order — which is a valid linearization of the dependency graph — so "real
+physics" runs produce exactly the same field updates a parallel execution
+would, while "timing-only" runs pass ``body=None`` and skip all compute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+from repro.simcore.costmodel import CostModel
+from repro.simcore.events import EventQueue
+from repro.simcore.machine import MachineConfig
+from repro.simcore.policy import SchedulerPolicy, WorkQueue
+from repro.simcore.trace import TraceRecorder
+
+__all__ = ["SimTask", "SimWorkerPool", "PoolResult"]
+
+# Task lifecycle states (ints for cheap comparison).
+_CREATED = 0
+_READY = 1
+_RUNNING = 2
+_DONE = 3
+
+
+class SimTask:
+    """One node of the simulated task graph.
+
+    Attributes:
+        cost_ns: productive work the task performs, in ns at speed 1.0.
+        body: optional Python callable executed when the task is dispatched
+            (the real NumPy kernel over this task's partition).
+        tag: label for tracing/debugging (e.g. kernel name).
+        spawn_ns: creation cost charged to the spawning thread; ``None``
+            means use the pool's default (``CostModel.task_spawn_ns``).
+        priority: reserved — the paper does not use task priorities, and the
+            default pool ignores this field, but it is part of the scheduler
+            surface (HPX's policy supports it).
+    """
+
+    __slots__ = (
+        "task_id",
+        "cost_ns",
+        "body",
+        "tag",
+        "spawn_ns",
+        "priority",
+        "dependents",
+        "pending",
+        "released",
+        "state",
+        "finish_ns",
+    )
+
+    def __init__(
+        self,
+        cost_ns: int,
+        body: Callable[[], object] | None = None,
+        tag: str = "task",
+        spawn_ns: int | None = None,
+        priority: int = 0,
+    ) -> None:
+        if cost_ns < 0:
+            raise ValueError(f"cost_ns must be non-negative, got {cost_ns}")
+        self.task_id = -1  # assigned by the pool at run()
+        self.cost_ns = cost_ns
+        self.body = body
+        self.tag = tag
+        self.spawn_ns = spawn_ns
+        self.priority = priority
+        self.dependents: list[SimTask] = []
+        self.pending = 0
+        self.released = False
+        self.state = _CREATED
+        self.finish_ns = -1
+
+    def depends_on(self, *others: "SimTask") -> "SimTask":
+        """Declare that this task runs only after all *others* complete.
+
+        Dependencies on already-completed tasks (from an earlier pool run,
+        e.g. before a blocking ``wait_all``) are satisfied trivially and not
+        recorded.
+        """
+        for other in others:
+            if other is self:
+                raise ValueError("task cannot depend on itself")
+            if other.state == _DONE:
+                continue
+            other.dependents.append(self)
+            self.pending += 1
+        return self
+
+    @property
+    def is_done(self) -> bool:
+        """True once the task has executed in some pool run."""
+        return self.state == _DONE
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SimTask(id={self.task_id}, tag={self.tag!r}, cost={self.cost_ns}ns, "
+            f"pending={self.pending}, state={self.state})"
+        )
+
+
+@dataclass(frozen=True)
+class PoolResult:
+    """Outcome of one simulated graph execution."""
+
+    makespan_ns: int
+    trace: TraceRecorder
+    n_tasks: int
+    spawn_total_ns: int
+
+    def utilization(self) -> float:
+        """Fig.-11-style productive-time ratio for this run."""
+        if self.makespan_ns == 0:
+            return 1.0
+        return self.trace.utilization(self.makespan_ns)
+
+
+# Event payloads.
+_EV_RELEASE = 0  # (kind, task)
+_EV_FINISH = 1  # (kind, worker, task)
+_EV_SPAWN_DONE = 2  # (kind, worker)
+
+
+class SimWorkerPool:
+    """Executes :class:`SimTask` graphs on the simulated machine.
+
+    One pool instance can run many graphs sequentially; traces accumulate
+    into a fresh :class:`TraceRecorder` per run (merge them in the caller if
+    an aggregate across iterations is needed).
+    """
+
+    def __init__(
+        self,
+        machine: MachineConfig,
+        cost_model: CostModel,
+        n_workers: int,
+        record_spans: bool = False,
+        policy: SchedulerPolicy | None = None,
+    ) -> None:
+        machine.validate_workers(n_workers)
+        self.machine = machine
+        self.cost_model = cost_model
+        self.n_workers = n_workers
+        self.record_spans = record_spans
+        self.policy = policy if policy is not None else SchedulerPolicy.hpx_default()
+        # Per-worker inverse speeds, fixed for the run (static placement).
+        self._speeds = [
+            machine.worker_speed(w, n_workers) for w in range(n_workers)
+        ]
+
+    # --- helpers -------------------------------------------------------------
+
+    def _scale(self, ns: int, worker: int) -> int:
+        """Wall-clock ns on *worker* for *ns* of speed-1.0 work."""
+        return int(round(ns / self._speeds[worker]))
+
+    # --- execution -------------------------------------------------------------
+
+    def run(
+        self,
+        tasks: Sequence[SimTask] | Iterable[SimTask],
+        spawn_worker: int = 0,
+        execute_bodies: bool = True,
+    ) -> PoolResult:
+        """Simulate the execution of *tasks* and return timing + trace.
+
+        Tasks are released (become spawnable/ready) in list order, each after
+        its ``spawn_ns`` charged serially to *spawn_worker* — modeling the
+        main thread building the whole task graph up front.  The spawning
+        worker joins execution once the last task is created.
+        """
+        task_list = list(tasks)
+        if not task_list:
+            return PoolResult(
+                makespan_ns=0,
+                trace=TraceRecorder(self.n_workers, self.record_spans),
+                n_tasks=0,
+                spawn_total_ns=0,
+            )
+        if not 0 <= spawn_worker < self.n_workers:
+            raise ValueError(
+                f"spawn_worker {spawn_worker} out of range for "
+                f"{self.n_workers} workers"
+            )
+
+        cm = self.cost_model
+        trace = TraceRecorder(self.n_workers, self.record_spans)
+        events = EventQueue()
+        queues: list[WorkQueue] = [
+            WorkQueue(self.policy) for _ in range(self.n_workers)
+        ]
+        # Workers not currently executing or spawning.  Sorted wake order is
+        # enforced by scanning worker ids, which is deterministic.
+        idle: set[int] = set(range(self.n_workers))
+        idle.discard(spawn_worker)
+
+        for i, task in enumerate(task_list):
+            if task.state != _CREATED:
+                raise ValueError(f"task {task.tag!r} was already executed")
+            task.task_id = i
+
+        # Release schedule: spawn costs accumulate serially on spawn_worker.
+        t = 0
+        for task in task_list:
+            spawn_ns = task.spawn_ns if task.spawn_ns is not None else cm.task_spawn_ns
+            t += self._scale(spawn_ns, spawn_worker)
+            events.push(t, (_EV_RELEASE, task))
+        spawn_total_ns = t
+        trace.add_spawn(spawn_worker, spawn_total_ns)
+        events.push(spawn_total_ns, (_EV_SPAWN_DONE, spawn_worker))
+
+        remaining = len(task_list)
+        makespan = 0
+
+        def acquire(worker: int, now: int) -> tuple[SimTask | None, int]:
+            """Try to obtain a task for *worker*; returns (task, overhead)."""
+            overhead = 0
+            q = queues[worker]
+            if len(q):
+                task = q.pop_local()
+                overhead += self._scale(cm.task_schedule_ns, worker)
+                return task, overhead
+            # Steal scan: deterministic rotation starting at worker+1.
+            for step in range(1, self.n_workers):
+                victim = (worker + step) % self.n_workers
+                overhead += self._scale(cm.steal_attempt_ns, worker)
+                vq = queues[victim]
+                if len(vq):
+                    stolen = vq.steal()
+                    # Migration cost per stolen task; extras land on the
+                    # thief's own queue (Cilk-style steal-half).
+                    overhead += self._scale(
+                        cm.steal_success_ns * len(stolen) + cm.task_schedule_ns,
+                        worker,
+                    )
+                    for extra in stolen[1:]:
+                        q.push(extra)
+                    trace.add_steal(worker, True)
+                    return stolen[0], overhead
+                trace.add_steal(worker, False)
+            return None, overhead
+
+        def dispatch(worker: int, task: SimTask, now: int, overhead: int) -> None:
+            """Start *task* on *worker* at *now* after *overhead* ns."""
+            nonlocal makespan
+            if task.pending != 0 or not task.released:
+                raise AssertionError(
+                    f"dispatching task {task.tag!r} with pending deps"
+                )
+            task.state = _RUNNING
+            trace.add_overhead(worker, overhead)
+            if execute_bodies and task.body is not None:
+                task.body()
+            busy = self._scale(task.cost_ns, worker)
+            trace.add_busy(worker, busy)
+            start = now + overhead
+            end = start + busy
+            trace.add_task(worker, task.task_id, task.tag, start, end)
+            events.push(end, (_EV_FINISH, worker, task))
+
+        def seek_work(worker: int, now: int) -> None:
+            """Worker looks for its next task or goes idle."""
+            task, overhead = acquire(worker, now)
+            if task is not None:
+                dispatch(worker, task, now, overhead)
+            else:
+                trace.add_overhead(worker, overhead)
+                idle.add(worker)
+
+        def make_ready(task: SimTask, home: int, now: int) -> None:
+            """Queue a ready task and wake an idle worker if any."""
+            task.state = _READY
+            queues[home].push(task)
+            if not idle:
+                return
+            # Prefer the queue's owner, then the lowest idle worker id.
+            if home in idle:
+                chosen = home
+            else:
+                chosen = min(idle)
+            idle.discard(chosen)
+            seek_work(chosen, now)
+
+        while events:
+            now, payload = events.pop()
+            kind = payload[0]
+            if kind == _EV_RELEASE:
+                task = payload[1]
+                task.released = True
+                if task.pending == 0:
+                    make_ready(task, spawn_worker, now)
+            elif kind == _EV_SPAWN_DONE:
+                worker = payload[1]
+                seek_work(worker, now)
+            elif kind == _EV_FINISH:
+                worker, task = payload[1], payload[2]
+                task.state = _DONE
+                task.finish_ns = now
+                remaining -= 1
+                makespan = max(makespan, now)
+                retire = self._scale(
+                    cm.task_complete_ns
+                    + cm.barrier_join_ns * len(task.dependents),
+                    worker,
+                )
+                trace.add_overhead(worker, retire)
+                done_at = now + retire
+                makespan = max(makespan, done_at)
+                for dep in task.dependents:
+                    dep.pending -= 1
+                    if dep.pending == 0 and dep.released:
+                        # Hot continuation: stays on the completing worker's
+                        # queue unless an idle worker grabs it.
+                        make_ready(dep, worker, now)
+                seek_work(worker, done_at)
+            else:  # pragma: no cover - defensive
+                raise AssertionError(f"unknown event kind {kind}")
+
+        if remaining != 0:
+            stuck = [t.tag for t in task_list if t.state != _DONE][:8]
+            raise RuntimeError(
+                f"deadlock: {remaining} tasks never became ready "
+                f"(cyclic or missing dependencies?), e.g. {stuck}"
+            )
+        return PoolResult(
+            makespan_ns=makespan,
+            trace=trace,
+            n_tasks=len(task_list),
+            spawn_total_ns=spawn_total_ns,
+        )

@@ -1,0 +1,20 @@
+"""Shared utilities: deterministic RNG, statistics, and report formatting.
+
+These helpers are deliberately dependency-light so every other subpackage
+(``simcore``, ``amt``, ``openmp``, ``lulesh``, ``core``, ``harness``) can use
+them without import cycles.
+"""
+
+from repro.util.rng import Lcg
+from repro.util.stats import RunningStat, mean, geomean, confidence_interval95
+from repro.util.tables import format_table, format_csv
+
+__all__ = [
+    "Lcg",
+    "RunningStat",
+    "mean",
+    "geomean",
+    "confidence_interval95",
+    "format_table",
+    "format_csv",
+]

@@ -1,0 +1,131 @@
+"""Small statistics helpers used by the experiment harness.
+
+The paper reports runtimes averaged over 50 / 15 / 2 runs depending on the
+problem size; :class:`RunningStat` provides the streaming mean/variance used
+to aggregate repeated (simulated or real) runs, and
+:func:`confidence_interval95` the half-width reported alongside.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+__all__ = ["RunningStat", "mean", "geomean", "confidence_interval95"]
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean of a non-empty sequence."""
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def geomean(values: Sequence[float]) -> float:
+    """Geometric mean of a non-empty sequence of positive values.
+
+    Speed-ups across problem sizes are summarized with the geometric mean,
+    the standard aggregation for ratios in performance reporting.
+    """
+    if not values:
+        raise ValueError("geomean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geomean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def confidence_interval95(values: Sequence[float]) -> float:
+    """Half-width of the normal-approximation 95% CI of the mean.
+
+    Returns 0.0 for fewer than two samples (no spread information).
+    """
+    n = len(values)
+    if n < 2:
+        return 0.0
+    m = mean(values)
+    var = sum((v - m) ** 2 for v in values) / (n - 1)
+    return 1.96 * math.sqrt(var / n)
+
+
+class RunningStat:
+    """Streaming mean / variance / extrema (Welford's algorithm).
+
+    Numerically stable for long streams, e.g. per-task busy-time samples
+    gathered from the discrete-event trace.
+    """
+
+    def __init__(self) -> None:
+        self._n = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    def add(self, value: float) -> None:
+        """Fold one sample into the statistic."""
+        self._n += 1
+        delta = value - self._mean
+        self._mean += delta / self._n
+        self._m2 += delta * (value - self._mean)
+        self._min = min(self._min, value)
+        self._max = max(self._max, value)
+
+    def extend(self, values: Iterable[float]) -> None:
+        """Fold many samples into the statistic."""
+        for v in values:
+            self.add(v)
+
+    @property
+    def count(self) -> int:
+        return self._n
+
+    @property
+    def mean(self) -> float:
+        if self._n == 0:
+            raise ValueError("no samples")
+        return self._mean
+
+    @property
+    def variance(self) -> float:
+        """Unbiased sample variance; 0.0 with fewer than two samples."""
+        if self._n < 2:
+            return 0.0
+        return self._m2 / (self._n - 1)
+
+    @property
+    def stddev(self) -> float:
+        return math.sqrt(self.variance)
+
+    @property
+    def minimum(self) -> float:
+        if self._n == 0:
+            raise ValueError("no samples")
+        return self._min
+
+    @property
+    def maximum(self) -> float:
+        if self._n == 0:
+            raise ValueError("no samples")
+        return self._max
+
+    @property
+    def total(self) -> float:
+        return self._mean * self._n
+
+    def merge(self, other: "RunningStat") -> "RunningStat":
+        """Return a new statistic equivalent to both sample streams combined."""
+        merged = RunningStat()
+        if self._n == 0:
+            merged.__dict__.update(other.__dict__)
+            return merged
+        if other._n == 0:
+            merged.__dict__.update(self.__dict__)
+            return merged
+        n = self._n + other._n
+        delta = other._mean - self._mean
+        merged._n = n
+        merged._mean = self._mean + delta * other._n / n
+        merged._m2 = self._m2 + other._m2 + delta * delta * self._n * other._n / n
+        merged._min = min(self._min, other._min)
+        merged._max = max(self._max, other._max)
+        return merged

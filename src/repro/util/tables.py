@@ -1,0 +1,84 @@
+"""Plain-text and CSV table rendering for the experiment harness.
+
+The paper's artifact prints results "in a CSV-compatible format" with the
+header ``size, regions, iterations, threads, runtime, result``; the harness
+reproduces that exact format plus aligned text tables for the figures.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Mapping, Sequence
+
+__all__ = ["format_table", "format_csv", "write_csv"]
+
+
+def _cell(value: object, floatfmt: str) -> str:
+    if isinstance(value, float):
+        return format(value, floatfmt)
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    floatfmt: str = ".4f",
+    title: str | None = None,
+) -> str:
+    """Render an aligned monospace table.
+
+    Floats are formatted with *floatfmt*; all other values with ``str``.
+    """
+    str_rows = [[_cell(v, floatfmt) for v in row] for row in rows]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_csv(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    floatfmt: str = ".6f",
+) -> str:
+    """Render rows as CSV text (no quoting needed for our numeric tables)."""
+    out = io.StringIO()
+    out.write(",".join(headers) + "\n")
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        out.write(",".join(_cell(v, floatfmt) for v in row) + "\n")
+    return out.getvalue()
+
+
+def write_csv(
+    path: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    floatfmt: str = ".6f",
+) -> None:
+    """Write :func:`format_csv` output to *path*."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(format_csv(headers, rows, floatfmt=floatfmt))
+
+
+def rows_from_records(
+    records: Sequence[Mapping[str, object]], headers: Sequence[str]
+) -> list[list[object]]:
+    """Project a list of dict records onto *headers* order."""
+    return [[rec[h] for h in headers] for rec in records]

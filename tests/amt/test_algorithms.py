@@ -1,0 +1,118 @@
+"""Unit tests for the HPX-style parallel algorithms."""
+
+import pytest
+
+from repro.amt.algorithms import default_chunk_size, for_each, for_loop, parallel_reduce
+from repro.amt.runtime import AmtRuntime
+from repro.simcore.costmodel import CostModel
+from repro.simcore.machine import MachineConfig
+
+
+@pytest.fixture()
+def rt():
+    return AmtRuntime(MachineConfig(), CostModel(), n_workers=4)
+
+
+class TestDefaultChunkSize:
+    def test_four_chunks_per_worker_for_large_n(self):
+        # 100_000 items / (4*24 chunks) > min floor
+        assert default_chunk_size(100_000, 24) == -(-100_000 // 96)
+
+    def test_floor_for_small_loops(self):
+        assert default_chunk_size(2048, 24) == 512
+
+    def test_tiny_loop_single_chunk(self):
+        assert default_chunk_size(10, 24) == 10
+
+    def test_empty(self):
+        assert default_chunk_size(0, 4) == 1
+
+    def test_invalid_workers(self):
+        with pytest.raises(ValueError):
+            default_chunk_size(10, 0)
+
+    def test_invalid_min_chunk(self):
+        with pytest.raises(ValueError):
+            default_chunk_size(10, 4, min_chunk=0)
+
+
+class TestForLoop:
+    def test_covers_range_exactly_once(self, rt):
+        seen = []
+        for_loop(rt, 0, 1000, lambda lo, hi: seen.extend(range(lo, hi)),
+                 chunk_size=64)
+        assert seen == list(range(1000))
+
+    def test_nonzero_start(self, rt):
+        seen = []
+        for_loop(rt, 10, 25, lambda lo, hi: seen.extend(range(lo, hi)),
+                 chunk_size=4)
+        assert seen == list(range(10, 25))
+
+    def test_empty_range(self, rt):
+        assert for_loop(rt, 5, 5, lambda lo, hi: None) == []
+
+    def test_invalid_range(self, rt):
+        with pytest.raises(ValueError):
+            for_loop(rt, 5, 4, lambda lo, hi: None)
+
+    def test_invalid_chunk(self, rt):
+        with pytest.raises(ValueError):
+            for_loop(rt, 0, 10, lambda lo, hi: None, chunk_size=0)
+
+    def test_blocking_flushes(self, rt):
+        futs = for_loop(rt, 0, 100, lambda lo, hi: None, chunk_size=10)
+        assert all(f.is_ready() for f in futs)
+        assert rt.n_pending == 0
+
+    def test_nonblocking_defers(self, rt):
+        futs = for_loop(rt, 0, 100, lambda lo, hi: None, chunk_size=10,
+                        blocking=False)
+        assert not any(f.is_ready() for f in futs)
+        rt.flush()
+        assert all(f.is_ready() for f in futs)
+
+    def test_work_cost_charged(self, rt):
+        for_loop(rt, 0, 1000, lambda lo, hi: None, work_ns_per_item=100,
+                 chunk_size=250)
+        assert rt.stats.total_ns >= 1000 * 100 / 4  # at least work/workers
+
+
+class TestForEach:
+    def test_applies_to_every_item(self, rt):
+        items = list(range(50))
+        out = []
+        for_each(rt, items, out.append, chunk_size=7)
+        assert sorted(out) == items
+
+    def test_empty_items(self, rt):
+        assert for_each(rt, [], lambda x: None) == []
+
+
+class TestParallelReduce:
+    def test_sum(self, rt):
+        total = parallel_reduce(
+            rt, 0, 100,
+            chunk_fn=lambda lo, hi: sum(range(lo, hi)),
+            combine=lambda a, b: a + b,
+            initial=0,
+            chunk_size=9,
+        )
+        assert total == sum(range(100))
+
+    def test_min(self, rt):
+        vals = [(i * 7919) % 101 for i in range(100)]
+        best = parallel_reduce(
+            rt, 0, 100,
+            chunk_fn=lambda lo, hi: min(vals[lo:hi]),
+            combine=min,
+            initial=10**9,
+            chunk_size=13,
+        )
+        assert best == min(vals)
+
+    def test_empty_returns_initial(self, rt):
+        assert parallel_reduce(
+            rt, 0, 0, chunk_fn=lambda lo, hi: 1, combine=lambda a, b: a + b,
+            initial=42,
+        ) == 42

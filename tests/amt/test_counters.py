@@ -1,0 +1,52 @@
+"""Unit tests for the idle-rate performance counters."""
+
+import pytest
+
+from repro.amt.counters import IdleRateCounter
+from repro.amt.runtime import AmtRuntime
+from repro.simcore.costmodel import CostModel
+from repro.simcore.machine import MachineConfig
+
+
+@pytest.fixture()
+def rt():
+    return AmtRuntime(MachineConfig(), CostModel(), n_workers=4)
+
+
+class TestIdleRateCounter:
+    def test_idle_plus_utilization_is_one(self, rt):
+        for _ in range(8):
+            rt.async_(lambda: None, cost_ns=50_000)
+        rt.flush()
+        counter = IdleRateCounter(rt.stats)
+        assert counter.idle_rate() + counter.utilization() == pytest.approx(1.0)
+
+    def test_serial_chain_has_high_idle_rate(self, rt):
+        f = rt.async_(lambda: None, cost_ns=100_000)
+        for _ in range(7):
+            f = f.then(lambda fp: None, cost_ns=100_000)
+        rt.flush()
+        # One chain on 4 workers: ~3 workers idle throughout.
+        assert IdleRateCounter(rt.stats).idle_rate() > 0.5
+
+    def test_wide_graph_has_low_idle_rate(self, rt):
+        for _ in range(64):
+            rt.async_(lambda: None, cost_ns=100_000)
+        rt.flush()
+        assert IdleRateCounter(rt.stats).idle_rate() < 0.3
+
+    def test_per_worker_reports(self, rt):
+        for _ in range(16):
+            rt.async_(lambda: None, cost_ns=10_000)
+        rt.flush()
+        reports = IdleRateCounter(rt.stats).per_worker()
+        assert len(reports) == 4
+        total = rt.stats.total_ns
+        for rep in reports:
+            assert rep.productive_ns + rep.overhead_ns + rep.idle_ns <= total * 1.01
+            assert 0.0 <= rep.idle_rate <= 1.0
+
+    def test_empty_stats_zero_idle(self, rt):
+        counter = IdleRateCounter(rt.stats)
+        assert counter.utilization() == 1.0
+        assert counter.idle_rate() == 0.0

@@ -1,0 +1,101 @@
+"""Unit tests for Future semantics (the HPX surface of Fig. 1)."""
+
+import pytest
+
+from repro.amt.errors import FutureError
+from repro.amt.runtime import AmtRuntime
+from repro.simcore.costmodel import CostModel
+from repro.simcore.machine import MachineConfig
+
+
+@pytest.fixture()
+def rt():
+    return AmtRuntime(MachineConfig(), CostModel(), n_workers=4)
+
+
+class TestFuture:
+    def test_not_ready_before_flush(self, rt):
+        f = rt.async_(lambda: 42)
+        assert not f.is_ready()
+
+    def test_get_forces_execution(self, rt):
+        f = rt.async_(lambda: 42)
+        assert f.get() == 42
+
+    def test_get_is_one_shot(self, rt):
+        f = rt.async_(lambda: 1)
+        f.get()
+        with pytest.raises(FutureError):
+            f.get()
+
+    def test_result_nowait_requires_ready(self, rt):
+        f = rt.async_(lambda: 1)
+        with pytest.raises(FutureError):
+            f.result_nowait()
+        rt.flush()
+        assert f.result_nowait() == 1
+        # non-consuming: can read repeatedly
+        assert f.result_nowait() == 1
+
+    def test_then_receives_predecessor_future(self, rt):
+        f1 = rt.async_(lambda: 10)
+        f2 = f1.then(lambda fp: fp.result_nowait() + 1)
+        assert f2.get() == 11
+
+    def test_then_chain_fig1(self, rt):
+        """The paper's Fig. 1: async -> then -> get."""
+        f1 = rt.async_(lambda x: x, 42)
+        f2 = f1.then(lambda fp: fp.result_nowait() * 2)
+        assert f2.get() == 84
+
+    def test_long_chain(self, rt):
+        f = rt.async_(lambda: 0)
+        for _ in range(20):
+            f = f.then(lambda fp: fp.result_nowait() + 1)
+        assert f.get() == 20
+
+    def test_args_passed_through(self, rt):
+        f = rt.async_(lambda a, b: a - b, 10, 3)
+        assert f.get() == 7
+
+    def test_continuation_extra_args(self, rt):
+        f1 = rt.async_(lambda: 5)
+        f2 = f1.then(lambda fp, k: fp.result_nowait() * k, 3)
+        assert f2.get() == 15
+
+    def test_repr_shows_state(self, rt):
+        f = rt.async_(lambda: 1, tag="mytask")
+        assert "pending" in repr(f)
+        rt.flush()
+        assert "ready" in repr(f)
+
+
+class TestSharedFuture:
+    def test_multi_get(self, rt):
+        sf = rt.async_(lambda: 7).share()
+        assert sf.get() == 7
+        assert sf.get() == 7  # repeatable, unlike Future.get
+
+    def test_share_consumes_unique_future(self, rt):
+        f = rt.async_(lambda: 1)
+        f.share()
+        with pytest.raises(FutureError):
+            f.get()
+
+    def test_cannot_share_after_get(self, rt):
+        f = rt.async_(lambda: 1)
+        f.get()
+        with pytest.raises(FutureError):
+            f.share()
+
+    def test_continuation_on_shared(self, rt):
+        sf = rt.async_(lambda: 10).share()
+        f2 = sf.then(lambda fp: fp.result_nowait() + 5)
+        assert f2.get() == 15
+        assert sf.get() == 10  # still readable
+
+    def test_is_ready_tracks_underlying(self, rt):
+        sf = rt.async_(lambda: 1).share()
+        assert not sf.is_ready()
+        rt.flush()
+        assert sf.is_ready()

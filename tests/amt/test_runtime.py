@@ -1,0 +1,151 @@
+"""Unit tests for the AMT runtime: barriers, dataflow, stats, flush."""
+
+import pytest
+
+from repro.amt.errors import AmtError
+from repro.amt.runtime import AmtRuntime
+from repro.simcore.costmodel import CostModel
+from repro.simcore.machine import MachineConfig
+
+
+@pytest.fixture()
+def rt():
+    return AmtRuntime(MachineConfig(), CostModel(), n_workers=4)
+
+
+class TestWhenAll:
+    def test_value_is_input_futures(self, rt):
+        fs = [rt.async_(lambda i=i: i) for i in range(3)]
+        gate = rt.when_all(fs)
+        rt.flush()
+        assert gate.result_nowait() == fs
+        assert [f.result_nowait() for f in fs] == [0, 1, 2]
+
+    def test_runs_after_all_inputs(self, rt):
+        done = []
+        fs = [rt.async_(lambda i=i: done.append(i)) for i in range(5)]
+        gate = rt.when_all(fs)
+        after = gate.then(lambda _g: list(done))
+        assert sorted(after.get()) == [0, 1, 2, 3, 4]
+
+    def test_empty_when_all(self, rt):
+        gate = rt.when_all([])
+        rt.flush()
+        assert gate.is_ready()
+
+
+class TestDataflow:
+    def test_receives_futures_list(self, rt):
+        fs = [rt.async_(lambda i=i: i * i) for i in range(4)]
+        total = rt.dataflow(lambda futs: sum(f.result_nowait() for f in futs), fs)
+        assert total.get() == 0 + 1 + 4 + 9
+
+    def test_extra_args(self, rt):
+        fs = [rt.async_(lambda: 2)]
+        f = rt.dataflow(lambda futs, k: futs[0].result_nowait() + k, fs, 10)
+        assert f.get() == 12
+
+
+class TestWaitAll:
+    def test_blocking_barrier(self, rt):
+        fs = [rt.async_(lambda i=i: i) for i in range(3)]
+        rt.wait_all(fs)
+        assert all(f.is_ready() for f in fs)
+        assert rt.n_pending == 0
+
+    def test_wait_all_without_args_flushes_everything(self, rt):
+        f = rt.async_(lambda: 1)
+        rt.wait_all()
+        assert f.is_ready()
+
+
+class TestMakeReady:
+    def test_make_ready_future(self, rt):
+        f = rt.make_ready_future(99)
+        rt.flush()
+        assert f.result_nowait() == 99
+
+
+class TestDepends:
+    def test_explicit_depends(self, rt):
+        order = []
+        a = rt.async_(lambda: order.append("a"))
+        gate = rt.when_all([a])
+        b = rt.async_(lambda: order.append("b"), depends=[gate])
+        rt.flush()
+        assert order == ["a", "b"]
+
+
+class TestFlushAndStats:
+    def test_flush_empty_is_zero(self, rt):
+        assert rt.flush() == 0
+        assert rt.stats.n_flushes == 0
+
+    def test_stats_accumulate_across_flushes(self, rt):
+        rt.async_(lambda: 1, cost_ns=1000)
+        rt.flush()
+        rt.async_(lambda: 2, cost_ns=1000)
+        rt.flush()
+        assert rt.stats.n_flushes == 2
+        assert rt.stats.n_tasks == 2
+        assert rt.stats.total_ns > 0
+
+    def test_cannot_create_tasks_during_flush(self, rt):
+        def evil():
+            rt.async_(lambda: None)
+
+        rt.async_(evil)
+        with pytest.raises(AmtError):
+            rt.flush()
+
+    def test_reset_stats(self, rt):
+        rt.async_(lambda: 1)
+        rt.flush()
+        rt.reset_stats()
+        assert rt.stats.total_ns == 0
+        assert rt.stats.n_tasks == 0
+
+    def test_reset_with_pending_rejected(self, rt):
+        rt.async_(lambda: 1)
+        with pytest.raises(AmtError):
+            rt.reset_stats()
+        rt.flush()
+
+    def test_utilization_bounds(self, rt):
+        for _ in range(16):
+            rt.async_(lambda: None, cost_ns=10_000)
+        rt.flush()
+        assert 0.0 < rt.stats.utilization() <= 1.0
+
+    def test_cross_flush_dependencies(self, rt):
+        a = rt.async_(lambda: 5)
+        rt.flush()
+        b = a.then(lambda fp: fp.result_nowait() + 1)
+        assert b.get() == 6
+
+
+class TestTimingSemantics:
+    def test_chain_cost_serializes(self):
+        rt = AmtRuntime(MachineConfig(), CostModel(), n_workers=8)
+        f = rt.async_(lambda: None, cost_ns=100_000)
+        for _ in range(3):
+            f = f.then(lambda fp: None, cost_ns=100_000)
+        rt.flush()
+        assert rt.stats.total_ns >= 400_000
+
+    def test_parallel_tasks_overlap(self):
+        rt = AmtRuntime(MachineConfig(), CostModel(), n_workers=8)
+        for _ in range(8):
+            rt.async_(lambda: None, cost_ns=100_000)
+        rt.flush()
+        assert rt.stats.total_ns < 8 * 100_000
+
+    def test_more_workers_not_slower_for_wide_graphs(self):
+        def run(n_workers):
+            rt = AmtRuntime(MachineConfig(), CostModel(), n_workers=n_workers)
+            for _ in range(48):
+                rt.async_(lambda: None, cost_ns=50_000)
+            rt.flush()
+            return rt.stats.total_ns
+
+        assert run(8) < run(2)

@@ -1,0 +1,38 @@
+"""Shared fixtures: a small machine, the default cost model, tiny domains."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lulesh.domain import Domain
+from repro.lulesh.options import LuleshOptions
+from repro.simcore.costmodel import CostModel
+from repro.simcore.machine import MachineConfig
+
+
+@pytest.fixture(scope="session")
+def machine() -> MachineConfig:
+    """The paper's 24-core / 48-thread EPYC model."""
+    return MachineConfig()
+
+
+@pytest.fixture(scope="session")
+def cost_model() -> CostModel:
+    return CostModel()
+
+
+@pytest.fixture(scope="session")
+def tiny_opts() -> LuleshOptions:
+    """A 4^3 problem — big enough for all code paths, fast enough for CI."""
+    return LuleshOptions(nx=4, numReg=3, max_iterations=10)
+
+
+@pytest.fixture()
+def tiny_domain(tiny_opts: LuleshOptions) -> Domain:
+    return Domain(tiny_opts)
+
+
+@pytest.fixture(scope="session")
+def small_opts() -> LuleshOptions:
+    """A 6^3 problem with several regions (integration tests)."""
+    return LuleshOptions(nx=6, numReg=5, max_iterations=20)

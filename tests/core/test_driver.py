@@ -1,0 +1,71 @@
+"""Unit tests for the run-mode drivers."""
+
+import numpy as np
+import pytest
+
+from repro.core.driver import RunResult, run_hpx, run_naive_hpx, run_omp
+from repro.core.hpx_lulesh import HpxVariant
+from repro.lulesh.options import LuleshOptions
+
+OPTS = LuleshOptions(nx=4, numReg=3)
+
+
+class TestRunResult:
+    def test_per_iteration(self):
+        r = RunResult(runtime_ns=1000, iterations=4, utilization=0.5)
+        assert r.per_iteration_ns == 250.0
+        assert r.runtime_s == pytest.approx(1e-6)
+
+    def test_zero_iterations(self):
+        r = RunResult(runtime_ns=0, iterations=0, utilization=1.0)
+        assert r.per_iteration_ns == 0.0
+
+
+class TestTimingMode:
+    def test_omp_timing_only_has_no_domain(self):
+        r = run_omp(OPTS, 8, 2)
+        assert r.domain is None
+        assert r.runtime_ns > 0
+        assert r.n_loops > 0
+        assert r.n_regions > 0
+        assert r.iterations == 2
+
+    def test_hpx_timing_only(self):
+        r = run_hpx(OPTS, 8, 2)
+        assert r.domain is None
+        assert r.n_tasks > 0
+        assert 0 < r.utilization <= 1
+
+    def test_naive_timing_only(self):
+        r = run_naive_hpx(OPTS, 8, 2)
+        assert r.domain is None
+        assert r.n_tasks > 0
+
+    def test_deterministic(self):
+        a = run_hpx(OPTS, 8, 2)
+        b = run_hpx(OPTS, 8, 2)
+        assert a.runtime_ns == b.runtime_ns
+
+    def test_partition_overrides_respected(self):
+        fine = run_hpx(OPTS, 8, 1, nodal_partition=8, elements_partition=8)
+        coarse = run_hpx(OPTS, 8, 1, nodal_partition=64, elements_partition=64)
+        assert fine.n_tasks > coarse.n_tasks
+
+
+class TestExecuteMode:
+    def test_execute_returns_domain(self):
+        r = run_hpx(OPTS, 4, 3, execute=True)
+        assert r.domain is not None
+        assert r.domain.cycle == 3
+        assert r.iterations == 3
+
+    def test_all_three_agree(self):
+        a = run_omp(OPTS, 4, 3, execute=True)
+        b = run_hpx(OPTS, 4, 3, execute=True)
+        c = run_naive_hpx(OPTS, 4, 3, execute=True)
+        assert np.array_equal(a.domain.e, b.domain.e)
+        assert np.array_equal(a.domain.e, c.domain.e)
+
+    def test_variant_passthrough(self):
+        r = run_hpx(OPTS, 4, 2, execute=True, variant=HpxVariant.fig6())
+        assert r.domain is not None

@@ -1,0 +1,62 @@
+"""Unit tests for shared kernel metadata / problem shapes."""
+
+import pytest
+
+from repro.core.kernel_graph import KernelBinding, ProblemShape, bind, group_cost_ns
+from repro.lulesh.domain import Domain
+from repro.lulesh.options import LuleshOptions
+
+
+class TestProblemShape:
+    def test_from_options(self):
+        opts = LuleshOptions(nx=5, numReg=3)
+        shape = ProblemShape.from_options(opts)
+        assert shape.num_elem == 125
+        assert shape.num_node == 216
+        assert shape.num_symm_nodes == 36
+        assert shape.num_regions == 3
+        assert sum(shape.region_sizes) == 125
+        assert len(shape.region_reps) == 3
+
+    def test_from_domain_matches_from_options(self):
+        opts = LuleshOptions(nx=4, numReg=3)
+        a = ProblemShape.from_options(opts)
+        b = ProblemShape.from_domain(Domain(opts))
+        assert a == b
+
+    def test_region_reps_follow_reference_rule(self):
+        shape = ProblemShape.from_options(LuleshOptions(nx=4, numReg=11))
+        assert shape.region_reps == (1, 1, 1, 1, 1, 2, 2, 2, 2, 2, 20)
+
+    def test_iteration_work_positive_and_scales(self):
+        small = ProblemShape.from_options(LuleshOptions(nx=4, numReg=2))
+        big = ProblemShape.from_options(LuleshOptions(nx=8, numReg=2))
+        assert 0 < small.iteration_work_ns() < big.iteration_work_ns()
+
+
+class TestKernelBinding:
+    def test_cost_rounds(self):
+        kb = KernelBinding("k", rate=1.5, body=None)
+        assert kb.cost_ns(0, 3) == 4  # round(4.5) banker's -> 4
+
+    def test_run_noop_without_body(self):
+        KernelBinding("k", 1.0, None).run(0, 10)
+
+    def test_run_with_body(self):
+        seen = []
+        kb = KernelBinding("k", 1.0, lambda lo, hi: seen.append((lo, hi)))
+        kb.run(2, 5)
+        assert seen == [(2, 5)]
+
+    def test_bind_appends_range(self):
+        calls = []
+        kb = bind("k", 1.0, lambda a, lo, hi: calls.append((a, lo, hi)), "ctx")
+        kb.run(1, 4)
+        assert calls == [("ctx", 1, 4)]
+
+    def test_bind_none_fn(self):
+        assert bind("k", 1.0, None).body is None
+
+    def test_group_cost(self):
+        ks = [KernelBinding("a", 2.0, None), KernelBinding("b", 3.0, None)]
+        assert group_cost_ns(ks, 0, 10) == 50

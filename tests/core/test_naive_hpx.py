@@ -1,0 +1,76 @@
+"""Unit tests for the naive (prior-work [16]) for_each port."""
+
+import numpy as np
+import pytest
+
+from repro.amt.runtime import AmtRuntime
+from repro.core.kernel_graph import ProblemShape
+from repro.core.naive_hpx import NaiveHpxProgram
+from repro.lulesh.costs import DEFAULT_COSTS
+from repro.lulesh.domain import Domain
+from repro.lulesh.options import LuleshOptions
+from repro.lulesh.reference import SequentialDriver
+from repro.simcore.costmodel import CostModel
+from repro.simcore.machine import MachineConfig
+
+OPTS = LuleshOptions(nx=4, numReg=3)
+
+
+def make_program(n_workers=8, execute=False):
+    rt = AmtRuntime(MachineConfig(), CostModel(), n_workers)
+    domain = Domain(OPTS) if execute else None
+    shape = (
+        ProblemShape.from_domain(domain)
+        if domain is not None
+        else ProblemShape.from_options(OPTS)
+    )
+    return rt, NaiveHpxProgram(rt, shape, DEFAULT_COSTS, domain)
+
+
+class TestStructure:
+    def test_one_flush_per_loop(self):
+        rt, program = make_program()
+        program.run(1)
+        # every loop is blocking: flush count equals loop count (dozens)
+        assert rt.stats.n_flushes > 30
+
+    def test_more_regions_more_flushes(self):
+        def flushes(num_reg):
+            opts = LuleshOptions(nx=4, numReg=num_reg)
+            rt = AmtRuntime(MachineConfig(), CostModel(), 8)
+            NaiveHpxProgram(
+                rt, ProblemShape.from_options(opts), DEFAULT_COSTS
+            ).run(1)
+            return rt.stats.n_flushes
+
+        assert flushes(11) > flushes(2)
+
+
+class TestExecution:
+    def test_matches_reference(self):
+        ref = Domain(OPTS)
+        drv = SequentialDriver(ref)
+        for _ in range(3):
+            drv.step()
+        rt, program = make_program(execute=True)
+        program.run(3)
+        for f in ("x", "xd", "e", "p", "q", "v", "ss"):
+            assert np.array_equal(getattr(ref, f), getattr(program.domain, f)), f
+
+    def test_worker_count_does_not_change_physics(self):
+        def run(workers):
+            rt, program = make_program(n_workers=workers, execute=True)
+            program.run(3)
+            return program.domain
+
+        assert np.array_equal(run(1).e, run(16).e)
+
+    def test_invalid_iterations(self):
+        rt, program = make_program()
+        with pytest.raises(ValueError):
+            program.run(0)
+
+    def test_stops_at_stoptime(self):
+        rt, program = make_program(execute=True)
+        program.run(100_000)
+        assert program.domain.time == pytest.approx(OPTS.stoptime)

@@ -1,0 +1,81 @@
+"""Unit tests for the partition-size policy (Table I)."""
+
+import pytest
+
+from repro.core.partitioning import (
+    TABLE1,
+    n_partitions,
+    partition_ranges,
+    table1_partition_sizes,
+)
+
+
+class TestTable1:
+    @pytest.mark.parametrize(
+        "size,nodal,elements",
+        [
+            (45, 2048, 2048),
+            (60, 4096, 2048),
+            (75, 8192, 4096),
+            (90, 8192, 4096),
+            (120, 8192, 2048),
+            (150, 8192, 2048),
+        ],
+    )
+    def test_published_values(self, size, nodal, elements):
+        assert table1_partition_sizes(size) == (nodal, elements)
+
+    def test_table_constant_matches(self):
+        for s, expect in TABLE1.items():
+            assert table1_partition_sizes(s) == expect
+
+    def test_interpolation_small(self):
+        assert table1_partition_sizes(30) == (2048, 2048)
+
+    def test_interpolation_mid(self):
+        assert table1_partition_sizes(80) == (8192, 4096)
+
+    def test_interpolation_large(self):
+        assert table1_partition_sizes(200) == (8192, 2048)
+
+    def test_nodal_saturates_at_8192(self):
+        assert table1_partition_sizes(1000)[0] == 8192
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            table1_partition_sizes(0)
+
+
+class TestPartitionRanges:
+    def test_exact_cover(self):
+        ranges = list(partition_ranges(100, 30))
+        assert ranges == [(0, 30), (30, 60), (60, 90), (90, 100)]
+
+    def test_cover_property(self):
+        for n in (0, 1, 5, 100, 1023):
+            for p in (1, 7, 64, 2048):
+                items = []
+                for lo, hi in partition_ranges(n, p):
+                    assert hi - lo <= p
+                    items.extend(range(lo, hi))
+                assert items == list(range(n))
+
+    def test_empty_range(self):
+        assert list(partition_ranges(0, 10)) == []
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            list(partition_ranges(10, 0))
+        with pytest.raises(ValueError):
+            list(partition_ranges(-1, 5))
+
+
+class TestNPartitions:
+    def test_matches_ranges(self):
+        for n in (0, 1, 99, 2048, 2049):
+            for p in (1, 64, 2048):
+                assert n_partitions(n, p) == len(list(partition_ranges(n, p)))
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            n_partitions(10, 0)

@@ -1,0 +1,79 @@
+"""Unit tests for the in-process plane exchanger."""
+
+import numpy as np
+import pytest
+
+from repro.dist.comm import PlaneExchanger
+
+
+class TestPlaneExchanger:
+    def test_roundtrip(self):
+        ex = PlaneExchanger(2)
+        ex.start_phase()
+        data = np.arange(5.0)
+        ex.post(0, 1, "up", data)
+        recv = ex.fetch(1, 0, "up")
+        assert np.array_equal(recv, data)
+
+    def test_post_copies_data(self):
+        ex = PlaneExchanger(2)
+        ex.start_phase()
+        data = np.arange(3.0)
+        ex.post(0, 1, "t", data)
+        data[:] = -1
+        assert np.array_equal(ex.fetch(1, 0, "t"), [0.0, 1.0, 2.0])
+
+    def test_missing_message_raises(self):
+        ex = PlaneExchanger(2)
+        ex.start_phase()
+        with pytest.raises(RuntimeError, match="no message"):
+            ex.fetch(1, 0, "nothing")
+
+    def test_duplicate_post_rejected(self):
+        ex = PlaneExchanger(2)
+        ex.start_phase()
+        ex.post(0, 1, "t", np.zeros(1))
+        with pytest.raises(RuntimeError, match="duplicate"):
+            ex.post(0, 1, "t", np.zeros(1))
+
+    def test_phase_isolation(self):
+        ex = PlaneExchanger(2)
+        ex.start_phase()
+        ex.post(0, 1, "t", np.zeros(1))
+        ex.start_phase()  # clears stale posts
+        with pytest.raises(RuntimeError):
+            ex.fetch(1, 0, "t")
+
+    def test_self_send_rejected(self):
+        ex = PlaneExchanger(2)
+        ex.start_phase()
+        with pytest.raises(ValueError):
+            ex.post(0, 0, "t", np.zeros(1))
+
+    def test_stats_account_bytes(self):
+        ex = PlaneExchanger(3)
+        ex.start_phase()
+        ex.post(0, 1, "a", np.zeros(10))
+        ex.post(1, 2, "b", np.zeros(4))
+        assert ex.stats[0].bytes_sent == 80
+        assert ex.stats[1].bytes_sent == 32
+        assert ex.total_messages() == 2
+        assert ex.total_bytes() == 112
+
+    def test_allreduce_min(self):
+        ex = PlaneExchanger(3)
+        assert ex.allreduce_min([3.0, 1.0, 2.0]) == 1.0
+        assert all(st.n_allreduce == 1 for st in ex.stats)
+
+    def test_allreduce_wrong_arity(self):
+        ex = PlaneExchanger(3)
+        with pytest.raises(ValueError):
+            ex.allreduce_min([1.0])
+
+    def test_rank_validation(self):
+        ex = PlaneExchanger(2)
+        ex.start_phase()
+        with pytest.raises(ValueError):
+            ex.post(0, 5, "t", np.zeros(1))
+        with pytest.raises(ValueError):
+            PlaneExchanger(0)

@@ -1,0 +1,58 @@
+"""Unit tests for the slab decomposition."""
+
+import pytest
+
+from repro.dist.decomposition import SlabDecomposition
+
+
+class TestSlabDecomposition:
+    def test_even_split(self):
+        d = SlabDecomposition(nx=8, n_ranks=4)
+        assert [s.nz for s in d.slabs] == [2, 2, 2, 2]
+        assert [s.z0 for s in d.slabs] == [0, 2, 4, 6]
+
+    def test_remainder_to_first_ranks(self):
+        d = SlabDecomposition(nx=10, n_ranks=4)
+        assert [s.nz for s in d.slabs] == [3, 3, 2, 2]
+
+    def test_covers_all_planes(self):
+        for nx in (4, 7, 45):
+            for r in (1, 2, 3):
+                d = SlabDecomposition(nx, r)
+                planes = []
+                for s in d.slabs:
+                    planes.extend(range(s.z0, s.z1))
+                assert planes == list(range(nx))
+
+    def test_elem_ranges_partition(self):
+        d = SlabDecomposition(nx=6, n_ranks=3)
+        expected_lo = 0
+        for r in range(3):
+            lo, hi = d.elem_range(r)
+            assert lo == expected_lo
+            expected_lo = hi
+        assert expected_lo == 6**3
+
+    def test_shared_node_planes(self):
+        d = SlabDecomposition(nx=6, n_ranks=2)
+        assert d.owned_node_range(0) == (0, 3)
+        assert d.owned_node_range(1) == (3, 6)
+
+    def test_node_owner_lower_rank_wins(self):
+        d = SlabDecomposition(nx=6, n_ranks=2)
+        assert d.node_owner(3) == 0  # shared plane
+        assert d.node_owner(0) == 0
+        assert d.node_owner(6) == 1
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            SlabDecomposition(4, 5)  # more ranks than planes
+        with pytest.raises(ValueError):
+            SlabDecomposition(0, 1)
+        with pytest.raises(ValueError):
+            SlabDecomposition(4, 0)
+        d = SlabDecomposition(4, 2)
+        with pytest.raises(ValueError):
+            d.slab(2)
+        with pytest.raises(ValueError):
+            d.node_owner(5)

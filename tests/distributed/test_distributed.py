@@ -1,0 +1,99 @@
+"""Integration: distributed physics vs the single-domain reference."""
+
+import numpy as np
+import pytest
+
+from repro.dist import DistributedDriver, run_distributed_reference
+from repro.lulesh.options import LuleshOptions
+from repro.lulesh.reference import run_reference
+
+
+@pytest.fixture(scope="module")
+def reference():
+    opts = LuleshOptions(nx=6, numReg=5, max_iterations=25)
+    domain, summary = run_reference(opts)
+    return domain, summary
+
+
+def relative_err(a: np.ndarray, b: np.ndarray) -> float:
+    scale = max(1e-30, float(np.abs(a).max()))
+    return float(np.abs(a - b).max()) / scale
+
+
+class TestAgainstReference:
+    @pytest.mark.parametrize("n_ranks", [1, 2, 3, 6])
+    def test_fields_match_to_roundoff(self, reference, n_ranks):
+        ref, _ = reference
+        opts = LuleshOptions(nx=6, numReg=5, max_iterations=25)
+        drv, _ = run_distributed_reference(opts, n_ranks)
+        for f in ("e", "p", "q", "v", "ss"):
+            err = relative_err(getattr(ref, f), drv.gather_elem_field(f))
+            assert err < 1e-9, (f, err)
+        for f in ("x", "y", "z", "xd", "yd", "zd"):
+            err = relative_err(getattr(ref, f), drv.gather_node_field(f))
+            assert err < 1e-9, (f, err)
+
+    def test_single_rank_bit_identical(self, reference):
+        ref, _ = reference
+        opts = LuleshOptions(nx=6, numReg=5, max_iterations=25)
+        drv, _ = run_distributed_reference(opts, 1)
+        for f in ("e", "p", "q", "v"):
+            assert np.array_equal(getattr(ref, f), drv.gather_elem_field(f))
+
+    def test_summary_agrees(self, reference):
+        _, ref_summary = reference
+        opts = LuleshOptions(nx=6, numReg=5, max_iterations=25)
+        _, summary = run_distributed_reference(opts, 3)
+        assert summary.cycles == ref_summary.cycles
+        assert summary.final_time == pytest.approx(ref_summary.final_time)
+        assert summary.origin_energy == pytest.approx(
+            ref_summary.origin_energy, rel=1e-10
+        )
+
+    def test_full_run_to_stoptime(self):
+        opts = LuleshOptions(nx=5, numReg=3)
+        ref, ref_summary = run_reference(opts)
+        drv, summary = run_distributed_reference(LuleshOptions(nx=5, numReg=3), 2)
+        assert summary.cycles == ref_summary.cycles
+        assert summary.final_time == pytest.approx(opts.stoptime)
+        assert relative_err(ref.e, drv.gather_elem_field("e")) < 1e-6
+
+
+class TestCommAccounting:
+    def test_message_structure_per_iteration(self):
+        opts = LuleshOptions(nx=6, numReg=3, max_iterations=4)
+        drv, summary = run_distributed_reference(opts, 2)
+        # init mass exchange: 2 messages; per iteration: force (2) +
+        # gradients (2) = 4 messages across the one shared boundary.
+        assert summary.total_messages == 2 + 4 * summary.cycles
+
+    def test_bytes_scale_with_boundaries(self):
+        opts4 = LuleshOptions(nx=6, numReg=3, max_iterations=4)
+        _, s2 = run_distributed_reference(opts4, 2)
+        opts4b = LuleshOptions(nx=6, numReg=3, max_iterations=4)
+        _, s3 = run_distributed_reference(opts4b, 3)
+        # 3 ranks have 2 shared boundaries: about twice the traffic.
+        assert s3.total_bytes == pytest.approx(2 * s2.total_bytes, rel=0.01)
+
+    def test_no_comm_single_rank(self):
+        opts = LuleshOptions(nx=4, numReg=2, max_iterations=3)
+        _, summary = run_distributed_reference(opts, 1)
+        assert summary.total_messages == 0
+        assert summary.total_bytes == 0
+
+    def test_allreduce_counted(self):
+        opts = LuleshOptions(nx=4, numReg=2, max_iterations=3)
+        drv = DistributedDriver(opts, 2)
+        drv.run()
+        # two allreduces (courant + hydro) per iteration per rank
+        assert drv.comm.stats[0].n_allreduce == 2 * drv.domains[0].cycle
+
+
+class TestDeterminism:
+    def test_repeatable(self):
+        opts = LuleshOptions(nx=5, numReg=3, max_iterations=10)
+        a, _ = run_distributed_reference(opts, 3)
+        b, _ = run_distributed_reference(
+            LuleshOptions(nx=5, numReg=3, max_iterations=10), 3
+        )
+        assert np.array_equal(a.gather_elem_field("e"), b.gather_elem_field("e"))

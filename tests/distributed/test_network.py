@@ -1,0 +1,44 @@
+"""Unit tests for the cluster/network cost model."""
+
+import pytest
+
+from repro.dist.network import ClusterConfig, NetworkModel
+
+
+class TestNetworkModel:
+    def test_message_alpha_beta(self):
+        net = NetworkModel(latency_ns=1000, bandwidth_bytes_per_ns=10.0)
+        assert net.message_ns(0) == 1000
+        assert net.message_ns(10_000) == 1000 + 1000
+
+    def test_sendrecv_full_duplex(self):
+        net = NetworkModel()
+        assert net.sendrecv_ns(4096) == net.message_ns(4096)
+
+    def test_allreduce_log_rounds(self):
+        net = NetworkModel(latency_ns=1000, bandwidth_bytes_per_ns=10.0)
+        assert net.allreduce_ns(1) == 0
+        assert net.allreduce_ns(2) == net.message_ns(8)
+        assert net.allreduce_ns(8) == 3 * net.message_ns(8)
+        assert net.allreduce_ns(9) == 4 * net.message_ns(8)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            NetworkModel(latency_ns=-1)
+        with pytest.raises(ValueError):
+            NetworkModel(bandwidth_bytes_per_ns=0)
+        with pytest.raises(ValueError):
+            NetworkModel().message_ns(-1)
+        with pytest.raises(ValueError):
+            NetworkModel().allreduce_ns(0)
+
+
+class TestClusterConfig:
+    def test_defaults(self):
+        cl = ClusterConfig()
+        assert cl.n_nodes == 4
+        assert cl.machine.n_cores == 24
+
+    def test_invalid_node_count(self):
+        with pytest.raises(ValueError):
+            ClusterConfig(n_nodes=0)

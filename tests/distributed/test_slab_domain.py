@@ -1,0 +1,135 @@
+"""Unit tests for slab meshes and SlabDomain structure."""
+
+import numpy as np
+import pytest
+
+from repro.dist.decomposition import SlabDecomposition
+from repro.dist.domain import SlabDomain
+from repro.lulesh.mesh import (
+    Mesh,
+    ZETA_M_COMM,
+    ZETA_M_SYMM,
+    ZETA_P_COMM,
+    ZETA_P_FREE,
+)
+from repro.lulesh.options import LuleshOptions
+from repro.lulesh.regions import RegionSet
+
+
+class TestSlabMesh:
+    def test_box_counts(self):
+        m = Mesh(4, nz=2)
+        assert m.numElem == 32
+        assert m.numNode == 75
+
+    def test_z_offset_coordinates(self):
+        m = Mesh(4, nz=2, z_offset=2)
+        h = 1.125 / 4
+        assert m.z0.min() == pytest.approx(2 * h)
+        assert m.z0.max() == pytest.approx(4 * h)
+        # x/y unaffected
+        assert m.x0.max() == pytest.approx(1.125)
+
+    def test_comm_bc_masks(self):
+        m = Mesh(4, nz=2, z_offset=1, zeta_minus="comm", zeta_plus="comm")
+        assert m.elemBC[0] & ZETA_M_COMM
+        assert m.elemBC[-1] & ZETA_P_COMM
+        assert not (m.elemBC[0] & ZETA_M_SYMM)
+
+    def test_symmz_empty_for_interior_slab(self):
+        m = Mesh(4, nz=2, z_offset=1, zeta_minus="comm")
+        assert len(m.symmZ) == 0
+        m0 = Mesh(4, nz=2, zeta_minus="symm")
+        assert len(m0.symmZ) == 25
+
+    def test_plane_helpers(self):
+        m = Mesh(3, nz=2)
+        assert np.array_equal(m.node_plane(0), np.arange(16))
+        assert np.array_equal(m.elem_plane(1), np.arange(9, 18))
+        with pytest.raises(ValueError):
+            m.node_plane(3)
+        with pytest.raises(ValueError):
+            m.elem_plane(2)
+
+    def test_invalid_bc(self):
+        with pytest.raises(ValueError):
+            Mesh(4, nz=2, zeta_minus="weird")
+
+
+class TestRegionSubset:
+    def test_partition_of_global(self):
+        rs = RegionSet(num_elem=1000, num_reg=5)
+        a = rs.subset(0, 400)
+        b = rs.subset(400, 1000)
+        assert a.reg_elem_sizes.sum() + b.reg_elem_sizes.sum() == 1000
+        assert a.num_reg == b.num_reg == 5
+        # local indices are local
+        for lst in b.reg_elem_lists:
+            if len(lst):
+                assert lst.max() < 600
+
+    def test_reps_preserved(self):
+        rs = RegionSet(num_elem=1000, num_reg=11)
+        sub = rs.subset(100, 300)
+        assert [sub.rep(r) for r in range(11)] == [rs.rep(r) for r in range(11)]
+
+    def test_invalid_range(self):
+        rs = RegionSet(num_elem=100, num_reg=2)
+        with pytest.raises(ValueError):
+            rs.subset(50, 200)
+
+
+class TestSlabDomain:
+    @pytest.fixture(scope="class")
+    def parts(self):
+        opts = LuleshOptions(nx=4, numReg=3)
+        decomp = SlabDecomposition(4, 2)
+        regions = RegionSet(num_elem=64, num_reg=3)
+        return opts, decomp, regions
+
+    def test_rank0_has_symmetry_and_energy(self, parts):
+        opts, decomp, regions = parts
+        d = SlabDomain(opts, decomp, 0, regions)
+        assert len(d.mesh.symmZ) > 0
+        assert d.e[0] == pytest.approx(opts.einit)
+        assert not d.has_lower_neighbor
+        assert d.has_upper_neighbor
+
+    def test_rank1_comm_bottom_free_top(self, parts):
+        opts, decomp, regions = parts
+        d = SlabDomain(opts, decomp, 1, regions)
+        assert len(d.mesh.symmZ) == 0
+        assert np.all(d.e == 0.0)
+        assert d.mesh.elemBC[0] & ZETA_M_COMM
+        assert d.mesh.elemBC[-1] & ZETA_P_FREE
+
+    def test_ghost_rewiring(self, parts):
+        opts, decomp, regions = parts
+        d = SlabDomain(opts, decomp, 1, regions)
+        ne, p = d.numElem, d.plane_elems
+        assert d.delv_zeta.shape == (ne + 2 * p,)
+        # bottom plane's lzetam points into the below-ghost slots
+        assert np.all(d.mesh.lzetam[d.bottom_elems] >= ne)
+        # top plane is a free surface: lzetap points to self
+        assert np.all(d.mesh.lzetap[d.top_elems] == d.top_elems)
+
+    def test_region_subsets_cover_slab(self, parts):
+        opts, decomp, regions = parts
+        sizes = 0
+        for r in range(2):
+            d = SlabDomain(opts, decomp, r, regions)
+            sizes += int(d.regions.reg_elem_sizes.sum())
+        assert sizes == 64
+
+    def test_store_gradient_ghost_validation(self, parts):
+        opts, decomp, regions = parts
+        d = SlabDomain(opts, decomp, 1, regions)
+        with pytest.raises(ValueError):
+            d.store_gradient_ghosts("below", np.zeros(3))
+        with pytest.raises(ValueError):
+            d.store_gradient_ghosts("sideways", np.zeros(d.plane_elems))
+
+    def test_mismatched_decomposition_rejected(self, parts):
+        opts, _, regions = parts
+        with pytest.raises(ValueError):
+            SlabDomain(opts, SlabDecomposition(5, 2), 0, regions)

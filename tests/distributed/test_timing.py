@@ -1,0 +1,81 @@
+"""Unit tests for the distributed timing models (§VI shapes)."""
+
+import pytest
+
+from repro.dist.network import ClusterConfig, NetworkModel
+from repro.dist.timing import run_hpx_dist, run_mpi_dist
+from repro.lulesh.options import LuleshOptions
+
+FAST = NetworkModel()  # IB-class
+SLOW = NetworkModel(latency_ns=30_000, bandwidth_bytes_per_ns=1.2)  # GbE-class
+
+
+def cluster(n, net=FAST):
+    return ClusterConfig(n_nodes=n, network=net)
+
+
+class TestMpiDist:
+    def test_single_node_no_comm(self):
+        r = run_mpi_dist(LuleshOptions(nx=30, numReg=11), cluster(1), 24, 1)
+        assert r.comm_exposed_ns == 0
+
+    def test_strong_scaling(self):
+        opts = LuleshOptions(nx=45, numReg=11)
+        t1 = run_mpi_dist(opts, cluster(1), 24, 1).runtime_ns
+        t3 = run_mpi_dist(opts, cluster(3), 24, 1).runtime_ns
+        assert t3 < t1
+        assert t3 > t1 / 3.2  # no superlinear magic
+
+    def test_comm_fraction_grows_with_nodes(self):
+        opts = LuleshOptions(nx=45, numReg=11)
+        f3 = run_mpi_dist(opts, cluster(3, SLOW), 24, 1).comm_fraction
+        f9 = run_mpi_dist(opts, cluster(9, SLOW), 24, 1).comm_fraction
+        assert f9 > f3 > 0
+
+    def test_comm_charged_every_iteration(self):
+        opts = LuleshOptions(nx=45, numReg=11)
+        r1 = run_mpi_dist(opts, cluster(3), 24, 1)
+        r4 = run_mpi_dist(opts, cluster(3), 24, 4)
+        assert r4.comm_exposed_ns == pytest.approx(4 * r1.comm_exposed_ns, rel=1e-9)
+
+
+class TestHpxDist:
+    def test_overlap_hides_comm_on_fast_network(self):
+        opts = LuleshOptions(nx=45, numReg=11)
+        m = run_mpi_dist(opts, cluster(5), 24, 1)
+        h = run_hpx_dist(opts, cluster(5), 24, 1)
+        assert h.comm_exposed_ns < m.comm_exposed_ns
+
+    def test_advantage_grows_with_nodes_on_slow_network(self):
+        """§VI: asynchronous exchange pays off most when comm is expensive."""
+        opts = LuleshOptions(nx=90, numReg=11)
+
+        def adv(n):
+            m = run_mpi_dist(opts, cluster(n, SLOW), 24, 1)
+            h = run_hpx_dist(opts, cluster(n, SLOW), 24, 1)
+            return m.runtime_ns / h.runtime_ns
+
+        a2, a9 = adv(2), adv(9)
+        assert a9 > a2 > 1.0
+
+    def test_single_node_equals_local_hpx(self):
+        opts = LuleshOptions(nx=30, numReg=11)
+        r = run_hpx_dist(opts, cluster(1), 24, 1)
+        assert r.comm_exposed_ns == 0
+        from repro.core.driver import run_hpx
+
+        local = run_hpx(opts, 24, 1)
+        assert r.runtime_ns == pytest.approx(local.runtime_ns, rel=0.02)
+
+    def test_allreduce_tail_never_hidden(self):
+        opts = LuleshOptions(nx=90, numReg=11)
+        r = run_hpx_dist(opts, cluster(5), 24, 1)
+        assert r.comm_exposed_ns >= FAST.message_ns(8)
+
+
+class TestResultSurface:
+    def test_per_iteration_and_fraction(self):
+        opts = LuleshOptions(nx=45, numReg=11)
+        r = run_mpi_dist(opts, cluster(3), 24, 2)
+        assert r.per_iteration_ns == pytest.approx(r.runtime_ns / 2)
+        assert 0 <= r.comm_fraction < 1

@@ -1,0 +1,76 @@
+"""Tests for the artifact-evaluation flow."""
+
+import pytest
+
+from repro.harness.artifact import (
+    ARTIFACT_ITERATIONS,
+    analyze_artifact_csvs,
+    run_artifact_evaluation,
+)
+
+
+@pytest.fixture(scope="module")
+def csvs(tmp_path_factory):
+    out = tmp_path_factory.mktemp("artifact")
+    return run_artifact_evaluation(
+        str(out), sizes=(45, 90), threads=(1, 4, 24)
+    )
+
+
+class TestRunArtifactEvaluation:
+    def test_writes_both_csvs_with_header(self, csvs):
+        hpx_csv, ref_csv = csvs
+        for path in csvs:
+            with open(path) as fh:
+                header = fh.readline().strip()
+            assert header == "size,regions,iterations,threads,runtime,result"
+
+    def test_grid_complete(self, csvs):
+        hpx_csv, _ = csvs
+        with open(hpx_csv) as fh:
+            rows = fh.read().strip().splitlines()[1:]
+        assert len(rows) == 2 * 3  # sizes x threads
+
+    def test_iteration_caps_follow_ad_table(self, csvs):
+        hpx_csv, _ = csvs
+        with open(hpx_csv) as fh:
+            rows = [line.split(",") for line in fh.read().splitlines()[1:]]
+        for row in rows:
+            size, iters = int(row[0]), int(row[2])
+            assert iters == ARTIFACT_ITERATIONS[size]
+
+    def test_runtime_positive_and_scaled(self, csvs):
+        hpx_csv, _ = csvs
+        with open(hpx_csv) as fh:
+            rows = [line.split(",") for line in fh.read().splitlines()[1:]]
+        for row in rows:
+            assert float(row[4]) > 0.1  # whole-run seconds, not per-iter
+
+
+class TestAnalyze:
+    def test_speedups_match_artifact_definition(self, csvs):
+        result = analyze_artifact_csvs(*csvs, charts=False)
+        sp = result["speedups"]
+        assert (45, 24) in sp
+        assert 2.0 < sp[(45, 24)] < 2.6  # the headline number survives I/O
+        assert sp[(45, 1)] < 1.0  # OpenMP wins single-threaded
+
+    def test_report_contains_series(self, csvs):
+        result = analyze_artifact_csvs(*csvs)
+        assert "size   45" in result["report"]
+        assert "runtime (s) over threads, size 90" in result["report"]
+
+    def test_mismatched_grids_rejected(self, csvs, tmp_path):
+        hpx_csv, ref_csv = csvs
+        trunc = tmp_path / "short.csv"
+        with open(ref_csv) as fh:
+            lines = fh.read().splitlines()
+        trunc.write_text("\n".join(lines[:-1]) + "\n")
+        with pytest.raises(ValueError, match="different"):
+            analyze_artifact_csvs(hpx_csv, str(trunc))
+
+    def test_empty_csv_rejected(self, tmp_path):
+        p = tmp_path / "empty.csv"
+        p.write_text("size,regions,iterations,threads,runtime,result\n")
+        with pytest.raises(ValueError, match="no data"):
+            analyze_artifact_csvs(str(p), str(p))

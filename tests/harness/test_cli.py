@@ -1,0 +1,146 @@
+"""Unit tests for the lulesh-hpx command line."""
+
+import pytest
+
+from repro.harness.cli import build_parser, main
+
+
+class TestParser:
+    def test_artifact_flags(self):
+        args = build_parser().parse_args(
+            ["--s", "45", "--r", "11", "--i", "50", "--q", "--hpx:threads=24"]
+        )
+        assert args.s == 45
+        assert args.r == 11
+        assert args.i == 50
+        assert args.q
+        assert args.hpx_threads == 24
+
+    def test_defaults(self):
+        args = build_parser().parse_args([])
+        assert args.impl == "hpx"
+        assert args.experiment is None
+
+
+class TestSingleRun:
+    def test_hpx_run_prints_artifact_csv(self, capsys):
+        assert main(["--s", "4", "--i", "2", "--q", "--threads", "4"]) == 0
+        out = capsys.readouterr().out
+        lines = out.strip().splitlines()
+        assert lines[0] == "size,regions,iterations,threads,runtime,result"
+        fields = lines[1].split(",")
+        assert fields[0] == "4"
+        assert fields[3] == "4"
+
+    def test_execute_reports_origin_energy(self, capsys):
+        main(["--s", "4", "--i", "2", "--execute", "--threads", "4"])
+        out = capsys.readouterr().out
+        assert "final origin energy" in out
+
+    def test_omp_impl(self, capsys):
+        assert main(["--impl", "omp", "--s", "4", "--i", "1", "--q"]) == 0
+
+    def test_naive_impl(self, capsys):
+        assert main(["--impl", "naive", "--s", "4", "--i", "1", "--q"]) == 0
+
+    def test_hpx_threads_overrides_threads(self, capsys):
+        main(["--s", "4", "--i", "1", "--q", "--threads", "2", "--hpx:threads=8"])
+        out = capsys.readouterr().out
+        assert out.strip().splitlines()[-1].split(",")[3] == "8"
+
+
+class TestVariantsAndTools:
+    def test_variant_flag(self, capsys):
+        assert main(["--s", "4", "--i", "1", "--q", "--variant", "fig6"]) == 0
+
+    def test_trace_export(self, capsys, tmp_path):
+        path = tmp_path / "trace.json"
+        assert main(["--s", "6", "--i", "1", "--q", "--trace", str(path)]) == 0
+        import json
+
+        data = json.loads(path.read_text())
+        assert len(data["traceEvents"]) > 10
+
+    def test_checkpoint_roundtrip(self, capsys, tmp_path):
+        ck = tmp_path / "ck.npz"
+        assert main(["--s", "4", "--i", "3", "--execute", "--q",
+                     "--save-checkpoint", str(ck)]) == 0
+        assert ck.exists()
+        assert main(["--s", "4", "--i", "3", "--execute", "--q",
+                     "--restore-checkpoint", str(ck)]) == 0
+        out = capsys.readouterr().out
+        # resumed run reports the cumulative cycle count
+        assert ",6," in out.splitlines()[-1]
+
+    def test_checkpoint_requires_execute(self, capsys, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["--s", "4", "--i", "1", "--q",
+                  "--save-checkpoint", str(tmp_path / "x.npz")])
+
+    def test_scheduler_experiment_runs(self, capsys):
+        assert main(["--experiment", "scheduler", "--q"]) == 0
+        assert "hpx-default" in capsys.readouterr().out
+
+    def test_multinode_experiment_runs(self, capsys):
+        assert main(["--experiment", "multinode", "--q"]) == 0
+        out = capsys.readouterr().out
+        assert "infiniband" in out and "ethernet" in out
+
+
+class TestExperimentMode:
+    def test_fig11_table_printed(self, capsys, monkeypatch):
+        import repro.harness.cli as cli
+
+        monkeypatch.setitem(
+            cli._EXPERIMENTS,
+            "fig11",
+            (
+                lambda: cli.exp.fig11_experiment(sizes=(10,), iterations=1),
+                cli._EXPERIMENTS["fig11"][1],
+                cli._EXPERIMENTS["fig11"][2],
+            ),
+        )
+        assert main(["--experiment", "fig11"]) == 0
+        out = capsys.readouterr().out
+        assert "omp_utilization" in out
+
+    def test_csv_written(self, capsys, tmp_path, monkeypatch):
+        import repro.harness.cli as cli
+
+        monkeypatch.setitem(
+            cli._EXPERIMENTS,
+            "fig10",
+            (
+                lambda: cli.exp.fig10_experiment(
+                    sizes=(10,), regions=(2,), iterations=1
+                ),
+                cli._EXPERIMENTS["fig10"][1],
+                cli._EXPERIMENTS["fig10"][2],
+            ),
+        )
+        path = tmp_path / "fig10.csv"
+        assert main(["--experiment", "fig10", "--csv", str(path)]) == 0
+        assert path.read_text().startswith("size,regions,threads")
+
+
+class TestVtkAndArtifact:
+    def test_vtk_export(self, capsys, tmp_path):
+        path = tmp_path / "state.vtk"
+        assert main(["--s", "4", "--i", "2", "--execute", "--q",
+                     "--vtk", str(path)]) == 0
+        assert path.read_text().startswith("# vtk DataFile")
+
+    def test_artifact_flow(self, capsys, tmp_path, monkeypatch):
+        import repro.harness.artifact as art
+
+        real = art.run_artifact_evaluation
+        # shrink the grid for test speed; the CLI imports the function from
+        # the module at call time, so patching the module attribute works.
+        monkeypatch.setattr(
+            art, "run_artifact_evaluation",
+            lambda out_dir: real(out_dir, sizes=(45,), threads=(1, 24)),
+        )
+        assert main(["--artifact-dir", str(tmp_path), "--q"]) == 0
+        out = capsys.readouterr().out
+        assert "speed-ups at 24 threads" in out
+        assert (tmp_path / "hpx.csv").exists()

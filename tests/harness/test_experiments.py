@@ -1,0 +1,79 @@
+"""Unit tests for experiment definitions (reduced-size sweeps)."""
+
+import pytest
+
+from repro.harness.experiments import (
+    ablation_experiment,
+    best_partitions,
+    fig9_experiment,
+    fig10_experiment,
+    fig11_experiment,
+    table1_experiment,
+)
+
+
+class TestFig9:
+    def test_record_grid(self):
+        recs = fig9_experiment(sizes=(20, 30), threads=(1, 4), iterations=1)
+        assert len(recs) == 4
+        keys = {(r["size"], r["threads"]) for r in recs}
+        assert keys == {(20, 1), (20, 4), (30, 1), (30, 4)}
+
+    def test_fields_present(self):
+        (rec,) = fig9_experiment(sizes=(20,), threads=(4,), iterations=1)
+        for key in ("omp_ms_per_iter", "hpx_ms_per_iter", "speedup", "regions"):
+            assert key in rec
+        assert rec["speedup"] == pytest.approx(
+            rec["omp_ms_per_iter"] / rec["hpx_ms_per_iter"]
+        )
+
+
+class TestFig10:
+    def test_regions_swept(self):
+        recs = fig10_experiment(sizes=(20,), regions=(2, 5), iterations=1)
+        assert {r["regions"] for r in recs} == {2, 5}
+        assert all(r["threads"] == 24 for r in recs)
+
+
+class TestFig11:
+    def test_utilizations_in_unit_interval(self):
+        recs = fig11_experiment(sizes=(20, 30), iterations=1)
+        for r in recs:
+            assert 0 < r["omp_utilization"] <= 1
+            assert 0 < r["hpx_utilization"] <= 1
+
+
+class TestTable1:
+    def test_sweep_and_best(self):
+        recs = table1_experiment(
+            sizes=(20,), partitions=(64, 512, 4096), iterations=1
+        )
+        assert len(recs) == 9
+        best = best_partitions(recs)
+        assert 20 in best
+        pn, pe = best[20]
+        assert pn in (64, 512, 4096)
+        assert pe in (64, 512, 4096)
+
+    def test_best_picks_minimum(self):
+        recs = [
+            {"size": 1, "nodal_partition": 10, "elements_partition": 10,
+             "hpx_ms_per_iter": 5.0},
+            {"size": 1, "nodal_partition": 20, "elements_partition": 30,
+             "hpx_ms_per_iter": 2.0},
+        ]
+        assert best_partitions(recs) == {1: (20, 30)}
+
+
+class TestAblation:
+    def test_all_rungs_present(self):
+        recs = ablation_experiment(sizes=(20,), iterations=1)
+        variants = [r["variant"] for r in recs]
+        assert len(variants) == 7
+        assert variants[0].startswith("openmp")
+        assert any("[16]" in v for v in variants)
+        assert any("Fig.8" in v for v in variants)
+
+    def test_openmp_baseline_speedup_one(self):
+        recs = ablation_experiment(sizes=(20,), iterations=1)
+        assert recs[0]["speedup_vs_omp"] == pytest.approx(1.0)

@@ -1,0 +1,77 @@
+"""Unit tests for the ASCII charts."""
+
+import pytest
+
+from repro.harness.plotting import bar_chart, fig9_chart, fig10_chart, line_chart
+
+
+class TestLineChart:
+    def test_basic_render(self):
+        out = line_chart({"a": [(1, 1.0), (2, 2.0)]}, width=20, height=5)
+        assert "a = a" in out
+        assert out.count("|") >= 10
+
+    def test_log_scale(self):
+        out = line_chart(
+            {"a": [(1, 1.0), (2, 1000.0)]}, width=20, height=5, log_y=True
+        )
+        assert "1000" in out
+
+    def test_log_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            line_chart({"a": [(1, 0.0)]}, log_y=True)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            line_chart({})
+
+    def test_title(self):
+        out = line_chart({"a": [(0, 1)]}, title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_constant_series_ok(self):
+        line_chart({"a": [(1, 5.0), (2, 5.0)]})  # zero y-span handled
+
+
+class TestBarChart:
+    def test_proportions(self):
+        out = bar_chart({"x": 1.0, "y": 2.0}, width=10)
+        lines = out.splitlines()
+        assert lines[0].count("#") == 5
+        assert lines[1].count("#") == 10
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart({})
+
+    def test_nonpositive_max_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart({"x": 0.0})
+
+
+class TestFigureCharts:
+    RECORDS9 = [
+        {"size": 45, "threads": 1, "omp_ms_per_iter": 80.0, "hpx_ms_per_iter": 82.0},
+        {"size": 45, "threads": 24, "omp_ms_per_iter": 13.0, "hpx_ms_per_iter": 5.8},
+    ]
+    RECORDS10 = [
+        {"size": 45, "regions": 11, "speedup": 2.28},
+        {"size": 150, "regions": 11, "speedup": 1.24},
+    ]
+
+    def test_fig9_chart(self):
+        out = fig9_chart(self.RECORDS9, 45)
+        assert "s=45" in out
+        assert "o = omp" in out
+
+    def test_fig9_unknown_size(self):
+        with pytest.raises(ValueError):
+            fig9_chart(self.RECORDS9, 90)
+
+    def test_fig10_chart(self):
+        out = fig10_chart(self.RECORDS10)
+        assert "s=45" in out and "2.28" in out
+
+    def test_fig10_unknown_regions(self):
+        with pytest.raises(ValueError):
+            fig10_chart(self.RECORDS10, regions=21)

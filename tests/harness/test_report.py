@@ -1,0 +1,50 @@
+"""Unit tests for result reporting."""
+
+import pytest
+
+from repro.harness.report import (
+    ARTIFACT_CSV_HEADER,
+    artifact_csv_row,
+    records_to_csv,
+    render_table,
+    speedup,
+)
+
+
+class TestSpeedup:
+    def test_definition(self):
+        assert speedup(2.0, 1.0) == 2.0
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            speedup(1.0, 0.0)
+
+
+class TestArtifactFormat:
+    def test_header(self):
+        assert ARTIFACT_CSV_HEADER == (
+            "size", "regions", "iterations", "threads", "runtime", "result",
+        )
+
+    def test_row(self):
+        row = artifact_csv_row(45, 11, 50, 24, 1.5, 3.9e7)
+        assert row == (45, 11, 50, 24, 1.5, 3.9e7)
+
+
+class TestRendering:
+    RECORDS = [
+        {"size": 45, "speedup": 2.25},
+        {"size": 150, "speedup": 1.33},
+    ]
+
+    def test_render_table(self):
+        out = render_table(self.RECORDS, ["size", "speedup"], title="Fig")
+        assert "Fig" in out
+        assert "2.250" in out
+        assert "150" in out
+
+    def test_records_to_csv(self):
+        out = records_to_csv(self.RECORDS, ["size", "speedup"])
+        lines = out.strip().splitlines()
+        assert lines[0] == "size,speedup"
+        assert lines[1].startswith("45,")

@@ -1,0 +1,70 @@
+"""Unit tests for trace export and ASCII visualization."""
+
+import json
+
+import pytest
+
+from repro.amt.runtime import AmtRuntime
+from repro.harness.traceview import ascii_gantt, to_chrome_trace, write_chrome_trace
+from repro.simcore.costmodel import CostModel
+from repro.simcore.machine import MachineConfig
+from repro.simcore.trace import TaskSpan
+
+
+def make_spans():
+    return [
+        TaskSpan(worker=0, task_id=0, tag="a", start_ns=0, end_ns=1000),
+        TaskSpan(worker=1, task_id=1, tag="b", start_ns=500, end_ns=2000),
+    ]
+
+
+class TestChromeTrace:
+    def test_events_structure(self):
+        events = to_chrome_trace(make_spans())
+        assert events[0]["ph"] == "M"  # process-name metadata
+        tasks = [e for e in events if e["ph"] == "X"]
+        assert len(tasks) == 2
+        assert tasks[0]["ts"] == 0.0
+        assert tasks[0]["dur"] == 1.0  # 1000 ns = 1 us
+        assert tasks[1]["tid"] == 1
+
+    def test_write_roundtrip(self, tmp_path):
+        path = tmp_path / "trace.json"
+        write_chrome_trace(str(path), make_spans())
+        data = json.loads(path.read_text())
+        assert len(data["traceEvents"]) == 3
+
+    def test_from_real_runtime(self):
+        rt = AmtRuntime(MachineConfig(), CostModel(), 4, record_spans=True)
+        for _ in range(8):
+            rt.async_(lambda: None, cost_ns=1000, tag="k")
+        rt.flush()
+        events = to_chrome_trace(rt.stats.trace.spans)
+        assert len([e for e in events if e["ph"] == "X"]) == 8
+
+
+class TestAsciiGantt:
+    def test_rows_per_worker(self):
+        out = ascii_gantt(make_spans(), makespan_ns=2000, n_workers=2)
+        lines = out.splitlines()
+        assert len(lines) == 2
+        assert lines[0].startswith("w00")
+        assert "#" in lines[0]
+
+    def test_busy_fraction_visible(self):
+        spans = [TaskSpan(0, 0, "t", 0, 500)]
+        out = ascii_gantt(spans, makespan_ns=1000, n_workers=1, width=10)
+        row = out.splitlines()[0]
+        assert row.count("#") == 5
+
+    def test_worker_cap(self):
+        out = ascii_gantt([], makespan_ns=100, n_workers=24, max_workers=4)
+        lines = out.splitlines()
+        assert len(lines) == 5
+        assert "more workers" in lines[-1]
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            ascii_gantt([], makespan_ns=0, n_workers=1)
+        with pytest.raises(ValueError):
+            ascii_gantt([], makespan_ns=100, n_workers=1, width=2)

@@ -1,0 +1,63 @@
+"""Integration: every orchestration is bit-identical to the reference.
+
+This is the reproduction's analogue of the paper's fairness requirement
+(§IV): the task decomposition must not change the math — "we do *not* fuse
+the loops of these kernels in order to preserve the computational structure
+of LULESH, and to thus ensure a fair comparison".
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.driver import run_hpx, run_naive_hpx, run_omp
+from repro.core.hpx_lulesh import HpxVariant
+from repro.lulesh.options import LuleshOptions
+from repro.lulesh.reference import run_reference
+
+FIELDS = ("x", "y", "z", "xd", "yd", "zd", "e", "p", "q", "v", "ss")
+
+
+@pytest.fixture(scope="module")
+def reference():
+    opts = LuleshOptions(nx=5, numReg=5, max_iterations=12)
+    domain, summary = run_reference(opts)
+    return opts, domain, summary
+
+
+def assert_identical(ref_domain, domain):
+    for f in FIELDS:
+        a, b = getattr(ref_domain, f), getattr(domain, f)
+        assert np.array_equal(a, b), f"field {f} diverged (max |d| = " \
+            f"{np.abs(a - b).max()})"
+
+
+class TestBitIdentity:
+    def test_omp_structured(self, reference):
+        opts, ref, _ = reference
+        res = run_omp(opts, 24, 12, execute=True)
+        assert_identical(ref, res.domain)
+
+    def test_hpx_full(self, reference):
+        opts, ref, _ = reference
+        res = run_hpx(opts, 24, 12, execute=True,
+                      nodal_partition=32, elements_partition=32)
+        assert_identical(ref, res.domain)
+
+    def test_hpx_fig6_variant(self, reference):
+        opts, ref, _ = reference
+        res = run_hpx(opts, 24, 12, execute=True, variant=HpxVariant.fig6(),
+                      nodal_partition=32, elements_partition=32)
+        assert_identical(ref, res.domain)
+
+    def test_naive_port(self, reference):
+        opts, ref, _ = reference
+        res = run_naive_hpx(opts, 24, 12, execute=True)
+        assert_identical(ref, res.domain)
+
+    def test_cycle_and_time_agree(self, reference):
+        opts, ref, summary = reference
+        res = run_hpx(opts, 8, 12, execute=True,
+                      nodal_partition=32, elements_partition=32)
+        assert res.domain.cycle == summary.cycles
+        assert res.domain.time == pytest.approx(summary.final_time)
+        assert res.domain.deltatime == pytest.approx(summary.final_dt)

@@ -1,0 +1,62 @@
+"""Smoke tests: every shipped example runs to completion.
+
+Examples are the documentation users execute first — they must never rot.
+Each is run as a subprocess (its own interpreter, like a user would) and
+checked for a zero exit code and its key output lines.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str, *args: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "bit-identical across orchestrations: True" in out
+        assert "task-based speed-up vs OpenMP:" in out
+
+    def test_sedov_blast(self):
+        out = run_example("sedov_blast.py", "8")
+        assert "shock front near element" in out
+        assert "sanity: volumes positive" in out
+
+    def test_scaling_study_quick(self):
+        out = run_example("scaling_study.py", "--quick")
+        assert "Fig. 9" in out
+        assert "measured vs paper" in out
+
+    def test_task_graph_inspect(self):
+        out = run_example("task_graph_inspect.py")
+        assert "tasks pre-created" in out
+        assert "Gantt" in out
+        assert "optimization ladder" in out
+
+    def test_distributed_scaling(self):
+        out = run_example("distributed_scaling.py")
+        assert "max rel. field error" in out
+        assert "HPX adv" in out
+
+    def test_checkpoint_restart(self):
+        out = run_example("checkpoint_restart.py")
+        assert "bit-identical to uninterrupted run: True" in out
+
+    def test_custom_machine(self):
+        out = run_example("custom_machine.py")
+        assert "128-core" in out
+        assert "speedup" in out

@@ -1,0 +1,100 @@
+"""Failure injection: the reference's abort paths fire through every driver.
+
+LULESH aborts on element inversion (VolumeError) and runaway artificial
+viscosity (QStopError).  These tests force those conditions and verify each
+orchestration surfaces the same typed error instead of corrupting state.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.driver import run_hpx, run_naive_hpx, run_omp
+from repro.core.kernel_graph import ProblemShape
+from repro.core.omp_lulesh import OmpLuleshProgram
+from repro.dist import DistributedDriver
+from repro.lulesh.costs import DEFAULT_COSTS
+from repro.lulesh.domain import Domain
+from repro.lulesh.errors import QStopError, VolumeError
+from repro.lulesh.options import LuleshOptions
+from repro.lulesh.reference import SequentialDriver
+from repro.openmp.runtime import OmpRuntime
+from repro.simcore.costmodel import CostModel
+from repro.simcore.machine import MachineConfig
+
+# A fixed timestep orders of magnitude beyond the Courant limit: the mesh
+# inverts within a few cycles.
+BAD_DT_OPTS = dict(nx=5, numReg=2, dtfixed=3e-3)
+
+
+def run_steps(driver_step, n=60):
+    for _ in range(n):
+        driver_step()
+
+
+class TestVolumeError:
+    def test_reference_driver(self):
+        d = Domain(LuleshOptions(**BAD_DT_OPTS))
+        drv = SequentialDriver(d)
+        with pytest.raises(VolumeError):
+            run_steps(drv.step)
+
+    def test_omp_driver(self):
+        with pytest.raises(VolumeError):
+            run_omp(LuleshOptions(**BAD_DT_OPTS), 4, 60, execute=True)
+
+    def test_hpx_driver(self):
+        with pytest.raises(VolumeError):
+            run_hpx(LuleshOptions(**BAD_DT_OPTS), 4, 60, execute=True,
+                    nodal_partition=32, elements_partition=32)
+
+    def test_naive_driver(self):
+        with pytest.raises(VolumeError):
+            run_naive_hpx(LuleshOptions(**BAD_DT_OPTS), 4, 60, execute=True)
+
+    def test_distributed_driver(self):
+        drv = DistributedDriver(LuleshOptions(**BAD_DT_OPTS), 2)
+        with pytest.raises(VolumeError):
+            run_steps(drv.step)
+
+
+class TestQStopError:
+    def test_tiny_qstop_trips(self):
+        # Any real shock exceeds a vanishing qstop.
+        opts = LuleshOptions(nx=5, numReg=2, qstop=1e-30)
+        d = Domain(opts)
+        drv = SequentialDriver(d)
+        with pytest.raises(QStopError):
+            run_steps(drv.step, n=40)
+
+    def test_omp_structured_trips_identically(self):
+        opts = LuleshOptions(nx=5, numReg=2, qstop=1e-30)
+        ref = Domain(opts)
+        ref_drv = SequentialDriver(ref)
+        ref_cycles = 0
+        try:
+            for _ in range(40):
+                ref_drv.step()
+                ref_cycles += 1
+        except QStopError:
+            pass
+
+        dom = Domain(opts)
+        omp = OmpRuntime(MachineConfig(), CostModel(), 4, execute_bodies=True)
+        program = OmpLuleshProgram(
+            omp, ProblemShape.from_domain(dom), DEFAULT_COSTS, dom
+        )
+        with pytest.raises(QStopError):
+            program.run(40)
+        # Same cycle count before the abort: identical failure point.
+        assert dom.cycle == ref.cycle
+
+
+class TestStateAtFailure:
+    def test_error_raised_before_state_corruption(self):
+        """The inversion check fires while volumes are still readable."""
+        d = Domain(LuleshOptions(**BAD_DT_OPTS))
+        drv = SequentialDriver(d)
+        with pytest.raises(VolumeError):
+            run_steps(drv.step)
+        # Committed volumes (v) are from the last *successful* cycle.
+        assert np.all(d.v > 0.0)

@@ -1,0 +1,51 @@
+"""Golden regression values: the physics must not drift.
+
+These exact numbers were produced by this implementation and are pinned to
+catch *any* unintended change to the math — kernel refactors that claim
+bit-equivalence (e.g. the batched geometry rewrites) must keep them
+verbatim.  An intentional physics change must update them consciously and
+note it in EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.lulesh import LuleshOptions, run_reference
+
+# (nx, numReg, max_iterations) -> (cycles, final_time, origin_e, final_dt, e_sum)
+GOLDEN = {
+    (8, 4, 50): (
+        50,
+        0.0019951765784255,
+        41496.55424935145,
+        4.268411531263596e-05,
+        117175.54869539163,
+    ),
+    (10, 11, 80): (
+        80,
+        0.0020568121038589634,
+        57229.8041080104,
+        3.318201369801285e-05,
+        232254.256372826,
+    ),
+    (6, 1, None): (
+        102,
+        0.01,
+        10454.175985908983,
+        9.474324811893121e-05,
+        50941.562287270026,
+    ),
+}
+
+
+@pytest.mark.parametrize("key", sorted(GOLDEN, key=str))
+def test_golden_run(key):
+    nx, num_reg, iters = key
+    cycles, final_time, origin_e, final_dt, e_sum = GOLDEN[key]
+    domain, summary = run_reference(
+        LuleshOptions(nx=nx, numReg=num_reg, max_iterations=iters)
+    )
+    assert summary.cycles == cycles
+    assert summary.final_time == final_time
+    assert summary.origin_energy == origin_e
+    assert summary.final_dt == final_dt
+    assert float(domain.e.sum()) == e_sum

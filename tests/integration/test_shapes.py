@@ -1,0 +1,172 @@
+"""Integration: the simulated evaluation reproduces the paper's shapes.
+
+These assertions are the DESIGN.md §4 shape targets — the qualitative
+claims of Figs. 9-11 and Table I.  They run the paper-scale sweeps in
+timing-only mode (deterministic, seconds).
+"""
+
+import pytest
+
+from repro.core.driver import run_hpx, run_naive_hpx, run_omp
+from repro.core.hpx_lulesh import HpxVariant
+from repro.harness.calibration import check_fig10_speedups
+from repro.harness.experiments import fig10_experiment, fig11_experiment
+from repro.lulesh.options import LuleshOptions
+
+
+def speedup(opts, threads, iterations=1, **hpx_kwargs):
+    o = run_omp(opts, threads, iterations)
+    h = run_hpx(opts, threads, iterations, **hpx_kwargs)
+    return o.runtime_ns / h.runtime_ns
+
+
+class TestFig10Speedups:
+    def test_small_size_headline(self):
+        """Paper: up to 2.25x at s=45, 24 threads, 11 regions."""
+        sp = speedup(LuleshOptions(nx=45, numReg=11), 24)
+        assert 2.0 <= sp <= 2.6
+
+    def test_large_size_headline(self):
+        """Paper: ~1.33x at s=150."""
+        sp = speedup(LuleshOptions(nx=150, numReg=11), 24)
+        assert 1.15 <= sp <= 1.45
+
+    def test_speedup_decays_with_size(self):
+        sizes = (45, 60, 150)
+        sps = [speedup(LuleshOptions(nx=s, numReg=11), 24) for s in sizes]
+        assert sps[0] > sps[1] > sps[2]
+
+    def test_speedup_grows_with_regions(self):
+        sps = [
+            speedup(LuleshOptions(nx=45, numReg=r), 24) for r in (11, 16, 21)
+        ]
+        assert sps[0] < sps[1] < sps[2]
+
+    def test_harness_level_checks_pass(self):
+        records = fig10_experiment(sizes=(45, 60, 150), regions=(11, 16, 21),
+                                   iterations=1)
+        assert check_fig10_speedups(records) == []
+
+
+class TestFig9Threads:
+    def test_openmp_wins_single_threaded(self):
+        for s in (45, 150):
+            assert speedup(LuleshOptions(nx=s, numReg=11), 1) < 1.0
+
+    def test_hpx_competitive_from_two_threads_at_small_sizes(self):
+        """Paper: runtime improvements from 2 threads for s in {45, 60};
+        our calibration gives a clear win at 45 and parity at 60."""
+        assert speedup(LuleshOptions(nx=45, numReg=11), 2) > 1.0
+        assert speedup(LuleshOptions(nx=60, numReg=11), 2) >= 0.99
+
+    def test_openmp_wins_at_low_threads_for_large_sizes(self):
+        """Paper: OpenMP faster below 16 threads for s in {120, 150}; our
+        calibration reproduces the crossover (OpenMP wins at <=2 threads,
+        HPX wins by 16) at a lower thread count — see EXPERIMENTS.md."""
+        for s in (120, 150):
+            assert speedup(LuleshOptions(nx=s, numReg=11), 2) < 1.0
+            assert speedup(LuleshOptions(nx=s, numReg=11), 16) > 1.0
+
+    def test_both_best_at_24_threads_not_more(self):
+        """SMT oversubscription slows both runtimes (paper §V-A)."""
+        opts = LuleshOptions(nx=60, numReg=11)
+        omp24 = run_omp(opts, 24, 1).runtime_ns
+        omp48 = run_omp(opts, 48, 1).runtime_ns
+        hpx24 = run_hpx(opts, 24, 1).runtime_ns
+        hpx48 = run_hpx(opts, 48, 1).runtime_ns
+        assert omp48 > omp24
+        assert hpx48 > hpx24
+
+    def test_runtime_decreases_toward_24_threads(self):
+        opts = LuleshOptions(nx=60, numReg=11)
+        times = [run_hpx(opts, t, 1).runtime_ns for t in (1, 4, 16, 24)]
+        assert times == sorted(times, reverse=True)
+
+
+class TestFig11Utilization:
+    @pytest.fixture(scope="class")
+    def records(self):
+        return fig11_experiment(sizes=(45, 60, 90, 120, 150), iterations=1)
+
+    def test_hpx_above_omp_everywhere(self, records):
+        for r in records:
+            assert r["hpx_utilization"] > r["omp_utilization"], r
+
+    def test_both_increase_with_size(self, records):
+        """OMP strictly increases; HPX increases up to small partition-
+        quantization wiggles (< 3 points) before saturating."""
+        omps = [r["omp_utilization"] for r in records]
+        hpxs = [r["hpx_utilization"] for r in records]
+        assert omps == sorted(omps)
+        assert all(b >= a - 0.03 for a, b in zip(hpxs, hpxs[1:]))
+        assert hpxs[-1] > hpxs[0]
+
+    def test_hpx_saturates_above_90(self, records):
+        by_size = {r["size"]: r for r in records}
+        assert by_size[120]["hpx_utilization"] >= 0.95
+        assert by_size[150]["hpx_utilization"] >= 0.95
+
+    def test_omp_never_saturates(self, records):
+        """Paper: OpenMP does not exceed 87%; our measured ceiling is ~89%
+        (memory stalls count as busy in the per-region measurement)."""
+        for r in records:
+            assert r["omp_utilization"] < 0.92
+
+
+class TestPriorWorkAndLadder:
+    def test_naive_port_slower_than_openmp(self):
+        opts = LuleshOptions(nx=45, numReg=11)
+        omp = run_omp(opts, 24, 1)
+        naive = run_naive_hpx(opts, 24, 1)
+        assert naive.runtime_ns > omp.runtime_ns
+
+    def test_optimization_ladder_monotone(self):
+        opts = LuleshOptions(nx=45, numReg=11)
+        times = [
+            run_hpx(opts, 24, 1, variant=v).runtime_ns
+            for v in (
+                HpxVariant.fig5(),
+                HpxVariant.fig6(),
+                HpxVariant.fig7(),
+                HpxVariant.full(),
+            )
+        ]
+        assert times == sorted(times, reverse=True)
+
+    def test_task_local_temporaries_help(self):
+        opts = LuleshOptions(nx=45, numReg=11)
+        local = run_hpx(opts, 24, 1)
+        glob = run_hpx(opts, 24, 1, variant=HpxVariant(task_local_temporaries=False))
+        assert glob.runtime_ns > local.runtime_ns
+
+
+class TestTable1PartitionEffects:
+    def test_too_coarse_loses_at_small_size(self):
+        """P=8192 at s=45 starves 24 workers (paper: load balancing)."""
+        opts = LuleshOptions(nx=45, numReg=11)
+        good = run_hpx(opts, 24, 1, nodal_partition=2048, elements_partition=2048)
+        coarse = run_hpx(opts, 24, 1, nodal_partition=16384,
+                         elements_partition=16384)
+        assert coarse.runtime_ns > good.runtime_ns
+
+    def test_too_fine_loses_at_large_size(self):
+        """Tiny partitions drown in task overhead (paper: scheduling)."""
+        opts = LuleshOptions(nx=120, numReg=11)
+        good = run_hpx(opts, 24, 1, nodal_partition=2048, elements_partition=2048)
+        fine = run_hpx(opts, 24, 1, nodal_partition=64, elements_partition=64)
+        assert fine.runtime_ns > good.runtime_ns
+
+    def test_optimum_grows_with_problem_size(self):
+        """The Table-I pattern: larger problems prefer larger partitions."""
+
+        def best_p(nx):
+            opts = LuleshOptions(nx=nx, numReg=11)
+            candidates = (128, 256, 512, 1024, 2048, 4096)
+            times = {
+                p: run_hpx(opts, 24, 1, nodal_partition=p,
+                           elements_partition=p).runtime_ns
+                for p in candidates
+            }
+            return min(times, key=times.get)
+
+        assert best_p(45) < best_p(150)

@@ -1,0 +1,81 @@
+"""Unit tests for checkpoint / restart."""
+
+import numpy as np
+import pytest
+
+from repro.lulesh.checkpoint import (
+    load_checkpoint,
+    restore_checkpoint,
+    save_checkpoint,
+)
+from repro.lulesh.domain import Domain
+from repro.lulesh.options import LuleshOptions
+from repro.lulesh.reference import SequentialDriver
+
+
+@pytest.fixture()
+def opts():
+    return LuleshOptions(nx=5, numReg=3, max_iterations=40)
+
+
+class TestRoundtrip:
+    def test_restart_is_bit_identical(self, opts, tmp_path):
+        """continuous run == run to cycle 10, checkpoint, restore, resume."""
+        path = str(tmp_path / "ckpt.npz")
+
+        a = Domain(opts)
+        da = SequentialDriver(a)
+        for _ in range(10):
+            da.step()
+        save_checkpoint(a, path)
+        for _ in range(10):
+            da.step()
+
+        b = load_checkpoint(opts, path)
+        db = SequentialDriver(b)
+        for _ in range(10):
+            db.step()
+
+        for f in ("x", "xd", "e", "p", "q", "v", "ss"):
+            assert np.array_equal(getattr(a, f), getattr(b, f)), f
+        assert a.time == b.time
+        assert a.cycle == b.cycle
+        assert a.deltatime == b.deltatime
+
+    def test_scalars_restored(self, opts, tmp_path):
+        path = str(tmp_path / "ckpt.npz")
+        a = Domain(opts)
+        da = SequentialDriver(a)
+        for _ in range(5):
+            da.step()
+        save_checkpoint(a, path)
+        b = load_checkpoint(opts, path)
+        assert b.cycle == 5
+        assert b.time == a.time
+        assert b.dtcourant == a.dtcourant
+
+
+class TestGuards:
+    def test_mismatched_options_rejected(self, opts, tmp_path):
+        path = str(tmp_path / "ckpt.npz")
+        save_checkpoint(Domain(opts), path)
+        other = LuleshOptions(nx=6, numReg=3)
+        with pytest.raises(ValueError, match="different options"):
+            load_checkpoint(other, path)
+
+    def test_restore_into_existing_domain(self, opts, tmp_path):
+        path = str(tmp_path / "ckpt.npz")
+        a = Domain(opts)
+        a.e[1] = 42.0
+        save_checkpoint(a, path)
+        b = Domain(opts)
+        restore_checkpoint(b, path)
+        assert b.e[1] == 42.0
+
+    def test_fresh_domain_checkpoint_is_initial_state(self, opts, tmp_path):
+        path = str(tmp_path / "ckpt.npz")
+        save_checkpoint(Domain(opts), path)
+        restored = load_checkpoint(opts, path)
+        fresh = Domain(opts)
+        assert np.array_equal(restored.e, fresh.e)
+        assert np.array_equal(restored.x, fresh.x)

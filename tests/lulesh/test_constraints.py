@@ -1,0 +1,162 @@
+"""Unit tests for timestep constraints and the TimeIncrement controller."""
+
+import numpy as np
+import pytest
+
+from repro.lulesh.domain import Domain
+from repro.lulesh.kernels.constraints import (
+    calc_courant_constraint,
+    calc_hydro_constraint,
+    reduce_time_constraints,
+    time_increment,
+)
+from repro.lulesh.options import LuleshOptions
+
+
+@pytest.fixture()
+def domain():
+    d = Domain(LuleshOptions(nx=3, numReg=2))
+    d.ss[:] = 2.0
+    d.arealg[:] = 0.1
+    return d
+
+
+def region(d):
+    return np.arange(d.numElem, dtype=np.int64)
+
+
+class TestCourant:
+    def test_unconstrained_when_static(self, domain):
+        domain.vdov[:] = 0.0
+        assert calc_courant_constraint(domain, region(domain)) == 1e20
+
+    def test_expansion_uses_sound_speed_only(self, domain):
+        domain.vdov[:] = 0.5  # expanding: no qqc2 term
+        dt = calc_courant_constraint(domain, region(domain))
+        assert dt == pytest.approx(0.1 / 2.0)
+
+    def test_compression_shortens_dt(self, domain):
+        domain.vdov[:] = 0.5
+        expanding = calc_courant_constraint(domain, region(domain))
+        domain.vdov[:] = -0.5
+        compressing = calc_courant_constraint(domain, region(domain))
+        assert compressing < expanding
+
+    def test_compression_formula(self, domain):
+        domain.vdov[:] = -1.0
+        qqc2 = 64.0 * domain.opts.qqc**2
+        expected = 0.1 / np.sqrt(4.0 + qqc2 * 0.01 * 1.0)
+        assert calc_courant_constraint(domain, region(domain)) == pytest.approx(
+            expected
+        )
+
+    def test_min_over_elements(self, domain):
+        domain.vdov[:] = 0.1
+        domain.arealg[4] = 0.01  # smallest cell dominates
+        dt = calc_courant_constraint(domain, region(domain))
+        assert dt == pytest.approx(0.01 / 2.0)
+
+    def test_subrange(self, domain):
+        domain.vdov[:] = 0.1
+        domain.arealg[0] = 1e-6
+        dt = calc_courant_constraint(domain, region(domain), 1, domain.numElem)
+        assert dt == pytest.approx(0.1 / 2.0)
+
+    def test_empty_region(self, domain):
+        assert calc_courant_constraint(domain, np.array([], dtype=np.int64)) == 1e20
+
+
+class TestHydro:
+    def test_unconstrained_when_static(self, domain):
+        domain.vdov[:] = 0.0
+        assert calc_hydro_constraint(domain, region(domain)) == 1e20
+
+    def test_formula(self, domain):
+        domain.vdov[:] = -0.5
+        dt = calc_hydro_constraint(domain, region(domain))
+        assert dt == pytest.approx(domain.opts.dvovmax / 0.5, rel=1e-9)
+
+    def test_sign_independent(self, domain):
+        domain.vdov[:] = 0.5
+        a = calc_hydro_constraint(domain, region(domain))
+        domain.vdov[:] = -0.5
+        b = calc_hydro_constraint(domain, region(domain))
+        assert a == pytest.approx(b)
+
+
+class TestReduce:
+    def test_stores_minima(self, domain):
+        reduce_time_constraints(domain, 1.5e-4, 2.5e-3)
+        assert domain.dtcourant == 1.5e-4
+        assert domain.dthydro == 2.5e-3
+
+
+class TestTimeIncrement:
+    def test_first_cycle_keeps_initial_dt(self, domain):
+        dt0 = domain.deltatime
+        time_increment(domain)
+        assert domain.deltatime == dt0
+        assert domain.cycle == 1
+        assert domain.time == pytest.approx(dt0)
+
+    def test_courant_halved(self, domain):
+        domain.cycle = 1
+        domain.deltatime = 1e-8  # olddt small so ratio > ub
+        domain.dtcourant = 1e-6
+        domain.dthydro = 1e20
+        time_increment(domain)
+        # gnewdt = 5e-7 but growth clamped to olddt * 1.2
+        assert domain.deltatime == pytest.approx(1.2e-8)
+
+    def test_growth_clamped_to_ub(self, domain):
+        domain.cycle = 1
+        domain.deltatime = 1e-6
+        domain.dtcourant = 1e-2
+        domain.dthydro = 1e-2
+        time_increment(domain)
+        assert domain.deltatime == pytest.approx(1.2e-6)
+
+    def test_small_growth_held_at_old(self, domain):
+        domain.cycle = 1
+        domain.deltatime = 1e-6
+        domain.dtcourant = 2.1e-6  # gnewdt = 1.05e-6, ratio 1.05 < lb 1.1
+        domain.dthydro = 1e20
+        time_increment(domain)
+        assert domain.deltatime == pytest.approx(1e-6)
+
+    def test_shrink_taken_immediately(self, domain):
+        domain.cycle = 1
+        domain.deltatime = 1e-6
+        domain.dtcourant = 1e-7  # gnewdt = 5e-8, ratio < 1
+        domain.dthydro = 1e20
+        time_increment(domain)
+        assert domain.deltatime == pytest.approx(5e-8)
+
+    def test_hydro_two_thirds(self, domain):
+        domain.cycle = 1
+        domain.deltatime = 1e-6
+        domain.dtcourant = 1e20
+        domain.dthydro = 9e-7
+        time_increment(domain)
+        assert domain.deltatime == pytest.approx(6e-7)
+
+    def test_dtmax_cap(self, domain):
+        domain.cycle = 1
+        domain.deltatime = 9e-3
+        domain.dtcourant = 1e20
+        domain.dthydro = 1e20
+        time_increment(domain)
+        assert domain.deltatime <= domain.opts.dtmax
+
+    def test_final_step_trimmed_to_stoptime(self, domain):
+        domain.time = domain.opts.stoptime - 1e-9
+        domain.deltatime = 1e-6
+        time_increment(domain)
+        assert domain.time == pytest.approx(domain.opts.stoptime)
+
+    def test_fixed_dt_never_adapts(self):
+        d = Domain(LuleshOptions(nx=3, numReg=2, dtfixed=1e-5))
+        d.cycle = 3
+        d.dtcourant = 1e-9
+        time_increment(d)
+        assert d.deltatime == 1e-5

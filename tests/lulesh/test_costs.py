@@ -1,0 +1,41 @@
+"""Unit tests for the kernel cost table."""
+
+import pytest
+
+from repro.lulesh.costs import DEFAULT_COSTS, KernelCosts, iteration_work_ns
+
+
+class TestKernelCosts:
+    def test_defaults_positive(self):
+        for name, rate in DEFAULT_COSTS.as_dict().items():
+            assert rate > 0, name
+
+    def test_force_kernels_dominate_cheap_ones(self):
+        """The paper's premise: velocity/position are trivially cheap while
+        stress/hourglass integration dominates (§V-A)."""
+        c = DEFAULT_COSTS
+        assert c.integrate_stress > 5 * c.velocity
+        assert c.fb_hourglass > 5 * c.position
+
+    def test_with_overrides(self):
+        c = DEFAULT_COSTS.with_overrides(velocity=42.0)
+        assert c.velocity == 42.0
+        assert c.position == DEFAULT_COSTS.position
+
+
+class TestIterationWork:
+    def test_scales_with_elements(self):
+        w1 = iteration_work_ns(DEFAULT_COSTS, 1000, 1331, [1000], [1])
+        w2 = iteration_work_ns(DEFAULT_COSTS, 2000, 2662, [2000], [1])
+        assert w2 == pytest.approx(2 * w1)
+
+    def test_rep_increases_work(self):
+        base = iteration_work_ns(DEFAULT_COSTS, 1000, 1331, [1000], [1])
+        heavy = iteration_work_ns(DEFAULT_COSTS, 1000, 1331, [1000], [20])
+        assert heavy > base
+        assert heavy - base == pytest.approx(19 * 1000 * DEFAULT_COSTS.eos_eval)
+
+    def test_region_split_conserves_work(self):
+        whole = iteration_work_ns(DEFAULT_COSTS, 1000, 1331, [1000], [1])
+        split = iteration_work_ns(DEFAULT_COSTS, 1000, 1331, [400, 600], [1, 1])
+        assert split == pytest.approx(whole)

@@ -1,0 +1,89 @@
+"""Unit tests for Domain construction and Sedov initialization."""
+
+import numpy as np
+import pytest
+
+from repro.lulesh.domain import Domain
+from repro.lulesh.options import LuleshOptions
+
+
+@pytest.fixture(scope="module")
+def domain():
+    return Domain(LuleshOptions(nx=4, numReg=3))
+
+
+class TestInitialization:
+    def test_reference_volumes_uniform(self, domain):
+        h = 1.125 / 4
+        assert np.allclose(domain.volo, h**3)
+
+    def test_relative_volume_starts_at_one(self, domain):
+        assert np.all(domain.v == 1.0)
+
+    def test_element_mass_equals_volume(self, domain):
+        assert np.array_equal(domain.elemMass, domain.volo)
+
+    def test_nodal_mass_conserves_total(self, domain):
+        assert domain.nodalMass.sum() == pytest.approx(domain.volo.sum())
+
+    def test_nodal_mass_corner_vs_interior(self, domain):
+        # cube corner node: 1 element / 8; interior node: 8 elements / 8
+        h3 = (1.125 / 4) ** 3
+        assert domain.nodalMass[0] == pytest.approx(h3 / 8)
+        assert domain.nodalMass.max() == pytest.approx(h3)
+
+    def test_energy_spike_at_origin_only(self, domain):
+        assert domain.e[0] == pytest.approx(domain.opts.einit)
+        assert np.all(domain.e[1:] == 0.0)
+
+    def test_fields_initially_quiescent(self, domain):
+        for f in (domain.xd, domain.yd, domain.zd, domain.p, domain.q):
+            assert np.all(f == 0.0)
+
+    def test_initial_timestep_formula(self, domain):
+        expected = 0.5 * np.cbrt(domain.volo[0]) / np.sqrt(2 * domain.opts.einit)
+        assert domain.deltatime == pytest.approx(expected)
+
+    def test_fixed_timestep_honoured(self):
+        d = Domain(LuleshOptions(nx=3, numReg=2, dtfixed=1e-5))
+        assert d.deltatime == 1e-5
+
+    def test_clock_and_cycle_zeroed(self, domain):
+        assert domain.time == 0.0
+        assert domain.cycle == 0
+        assert domain.dtcourant == 1e20
+        assert domain.dthydro == 1e20
+
+
+class TestAccessors:
+    def test_gather_elem(self, domain):
+        g = domain.gather_elem(domain.x, 0, 2)
+        assert g.shape == (2, 8)
+        assert np.array_equal(g, domain.x[domain.mesh.nodelist[:2]])
+
+    def test_total_energy(self, domain):
+        assert domain.total_energy() == pytest.approx(
+            float(domain.e[0] * domain.elemMass[0])
+        )
+
+    def test_origin_energy(self, domain):
+        assert domain.origin_energy() == domain.e[0]
+
+    def test_copy_state_detached(self, domain):
+        snap = domain.copy_state()
+        snap["e"][0] = -1.0
+        assert domain.e[0] != -1.0
+        assert set(snap) >= {"x", "y", "z", "e", "p", "q", "v"}
+
+
+class TestWorkspace:
+    def test_workspace_shapes(self, domain):
+        ne = domain.numElem
+        assert domain.fx_elem.shape == (ne * 8,)
+        assert domain.hgfx_elem.shape == (ne * 8,)
+        assert domain.dvdx.shape == (ne, 8)
+        assert domain.vnewc.shape == (ne,)
+
+    def test_regions_match_options(self, domain):
+        assert domain.regions.num_reg == 3
+        assert domain.regions.reg_elem_sizes.sum() == domain.numElem

@@ -1,0 +1,139 @@
+"""Focused tests for ``CalcEnergyForElems`` — the predictor/corrector core.
+
+The energy update is the most intricate kernel of the reference: three
+pressure evaluations, a half-step predictor, a corrector with the 1/6-rule,
+and viscosity coupling guarded by the compression sign.  These tests pin
+each branch directly (the range-level behaviour is covered via
+``eval_eos_region``).
+"""
+
+import numpy as np
+import pytest
+
+from repro.lulesh.kernels.eos import calc_energy
+from repro.lulesh.options import LuleshOptions
+
+OPTS = LuleshOptions()
+
+
+def run_energy(
+    e_old=0.0, p_old=0.0, q_old=0.0, delvc=0.0, vnewc=1.0,
+    qq_old=0.0, ql_old=0.0, work=0.0, opts=OPTS,
+):
+    """Single-element wrapper with scalar inputs."""
+    arr = lambda v: np.array([float(v)])
+    compression = 1.0 / vnewc - 1.0
+    vchalf = vnewc - delvc * 0.5
+    comp_half = 1.0 / vchalf - 1.0
+    p, e, q, bvc, pbvc = calc_energy(
+        arr(p_old), arr(e_old), arr(q_old), arr(compression), arr(comp_half),
+        arr(vnewc), arr(work), arr(delvc), arr(qq_old), arr(ql_old), opts,
+    )
+    return p[0], e[0], q[0]
+
+
+class TestQuiescent:
+    def test_zero_state_stays_zero(self):
+        p, e, q = run_energy()
+        assert p == 0.0 and e == 0.0 and q == 0.0
+
+    def test_pure_energy_gives_gamma_law_pressure(self):
+        p, e, q = run_energy(e_old=9.0)
+        assert e == pytest.approx(9.0)
+        assert p == pytest.approx((2.0 / 3.0) * 9.0)
+        assert q == 0.0
+
+
+class TestCompression:
+    def test_compression_does_positive_work(self):
+        p, e, q = run_energy(e_old=1.0, p_old=2.0 / 3.0, delvc=-0.05,
+                             vnewc=0.95)
+        assert e > 1.0
+
+    def test_work_term_adds_energy(self):
+        _, e_no, _ = run_energy(e_old=1.0)
+        _, e_w, _ = run_energy(e_old=1.0, work=2.0)
+        assert e_w > e_no
+
+    def test_viscosity_fires_only_under_compression(self):
+        _, _, q_comp = run_energy(e_old=1.0, delvc=-0.01, vnewc=0.99,
+                                  ql_old=0.5, qq_old=0.25)
+        _, _, q_exp = run_energy(e_old=1.0, delvc=+0.01, vnewc=1.01,
+                                 ql_old=0.5, qq_old=0.25)
+        assert q_comp > 0.0
+        assert q_exp == 0.0
+
+    def test_q_new_formula_ssc_coupling(self):
+        """q = ssc*ql + qq: with ql=0 the final q equals qq exactly."""
+        _, _, q = run_energy(e_old=1.0, delvc=-0.01, vnewc=0.99,
+                             ql_old=0.0, qq_old=0.25)
+        assert q == pytest.approx(0.25, rel=1e-12)
+
+    def test_stronger_compression_more_heating(self):
+        _, e1, _ = run_energy(e_old=1.0, p_old=2 / 3, delvc=-0.02, vnewc=0.98)
+        _, e2, _ = run_energy(e_old=1.0, p_old=2 / 3, delvc=-0.08, vnewc=0.92)
+        assert e2 > e1
+
+
+class TestCutoffsAndFloors:
+    def test_e_cut_snaps_tiny_energies(self):
+        _, e, _ = run_energy(e_old=1e-9)
+        assert e == 0.0
+
+    def test_emin_floor(self):
+        opts = LuleshOptions(emin=-5.0)
+        _, e, _ = run_energy(e_old=-100.0, opts=opts)
+        assert e >= -5.0
+
+    def test_pmin_floor_applies(self):
+        p, _, _ = run_energy(e_old=-1.0)
+        assert p >= OPTS.pmin
+
+    def test_q_cut_snaps_tiny_viscosity(self):
+        _, _, q = run_energy(e_old=1e-20, delvc=-1e-12, vnewc=1.0 - 1e-12,
+                             ql_old=1e-15, qq_old=0.0)
+        assert q == 0.0
+
+
+class TestVectorizedConsistency:
+    def test_batch_equals_elementwise(self):
+        """Running a batch must equal running each element alone."""
+        rng = np.random.default_rng(3)
+        n = 40
+        e_old = rng.uniform(0, 10, n)
+        p_old = rng.uniform(0, 5, n)
+        q_old = rng.uniform(0, 1, n)
+        delvc = rng.uniform(-0.05, 0.05, n)
+        vnewc = 1.0 + delvc
+        qq_old = rng.uniform(0, 0.5, n)
+        ql_old = rng.uniform(0, 0.5, n)
+        work = np.zeros(n)
+        compression = 1.0 / vnewc - 1.0
+        comp_half = 1.0 / (vnewc - delvc * 0.5) - 1.0
+
+        pb, eb, qb, _, _ = calc_energy(
+            p_old.copy(), e_old.copy(), q_old.copy(), compression.copy(),
+            comp_half.copy(), vnewc.copy(), work.copy(), delvc.copy(),
+            qq_old.copy(), ql_old.copy(), OPTS,
+        )
+        for i in range(0, n, 7):
+            p1, e1, q1 = run_energy(
+                e_old=e_old[i], p_old=p_old[i], q_old=q_old[i],
+                delvc=delvc[i], vnewc=vnewc[i],
+                qq_old=qq_old[i], ql_old=ql_old[i],
+            )
+            assert p1 == pb[i]
+            assert e1 == eb[i]
+            assert q1 == qb[i]
+
+    def test_inputs_not_mutated(self):
+        e_old = np.array([3.0])
+        p_old = np.array([1.0])
+        snapshot = (e_old.copy(), p_old.copy())
+        calc_energy(
+            p_old, e_old, np.array([0.0]), np.array([0.1]), np.array([0.05]),
+            np.array([0.9]), np.array([0.0]), np.array([-0.1]),
+            np.array([0.0]), np.array([0.0]), OPTS,
+        )
+        assert np.array_equal(e_old, snapshot[0])
+        assert np.array_equal(p_old, snapshot[1])

@@ -1,0 +1,221 @@
+"""Unit tests for the element geometry primitives.
+
+The strongest checks are against closed forms (cube, affine images) and
+finite differences — they pin the transcription of the reference formulas.
+"""
+
+import numpy as np
+import pytest
+
+from repro.lulesh.kernels.geometry import (
+    GAMMA_HOURGLASS,
+    calc_elem_characteristic_length,
+    calc_elem_node_normals,
+    calc_elem_shape_function_derivatives,
+    calc_elem_velocity_gradient,
+    calc_elem_volume,
+    calc_elem_volume_derivative,
+)
+
+CUBE = np.array(
+    [
+        [0, 0, 0], [1, 0, 0], [1, 1, 0], [0, 1, 0],
+        [0, 0, 1], [1, 0, 1], [1, 1, 1], [0, 1, 1],
+    ],
+    dtype=float,
+)
+
+
+def coords(pts: np.ndarray):
+    return pts[..., 0].copy(), pts[..., 1].copy(), pts[..., 2].copy()
+
+
+def random_hexes(n: int, scale: float = 0.15, seed: int = 0) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return CUBE[None] + scale * rng.standard_normal((n, 8, 3))
+
+
+class TestVolume:
+    def test_unit_cube(self):
+        x, y, z = coords(CUBE[None])
+        assert calc_elem_volume(x, y, z) == pytest.approx(1.0)
+
+    def test_scaled_box(self):
+        box = CUBE * np.array([2.0, 3.0, 5.0])
+        x, y, z = coords(box[None])
+        assert calc_elem_volume(x, y, z) == pytest.approx(30.0)
+
+    def test_affine_image_equals_determinant(self):
+        rng = np.random.default_rng(1)
+        for _ in range(10):
+            a = rng.standard_normal((3, 3))
+            a = a @ a.T + 3 * np.eye(3)  # SPD, well conditioned
+            pts = CUBE @ a.T
+            x, y, z = coords(pts[None])
+            assert calc_elem_volume(x, y, z) == pytest.approx(np.linalg.det(a))
+
+    def test_translation_invariant(self):
+        pts = random_hexes(20)
+        x, y, z = coords(pts)
+        v0 = calc_elem_volume(x, y, z)
+        x2, y2, z2 = coords(pts + np.array([3.0, -7.0, 11.0]))
+        assert np.allclose(calc_elem_volume(x2, y2, z2), v0)
+
+    def test_inverted_element_negative(self):
+        flipped = CUBE.copy()
+        flipped[:, 2] *= -1  # mirror through z=0 flips orientation
+        x, y, z = coords(flipped[None])
+        assert calc_elem_volume(x, y, z) < 0
+
+
+class TestVolumeDerivative:
+    def test_matches_finite_differences(self):
+        pts = random_hexes(30, seed=42)
+        X, Y, Z = coords(pts)
+        dvdx, dvdy, dvdz = calc_elem_volume_derivative(X, Y, Z)
+        h = 1e-6
+        for a in range(8):
+            for arr, d in ((X, dvdx), (Y, dvdy), (Z, dvdz)):
+                arr[:, a] += h
+                vp = calc_elem_volume(X, Y, Z)
+                arr[:, a] -= 2 * h
+                vm = calc_elem_volume(X, Y, Z)
+                arr[:, a] += h
+                fd = (vp - vm) / (2 * h)
+                np.testing.assert_allclose(fd, d[:, a], atol=1e-8)
+
+    def test_gradient_sums_translation_invariance(self):
+        """Σ_a dV/dx_a = 0: translating the element keeps its volume."""
+        X, Y, Z = coords(random_hexes(10, seed=3))
+        dvdx, dvdy, dvdz = calc_elem_volume_derivative(X, Y, Z)
+        for d in (dvdx, dvdy, dvdz):
+            np.testing.assert_allclose(d.sum(axis=1), 0.0, atol=1e-12)
+
+
+class TestShapeFunctionDerivatives:
+    def test_detv_matches_volume_for_affine(self):
+        rng = np.random.default_rng(5)
+        a = rng.standard_normal((3, 3))
+        a = a @ a.T + 3 * np.eye(3)
+        pts = (CUBE @ a.T)[None]
+        x, y, z = coords(pts)
+        _, detv = calc_elem_shape_function_derivatives(x, y, z)
+        assert detv == pytest.approx(calc_elem_volume(x, y, z))
+
+    def test_b_antisymmetry(self):
+        """b[:, :, 4:8] mirrors -b at the opposite corners (by construction)."""
+        x, y, z = coords(random_hexes(5))
+        b, _ = calc_elem_shape_function_derivatives(x, y, z)
+        np.testing.assert_allclose(b[:, :, 4], -b[:, :, 2])
+        np.testing.assert_allclose(b[:, :, 5], -b[:, :, 3])
+        np.testing.assert_allclose(b[:, :, 6], -b[:, :, 0])
+        np.testing.assert_allclose(b[:, :, 7], -b[:, :, 1])
+
+    def test_partition_of_unity(self):
+        """Σ_a dN_a/dx = 0 (constant fields have zero gradient)."""
+        x, y, z = coords(random_hexes(10))
+        b, _ = calc_elem_shape_function_derivatives(x, y, z)
+        np.testing.assert_allclose(b.sum(axis=2), 0.0, atol=1e-12)
+
+    def test_unit_cube_b_values(self):
+        x, y, z = coords(CUBE[None])
+        b, detv = calc_elem_shape_function_derivatives(x, y, z)
+        assert detv == pytest.approx(1.0)
+        # For the unit cube B equals the outward 1/4-area normals: +-0.25.
+        assert np.allclose(np.abs(b), 0.25)
+
+
+class TestNodeNormals:
+    def test_closed_surface_sums_to_zero(self):
+        x, y, z = coords(random_hexes(20))
+        pf = calc_elem_node_normals(x, y, z)
+        np.testing.assert_allclose(pf.sum(axis=2), 0.0, atol=1e-12)
+
+    def test_cube_corner_normals(self):
+        x, y, z = coords(CUBE[None])
+        pf = calc_elem_node_normals(x, y, z)
+        np.testing.assert_allclose(pf[0, :, 0], [-0.25, -0.25, -0.25])
+        np.testing.assert_allclose(pf[0, :, 6], [0.25, 0.25, 0.25])
+
+    def test_equals_shape_derivatives_for_cube(self):
+        """For a cube the area normals coincide with the B matrix."""
+        x, y, z = coords(CUBE[None])
+        pf = calc_elem_node_normals(x, y, z)
+        b, _ = calc_elem_shape_function_derivatives(x, y, z)
+        np.testing.assert_allclose(pf, b, atol=1e-12)
+
+
+class TestCharacteristicLength:
+    def test_unit_cube(self):
+        x, y, z = coords(CUBE[None])
+        v = calc_elem_volume(x, y, z)
+        assert calc_elem_characteristic_length(x, y, z, v) == pytest.approx(1.0)
+
+    def test_scaled_cube(self):
+        pts = (CUBE * 2.0)[None]
+        x, y, z = coords(pts)
+        v = calc_elem_volume(x, y, z)
+        assert calc_elem_characteristic_length(x, y, z, v) == pytest.approx(2.0)
+
+    def test_flat_box_shorter_than_edge(self):
+        """A squashed element's characteristic length is its thin extent:
+        4V / sqrt(metric of the largest face) = V / A_max for planar faces."""
+        box = CUBE * np.array([1.0, 1.0, 0.1])
+        x, y, z = coords(box[None])
+        v = calc_elem_volume(x, y, z)
+        cl = calc_elem_characteristic_length(x, y, z, v)
+        assert cl == pytest.approx(0.1)
+
+    def test_positive_for_random_hexes(self):
+        x, y, z = coords(random_hexes(20))
+        v = calc_elem_volume(x, y, z)
+        assert np.all(calc_elem_characteristic_length(x, y, z, v) > 0)
+
+
+class TestVelocityGradient:
+    def test_uniform_translation_zero_gradient(self):
+        x, y, z = coords(random_hexes(5))
+        b, detv = calc_elem_shape_function_derivatives(x, y, z)
+        vel = np.full_like(x, 3.0)
+        dxx, dyy, dzz = calc_elem_velocity_gradient(vel, vel, vel, b, detv)
+        np.testing.assert_allclose(dxx, 0.0, atol=1e-12)
+        np.testing.assert_allclose(dyy, 0.0, atol=1e-12)
+        np.testing.assert_allclose(dzz, 0.0, atol=1e-12)
+
+    def test_linear_expansion_recovered(self):
+        """v = (ax, by, cz) gives principal strain rates (a, b, c)."""
+        x, y, z = coords(CUBE[None])
+        b, detv = calc_elem_shape_function_derivatives(x, y, z)
+        a_, b_, c_ = 2.0, -1.0, 0.5
+        dxx, dyy, dzz = calc_elem_velocity_gradient(a_ * x, b_ * y, c_ * z, b, detv)
+        assert dxx == pytest.approx(a_)
+        assert dyy == pytest.approx(b_)
+        assert dzz == pytest.approx(c_)
+
+    def test_linear_field_on_warped_element(self):
+        pts = random_hexes(10, scale=0.1, seed=9)
+        x, y, z = coords(pts)
+        b, detv = calc_elem_shape_function_derivatives(x, y, z)
+        dxx, dyy, dzz = calc_elem_velocity_gradient(2.0 * x, 3.0 * y, 4.0 * z, b, detv)
+        np.testing.assert_allclose(dxx, 2.0, rtol=1e-10)
+        np.testing.assert_allclose(dyy, 3.0, rtol=1e-10)
+        np.testing.assert_allclose(dzz, 4.0, rtol=1e-10)
+
+
+class TestHourglassBasis:
+    def test_gamma_shape(self):
+        assert GAMMA_HOURGLASS.shape == (4, 8)
+
+    def test_modes_orthogonal_to_each_other(self):
+        g = GAMMA_HOURGLASS
+        gram = g @ g.T
+        assert np.allclose(gram, 8 * np.eye(4))
+
+    def test_modes_orthogonal_to_rigid_translation(self):
+        assert np.allclose(GAMMA_HOURGLASS.sum(axis=1), 0.0)
+
+    def test_modes_orthogonal_to_linear_fields_on_cube(self):
+        """FB hourglass modes must not activate on linear deformation."""
+        for field in (CUBE[:, 0], CUBE[:, 1], CUBE[:, 2]):
+            proj = GAMMA_HOURGLASS @ field
+            assert np.allclose(proj, 0.0)

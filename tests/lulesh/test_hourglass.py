@@ -1,0 +1,119 @@
+"""Unit tests for the Flanagan-Belytschko hourglass control."""
+
+import numpy as np
+import pytest
+
+from repro.lulesh.domain import Domain
+from repro.lulesh.errors import VolumeError
+from repro.lulesh.kernels.geometry import GAMMA_HOURGLASS
+from repro.lulesh.kernels.hourglass import (
+    calc_fb_hourglass_force,
+    calc_hourglass_control,
+)
+from repro.lulesh.options import LuleshOptions
+
+
+@pytest.fixture()
+def domain():
+    d = Domain(LuleshOptions(nx=3, numReg=2))
+    d.ss[:] = 1.0  # sound speed enters the damping coefficient
+    return d
+
+
+class TestHourglassControl:
+    def test_determ_is_volo_times_v(self, domain):
+        domain.v[:] = 0.9
+        calc_hourglass_control(domain, 0, domain.numElem)
+        np.testing.assert_allclose(domain.hg_determ, 0.9 * domain.volo)
+
+    def test_captures_coordinates(self, domain):
+        calc_hourglass_control(domain, 0, domain.numElem)
+        np.testing.assert_array_equal(
+            domain.x8n, domain.x[domain.mesh.nodelist]
+        )
+
+    def test_nonpositive_volume_raises(self, domain):
+        domain.v[5] = 0.0
+        with pytest.raises(VolumeError):
+            calc_hourglass_control(domain, 0, domain.numElem)
+
+    def test_range_limited_check(self, domain):
+        domain.v[5] = -1.0
+        calc_hourglass_control(domain, 6, domain.numElem)  # excludes elem 5
+
+
+class TestFBHourglassForce:
+    def test_zero_velocity_zero_force(self, domain):
+        calc_hourglass_control(domain, 0, domain.numElem)
+        calc_fb_hourglass_force(domain, 0, domain.numElem)
+        assert np.all(domain.hgfx_elem == 0.0)
+
+    def test_rigid_translation_no_force(self, domain):
+        domain.xd[:] = 3.0
+        domain.yd[:] = -1.0
+        domain.zd[:] = 0.5
+        calc_hourglass_control(domain, 0, domain.numElem)
+        calc_fb_hourglass_force(domain, 0, domain.numElem)
+        np.testing.assert_allclose(domain.hgfx_elem, 0.0, atol=1e-12)
+        np.testing.assert_allclose(domain.hgfy_elem, 0.0, atol=1e-12)
+        np.testing.assert_allclose(domain.hgfz_elem, 0.0, atol=1e-12)
+
+    def test_linear_velocity_field_no_force(self, domain):
+        """Linear fields carry physical strain, not hourglass modes."""
+        domain.xd[:] = 2.0 * domain.x + 0.3 * domain.y
+        domain.yd[:] = -0.7 * domain.z
+        domain.zd[:] = 0.1 * domain.x - 0.2 * domain.y + 0.9 * domain.z
+        calc_hourglass_control(domain, 0, domain.numElem)
+        calc_fb_hourglass_force(domain, 0, domain.numElem)
+        np.testing.assert_allclose(domain.hgfx_elem, 0.0, atol=1e-10)
+        np.testing.assert_allclose(domain.hgfy_elem, 0.0, atol=1e-10)
+        np.testing.assert_allclose(domain.hgfz_elem, 0.0, atol=1e-10)
+
+    def test_hourglass_mode_damped(self, domain):
+        """An hourglass-mode velocity pattern draws an opposing force."""
+        nl = domain.mesh.nodelist[0]
+        domain.xd[nl] = GAMMA_HOURGLASS[0]  # inject mode 0 into element 0
+        calc_hourglass_control(domain, 0, 1)
+        calc_fb_hourglass_force(domain, 0, 1)
+        hgfx = domain.hgfx_elem.reshape(-1, 8)[0]
+        # Force opposes the mode: negative projection onto it.
+        assert hgfx @ GAMMA_HOURGLASS[0] < 0
+        # And contains no net translation (momentum conserving).
+        assert hgfx.sum() == pytest.approx(0.0, abs=1e-12)
+
+    def test_force_scales_with_hgcoef(self):
+        def force_for(hgcoef):
+            d = Domain(LuleshOptions(nx=3, numReg=2, hgcoef=hgcoef))
+            d.ss[:] = 1.0
+            d.xd[d.mesh.nodelist[0]] = GAMMA_HOURGLASS[0]
+            calc_hourglass_control(d, 0, d.numElem)
+            calc_fb_hourglass_force(d, 0, d.numElem)
+            return d.hgfx_elem.reshape(-1, 8)[0].copy()
+
+        f1 = force_for(1.0)
+        f3 = force_for(3.0)
+        np.testing.assert_allclose(f3, 3.0 * f1, rtol=1e-12)
+
+    def test_hgcoef_zero_disables(self):
+        d = Domain(LuleshOptions(nx=3, numReg=2, hgcoef=0.0))
+        d.ss[:] = 1.0
+        d.xd[:] = np.random.default_rng(0).standard_normal(d.numNode)
+        d.hgfx_elem[:] = 123.0
+        calc_hourglass_control(d, 0, d.numElem)
+        calc_fb_hourglass_force(d, 0, d.numElem)
+        assert np.all(d.hgfx_elem == 0.0)
+
+    def test_partitioned_equals_full(self, domain):
+        rng = np.random.default_rng(1)
+        domain.xd[:] = rng.standard_normal(domain.numNode)
+        domain.yd[:] = rng.standard_normal(domain.numNode)
+        domain.zd[:] = rng.standard_normal(domain.numNode)
+        calc_hourglass_control(domain, 0, domain.numElem)
+        calc_fb_hourglass_force(domain, 0, domain.numElem)
+        full = domain.hgfx_elem.copy()
+        domain.hgfx_elem[:] = 0.0
+        for lo in range(0, domain.numElem, 5):
+            hi = min(lo + 5, domain.numElem)
+            calc_hourglass_control(domain, lo, hi)
+            calc_fb_hourglass_force(domain, lo, hi)
+        np.testing.assert_array_equal(domain.hgfx_elem, full)

@@ -1,0 +1,87 @@
+"""Unit tests for element kinematics and strain rates."""
+
+import numpy as np
+import pytest
+
+from repro.lulesh.domain import Domain
+from repro.lulesh.errors import VolumeError
+from repro.lulesh.kernels.kinematics import (
+    calc_kinematics,
+    calc_kinematics_dt,
+    calc_lagrange_elements_part2,
+)
+from repro.lulesh.options import LuleshOptions
+
+
+@pytest.fixture()
+def domain():
+    return Domain(LuleshOptions(nx=3, numReg=2))
+
+
+class TestCalcKinematics:
+    def test_static_mesh(self, domain):
+        calc_kinematics(domain, 0, domain.numElem, dt=1e-6)
+        np.testing.assert_allclose(domain.vnew, 1.0)
+        np.testing.assert_allclose(domain.delv, 0.0)
+        np.testing.assert_allclose(domain.dxx, 0.0, atol=1e-15)
+        # characteristic length of an undeformed cell is its edge
+        np.testing.assert_allclose(domain.arealg, 1.125 / 3, rtol=1e-12)
+
+    def test_uniform_expansion(self, domain):
+        """Scaling positions by (1+eps) multiplies volume by (1+eps)^3."""
+        eps = 0.01
+        domain.x *= 1 + eps
+        domain.y *= 1 + eps
+        domain.z *= 1 + eps
+        calc_kinematics(domain, 0, domain.numElem, dt=1e-6)
+        np.testing.assert_allclose(domain.vnew, (1 + eps) ** 3, rtol=1e-12)
+        np.testing.assert_allclose(domain.delv, (1 + eps) ** 3 - 1, rtol=1e-10)
+
+    def test_radial_velocity_positive_strain(self, domain):
+        """v = c*x gives dxx ~ c (evaluated at the half-step geometry)."""
+        c = 2.0
+        domain.xd[:] = c * domain.x
+        calc_kinematics(domain, 0, domain.numElem, dt=0.0)
+        np.testing.assert_allclose(domain.dxx, c, rtol=1e-10)
+        np.testing.assert_allclose(domain.dyy, 0.0, atol=1e-12)
+
+    def test_dt_wrapper(self, domain):
+        d2 = Domain(domain.opts)
+        domain.xd[:] = domain.x
+        d2.xd[:] = d2.x
+        calc_kinematics(domain, 0, domain.numElem, 1e-3)
+        calc_kinematics_dt(d2, 1e-3, 0, d2.numElem)
+        assert np.array_equal(domain.dxx, d2.dxx)
+        assert np.array_equal(domain.vnew, d2.vnew)
+
+
+class TestStrainRates:
+    def test_vdov_is_trace(self, domain):
+        domain.dxx[:] = 1.0
+        domain.dyy[:] = 2.0
+        domain.dzz[:] = 3.0
+        domain.vnew[:] = 1.0
+        calc_lagrange_elements_part2(domain, 0, domain.numElem)
+        np.testing.assert_allclose(domain.vdov, 6.0)
+
+    def test_deviatoric_part_traceless(self, domain):
+        rng = np.random.default_rng(0)
+        domain.dxx[:] = rng.standard_normal(domain.numElem)
+        domain.dyy[:] = rng.standard_normal(domain.numElem)
+        domain.dzz[:] = rng.standard_normal(domain.numElem)
+        domain.vnew[:] = 1.0
+        calc_lagrange_elements_part2(domain, 0, domain.numElem)
+        np.testing.assert_allclose(
+            domain.dxx + domain.dyy + domain.dzz, 0.0, atol=1e-12
+        )
+
+    def test_inverted_volume_raises(self, domain):
+        domain.vnew[:] = 1.0
+        domain.vnew[4] = -0.1
+        with pytest.raises(VolumeError):
+            calc_lagrange_elements_part2(domain, 0, domain.numElem)
+
+    def test_check_respects_range(self, domain):
+        domain.vnew[:] = 1.0
+        domain.vnew[4] = -0.1
+        calc_lagrange_elements_part2(domain, 5, domain.numElem)  # skips 4

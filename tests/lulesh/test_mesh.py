@@ -1,0 +1,188 @@
+"""Unit tests for mesh topology, node sets, adjacency, and scatter maps."""
+
+import numpy as np
+import pytest
+
+from repro.lulesh.mesh import (
+    ETA_M_SYMM,
+    ETA_P_FREE,
+    Mesh,
+    XI_M_SYMM,
+    XI_P_FREE,
+    ZETA_M_SYMM,
+    ZETA_P_FREE,
+)
+
+
+@pytest.fixture(scope="module")
+def mesh():
+    return Mesh(nx=4)
+
+
+class TestConstruction:
+    def test_counts(self, mesh):
+        assert mesh.numElem == 64
+        assert mesh.numNode == 125
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            Mesh(0)
+        with pytest.raises(ValueError):
+            Mesh(3, edge=0.0)
+
+    def test_coordinates_span_cube(self, mesh):
+        for arr in (mesh.x0, mesh.y0, mesh.z0):
+            assert arr.min() == 0.0
+            assert arr.max() == pytest.approx(1.125)
+
+    def test_coordinate_layout_x_fastest(self, mesh):
+        en = mesh.edgeNodes
+        # node (i=1, j=0, k=0) has index 1, x = edge/nx, y = z = 0
+        assert mesh.x0[1] == pytest.approx(1.125 / 4)
+        assert mesh.y0[1] == 0.0
+        assert mesh.z0[1] == 0.0
+        # node (0, 1, 0) at index en
+        assert mesh.y0[en] == pytest.approx(1.125 / 4)
+
+
+class TestNodelist:
+    def test_shape_and_bounds(self, mesh):
+        assert mesh.nodelist.shape == (64, 8)
+        assert mesh.nodelist.min() >= 0
+        assert mesh.nodelist.max() < mesh.numNode
+
+    def test_corners_distinct(self, mesh):
+        for e in range(mesh.numElem):
+            assert len(set(mesh.nodelist[e])) == 8
+
+    def test_first_element_corner_order(self, mesh):
+        en = mesh.edgeNodes
+        plane = en * en
+        expected = [0, 1, en + 1, en, plane, plane + 1, plane + en + 1, plane + en]
+        assert mesh.nodelist[0].tolist() == expected
+
+    def test_element_zero_geometry_is_unit_cell(self, mesh):
+        h = 1.125 / 4
+        xs = mesh.x0[mesh.nodelist[0]]
+        ys = mesh.y0[mesh.nodelist[0]]
+        zs = mesh.z0[mesh.nodelist[0]]
+        assert xs.tolist() == [0, h, h, 0, 0, h, h, 0]
+        assert ys.tolist() == [0, 0, h, h, 0, 0, h, h]
+        assert zs.tolist() == [0, 0, 0, 0, h, h, h, h]
+
+    def test_every_node_is_some_corner(self, mesh):
+        assert set(mesh.nodelist.ravel()) == set(range(mesh.numNode))
+
+
+class TestNodeSets:
+    def test_symmetry_plane_sizes(self, mesh):
+        n = mesh.edgeNodes**2
+        assert len(mesh.symmX) == n
+        assert len(mesh.symmY) == n
+        assert len(mesh.symmZ) == n
+
+    def test_symmetry_planes_on_zero_coordinate(self, mesh):
+        assert np.all(mesh.x0[mesh.symmX] == 0.0)
+        assert np.all(mesh.y0[mesh.symmY] == 0.0)
+        assert np.all(mesh.z0[mesh.symmZ] == 0.0)
+
+    def test_origin_in_all_three_planes(self, mesh):
+        assert 0 in mesh.symmX and 0 in mesh.symmY and 0 in mesh.symmZ
+
+
+class TestAdjacency:
+    def test_interior_neighbours(self, mesh):
+        nx = mesh.nx
+        # element (1,1,1)
+        e = 1 * nx * nx + 1 * nx + 1
+        assert mesh.lxim[e] == e - 1
+        assert mesh.lxip[e] == e + 1
+        assert mesh.letam[e] == e - nx
+        assert mesh.letap[e] == e + nx
+        assert mesh.lzetam[e] == e - nx * nx
+        assert mesh.lzetap[e] == e + nx * nx
+
+    def test_boundary_points_to_self(self, mesh):
+        nx = mesh.nx
+        assert mesh.lxim[0] == 0
+        assert mesh.letam[0] == 0
+        assert mesh.lzetam[0] == 0
+        last = mesh.numElem - 1
+        assert mesh.lxip[last] == last
+        assert mesh.letap[last] == last
+        assert mesh.lzetap[last] == last
+
+    def test_neighbour_symmetry(self, mesh):
+        # if b = lxip[a] and b != a then lxim[b] == a
+        for a in range(mesh.numElem):
+            b = mesh.lxip[a]
+            if b != a:
+                assert mesh.lxim[b] == a
+
+
+class TestBoundaryMasks:
+    def test_origin_element_symmetric_on_three_faces(self, mesh):
+        bc = mesh.elemBC[0]
+        assert bc & XI_M_SYMM
+        assert bc & ETA_M_SYMM
+        assert bc & ZETA_M_SYMM
+
+    def test_far_corner_free_on_three_faces(self, mesh):
+        bc = mesh.elemBC[mesh.numElem - 1]
+        assert bc & XI_P_FREE
+        assert bc & ETA_P_FREE
+        assert bc & ZETA_P_FREE
+
+    def test_interior_elements_unmasked(self, mesh):
+        nx = mesh.nx
+        e = 1 * nx * nx + 1 * nx + 1
+        assert mesh.elemBC[e] == 0
+
+    def test_face_counts(self, mesh):
+        nx = mesh.nx
+        assert int((mesh.elemBC & XI_M_SYMM != 0).sum()) == nx * nx
+        assert int((mesh.elemBC & XI_P_FREE != 0).sum()) == nx * nx
+
+
+class TestScatter:
+    def test_corner_map_csr_valid(self, mesh):
+        assert mesh.nodeElemStart[0] == 0
+        assert mesh.nodeElemStart[-1] == mesh.numElem * 8
+        assert np.all(np.diff(mesh.nodeElemStart) >= 1)
+
+    def test_sum_corners_counts_incident_elements(self, mesh):
+        ones = np.ones(mesh.numElem * 8)
+        out = np.zeros(mesh.numNode)
+        mesh.sum_corners_to_nodes(ones, out)
+        # corner node of the cube touches exactly 1 element; interior touches 8
+        assert out[0] == 1.0
+        assert out.max() == 8.0
+        assert out.sum() == mesh.numElem * 8
+
+    def test_partial_range_matches_full(self, mesh):
+        rng = np.random.default_rng(0)
+        vals = rng.standard_normal(mesh.numElem * 8)
+        full = np.zeros(mesh.numNode)
+        mesh.sum_corners_to_nodes(vals, full)
+        part = np.zeros(mesh.numNode)
+        cuts = [0, 17, 60, mesh.numNode]
+        for lo, hi in zip(cuts, cuts[1:]):
+            mesh.sum_corners_to_nodes(vals, part, lo, hi)
+        assert np.array_equal(full, part)
+
+    def test_accumulate_mode_adds(self, mesh):
+        vals = np.ones(mesh.numElem * 8)
+        out = np.zeros(mesh.numNode)
+        mesh.sum_corners_to_nodes(vals, out)
+        base = out.copy()
+        mesh.sum_corners_to_nodes(vals, out, accumulate=True)
+        assert np.array_equal(out, 2 * base)
+
+    def test_gather_matches_nodelist(self, mesh):
+        field = np.arange(mesh.numNode, dtype=float)
+        g = mesh.gather(field, 3, 10)
+        assert np.array_equal(g, field[mesh.nodelist[3:10]])
+
+    def test_bad_shape_rejected(self, mesh):
+        with pytest.raises(ValueError):
+            mesh.sum_corners_to_nodes(np.ones(5), np.zeros(mesh.numNode))

@@ -1,0 +1,120 @@
+"""Unit tests for the node-centered kernels."""
+
+import numpy as np
+import pytest
+
+from repro.lulesh.domain import Domain
+from repro.lulesh.kernels.nodal import (
+    apply_acceleration_bc,
+    calc_acceleration,
+    calc_position,
+    calc_position_dt,
+    calc_velocity,
+    calc_velocity_dt,
+    sum_elem_forces_to_nodes,
+)
+from repro.lulesh.options import LuleshOptions
+
+
+@pytest.fixture()
+def domain():
+    return Domain(LuleshOptions(nx=3, numReg=2))
+
+
+class TestForceSum:
+    def test_sums_both_buffers(self, domain):
+        domain.fx_elem[:] = 1.0
+        domain.hgfx_elem[:] = 0.5
+        sum_elem_forces_to_nodes(domain, 0, domain.numNode)
+        # corner node of the mesh touches exactly one element corner
+        assert domain.fx[0] == pytest.approx(1.5)
+
+    def test_overwrites_stale_forces(self, domain):
+        domain.fx[:] = 99.0
+        sum_elem_forces_to_nodes(domain, 0, domain.numNode)
+        assert np.all(domain.fx == 0.0)
+
+
+class TestAcceleration:
+    def test_newtons_second_law(self, domain):
+        domain.fx[:] = 2.0 * domain.nodalMass
+        calc_acceleration(domain, 0, domain.numNode)
+        np.testing.assert_allclose(domain.xdd, 2.0)
+
+    def test_range_limited(self, domain):
+        domain.fx[:] = domain.nodalMass
+        domain.xdd[:] = -5.0
+        calc_acceleration(domain, 0, 4)
+        assert np.all(domain.xdd[:4] == 1.0)
+        assert np.all(domain.xdd[4:] == -5.0)
+
+
+class TestBoundaryConditions:
+    def test_zeroes_normal_component_only(self, domain):
+        domain.xdd[:] = 1.0
+        domain.ydd[:] = 2.0
+        domain.zdd[:] = 3.0
+        apply_acceleration_bc(domain)
+        mesh = domain.mesh
+        assert np.all(domain.xdd[mesh.symmX] == 0.0)
+        assert np.all(domain.ydd[mesh.symmY] == 0.0)
+        assert np.all(domain.zdd[mesh.symmZ] == 0.0)
+        # tangential components untouched on the x=0 plane
+        assert np.all(domain.ydd[mesh.symmX][~np.isin(mesh.symmX, mesh.symmY)] == 2.0)
+
+    def test_non_boundary_untouched(self, domain):
+        domain.xdd[:] = 1.0
+        apply_acceleration_bc(domain)
+        off_plane = domain.x > 0
+        assert np.all(domain.xdd[off_plane] == 1.0)
+
+
+class TestVelocity:
+    def test_integrates_acceleration(self, domain):
+        domain.xd[:] = 1.0
+        domain.xdd[:] = 2.0
+        calc_velocity(domain, 0, domain.numNode, dt=0.5)
+        assert np.all(domain.xd == 2.0)
+
+    def test_u_cut_snaps_tiny_to_zero(self, domain):
+        domain.xdd[:] = 1e-9  # below u_cut=1e-7 after dt=1e-1
+        calc_velocity(domain, 0, domain.numNode, dt=0.1)
+        assert np.all(domain.xd == 0.0)
+
+    def test_u_cut_applied_per_component(self, domain):
+        domain.xdd[:] = 1e-12
+        domain.ydd[:] = 1.0
+        calc_velocity(domain, 0, domain.numNode, dt=1.0)
+        assert np.all(domain.xd == 0.0)
+        assert np.all(domain.yd == 1.0)
+
+    def test_dt_wrapper_equivalent(self, domain):
+        d2 = Domain(domain.opts)
+        domain.xdd[:] = 3.0
+        d2.xdd[:] = 3.0
+        calc_velocity(domain, 0, domain.numNode, 0.25)
+        calc_velocity_dt(d2, 0.25, 0, d2.numNode)
+        assert np.array_equal(domain.xd, d2.xd)
+
+
+class TestPosition:
+    def test_integrates_velocity(self, domain):
+        x0 = domain.x.copy()
+        domain.xd[:] = 2.0
+        calc_position(domain, 0, domain.numNode, dt=0.25)
+        np.testing.assert_allclose(domain.x, x0 + 0.5)
+
+    def test_dt_wrapper_equivalent(self, domain):
+        d2 = Domain(domain.opts)
+        domain.xd[:] = 1.0
+        d2.xd[:] = 1.0
+        calc_position(domain, 0, domain.numNode, 0.1)
+        calc_position_dt(d2, 0.1, 0, d2.numNode)
+        assert np.array_equal(domain.x, d2.x)
+
+    def test_range_limited(self, domain):
+        x0 = domain.x.copy()
+        domain.xd[:] = 1.0
+        calc_position(domain, 0, 3, dt=1.0)
+        assert np.all(domain.x[:3] == x0[:3] + 1.0)
+        assert np.all(domain.x[3:] == x0[3:])

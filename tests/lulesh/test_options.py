@@ -1,0 +1,57 @@
+"""Unit tests for LULESH options/constants."""
+
+import pytest
+
+from repro.lulesh.options import LuleshOptions
+
+
+class TestLuleshOptions:
+    def test_defaults_match_reference_constants(self):
+        o = LuleshOptions()
+        assert o.hgcoef == 3.0
+        assert o.qstop == 1.0e12
+        assert o.monoq_limiter_mult == 2.0
+        assert o.qlc_monoq == 0.5
+        assert o.qqc == 2.0
+        assert o.eosvmax == 1.0e9
+        assert o.eosvmin == 1.0e-9
+        assert o.pmin == 0.0
+        assert o.emin == -1.0e15
+        assert o.dvovmax == 0.1
+        assert o.refdens == 1.0
+        assert o.stoptime == 1.0e-2
+        assert o.deltatimemultlb == 1.1
+        assert o.deltatimemultub == 1.2
+
+    def test_counts(self):
+        o = LuleshOptions(nx=5)
+        assert o.numElem == 125
+        assert o.numNode == 216
+
+    def test_einit_reference_scale(self):
+        # At the reference size 45 the deposit equals ebase exactly.
+        assert LuleshOptions(nx=45).einit == pytest.approx(3.948746e7)
+
+    def test_einit_scales_cubically(self):
+        e90 = LuleshOptions(nx=90).einit
+        e45 = LuleshOptions(nx=45).einit
+        assert e90 / e45 == pytest.approx(8.0)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"nx": 0},
+            {"numReg": 0},
+            {"max_iterations": 0},
+            {"region_balance": 0},
+            {"region_cost": -1},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            LuleshOptions(**kwargs)
+
+    def test_frozen(self):
+        o = LuleshOptions()
+        with pytest.raises(Exception):
+            o.nx = 10  # type: ignore[misc]

@@ -1,0 +1,128 @@
+"""Unit tests for the monotonic Q (artificial viscosity) kernels."""
+
+import numpy as np
+import pytest
+
+from repro.lulesh.domain import Domain
+from repro.lulesh.errors import QStopError
+from repro.lulesh.kernels.kinematics import (
+    calc_kinematics,
+    calc_lagrange_elements_part2,
+)
+from repro.lulesh.kernels.qcalc import (
+    calc_monotonic_q_gradients,
+    calc_monotonic_q_region,
+    check_q_stop,
+)
+from repro.lulesh.options import LuleshOptions
+
+
+@pytest.fixture()
+def domain():
+    d = Domain(LuleshOptions(nx=4, numReg=2))
+    d.vnew[:] = 1.0
+    return d
+
+
+def all_elems(d):
+    return np.arange(d.numElem, dtype=np.int64)
+
+
+class TestGradients:
+    def test_static_mesh_zero_velocity_gradients(self, domain):
+        calc_monotonic_q_gradients(domain, 0, domain.numElem)
+        np.testing.assert_allclose(domain.delv_xi, 0.0, atol=1e-15)
+        np.testing.assert_allclose(domain.delv_eta, 0.0, atol=1e-15)
+        np.testing.assert_allclose(domain.delv_zeta, 0.0, atol=1e-15)
+
+    def test_position_gradients_are_cell_size(self, domain):
+        """delx along each logical axis of an undeformed cell ~ edge length."""
+        calc_monotonic_q_gradients(domain, 0, domain.numElem)
+        h = 1.125 / 4
+        np.testing.assert_allclose(domain.delx_xi, h, rtol=1e-10)
+        np.testing.assert_allclose(domain.delx_eta, h, rtol=1e-10)
+        np.testing.assert_allclose(domain.delx_zeta, h, rtol=1e-10)
+
+    def test_uniform_compression_along_x(self, domain):
+        """v_x = -c*x: delv_xi recovers the strain rate -c, others zero."""
+        domain.xd[:] = -2.0 * domain.x
+        calc_monotonic_q_gradients(domain, 0, domain.numElem)
+        np.testing.assert_allclose(domain.delv_xi, -2.0, rtol=1e-10)
+        np.testing.assert_allclose(domain.delv_eta, 0.0, atol=1e-12)
+        np.testing.assert_allclose(domain.delv_zeta, 0.0, atol=1e-12)
+
+    def test_partitioned_equals_full(self, domain):
+        rng = np.random.default_rng(2)
+        domain.xd[:] = rng.standard_normal(domain.numNode)
+        calc_monotonic_q_gradients(domain, 0, domain.numElem)
+        full = domain.delv_xi.copy()
+        domain.delv_xi[:] = 0.0
+        for lo in range(0, domain.numElem, 13):
+            calc_monotonic_q_gradients(domain, lo, min(lo + 13, domain.numElem))
+        np.testing.assert_array_equal(domain.delv_xi, full)
+
+
+class TestRegionQ:
+    def _compress(self, domain, factor=2.0):
+        """Uniform radial compression toward the origin."""
+        domain.xd[:] = -factor * domain.x
+        domain.yd[:] = -factor * domain.y
+        domain.zd[:] = -factor * domain.z
+        calc_kinematics(domain, 0, domain.numElem, dt=0.0)
+        calc_lagrange_elements_part2(domain, 0, domain.numElem)
+        domain.vnew[:] = 1.0
+        calc_monotonic_q_gradients(domain, 0, domain.numElem)
+
+    def test_expansion_produces_no_q(self, domain):
+        domain.xd[:] = 2.0 * domain.x
+        domain.yd[:] = 2.0 * domain.y
+        domain.zd[:] = 2.0 * domain.z
+        calc_kinematics(domain, 0, domain.numElem, dt=0.0)
+        calc_lagrange_elements_part2(domain, 0, domain.numElem)
+        domain.vnew[:] = 1.0
+        calc_monotonic_q_gradients(domain, 0, domain.numElem)
+        calc_monotonic_q_region(domain, all_elems(domain), 0, domain.numElem)
+        assert np.all(domain.ql == 0.0)
+        assert np.all(domain.qq == 0.0)
+
+    def test_compression_produces_positive_q(self, domain):
+        self._compress(domain)
+        calc_monotonic_q_region(domain, all_elems(domain), 0, domain.numElem)
+        assert np.all(domain.ql >= 0.0)
+        assert np.all(domain.qq >= 0.0)
+        assert domain.ql.max() > 0.0
+        assert domain.qq.max() > 0.0
+
+    def test_smooth_field_limited_to_zero_qlin(self, domain):
+        """For perfectly smooth compression the limiter phi=1 kills qlin
+        in interior elements (monotonic limiter behaviour)."""
+        self._compress(domain)
+        calc_monotonic_q_region(domain, all_elems(domain), 0, domain.numElem)
+        interior = domain.mesh.elemBC == 0
+        assert np.all(domain.ql[interior] == pytest.approx(0.0, abs=1e-12))
+
+    def test_region_subset_only_updates_its_elements(self, domain):
+        self._compress(domain)
+        domain.ql[:] = -1.0
+        subset = all_elems(domain)[:10]
+        calc_monotonic_q_region(domain, subset, 0, len(subset))
+        assert np.all(domain.ql[:10] >= 0.0)
+        assert np.all(domain.ql[10:] == -1.0)
+
+    def test_empty_region_noop(self, domain):
+        calc_monotonic_q_region(domain, np.array([], dtype=np.int64), 0, 0)
+
+
+class TestQStop:
+    def test_below_threshold_ok(self, domain):
+        domain.q[:] = 1.0
+        check_q_stop(domain, 0, domain.numElem)
+
+    def test_above_threshold_raises(self, domain):
+        domain.q[7] = 2e12  # default qstop = 1e12
+        with pytest.raises(QStopError):
+            check_q_stop(domain, 0, domain.numElem)
+
+    def test_respects_range(self, domain):
+        domain.q[7] = 2e12
+        check_q_stop(domain, 8, domain.numElem)

@@ -1,0 +1,103 @@
+"""Unit tests for region index sets and EOS cost replication."""
+
+import numpy as np
+import pytest
+
+from repro.lulesh.regions import RegionSet, region_rep
+
+
+class TestRegionRep:
+    def test_default_11_regions_paper_split(self):
+        """§II-B: 1x for the lower half, 2x for ~45%, 20x for ~5%."""
+        reps = [region_rep(r, 11) for r in range(11)]
+        assert reps == [1, 1, 1, 1, 1, 2, 2, 2, 2, 2, 20]
+
+    def test_21_regions(self):
+        reps = [region_rep(r, 21) for r in range(21)]
+        assert reps.count(1) == 10
+        assert reps.count(2) == 10
+        assert reps.count(20) == 1
+
+    def test_cost_flag_scales(self):
+        assert region_rep(10, 11, cost=2) == 30
+        assert region_rep(6, 11, cost=2) == 3
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            region_rep(11, 11)
+        with pytest.raises(ValueError):
+            region_rep(-1, 11)
+
+
+class TestRegionSet:
+    def test_single_region_takes_all(self):
+        rs = RegionSet(num_elem=100, num_reg=1)
+        assert np.all(rs.reg_num_list == 1)
+        assert rs.reg_elem_sizes.tolist() == [100]
+
+    def test_partition_complete_and_disjoint(self):
+        rs = RegionSet(num_elem=5000, num_reg=7)
+        assert rs.reg_elem_sizes.sum() == 5000
+        all_elems = np.concatenate(rs.reg_elem_lists)
+        assert len(np.unique(all_elems)) == 5000
+
+    def test_lists_sorted(self):
+        rs = RegionSet(num_elem=3000, num_reg=5)
+        for lst in rs.reg_elem_lists:
+            assert np.all(np.diff(lst) > 0)
+
+    def test_deterministic(self):
+        a = RegionSet(num_elem=4000, num_reg=11)
+        b = RegionSet(num_elem=4000, num_reg=11)
+        assert np.array_equal(a.reg_num_list, b.reg_num_list)
+
+    def test_seed_changes_assignment(self):
+        a = RegionSet(num_elem=4000, num_reg=11, seed=0)
+        b = RegionSet(num_elem=4000, num_reg=11, seed=1)
+        assert not np.array_equal(a.reg_num_list, b.reg_num_list)
+
+    def test_no_adjacent_runs_same_region(self):
+        """The reference re-rolls when the same region repeats."""
+        rs = RegionSet(num_elem=20_000, num_reg=4)
+        runs = []
+        current = rs.reg_num_list[0]
+        for v in rs.reg_num_list[1:]:
+            if v != current:
+                runs.append(current)
+                current = v
+        runs.append(current)
+        assert all(a != b for a, b in zip(runs, runs[1:]))
+
+    def test_sizes_imbalanced_with_balance_weighting(self):
+        """Higher-numbered regions are likelier: sizes differ substantially."""
+        rs = RegionSet(num_elem=100_000, num_reg=11, balance=1)
+        sizes = rs.reg_elem_sizes
+        assert sizes.max() > 2 * sizes.min()
+
+    def test_balance_skews_distribution(self):
+        flat = RegionSet(num_elem=100_000, num_reg=4, balance=1)
+        skew = RegionSet(num_elem=100_000, num_reg=4, balance=4)
+        # With balance=4, region 4's weight dominates overwhelmingly.
+        assert (
+            skew.reg_elem_sizes[-1] / skew.reg_elem_sizes.sum()
+            > flat.reg_elem_sizes[-1] / flat.reg_elem_sizes.sum()
+        )
+
+    def test_total_eos_work_accounts_reps(self):
+        rs = RegionSet(num_elem=1000, num_reg=2)
+        expected = rs.reg_elem_sizes[0] * 1 + rs.reg_elem_sizes[1] * 2
+        assert rs.total_eos_work_elems() == expected
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            RegionSet(num_elem=0, num_reg=1)
+        with pytest.raises(ValueError):
+            RegionSet(num_elem=10, num_reg=0)
+        with pytest.raises(ValueError):
+            RegionSet(num_elem=10, num_reg=2, balance=0)
+
+    def test_rep_method_matches_function(self):
+        rs = RegionSet(num_elem=1000, num_reg=11)
+        assert [rs.rep(r) for r in range(11)] == [
+            region_rep(r, 11) for r in range(11)
+        ]

@@ -1,0 +1,96 @@
+"""Unit tests for the full-range step composition."""
+
+import numpy as np
+import pytest
+
+from repro.lulesh.domain import Domain
+from repro.lulesh.options import LuleshOptions
+from repro.lulesh.steps import (
+    lagrange_elements_full,
+    lagrange_nodal_full,
+    time_constraints_full,
+    time_increment,
+)
+
+
+def full_cycle(d):
+    time_increment(d)
+    lagrange_nodal_full(d)
+    lagrange_elements_full(d)
+    time_constraints_full(d)
+
+
+@pytest.fixture()
+def domain():
+    """A domain advanced one cycle: the deposit has become pressure, so
+    the second cycle (what the tests drive) produces forces and motion."""
+    d = Domain(LuleshOptions(nx=4, numReg=3))
+    full_cycle(d)
+    return d
+
+
+class TestLagrangeNodal:
+    def test_produces_motion_from_the_deposit(self, domain):
+        time_increment(domain)
+        lagrange_nodal_full(domain)
+        assert np.abs(domain.fx).max() > 0
+        assert np.abs(domain.xd).max() > 0
+        # positions moved only where velocities are nonzero
+        moved = domain.x != domain.mesh.x0
+        assert moved.any()
+
+    def test_symmetry_bcs_enforced(self, domain):
+        time_increment(domain)
+        lagrange_nodal_full(domain)
+        mesh = domain.mesh
+        assert np.all(domain.xdd[mesh.symmX] == 0.0)
+        assert np.all(domain.ydd[mesh.symmY] == 0.0)
+        assert np.all(domain.zdd[mesh.symmZ] == 0.0)
+
+
+class TestLagrangeElements:
+    def test_updates_thermodynamic_state(self, domain):
+        time_increment(domain)
+        lagrange_nodal_full(domain)
+        lagrange_elements_full(domain)
+        # the origin element expanded and cooled; pressure field is live
+        assert domain.v[0] > 1.0
+        assert domain.e[0] < domain.opts.einit
+        assert domain.p.max() > 0.0
+
+    def test_vnew_committed_to_v(self, domain):
+        time_increment(domain)
+        lagrange_nodal_full(domain)
+        lagrange_elements_full(domain)
+        # after UpdateVolumes, v equals vnew up to the v_cut snap
+        close = np.isclose(domain.v, domain.vnew, atol=domain.opts.v_cut)
+        assert np.all(close)
+
+
+class TestTimeConstraints:
+    def test_reduces_over_all_regions(self, domain):
+        time_increment(domain)
+        lagrange_nodal_full(domain)
+        lagrange_elements_full(domain)
+        time_constraints_full(domain)
+        # the blast is moving by now, so both constraints are active
+        assert domain.dtcourant < 1e20
+        assert domain.dthydro < 1e20
+        # the constraints must bound the next dt choice
+        old_dt = domain.deltatime
+        time_increment(domain)
+        assert domain.deltatime <= max(
+            old_dt * domain.opts.deltatimemultub,
+            domain.dtcourant,
+        )
+
+    def test_region_split_invariant(self):
+        """The reduction is independent of how regions partition the mesh."""
+        a = Domain(LuleshOptions(nx=4, numReg=1))
+        b = Domain(LuleshOptions(nx=4, numReg=7))
+        for d in (a, b):
+            for _ in range(3):
+                full_cycle(d)
+        assert a.dtcourant == b.dtcourant
+        assert a.dthydro == b.dthydro
+        assert a.dtcourant < 1e20

@@ -1,0 +1,99 @@
+"""Unit tests for the stress-force kernels."""
+
+import numpy as np
+import pytest
+
+from repro.lulesh.domain import Domain
+from repro.lulesh.errors import VolumeError
+from repro.lulesh.kernels.nodal import sum_elem_forces_to_nodes
+from repro.lulesh.kernels.stress import init_stress_terms, integrate_stress
+from repro.lulesh.options import LuleshOptions
+
+
+@pytest.fixture()
+def domain():
+    return Domain(LuleshOptions(nx=3, numReg=2))
+
+
+class TestInitStressTerms:
+    def test_sigma_is_minus_p_minus_q(self, domain):
+        domain.p[:] = 2.0
+        domain.q[:] = 0.5
+        init_stress_terms(domain, 0, domain.numElem)
+        assert np.all(domain.sigxx == -2.5)
+        assert np.all(domain.sigyy == -2.5)
+        assert np.all(domain.sigzz == -2.5)
+
+    def test_range_limited(self, domain):
+        domain.p[:] = 1.0
+        domain.sigxx[:] = 99.0
+        init_stress_terms(domain, 0, 5)
+        assert np.all(domain.sigxx[:5] == -1.0)
+        assert np.all(domain.sigxx[5:] == 99.0)
+
+
+class TestIntegrateStress:
+    def test_determ_is_element_volume(self, domain):
+        init_stress_terms(domain, 0, domain.numElem)
+        integrate_stress(domain, 0, domain.numElem)
+        np.testing.assert_allclose(domain.determ, domain.volo, rtol=1e-12)
+
+    def test_zero_stress_zero_forces(self, domain):
+        init_stress_terms(domain, 0, domain.numElem)
+        integrate_stress(domain, 0, domain.numElem)
+        assert np.all(domain.fx_elem == 0.0)
+
+    def test_uniform_pressure_interior_forces_cancel(self, domain):
+        domain.p[:] = 7.0
+        init_stress_terms(domain, 0, domain.numElem)
+        integrate_stress(domain, 0, domain.numElem)
+        sum_elem_forces_to_nodes(domain, 0, domain.numNode)
+        # The single interior node of the 3x3x3 mesh: net force zero.
+        en = domain.mesh.edgeNodes
+        interior = 2 * en * en + 2 * en + 2  # node (2,2,2)... for nx=3 use (2,2,2)
+        assert abs(domain.fx[interior]) < 1e-12
+        assert abs(domain.fy[interior]) < 1e-12
+        assert abs(domain.fz[interior]) < 1e-12
+
+    def test_uniform_pressure_pushes_boundary_outward(self, domain):
+        domain.p[:] = 7.0
+        init_stress_terms(domain, 0, domain.numElem)
+        integrate_stress(domain, 0, domain.numElem)
+        sum_elem_forces_to_nodes(domain, 0, domain.numNode)
+        # Far corner node (max x,y,z) should be pushed outward (+,+,+).
+        far = domain.numNode - 1
+        assert domain.fx[far] > 0
+        assert domain.fy[far] > 0
+        assert domain.fz[far] > 0
+        # Origin corner pushed toward (-,-,-).
+        assert domain.fx[0] < 0
+
+    def test_total_force_zero_for_uniform_pressure(self, domain):
+        domain.p[:] = 3.0
+        init_stress_terms(domain, 0, domain.numElem)
+        integrate_stress(domain, 0, domain.numElem)
+        sum_elem_forces_to_nodes(domain, 0, domain.numNode)
+        assert domain.fx.sum() == pytest.approx(0.0, abs=1e-10)
+        assert domain.fy.sum() == pytest.approx(0.0, abs=1e-10)
+        assert domain.fz.sum() == pytest.approx(0.0, abs=1e-10)
+
+    def test_partitioned_equals_full(self, domain):
+        domain.p[:] = np.linspace(1, 2, domain.numElem)
+        init_stress_terms(domain, 0, domain.numElem)
+        integrate_stress(domain, 0, domain.numElem)
+        full = domain.fx_elem.copy()
+        domain.fx_elem[:] = 0.0
+        for lo in range(0, domain.numElem, 7):
+            hi = min(lo + 7, domain.numElem)
+            integrate_stress(domain, lo, hi)
+        assert np.array_equal(domain.fx_elem, full)
+
+    def test_inverted_element_raises(self, domain):
+        init_stress_terms(domain, 0, domain.numElem)
+        # Collapse element 0 by dragging its far corner through the origin.
+        n6 = domain.mesh.nodelist[0][6]
+        domain.x[n6] = -10.0
+        domain.y[n6] = -10.0
+        domain.z[n6] = -10.0
+        with pytest.raises(VolumeError):
+            integrate_stress(domain, 0, domain.numElem)

@@ -1,0 +1,77 @@
+"""Unit tests for the VTK writer."""
+
+import numpy as np
+import pytest
+
+from repro.lulesh.domain import Domain
+from repro.lulesh.options import LuleshOptions
+from repro.lulesh.reference import SequentialDriver
+from repro.lulesh.vtkout import write_vtk
+
+
+@pytest.fixture(scope="module")
+def blast_domain():
+    d = Domain(LuleshOptions(nx=4, numReg=2))
+    drv = SequentialDriver(d)
+    for _ in range(5):
+        drv.step()
+    return d
+
+
+class TestWriteVtk:
+    def test_header_and_dimensions(self, blast_domain, tmp_path):
+        path = tmp_path / "out.vtk"
+        write_vtk(blast_domain, str(path))
+        lines = path.read_text().splitlines()
+        assert lines[0].startswith("# vtk DataFile")
+        assert "ASCII" in lines[2]
+        assert "DATASET STRUCTURED_GRID" in lines[3]
+        assert lines[4] == "DIMENSIONS 5 5 5"
+
+    def test_point_and_cell_counts(self, blast_domain, tmp_path):
+        path = tmp_path / "out.vtk"
+        write_vtk(blast_domain, str(path))
+        text = path.read_text()
+        assert f"POINTS {blast_domain.numNode} double" in text
+        assert f"POINT_DATA {blast_domain.numNode}" in text
+        assert f"CELL_DATA {blast_domain.numElem}" in text
+
+    def test_default_fields_present(self, blast_domain, tmp_path):
+        path = tmp_path / "out.vtk"
+        write_vtk(blast_domain, str(path))
+        text = path.read_text()
+        for field in ("e", "p", "q", "v", "ss"):
+            assert f"SCALARS {field} double 1" in text
+        assert "VECTORS velocity double" in text
+
+    def test_values_roundtrip(self, blast_domain, tmp_path):
+        path = tmp_path / "out.vtk"
+        write_vtk(blast_domain, str(path), cell_fields=("e",))
+        lines = path.read_text().splitlines()
+        i = lines.index("SCALARS e double 1") + 2  # skip LOOKUP_TABLE
+        values = [float(v) for v in lines[i:i + blast_domain.numElem]]
+        np.testing.assert_allclose(values, blast_domain.e, rtol=1e-9)
+
+    def test_custom_title(self, blast_domain, tmp_path):
+        path = tmp_path / "out.vtk"
+        write_vtk(blast_domain, str(path), title="hello")
+        assert path.read_text().splitlines()[1] == "hello"
+
+    def test_unknown_field_rejected(self, blast_domain, tmp_path):
+        with pytest.raises(ValueError, match="unknown"):
+            write_vtk(blast_domain, str(tmp_path / "x.vtk"),
+                      cell_fields=("nope",))
+
+    def test_slab_domain_dimensions(self, tmp_path):
+        """The writer handles box (slab) meshes too."""
+        from repro.dist.decomposition import SlabDecomposition
+        from repro.dist.domain import SlabDomain
+        from repro.lulesh.regions import RegionSet
+
+        opts = LuleshOptions(nx=4, numReg=2)
+        decomp = SlabDecomposition(4, 2)
+        regions = RegionSet(num_elem=64, num_reg=2)
+        slab = SlabDomain(opts, decomp, 1, regions)
+        path = tmp_path / "slab.vtk"
+        write_vtk(slab, str(path), cell_fields=("e",))
+        assert "DIMENSIONS 5 5 3" in path.read_text()

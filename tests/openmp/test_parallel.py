@@ -1,0 +1,39 @@
+"""Unit tests for static chunk layout."""
+
+import pytest
+
+from repro.openmp.parallel import static_chunks
+
+
+class TestStaticChunks:
+    def test_even_division(self):
+        assert static_chunks(12, 3) == [(0, 4), (4, 8), (8, 12)]
+
+    def test_remainder_goes_to_first_threads(self):
+        chunks = static_chunks(10, 3)
+        assert chunks == [(0, 4), (4, 7), (7, 10)]
+
+    def test_partition_exact(self):
+        for n in (0, 1, 7, 100, 1001):
+            for t in (1, 2, 5, 24):
+                chunks = static_chunks(n, t)
+                assert len(chunks) == t
+                covered = []
+                for lo, hi in chunks:
+                    assert 0 <= lo <= hi <= n
+                    covered.extend(range(lo, hi))
+                assert covered == list(range(n))
+
+    def test_more_threads_than_items(self):
+        chunks = static_chunks(2, 5)
+        sizes = [hi - lo for lo, hi in chunks]
+        assert sizes == [1, 1, 0, 0, 0]
+
+    def test_single_thread(self):
+        assert static_chunks(7, 1) == [(0, 7)]
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            static_chunks(-1, 2)
+        with pytest.raises(ValueError):
+            static_chunks(5, 0)

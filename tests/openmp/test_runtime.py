@@ -1,0 +1,213 @@
+"""Unit tests for the OpenMP-like runtime."""
+
+import pytest
+
+from repro.openmp.runtime import OmpRuntime
+from repro.simcore.costmodel import CostModel
+from repro.simcore.machine import MachineConfig
+
+
+def make_omp(n_threads=4, execute=True, **cm_kwargs):
+    return OmpRuntime(
+        MachineConfig(), CostModel(**cm_kwargs), n_threads, execute_bodies=execute
+    )
+
+
+class TestRegions:
+    def test_region_charges_fork(self):
+        omp = make_omp(4)
+        with omp.parallel_region():
+            pass
+        assert omp.stats.total_ns == CostModel().omp_fork_ns(4)
+        assert omp.stats.n_regions == 1
+
+    def test_single_thread_region_free(self):
+        omp = make_omp(1)
+        with omp.parallel_region():
+            pass
+        assert omp.stats.total_ns == 0
+
+    def test_regions_cannot_nest(self):
+        omp = make_omp()
+        with omp.parallel_region():
+            with pytest.raises(RuntimeError):
+                with omp.parallel_region():
+                    pass
+
+    def test_loop_outside_region_rejected(self):
+        omp = make_omp()
+        with pytest.raises(RuntimeError):
+            omp.loop(10)
+
+
+class TestLoops:
+    def test_bodies_called_per_chunk(self):
+        omp = make_omp(3)
+        calls = []
+        with omp.parallel_region():
+            omp.loop(10, lambda lo, hi: calls.append((lo, hi)))
+        assert calls == [(0, 4), (4, 7), (7, 10)]
+
+    def test_bodies_skipped_in_timing_mode(self):
+        omp = make_omp(3, execute=False)
+        calls = []
+        with omp.parallel_region():
+            omp.loop(10, lambda lo, hi: calls.append((lo, hi)),
+                     work_ns_per_item=5)
+        assert calls == []
+        assert omp.stats.total_ns > 0
+
+    def test_loop_elapsed_includes_barrier(self):
+        cm = CostModel()
+        omp = make_omp(4)
+        with omp.parallel_region():
+            omp.loop(0, work_ns_per_item=0.0)
+        expected = (
+            cm.omp_fork_ns(4) + cm.omp_loop_setup_ns + cm.omp_barrier_ns(4)
+        )
+        assert omp.stats.total_ns == expected
+
+    def test_nowait_skips_barrier(self):
+        omp_wait = make_omp(4)
+        with omp_wait.parallel_region():
+            omp_wait.loop(100, work_ns_per_item=10)
+        omp_nowait = make_omp(4)
+        with omp_nowait.parallel_region():
+            omp_nowait.loop(100, work_ns_per_item=10, nowait=True)
+        assert omp_nowait.stats.total_ns < omp_wait.stats.total_ns
+
+    def test_busy_time_split_across_threads(self):
+        omp = make_omp(4, omp_imbalance=0.0)
+        with omp.parallel_region():
+            omp.loop(400, work_ns_per_item=10)
+        # 400 items * 10ns spread over 4 threads -> 1000 ns each (plus
+        # stream penalty ~ 1.0 at this size)
+        assert all(b == omp.stats.busy_ns[0] for b in omp.stats.busy_ns)
+        assert omp.stats.busy_ns[0] == pytest.approx(1000, rel=0.01)
+
+    def test_negative_items_rejected(self):
+        omp = make_omp()
+        with omp.parallel_region():
+            with pytest.raises(ValueError):
+                omp.loop(-1)
+
+    def test_imbalance_inflates_elapsed(self):
+        def run(imb):
+            omp = make_omp(4, omp_imbalance=imb)
+            with omp.parallel_region():
+                omp.loop(4000, work_ns_per_item=100)
+            return omp.stats.total_ns
+
+        assert run(0.2) > run(0.0)
+
+    def test_stream_penalty_inflates_large_loops(self):
+        def busy(n):
+            omp = make_omp(24, omp_imbalance=0.0)
+            with omp.parallel_region():
+                omp.loop(n, work_ns_per_item=100)
+            return sum(omp.stats.busy_ns) / (n * 100)
+
+        # per-item busy ratio grows once the footprint exceeds the LLC
+        assert busy(4_000_000) > busy(10_000) * 1.05
+
+
+class TestDynamicSchedule:
+    def test_invalid_schedule_rejected(self):
+        omp = make_omp()
+        with omp.parallel_region():
+            with pytest.raises(ValueError):
+                omp.loop(10, schedule="guided")
+        with pytest.raises(ValueError):
+            OmpRuntime(MachineConfig(), CostModel(), 2,
+                       default_schedule="guided")
+
+    def test_default_schedule_applied(self):
+        st = OmpRuntime(MachineConfig(), CostModel(), 24)
+        dy = OmpRuntime(MachineConfig(), CostModel(), 24,
+                        default_schedule="dynamic")
+        for omp in (st, dy):
+            with omp.parallel_region():
+                omp.loop(100_000, work_ns_per_item=100)
+        assert st.stats.total_ns != dy.stats.total_ns
+
+    def test_dynamic_avoids_straggler_factor(self):
+        """With a big straggler factor, dynamic wins; the bodies and math
+        are identical either way."""
+        cm = dict(omp_imbalance=0.5)
+        st = make_omp(24, execute=False, **cm)
+        with st.parallel_region():
+            st.loop(1_000_000, work_ns_per_item=100)
+        dy = OmpRuntime(MachineConfig(), CostModel(omp_imbalance=0.5), 24,
+                        execute_bodies=False, default_schedule="dynamic")
+        with dy.parallel_region():
+            dy.loop(1_000_000, work_ns_per_item=100)
+        assert dy.stats.total_ns < st.stats.total_ns
+
+    def test_dynamic_pays_dequeue_on_small_loops(self):
+        """For tiny loops the dequeue traffic makes dynamic slower."""
+        st = make_omp(24, execute=False, omp_imbalance=0.0)
+        with st.parallel_region():
+            for _ in range(20):
+                st.loop(500, work_ns_per_item=5)
+        dy = OmpRuntime(MachineConfig(), CostModel(omp_imbalance=0.0), 24,
+                        execute_bodies=False, default_schedule="dynamic")
+        with dy.parallel_region():
+            for _ in range(20):
+                dy.loop(500, work_ns_per_item=5)
+        assert dy.stats.total_ns >= st.stats.total_ns
+
+    def test_bodies_identical_under_dynamic(self):
+        omp = OmpRuntime(MachineConfig(), CostModel(), 3,
+                         default_schedule="dynamic")
+        calls = []
+        with omp.parallel_region():
+            omp.loop(10, lambda lo, hi: calls.append((lo, hi)))
+        assert calls == [(0, 4), (4, 7), (7, 10)]
+
+
+class TestSingle:
+    def test_serial_section_counted_separately(self):
+        omp = make_omp(4)
+        ran = []
+        omp.single(5000, body=lambda: ran.append(1))
+        assert ran == [1]
+        assert omp.stats.serial_ns == 5000
+        assert omp.stats.parallel_ns == 0
+        assert omp.stats.total_ns == 5000
+
+    def test_serial_inside_region_rejected(self):
+        omp = make_omp()
+        with omp.parallel_region():
+            with pytest.raises(RuntimeError):
+                omp.single(10)
+
+    def test_negative_serial_rejected(self):
+        with pytest.raises(ValueError):
+            make_omp().single(-1)
+
+
+class TestUtilization:
+    def test_excludes_serial_portions(self):
+        omp = make_omp(2, omp_imbalance=0.0)
+        omp.single(10**9)  # huge serial section
+        with omp.parallel_region():
+            omp.loop(1000, work_ns_per_item=100)
+        # Utilization measured over parallel time only, per the paper.
+        assert omp.stats.utilization() > 0.5
+
+    def test_empty_run_full_utilization(self):
+        assert make_omp().stats.utilization() == 1.0
+
+    def test_reset_stats(self):
+        omp = make_omp()
+        with omp.parallel_region():
+            omp.loop(10, work_ns_per_item=1)
+        omp.reset_stats()
+        assert omp.stats.total_ns == 0
+        assert omp.stats.n_loops == 0
+
+    def test_reset_inside_region_rejected(self):
+        omp = make_omp()
+        with omp.parallel_region():
+            with pytest.raises(RuntimeError):
+                omp.reset_stats()

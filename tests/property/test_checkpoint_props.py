@@ -1,0 +1,41 @@
+"""Property-based checkpoint tests: save/restore is lossless at any cycle."""
+
+import os
+import tempfile
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lulesh.checkpoint import load_checkpoint, save_checkpoint
+from repro.lulesh.domain import Domain
+from repro.lulesh.options import LuleshOptions
+from repro.lulesh.reference import SequentialDriver
+
+
+class TestCheckpointProps:
+    @given(st.integers(0, 20), st.integers(1, 10))
+    @settings(max_examples=15, deadline=None)
+    def test_resume_matches_continuous(self, ckpt_cycle, extra):
+        """For any split point, checkpoint+resume == continuous run."""
+        opts = LuleshOptions(nx=4, numReg=2)
+        tmp = tempfile.mkdtemp()
+        path = os.path.join(tmp, "c.npz")
+
+        a = Domain(opts)
+        da = SequentialDriver(a)
+        for _ in range(ckpt_cycle):
+            da.step()
+        save_checkpoint(a, path)
+        for _ in range(extra):
+            da.step()
+
+        b = load_checkpoint(opts, path)
+        db = SequentialDriver(b)
+        for _ in range(extra):
+            db.step()
+
+        for f in ("x", "xd", "e", "p", "q", "v", "ss"):
+            assert np.array_equal(getattr(a, f), getattr(b, f)), f
+        assert a.cycle == b.cycle
+        assert a.deltatime == b.deltatime

@@ -1,0 +1,93 @@
+"""Property-based tests for the distributed decomposition and comm."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dist.comm import PlaneExchanger
+from repro.dist.decomposition import SlabDecomposition
+from repro.lulesh.regions import RegionSet
+
+
+class TestSlabProps:
+    @given(st.integers(1, 64), st.integers(1, 16))
+    @settings(max_examples=150)
+    def test_slabs_partition_planes(self, nx, ranks):
+        if ranks > nx:
+            ranks = nx
+        d = SlabDecomposition(nx, ranks)
+        planes = []
+        for s in d.slabs:
+            assert s.nz >= 1
+            planes.extend(range(s.z0, s.z1))
+        assert planes == list(range(nx))
+
+    @given(st.integers(1, 64), st.integers(1, 16))
+    @settings(max_examples=150)
+    def test_balanced_within_one_plane(self, nx, ranks):
+        if ranks > nx:
+            ranks = nx
+        d = SlabDecomposition(nx, ranks)
+        sizes = [s.nz for s in d.slabs]
+        assert max(sizes) - min(sizes) <= 1
+
+    @given(st.integers(1, 64), st.integers(1, 16))
+    @settings(max_examples=100)
+    def test_elem_ranges_cover(self, nx, ranks):
+        if ranks > nx:
+            ranks = nx
+        d = SlabDecomposition(nx, ranks)
+        lo_prev = 0
+        for r in range(ranks):
+            lo, hi = d.elem_range(r)
+            assert lo == lo_prev
+            lo_prev = hi
+        assert lo_prev == nx**3
+
+    @given(st.integers(2, 32), st.integers(2, 8))
+    @settings(max_examples=100)
+    def test_every_node_plane_has_owner(self, nx, ranks):
+        if ranks > nx:
+            ranks = nx
+        d = SlabDecomposition(nx, ranks)
+        for plane in range(nx + 1):
+            owner = d.node_owner(plane)
+            s = d.slab(owner)
+            assert s.z0 <= plane <= s.z1
+
+
+class TestRegionSubsetProps:
+    @given(st.integers(10, 2000), st.integers(1, 11), st.integers(1, 5))
+    @settings(max_examples=100)
+    def test_subsets_partition_global(self, n_elem, num_reg, n_parts):
+        rs = RegionSet(num_elem=n_elem, num_reg=num_reg)
+        cuts = np.linspace(0, n_elem, n_parts + 1).astype(int)
+        total = 0
+        for lo, hi in zip(cuts, cuts[1:]):
+            sub = rs.subset(int(lo), int(hi))
+            total += int(sub.reg_elem_sizes.sum())
+            # local region membership matches the global assignment
+            for r in range(num_reg):
+                for local in sub.reg_elem_lists[r][:5]:
+                    assert rs.reg_num_list[lo + local] == r + 1
+        assert total == n_elem
+
+
+class TestCommProps:
+    @given(
+        st.integers(2, 8),
+        st.lists(st.floats(-1e6, 1e6, allow_nan=False), min_size=1, max_size=32),
+    )
+    @settings(max_examples=100)
+    def test_ring_exchange_preserves_data(self, ranks, values):
+        """Posting around a ring and fetching returns exact arrays."""
+        ex = PlaneExchanger(ranks)
+        ex.start_phase()
+        arr = np.array(values)
+        for r in range(ranks):
+            ex.post(r, (r + 1) % ranks, "ring", arr * (r + 1))
+        for r in range(ranks):
+            src = (r - 1) % ranks
+            got = ex.fetch(r, src, "ring")
+            assert np.array_equal(got, arr * (src + 1))
+        assert ex.total_messages() == ranks

@@ -1,0 +1,139 @@
+"""Property-based tests of the geometry primitives (hypothesis).
+
+Strategy: perturbations of the unit cube small enough that elements stay
+valid (non-inverted), plus arbitrary rigid motions — the natural input space
+of a Lagrange hydro code.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.lulesh.kernels.geometry import (
+    calc_elem_node_normals,
+    calc_elem_shape_function_derivatives,
+    calc_elem_velocity_gradient,
+    calc_elem_volume,
+    calc_elem_volume_derivative,
+)
+
+CUBE = np.array(
+    [
+        [0, 0, 0], [1, 0, 0], [1, 1, 0], [0, 1, 0],
+        [0, 0, 1], [1, 0, 1], [1, 1, 1], [0, 1, 1],
+    ],
+    dtype=float,
+)
+
+perturbation = arrays(
+    np.float64,
+    (8, 3),
+    elements=st.floats(-0.2, 0.2, allow_nan=False, allow_infinity=False),
+)
+translation = arrays(
+    np.float64,
+    (3,),
+    elements=st.floats(-100.0, 100.0, allow_nan=False, allow_infinity=False),
+)
+scale = st.floats(0.1, 10.0, allow_nan=False)
+
+
+def split(pts: np.ndarray):
+    return (
+        pts[None, :, 0].copy(),
+        pts[None, :, 1].copy(),
+        pts[None, :, 2].copy(),
+    )
+
+
+class TestVolumeProperties:
+    @given(perturbation)
+    @settings(max_examples=60)
+    def test_perturbed_cube_positive_volume(self, dp):
+        x, y, z = split(CUBE + dp)
+        assert calc_elem_volume(x, y, z)[0] > 0
+
+    @given(perturbation, translation)
+    @settings(max_examples=60)
+    def test_translation_invariance(self, dp, t):
+        pts = CUBE + dp
+        v0 = calc_elem_volume(*split(pts))[0]
+        v1 = calc_elem_volume(*split(pts + t))[0]
+        assert np.isclose(v0, v1, rtol=1e-9, atol=1e-12)
+
+    @given(perturbation, scale)
+    @settings(max_examples=60)
+    def test_scaling_law(self, dp, s):
+        pts = CUBE + dp
+        v0 = calc_elem_volume(*split(pts))[0]
+        v1 = calc_elem_volume(*split(pts * s))[0]
+        assert np.isclose(v1, v0 * s**3, rtol=1e-9)
+
+    @given(perturbation)
+    @settings(max_examples=60)
+    def test_mirror_flips_sign(self, dp):
+        pts = CUBE + dp
+        mirrored = pts * np.array([1.0, 1.0, -1.0])
+        v0 = calc_elem_volume(*split(pts))[0]
+        v1 = calc_elem_volume(*split(mirrored))[0]
+        assert np.isclose(v1, -v0, rtol=1e-9, atol=1e-12)
+
+
+class TestDerivativeProperties:
+    @given(perturbation)
+    @settings(max_examples=30)
+    def test_voluder_matches_finite_differences(self, dp):
+        X, Y, Z = split(CUBE + dp)
+        dvdx, dvdy, dvdz = calc_elem_volume_derivative(X, Y, Z)
+        h = 1e-6
+        for a in range(0, 8, 3):  # sample corners (full FD in unit tests)
+            for arr, d in ((X, dvdx), (Y, dvdy), (Z, dvdz)):
+                arr[:, a] += h
+                vp = calc_elem_volume(X, Y, Z)[0]
+                arr[:, a] -= 2 * h
+                vm = calc_elem_volume(X, Y, Z)[0]
+                arr[:, a] += h
+                assert np.isclose((vp - vm) / (2 * h), d[0, a], atol=1e-6)
+
+    @given(perturbation)
+    @settings(max_examples=60)
+    def test_gradients_translation_free(self, dp):
+        X, Y, Z = split(CUBE + dp)
+        dvdx, dvdy, dvdz = calc_elem_volume_derivative(X, Y, Z)
+        for d in (dvdx, dvdy, dvdz):
+            assert abs(d.sum()) < 1e-10
+
+
+class TestShapeFunctionProperties:
+    @given(perturbation)
+    @settings(max_examples=60)
+    def test_partition_of_unity(self, dp):
+        x, y, z = split(CUBE + dp)
+        b, _ = calc_elem_shape_function_derivatives(x, y, z)
+        assert np.abs(b.sum(axis=2)).max() < 1e-10
+
+    @given(perturbation)
+    @settings(max_examples=60)
+    def test_normals_close_surface(self, dp):
+        x, y, z = split(CUBE + dp)
+        pf = calc_elem_node_normals(x, y, z)
+        assert np.abs(pf.sum(axis=2)).max() < 1e-10
+
+    @given(
+        perturbation,
+        st.floats(-5, 5),
+        st.floats(-5, 5),
+        st.floats(-5, 5),
+    )
+    @settings(max_examples=60)
+    def test_linear_velocity_field_recovered(self, dp, a, b_, c):
+        """Principal strain rates of v = (a*x, b*y, c*z) are (a, b, c)."""
+        x, y, z = split(CUBE + dp)
+        bmat, detv = calc_elem_shape_function_derivatives(x, y, z)
+        dxx, dyy, dzz = calc_elem_velocity_gradient(
+            a * x, b_ * y, c * z, bmat, detv
+        )
+        assert np.isclose(dxx[0], a, rtol=1e-8, atol=1e-8)
+        assert np.isclose(dyy[0], b_, rtol=1e-8, atol=1e-8)
+        assert np.isclose(dzz[0], c, rtol=1e-8, atol=1e-8)

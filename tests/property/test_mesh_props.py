@@ -1,0 +1,79 @@
+"""Property-based tests for mesh topology invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lulesh.kernels.geometry import calc_elem_volume
+from repro.lulesh.mesh import Mesh
+
+mesh_sizes = st.integers(1, 7)
+
+
+class TestMeshInvariants:
+    @given(mesh_sizes)
+    @settings(max_examples=7, deadline=None)
+    def test_counts(self, nx):
+        m = Mesh(nx)
+        assert m.numElem == nx**3
+        assert m.numNode == (nx + 1) ** 3
+
+    @given(mesh_sizes)
+    @settings(max_examples=7, deadline=None)
+    def test_volumes_sum_to_cube(self, nx):
+        m = Mesh(nx)
+        x, y, z = m.x0[m.nodelist], m.y0[m.nodelist], m.z0[m.nodelist]
+        vols = calc_elem_volume(x, y, z)
+        assert np.all(vols > 0)
+        np.testing.assert_allclose(vols.sum(), 1.125**3, rtol=1e-10)
+
+    @given(mesh_sizes)
+    @settings(max_examples=7, deadline=None)
+    def test_each_element_has_8_distinct_corners(self, nx):
+        m = Mesh(nx)
+        sorted_corners = np.sort(m.nodelist, axis=1)
+        assert np.all(np.diff(sorted_corners, axis=1) > 0)
+
+    @given(mesh_sizes)
+    @settings(max_examples=7, deadline=None)
+    def test_face_neighbours_share_four_nodes(self, nx):
+        m = Mesh(nx)
+        for e in range(m.numElem):
+            for nbr in (m.lxip[e], m.letap[e], m.lzetap[e]):
+                if nbr != e:
+                    shared = set(m.nodelist[e]) & set(m.nodelist[nbr])
+                    assert len(shared) == 4
+
+    @given(mesh_sizes)
+    @settings(max_examples=7, deadline=None)
+    def test_corner_incidence_counts(self, nx):
+        """Every node is a corner of 1, 2, 4 or 8 elements."""
+        m = Mesh(nx)
+        counts = np.diff(m.nodeElemStart)
+        assert set(np.unique(counts)) <= {1, 2, 4, 8}
+        assert counts.sum() == m.numElem * 8
+
+    @given(mesh_sizes)
+    @settings(max_examples=7, deadline=None)
+    def test_boundary_flag_counts(self, nx):
+        m = Mesh(nx)
+        from repro.lulesh.mesh import XI_M_SYMM, XI_P_FREE
+
+        assert int((m.elemBC & XI_M_SYMM != 0).sum()) == nx * nx
+        assert int((m.elemBC & XI_P_FREE != 0).sum()) == nx * nx
+
+    @given(mesh_sizes, st.integers(0, 1_000_000))
+    @settings(max_examples=20, deadline=None)
+    def test_scatter_linear_in_input(self, nx, seed):
+        """sum_corners_to_nodes is a fixed linear map."""
+        m = Mesh(nx)
+        rng = np.random.default_rng(seed)
+        a = rng.standard_normal(m.numElem * 8)
+        b = rng.standard_normal(m.numElem * 8)
+        out_ab = np.zeros(m.numNode)
+        m.sum_corners_to_nodes(a + b, out_ab)
+        out_a = np.zeros(m.numNode)
+        m.sum_corners_to_nodes(a, out_a)
+        out_b = np.zeros(m.numNode)
+        m.sum_corners_to_nodes(b, out_b)
+        np.testing.assert_allclose(out_ab, out_a + out_b, atol=1e-9)

@@ -1,0 +1,61 @@
+"""Property-based tests for partitioning and static chunking."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.partitioning import n_partitions, partition_ranges
+from repro.openmp.parallel import static_chunks
+
+
+class TestPartitionRanges:
+    @given(st.integers(0, 100_000), st.integers(1, 10_000))
+    @settings(max_examples=200)
+    def test_exact_cover_no_overlap(self, n, p):
+        ranges = list(partition_ranges(n, p))
+        expected_lo = 0
+        for lo, hi in ranges:
+            assert lo == expected_lo
+            assert lo < hi
+            assert hi - lo <= p
+            expected_lo = hi
+        assert expected_lo == n
+
+    @given(st.integers(0, 100_000), st.integers(1, 10_000))
+    @settings(max_examples=200)
+    def test_count_formula(self, n, p):
+        assert n_partitions(n, p) == len(list(partition_ranges(n, p)))
+
+    @given(st.integers(1, 100_000), st.integers(1, 10_000))
+    @settings(max_examples=200)
+    def test_all_but_last_full(self, n, p):
+        ranges = list(partition_ranges(n, p))
+        for lo, hi in ranges[:-1]:
+            assert hi - lo == p
+
+
+class TestStaticChunks:
+    @given(st.integers(0, 100_000), st.integers(1, 64))
+    @settings(max_examples=200)
+    def test_partition_properties(self, n, t):
+        chunks = static_chunks(n, t)
+        assert len(chunks) == t
+        total = 0
+        prev_hi = 0
+        for lo, hi in chunks:
+            assert lo == prev_hi
+            assert hi >= lo
+            total += hi - lo
+            prev_hi = hi
+        assert total == n
+
+    @given(st.integers(0, 100_000), st.integers(1, 64))
+    @settings(max_examples=200)
+    def test_balanced_within_one(self, n, t):
+        sizes = [hi - lo for lo, hi in static_chunks(n, t)]
+        assert max(sizes) - min(sizes) <= 1
+
+    @given(st.integers(0, 100_000), st.integers(1, 64))
+    @settings(max_examples=200)
+    def test_larger_chunks_first(self, n, t):
+        sizes = [hi - lo for lo, hi in static_chunks(n, t)]
+        assert sizes == sorted(sizes, reverse=True)

@@ -1,0 +1,143 @@
+"""Property-based tests of physics kernels (EOS and monotonic limiter)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lulesh.kernels.eos import calc_pressure
+from repro.lulesh.options import LuleshOptions
+
+OPTS = LuleshOptions()
+
+energies = st.floats(0.0, 1e8, allow_nan=False)
+compressions = st.floats(-0.5, 10.0, allow_nan=False)
+volumes = st.floats(0.1, 10.0, allow_nan=False)
+
+
+class TestPressureProps:
+    @given(energies, compressions, volumes)
+    @settings(max_examples=200)
+    def test_pressure_never_below_floor(self, e, comp, v):
+        p, _, _ = calc_pressure(
+            np.array([e]), np.array([comp]), np.array([v]),
+            OPTS.pmin, OPTS.p_cut, OPTS.eosvmax,
+        )
+        assert p[0] >= OPTS.pmin
+
+    @given(energies, compressions, volumes)
+    @settings(max_examples=200)
+    def test_bulk_coefficients(self, e, comp, v):
+        _, bvc, pbvc = calc_pressure(
+            np.array([e]), np.array([comp]), np.array([v]),
+            OPTS.pmin, OPTS.p_cut, OPTS.eosvmax,
+        )
+        assert np.isclose(bvc[0], (2.0 / 3.0) * (comp + 1.0))
+        assert pbvc[0] == 2.0 / 3.0
+
+    @given(st.floats(1.0, 1e8), compressions, volumes)
+    @settings(max_examples=200)
+    def test_monotone_in_energy(self, e, comp, v):
+        """At fixed compression, more energy never lowers pressure."""
+        args = (np.array([comp]), np.array([v]), OPTS.pmin, OPTS.p_cut,
+                OPTS.eosvmax)
+        p1, _, _ = calc_pressure(np.array([e]), *args)
+        p2, _, _ = calc_pressure(np.array([2 * e]), *args)
+        assert p2[0] >= p1[0]
+
+    @given(energies)
+    @settings(max_examples=100)
+    def test_eosvmax_always_zero_pressure(self, e):
+        p, _, _ = calc_pressure(
+            np.array([e]), np.array([0.0]), np.array([OPTS.eosvmax]),
+            OPTS.pmin, OPTS.p_cut, OPTS.eosvmax,
+        )
+        assert p[0] == max(0.0, OPTS.pmin)
+
+
+class TestRegionRepProps:
+    @given(st.integers(1, 200), st.integers(0, 5))
+    @settings(max_examples=200)
+    def test_rep_partitions_follow_reference_fractions(self, num_reg, cost):
+        from repro.lulesh.regions import region_rep
+
+        reps = [region_rep(r, num_reg, cost) for r in range(num_reg)]
+        # lower half always cheapest
+        assert all(r == 1 for r in reps[: num_reg // 2])
+        # reps are non-decreasing with region index
+        assert reps == sorted(reps)
+        # the most expensive tier exists only with >= 5 regions
+        if num_reg >= 5:
+            assert reps[-1] == 10 * (1 + cost)
+
+
+class TestMonotonicQProps:
+    @given(
+        st.floats(-10, 10), st.floats(-10, 10), st.floats(-10, 10),
+        st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_q_terms_nonnegative_for_any_velocity_field(self, a, b, c, seed):
+        """ql and qq are non-negative for arbitrary linear+random velocity
+        fields — the limiter and the sign clamps guarantee it."""
+        import numpy as np
+
+        from repro.lulesh.domain import Domain
+        from repro.lulesh.kernels.kinematics import (
+            calc_kinematics,
+            calc_lagrange_elements_part2,
+        )
+        from repro.lulesh.kernels.qcalc import (
+            calc_monotonic_q_gradients,
+            calc_monotonic_q_region,
+        )
+
+        d = Domain(LuleshOptions(nx=3, numReg=1))
+        rng = np.random.default_rng(seed)
+        d.xd[:] = a * d.x + 0.1 * rng.standard_normal(d.numNode)
+        d.yd[:] = b * d.y + 0.1 * rng.standard_normal(d.numNode)
+        d.zd[:] = c * d.z + 0.1 * rng.standard_normal(d.numNode)
+        calc_kinematics(d, 0, d.numElem, dt=0.0)
+        calc_lagrange_elements_part2(d, 0, d.numElem)
+        d.vnew[:] = np.abs(d.vnew)  # keep volumes valid under huge fields
+        calc_monotonic_q_gradients(d, 0, d.numElem)
+        reg = np.arange(d.numElem, dtype=np.int64)
+        calc_monotonic_q_region(d, reg, 0, d.numElem)
+        assert np.all(d.ql >= 0.0)
+        assert np.all(d.qq >= 0.0)
+
+    @given(st.floats(0.5, 5.0))
+    @settings(max_examples=30, deadline=None)
+    def test_q_scales_with_density(self, mass_scale):
+        """ql/qq are proportional to element density (rho in the formula)."""
+        import numpy as np
+
+        from repro.lulesh.domain import Domain
+        from repro.lulesh.kernels.kinematics import (
+            calc_kinematics,
+            calc_lagrange_elements_part2,
+        )
+        from repro.lulesh.kernels.qcalc import (
+            calc_monotonic_q_gradients,
+            calc_monotonic_q_region,
+        )
+
+        def run(scale):
+            d = Domain(LuleshOptions(nx=3, numReg=1))
+            d.elemMass[:] *= scale
+            d.xd[:] = -2.0 * d.x
+            d.yd[:] = -2.0 * d.y
+            d.zd[:] = -2.0 * d.z
+            calc_kinematics(d, 0, d.numElem, dt=0.0)
+            calc_lagrange_elements_part2(d, 0, d.numElem)
+            d.vnew[:] = 1.0
+            calc_monotonic_q_gradients(d, 0, d.numElem)
+            reg = np.arange(d.numElem, dtype=np.int64)
+            calc_monotonic_q_region(d, reg, 0, d.numElem)
+            return d.ql.copy(), d.qq.copy()
+
+        ql1, qq1 = run(1.0)
+        qls, qqs = run(mass_scale)
+        import numpy as np
+
+        np.testing.assert_allclose(qls, mass_scale * ql1, rtol=1e-10)
+        np.testing.assert_allclose(qqs, mass_scale * qq1, rtol=1e-10)

@@ -1,0 +1,124 @@
+"""Property-based tests of the work-stealing pool DES (hypothesis).
+
+Invariants: no task lost, dependency order respected, work conserved,
+makespan bounded between the critical path and the serial sum, and full
+determinism — for arbitrary random DAGs.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simcore.costmodel import CostModel
+from repro.simcore.machine import MachineConfig
+from repro.simcore.pool import SimTask, SimWorkerPool
+
+# A random DAG: list of (cost, sorted list of earlier-task indices).
+dag_strategy = st.lists(
+    st.tuples(
+        st.integers(0, 10_000),
+        st.sets(st.integers(0, 40), max_size=4),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+worker_counts = st.integers(1, 48)
+
+
+def build(dag):
+    tasks = [SimTask(cost_ns=cost, tag=f"t{i}") for i, (cost, _) in enumerate(dag)]
+    for i, (_, deps) in enumerate(dag):
+        for d in deps:
+            if d < i:  # only edges to earlier tasks: guaranteed acyclic
+                tasks[i].depends_on(tasks[d])
+    return tasks
+
+
+def run(dag, n_workers, **cm_kwargs):
+    pool = SimWorkerPool(MachineConfig(), CostModel(**cm_kwargs), n_workers)
+    return pool.run(build(dag))
+
+
+class TestPoolInvariants:
+    @given(dag_strategy, worker_counts)
+    @settings(max_examples=60, deadline=None)
+    def test_all_tasks_execute_exactly_once(self, dag, workers):
+        res = run(dag, workers)
+        assert res.n_tasks == len(dag)
+        assert res.trace.total_tasks() == len(dag)
+
+    @given(dag_strategy, worker_counts)
+    @settings(max_examples=60, deadline=None)
+    def test_dependency_order_respected(self, dag, workers):
+        tasks = build(dag)
+        pool = SimWorkerPool(MachineConfig(), CostModel(), workers)
+        order = []
+        for i, t in enumerate(tasks):
+            t.body = lambda i=i: order.append(i)
+        pool.run(tasks)
+        position = {i: k for k, i in enumerate(order)}
+        for i, (_, deps) in enumerate(dag):
+            for d in deps:
+                if d < i:
+                    assert position[d] < position[i]
+
+    @given(dag_strategy, worker_counts)
+    @settings(max_examples=60, deadline=None)
+    def test_work_conserved_on_exclusive_cores(self, dag, workers):
+        # At <= 24 workers every worker runs at speed 1.0, so total busy
+        # time must equal the total task cost exactly.
+        if workers > 24:
+            workers = 24
+        res = run(dag, workers)
+        assert res.trace.total_busy_ns() == sum(cost for cost, _ in dag)
+
+    @given(dag_strategy, worker_counts)
+    @settings(max_examples=40, deadline=None)
+    def test_makespan_bounds(self, dag, workers):
+        """Serial sum is an upper bound on pure work; the longest chain a
+        lower bound (at full speed)."""
+        workers = min(workers, 24)  # keep speed 1.0 for clean bounds
+        res = run(
+            dag, workers,
+            task_spawn_ns=0, task_schedule_ns=0, task_complete_ns=0,
+            steal_attempt_ns=0, steal_success_ns=0, barrier_join_ns=0,
+        )
+        total = sum(cost for cost, _ in dag)
+        # critical path via longest-path DP
+        longest = [0] * len(dag)
+        for i, (cost, deps) in enumerate(dag):
+            best = 0
+            for d in deps:
+                if d < i:
+                    best = max(best, longest[d])
+            longest[i] = best + cost
+        critical = max(longest, default=0)
+        assert critical <= res.makespan_ns <= total
+
+    @given(dag_strategy, worker_counts)
+    @settings(max_examples=30, deadline=None)
+    def test_deterministic(self, dag, workers):
+        a = run(dag, workers)
+        b = run(dag, workers)
+        assert a.makespan_ns == b.makespan_ns
+        assert a.trace.total_steals() == b.trace.total_steals()
+
+    @given(dag_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_more_workers_never_hurt_wide_graphs(self, dag):
+        """Without SMT (<=24) and zero overheads, adding workers cannot
+        increase the makespan of this greedy scheduler by more than a task.
+        We assert the weaker, always-true property: 24 workers are at least
+        as fast as 1 worker."""
+        slow = run(
+            dag, 1,
+            task_spawn_ns=0, task_schedule_ns=0, task_complete_ns=0,
+            steal_attempt_ns=0, steal_success_ns=0, barrier_join_ns=0,
+        )
+        dag2 = [(c, d) for c, d in dag]
+        fast = run(
+            dag2, 24,
+            task_spawn_ns=0, task_schedule_ns=0, task_complete_ns=0,
+            steal_attempt_ns=0, steal_success_ns=0, barrier_join_ns=0,
+        )
+        assert fast.makespan_ns <= slow.makespan_ns

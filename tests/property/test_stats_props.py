@@ -1,0 +1,79 @@
+"""Property-based tests for the statistics helpers and the RNG."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.rng import Lcg
+from repro.util.stats import RunningStat, geomean, mean
+
+floats = st.floats(-1e6, 1e6, allow_nan=False, allow_infinity=False)
+float_lists = st.lists(floats, min_size=1, max_size=200)
+
+
+class TestRunningStatProps:
+    @given(float_lists)
+    @settings(max_examples=100)
+    def test_matches_numpy(self, xs):
+        stat = RunningStat()
+        stat.extend(xs)
+        assert np.isclose(stat.mean, np.mean(xs), rtol=1e-9, atol=1e-6)
+        if len(xs) > 1:
+            assert np.isclose(
+                stat.variance, np.var(xs, ddof=1), rtol=1e-6, atol=1e-6
+            )
+        assert stat.minimum == min(xs)
+        assert stat.maximum == max(xs)
+
+    @given(float_lists, float_lists)
+    @settings(max_examples=100)
+    def test_merge_equals_concatenation(self, xs, ys):
+        a, b, c = RunningStat(), RunningStat(), RunningStat()
+        a.extend(xs)
+        b.extend(ys)
+        c.extend(xs + ys)
+        merged = a.merge(b)
+        assert merged.count == c.count
+        assert np.isclose(merged.mean, c.mean, rtol=1e-9, atol=1e-6)
+        assert np.isclose(merged.variance, c.variance, rtol=1e-6, atol=1e-6)
+
+    @given(float_lists)
+    @settings(max_examples=100)
+    def test_mean_within_extrema(self, xs):
+        # up to 1 ulp of float summation slack
+        eps = 1e-9 * max(1.0, abs(max(xs)), abs(min(xs)))
+        assert min(xs) - eps <= mean(xs) <= max(xs) + eps
+
+
+class TestGeomeanProps:
+    @given(st.lists(st.floats(0.01, 1e4), min_size=1, max_size=50))
+    @settings(max_examples=100)
+    def test_between_min_and_max(self, xs):
+        g = geomean(xs)
+        assert min(xs) * 0.999 <= g <= max(xs) * 1.001
+
+    @given(st.lists(st.floats(0.01, 1e4), min_size=1, max_size=50),
+           st.floats(0.01, 100.0))
+    @settings(max_examples=100)
+    def test_scaling(self, xs, k):
+        assert np.isclose(geomean([k * x for x in xs]), k * geomean(xs),
+                          rtol=1e-9)
+
+
+class TestLcgProps:
+    @given(st.integers(0, 2**31 - 1), st.integers(1, 2**20))
+    @settings(max_examples=100)
+    def test_range_bound(self, seed, bound):
+        rng = Lcg(seed)
+        for _ in range(20):
+            assert 0 <= rng.next_in_range(bound) < bound
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=50)
+    def test_reproducible_from_state(self, seed):
+        rng = Lcg(seed)
+        rng.next_int()
+        snapshot = rng.state
+        first = [rng.next_int() for _ in range(5)]
+        rng.state = snapshot
+        assert [rng.next_int() for _ in range(5)] == first

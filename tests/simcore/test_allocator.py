@@ -1,0 +1,46 @@
+"""Unit tests for the arena-allocator cost model."""
+
+import pytest
+
+from repro.simcore.allocator import AllocatorModel
+from repro.simcore.costmodel import CostModel
+
+
+class TestAllocatorModel:
+    def test_task_local_no_work_penalty(self):
+        a = AllocatorModel(CostModel(), task_local=True)
+        assert a.work_multiplier() == 1.0
+        assert a.scaled_work_ns(1000) == 1000
+
+    def test_global_scratch_penalized(self):
+        cm = CostModel()
+        a = AllocatorModel(cm, task_local=False)
+        assert a.work_multiplier() == cm.global_traffic_penalty
+        assert a.scaled_work_ns(1000) == round(1000 * cm.global_traffic_penalty)
+
+    def test_charge_costs_differ(self):
+        cm = CostModel()
+        local = AllocatorModel(cm, task_local=True)
+        glob = AllocatorModel(cm, task_local=False)
+        assert local.charge_temporary(8192) < glob.charge_temporary(8192)
+
+    def test_stats_accumulate(self):
+        a = AllocatorModel(CostModel(), task_local=True)
+        a.charge_temporary(100)
+        a.charge_temporary(200)
+        assert a.stats.n_arena_allocs == 2
+        assert a.stats.arena_bytes == 300
+        assert a.stats.n_global_allocs == 0
+        assert a.stats.total_cost_ns > 0
+
+    def test_global_stats_tracked_separately(self):
+        a = AllocatorModel(CostModel(), task_local=False)
+        a.charge_temporary(64)
+        assert a.stats.n_global_allocs == 1
+        assert a.stats.global_bytes == 64
+        assert a.stats.n_arena_allocs == 0
+
+    def test_scaled_work_rejects_negative(self):
+        a = AllocatorModel(CostModel())
+        with pytest.raises(ValueError):
+            a.scaled_work_ns(-1)

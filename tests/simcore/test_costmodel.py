@@ -1,0 +1,126 @@
+"""Unit tests for the overhead cost model."""
+
+import pytest
+
+from repro.simcore.costmodel import CostModel
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        CostModel()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"task_spawn_ns": -1},
+            {"omp_barrier_base_ns": -5},
+            {"global_traffic_penalty": 0.9},
+            {"stream_penalty_max": 0.5},
+            {"llc_bytes": 0},
+            {"bytes_per_work_ns": -1.0},
+            {"omp_imbalance": -0.1},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            CostModel(**kwargs)
+
+    def test_with_overrides(self):
+        cm = CostModel().with_overrides(task_spawn_ns=42)
+        assert cm.task_spawn_ns == 42
+        assert cm.omp_fork_base_ns == CostModel().omp_fork_base_ns
+
+
+class TestOmpCosts:
+    def test_single_thread_free(self):
+        cm = CostModel()
+        assert cm.omp_fork_ns(1) == 0
+        assert cm.omp_barrier_ns(1) == 0
+        assert cm.omp_loop_overhead_ns(1) == 0
+
+    def test_fork_grows_with_threads(self):
+        cm = CostModel()
+        assert cm.omp_fork_ns(24) > cm.omp_fork_ns(2) > 0
+
+    def test_barrier_log_tree(self):
+        cm = CostModel()
+        # ceil(log2) levels: 2 threads -> 1 level, 24 threads -> 5 levels
+        assert cm.omp_barrier_ns(2) == cm.omp_barrier_base_ns + cm.omp_barrier_per_level_ns
+        assert cm.omp_barrier_ns(24) == (
+            cm.omp_barrier_base_ns + 5 * cm.omp_barrier_per_level_ns
+        )
+
+    def test_barrier_monotone(self):
+        cm = CostModel()
+        vals = [cm.omp_barrier_ns(t) for t in (2, 4, 8, 16, 32)]
+        assert vals == sorted(vals)
+
+    def test_invalid_thread_count(self):
+        with pytest.raises(ValueError):
+            CostModel().omp_fork_ns(0)
+        with pytest.raises(ValueError):
+            CostModel().omp_barrier_ns(0)
+
+
+class TestStreamPenalty:
+    def test_single_thread_no_penalty(self):
+        cm = CostModel()
+        assert cm.stream_penalty(10**9, 100.0, 1) == 1.0
+
+    def test_cache_resident_no_penalty(self):
+        cm = CostModel()
+        assert cm.stream_penalty(2048, 100.0, 24) == pytest.approx(1.0, abs=1e-3)
+
+    def test_large_working_set_penalized(self):
+        cm = CostModel()
+        p = cm.stream_penalty(3_375_000, 90.0, 24)  # s=150 element loop
+        assert 1.1 < p <= cm.stream_penalty_max
+
+    def test_monotone_in_items(self):
+        cm = CostModel()
+        vals = [cm.stream_penalty(n, 90.0, 24) for n in (10**4, 10**5, 10**6, 10**7)]
+        assert vals == sorted(vals)
+
+    def test_monotone_in_threads(self):
+        cm = CostModel()
+        vals = [cm.stream_penalty(10**6, 90.0, t) for t in (1, 2, 8, 24)]
+        assert vals == sorted(vals)
+
+    def test_bounded_by_max(self):
+        cm = CostModel()
+        assert cm.stream_penalty(10**12, 1000.0, 48) < cm.stream_penalty_max
+
+    def test_rejects_invalid(self):
+        with pytest.raises(ValueError):
+            CostModel().stream_penalty(-1, 1.0, 2)
+        with pytest.raises(ValueError):
+            CostModel().stream_penalty(1, 1.0, 0)
+
+
+class TestImbalance:
+    def test_single_thread_no_imbalance(self):
+        assert CostModel().omp_imbalance_factor(1) == 1.0
+
+    def test_grows_and_saturates(self):
+        cm = CostModel()
+        f2 = cm.omp_imbalance_factor(2)
+        f24 = cm.omp_imbalance_factor(24)
+        assert 1.0 < f2 < f24 < 1.0 + cm.omp_imbalance
+
+    def test_rejects_invalid(self):
+        with pytest.raises(ValueError):
+            CostModel().omp_imbalance_factor(0)
+
+
+class TestAllocCosts:
+    def test_arena_cheaper_than_global(self):
+        cm = CostModel()
+        assert cm.alloc_ns(4096, task_local=True) < cm.alloc_ns(4096, task_local=False)
+
+    def test_size_dependence(self):
+        cm = CostModel()
+        assert cm.alloc_ns(1 << 20, True) > cm.alloc_ns(1 << 10, True)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            CostModel().alloc_ns(-1, True)

@@ -1,0 +1,79 @@
+"""Unit tests for the DES event queue."""
+
+import pytest
+
+from repro.simcore.events import EventQueue
+
+
+class TestEventQueue:
+    def test_orders_by_time(self):
+        q = EventQueue()
+        q.push(30, "c")
+        q.push(10, "a")
+        q.push(20, "b")
+        assert [q.pop() for _ in range(3)] == [(10, "a"), (20, "b"), (30, "c")]
+
+    def test_fifo_for_equal_times(self):
+        q = EventQueue()
+        for name in "abc":
+            q.push(5, name)
+        assert [q.pop()[1] for _ in range(3)] == ["a", "b", "c"]
+
+    def test_clock_advances_on_pop(self):
+        q = EventQueue()
+        q.push(7, None)
+        assert q.now == 0
+        q.pop()
+        assert q.now == 7
+
+    def test_rejects_scheduling_in_past(self):
+        q = EventQueue()
+        q.push(10, None)
+        q.pop()
+        with pytest.raises(ValueError):
+            q.push(5, None)
+
+    def test_allows_scheduling_at_now(self):
+        q = EventQueue()
+        q.push(10, "a")
+        q.pop()
+        q.push(10, "b")
+        assert q.pop() == (10, "b")
+
+    def test_len_and_bool(self):
+        q = EventQueue()
+        assert not q
+        assert len(q) == 0
+        q.push(1, None)
+        assert q
+        assert len(q) == 1
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            EventQueue().pop()
+
+    def test_peek_time(self):
+        q = EventQueue()
+        q.push(42, None)
+        assert q.peek_time() == 42
+        assert len(q) == 1  # peek does not consume
+
+    def test_peek_empty_raises(self):
+        with pytest.raises(IndexError):
+            EventQueue().peek_time()
+
+    def test_drain_yields_all_in_order(self):
+        q = EventQueue()
+        for t in (3, 1, 2):
+            q.push(t, t)
+        assert [t for t, _ in q.drain()] == [1, 2, 3]
+        assert not q
+
+    def test_interleaved_push_pop(self):
+        q = EventQueue()
+        q.push(1, "a")
+        q.push(5, "c")
+        assert q.pop() == (1, "a")
+        q.push(3, "b")
+        assert q.pop() == (3, "b")
+        assert q.pop() == (5, "c")

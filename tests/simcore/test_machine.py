@@ -1,0 +1,90 @@
+"""Unit tests for the simulated machine topology."""
+
+import pytest
+
+from repro.simcore.machine import MachineConfig
+
+
+class TestValidation:
+    def test_default_is_paper_testbed(self):
+        m = MachineConfig()
+        assert m.n_cores == 24
+        assert m.smt_per_core == 2
+        assert m.max_workers == 48
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_cores": 0},
+            {"smt_per_core": 0},
+            {"smt_efficiency": 0.0},
+            {"smt_efficiency": 1.5},
+        ],
+    )
+    def test_invalid_config_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            MachineConfig(**kwargs)
+
+    def test_validate_workers(self):
+        m = MachineConfig(n_cores=2, smt_per_core=2)
+        m.validate_workers(4)
+        with pytest.raises(ValueError):
+            m.validate_workers(5)
+        with pytest.raises(ValueError):
+            m.validate_workers(0)
+
+
+class TestPlacement:
+    def test_round_robin_core_assignment(self):
+        m = MachineConfig(n_cores=4)
+        assert [m.core_of(w, 8) for w in range(8)] == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_worker_out_of_range(self):
+        m = MachineConfig(n_cores=4)
+        with pytest.raises(ValueError):
+            m.core_of(8, 8)
+
+    def test_workers_on_core_uneven(self):
+        m = MachineConfig(n_cores=4)
+        # 6 workers on 4 cores: cores 0,1 host two, cores 2,3 host one
+        assert [m.workers_on_core(c, 6) for c in range(4)] == [2, 2, 1, 1]
+
+    def test_workers_on_core_rejects_bad_core(self):
+        m = MachineConfig(n_cores=4)
+        with pytest.raises(ValueError):
+            m.workers_on_core(4, 4)
+
+
+class TestSpeeds:
+    def test_exclusive_core_full_speed(self):
+        m = MachineConfig()
+        for w in range(24):
+            assert m.worker_speed(w, 24) == 1.0
+
+    def test_smt_pair_degraded(self):
+        m = MachineConfig(smt_efficiency=0.49)
+        for w in range(48):
+            assert m.worker_speed(w, 48) == pytest.approx(0.49)
+
+    def test_partial_oversubscription(self):
+        m = MachineConfig(n_cores=24, smt_efficiency=0.55)
+        # 32 workers: cores 0-7 have SMT pairs, cores 8-23 are exclusive
+        assert m.worker_speed(0, 32) == pytest.approx(0.55)
+        assert m.worker_speed(24, 32) == pytest.approx(0.55)  # shares core 0
+        assert m.worker_speed(8, 32) == 1.0
+
+    def test_smt_interference_below_break_even(self):
+        """Default SMT efficiency models interference: a shared core's two
+        threads deliver slightly less than one exclusive thread total."""
+        m = MachineConfig()
+        assert 2 * m.worker_speed(0, 48) < 1.0
+
+    def test_scale_ns(self):
+        m = MachineConfig(smt_efficiency=0.5)
+        assert m.scale_ns(1000, 0, 24) == 1000
+        assert m.scale_ns(1000, 0, 48) == 2000
+
+    def test_scale_ns_rejects_negative(self):
+        m = MachineConfig()
+        with pytest.raises(ValueError):
+            m.scale_ns(-1, 0, 1)

@@ -1,0 +1,145 @@
+"""Unit tests for scheduler policies and the priority work queue."""
+
+import pytest
+
+from repro.simcore.costmodel import CostModel
+from repro.simcore.machine import MachineConfig
+from repro.simcore.policy import SchedulerPolicy, WorkQueue
+from repro.simcore.pool import SimTask, SimWorkerPool
+
+
+def task(cost=10, priority=0, tag="t"):
+    return SimTask(cost_ns=cost, priority=priority, tag=tag)
+
+
+class TestSchedulerPolicy:
+    def test_hpx_default(self):
+        p = SchedulerPolicy.hpx_default()
+        assert p.local_order == "lifo"
+        assert p.steal_order == "fifo"
+        assert not p.steal_half
+        assert not p.use_priorities
+
+    def test_invalid_orders(self):
+        with pytest.raises(ValueError):
+            SchedulerPolicy(local_order="random")
+        with pytest.raises(ValueError):
+            SchedulerPolicy(steal_order="middle")
+
+
+class TestWorkQueue:
+    def test_lifo_local(self):
+        q = WorkQueue(SchedulerPolicy())
+        a, b = task(tag="a"), task(tag="b")
+        q.push(a)
+        q.push(b)
+        assert q.pop_local() is b
+        assert q.pop_local() is a
+        assert q.pop_local() is None
+
+    def test_fifo_local(self):
+        q = WorkQueue(SchedulerPolicy(local_order="fifo"))
+        a, b = task(tag="a"), task(tag="b")
+        q.push(a)
+        q.push(b)
+        assert q.pop_local() is a
+
+    def test_fifo_steal_takes_oldest(self):
+        q = WorkQueue(SchedulerPolicy())
+        a, b = task(tag="a"), task(tag="b")
+        q.push(a)
+        q.push(b)
+        assert q.steal() == [a]
+
+    def test_lifo_steal_takes_newest(self):
+        q = WorkQueue(SchedulerPolicy(steal_order="lifo"))
+        a, b = task(tag="a"), task(tag="b")
+        q.push(a)
+        q.push(b)
+        assert q.steal() == [b]
+
+    def test_steal_half(self):
+        q = WorkQueue(SchedulerPolicy(steal_half=True))
+        tasks = [task(tag=str(i)) for i in range(6)]
+        for t in tasks:
+            q.push(t)
+        stolen = q.steal()
+        assert len(stolen) == 3
+        assert stolen == tasks[:3]  # oldest half, FIFO order
+        assert len(q) == 3
+
+    def test_steal_empty(self):
+        assert WorkQueue(SchedulerPolicy()).steal() == []
+
+    def test_priorities_ignored_by_default(self):
+        q = WorkQueue(SchedulerPolicy())
+        lo, hi = task(priority=0, tag="lo"), task(priority=5, tag="hi")
+        q.push(lo)
+        q.push(hi)
+        assert q.pop_local() is hi  # plain LIFO, not priority
+
+    def test_priority_lane_first(self):
+        q = WorkQueue(SchedulerPolicy(use_priorities=True))
+        lo = task(priority=0, tag="lo")
+        hi = task(priority=1, tag="hi")
+        q.push(lo)
+        q.push(hi)
+        assert q.pop_local() is hi
+        assert q.pop_local() is lo
+
+    def test_len_counts_both_lanes(self):
+        q = WorkQueue(SchedulerPolicy(use_priorities=True))
+        q.push(task(priority=1))
+        q.push(task(priority=0))
+        assert len(q) == 2
+
+
+class TestPoolWithPolicies:
+    def _run(self, policy, n_tasks=40, workers=4):
+        pool = SimWorkerPool(
+            MachineConfig(), CostModel(), workers, policy=policy
+        )
+        tasks = [SimTask(cost_ns=1000 * (1 + i % 5)) for i in range(n_tasks)]
+        return pool.run(tasks)
+
+    @pytest.mark.parametrize(
+        "policy",
+        [
+            SchedulerPolicy(),
+            SchedulerPolicy(local_order="fifo"),
+            SchedulerPolicy(steal_order="lifo"),
+            SchedulerPolicy(steal_half=True),
+            SchedulerPolicy(use_priorities=True),
+        ],
+    )
+    def test_all_policies_complete_all_tasks(self, policy):
+        res = self._run(policy)
+        assert res.n_tasks == 40
+        assert res.trace.total_tasks() == 40
+
+    def test_steal_half_reduces_steals(self):
+        one = self._run(SchedulerPolicy(), n_tasks=200)
+        half = self._run(SchedulerPolicy(steal_half=True), n_tasks=200)
+        assert half.trace.total_steals() < one.trace.total_steals()
+
+    def test_priority_tasks_run_early(self):
+        """With a queued backlog (instant spawns), the high-priority task
+        overtakes everything created before it."""
+        pool = SimWorkerPool(
+            MachineConfig(), CostModel(), 2,
+            policy=SchedulerPolicy(use_priorities=True),
+        )
+        order = []
+        tasks = []
+        for i in range(20):
+            pr = 1 if i == 19 else 0  # last-created task is high priority
+            t = SimTask(cost_ns=10_000, priority=pr, spawn_ns=0,
+                        body=lambda i=i: order.append(i))
+            tasks.append(t)
+        pool.run(tasks)
+        assert order.index(19) < 4
+
+    def test_policies_deterministic(self):
+        a = self._run(SchedulerPolicy(steal_half=True))
+        b = self._run(SchedulerPolicy(steal_half=True))
+        assert a.makespan_ns == b.makespan_ns

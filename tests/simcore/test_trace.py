@@ -1,0 +1,67 @@
+"""Unit tests for the trace recorder / utilization accounting."""
+
+import pytest
+
+from repro.simcore.trace import TraceRecorder
+
+
+class TestTraceRecorder:
+    def test_requires_positive_workers(self):
+        with pytest.raises(ValueError):
+            TraceRecorder(0)
+
+    def test_busy_and_spawn_are_productive(self):
+        tr = TraceRecorder(2)
+        tr.add_busy(0, 100)
+        tr.add_spawn(0, 50)
+        tr.add_overhead(1, 30)
+        assert tr.workers[0].productive_ns() == 150
+        assert tr.total_productive_ns() == 150
+        assert tr.total_overhead_ns() == 30
+
+    def test_utilization_formula(self):
+        tr = TraceRecorder(2)
+        tr.add_busy(0, 100)
+        tr.add_busy(1, 100)
+        # 200 productive over 2 workers * 200 ns makespan = 0.5
+        assert tr.utilization(200) == pytest.approx(0.5)
+
+    def test_utilization_rejects_zero_makespan(self):
+        with pytest.raises(ValueError):
+            TraceRecorder(1).utilization(0)
+
+    def test_steal_counters(self):
+        tr = TraceRecorder(2)
+        tr.add_steal(0, True)
+        tr.add_steal(0, False)
+        tr.add_steal(1, True)
+        assert tr.total_steals() == 2
+        assert tr.workers[0].steal_attempts == 2
+        assert tr.workers[0].steals == 1
+
+    def test_task_counter_and_spans(self):
+        tr = TraceRecorder(1, record_spans=True)
+        tr.add_task(0, 7, "k", 10, 30)
+        assert tr.total_tasks() == 1
+        assert tr.spans[0].tag == "k"
+        assert tr.spans[0].duration_ns == 20
+
+    def test_merge_accumulates(self):
+        a, b = TraceRecorder(2), TraceRecorder(2)
+        a.add_busy(0, 10)
+        b.add_busy(0, 5)
+        b.add_overhead(1, 3)
+        a.merge(b)
+        assert a.workers[0].busy_ns == 15
+        assert a.workers[1].overhead_ns == 3
+
+    def test_merge_rejects_mismatched_workers(self):
+        with pytest.raises(ValueError):
+            TraceRecorder(2).merge(TraceRecorder(3))
+
+    def test_merge_spans_when_both_record(self):
+        a = TraceRecorder(1, record_spans=True)
+        b = TraceRecorder(1, record_spans=True)
+        b.add_task(0, 1, "x", 0, 5)
+        a.merge(b)
+        assert len(a.spans) == 1

@@ -1,0 +1,56 @@
+"""Unit tests for the deterministic LCG."""
+
+import pytest
+
+from repro.util.rng import Lcg
+
+
+class TestLcg:
+    def test_deterministic_stream(self):
+        a, b = Lcg(0), Lcg(0)
+        assert [a.next_int() for _ in range(100)] == [b.next_int() for _ in range(100)]
+
+    def test_seed_changes_stream(self):
+        assert Lcg(0).next_int() != Lcg(1).next_int()
+
+    def test_known_first_value_seed_zero(self):
+        # state = (0 * a + 12345) mod 2^31
+        assert Lcg(0).next_int() == 12345
+
+    def test_values_in_range(self):
+        rng = Lcg(7)
+        for _ in range(1000):
+            assert 0 <= rng.next_int() < 2**31
+
+    def test_next_in_range_bounds(self):
+        rng = Lcg(3)
+        for _ in range(1000):
+            assert 0 <= rng.next_in_range(15) < 15
+
+    def test_next_in_range_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            Lcg(0).next_in_range(0)
+        with pytest.raises(ValueError):
+            Lcg(0).next_in_range(-3)
+
+    def test_next_float_in_unit_interval(self):
+        rng = Lcg(11)
+        vals = [rng.next_float() for _ in range(1000)]
+        assert all(0.0 <= v < 1.0 for v in vals)
+
+    def test_float_distribution_roughly_uniform(self):
+        rng = Lcg(42)
+        vals = [rng.next_float() for _ in range(20_000)]
+        mean = sum(vals) / len(vals)
+        assert abs(mean - 0.5) < 0.02
+
+    def test_state_checkpoint_restore(self):
+        rng = Lcg(5)
+        rng.next_int()
+        saved = rng.state
+        seq = [rng.next_int() for _ in range(10)]
+        rng.state = saved
+        assert [rng.next_int() for _ in range(10)] == seq
+
+    def test_seed_reduced_modulo(self):
+        assert Lcg(2**31 + 4).next_int() == Lcg(4).next_int()

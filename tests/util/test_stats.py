@@ -1,0 +1,108 @@
+"""Unit tests for the statistics helpers."""
+
+import math
+
+import pytest
+
+from repro.util.stats import RunningStat, confidence_interval95, geomean, mean
+
+
+class TestMean:
+    def test_simple(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+
+    def test_single(self):
+        assert mean([5.0]) == 5.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            mean([])
+
+
+class TestGeomean:
+    def test_simple(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_identity(self):
+        assert geomean([3.0, 3.0, 3.0]) == pytest.approx(3.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            geomean([])
+
+    def test_nonpositive_raises(self):
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+        with pytest.raises(ValueError):
+            geomean([-1.0])
+
+
+class TestConfidenceInterval:
+    def test_zero_for_single_sample(self):
+        assert confidence_interval95([3.0]) == 0.0
+
+    def test_zero_for_identical_samples(self):
+        assert confidence_interval95([2.0, 2.0, 2.0]) == 0.0
+
+    def test_matches_formula(self):
+        vals = [1.0, 2.0, 3.0, 4.0]
+        m = mean(vals)
+        var = sum((v - m) ** 2 for v in vals) / 3
+        assert confidence_interval95(vals) == pytest.approx(
+            1.96 * math.sqrt(var / 4)
+        )
+
+
+class TestRunningStat:
+    def test_mean_and_variance(self):
+        st = RunningStat()
+        st.extend([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0])
+        assert st.mean == pytest.approx(5.0)
+        assert st.variance == pytest.approx(32.0 / 7.0)
+
+    def test_extrema_and_count(self):
+        st = RunningStat()
+        st.extend([3.0, -1.0, 10.0])
+        assert st.count == 3
+        assert st.minimum == -1.0
+        assert st.maximum == 10.0
+
+    def test_total(self):
+        st = RunningStat()
+        st.extend([1.0, 2.0, 3.0])
+        assert st.total == pytest.approx(6.0)
+
+    def test_empty_raises(self):
+        st = RunningStat()
+        with pytest.raises(ValueError):
+            _ = st.mean
+        with pytest.raises(ValueError):
+            _ = st.minimum
+
+    def test_variance_zero_below_two_samples(self):
+        st = RunningStat()
+        st.add(4.0)
+        assert st.variance == 0.0
+        assert st.stddev == 0.0
+
+    def test_merge_matches_combined_stream(self):
+        a, b, c = RunningStat(), RunningStat(), RunningStat()
+        xs, ys = [1.0, 5.0, 2.0], [7.0, -3.0, 4.0, 4.0]
+        a.extend(xs)
+        b.extend(ys)
+        c.extend(xs + ys)
+        merged = a.merge(b)
+        assert merged.count == c.count
+        assert merged.mean == pytest.approx(c.mean)
+        assert merged.variance == pytest.approx(c.variance)
+        assert merged.minimum == c.minimum
+        assert merged.maximum == c.maximum
+
+    def test_merge_with_empty(self):
+        a, b = RunningStat(), RunningStat()
+        a.extend([1.0, 2.0])
+        merged = a.merge(b)
+        assert merged.count == 2
+        assert merged.mean == pytest.approx(1.5)
+        merged2 = b.merge(a)
+        assert merged2.count == 2

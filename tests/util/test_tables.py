@@ -1,0 +1,56 @@
+"""Unit tests for table/CSV rendering."""
+
+import pytest
+
+from repro.util.tables import format_csv, format_table, rows_from_records, write_csv
+
+
+class TestFormatTable:
+    def test_alignment_and_header(self):
+        out = format_table(["a", "bb"], [[1, 2.5], [10, 0.25]])
+        lines = out.splitlines()
+        assert lines[0].split() == ["a", "bb"]
+        assert "-" in lines[1]
+        assert len(lines) == 4
+
+    def test_title(self):
+        out = format_table(["x"], [[1]], title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_float_formatting(self):
+        out = format_table(["v"], [[1.23456]], floatfmt=".2f")
+        assert "1.23" in out
+        assert "1.2346" not in out
+
+    def test_mismatched_row_raises(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_empty_rows(self):
+        out = format_table(["a"], [])
+        assert len(out.splitlines()) == 2
+
+
+class TestFormatCsv:
+    def test_basic(self):
+        out = format_csv(["a", "b"], [[1, 2.0]])
+        assert out == "a,b\n1,2.000000\n"
+
+    def test_mismatched_row_raises(self):
+        with pytest.raises(ValueError):
+            format_csv(["a"], [[1, 2]])
+
+    def test_write_csv_roundtrip(self, tmp_path):
+        path = tmp_path / "out.csv"
+        write_csv(str(path), ["x"], [[3]])
+        assert path.read_text() == "x\n3\n"
+
+
+class TestRowsFromRecords:
+    def test_projection_order(self):
+        recs = [{"a": 1, "b": 2}, {"b": 4, "a": 3}]
+        assert rows_from_records(recs, ["b", "a"]) == [[2, 1], [4, 3]]
+
+    def test_missing_key_raises(self):
+        with pytest.raises(KeyError):
+            rows_from_records([{"a": 1}], ["z"])
