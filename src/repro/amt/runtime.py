@@ -99,6 +99,7 @@ class AmtRuntime:
         self._pending: list[SimTask] = []
         self._flushing = False
         self._stats = RunStats(n_workers=n_workers, record_spans=record_spans)
+        self._flush_hooks: list[Callable[["AmtRuntime", int], None]] = []
 
     # --- task creation -----------------------------------------------------
 
@@ -193,7 +194,7 @@ class AmtRuntime:
         tag: str | None = None,
     ) -> Future:
         """``hpx::dataflow``: run ``fn(futures, *args)`` when all are ready."""
-        gate = self.when_all(futures, tag=f"dataflow-gate")
+        gate = self.when_all(futures, tag="dataflow-gate")
         return self.continuation(
             gate,
             lambda g, *a: fn(g.result_nowait(), *a),
@@ -245,9 +246,20 @@ class AmtRuntime:
         self._stats.n_flushes += 1
         self._stats.spawn_ns += result.spawn_total_ns
         self._stats.trace.merge(result.trace)
+        for hook in self._flush_hooks:
+            hook(self, result.makespan_ns)
         return result.makespan_ns
 
     # --- accounting ---------------------------------------------------------
+
+    def add_flush_hook(self, hook: Callable[["AmtRuntime", int], None]) -> None:
+        """Call ``hook(runtime, segment_makespan_ns)`` after every flush.
+
+        This is the sampling boundary of the performance-counter registry
+        (:mod:`repro.perf`): counters are snapshotted once per executed
+        segment, i.e. once per iteration for the pre-created-graph variants.
+        """
+        self._flush_hooks.append(hook)
 
     @property
     def stats(self) -> RunStats:

@@ -29,9 +29,12 @@ from repro.core.partitioning import table1_partition_sizes
 from repro.lulesh.costs import DEFAULT_COSTS, KernelCosts
 from repro.lulesh.domain import Domain
 from repro.lulesh.options import LuleshOptions
+from repro.perf.registry import CounterRegistry
+from repro.perf.sources import install_amt_counters, install_omp_counters
 from repro.simcore.costmodel import CostModel
 from repro.simcore.machine import MachineConfig
 from repro.simcore.policy import SchedulerPolicy
+from repro.simcore.trace import TraceRecorder
 
 __all__ = ["RunResult", "run_omp", "run_hpx", "run_naive_hpx"]
 
@@ -48,6 +51,9 @@ class RunResult:
         n_loops: parallel loops issued (OpenMP) — 0 for the AMT runs.
         n_regions: parallel regions entered (OpenMP).
         domain: the physics state (execute mode only).
+        trace: merged per-worker trace with task spans (``record_spans``
+            AMT runs only) — feeds the phase profiler and critical-path
+            analyzer in :mod:`repro.perf`.
     """
 
     runtime_ns: int
@@ -57,6 +63,7 @@ class RunResult:
     n_loops: int = 0
     n_regions: int = 0
     domain: Domain | None = None
+    trace: TraceRecorder | None = None
 
     @property
     def per_iteration_ns(self) -> float:
@@ -87,11 +94,14 @@ def run_omp(
     costs: KernelCosts = DEFAULT_COSTS,
     execute: bool = False,
     omp_schedule: str = "static",
+    registry: CounterRegistry | None = None,
 ) -> RunResult:
     """Run the OpenMP-structured LULESH (the reference baseline).
 
     ``omp_schedule='dynamic'`` runs the counterfactual where every loop
     uses OpenMP dynamic scheduling instead of the reference's static.
+    With a *registry*, the idle-rate counter family is installed and
+    sampled once per iteration.
     """
     machine = machine or MachineConfig()
     cost_model = cost_model or CostModel()
@@ -100,6 +110,8 @@ def run_omp(
 
     omp = OmpRuntime(machine, cost_model, n_threads, execute_bodies=execute,
                      default_schedule=omp_schedule)
+    if registry is not None:
+        install_omp_counters(registry, omp)
     program = OmpLuleshProgram(omp, shape, costs, domain)
     program.run(iterations)
     stats = omp.stats
@@ -126,19 +138,27 @@ def run_hpx(
     nodal_partition: int | None = None,
     elements_partition: int | None = None,
     policy: SchedulerPolicy | None = None,
+    registry: CounterRegistry | None = None,
+    record_spans: bool = False,
 ) -> RunResult:
     """Run the paper's task-based LULESH.
 
     Partition sizes default to the Table I policy for ``opts.nx``; pass
     explicit values for the partition-size sweep (E4) and a *policy* for
-    the scheduler-discipline ablation.
+    the scheduler-discipline ablation.  With a *registry*, the HPX counter
+    namespace is installed and sampled at every flush; ``record_spans``
+    keeps per-task spans on ``RunResult.trace`` for the phase profiler and
+    critical-path analyzer.
     """
     machine = machine or MachineConfig()
     cost_model = cost_model or CostModel()
     variant = variant or HpxVariant.full()
     table_nodal, table_elems = table1_partition_sizes(opts.nx)
     shape, domain = _shape_and_domain(opts, execute)
-    rt = AmtRuntime(machine, cost_model, n_workers, policy=policy)
+    rt = AmtRuntime(machine, cost_model, n_workers, policy=policy,
+                    record_spans=record_spans)
+    if registry is not None:
+        install_amt_counters(registry, rt)
     program = HpxLuleshProgram(
         rt,
         shape,
@@ -157,6 +177,7 @@ def run_hpx(
         utilization=stats.utilization(),
         n_tasks=stats.n_tasks,
         domain=domain,
+        trace=stats.trace if record_spans else None,
     )
 
 
@@ -168,12 +189,16 @@ def run_naive_hpx(
     cost_model: CostModel | None = None,
     costs: KernelCosts = DEFAULT_COSTS,
     execute: bool = False,
+    registry: CounterRegistry | None = None,
+    record_spans: bool = False,
 ) -> RunResult:
     """Run the prior-work [16] for_each-style port."""
     machine = machine or MachineConfig()
     cost_model = cost_model or CostModel()
     shape, domain = _shape_and_domain(opts, execute)
-    rt = AmtRuntime(machine, cost_model, n_workers)
+    rt = AmtRuntime(machine, cost_model, n_workers, record_spans=record_spans)
+    if registry is not None:
+        install_amt_counters(registry, rt)
     program = NaiveHpxProgram(rt, shape, costs, domain)
     program.run(iterations)
     stats = rt.stats
@@ -184,4 +209,5 @@ def run_naive_hpx(
         utilization=stats.utilization(),
         n_tasks=stats.n_tasks,
         domain=domain,
+        trace=stats.trace if record_spans else None,
     )

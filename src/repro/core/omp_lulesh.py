@@ -210,3 +210,4 @@ class OmpLuleshProgram:
                     break
                 time_increment(self.domain)
             omp_iteration(self.omp, self.shape, self.costs, self.domain)
+            self.omp.end_iteration()

@@ -89,7 +89,40 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace",
         default=None,
         help="write a chrome://tracing JSON of one iteration's task "
-             "schedule to this path (hpx single runs only)",
+             "schedule (with dependency flow events and utilization "
+             "counter tracks) to this path (hpx single runs only)",
+    )
+    parser.add_argument(
+        "--print-counters",
+        action="append",
+        default=None,
+        metavar="PATH",
+        help="after the run, print this performance counter's per-interval "
+             "samples in hpx:print-counter style (repeatable; '*' wildcards "
+             "match, e.g. '/threads{worker-thread#*}/idle-rate')",
+    )
+    parser.add_argument(
+        "--counters",
+        default=None,
+        metavar="FILE",
+        help="write all sampled performance counters to this JSON file",
+    )
+    parser.add_argument(
+        "--list-counters",
+        action="store_true",
+        help="after the run, list every registered counter path",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="print the per-kernel phase profile (count/total/mean/p50/p99/"
+             "share of makespan; task-based impls only)",
+    )
+    parser.add_argument(
+        "--critical-path",
+        action="store_true",
+        help="print the critical-path analysis of the recorded task graph "
+             "(task-based impls only)",
     )
     parser.add_argument(
         "--save-checkpoint",
@@ -123,10 +156,23 @@ def _single_run(args: argparse.Namespace) -> int:
         nx=args.s, numReg=args.r,
         max_iterations=args.i if args.execute else None,
     )
+    want_counters = bool(
+        args.print_counters or args.counters or args.list_counters
+    )
+    need_spans = args.profile or args.critical_path
+    if need_spans and args.impl not in ("hpx", "naive"):
+        raise SystemExit(
+            "--profile/--critical-path need task spans; use --impl hpx/naive"
+        )
     if args.trace and args.impl == "hpx":
         _write_trace(args, opts, threads)
     if (args.save_checkpoint or args.restore_checkpoint) and not args.execute:
         raise SystemExit("checkpointing requires --execute (real physics)")
+    if args.restore_checkpoint and (want_counters or need_spans):
+        raise SystemExit(
+            "performance counters/profiles are not available for restored "
+            "sequential runs"
+        )
     if args.restore_checkpoint:
         # Restored runs drive the sequential reference (the orchestrations
         # produce identical physics; see the equivalence tests).
@@ -153,18 +199,21 @@ def _single_run(args: argparse.Namespace) -> int:
         print(f"{args.s},{args.r},{domain.cycle},{threads},0.0,"
               f"{domain.origin_energy():.6e}")
         return 0
+    registry = None
+    if want_counters:
+        from repro.perf.registry import CounterRegistry
+
+        registry = CounterRegistry()
     if args.impl == "hpx":
-        variant = {
-            "full": HpxVariant.full,
-            "fig5": HpxVariant.fig5,
-            "fig6": HpxVariant.fig6,
-            "fig7": HpxVariant.fig7,
-        }[args.variant]()
         result = run_hpx(opts, threads, args.i, execute=args.execute,
-                         variant=variant)
+                         variant=_selected_variant(args), registry=registry,
+                         record_spans=need_spans)
+    elif args.impl == "naive":
+        result = run_naive_hpx(opts, threads, args.i, execute=args.execute,
+                               registry=registry, record_spans=need_spans)
     else:
-        runner = {"omp": run_omp, "naive": run_naive_hpx}[args.impl]
-        result = runner(opts, threads, args.i, execute=args.execute)
+        result = run_omp(opts, threads, args.i, execute=args.execute,
+                         registry=registry)
     if args.save_checkpoint and result.domain is not None:
         from repro.lulesh.checkpoint import save_checkpoint
 
@@ -191,7 +240,58 @@ def _single_run(args: argparse.Namespace) -> int:
         f"{args.s},{args.r},{result.iterations},{threads},"
         f"{result.runtime_s:.6f},{origin_e:.6e}"
     )
+    if registry is not None:
+        _emit_counters(args, registry)
+    if need_spans:
+        _emit_span_analyses(args, result)
     return 0
+
+
+def _selected_variant(args: argparse.Namespace) -> HpxVariant:
+    return {
+        "full": HpxVariant.full,
+        "fig5": HpxVariant.fig5,
+        "fig6": HpxVariant.fig6,
+        "fig7": HpxVariant.fig7,
+    }[args.variant]()
+
+
+def _emit_counters(args: argparse.Namespace, registry) -> None:
+    """The hpx:print-counter surface: stdout lines + JSON export."""
+    import json
+
+    if args.list_counters:
+        for path in registry.paths():
+            print(path)
+    for pattern in args.print_counters or ():
+        try:
+            lines = registry.format_print_counter(pattern)
+        except KeyError as exc:
+            raise SystemExit(str(exc.args[0]))
+        for line in lines:
+            print(line)
+    if args.counters:
+        with open(args.counters, "w", encoding="utf-8") as fh:
+            json.dump(registry.to_json_dict(), fh, indent=2)
+        if not args.q:
+            print(f"wrote {registry.n_intervals} counter intervals "
+                  f"to {args.counters}")
+
+
+def _emit_span_analyses(args: argparse.Namespace, result) -> None:
+    """Phase profile and critical-path report from the recorded spans."""
+    if result.trace is None or result.runtime_ns <= 0:
+        raise SystemExit("no task spans recorded (empty run?)")
+    if args.profile:
+        from repro.perf.profiler import PhaseProfile
+
+        print(PhaseProfile.from_spans(result.trace.spans,
+                                      result.runtime_ns).table())
+    if args.critical_path:
+        from repro.perf.critical_path import analyze_critical_path
+
+        print(analyze_critical_path(result.trace.spans,
+                                    result.runtime_ns).summary())
 
 
 _EXPERIMENTS = {
@@ -318,7 +418,11 @@ def _scheduler_experiment() -> list[dict]:
 
 def _write_trace(args: argparse.Namespace, opts: LuleshOptions,
                  threads: int) -> None:
-    """Record one iteration's task spans and export a Chrome trace."""
+    """Record one iteration's task spans and export a Chrome trace.
+
+    The selected ``--variant`` is honoured, so e.g. ``--variant fig5
+    --trace out.json`` shows the barriered schedule, not the full one.
+    """
     from repro.amt.runtime import AmtRuntime
     from repro.core.hpx_lulesh import HpxLuleshProgram
     from repro.core.kernel_graph import ProblemShape
@@ -328,16 +432,22 @@ def _write_trace(args: argparse.Namespace, opts: LuleshOptions,
     from repro.simcore.costmodel import CostModel
     from repro.simcore.machine import MachineConfig
 
+    variant = _selected_variant(args)
     rt = AmtRuntime(MachineConfig(), CostModel(), threads, record_spans=True)
     pn, pe = table1_partition_sizes(opts.nx)
     program = HpxLuleshProgram(
         rt, ProblemShape.from_options(opts), DEFAULT_COSTS,
-        nodal_partition=pn, elements_partition=pe,
+        nodal_partition=pn, elements_partition=pe, variant=variant,
     )
     program.build_iteration()
     rt.flush()
-    write_chrome_trace(args.trace, rt.stats.trace.spans,
-                       process_name=f"lulesh-hpx s={opts.nx} T={threads}")
+    write_chrome_trace(
+        args.trace, rt.stats.trace.spans,
+        process_name=(
+            f"lulesh-hpx s={opts.nx} T={threads} [{variant.label()}]"
+        ),
+        n_workers=threads,
+    )
     if not args.q:
         print(f"wrote task-schedule trace ({len(rt.stats.trace.spans)} spans) "
               f"to {args.trace}")

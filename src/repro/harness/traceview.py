@@ -4,7 +4,12 @@ Two consumers:
 
 * :func:`to_chrome_trace` — serializes recorded task spans into the Chrome
   trace-event format (load in ``chrome://tracing`` or Perfetto) for visual
-  inspection of the task schedule;
+  inspection of the task schedule.  Beyond the plain ``X`` duration events
+  it emits ``thread_name`` metadata (rows labeled ``worker-0..N-1``),
+  flow events (``ph: "s"/"f"``) along the recorded dependency edges so
+  Perfetto draws the graph's arrows over the Gantt, and counter tracks
+  (``ph: "C"``) — per-worker busy state plus the aggregate running-task
+  count — so utilization renders as a curve above the schedule;
 * :func:`ascii_gantt` — a terminal Gantt chart (used by
   ``examples/task_graph_inspect.py`` and the CLI).
 
@@ -23,15 +28,11 @@ from repro.simcore.trace import TaskSpan
 __all__ = ["to_chrome_trace", "write_chrome_trace", "ascii_gantt"]
 
 
-def to_chrome_trace(
-    spans: Sequence[TaskSpan], process_name: str = "simulated-machine"
+def _metadata_events(
+    spans: Sequence[TaskSpan], process_name: str, n_workers: int | None
 ) -> list[dict]:
-    """Convert task spans to Chrome trace-event dicts (phase 'X' events).
-
-    Times are emitted in microseconds (the trace-event unit); worker ids
-    become thread ids.
-    """
-    events: list[dict] = [
+    """Process/thread naming so Perfetto labels rows, not bare tids."""
+    events = [
         {
             "name": "process_name",
             "ph": "M",
@@ -39,6 +40,111 @@ def to_chrome_trace(
             "args": {"name": process_name},
         }
     ]
+    workers = (
+        range(n_workers)
+        if n_workers is not None
+        else sorted({s.worker for s in spans})
+    )
+    for w in workers:
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 1,
+                "tid": w,
+                "args": {"name": f"worker-{w}"},
+            }
+        )
+    return events
+
+
+def _flow_events(spans: Sequence[TaskSpan]) -> list[dict]:
+    """One s/f pair per dependency edge whose both endpoints were recorded."""
+    by_id = {s.task_id: s for s in spans}
+    events: list[dict] = []
+    flow_id = 0
+    for child in spans:
+        for pid in child.parents:
+            parent = by_id.get(pid)
+            if parent is None:
+                continue  # e.g. retired before a blocking barrier's flush
+            flow_id += 1
+            events.append(
+                {
+                    "name": "dep",
+                    "cat": "flow",
+                    "ph": "s",
+                    "id": flow_id,
+                    "pid": 1,
+                    "tid": parent.worker,
+                    "ts": parent.end_ns / 1000.0,
+                }
+            )
+            events.append(
+                {
+                    "name": "dep",
+                    "cat": "flow",
+                    "ph": "f",
+                    "bp": "e",
+                    "id": flow_id,
+                    "pid": 1,
+                    "tid": child.worker,
+                    "ts": child.start_ns / 1000.0,
+                }
+            )
+    return events
+
+
+def _counter_events(spans: Sequence[TaskSpan]) -> list[dict]:
+    """Per-worker busy tracks and the aggregate running-task count."""
+    events: list[dict] = []
+    # (time, delta, worker); at equal times count ends before starts so the
+    # counter dips to its between-task value instead of double-counting.
+    edges: list[tuple[int, int, int]] = []
+    for s in spans:
+        edges.append((s.start_ns, 1, s.worker))
+        edges.append((s.end_ns, -1, s.worker))
+    edges.sort(key=lambda e: (e[0], e[1]))
+    running = 0
+    for t, delta, worker in edges:
+        running += delta
+        events.append(
+            {
+                "name": "running-tasks",
+                "ph": "C",
+                "pid": 1,
+                "ts": t / 1000.0,
+                "args": {"running": running},
+            }
+        )
+        events.append(
+            {
+                "name": f"worker#{worker}/busy",
+                "ph": "C",
+                "pid": 1,
+                "ts": t / 1000.0,
+                "args": {"busy": 1 if delta > 0 else 0},
+            }
+        )
+    return events
+
+
+def to_chrome_trace(
+    spans: Sequence[TaskSpan],
+    process_name: str = "simulated-machine",
+    n_workers: int | None = None,
+    flow_events: bool = True,
+    counter_tracks: bool = True,
+) -> list[dict]:
+    """Convert task spans to Chrome trace-event dicts.
+
+    Times are emitted in microseconds (the trace-event unit); worker ids
+    become thread ids, named ``worker-N`` via ``thread_name`` metadata.
+    ``flow_events`` adds dependency arrows (``ph: "s"/"f"``) along recorded
+    ``TaskSpan.parents`` edges; ``counter_tracks`` adds ``ph: "C"``
+    utilization curves.  Pass ``n_workers`` to name idle workers too.
+    """
+    events = _metadata_events(spans, process_name, n_workers)
     for span in spans:
         events.append(
             {
@@ -52,16 +158,34 @@ def to_chrome_trace(
                 "args": {"task_id": span.task_id},
             }
         )
+    if flow_events:
+        events.extend(_flow_events(spans))
+    if counter_tracks:
+        events.extend(_counter_events(spans))
     return events
 
 
 def write_chrome_trace(
-    path: str, spans: Sequence[TaskSpan], process_name: str = "simulated-machine"
+    path: str,
+    spans: Sequence[TaskSpan],
+    process_name: str = "simulated-machine",
+    n_workers: int | None = None,
+    flow_events: bool = True,
+    counter_tracks: bool = True,
 ) -> None:
     """Write a ``chrome://tracing``-loadable JSON file."""
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(
-            {"traceEvents": to_chrome_trace(spans, process_name)}, fh
+            {
+                "traceEvents": to_chrome_trace(
+                    spans,
+                    process_name,
+                    n_workers=n_workers,
+                    flow_events=flow_events,
+                    counter_tracks=counter_tracks,
+                )
+            },
+            fh,
         )
 
 

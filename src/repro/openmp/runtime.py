@@ -90,6 +90,7 @@ class OmpRuntime:
         self._stats = OmpStats(n_threads=n_threads)
         self._in_region = False
         self._region_elapsed = 0
+        self._iteration_hooks: list[Callable[["OmpRuntime"], None]] = []
 
     # --- structure ------------------------------------------------------------
 
@@ -206,6 +207,22 @@ class OmpRuntime:
         self._stats.total_ns += elapsed
 
     # --- accounting ---------------------------------------------------------
+
+    def add_iteration_hook(self, hook: Callable[["OmpRuntime"], None]) -> None:
+        """Call ``hook(runtime)`` at every :meth:`end_iteration` boundary.
+
+        OpenMP has no flush boundary, so the leapfrog driver marks iteration
+        ends explicitly; the performance-counter registry (:mod:`repro.perf`)
+        samples its counters there.
+        """
+        self._iteration_hooks.append(hook)
+
+    def end_iteration(self) -> None:
+        """Mark one leapfrog-iteration boundary (fires sampling hooks)."""
+        if self._in_region:
+            raise RuntimeError("cannot end an iteration inside a parallel region")
+        for hook in self._iteration_hooks:
+            hook(self)
 
     @property
     def stats(self) -> OmpStats:

@@ -1,0 +1,50 @@
+"""Observability: performance counters, phase profiling, critical paths.
+
+The paper's evaluation methodology is counter-driven — §V reads HPX's
+``/threads/idle-rate`` to explain *why* the task-based port wins.  This
+package rebuilds that observability layer for the reproduction:
+
+* :mod:`repro.perf.registry` — an HPX-style hierarchical counter registry
+  with per-interval sampling and ``hpx:print-counter``-style output;
+* :mod:`repro.perf.sources` — counter registration for the AMT and OpenMP
+  runtimes (``install_amt_counters`` / ``install_omp_counters``);
+* :mod:`repro.perf.profiler` — per-kernel aggregation of recorded task
+  spans (count / total / mean / p50 / p99 / share-of-makespan);
+* :mod:`repro.perf.critical_path` — the longest dependency chain through a
+  recorded task graph, the theoretical lower bound on makespan.
+
+Everything here consumes the runtimes' existing accounting surfaces
+(``RunStats``, ``TraceRecorder``, ``TaskSpan``); nothing in the simulation
+depends back on this package.
+"""
+
+from repro.perf.critical_path import CriticalPathResult, analyze_critical_path
+from repro.perf.profiler import PhaseProfile, PhaseStat, normalize_tag
+from repro.perf.registry import (
+    Counter,
+    CounterRegistry,
+    CounterSample,
+    GaugeCounter,
+    RatioCounter,
+)
+from repro.perf.sources import (
+    install_amt_counters,
+    install_omp_counters,
+    worker_thread_path,
+)
+
+__all__ = [
+    "Counter",
+    "GaugeCounter",
+    "RatioCounter",
+    "CounterSample",
+    "CounterRegistry",
+    "install_amt_counters",
+    "install_omp_counters",
+    "worker_thread_path",
+    "PhaseProfile",
+    "PhaseStat",
+    "normalize_tag",
+    "CriticalPathResult",
+    "analyze_critical_path",
+]

@@ -1,0 +1,126 @@
+"""Per-kernel phase profiler over recorded task spans.
+
+The OP2/HPX compiler work (Khatami et al., PAPERS.md) motivates this layer:
+per-kernel timing breakdowns are what drive the next round of optimizations.
+Given the :class:`~repro.simcore.trace.TaskSpan` stream of a run recorded
+with ``record_spans=True``, :class:`PhaseProfile` aggregates spans by kernel
+tag into count / total / mean / p50 / p99 / share-of-makespan — making the
+``LagrangeNodal`` vs ``LagrangeElements`` vs per-region EOS cost split
+directly visible per problem size.
+
+Tags are normalized before grouping: the partition suffix ``[lo:hi]`` that
+the task-graph builder appends (``stress:init_stress+integrate_stress
+[0:1536]``) is stripped, so all partitions of one kernel chain fold into one
+row.  Pass a different ``normalize`` callable to group by phase instead
+(e.g. everything before the first ``:``).
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.simcore.trace import TaskSpan
+from repro.util.tables import format_table
+
+__all__ = ["PhaseStat", "PhaseProfile", "normalize_tag", "percentile"]
+
+_PARTITION_SUFFIX = re.compile(r"\[\d+:\d+\]$")
+
+
+def normalize_tag(tag: str) -> str:
+    """Fold one partition's task tag into its kernel-chain name."""
+    return _PARTITION_SUFFIX.sub("", tag)
+
+
+def percentile(sorted_values: Sequence[int], q: float) -> int:
+    """Nearest-rank percentile of pre-sorted *sorted_values* (q in [0, 1])."""
+    if not sorted_values:
+        raise ValueError("percentile of empty sequence")
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"q must be in [0, 1], got {q}")
+    rank = min(len(sorted_values), max(1, math.ceil(q * len(sorted_values))))
+    return sorted_values[rank - 1]
+
+
+@dataclass(frozen=True)
+class PhaseStat:
+    """Aggregated statistics of one kernel tag."""
+
+    tag: str
+    count: int
+    total_ns: int
+    mean_ns: float
+    p50_ns: int
+    p99_ns: int
+    share_of_makespan: float  # summed duration / makespan; >1 means parallel
+
+
+class PhaseProfile:
+    """Groups task spans by (normalized) tag and renders the profile table."""
+
+    def __init__(self, stats: Sequence[PhaseStat], makespan_ns: int) -> None:
+        self.stats = sorted(stats, key=lambda s: s.total_ns, reverse=True)
+        self.makespan_ns = makespan_ns
+
+    @classmethod
+    def from_spans(
+        cls,
+        spans: Sequence[TaskSpan],
+        makespan_ns: int,
+        normalize: Callable[[str], str] = normalize_tag,
+    ) -> "PhaseProfile":
+        """Aggregate *spans* over a run whose makespan was *makespan_ns*."""
+        if makespan_ns <= 0:
+            raise ValueError(f"makespan must be positive, got {makespan_ns}")
+        groups: dict[str, list[int]] = {}
+        for s in spans:
+            groups.setdefault(normalize(s.tag), []).append(s.duration_ns)
+        stats = []
+        for tag, durs in groups.items():
+            durs.sort()
+            total = sum(durs)
+            stats.append(
+                PhaseStat(
+                    tag=tag,
+                    count=len(durs),
+                    total_ns=total,
+                    mean_ns=total / len(durs),
+                    p50_ns=percentile(durs, 0.50),
+                    p99_ns=percentile(durs, 0.99),
+                    share_of_makespan=total / makespan_ns,
+                )
+            )
+        return cls(stats, makespan_ns)
+
+    def by_tag(self) -> dict[str, PhaseStat]:
+        """Lookup table from normalized tag to its statistics."""
+        return {s.tag: s for s in self.stats}
+
+    def total_busy_ns(self) -> int:
+        """Summed span time across every phase."""
+        return sum(s.total_ns for s in self.stats)
+
+    def table(self, top: int | None = None) -> str:
+        """Aligned text table, heaviest phases first (all when *top* None)."""
+        rows = [
+            [
+                s.tag,
+                s.count,
+                s.total_ns / 1e6,
+                s.mean_ns / 1e3,
+                s.p50_ns / 1e3,
+                s.p99_ns / 1e3,
+                s.share_of_makespan,
+            ]
+            for s in self.stats[: top if top is not None else len(self.stats)]
+        ]
+        return format_table(
+            ("kernel", "count", "total_ms", "mean_us", "p50_us", "p99_us",
+             "x_makespan"),
+            rows,
+            floatfmt=".3f",
+            title=f"Per-kernel phase profile (makespan {self.makespan_ns / 1e6:.3f} ms)",
+        )

@@ -1,0 +1,137 @@
+"""Counter registration for the two runtime reproductions.
+
+This is the glue between the generic :class:`~repro.perf.registry.
+CounterRegistry` and the runtimes' accounting state.  The AMT installer
+mirrors the HPX namespace the paper reads (§V-A):
+
+========================================  =====================================
+``/threads/idle-rate``                    per-interval idle share, all workers
+``/threads{worker-thread#N}/idle-rate``   the same, per worker thread
+``/threads/count/cumulative``             tasks retired since start
+``/scheduler/steals``                     successful work steals
+``/scheduler/steal-attempts``             steal probes (incl. failures)
+``/runtime/spawn-time``                   serialized task-creation time [ns]
+``/amt/flushes``                          executed segments (flush boundaries)
+========================================  =====================================
+
+and the OpenMP installer maps the same idle-rate family onto the fork/join
+accounting (busy time inside parallel regions vs region-elapsed time, the
+paper's Fig.-11 OpenMP methodology) plus structural gauges.
+
+Counters read live runtime state through closures over the runtime object
+(not a stats snapshot), so they survive ``reset_stats`` and always describe
+the current accumulation.  Installation also hooks the runtime's sampling
+boundary — every :meth:`AmtRuntime.flush` / :meth:`OmpRuntime.end_iteration`
+records one interval for *all* registered counters.
+"""
+
+from __future__ import annotations
+
+from repro.amt.runtime import AmtRuntime
+from repro.openmp.runtime import OmpRuntime
+from repro.perf.registry import CounterRegistry
+
+__all__ = [
+    "install_amt_counters",
+    "install_omp_counters",
+    "worker_thread_path",
+]
+
+
+def worker_thread_path(worker: int) -> str:
+    """The HPX-style per-worker instance path for *worker*'s idle-rate."""
+    return f"/threads{{worker-thread#{worker}}}/idle-rate"
+
+
+def install_amt_counters(registry: CounterRegistry, rt: AmtRuntime) -> None:
+    """Register the HPX-namespace counters for *rt* and hook its flushes."""
+
+    def total_ns() -> int:
+        return rt.stats.total_ns
+
+    registry.register_ratio(
+        "/threads/idle-rate",
+        num=lambda: rt.n_workers * total_ns()
+        - rt.stats.trace.total_productive_ns(),
+        den=lambda: rt.n_workers * total_ns(),
+        description="share of worker time not spent on productive work",
+    )
+    for w in range(rt.n_workers):
+        registry.register_ratio(
+            worker_thread_path(w),
+            num=lambda w=w: total_ns()
+            - rt.stats.trace.workers[w].productive_ns(),
+            den=total_ns,
+            description=f"idle share of worker thread #{w}",
+        )
+    registry.register_gauge(
+        "/threads/count/cumulative",
+        lambda: rt.stats.trace.total_tasks(),
+        description="tasks retired since start",
+    )
+    registry.register_gauge(
+        "/scheduler/steals",
+        lambda: sum(w.steals for w in rt.stats.trace.workers),
+        description="successful work steals",
+    )
+    registry.register_gauge(
+        "/scheduler/steal-attempts",
+        lambda: sum(w.steal_attempts for w in rt.stats.trace.workers),
+        description="steal probes, successful or not",
+    )
+    registry.register_gauge(
+        "/runtime/spawn-time",
+        lambda: rt.stats.spawn_ns,
+        unit="[ns]",
+        description="serialized task-creation time",
+    )
+    registry.register_gauge(
+        "/amt/flushes",
+        lambda: rt.stats.n_flushes,
+        description="executed segments (blocking barriers + final waits)",
+    )
+    rt.add_flush_hook(lambda rt_, _makespan: registry.sample(rt_.stats.total_ns))
+
+
+def install_omp_counters(registry: CounterRegistry, omp: OmpRuntime) -> None:
+    """Register the idle-rate family for the fork/join runtime *omp*.
+
+    The denominator is per-thread elapsed time inside parallel regions
+    (single-threaded portions excluded, per the paper's OpenMP measurement),
+    so ``/threads/idle-rate`` here is exactly ``1 - utilization`` of the
+    Fig.-11 OpenMP curve.
+    """
+
+    def parallel_ns() -> int:
+        return omp.stats.parallel_ns
+
+    registry.register_ratio(
+        "/threads/idle-rate",
+        num=lambda: omp.n_threads * parallel_ns() - sum(omp.stats.busy_ns),
+        den=lambda: omp.n_threads * parallel_ns(),
+        description="share of in-region thread time lost to barriers/imbalance",
+    )
+    for t in range(omp.n_threads):
+        registry.register_ratio(
+            worker_thread_path(t),
+            num=lambda t=t: parallel_ns() - omp.stats.busy_ns[t],
+            den=parallel_ns,
+            description=f"idle share of thread #{t} inside parallel regions",
+        )
+    registry.register_gauge(
+        "/openmp/count/regions",
+        lambda: omp.stats.n_regions,
+        description="parallel regions entered",
+    )
+    registry.register_gauge(
+        "/openmp/count/loops",
+        lambda: omp.stats.n_loops,
+        description="parallel loops issued (implicit barriers)",
+    )
+    registry.register_gauge(
+        "/runtime/serial-time",
+        lambda: omp.stats.serial_ns,
+        unit="[ns]",
+        description="single-threaded program time",
+    )
+    omp.add_iteration_hook(lambda omp_: registry.sample(omp_.stats.total_ns))

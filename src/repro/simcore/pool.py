@@ -72,6 +72,7 @@ class SimTask:
         "spawn_ns",
         "priority",
         "dependents",
+        "parents",
         "pending",
         "released",
         "state",
@@ -95,6 +96,7 @@ class SimTask:
         self.spawn_ns = spawn_ns
         self.priority = priority
         self.dependents: list[SimTask] = []
+        self.parents: list[SimTask] = []
         self.pending = 0
         self.released = False
         self.state = _CREATED
@@ -113,6 +115,7 @@ class SimTask:
             if other.state == _DONE:
                 continue
             other.dependents.append(self)
+            self.parents.append(other)
             self.pending += 1
         return self
 
@@ -172,6 +175,9 @@ class SimWorkerPool:
         self.n_workers = n_workers
         self.record_spans = record_spans
         self.policy = policy if policy is not None else SchedulerPolicy.hpx_default()
+        # Task ids are unique across this pool's lifetime (not per run), so
+        # spans merged across flushes keep unambiguous dependency edges.
+        self._next_task_id = 0
         # Per-worker inverse speeds, fixed for the run (static placement).
         self._speeds = [
             machine.worker_speed(w, n_workers) for w in range(n_workers)
@@ -223,10 +229,11 @@ class SimWorkerPool:
         idle: set[int] = set(range(self.n_workers))
         idle.discard(spawn_worker)
 
-        for i, task in enumerate(task_list):
+        for task in task_list:
             if task.state != _CREATED:
                 raise ValueError(f"task {task.tag!r} was already executed")
-            task.task_id = i
+            task.task_id = self._next_task_id
+            self._next_task_id += 1
 
         # Release schedule: spawn costs accumulate serially on spawn_worker.
         t = 0
@@ -284,7 +291,12 @@ class SimWorkerPool:
             trace.add_busy(worker, busy)
             start = now + overhead
             end = start + busy
-            trace.add_task(worker, task.task_id, task.tag, start, end)
+            parents = (
+                tuple(p.task_id for p in task.parents)
+                if self.record_spans
+                else ()
+            )
+            trace.add_task(worker, task.task_id, task.tag, start, end, parents)
             events.push(end, (_EV_FINISH, worker, task))
 
         def seek_work(worker: int, now: int) -> None:

@@ -22,13 +22,20 @@ __all__ = ["WorkerTrace", "TraceRecorder", "TaskSpan"]
 
 @dataclass
 class TaskSpan:
-    """One executed task, for Gantt-style inspection in tests/examples."""
+    """One executed task, for Gantt-style inspection in tests/examples.
+
+    ``parents`` holds the task ids of this task's dependency predecessors
+    (the edges of the pre-created graph), which lets the critical-path
+    analyzer and the Chrome-trace flow events reconstruct the DAG from the
+    recorded spans alone.
+    """
 
     worker: int
     task_id: int
     tag: str
     start_ns: int
     end_ns: int
+    parents: tuple[int, ...] = ()
 
     @property
     def duration_ns(self) -> int:
@@ -79,12 +86,20 @@ class TraceRecorder:
         self.workers[worker].overhead_ns += ns
 
     def add_task(
-        self, worker: int, task_id: int, tag: str, start_ns: int, end_ns: int
+        self,
+        worker: int,
+        task_id: int,
+        tag: str,
+        start_ns: int,
+        end_ns: int,
+        parents: tuple[int, ...] = (),
     ) -> None:
         """Record one executed task (span kept when record_spans)."""
         self.workers[worker].tasks_run += 1
         if self.record_spans:
-            self.spans.append(TaskSpan(worker, task_id, tag, start_ns, end_ns))
+            self.spans.append(
+                TaskSpan(worker, task_id, tag, start_ns, end_ns, parents)
+            )
 
     def add_steal(self, worker: int, success: bool) -> None:
         """Record a steal attempt by *worker*."""

@@ -50,3 +50,47 @@ class TestIdleRateCounter:
         counter = IdleRateCounter(rt.stats)
         assert counter.utilization() == 1.0
         assert counter.idle_rate() == 0.0
+
+
+class TestPerWorkerAccounting:
+    def test_idle_clamped_at_zero(self):
+        # A worker whose productive time exceeds the accumulated total (the
+        # spawn worker in a one-task run, or hand-built stats like here)
+        # must report idle_ns == 0, never negative.
+        from repro.amt.runtime import RunStats
+
+        stats = RunStats(n_workers=2)
+        stats.total_ns = 100
+        stats.trace.add_busy(0, 150)
+        rep0, rep1 = IdleRateCounter(stats).per_worker()
+        assert rep0.idle_ns == 0
+        assert rep1.idle_ns == 100
+        assert 0.0 <= rep0.idle_rate <= 1.0
+
+    def test_per_worker_sums_consistent_with_aggregate(self, rt):
+        for _ in range(32):
+            rt.async_(lambda: None, cost_ns=25_000)
+        rt.flush()
+        counter = IdleRateCounter(rt.stats)
+        reports = counter.per_worker()
+        total = rt.stats.total_ns
+        # summed productive time matches the merged trace exactly
+        assert sum(r.productive_ns for r in reports) == (
+            rt.stats.trace.total_productive_ns()
+        )
+        # with no clamping in play, per-worker idle rates average (weighted
+        # by total time, identical per worker) to the aggregate idle-rate
+        assert all(r.productive_ns + r.overhead_ns <= total for r in reports)
+        mean_util = sum(r.productive_ns for r in reports) / (
+            len(reports) * total
+        )
+        assert counter.utilization() == pytest.approx(mean_util)
+        assert counter.idle_rate() == pytest.approx(1.0 - mean_util)
+
+    def test_reports_carry_task_and_steal_counts(self, rt):
+        for _ in range(8):
+            rt.async_(lambda: None, cost_ns=10_000)
+        rt.flush()
+        reports = IdleRateCounter(rt.stats).per_worker()
+        assert sum(r.tasks_run for r in reports) == 8
+        assert all(r.steals >= 0 for r in reports)

@@ -77,6 +77,23 @@ class TestVariantsAndTools:
             main(["--s", "4", "--i", "1", "--q",
                   "--save-checkpoint", str(tmp_path / "x.npz")])
 
+    def test_trace_respects_variant(self, capsys, tmp_path):
+        # fig5 blocks after every parallel loop, so its one-iteration trace
+        # has more task spans (extra partition barriers) than the full
+        # dataflow variant's.
+        import json
+
+        counts = {}
+        for variant in ("full", "fig5"):
+            path = tmp_path / f"{variant}.json"
+            assert main(["--s", "6", "--i", "1", "--q", "--variant", variant,
+                         "--trace", str(path)]) == 0
+            data = json.loads(path.read_text())
+            counts[variant] = sum(
+                1 for e in data["traceEvents"] if e["ph"] == "X"
+            )
+        assert counts["fig5"] != counts["full"]
+
     def test_scheduler_experiment_runs(self, capsys):
         assert main(["--experiment", "scheduler", "--q"]) == 0
         assert "hpx-default" in capsys.readouterr().out
@@ -85,6 +102,89 @@ class TestVariantsAndTools:
         assert main(["--experiment", "multinode", "--q"]) == 0
         out = capsys.readouterr().out
         assert "infiniband" in out and "ethernet" in out
+
+
+class TestObservability:
+    def test_print_counters_emits_hpx_style_lines(self, capsys):
+        assert main(["--s", "6", "--i", "3", "--q",
+                     "--print-counters", "/threads/idle-rate"]) == 0
+        out = capsys.readouterr().out
+        lines = [l for l in out.splitlines()
+                 if l.startswith("/threads/idle-rate,")]
+        # one line per flush interval, counter,seq,time,[s],value,unit
+        assert len(lines) == 3
+        for seq, line in enumerate(lines, start=1):
+            fields = line.split(",")
+            assert fields[1] == str(seq)
+            assert fields[3] == "[s]"
+            assert fields[5] == "[0.01%]"
+            assert 0.0 <= float(fields[4]) <= 10_000.0
+
+    def test_print_counters_repeatable_and_wildcard(self, capsys):
+        assert main(["--s", "6", "--i", "1", "--q", "--threads", "4",
+                     "--print-counters", "/scheduler/steals",
+                     "--print-counters",
+                     "/threads{worker-thread#*}/idle-rate"]) == 0
+        out = capsys.readouterr().out
+        assert any(l.startswith("/scheduler/steals,") for l in out.splitlines())
+        per_worker = [l for l in out.splitlines() if "worker-thread#" in l]
+        assert len(per_worker) == 4
+
+    def test_print_counters_unknown_path_exits(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--s", "6", "--i", "1", "--q",
+                  "--print-counters", "/no/such/counter"])
+
+    def test_counters_json_roundtrips(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "counters.json"
+        assert main(["--s", "6", "--i", "2", "--q",
+                     "--counters", str(path)]) == 0
+        with open(path, encoding="utf-8") as fh:
+            payload = json.load(fh)
+        assert payload["schema"] == "lulesh-hpx-counters/1"
+        assert payload["n_intervals"] == 2
+        samples = payload["counters"]["/threads/idle-rate"]["samples"]
+        assert [s["interval"] for s in samples] == [1, 2]
+
+    def test_list_counters(self, capsys):
+        assert main(["--s", "6", "--i", "1", "--q", "--list-counters"]) == 0
+        out = capsys.readouterr().out
+        assert "/threads/idle-rate" in out
+        assert "/amt/flushes" in out
+
+    def test_omp_counters(self, capsys):
+        assert main(["--impl", "omp", "--s", "6", "--i", "2", "--q",
+                     "--print-counters", "/threads/idle-rate"]) == 0
+        out = capsys.readouterr().out
+        lines = [l for l in out.splitlines()
+                 if l.startswith("/threads/idle-rate,")]
+        assert len(lines) == 2
+
+    def test_profile_prints_kernel_table(self, capsys):
+        assert main(["--s", "6", "--i", "1", "--q", "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "kernel" in out
+        assert "x_makespan" in out
+
+    def test_critical_path_prints_summary(self, capsys):
+        assert main(["--s", "6", "--i", "1", "--q", "--critical-path"]) == 0
+        out = capsys.readouterr().out
+        assert "critical path" in out
+        assert "speed-up bound" in out
+
+    def test_profile_rejected_for_omp(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--impl", "omp", "--s", "6", "--i", "1", "--q", "--profile"])
+
+    def test_counters_rejected_for_restored_run(self, capsys, tmp_path):
+        ck = tmp_path / "ck.npz"
+        assert main(["--s", "4", "--i", "1", "--execute", "--q",
+                     "--save-checkpoint", str(ck)]) == 0
+        with pytest.raises(SystemExit):
+            main(["--s", "4", "--i", "1", "--execute", "--q",
+                  "--restore-checkpoint", str(ck), "--list-counters"])
 
 
 class TestExperimentMode:

@@ -14,7 +14,8 @@ from repro.simcore.trace import TaskSpan
 def make_spans():
     return [
         TaskSpan(worker=0, task_id=0, tag="a", start_ns=0, end_ns=1000),
-        TaskSpan(worker=1, task_id=1, tag="b", start_ns=500, end_ns=2000),
+        TaskSpan(worker=1, task_id=1, tag="b", start_ns=500, end_ns=2000,
+                 parents=(0,)),
     ]
 
 
@@ -28,11 +29,52 @@ class TestChromeTrace:
         assert tasks[0]["dur"] == 1.0  # 1000 ns = 1 us
         assert tasks[1]["tid"] == 1
 
+    def test_thread_name_metadata_labels_workers(self):
+        events = to_chrome_trace(make_spans())
+        names = {
+            e["tid"]: e["args"]["name"]
+            for e in events
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        assert names == {0: "worker-0", 1: "worker-1"}
+
+    def test_n_workers_names_idle_workers_too(self):
+        events = to_chrome_trace(make_spans(), n_workers=4)
+        threads = [e for e in events
+                   if e["ph"] == "M" and e["name"] == "thread_name"]
+        assert [e["args"]["name"] for e in threads] == [
+            f"worker-{w}" for w in range(4)
+        ]
+
+    def test_flow_events_follow_parent_edges(self):
+        events = to_chrome_trace(make_spans())
+        (s,) = [e for e in events if e["ph"] == "s"]
+        (f,) = [e for e in events if e["ph"] == "f"]
+        assert s["id"] == f["id"]
+        assert s["ts"] == 1.0  # parent end
+        assert f["ts"] == 0.5  # child start
+        assert f["bp"] == "e"
+        # and they can be switched off
+        off = to_chrome_trace(make_spans(), flow_events=False)
+        assert not [e for e in off if e["ph"] in ("s", "f")]
+
+    def test_counter_tracks_present_and_optional(self):
+        events = to_chrome_trace(make_spans())
+        counters = [e for e in events if e["ph"] == "C"]
+        running = [e for e in counters if e["name"] == "running-tasks"]
+        # two edges per span (start+end)
+        assert [e["args"]["running"] for e in running] == [1, 2, 1, 0]
+        assert any(e["name"] == "worker#0/busy" for e in counters)
+        off = to_chrome_trace(make_spans(), counter_tracks=False)
+        assert not [e for e in off if e["ph"] == "C"]
+
     def test_write_roundtrip(self, tmp_path):
         path = tmp_path / "trace.json"
         write_chrome_trace(str(path), make_spans())
         data = json.loads(path.read_text())
-        assert len(data["traceEvents"]) == 3
+        phases = {e["ph"] for e in data["traceEvents"]}
+        assert phases == {"M", "X", "s", "f", "C"}
+        assert len([e for e in data["traceEvents"] if e["ph"] == "X"]) == 2
 
     def test_from_real_runtime(self):
         rt = AmtRuntime(MachineConfig(), CostModel(), 4, record_spans=True)

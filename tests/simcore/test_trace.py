@@ -65,3 +65,28 @@ class TestTraceRecorder:
         b.add_task(0, 1, "x", 0, 5)
         a.merge(b)
         assert len(a.spans) == 1
+
+    def test_merge_skips_spans_when_other_does_not_record(self):
+        a = TraceRecorder(1, record_spans=True)
+        a.add_task(0, 0, "mine", 0, 5)
+        b = TraceRecorder(1, record_spans=False)
+        b.add_task(0, 1, "ignored", 5, 9)
+        a.merge(b)
+        # counters still accumulate, spans keep only the recording side's
+        assert a.total_tasks() == 2
+        assert [s.tag for s in a.spans] == ["mine"]
+
+    def test_merge_into_non_recording_recorder_stays_empty(self):
+        a = TraceRecorder(1, record_spans=False)
+        b = TraceRecorder(1, record_spans=True)
+        b.add_task(0, 1, "x", 0, 5)
+        a.merge(b)
+        assert a.total_tasks() == 1
+        assert a.spans == []
+
+    def test_span_parents_recorded(self):
+        tr = TraceRecorder(1, record_spans=True)
+        tr.add_task(0, 0, "parent", 0, 5)
+        tr.add_task(0, 1, "child", 5, 9, parents=(0,))
+        assert tr.spans[0].parents == ()
+        assert tr.spans[1].parents == (0,)
