@@ -30,7 +30,11 @@ from repro.lulesh.costs import DEFAULT_COSTS, KernelCosts
 from repro.lulesh.domain import Domain
 from repro.lulesh.options import LuleshOptions
 from repro.perf.registry import CounterRegistry
-from repro.perf.sources import install_amt_counters, install_omp_counters
+from repro.perf.sources import (
+    install_amt_counters,
+    install_arena_counters,
+    install_omp_counters,
+)
 from repro.simcore.costmodel import CostModel
 from repro.simcore.machine import MachineConfig
 from repro.simcore.policy import SchedulerPolicy
@@ -95,13 +99,15 @@ def run_omp(
     execute: bool = False,
     omp_schedule: str = "static",
     registry: CounterRegistry | None = None,
+    task_local_temporaries: bool = True,
 ) -> RunResult:
     """Run the OpenMP-structured LULESH (the reference baseline).
 
     ``omp_schedule='dynamic'`` runs the counterfactual where every loop
     uses OpenMP dynamic scheduling instead of the reference's static.
     With a *registry*, the idle-rate counter family is installed and
-    sampled once per iteration.
+    sampled once per iteration.  ``task_local_temporaries=False`` runs the
+    allocate-each-time workspace ablation (execute mode only).
     """
     machine = machine or MachineConfig()
     cost_model = cost_model or CostModel()
@@ -112,7 +118,11 @@ def run_omp(
                      default_schedule=omp_schedule)
     if registry is not None:
         install_omp_counters(registry, omp)
-    program = OmpLuleshProgram(omp, shape, costs, domain)
+        if domain is not None:
+            install_arena_counters(registry, domain)
+    program = OmpLuleshProgram(
+        omp, shape, costs, domain, task_local_temporaries=task_local_temporaries
+    )
     program.run(iterations)
     stats = omp.stats
     done = domain.cycle if domain is not None else iterations
@@ -159,6 +169,8 @@ def run_hpx(
                     record_spans=record_spans)
     if registry is not None:
         install_amt_counters(registry, rt)
+        if domain is not None:
+            install_arena_counters(registry, domain)
     program = HpxLuleshProgram(
         rt,
         shape,
@@ -199,6 +211,8 @@ def run_naive_hpx(
     rt = AmtRuntime(machine, cost_model, n_workers, record_spans=record_spans)
     if registry is not None:
         install_amt_counters(registry, rt)
+        if domain is not None:
+            install_arena_counters(registry, domain)
     program = NaiveHpxProgram(rt, shape, costs, domain)
     program.run(iterations)
     stats = rt.stats

@@ -29,6 +29,7 @@ extra allocation latency and memory-traffic penalty.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, replace
 from typing import Callable, Sequence
 
@@ -151,6 +152,8 @@ class HpxLuleshProgram:
         self.variant = variant
         self.allocator = allocator
         self.barriers_per_iteration = 0
+        if domain is not None:
+            domain.configure_workspace(variant.task_local_temporaries)
 
     # --- kernel bindings ------------------------------------------------------
 
@@ -514,8 +517,12 @@ class HpxLuleshProgram:
                 if self.domain.time >= self.domain.opts.stoptime:
                     break
                 time_increment(self.domain)
-            final = self.build_iteration()
-            self.rt.flush()
+                phase = self.domain.workspace.phase()
+            else:
+                phase = nullcontext()
+            with phase:
+                final = self.build_iteration()
+                self.rt.flush()
             if not final.is_ready():
                 raise RuntimeError("iteration graph did not complete")
 

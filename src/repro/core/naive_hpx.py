@@ -14,6 +14,8 @@ barrier — the structure the paper's manual decomposition dismantles.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
+
 from repro.amt.algorithms import for_loop
 from repro.amt.runtime import AmtRuntime
 from repro.core.kernel_graph import EOS_LOOPS_PER_REP, ProblemShape
@@ -167,4 +169,8 @@ class NaiveHpxProgram:
                 if self.domain.time >= self.domain.opts.stoptime:
                     break
                 time_increment(self.domain)
-            naive_iteration(self.rt, self.shape, self.costs, self.domain)
+                phase = self.domain.workspace.phase()
+            else:
+                phase = nullcontext()
+            with phase:
+                naive_iteration(self.rt, self.shape, self.costs, self.domain)

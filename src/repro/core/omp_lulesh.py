@@ -19,6 +19,8 @@ argument.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
+
 from repro.core.kernel_graph import EOS_LOOPS_PER_REP, ProblemShape
 from repro.lulesh.costs import KernelCosts
 from repro.lulesh.domain import Domain
@@ -194,11 +196,14 @@ class OmpLuleshProgram:
         shape: ProblemShape,
         costs: KernelCosts,
         domain: Domain | None = None,
+        task_local_temporaries: bool = True,
     ) -> None:
         self.omp = omp
         self.shape = shape
         self.costs = costs
         self.domain = domain
+        if domain is not None:
+            domain.configure_workspace(task_local_temporaries)
 
     def run(self, iterations: int) -> None:
         """Advance *iterations* leapfrog cycles (or fewer if stoptime hits)."""
@@ -209,5 +214,9 @@ class OmpLuleshProgram:
                 if self.domain.time >= self.domain.opts.stoptime:
                     break
                 time_increment(self.domain)
-            omp_iteration(self.omp, self.shape, self.costs, self.domain)
+                phase = self.domain.workspace.phase()
+            else:
+                phase = nullcontext()
+            with phase:
+                omp_iteration(self.omp, self.shape, self.costs, self.domain)
             self.omp.end_iteration()

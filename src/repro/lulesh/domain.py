@@ -29,6 +29,7 @@ from repro.lulesh.kernels.geometry import calc_elem_volume
 from repro.lulesh.mesh import Mesh
 from repro.lulesh.options import LuleshOptions
 from repro.lulesh.regions import RegionSet
+from repro.lulesh.workspace import Workspace
 
 __all__ = ["Domain"]
 
@@ -63,6 +64,11 @@ class Domain:
 
         self._allocate_fields()
         self._allocate_workspace()
+        # Scratch arena + gather/static caches for the kernels.  Defaults to
+        # buffer reuse (the paper's task-local-temporaries discipline); the
+        # orchestration layers switch it via ``configure_workspace`` when the
+        # ablation runs the allocate-each-time baseline.
+        self.workspace = Workspace(self.mesh, reuse=True)
         self._initialize()
 
     # --- allocation ---------------------------------------------------------
@@ -144,14 +150,27 @@ class Domain:
     def _initialize(self) -> None:
         """Sedov initial conditions: unit relative volume, origin energy spike."""
         opts = self.opts
-        nl = self.mesh.nodelist
-        xl, yl, zl = self.x[nl], self.y[nl], self.z[nl]
-        self.volo[:] = calc_elem_volume(xl, yl, zl)
-        if (self.volo <= 0.0).any():
-            raise ValueError("initial mesh contains non-positive volumes")
-        self.elemMass[:] = self.volo
-        corner_mass = np.repeat(self.volo / 8.0, 8)
-        self.mesh.sum_corners_to_nodes(corner_mass, self.nodalMass)
+        ne = self.numElem
+        ws = self.workspace
+        # One (ne, 8) corner buffer serves all three coordinate gathers and
+        # is then recycled for the corner-mass spread — the reference builds
+        # three full-mesh gathers back to back here.
+        with ws.scope() as s:
+            gx = s.take((ne, 8))
+            gy = s.take((ne, 8))
+            gz = s.take((ne, 8))
+            self.mesh.gather_into(self.x, gx)
+            self.mesh.gather_into(self.y, gy)
+            self.mesh.gather_into(self.z, gz)
+            calc_elem_volume(gx, gy, gz, out=self.volo, ws=ws)
+            if (self.volo <= 0.0).any():
+                raise ValueError("initial mesh contains non-positive volumes")
+            self.elemMass[:] = self.volo
+            # corner_mass[e, c] = volo[e] / 8 for every corner c, reusing gx.
+            np.divide(self.volo[:, None], 8.0, out=gx)
+            self.mesh.sum_corners_to_nodes(
+                gx.reshape(ne * 8), self.nodalMass, ws=ws
+            )
 
         # Energy deposit in the origin element, scaled with resolution.
         if self.deposit_energy:
@@ -169,6 +188,31 @@ class Domain:
             self.deltatime = (
                 0.5 * np.cbrt(self.volo[0]) / np.sqrt(2.0 * opts.einit)
             )
+
+    # --- workspace ---------------------------------------------------------------
+
+    def configure_workspace(self, reuse: bool) -> None:
+        """Select the arena (``True``) or allocate-each-time (``False``) path.
+
+        Called by the orchestration layers from the ablation knob
+        (``HpxVariant.task_local_temporaries``).  Replaces the workspace when
+        the mode changes so pooled buffers and stats start fresh.
+        """
+        if self.workspace.reuse != reuse:
+            self.workspace = Workspace(self.mesh, reuse=reuse)
+
+    def gather_corners(self, name: str, lo: int, hi: int) -> np.ndarray:
+        """Cached corner gather of the nodal field *name* for ``[lo, hi)``.
+
+        Inside an orchestration phase window this is served once per field
+        per partition per iteration (read-only buffer); outside it is a
+        fresh gather.
+        """
+        return self.workspace.gather(name, getattr(self, name), lo, hi)
+
+    def touch(self, *names: str) -> None:
+        """Mark nodal fields as rewritten (invalidates their cached gathers)."""
+        self.workspace.touch(*names)
 
     # --- convenience -------------------------------------------------------------
 

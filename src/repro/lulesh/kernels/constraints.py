@@ -39,17 +39,34 @@ def calc_courant_constraint(
     if idx.size == 0:
         return 1.0e20
     qqc2 = 64.0 * domain.opts.qqc * domain.opts.qqc
-    ss = domain.ss[idx]
-    vdov = domain.vdov[idx]
-    arealg = domain.arealg[idx]
-    dtf = ss * ss
-    compressing = vdov < 0.0
-    dtf = dtf + np.where(compressing, qqc2 * arealg * arealg * vdov * vdov, 0.0)
-    dtf = arealg / np.sqrt(dtf)
-    active = vdov != 0.0
-    if not active.any():
-        return 1.0e20
-    return float(np.min(dtf[active]))
+    m = idx.shape[0]
+    with domain.workspace.scope() as s:
+        ss = s.take((m,))
+        vdov = s.take((m,))
+        arealg = s.take((m,))
+        np.take(domain.ss, idx, out=ss, mode="clip")
+        np.take(domain.vdov, idx, out=vdov, mode="clip")
+        np.take(domain.arealg, idx, out=arealg, mode="clip")
+        dtf = s.take((m,))
+        t = s.take((m,))
+        mask = s.take((m,), dtype=bool)
+        np.multiply(ss, ss, out=dtf)
+        # qqc2 * arealg^2 * vdov^2, for compressing elements only
+        np.multiply(arealg, qqc2, out=t)
+        t *= arealg
+        t *= vdov
+        t *= vdov
+        np.greater_equal(vdov, 0.0, out=mask)
+        np.copyto(t, 0.0, where=mask)
+        dtf += t
+        np.sqrt(dtf, out=dtf)
+        np.divide(arealg, dtf, out=dtf)
+        np.not_equal(vdov, 0.0, out=mask)
+        if not mask.any():
+            return 1.0e20
+        np.logical_not(mask, out=mask)
+        np.copyto(dtf, np.inf, where=mask)
+        return float(np.min(dtf))
 
 
 def calc_hydro_constraint(
@@ -61,12 +78,22 @@ def calc_hydro_constraint(
     idx = reg_elems[lo:hi]
     if idx.size == 0:
         return 1.0e20
-    vdov = domain.vdov[idx]
-    active = vdov != 0.0
-    if not active.any():
-        return 1.0e20
-    dvovmax = domain.opts.dvovmax
-    return float(np.min(dvovmax / (np.abs(vdov[active]) + 1.0e-20)))
+    m = idx.shape[0]
+    with domain.workspace.scope() as s:
+        vdov = s.take((m,))
+        np.take(domain.vdov, idx, out=vdov, mode="clip")
+        mask = s.take((m,), dtype=bool)
+        np.not_equal(vdov, 0.0, out=mask)
+        if not mask.any():
+            return 1.0e20
+        dvovmax = domain.opts.dvovmax
+        t = s.take((m,))
+        np.abs(vdov, out=t)
+        t += 1.0e-20
+        np.divide(dvovmax, t, out=t)
+        np.logical_not(mask, out=mask)
+        np.copyto(t, np.inf, where=mask)
+        return float(np.min(t))
 
 
 def reduce_time_constraints(domain, courant_min: float, hydro_min: float) -> None:

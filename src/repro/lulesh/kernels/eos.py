@@ -10,6 +10,10 @@ The EOS itself is LULESH's gamma-law-like model: pressure from the bulk
 response ``p = (2/3)(1/v) e`` with half-step predictor/corrector energy
 integration, artificial-viscosity coupling via the element sound speed, and
 the reference's cutoffs and clamps reproduced bit-for-bit.
+
+All region-sized temporaries are checked out of the domain workspace once
+per kernel call; ``calc_pressure``/``calc_energy`` accept output arrays and
+a scratch scope so the ``rep`` loop reuses one set of buffers.
 """
 
 from __future__ import annotations
@@ -30,6 +34,17 @@ _SSC_FLOOR_TEST = 0.1111111e-36
 _SSC_FLOOR = 0.3333333e-18
 
 
+class _HeapScope:
+    """Stand-in scratch scope for direct calls without a workspace."""
+
+    @staticmethod
+    def take(shape, dtype=np.float64):
+        return np.empty(shape, dtype=dtype)
+
+
+_HEAP_SCOPE = _HeapScope()
+
+
 def calc_pressure(
     e_old: np.ndarray,
     compression: np.ndarray,
@@ -37,17 +52,36 @@ def calc_pressure(
     pmin: float,
     p_cut: float,
     eosvmax: float,
+    p_out: np.ndarray | None = None,
+    bvc_out: np.ndarray | None = None,
+    pbvc_out: np.ndarray | None = None,
+    s=None,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """``CalcPressureForElems``: returns ``(p_new, bvc, pbvc)``."""
+    if s is None:
+        s = _HEAP_SCOPE
+    m = e_old.shape[0]
+    if p_out is None:
+        p_out = np.empty(m, dtype=e_old.dtype)
+    if bvc_out is None:
+        bvc_out = np.empty(m, dtype=e_old.dtype)
+    if pbvc_out is None:
+        pbvc_out = np.empty(m, dtype=e_old.dtype)
     c1s = 2.0 / 3.0
-    bvc = c1s * (compression + 1.0)
-    pbvc = np.full_like(bvc, c1s)
-    p_new = bvc * e_old
-    p_new[np.abs(p_new) < p_cut] = 0.0
+    np.add(compression, 1.0, out=bvc_out)
+    bvc_out *= c1s
+    pbvc_out.fill(c1s)
+    np.multiply(bvc_out, e_old, out=p_out)
+    t = s.take((m,))
+    sel = s.take((m,), dtype=bool)
+    np.abs(p_out, out=t)
+    np.less(t, p_cut, out=sel)
+    np.copyto(p_out, 0.0, where=sel)
     if eosvmax != 0.0:
-        p_new[vnewc >= eosvmax] = 0.0
-    np.maximum(p_new, pmin, out=p_new)
-    return p_new, bvc, pbvc
+        np.greater_equal(vnewc, eosvmax, out=sel)
+        np.copyto(p_out, 0.0, where=sel)
+    np.maximum(p_out, pmin, out=p_out)
+    return p_out, bvc_out, pbvc_out
 
 
 def _sound_speed_sq_clamped(
@@ -57,10 +91,28 @@ def _sound_speed_sq_clamped(
     bvc: np.ndarray,
     p: np.ndarray,
     rho0: float,
+    out: np.ndarray | None = None,
+    s=None,
 ) -> np.ndarray:
     """sqrt of (pbvc*e + v^2*bvc*p)/rho0 with the reference's tiny floor."""
-    ssc = (pbvc * e + vol_sq * bvc * p) / rho0
-    return np.where(ssc <= _SSC_FLOOR_TEST, _SSC_FLOOR, np.sqrt(np.maximum(ssc, 0.0)))
+    if s is None:
+        s = _HEAP_SCOPE
+    m = e.shape[0]
+    if out is None:
+        out = np.empty(m, dtype=e.dtype)
+    t1 = s.take((m,))
+    t2 = s.take((m,))
+    sel = s.take((m,), dtype=bool)
+    np.multiply(pbvc, e, out=t1)
+    np.multiply(vol_sq, bvc, out=t2)
+    t2 *= p
+    t1 += t2
+    t1 /= rho0
+    np.maximum(t1, 0.0, out=t2)
+    np.sqrt(t2, out=out)
+    np.less_equal(t1, _SSC_FLOOR_TEST, out=sel)
+    np.copyto(out, _SSC_FLOOR, where=sel)
+    return out
 
 
 def calc_energy(
@@ -75,46 +127,114 @@ def calc_energy(
     qq_old: np.ndarray,
     ql_old: np.ndarray,
     opts,
+    out: tuple | None = None,
+    s=None,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
     """``CalcEnergyForElems``: predictor/corrector energy integration.
 
-    Returns ``(p_new, e_new, q_new, bvc, pbvc)``.
+    Returns ``(p_new, e_new, q_new, bvc, pbvc)``; pass the same 5-tuple as
+    *out* to integrate in place (the EOS ``rep`` loop reuses one set).
     """
     pmin, p_cut, e_cut, q_cut = opts.pmin, opts.p_cut, opts.e_cut, opts.q_cut
     emin, eosvmax, rho0 = opts.emin, opts.eosvmax, opts.refdens
+    if s is None:
+        s = _HEAP_SCOPE
+    m = e_old.shape[0]
+    if out is None:
+        out = tuple(np.empty(m, dtype=e_old.dtype) for _ in range(5))
+    p_new, e_new, q_new, bvc, pbvc = out
 
-    e_new = e_old - 0.5 * delvc * (p_old + q_old) + 0.5 * work
+    p_half = s.take((m,))
+    q_tilde = s.take((m,))
+    ssc = s.take((m,))
+    vhalf = s.take((m,))
+    t1 = s.take((m,))
+    t2 = s.take((m,))
+    sel = s.take((m,), dtype=bool)
+    sel2 = s.take((m,), dtype=bool)
+
+    # e_new = e_old - 0.5 * delvc * (p_old + q_old) + 0.5 * work
+    np.add(p_old, q_old, out=t1)
+    np.multiply(delvc, 0.5, out=t2)
+    t1 *= t2
+    np.subtract(e_old, t1, out=e_new)
+    np.multiply(work, 0.5, out=t1)
+    e_new += t1
     np.maximum(e_new, emin, out=e_new)
 
-    p_half, bvc, pbvc = calc_pressure(e_new, comp_half_step, vnewc, pmin, p_cut, eosvmax)
-    vhalf = 1.0 / (1.0 + comp_half_step)
+    calc_pressure(
+        e_new, comp_half_step, vnewc, pmin, p_cut, eosvmax,
+        p_out=p_half, bvc_out=bvc, pbvc_out=pbvc, s=s,
+    )
+    np.add(comp_half_step, 1.0, out=vhalf)
+    np.divide(1.0, vhalf, out=vhalf)
+    vhalf *= vhalf  # vhalf^2, the half-step volume squared
 
-    ssc = _sound_speed_sq_clamped(pbvc, e_new, vhalf * vhalf, bvc, p_half, rho0)
-    q_new = np.where(delvc > 0.0, 0.0, ssc * ql_old + qq_old)
+    _sound_speed_sq_clamped(pbvc, e_new, vhalf, bvc, p_half, rho0, out=ssc, s=s)
+    np.multiply(ssc, ql_old, out=q_new)
+    q_new += qq_old
+    np.greater(delvc, 0.0, out=sel)
+    np.copyto(q_new, 0.0, where=sel)
 
-    e_new = e_new + 0.5 * delvc * (3.0 * (p_old + q_old) - 4.0 * (p_half + q_new))
-    e_new += 0.5 * work
-    e_new[np.abs(e_new) < e_cut] = 0.0
+    # e_new += 0.5 * delvc * (3*(p_old + q_old) - 4*(p_half + q_new))
+    np.add(p_old, q_old, out=t1)
+    t1 *= 3.0
+    np.add(p_half, q_new, out=t2)
+    t2 *= 4.0
+    t1 -= t2
+    np.multiply(delvc, 0.5, out=t2)
+    t1 *= t2
+    e_new += t1
+    np.multiply(work, 0.5, out=t1)
+    e_new += t1
+    np.abs(e_new, out=t1)
+    np.less(t1, e_cut, out=sel)
+    np.copyto(e_new, 0.0, where=sel)
     np.maximum(e_new, emin, out=e_new)
 
-    p_new, bvc, pbvc = calc_pressure(e_new, compression, vnewc, pmin, p_cut, eosvmax)
-    ssc = _sound_speed_sq_clamped(pbvc, e_new, vnewc * vnewc, bvc, p_new, rho0)
-    q_tilde = np.where(delvc > 0.0, 0.0, ssc * ql_old + qq_old)
+    calc_pressure(
+        e_new, compression, vnewc, pmin, p_cut, eosvmax,
+        p_out=p_new, bvc_out=bvc, pbvc_out=pbvc, s=s,
+    )
+    np.multiply(vnewc, vnewc, out=t2)
+    _sound_speed_sq_clamped(pbvc, e_new, t2, bvc, p_new, rho0, out=ssc, s=s)
+    np.multiply(ssc, ql_old, out=q_tilde)
+    q_tilde += qq_old
+    np.greater(delvc, 0.0, out=sel)
+    np.copyto(q_tilde, 0.0, where=sel)
 
+    # e_new -= (7*(p_old+q_old) - 8*(p_half+q_new) + (p_new+q_tilde)) * delvc / 6
     sixth = 1.0 / 6.0
-    e_new = e_new - (
-        7.0 * (p_old + q_old) - 8.0 * (p_half + q_new) + (p_new + q_tilde)
-    ) * delvc * sixth
-    e_new[np.abs(e_new) < e_cut] = 0.0
+    np.add(p_old, q_old, out=t1)
+    t1 *= 7.0
+    np.add(p_half, q_new, out=t2)
+    t2 *= 8.0
+    t1 -= t2
+    np.add(p_new, q_tilde, out=t2)
+    t1 += t2
+    t1 *= delvc
+    t1 *= sixth
+    e_new -= t1
+    np.abs(e_new, out=t1)
+    np.less(t1, e_cut, out=sel)
+    np.copyto(e_new, 0.0, where=sel)
     np.maximum(e_new, emin, out=e_new)
 
-    p_new, bvc, pbvc = calc_pressure(e_new, compression, vnewc, pmin, p_cut, eosvmax)
-    compressing = delvc <= 0.0
-    if compressing.any():
-        ssc = _sound_speed_sq_clamped(pbvc, e_new, vnewc * vnewc, bvc, p_new, rho0)
-        q_final = ssc * ql_old + qq_old
-        q_final[np.abs(q_final) < q_cut] = 0.0
-        q_new = np.where(compressing, q_final, q_new)
+    calc_pressure(
+        e_new, compression, vnewc, pmin, p_cut, eosvmax,
+        p_out=p_new, bvc_out=bvc, pbvc_out=pbvc, s=s,
+    )
+    np.less_equal(delvc, 0.0, out=sel)
+    if sel.any():
+        np.multiply(vnewc, vnewc, out=t2)
+        _sound_speed_sq_clamped(pbvc, e_new, t2, bvc, p_new, rho0, out=ssc, s=s)
+        q_final = q_tilde  # q_tilde is dead; reuse its buffer
+        np.multiply(ssc, ql_old, out=q_final)
+        q_final += qq_old
+        np.abs(q_final, out=t1)
+        np.less(t1, q_cut, out=sel2)
+        np.copyto(q_final, 0.0, where=sel2)
+        np.copyto(q_new, q_final, where=sel)
 
     return p_new, e_new, q_new, bvc, pbvc
 
@@ -122,22 +242,27 @@ def calc_energy(
 def apply_material_properties_prologue(domain, lo: int, hi: int) -> None:
     """Clamp ``vnew`` into ``vnewc`` and run the reference's volume sanity check."""
     opts = domain.opts
-    vnewc = domain.vnew[lo:hi].copy()
+    ws = domain.workspace
+    vnewc = domain.vnewc[lo:hi]
+    vnewc[...] = domain.vnew[lo:hi]
     if opts.eosvmin != 0.0:
         np.maximum(vnewc, opts.eosvmin, out=vnewc)
     if opts.eosvmax != 0.0:
         np.minimum(vnewc, opts.eosvmax, out=vnewc)
-    domain.vnewc[lo:hi] = vnewc
 
     # Sanity on the *old* volumes, mirroring the reference's abort.
-    vc = domain.v[lo:hi].copy()
-    if opts.eosvmin != 0.0:
-        np.maximum(vc, opts.eosvmin, out=vc)
-    if opts.eosvmax != 0.0:
-        np.minimum(vc, opts.eosvmax, out=vc)
-    if (vc <= 0.0).any():
-        bad = lo + int(np.argmax(vc <= 0.0))
-        raise VolumeError(f"element {bad} volume non-positive entering EOS")
+    with ws.scope() as s:
+        vc = s.take((hi - lo,))
+        vc[...] = domain.v[lo:hi]
+        if opts.eosvmin != 0.0:
+            np.maximum(vc, opts.eosvmin, out=vc)
+        if opts.eosvmax != 0.0:
+            np.minimum(vc, opts.eosvmax, out=vc)
+        sel = s.take((hi - lo,), dtype=bool)
+        np.less_equal(vc, 0.0, out=sel)
+        if sel.any():
+            bad = lo + int(np.argmax(sel))
+            raise VolumeError(f"element {bad} volume non-positive entering EOS")
 
 
 def eval_eos_region(
@@ -157,49 +282,82 @@ def eval_eos_region(
     if rep < 1:
         raise ValueError(f"rep must be >= 1, got {rep}")
     opts = domain.opts
-    vnewc = domain.vnewc[idx]
+    ws = domain.workspace
+    m = idx.shape[0]
 
-    p_new = e_new = q_new = bvc = pbvc = None
-    for _ in range(rep):
-        e_old = domain.e[idx]
-        delvc = domain.delv[idx]
-        p_old = domain.p[idx].copy()
-        q_old = domain.q[idx]
-        qq_old = domain.qq[idx]
-        ql_old = domain.ql[idx]
+    with ws.scope() as s:
+        vnewc = s.take((m,))
+        np.take(domain.vnewc, idx, out=vnewc, mode="clip")
 
-        compression = 1.0 / vnewc - 1.0
-        vchalf = vnewc - delvc * 0.5
-        comp_half_step = 1.0 / vchalf - 1.0
+        e_old = s.take((m,))
+        delvc = s.take((m,))
+        p_old = s.take((m,))
+        q_old = s.take((m,))
+        qq_old = s.take((m,))
+        ql_old = s.take((m,))
+        compression = s.take((m,))
+        vchalf = s.take((m,))
+        comp_half_step = s.take((m,))
+        work = s.take((m,))
+        sel = s.take((m,), dtype=bool)
+        outs = tuple(s.take((m,)) for _ in range(5))
 
-        if opts.eosvmin != 0.0:
-            comp_half_step = np.where(
-                vnewc <= opts.eosvmin, compression, comp_half_step
+        for _ in range(rep):
+            np.take(domain.e, idx, out=e_old, mode="clip")
+            np.take(domain.delv, idx, out=delvc, mode="clip")
+            np.take(domain.p, idx, out=p_old, mode="clip")
+            np.take(domain.q, idx, out=q_old, mode="clip")
+            np.take(domain.qq, idx, out=qq_old, mode="clip")
+            np.take(domain.ql, idx, out=ql_old, mode="clip")
+
+            np.divide(1.0, vnewc, out=compression)
+            compression -= 1.0
+            np.multiply(delvc, 0.5, out=vchalf)
+            np.subtract(vnewc, vchalf, out=vchalf)
+            np.divide(1.0, vchalf, out=comp_half_step)
+            comp_half_step -= 1.0
+
+            if opts.eosvmin != 0.0:
+                np.less_equal(vnewc, opts.eosvmin, out=sel)
+                np.copyto(comp_half_step, compression, where=sel)
+            if opts.eosvmax != 0.0:
+                np.greater_equal(vnewc, opts.eosvmax, out=sel)
+                np.copyto(p_old, 0.0, where=sel)
+                np.copyto(compression, 0.0, where=sel)
+                np.copyto(comp_half_step, 0.0, where=sel)
+
+            work.fill(0.0)
+            p_new, e_new, q_new, bvc, pbvc = calc_energy(
+                p_old, e_old, q_old, compression, comp_half_step,
+                vnewc, work, delvc, qq_old, ql_old, opts,
+                out=outs, s=s,
             )
-        if opts.eosvmax != 0.0:
-            at_max = vnewc >= opts.eosvmax
-            p_old = np.where(at_max, 0.0, p_old)
-            compression = np.where(at_max, 0.0, compression)
-            comp_half_step = np.where(at_max, 0.0, comp_half_step)
 
-        work = np.zeros_like(e_old)
-        p_new, e_new, q_new, bvc, pbvc = calc_energy(
-            p_old, e_old, q_old, compression, comp_half_step,
-            vnewc, work, delvc, qq_old, ql_old, opts,
+        domain.p[idx] = p_new
+        domain.e[idx] = e_new
+        domain.q[idx] = q_new
+
+        # CalcSoundSpeedForElems
+        np.multiply(vnewc, vnewc, out=compression)  # vnewc^2, buffer reuse
+        ss = _sound_speed_sq_clamped(
+            pbvc, e_new, compression, bvc, p_new, opts.refdens,
+            out=work, s=s,
         )
-
-    domain.p[idx] = p_new
-    domain.e[idx] = e_new
-    domain.q[idx] = q_new
-
-    # CalcSoundSpeedForElems
-    ss = _sound_speed_sq_clamped(pbvc, e_new, vnewc * vnewc, bvc, p_new, opts.refdens)
-    domain.ss[idx] = ss
+        domain.ss[idx] = ss
 
 
 def update_volumes(domain, lo: int, hi: int) -> None:
     """``UpdateVolumesForElems``: commit vnew, snapping near-1 to exactly 1."""
     v_cut = domain.opts.v_cut
-    v = domain.vnew[lo:hi].copy()
-    v[np.abs(v - 1.0) < v_cut] = 1.0
-    domain.v[lo:hi] = v
+    ws = domain.workspace
+    n = hi - lo
+    with ws.scope() as s:
+        v = s.take((n,))
+        v[...] = domain.vnew[lo:hi]
+        t = s.take((n,))
+        sel = s.take((n,), dtype=bool)
+        np.subtract(v, 1.0, out=t)
+        np.abs(t, out=t)
+        np.less(t, v_cut, out=sel)
+        np.copyto(v, 1.0, where=sel)
+        domain.v[lo:hi] = v

@@ -5,11 +5,22 @@ All functions take per-element corner arrays of shape ``(n, 8)`` (the
 Formulas are transcribed from the reference implementation; corner ordering
 is the LULESH hexahedron: nodes 0-3 on the bottom face (counterclockwise
 looking down the +zeta axis), nodes 4-7 directly above them.
+
+Every primitive accepts ``out=`` destination arrays and a ``ws=`` workspace
+(:class:`~repro.lulesh.workspace.Workspace`) supplying its elementwise
+scratch.  With ``ws=None`` scratch comes from the module-level
+allocate-each-time ``HEAP`` workspace — the pre-arena behaviour — and with
+``out=None`` results are freshly allocated, so existing callers are
+unchanged.  The in-place formulations evaluate the exact same dataflow as
+the expression forms (only commutations that are bitwise-exact in IEEE-754
+are applied), so arena and heap paths produce bit-identical physics.
 """
 
 from __future__ import annotations
 
 import numpy as np
+
+from repro.lulesh.workspace import HEAP
 
 __all__ = [
     "calc_elem_volume",
@@ -32,68 +43,82 @@ GAMMA_HOURGLASS = np.array(
     ]
 )
 
+# The twelve corner-difference vectors of the volume formula, as
+# (minuend, subtrahend) corner pairs; the three triples reference them by
+# name through this table.
+_VOL_TRIPLES = (
+    # (a = d(a1) + d(a2), b, c) per triple
+    (((3, 1), (7, 2)), (6, 3), (2, 0)),
+    (((4, 3), (5, 7)), (6, 4), (7, 0)),
+    (((1, 4), (2, 5)), (6, 1), (5, 0)),
+)
 
-def _triple(ax, ay, az, bx, by, bz, cx, cy, cz):
-    """Scalar triple product a . (b x c), elementwise."""
-    return (
-        ax * (by * cz - bz * cy)
-        + ay * (bz * cx - bx * cz)
-        + az * (bx * cy - by * cx)
-    )
 
-
-def calc_elem_volume(x: np.ndarray, y: np.ndarray, z: np.ndarray) -> np.ndarray:
+def calc_elem_volume(
+    x: np.ndarray,
+    y: np.ndarray,
+    z: np.ndarray,
+    out: np.ndarray | None = None,
+    ws=None,
+) -> np.ndarray:
     """Hexahedron volume (``CalcElemVolume``), shape ``(n,)``.
 
     The standard 3-triple-product formula: exact for any hexahedron with
     planar *or* warped (bilinear) faces, 1/12 of the sum of three scalar
     triple products of face-diagonal combinations.
     """
-    d = lambda a, b: (x[:, a] - x[:, b], y[:, a] - y[:, b], z[:, a] - z[:, b])
-    dx61, dy61, dz61 = d(6, 1)
-    dx70, dy70, dz70 = d(7, 0)
-    dx63, dy63, dz63 = d(6, 3)
-    dx20, dy20, dz20 = d(2, 0)
-    dx50, dy50, dz50 = d(5, 0)
-    dx64, dy64, dz64 = d(6, 4)
-    dx31, dy31, dz31 = d(3, 1)
-    dx72, dy72, dz72 = d(7, 2)
-    dx43, dy43, dz43 = d(4, 3)
-    dx57, dy57, dz57 = d(5, 7)
-    dx14, dy14, dz14 = d(1, 4)
-    dx25, dy25, dz25 = d(2, 5)
-    volume = (
-        _triple(
-            dx31 + dx72, dy31 + dy72, dz31 + dz72,
-            dx63, dy63, dz63,
-            dx20, dy20, dz20,
-        )
-        + _triple(
-            dx43 + dx57, dy43 + dy57, dz43 + dz57,
-            dx64, dy64, dz64,
-            dx70, dy70, dz70,
-        )
-        + _triple(
-            dx14 + dx25, dy14 + dy25, dz14 + dz25,
-            dx61, dy61, dz61,
-            dx50, dy50, dz50,
-        )
-    )
-    return volume / 12.0
+    if ws is None:
+        ws = HEAP
+    n = x.shape[0]
+    if out is None:
+        out = np.empty(n, dtype=x.dtype)
+    with ws.scope() as s:
+        ax, ay, az = (s.take((n,)) for _ in range(3))
+        bx, by, bz = (s.take((n,)) for _ in range(3))
+        cx, cy, cz = (s.take((n,)) for _ in range(3))
+        t1 = s.take((n,))
+        t2 = s.take((n,))
+        acc = s.take((n,))
 
+        def diff_sum(dst, c, pair1, pair2):
+            # d(p1) + d(p2), each d a corner difference
+            np.subtract(c[:, pair1[0]], c[:, pair1[1]], out=dst)
+            np.subtract(c[:, pair2[0]], c[:, pair2[1]], out=t1)
+            dst += t1
 
-def _area_face_sq(
-    x: np.ndarray, y: np.ndarray, z: np.ndarray, c0: int, c1: int, c2: int, c3: int
-) -> np.ndarray:
-    """LULESH ``AreaFace``: 4 * (quad face area)**2 via |f x g|**2."""
-    fx = (x[:, c2] - x[:, c0]) - (x[:, c3] - x[:, c1])
-    fy = (y[:, c2] - y[:, c0]) - (y[:, c3] - y[:, c1])
-    fz = (z[:, c2] - z[:, c0]) - (z[:, c3] - z[:, c1])
-    gx = (x[:, c2] - x[:, c0]) + (x[:, c3] - x[:, c1])
-    gy = (y[:, c2] - y[:, c0]) + (y[:, c3] - y[:, c1])
-    gz = (z[:, c2] - z[:, c0]) + (z[:, c3] - z[:, c1])
-    dot = fx * gx + fy * gy + fz * gz
-    return (fx * fx + fy * fy + fz * fz) * (gx * gx + gy * gy + gz * gz) - dot * dot
+        for i, ((a1, a2), bp, cp) in enumerate(_VOL_TRIPLES):
+            diff_sum(ax, x, a1, a2)
+            diff_sum(ay, y, a1, a2)
+            diff_sum(az, z, a1, a2)
+            np.subtract(x[:, bp[0]], x[:, bp[1]], out=bx)
+            np.subtract(y[:, bp[0]], y[:, bp[1]], out=by)
+            np.subtract(z[:, bp[0]], z[:, bp[1]], out=bz)
+            np.subtract(x[:, cp[0]], x[:, cp[1]], out=cx)
+            np.subtract(y[:, cp[0]], y[:, cp[1]], out=cy)
+            np.subtract(z[:, cp[0]], z[:, cp[1]], out=cz)
+            # a . (b x c): the triple product is summed fully before being
+            # added to the running volume (matching the expression form's
+            # association).
+            np.multiply(by, cz, out=acc)
+            np.multiply(bz, cy, out=t2)
+            acc -= t2
+            acc *= ax
+            np.multiply(bz, cx, out=t1)
+            np.multiply(bx, cz, out=t2)
+            t1 -= t2
+            t1 *= ay
+            acc += t1
+            np.multiply(bx, cy, out=t1)
+            np.multiply(by, cx, out=t2)
+            t1 -= t2
+            t1 *= az
+            acc += t1
+            if i == 0:
+                out[...] = acc
+            else:
+                out += acc
+    np.divide(out, 12.0, out=out)
+    return out
 
 
 # The six faces in the reference's evaluation order.
@@ -101,17 +126,74 @@ _FACES = ((0, 1, 2, 3), (4, 5, 6, 7), (0, 1, 5, 4), (1, 2, 6, 5), (2, 3, 7, 6), 
 
 
 def calc_elem_characteristic_length(
-    x: np.ndarray, y: np.ndarray, z: np.ndarray, volume: np.ndarray
+    x: np.ndarray,
+    y: np.ndarray,
+    z: np.ndarray,
+    volume: np.ndarray,
+    out: np.ndarray | None = None,
+    ws=None,
 ) -> np.ndarray:
     """``CalcElemCharacteristicLength``: 4*V / sqrt(max face metric)."""
-    char = _area_face_sq(x, y, z, *_FACES[0])
-    for face in _FACES[1:]:
-        np.maximum(char, _area_face_sq(x, y, z, *face), out=char)
-    return 4.0 * volume / np.sqrt(char)
+    if ws is None:
+        ws = HEAP
+    n = x.shape[0]
+    if out is None:
+        out = np.empty(n, dtype=x.dtype)
+    with ws.scope() as s:
+        fx, fy, fz = (s.take((n,)) for _ in range(3))
+        gx, gy, gz = (s.take((n,)) for _ in range(3))
+        dot = s.take((n,))
+        ff = s.take((n,))
+        gg = s.take((n,))
+        tmp = s.take((n,))
+        char = s.take((n,))
+
+        def fg(f, g, c, c0, c1, c2, c3):
+            # f = d20 - d31, g = d20 + d31 (LULESH AreaFace bisectors)
+            np.subtract(c[:, c2], c[:, c0], out=f)
+            np.subtract(c[:, c3], c[:, c1], out=tmp)
+            np.add(f, tmp, out=g)
+            f -= tmp
+
+        for i, (c0, c1, c2, c3) in enumerate(_FACES):
+            fg(fx, gx, x, c0, c1, c2, c3)
+            fg(fy, gy, y, c0, c1, c2, c3)
+            fg(fz, gz, z, c0, c1, c2, c3)
+            np.multiply(fx, gx, out=dot)
+            np.multiply(fy, gy, out=tmp)
+            dot += tmp
+            np.multiply(fz, gz, out=tmp)
+            dot += tmp
+            np.multiply(fx, fx, out=ff)
+            np.multiply(fy, fy, out=tmp)
+            ff += tmp
+            np.multiply(fz, fz, out=tmp)
+            ff += tmp
+            np.multiply(gx, gx, out=gg)
+            np.multiply(gy, gy, out=tmp)
+            gg += tmp
+            np.multiply(gz, gz, out=tmp)
+            gg += tmp
+            ff *= gg
+            dot *= dot
+            ff -= dot  # 4 * (face area)**2
+            if i == 0:
+                char[...] = ff
+            else:
+                np.maximum(char, ff, out=char)
+        np.sqrt(char, out=char)
+        np.multiply(volume, 4.0, out=out)
+        out /= char
+    return out
 
 
 def calc_elem_shape_function_derivatives(
-    x: np.ndarray, y: np.ndarray, z: np.ndarray
+    x: np.ndarray,
+    y: np.ndarray,
+    z: np.ndarray,
+    b_out: np.ndarray | None = None,
+    detv_out: np.ndarray | None = None,
+    ws=None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """``CalcElemShapeFunctionDerivatives``.
 
@@ -120,50 +202,88 @@ def calc_elem_shape_function_derivatives(
     center — and ``detv`` is the element volume (8x the Jacobian determinant
     at the center), shape ``(n,)``.
     """
-    # Jacobian columns at the element center (0.125 = trilinear weights).
-    def fj(c: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-        t60 = c[:, 6] - c[:, 0]
-        t53 = c[:, 5] - c[:, 3]
-        t71 = c[:, 7] - c[:, 1]
-        t42 = c[:, 4] - c[:, 2]
-        fxi = 0.125 * (t60 + t53 - t71 - t42)
-        fet = 0.125 * (t60 - t53 + t71 - t42)
-        fze = 0.125 * (t60 + t53 + t71 + t42)
-        return fxi, fet, fze
-
-    fjxxi, fjxet, fjxze = fj(x)
-    fjyxi, fjyet, fjyze = fj(y)
-    fjzxi, fjzet, fjzze = fj(z)
-
-    # Cofactors of the Jacobian.
-    cjxxi = fjyet * fjzze - fjzet * fjyze
-    cjxet = -fjyxi * fjzze + fjzxi * fjyze
-    cjxze = fjyxi * fjzet - fjzxi * fjyet
-
-    cjyxi = -fjxet * fjzze + fjzet * fjxze
-    cjyet = fjxxi * fjzze - fjzxi * fjxze
-    cjyze = -fjxxi * fjzet + fjzxi * fjxet
-
-    cjzxi = fjxet * fjyze - fjyet * fjxze
-    cjzet = -fjxxi * fjyze + fjyxi * fjxze
-    cjzze = fjxxi * fjyet - fjyxi * fjxet
-
+    if ws is None:
+        ws = HEAP
     n = x.shape[0]
-    b = np.empty((n, 3, 8), dtype=x.dtype)
-    for dim, (cxi, cet, cze) in enumerate(
-        ((cjxxi, cjxet, cjxze), (cjyxi, cjyet, cjyze), (cjzxi, cjzet, cjzze))
-    ):
-        b[:, dim, 0] = -cxi - cet - cze
-        b[:, dim, 1] = cxi - cet - cze
-        b[:, dim, 2] = cxi + cet - cze
-        b[:, dim, 3] = -cxi + cet - cze
-        b[:, dim, 4] = -b[:, dim, 2]
-        b[:, dim, 5] = -b[:, dim, 3]
-        b[:, dim, 6] = -b[:, dim, 0]
-        b[:, dim, 7] = -b[:, dim, 1]
+    if b_out is None:
+        b_out = np.empty((n, 3, 8), dtype=x.dtype)
+    if detv_out is None:
+        detv_out = np.empty(n, dtype=x.dtype)
+    with ws.scope() as s:
+        fj = [s.take((n,)) for _ in range(9)]
+        cj = [s.take((n,)) for _ in range(9)]
+        t60, t53, t71, t42 = (s.take((n,)) for _ in range(4))
+        t = s.take((n,))
+        (fjxxi, fjxet, fjxze, fjyxi, fjyet, fjyze, fjzxi, fjzet, fjzze) = fj
+        (cjxxi, cjxet, cjxze, cjyxi, cjyet, cjyze, cjzxi, cjzet, cjzze) = cj
 
-    detv = 8.0 * (fjxet * cjxet + fjyet * cjyet + fjzet * cjzet)
-    return b, detv
+        # Jacobian columns at the element center (0.125 = trilinear weights).
+        for c, (fxi, fet, fze) in (
+            (x, (fjxxi, fjxet, fjxze)),
+            (y, (fjyxi, fjyet, fjyze)),
+            (z, (fjzxi, fjzet, fjzze)),
+        ):
+            np.subtract(c[:, 6], c[:, 0], out=t60)
+            np.subtract(c[:, 5], c[:, 3], out=t53)
+            np.subtract(c[:, 7], c[:, 1], out=t71)
+            np.subtract(c[:, 4], c[:, 2], out=t42)
+            np.add(t60, t53, out=fxi)
+            fxi -= t71
+            fxi -= t42
+            fxi *= 0.125
+            np.subtract(t60, t53, out=fet)
+            fet += t71
+            fet -= t42
+            fet *= 0.125
+            np.add(t60, t53, out=fze)
+            fze += t71
+            fze += t42
+            fze *= 0.125
+
+        # Cofactors of the Jacobian (negative-leading products flipped to
+        # the bitwise-equal ``c*d - a*b`` form).
+        def cof(dst, a, b_, c_, d_):
+            np.multiply(a, b_, out=dst)
+            np.multiply(c_, d_, out=t)
+            dst -= t
+
+        cof(cjxxi, fjyet, fjzze, fjzet, fjyze)
+        cof(cjxet, fjzxi, fjyze, fjyxi, fjzze)
+        cof(cjxze, fjyxi, fjzet, fjzxi, fjyet)
+        cof(cjyxi, fjzet, fjxze, fjxet, fjzze)
+        cof(cjyet, fjxxi, fjzze, fjzxi, fjxze)
+        cof(cjyze, fjzxi, fjxet, fjxxi, fjzet)
+        cof(cjzxi, fjxet, fjyze, fjyet, fjxze)
+        cof(cjzet, fjyxi, fjxze, fjxxi, fjyze)
+        cof(cjzze, fjxxi, fjyet, fjyxi, fjxet)
+
+        for dim, (cxi, cet, cze) in enumerate(
+            ((cjxxi, cjxet, cjxze), (cjyxi, cjyet, cjyze), (cjzxi, cjzet, cjzze))
+        ):
+            b0 = b_out[:, dim, 0]
+            b1 = b_out[:, dim, 1]
+            b2 = b_out[:, dim, 2]
+            b3 = b_out[:, dim, 3]
+            np.add(cxi, cet, out=t)
+            np.add(t, cze, out=b0)
+            np.negative(b0, out=b0)  # -cxi - cet - cze
+            np.subtract(cxi, cet, out=b1)
+            b1 -= cze
+            np.subtract(t, cze, out=b2)
+            np.subtract(cet, cxi, out=b3)
+            b3 -= cze
+            np.negative(b2, out=b_out[:, dim, 4])
+            np.negative(b3, out=b_out[:, dim, 5])
+            np.negative(b0, out=b_out[:, dim, 6])
+            np.negative(b1, out=b_out[:, dim, 7])
+
+        np.multiply(fjxet, cjxet, out=detv_out)
+        np.multiply(fjyet, cjyet, out=t)
+        detv_out += t
+        np.multiply(fjzet, cjzet, out=t)
+        detv_out += t
+        detv_out *= 8.0
+    return b_out, detv_out
 
 
 # Face corner quadruples for CalcElemNodeNormals, reference order.
@@ -203,7 +323,11 @@ def _normal_face_idx() -> "np.ndarray":
 
 
 def calc_elem_node_normals(
-    x: np.ndarray, y: np.ndarray, z: np.ndarray
+    x: np.ndarray,
+    y: np.ndarray,
+    z: np.ndarray,
+    out: np.ndarray | None = None,
+    ws=None,
 ) -> np.ndarray:
     """``CalcElemNodeNormals``: area-weighted outward normals per corner.
 
@@ -212,20 +336,53 @@ def calc_elem_node_normals(
     evaluated in one batched pass; the corner accumulation is the face-to-
     corner incidence matmul.
     """
+    if ws is None:
+        ws = HEAP
     idx = _normal_face_idx()
     n = x.shape[0]
-    # (n, 6, 4) per-face corner coordinates.
-    xf, yf, zf = x[:, idx], y[:, idx], z[:, idx]
-    bis0 = lambda c: 0.5 * (c[:, :, 3] + c[:, :, 2] - c[:, :, 1] - c[:, :, 0])
-    bis1 = lambda c: 0.5 * (c[:, :, 2] + c[:, :, 1] - c[:, :, 3] - c[:, :, 0])
-    bx0, by0, bz0 = bis0(xf), bis0(yf), bis0(zf)
-    bx1, by1, bz1 = bis1(xf), bis1(yf), bis1(zf)
-    areas = np.empty((n, 3, 6), dtype=x.dtype)
-    areas[:, 0, :] = 0.25 * (by0 * bz1 - bz0 * by1)
-    areas[:, 1, :] = 0.25 * (bz0 * bx1 - bx0 * bz1)
-    areas[:, 2, :] = 0.25 * (bx0 * by1 - by0 * bx1)
-    # pf[n, d, c] = sum_f areas[n, d, f] * incidence[f, c]
-    return areas @ _face_corner_matrix()
+    if out is None:
+        out = np.empty((n, 3, 8), dtype=x.dtype)
+    with ws.scope() as s:
+        xf = s.take((n, 6, 4))
+        yf = s.take((n, 6, 4))
+        zf = s.take((n, 6, 4))
+        np.take(x, idx, axis=1, out=xf, mode="clip")  # (n, 6, 4) per-face corners
+        np.take(y, idx, axis=1, out=yf, mode="clip")
+        np.take(z, idx, axis=1, out=zf, mode="clip")
+        b0 = [s.take((n, 6)) for _ in range(3)]
+        b1 = [s.take((n, 6)) for _ in range(3)]
+        t = s.take((n, 6))
+        areas = s.take((n, 3, 6))
+
+        def bisector(dst, c, p, q, r, w):
+            # 0.5 * (c_p + c_q - c_r - c_w)
+            np.add(c[:, :, p], c[:, :, q], out=dst)
+            dst -= c[:, :, r]
+            dst -= c[:, :, w]
+            dst *= 0.5
+
+        for cf, d0, d1 in ((xf, b0[0], b1[0]), (yf, b0[1], b1[1]), (zf, b0[2], b1[2])):
+            bisector(d0, cf, 3, 2, 1, 0)
+            bisector(d1, cf, 2, 1, 3, 0)
+
+        c6 = s.take((n, 6))
+
+        def cross(dst, u0, v1, v0, u1):
+            # 0.25 * (u0*v1 - v0*u1), staged in a contiguous row: a ufunc
+            # writing a 2-D strided view falls back to buffered iteration
+            # (an allocation per call); the plain copy at the end does not.
+            np.multiply(u0, v1, out=c6)
+            np.multiply(v0, u1, out=t)
+            np.subtract(c6, t, out=c6)
+            np.multiply(c6, 0.25, out=c6)
+            dst[...] = c6
+
+        cross(areas[:, 0, :], b0[1], b1[2], b0[2], b1[1])
+        cross(areas[:, 1, :], b0[2], b1[0], b0[0], b1[2])
+        cross(areas[:, 2, :], b0[0], b1[1], b0[1], b1[0])
+        # pf[n, d, c] = sum_f areas[n, d, f] * incidence[f, c]
+        np.matmul(areas, _face_corner_matrix(), out=out)
+    return out
 
 
 def calc_elem_velocity_gradient(
@@ -234,6 +391,10 @@ def calc_elem_velocity_gradient(
     zvel: np.ndarray,
     b: np.ndarray,
     detv: np.ndarray,
+    dxx_out: np.ndarray | None = None,
+    dyy_out: np.ndarray | None = None,
+    dzz_out: np.ndarray | None = None,
+    ws=None,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """``CalcElemVelocityGradient``: principal strain rates (dxx, dyy, dzz).
 
@@ -241,23 +402,36 @@ def calc_elem_velocity_gradient(
     (``b[:, :, 4:] = -b[:, :, perm]``) to fold the 8-corner sums into four
     differences, exactly as the reference does.
     """
-    inv_detv = 1.0 / detv
-    pfx = b[:, 0, :]
-    pfy = b[:, 1, :]
-    pfz = b[:, 2, :]
-
-    def principal(pf: np.ndarray, vel: np.ndarray) -> np.ndarray:
-        return inv_detv * (
-            pf[:, 0] * (vel[:, 0] - vel[:, 6])
-            + pf[:, 1] * (vel[:, 1] - vel[:, 7])
-            + pf[:, 2] * (vel[:, 2] - vel[:, 4])
-            + pf[:, 3] * (vel[:, 3] - vel[:, 5])
-        )
-
-    dxx = principal(pfx, xvel)
-    dyy = principal(pfy, yvel)
-    dzz = principal(pfz, zvel)
-    return dxx, dyy, dzz
+    if ws is None:
+        ws = HEAP
+    n = xvel.shape[0]
+    if dxx_out is None:
+        dxx_out = np.empty(n, dtype=xvel.dtype)
+    if dyy_out is None:
+        dyy_out = np.empty(n, dtype=xvel.dtype)
+    if dzz_out is None:
+        dzz_out = np.empty(n, dtype=xvel.dtype)
+    with ws.scope() as s:
+        inv = s.take((n,))
+        t = s.take((n,))
+        np.divide(1.0, detv, out=inv)
+        for dim, (vel, out_) in enumerate(
+            ((xvel, dxx_out), (yvel, dyy_out), (zvel, dzz_out))
+        ):
+            pf = b[:, dim, :]
+            np.subtract(vel[:, 0], vel[:, 6], out=t)
+            np.multiply(t, pf[:, 0], out=out_)
+            np.subtract(vel[:, 1], vel[:, 7], out=t)
+            t *= pf[:, 1]
+            out_ += t
+            np.subtract(vel[:, 2], vel[:, 4], out=t)
+            t *= pf[:, 2]
+            out_ += t
+            np.subtract(vel[:, 3], vel[:, 5], out=t)
+            t *= pf[:, 3]
+            out_ += t
+            out_ *= inv
+    return dxx_out, dyy_out, dzz_out
 
 
 # VoluDer corner-permutation table: row ``a`` lists the six corners whose
@@ -306,8 +480,26 @@ def _voluder_idx() -> "np.ndarray":
     return _VOLUDER_IDX
 
 
+# The six (p_i + p_j) * (q_k + q_l) products of the VoluDer expression, in
+# reference order: ((i, j), (k, l)) index pairs into the permuted columns.
+_VOLUDER_TERMS = (
+    ((1, 2), (0, 1)),
+    ((0, 1), (1, 2)),
+    ((0, 4), (3, 4)),
+    ((3, 4), (0, 4)),
+    ((2, 5), (3, 5)),
+    ((3, 5), (2, 5)),
+)
+
+
 def calc_elem_volume_derivative(
-    x: np.ndarray, y: np.ndarray, z: np.ndarray
+    x: np.ndarray,
+    y: np.ndarray,
+    z: np.ndarray,
+    dvdx_out: np.ndarray | None = None,
+    dvdy_out: np.ndarray | None = None,
+    dvdz_out: np.ndarray | None = None,
+    ws=None,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """``CalcElemVolumeDerivative``: (dV/dx_a, dV/dy_a, dV/dz_a).
 
@@ -319,35 +511,54 @@ def calc_elem_volume_derivative(
     VoluDer expression applied across the last axis — identical per-value
     arithmetic to the row-at-a-time reference, ~4x fewer NumPy dispatches.
     """
+    if ws is None:
+        ws = HEAP
     idx = _voluder_idx()
-    xp = x[:, idx]  # (n, 8, 6): corner a's six permuted neighbours
-    yp = y[:, idx]
-    zp = z[:, idx]
-    x0, x1, x2, x3, x4, x5 = (xp[:, :, i] for i in range(6))
-    y0, y1, y2, y3, y4, y5 = (yp[:, :, i] for i in range(6))
-    z0, z1, z2, z3, z4, z5 = (zp[:, :, i] for i in range(6))
-    dvdx = (
-        (y1 + y2) * (z0 + z1)
-        - (y0 + y1) * (z1 + z2)
-        + (y0 + y4) * (z3 + z4)
-        - (y3 + y4) * (z0 + z4)
-        - (y2 + y5) * (z3 + z5)
-        + (y3 + y5) * (z2 + z5)
-    ) / 12.0
-    dvdy = (
-        -(x1 + x2) * (z0 + z1)
-        + (x0 + x1) * (z1 + z2)
-        - (x0 + x4) * (z3 + z4)
-        + (x3 + x4) * (z0 + z4)
-        + (x2 + x5) * (z3 + z5)
-        - (x3 + x5) * (z2 + z5)
-    ) / 12.0
-    dvdz = (
-        -(y1 + y2) * (x0 + x1)
-        + (y0 + y1) * (x1 + x2)
-        - (y0 + y4) * (x3 + x4)
-        + (y3 + y4) * (x0 + x4)
-        + (y2 + y5) * (x3 + x5)
-        - (y3 + y5) * (x2 + x5)
-    ) / 12.0
-    return dvdx, dvdy, dvdz
+    n = x.shape[0]
+    if dvdx_out is None:
+        dvdx_out = np.empty((n, 8), dtype=x.dtype)
+    if dvdy_out is None:
+        dvdy_out = np.empty((n, 8), dtype=x.dtype)
+    if dvdz_out is None:
+        dvdz_out = np.empty((n, 8), dtype=x.dtype)
+    with ws.scope() as s:
+        xp = s.take((n, 8, 6))
+        yp = s.take((n, 8, 6))
+        zp = s.take((n, 8, 6))
+        np.take(x, idx, axis=1, out=xp, mode="clip")  # (n, 8, 6): six permuted neighbours
+        np.take(y, idx, axis=1, out=yp, mode="clip")
+        np.take(z, idx, axis=1, out=zp, mode="clip")
+        t1 = s.take((n, 8))
+        t2 = s.take((n, 8))
+        t3 = s.take((n, 8))
+
+        def term(dst, p, ij, q, kl):
+            # (p_i + p_j) * (q_k + q_l)
+            np.add(p[:, :, ij[0]], p[:, :, ij[1]], out=dst)
+            np.add(q[:, :, kl[0]], q[:, :, kl[1]], out=t2)
+            dst *= t2
+
+        # dvdx: + - + - - + sign pattern, first term positive.
+        term(dvdx_out, yp, _VOLUDER_TERMS[0][0], zp, _VOLUDER_TERMS[0][1])
+        for k, sign in ((1, -1), (2, +1), (3, -1), (4, -1), (5, +1)):
+            term(t1, yp, _VOLUDER_TERMS[k][0], zp, _VOLUDER_TERMS[k][1])
+            if sign > 0:
+                dvdx_out += t1
+            else:
+                dvdx_out -= t1
+        dvdx_out /= 12.0
+
+        # dvdy / dvdz: - + - + + - pattern; the leading -A + B is evaluated
+        # as the bitwise-equal B - A.
+        for out_, p, q in ((dvdy_out, xp, zp), (dvdz_out, yp, xp)):
+            term(t3, p, _VOLUDER_TERMS[0][0], q, _VOLUDER_TERMS[0][1])
+            term(out_, p, _VOLUDER_TERMS[1][0], q, _VOLUDER_TERMS[1][1])
+            out_ -= t3
+            for k, sign in ((2, -1), (3, +1), (4, +1), (5, -1)):
+                term(t1, p, _VOLUDER_TERMS[k][0], q, _VOLUDER_TERMS[k][1])
+                if sign > 0:
+                    out_ += t1
+                else:
+                    out_ -= t1
+            out_ /= 12.0
+    return dvdx_out, dvdy_out, dvdz_out

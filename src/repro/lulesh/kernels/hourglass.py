@@ -14,7 +14,10 @@ reference decomposition:
 
 The paper runs the whole stress chain and the whole hourglass chain as
 *independent* parallel task chains (Fig. 8) — possible because both only
-read coordinates/velocities and write disjoint per-corner arrays.
+read coordinates/velocities and write disjoint per-corner arrays.  The
+coordinate gathers go through the shared per-partition gather cache, so the
+``x/y/z`` corners fetched by the stress chain are reused here rather than
+re-gathered.
 """
 
 from __future__ import annotations
@@ -34,23 +37,29 @@ def calc_hourglass_control(domain, lo: int, hi: int) -> None:
     ``determ = volo * v`` (the pre-step element volume), and enforces the
     positive-volume invariant.
     """
-    x = domain.gather_elem(domain.x, lo, hi)
-    y = domain.gather_elem(domain.y, lo, hi)
-    z = domain.gather_elem(domain.z, lo, hi)
-    dvdx, dvdy, dvdz = calc_elem_volume_derivative(x, y, z)
-    domain.dvdx[lo:hi] = dvdx
-    domain.dvdy[lo:hi] = dvdy
-    domain.dvdz[lo:hi] = dvdz
+    ws = domain.workspace
+    x = domain.gather_corners("x", lo, hi)
+    y = domain.gather_corners("y", lo, hi)
+    z = domain.gather_corners("z", lo, hi)
+    calc_elem_volume_derivative(
+        x, y, z,
+        dvdx_out=domain.dvdx[lo:hi],
+        dvdy_out=domain.dvdy[lo:hi],
+        dvdz_out=domain.dvdz[lo:hi],
+        ws=ws,
+    )
     domain.x8n[lo:hi] = x
     domain.y8n[lo:hi] = y
     domain.z8n[lo:hi] = z
-    determ = domain.volo[lo:hi] * domain.v[lo:hi]
-    domain.hg_determ[lo:hi] = determ
-    if (domain.v[lo:hi] <= 0.0).any():
-        bad = lo + int(np.argmax(domain.v[lo:hi] <= 0.0))
-        raise VolumeError(
-            f"non-positive relative volume in element {bad} (hourglass control)"
-        )
+    np.multiply(domain.volo[lo:hi], domain.v[lo:hi], out=domain.hg_determ[lo:hi])
+    with ws.scope() as s:
+        bad_mask = s.take((hi - lo,), dtype=bool)
+        np.less_equal(domain.v[lo:hi], 0.0, out=bad_mask)
+        if bad_mask.any():
+            bad = lo + int(np.argmax(bad_mask))
+            raise VolumeError(
+                f"non-positive relative volume in element {bad} (hourglass control)"
+            )
 
 
 def calc_fb_hourglass_force(domain, lo: int, hi: int) -> None:
@@ -65,35 +74,64 @@ def calc_fb_hourglass_force(domain, lo: int, hi: int) -> None:
         domain.hgfy_elem.reshape(-1, 8)[lo:hi] = 0.0
         domain.hgfz_elem.reshape(-1, 8)[lo:hi] = 0.0
         return
+    ws = domain.workspace
     gamma = GAMMA_HOURGLASS  # (4 modes, 8 corners)
+    gamma_t = gamma.T
     determ = domain.hg_determ[lo:hi]
-    volinv = 1.0 / determ
+    n = hi - lo
 
-    # hourmod[m] = sum_a coord8n[a] * gamma[m][a]  -> (n, 4)
-    hmx = domain.x8n[lo:hi] @ gamma.T
-    hmy = domain.y8n[lo:hi] @ gamma.T
-    hmz = domain.z8n[lo:hi] @ gamma.T
+    with ws.scope() as s:
+        volinv = s.take((n,))
+        np.divide(1.0, determ, out=volinv)
 
-    # hourgam[a][m] = gamma[m][a] - volinv * (dvdx[a]*hmx[m] + ...)
-    hourgam = gamma.T[None, :, :] - volinv[:, None, None] * (
-        domain.dvdx[lo:hi][:, :, None] * hmx[:, None, :]
-        + domain.dvdy[lo:hi][:, :, None] * hmy[:, None, :]
-        + domain.dvdz[lo:hi][:, :, None] * hmz[:, None, :]
-    )
+        # hourmod[m] = sum_a coord8n[a] * gamma[m][a]  -> (n, 4)
+        hmx = s.take((n, 4))
+        hmy = s.take((n, 4))
+        hmz = s.take((n, 4))
+        np.matmul(domain.x8n[lo:hi], gamma_t, out=hmx)
+        np.matmul(domain.y8n[lo:hi], gamma_t, out=hmy)
+        np.matmul(domain.z8n[lo:hi], gamma_t, out=hmz)
 
-    ss1 = domain.ss[lo:hi]
-    mass1 = domain.elemMass[lo:hi]
-    volume13 = np.cbrt(determ)
-    coefficient = -hourg * 0.01 * ss1 * mass1 / volume13
+        # hourgam[a][m] = gamma[m][a] - volinv * (dvdx[a]*hmx[m] + ...)
+        # Outer products and the volinv scale go through einsum: broadcast
+        # (stride-0) ufunc operands trigger buffered iteration, which
+        # allocates per call; einsum's contraction loop does not.
+        hourgam = s.take((n, 8, 4))
+        t84 = s.take((n, 8, 4))
+        np.einsum("na,nm->nam", domain.dvdx[lo:hi], hmx, out=hourgam)
+        np.einsum("na,nm->nam", domain.dvdy[lo:hi], hmy, out=t84)
+        hourgam += t84
+        np.einsum("na,nm->nam", domain.dvdz[lo:hi], hmz, out=t84)
+        hourgam += t84
+        np.einsum("nam,n->nam", hourgam, volinv, out=t84)
+        gamma_full = ws.static(
+            ("gamma-broadcast", n),
+            lambda: np.ascontiguousarray(np.broadcast_to(gamma_t, (n, 8, 4))),
+        )
+        np.subtract(gamma_full, t84, out=hourgam)
 
-    xd = domain.gather_elem(domain.xd, lo, hi)
-    yd = domain.gather_elem(domain.yd, lo, hi)
-    zd = domain.gather_elem(domain.zd, lo, hi)
+        ss1 = domain.ss[lo:hi]
+        mass1 = domain.elemMass[lo:hi]
+        coefficient = s.take((n,))
+        volume13 = s.take((n,))
+        np.cbrt(determ, out=volume13)
+        # -hourg * 0.01 * ss1 * mass1 / volume13, left-assoc: the scalar
+        # product folds first.
+        np.multiply(ss1, -hourg * 0.01, out=coefficient)
+        coefficient *= mass1
+        coefficient /= volume13
 
-    fx = domain.hgfx_elem.reshape(-1, 8)
-    fy = domain.hgfy_elem.reshape(-1, 8)
-    fz = domain.hgfz_elem.reshape(-1, 8)
-    # h[m] = sum_a hourgam[a][m] * vel[a]; force[a] = coeff * hourgam[a][m] h[m]
-    for vel, f in ((xd, fx), (yd, fy), (zd, fz)):
-        h = np.einsum("nam,na->nm", hourgam, vel)
-        f[lo:hi] = coefficient[:, None] * np.einsum("nam,nm->na", hourgam, h)
+        xd = domain.gather_corners("xd", lo, hi)
+        yd = domain.gather_corners("yd", lo, hi)
+        zd = domain.gather_corners("zd", lo, hi)
+
+        fx = domain.hgfx_elem.reshape(-1, 8)
+        fy = domain.hgfy_elem.reshape(-1, 8)
+        fz = domain.hgfz_elem.reshape(-1, 8)
+        h = s.take((n, 4))
+        fcorn = s.take((n, 8))
+        # h[m] = sum_a hourgam[a][m] * vel[a]; force[a] = coeff * hourgam[a][m] h[m]
+        for vel, f in ((xd, fx), (yd, fy), (zd, fz)):
+            np.einsum("nam,na->nm", hourgam, vel, out=h)
+            np.einsum("nam,nm->na", hourgam, h, out=fcorn)
+            np.einsum("n,na->na", coefficient, fcorn, out=f[lo:hi])

@@ -5,6 +5,10 @@ from the updated node positions/velocities compute, per element, the new
 relative volume, its increment, the characteristic length, and the principal
 strain rates at the midpoint configuration; then subtract the volumetric
 part (``vdov/3``) to leave the deviatoric strain rate.
+
+Coordinate/velocity gathers come from the shared gather cache (read-only
+buffers); the half-step configuration is built in scratch instead of
+mutating the gathered corners in place.
 """
 
 from __future__ import annotations
@@ -24,29 +28,48 @@ __all__ = ["calc_kinematics", "calc_lagrange_elements_part2"]
 
 def calc_kinematics(domain, lo: int, hi: int, dt: float) -> None:
     """``CalcKinematicsForElems`` over elements ``[lo, hi)``."""
-    x = domain.gather_elem(domain.x, lo, hi)
-    y = domain.gather_elem(domain.y, lo, hi)
-    z = domain.gather_elem(domain.z, lo, hi)
-    xd = domain.gather_elem(domain.xd, lo, hi)
-    yd = domain.gather_elem(domain.yd, lo, hi)
-    zd = domain.gather_elem(domain.zd, lo, hi)
+    ws = domain.workspace
+    x = domain.gather_corners("x", lo, hi)
+    y = domain.gather_corners("y", lo, hi)
+    z = domain.gather_corners("z", lo, hi)
+    xd = domain.gather_corners("xd", lo, hi)
+    yd = domain.gather_corners("yd", lo, hi)
+    zd = domain.gather_corners("zd", lo, hi)
+    n = hi - lo
 
-    volume = calc_elem_volume(x, y, z)
-    relative_volume = volume / domain.volo[lo:hi]
-    domain.vnew[lo:hi] = relative_volume
-    domain.delv[lo:hi] = relative_volume - domain.v[lo:hi]
-    domain.arealg[lo:hi] = calc_elem_characteristic_length(x, y, z, volume)
+    with ws.scope() as s:
+        volume = s.take((n,))
+        calc_elem_volume(x, y, z, out=volume, ws=ws)
+        np.divide(volume, domain.volo[lo:hi], out=domain.vnew[lo:hi])
+        np.subtract(
+            domain.vnew[lo:hi], domain.v[lo:hi], out=domain.delv[lo:hi]
+        )
+        calc_elem_characteristic_length(
+            x, y, z, volume, out=domain.arealg[lo:hi], ws=ws
+        )
 
-    # Strain rates are evaluated at the half-step configuration.
-    dt2 = 0.5 * dt
-    x -= dt2 * xd
-    y -= dt2 * yd
-    z -= dt2 * zd
-    b, detv = calc_elem_shape_function_derivatives(x, y, z)
-    dxx, dyy, dzz = calc_elem_velocity_gradient(xd, yd, zd, b, detv)
-    domain.dxx[lo:hi] = dxx
-    domain.dyy[lo:hi] = dyy
-    domain.dzz[lo:hi] = dzz
+        # Strain rates are evaluated at the half-step configuration, built
+        # in scratch (the gathered corners are shared and read-only).
+        dt2 = 0.5 * dt
+        xh = s.take((n, 8))
+        yh = s.take((n, 8))
+        zh = s.take((n, 8))
+        t8 = s.take((n, 8))
+        for c, cd, ch in ((x, xd, xh), (y, yd, yh), (z, zd, zh)):
+            np.multiply(cd, dt2, out=t8)
+            np.subtract(c, t8, out=ch)
+        b = s.take((n, 3, 8))
+        detv = s.take((n,))
+        calc_elem_shape_function_derivatives(
+            xh, yh, zh, b_out=b, detv_out=detv, ws=ws
+        )
+        calc_elem_velocity_gradient(
+            xd, yd, zd, b, detv,
+            dxx_out=domain.dxx[lo:hi],
+            dyy_out=domain.dyy[lo:hi],
+            dzz_out=domain.dzz[lo:hi],
+            ws=ws,
+        )
 
 
 def calc_kinematics_dt(domain, dt: float, lo: int, hi: int) -> None:
@@ -61,12 +84,19 @@ def calc_lagrange_elements_part2(domain, lo: int, hi: int) -> None:
     strain rate.  Raises :class:`VolumeError` if any new relative volume is
     non-positive, like the reference.
     """
-    vdov = domain.dxx[lo:hi] + domain.dyy[lo:hi] + domain.dzz[lo:hi]
-    vdovthird = vdov / 3.0
-    domain.vdov[lo:hi] = vdov
-    domain.dxx[lo:hi] -= vdovthird
-    domain.dyy[lo:hi] -= vdovthird
-    domain.dzz[lo:hi] -= vdovthird
-    if (domain.vnew[lo:hi] <= 0.0).any():
-        bad = lo + int(np.argmax(domain.vnew[lo:hi] <= 0.0))
-        raise VolumeError(f"element {bad} inverted (vnew <= 0) in kinematics")
+    ws = domain.workspace
+    n = hi - lo
+    vdov = domain.vdov[lo:hi]
+    np.add(domain.dxx[lo:hi], domain.dyy[lo:hi], out=vdov)
+    vdov += domain.dzz[lo:hi]
+    with ws.scope() as s:
+        vdovthird = s.take((n,))
+        np.divide(vdov, 3.0, out=vdovthird)
+        domain.dxx[lo:hi] -= vdovthird
+        domain.dyy[lo:hi] -= vdovthird
+        domain.dzz[lo:hi] -= vdovthird
+        bad_mask = s.take((n,), dtype=bool)
+        np.less_equal(domain.vnew[lo:hi], 0.0, out=bad_mask)
+        if bad_mask.any():
+            bad = lo + int(np.argmax(bad_mask))
+            raise VolumeError(f"element {bad} inverted (vnew <= 0) in kinematics")

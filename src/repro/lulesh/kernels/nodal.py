@@ -16,6 +16,9 @@ Velocity and position are the paper's running example of dependence purely
 *per node*: "there is no need to delay the calculation of a specific
 individual node's position until the velocity of all other nodes has been
 calculated" — which is why the HPX port chains them per partition.
+
+The velocity/position writers call ``domain.touch`` so the gather cache
+invalidates the corner views of the fields they mutate.
 """
 
 from __future__ import annotations
@@ -34,20 +37,27 @@ __all__ = [
 def sum_elem_forces_to_nodes(domain, lo: int, hi: int) -> None:
     """Total force on nodes ``[lo, hi)`` from both per-corner buffers."""
     mesh = domain.mesh
-    mesh.sum_corners_to_nodes(domain.fx_elem, domain.fx, lo, hi)
-    mesh.sum_corners_to_nodes(domain.fy_elem, domain.fy, lo, hi)
-    mesh.sum_corners_to_nodes(domain.fz_elem, domain.fz, lo, hi)
-    mesh.sum_corners_to_nodes(domain.hgfx_elem, domain.fx, lo, hi, accumulate=True)
-    mesh.sum_corners_to_nodes(domain.hgfy_elem, domain.fy, lo, hi, accumulate=True)
-    mesh.sum_corners_to_nodes(domain.hgfz_elem, domain.fz, lo, hi, accumulate=True)
+    ws = domain.workspace
+    mesh.sum_corners_to_nodes(domain.fx_elem, domain.fx, lo, hi, ws=ws)
+    mesh.sum_corners_to_nodes(domain.fy_elem, domain.fy, lo, hi, ws=ws)
+    mesh.sum_corners_to_nodes(domain.fz_elem, domain.fz, lo, hi, ws=ws)
+    mesh.sum_corners_to_nodes(
+        domain.hgfx_elem, domain.fx, lo, hi, accumulate=True, ws=ws
+    )
+    mesh.sum_corners_to_nodes(
+        domain.hgfy_elem, domain.fy, lo, hi, accumulate=True, ws=ws
+    )
+    mesh.sum_corners_to_nodes(
+        domain.hgfz_elem, domain.fz, lo, hi, accumulate=True, ws=ws
+    )
 
 
 def calc_acceleration(domain, lo: int, hi: int) -> None:
     """``CalcAccelerationForNodes``: a = F / nodalMass."""
     m = domain.nodalMass[lo:hi]
-    domain.xdd[lo:hi] = domain.fx[lo:hi] / m
-    domain.ydd[lo:hi] = domain.fy[lo:hi] / m
-    domain.zdd[lo:hi] = domain.fz[lo:hi] / m
+    np.divide(domain.fx[lo:hi], m, out=domain.xdd[lo:hi])
+    np.divide(domain.fy[lo:hi], m, out=domain.ydd[lo:hi])
+    np.divide(domain.fz[lo:hi], m, out=domain.zdd[lo:hi])
 
 
 def apply_acceleration_bc(domain) -> None:
@@ -66,21 +76,40 @@ def apply_acceleration_bc(domain) -> None:
 def calc_velocity(domain, lo: int, hi: int, dt: float) -> None:
     """``CalcVelocityForNodes``: v += a*dt, tiny values snapped to zero."""
     u_cut = domain.opts.u_cut
-    for vel, acc in (
-        (domain.xd, domain.xdd),
-        (domain.yd, domain.ydd),
-        (domain.zd, domain.zdd),
-    ):
-        vnew = vel[lo:hi] + acc[lo:hi] * dt
-        vnew[np.abs(vnew) < u_cut] = 0.0
-        vel[lo:hi] = vnew
+    ws = domain.workspace
+    n = hi - lo
+    with ws.scope() as s:
+        t = s.take((n,))
+        a = s.take((n,))
+        mask = s.take((n,), dtype=bool)
+        for vel, acc in (
+            (domain.xd, domain.xdd),
+            (domain.yd, domain.ydd),
+            (domain.zd, domain.zdd),
+        ):
+            np.multiply(acc[lo:hi], dt, out=t)
+            np.add(vel[lo:hi], t, out=t)
+            np.abs(t, out=a)
+            np.less(a, u_cut, out=mask)
+            np.copyto(t, 0.0, where=mask)
+            vel[lo:hi] = t
+    domain.touch("xd", "yd", "zd")
 
 
 def calc_position(domain, lo: int, hi: int, dt: float) -> None:
     """``CalcPositionForNodes``: x += v*dt."""
-    domain.x[lo:hi] += domain.xd[lo:hi] * dt
-    domain.y[lo:hi] += domain.yd[lo:hi] * dt
-    domain.z[lo:hi] += domain.zd[lo:hi] * dt
+    ws = domain.workspace
+    n = hi - lo
+    with ws.scope() as s:
+        t = s.take((n,))
+        for pos, vel in (
+            (domain.x, domain.xd),
+            (domain.y, domain.yd),
+            (domain.z, domain.zd),
+        ):
+            np.multiply(vel[lo:hi], dt, out=t)
+            pos[lo:hi] += t
+    domain.touch("x", "y", "z")
 
 
 def calc_velocity_dt(domain, dt: float, lo: int, hi: int) -> None:

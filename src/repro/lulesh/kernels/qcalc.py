@@ -7,6 +7,11 @@ them into the linear and quadratic viscosity terms ``ql`` / ``qq`` consumed
 by the EOS.  Boundary handling follows the reference's bitmask switch:
 symmetry faces mirror the element's own gradient, free faces contribute
 zero, interior faces read the face neighbour via ``lxim``/``lxip`` etc.
+
+The per-region limiter indexes (``elemBC`` and face-neighbour lists for the
+region's element set) are static per region — they are built once and kept
+in the workspace's static cache; all elementwise temporaries come from the
+scratch arena.
 """
 
 from __future__ import annotations
@@ -42,107 +47,157 @@ _PTINY = 1.0e-36
 
 def calc_monotonic_q_gradients(domain, lo: int, hi: int) -> None:
     """``CalcMonotonicQGradientsForElems`` over elements ``[lo, hi)``."""
-    x = domain.gather_elem(domain.x, lo, hi)
-    y = domain.gather_elem(domain.y, lo, hi)
-    z = domain.gather_elem(domain.z, lo, hi)
-    xv = domain.gather_elem(domain.xd, lo, hi)
-    yv = domain.gather_elem(domain.yd, lo, hi)
-    zv = domain.gather_elem(domain.zd, lo, hi)
+    ws = domain.workspace
+    x = domain.gather_corners("x", lo, hi)
+    y = domain.gather_corners("y", lo, hi)
+    z = domain.gather_corners("z", lo, hi)
+    xv = domain.gather_corners("xd", lo, hi)
+    yv = domain.gather_corners("yd", lo, hi)
+    zv = domain.gather_corners("zd", lo, hi)
+    n = hi - lo
 
-    vol = domain.volo[lo:hi] * domain.vnew[lo:hi]
-    norm = 1.0 / (vol + _PTINY)
+    with ws.scope() as s:
+        vol = s.take((n,))
+        norm = s.take((n,))
+        np.multiply(domain.volo[lo:hi], domain.vnew[lo:hi], out=vol)
+        np.add(vol, _PTINY, out=norm)
+        np.divide(1.0, norm, out=norm)
 
-    def face_diff(c: np.ndarray, plus: tuple, minus: tuple, sign: float) -> np.ndarray:
-        s = c[:, plus[0]] + c[:, plus[1]] + c[:, plus[2]] + c[:, plus[3]]
-        t = c[:, minus[0]] + c[:, minus[1]] + c[:, minus[2]] + c[:, minus[3]]
-        return sign * 0.25 * (s - t)
+        t1 = s.take((n,))
 
-    # Centered direction vectors of the logical axes.
-    dxj = face_diff(x, (0, 1, 5, 4), (3, 2, 6, 7), -1.0)
-    dyj = face_diff(y, (0, 1, 5, 4), (3, 2, 6, 7), -1.0)
-    dzj = face_diff(z, (0, 1, 5, 4), (3, 2, 6, 7), -1.0)
-    dxi = face_diff(x, (1, 2, 6, 5), (0, 3, 7, 4), 1.0)
-    dyi = face_diff(y, (1, 2, 6, 5), (0, 3, 7, 4), 1.0)
-    dzi = face_diff(z, (1, 2, 6, 5), (0, 3, 7, 4), 1.0)
-    dxk = face_diff(x, (4, 5, 6, 7), (0, 1, 2, 3), 1.0)
-    dyk = face_diff(y, (4, 5, 6, 7), (0, 1, 2, 3), 1.0)
-    dzk = face_diff(z, (4, 5, 6, 7), (0, 1, 2, 3), 1.0)
+        def face_diff_into(
+            dst: np.ndarray, c: np.ndarray, plus: tuple, minus: tuple, sign: float
+        ) -> np.ndarray:
+            np.add(c[:, plus[0]], c[:, plus[1]], out=dst)
+            np.add(dst, c[:, plus[2]], out=dst)
+            np.add(dst, c[:, plus[3]], out=dst)
+            np.add(c[:, minus[0]], c[:, minus[1]], out=t1)
+            np.add(t1, c[:, minus[2]], out=t1)
+            np.add(t1, c[:, minus[3]], out=t1)
+            np.subtract(dst, t1, out=dst)
+            np.multiply(dst, sign * 0.25, out=dst)
+            return dst
 
-    def direction(
-        a: tuple[np.ndarray, np.ndarray, np.ndarray],
-        b: tuple[np.ndarray, np.ndarray, np.ndarray],
-        vplus: tuple,
-        vminus: tuple,
-        vsign: float,
-        delx_out: np.ndarray,
-        delv_out: np.ndarray,
-    ) -> None:
-        ax = a[1] * b[2] - a[2] * b[1]
-        ay = a[2] * b[0] - a[0] * b[2]
-        az = a[0] * b[1] - a[1] * b[0]
-        delx_out[lo:hi] = vol / np.sqrt(ax * ax + ay * ay + az * az + _PTINY)
-        ax *= norm
-        ay *= norm
-        az *= norm
-        dxv = face_diff(xv, vplus, vminus, vsign)
-        dyv = face_diff(yv, vplus, vminus, vsign)
-        dzv = face_diff(zv, vplus, vminus, vsign)
-        delv_out[lo:hi] = ax * dxv + ay * dyv + az * dzv
+        # Centered direction vectors of the logical axes.
+        dxj, dyj, dzj, dxi, dyi, dzi, dxk, dyk, dzk = (
+            s.take((n,)) for _ in range(9)
+        )
+        face_diff_into(dxj, x, (0, 1, 5, 4), (3, 2, 6, 7), -1.0)
+        face_diff_into(dyj, y, (0, 1, 5, 4), (3, 2, 6, 7), -1.0)
+        face_diff_into(dzj, z, (0, 1, 5, 4), (3, 2, 6, 7), -1.0)
+        face_diff_into(dxi, x, (1, 2, 6, 5), (0, 3, 7, 4), 1.0)
+        face_diff_into(dyi, y, (1, 2, 6, 5), (0, 3, 7, 4), 1.0)
+        face_diff_into(dzi, z, (1, 2, 6, 5), (0, 3, 7, 4), 1.0)
+        face_diff_into(dxk, x, (4, 5, 6, 7), (0, 1, 2, 3), 1.0)
+        face_diff_into(dyk, y, (4, 5, 6, 7), (0, 1, 2, 3), 1.0)
+        face_diff_into(dzk, z, (4, 5, 6, 7), (0, 1, 2, 3), 1.0)
 
-    # zeta: normal = di x dj, velocity difference across the k faces
-    direction(
-        (dxi, dyi, dzi), (dxj, dyj, dzj),
-        (4, 5, 6, 7), (0, 1, 2, 3), 1.0,
-        domain.delx_zeta, domain.delv_zeta,
-    )
-    # xi: normal = dj x dk, velocity difference across the i faces
-    direction(
-        (dxj, dyj, dzj), (dxk, dyk, dzk),
-        (1, 2, 6, 5), (0, 3, 7, 4), 1.0,
-        domain.delx_xi, domain.delv_xi,
-    )
-    # eta: normal = dk x di, velocity difference across the j faces
-    direction(
-        (dxk, dyk, dzk), (dxi, dyi, dzi),
-        (0, 1, 5, 4), (3, 2, 6, 7), -1.0,
-        domain.delx_eta, domain.delv_eta,
-    )
+        ax, ay, az = (s.take((n,)) for _ in range(3))
+        dxv, dyv, dzv = (s.take((n,)) for _ in range(3))
+        t2 = s.take((n,))
+
+        def direction(a, b, vplus, vminus, vsign, delx_out, delv_out) -> None:
+            np.multiply(a[1], b[2], out=ax)
+            np.multiply(a[2], b[1], out=t2)
+            np.subtract(ax, t2, out=ax)
+            np.multiply(a[2], b[0], out=ay)
+            np.multiply(a[0], b[2], out=t2)
+            np.subtract(ay, t2, out=ay)
+            np.multiply(a[0], b[1], out=az)
+            np.multiply(a[1], b[0], out=t2)
+            np.subtract(az, t2, out=az)
+            # delx = vol / sqrt(ax^2 + ay^2 + az^2 + PTINY)
+            np.multiply(ax, ax, out=t1)
+            np.multiply(ay, ay, out=t2)
+            np.add(t1, t2, out=t1)
+            np.multiply(az, az, out=t2)
+            np.add(t1, t2, out=t1)
+            np.add(t1, _PTINY, out=t1)
+            np.sqrt(t1, out=t1)
+            np.divide(vol, t1, out=delx_out[lo:hi])
+            np.multiply(ax, norm, out=ax)
+            np.multiply(ay, norm, out=ay)
+            np.multiply(az, norm, out=az)
+            face_diff_into(dxv, xv, vplus, vminus, vsign)
+            face_diff_into(dyv, yv, vplus, vminus, vsign)
+            face_diff_into(dzv, zv, vplus, vminus, vsign)
+            dv = delv_out[lo:hi]
+            np.multiply(ax, dxv, out=dv)
+            np.multiply(ay, dyv, out=t1)
+            dv += t1
+            np.multiply(az, dzv, out=t1)
+            dv += t1
+
+        # zeta: normal = di x dj, velocity difference across the k faces
+        direction(
+            (dxi, dyi, dzi), (dxj, dyj, dzj),
+            (4, 5, 6, 7), (0, 1, 2, 3), 1.0,
+            domain.delx_zeta, domain.delv_zeta,
+        )
+        # xi: normal = dj x dk, velocity difference across the i faces
+        direction(
+            (dxj, dyj, dzj), (dxk, dyk, dzk),
+            (1, 2, 6, 5), (0, 3, 7, 4), 1.0,
+            domain.delx_xi, domain.delv_xi,
+        )
+        # eta: normal = dk x di, velocity difference across the j faces
+        direction(
+            (dxk, dyk, dzk), (dxi, dyi, dzi),
+            (0, 1, 5, 4), (3, 2, 6, 7), -1.0,
+            domain.delx_eta, domain.delv_eta,
+        )
 
 
-def _limited_phi(
+def _limited_phi_into(
+    phi: np.ndarray,
+    s,
     delv: np.ndarray,
     idx: np.ndarray,
     bc: np.ndarray,
     mask: int,
     symm: int,
     free: int,
-    neighbor_minus: np.ndarray,
+    nbr_minus_idx: np.ndarray,
     mask_p: int,
     symm_p: int,
     free_p: int,
-    neighbor_plus: np.ndarray,
+    nbr_plus_idx: np.ndarray,
     limiter_mult: float,
     max_slope: float,
 ) -> np.ndarray:
-    """The monotonic limiter for one logical direction."""
-    center = delv[idx]
-    norm = 1.0 / (center + _PTINY)
+    """The monotonic limiter for one logical direction, into *phi*."""
+    m = idx.shape[0]
+    center = s.take((m,))
+    normq = s.take((m,))
+    delvm = s.take((m,))
+    delvp = s.take((m,))
+    bcm = s.take((m,), dtype=bc.dtype)
+    sel = s.take((m,), dtype=bool)
 
-    bcm = bc & mask
-    delvm = delv[neighbor_minus[idx]]
-    delvm = np.where(bcm == symm, center, delvm)
-    delvm = np.where(bcm == free, 0.0, delvm)
+    np.take(delv, idx, out=center, mode="clip")
+    np.add(center, _PTINY, out=normq)
+    np.divide(1.0, normq, out=normq)
 
-    bcp = bc & mask_p
-    delvp = delv[neighbor_plus[idx]]
-    delvp = np.where(bcp == symm_p, center, delvp)
-    delvp = np.where(bcp == free_p, 0.0, delvp)
+    np.bitwise_and(bc, mask, out=bcm)
+    np.take(delv, nbr_minus_idx, out=delvm, mode="clip")
+    np.equal(bcm, symm, out=sel)
+    np.copyto(delvm, center, where=sel)
+    np.equal(bcm, free, out=sel)
+    np.copyto(delvm, 0.0, where=sel)
 
-    delvm = delvm * norm
-    delvp = delvp * norm
-    phi = 0.5 * (delvm + delvp)
-    delvm = delvm * limiter_mult
-    delvp = delvp * limiter_mult
+    np.bitwise_and(bc, mask_p, out=bcm)
+    np.take(delv, nbr_plus_idx, out=delvp, mode="clip")
+    np.equal(bcm, symm_p, out=sel)
+    np.copyto(delvp, center, where=sel)
+    np.equal(bcm, free_p, out=sel)
+    np.copyto(delvp, 0.0, where=sel)
+
+    delvm *= normq
+    delvp *= normq
+    np.add(delvm, delvp, out=phi)
+    phi *= 0.5
+    delvm *= limiter_mult
+    delvp *= limiter_mult
     np.minimum(phi, delvm, out=phi)
     np.minimum(phi, delvp, out=phi)
     np.clip(phi, 0.0, max_slope, out=phi)
@@ -153,60 +208,122 @@ def calc_monotonic_q_region(domain, reg_elems: np.ndarray, lo: int, hi: int) -> 
     """``CalcMonotonicQRegionForElems`` over ``reg_elems[lo:hi]``."""
     opts = domain.opts
     mesh = domain.mesh
+    ws = domain.workspace
     idx = reg_elems[lo:hi]
     if idx.size == 0:
         return
-    bc = mesh.elemBC[idx]
-
-    phixi = _limited_phi(
-        domain.delv_xi, idx, bc,
-        XI_M, XI_M_SYMM, XI_M_FREE, mesh.lxim,
-        XI_P, XI_P_SYMM, XI_P_FREE, mesh.lxip,
-        opts.monoq_limiter_mult, opts.monoq_max_slope,
+    # The region's BC masks and face-neighbour index lists are static
+    # connectivity — built once per (region, partition) and cached.
+    bc, nxim, nxip, netam, netap, nzetam, nzetap = ws.static(
+        ("monoq", id(reg_elems), lo, hi),
+        lambda: (
+            mesh.elemBC[idx],
+            mesh.lxim[idx],
+            mesh.lxip[idx],
+            mesh.letam[idx],
+            mesh.letap[idx],
+            mesh.lzetam[idx],
+            mesh.lzetap[idx],
+        ),
     )
-    phieta = _limited_phi(
-        domain.delv_eta, idx, bc,
-        ETA_M, ETA_M_SYMM, ETA_M_FREE, mesh.letam,
-        ETA_P, ETA_P_SYMM, ETA_P_FREE, mesh.letap,
-        opts.monoq_limiter_mult, opts.monoq_max_slope,
-    )
-    phizeta = _limited_phi(
-        domain.delv_zeta, idx, bc,
-        ZETA_M, ZETA_M_SYMM, ZETA_M_FREE, mesh.lzetam,
-        ZETA_P, ZETA_P_SYMM, ZETA_P_FREE, mesh.lzetap,
-        opts.monoq_limiter_mult, opts.monoq_max_slope,
-    )
+    m = idx.shape[0]
 
-    delvxxi = np.minimum(domain.delv_xi[idx] * domain.delx_xi[idx], 0.0)
-    delvxeta = np.minimum(domain.delv_eta[idx] * domain.delx_eta[idx], 0.0)
-    delvxzeta = np.minimum(domain.delv_zeta[idx] * domain.delx_zeta[idx], 0.0)
+    with ws.scope() as s:
+        phixi = s.take((m,))
+        phieta = s.take((m,))
+        phizeta = s.take((m,))
+        _limited_phi_into(
+            phixi, s, domain.delv_xi, idx, bc,
+            XI_M, XI_M_SYMM, XI_M_FREE, nxim,
+            XI_P, XI_P_SYMM, XI_P_FREE, nxip,
+            opts.monoq_limiter_mult, opts.monoq_max_slope,
+        )
+        _limited_phi_into(
+            phieta, s, domain.delv_eta, idx, bc,
+            ETA_M, ETA_M_SYMM, ETA_M_FREE, netam,
+            ETA_P, ETA_P_SYMM, ETA_P_FREE, netap,
+            opts.monoq_limiter_mult, opts.monoq_max_slope,
+        )
+        _limited_phi_into(
+            phizeta, s, domain.delv_zeta, idx, bc,
+            ZETA_M, ZETA_M_SYMM, ZETA_M_FREE, nzetam,
+            ZETA_P, ZETA_P_SYMM, ZETA_P_FREE, nzetap,
+            opts.monoq_limiter_mult, opts.monoq_max_slope,
+        )
 
-    rho = domain.elemMass[idx] / (domain.volo[idx] * domain.vnew[idx])
-    qlin = -opts.qlc_monoq * rho * (
-        delvxxi * (1.0 - phixi)
-        + delvxeta * (1.0 - phieta)
-        + delvxzeta * (1.0 - phizeta)
-    )
-    qquad = opts.qqc_monoq * rho * (
-        delvxxi * delvxxi * (1.0 - phixi * phixi)
-        + delvxeta * delvxeta * (1.0 - phieta * phieta)
-        + delvxzeta * delvxzeta * (1.0 - phizeta * phizeta)
-    )
+        delvxxi = s.take((m,))
+        delvxeta = s.take((m,))
+        delvxzeta = s.take((m,))
+        t1 = s.take((m,))
+        for dv, dx, out_ in (
+            (domain.delv_xi, domain.delx_xi, delvxxi),
+            (domain.delv_eta, domain.delx_eta, delvxeta),
+            (domain.delv_zeta, domain.delx_zeta, delvxzeta),
+        ):
+            np.take(dv, idx, out=out_, mode="clip")
+            np.take(dx, idx, out=t1, mode="clip")
+            out_ *= t1
+            np.minimum(out_, 0.0, out=out_)
 
-    # Expanding elements (vdov > 0) get no artificial viscosity.
-    expanding = domain.vdov[idx] > 0.0
-    qlin[expanding] = 0.0
-    qquad[expanding] = 0.0
+        rho = s.take((m,))
+        np.take(domain.elemMass, idx, out=rho, mode="clip")
+        np.take(domain.volo, idx, out=t1, mode="clip")
+        t2 = s.take((m,))
+        np.take(domain.vnew, idx, out=t2, mode="clip")
+        t1 *= t2
+        rho /= t1
 
-    domain.ql[idx] = qlin
-    domain.qq[idx] = qquad
+        qlin = s.take((m,))
+        qquad = s.take((m,))
+        # qlin = (-qlc * rho) * sum_k delvx_k * (1 - phi_k)
+        np.subtract(1.0, phixi, out=t1)
+        np.multiply(delvxxi, t1, out=qlin)
+        np.subtract(1.0, phieta, out=t1)
+        t1 *= delvxeta
+        qlin += t1
+        np.subtract(1.0, phizeta, out=t1)
+        t1 *= delvxzeta
+        qlin += t1
+        np.multiply(rho, -opts.qlc_monoq, out=t1)
+        qlin *= t1
+        # qquad = (qqc * rho) * sum_k delvx_k^2 * (1 - phi_k^2)
+        np.multiply(phixi, phixi, out=t1)
+        np.subtract(1.0, t1, out=t1)
+        np.multiply(delvxxi, delvxxi, out=qquad)
+        qquad *= t1
+        np.multiply(phieta, phieta, out=t1)
+        np.subtract(1.0, t1, out=t1)
+        np.multiply(delvxeta, delvxeta, out=t2)
+        t2 *= t1
+        qquad += t2
+        np.multiply(phizeta, phizeta, out=t1)
+        np.subtract(1.0, t1, out=t1)
+        np.multiply(delvxzeta, delvxzeta, out=t2)
+        t2 *= t1
+        qquad += t2
+        np.multiply(rho, opts.qqc_monoq, out=t1)
+        qquad *= t1
+
+        # Expanding elements (vdov > 0) get no artificial viscosity.
+        np.take(domain.vdov, idx, out=t1, mode="clip")
+        expanding = s.take((m,), dtype=bool)
+        np.greater(t1, 0.0, out=expanding)
+        np.copyto(qlin, 0.0, where=expanding)
+        np.copyto(qquad, 0.0, where=expanding)
+
+        domain.ql[idx] = qlin
+        domain.qq[idx] = qquad
 
 
 def check_q_stop(domain, lo: int, hi: int) -> None:
     """Abort check of ``CalcQForElems``: q may not exceed ``qstop``."""
-    if (domain.q[lo:hi] > domain.opts.qstop).any():
-        bad = lo + int(np.argmax(domain.q[lo:hi] > domain.opts.qstop))
-        raise QStopError(
-            f"artificial viscosity exceeded qstop={domain.opts.qstop} "
-            f"in element {bad}"
-        )
+    ws = domain.workspace
+    with ws.scope() as s:
+        over = s.take((hi - lo,), dtype=bool)
+        np.greater(domain.q[lo:hi], domain.opts.qstop, out=over)
+        if over.any():
+            bad = lo + int(np.argmax(over))
+            raise QStopError(
+                f"artificial viscosity exceeded qstop={domain.opts.qstop} "
+                f"in element {bad}"
+            )

@@ -7,6 +7,10 @@ kernel (:func:`repro.lulesh.kernels.nodal.sum_elem_forces_to_nodes`) gathers
 into nodal forces.  The two-phase split matches the OpenMP reference's
 thread-safe structure and is exactly the task boundary the paper's HPX port
 uses.
+
+All temporaries come from the domain workspace: coordinate gathers through
+the shared per-partition gather cache (the hourglass chain reads the same
+corners), everything else from the scratch arena.
 """
 
 from __future__ import annotations
@@ -24,10 +28,14 @@ __all__ = ["init_stress_terms", "integrate_stress"]
 
 def init_stress_terms(domain, lo: int, hi: int) -> None:
     """``InitStressTermsForElems``: sig_xx = sig_yy = sig_zz = -p - q."""
-    sig = -domain.p[lo:hi] - domain.q[lo:hi]
-    domain.sigxx[lo:hi] = sig
-    domain.sigyy[lo:hi] = sig
-    domain.sigzz[lo:hi] = sig
+    ws = domain.workspace
+    with ws.scope() as s:
+        sig = s.take((hi - lo,))
+        np.add(domain.p[lo:hi], domain.q[lo:hi], out=sig)
+        np.negative(sig, out=sig)  # -p - q == -(p + q), bitwise
+        domain.sigxx[lo:hi] = sig
+        domain.sigyy[lo:hi] = sig
+        domain.sigzz[lo:hi] = sig
 
 
 def integrate_stress(domain, lo: int, hi: int) -> None:
@@ -37,20 +45,38 @@ def integrate_stress(domain, lo: int, hi: int) -> None:
     volume into ``determ``; raises :class:`VolumeError` on non-positive
     volumes like the reference.
     """
-    x = domain.gather_elem(domain.x, lo, hi)
-    y = domain.gather_elem(domain.y, lo, hi)
-    z = domain.gather_elem(domain.z, lo, hi)
+    ws = domain.workspace
+    x = domain.gather_corners("x", lo, hi)
+    y = domain.gather_corners("y", lo, hi)
+    z = domain.gather_corners("z", lo, hi)
+    n = hi - lo
 
-    _, detv = calc_elem_shape_function_derivatives(x, y, z)
-    domain.determ[lo:hi] = detv
-    if (detv <= 0.0).any():
-        bad = lo + int(np.argmax(detv <= 0.0))
-        raise VolumeError(f"non-positive volume in element {bad} during stress")
+    with ws.scope() as s:
+        b = s.take((n, 3, 8))
+        detv = s.take((n,))
+        bad_mask = s.take((n,), dtype=bool)
+        calc_elem_shape_function_derivatives(x, y, z, b_out=b, detv_out=detv, ws=ws)
+        domain.determ[lo:hi] = detv
+        np.less_equal(detv, 0.0, out=bad_mask)
+        if bad_mask.any():
+            bad = lo + int(np.argmax(bad_mask))
+            raise VolumeError(
+                f"non-positive volume in element {bad} during stress"
+            )
 
-    b = calc_elem_node_normals(x, y, z)
-    fx = domain.fx_elem.reshape(-1, 8)
-    fy = domain.fy_elem.reshape(-1, 8)
-    fz = domain.fz_elem.reshape(-1, 8)
-    fx[lo:hi] = -domain.sigxx[lo:hi, None] * b[:, 0, :]
-    fy[lo:hi] = -domain.sigyy[lo:hi, None] * b[:, 1, :]
-    fz[lo:hi] = -domain.sigzz[lo:hi, None] * b[:, 2, :]
+        # The shape-function b-matrix is not used by the stress integral;
+        # the node-normal pass reuses its buffer.
+        calc_elem_node_normals(x, y, z, out=b, ws=ws)
+        fx = domain.fx_elem.reshape(-1, 8)
+        fy = domain.fy_elem.reshape(-1, 8)
+        fz = domain.fz_elem.reshape(-1, 8)
+        for sig, pf, f in (
+            (domain.sigxx, b[:, 0, :], fx),
+            (domain.sigyy, b[:, 1, :], fy),
+            (domain.sigzz, b[:, 2, :], fz),
+        ):
+            # einsum instead of a broadcast multiply: a stride-0 operand
+            # makes the ufunc machinery fall back to buffered iteration,
+            # which allocates on every call.
+            np.einsum("n,nc->nc", sig[lo:hi], pf, out=f[lo:hi])
+            np.negative(f[lo:hi], out=f[lo:hi])  # (-sig)*b == -(sig*b)

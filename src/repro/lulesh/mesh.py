@@ -267,6 +267,19 @@ class Mesh:
             hi = self.numElem
         return field[self.nodelist[lo:hi]]
 
+    def gather_into(
+        self,
+        field: np.ndarray,
+        out: np.ndarray,
+        lo: int = 0,
+        hi: int | None = None,
+    ) -> np.ndarray:
+        """Allocation-free :meth:`gather`: fill *out* ``(hi-lo, 8)`` in place."""
+        if hi is None:
+            hi = self.numElem
+        np.take(field, self.nodelist[lo:hi], out=out, mode="clip")
+        return out
+
     def sum_corners_to_nodes(
         self,
         per_corner: np.ndarray,
@@ -274,6 +287,7 @@ class Mesh:
         lo: int = 0,
         hi: int | None = None,
         accumulate: bool = False,
+        ws=None,
     ) -> None:
         """Sum flattened per-corner values into nodes ``[lo, hi)``.
 
@@ -283,6 +297,9 @@ class Mesh:
         of work of the task-parallel force-sum kernel.  With
         ``accumulate=True`` the sums are added to *out* (the hourglass-force
         ``+=`` path); otherwise they overwrite (the stress-force ``=`` path).
+        With a workspace *ws* the ``reduceat`` offsets are cached (the CSR
+        map is static) and the gathered corners / per-node sums come from
+        the scratch arena.
         """
         if hi is None:
             hi = self.numNode
@@ -295,15 +312,30 @@ class Mesh:
         if start == stop:
             return
         idx = self.nodeElemCornerList[start:stop]
-        offsets = self.nodeElemStart[lo:hi] - start
         # reduceat needs strictly valid segment starts; empty segments (nodes
         # with no corners) cannot occur on this mesh — every node touches at
         # least one element.
-        sums = np.add.reduceat(per_corner[idx], offsets)
-        if accumulate:
-            out[lo:hi] += sums
-        else:
-            out[lo:hi] = sums
+        if ws is None:
+            offsets = self.nodeElemStart[lo:hi] - start
+            sums = np.add.reduceat(per_corner[idx], offsets)
+            if accumulate:
+                out[lo:hi] += sums
+            else:
+                out[lo:hi] = sums
+            return
+        offsets = ws.static(
+            ("corner-offsets", lo, hi),
+            lambda: self.nodeElemStart[lo:hi] - start,
+        )
+        with ws.scope() as s:
+            gathered = s.take((int(stop - start),), per_corner.dtype)
+            np.take(per_corner, idx, out=gathered, mode="clip")
+            sums = s.take((hi - lo,), per_corner.dtype)
+            np.add.reduceat(gathered, offsets, out=sums)
+            if accumulate:
+                out[lo:hi] += sums
+            else:
+                out[lo:hi] = sums
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

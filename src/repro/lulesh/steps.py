@@ -54,17 +54,18 @@ def lagrange_nodal_full(domain) -> None:
     """``LagrangeNodal()``: forces, acceleration, BCs, velocity, position."""
     ne, nn = domain.numElem, domain.numNode
     dt = domain.deltatime
-    # CalcForceForNodes -> CalcVolumeForceForElems
-    init_stress_terms(domain, 0, ne)
-    integrate_stress(domain, 0, ne)
-    calc_hourglass_control(domain, 0, ne)
-    calc_fb_hourglass_force(domain, 0, ne)
-    sum_elem_forces_to_nodes(domain, 0, nn)
-    # Nodal integration.
-    calc_acceleration(domain, 0, nn)
-    apply_acceleration_bc(domain)
-    calc_velocity(domain, 0, nn, dt)
-    calc_position(domain, 0, nn, dt)
+    with domain.workspace.phase():
+        # CalcForceForNodes -> CalcVolumeForceForElems
+        init_stress_terms(domain, 0, ne)
+        integrate_stress(domain, 0, ne)
+        calc_hourglass_control(domain, 0, ne)
+        calc_fb_hourglass_force(domain, 0, ne)
+        sum_elem_forces_to_nodes(domain, 0, nn)
+        # Nodal integration.
+        calc_acceleration(domain, 0, nn)
+        apply_acceleration_bc(domain)
+        calc_velocity(domain, 0, nn, dt)
+        calc_position(domain, 0, nn, dt)
 
 
 def lagrange_elements_full(domain) -> None:
@@ -73,21 +74,22 @@ def lagrange_elements_full(domain) -> None:
     dt = domain.deltatime
     regions = domain.regions
 
-    calc_kinematics(domain, 0, ne, dt)
-    calc_lagrange_elements_part2(domain, 0, ne)
+    with domain.workspace.phase():
+        calc_kinematics(domain, 0, ne, dt)
+        calc_lagrange_elements_part2(domain, 0, ne)
 
-    # CalcQForElems
-    calc_monotonic_q_gradients(domain, 0, ne)
-    for r in range(regions.num_reg):
-        calc_monotonic_q_region(domain, regions.reg_elem_lists[r], 0, None)
-    check_q_stop(domain, 0, ne)
+        # CalcQForElems
+        calc_monotonic_q_gradients(domain, 0, ne)
+        for r in range(regions.num_reg):
+            calc_monotonic_q_region(domain, regions.reg_elem_lists[r], 0, None)
+        check_q_stop(domain, 0, ne)
 
-    # ApplyMaterialPropertiesForElems
-    apply_material_properties_prologue(domain, 0, ne)
-    for r in range(regions.num_reg):
-        eval_eos_region(domain, regions.reg_elem_lists[r], regions.rep(r))
+        # ApplyMaterialPropertiesForElems
+        apply_material_properties_prologue(domain, 0, ne)
+        for r in range(regions.num_reg):
+            eval_eos_region(domain, regions.reg_elem_lists[r], regions.rep(r))
 
-    update_volumes(domain, 0, ne)
+        update_volumes(domain, 0, ne)
 
 
 def time_constraints_full(domain) -> None:
@@ -95,8 +97,9 @@ def time_constraints_full(domain) -> None:
     regions = domain.regions
     courant = 1.0e20
     hydro = 1.0e20
-    for r in range(regions.num_reg):
-        lst = regions.reg_elem_lists[r]
-        courant = min(courant, calc_courant_constraint(domain, lst))
-        hydro = min(hydro, calc_hydro_constraint(domain, lst))
+    with domain.workspace.phase():
+        for r in range(regions.num_reg):
+            lst = regions.reg_elem_lists[r]
+            courant = min(courant, calc_courant_constraint(domain, lst))
+            hydro = min(hydro, calc_hydro_constraint(domain, lst))
     reduce_time_constraints(domain, courant, hydro)

@@ -34,6 +34,7 @@ from repro.perf.registry import CounterRegistry
 __all__ = [
     "install_amt_counters",
     "install_omp_counters",
+    "install_arena_counters",
     "worker_thread_path",
 ]
 
@@ -135,3 +136,43 @@ def install_omp_counters(registry: CounterRegistry, omp: OmpRuntime) -> None:
         description="single-threaded program time",
     )
     omp.add_iteration_hook(lambda omp_: registry.sample(omp_.stats.total_ns))
+
+
+def install_arena_counters(registry: CounterRegistry, domain) -> None:
+    """Register the ``/arena/*`` family for *domain*'s kernel workspace.
+
+    Readers go through ``domain.workspace`` at sample time (not a captured
+    workspace object) because ``Domain.configure_workspace`` swaps the
+    workspace when the task-local-temporaries knob changes.
+    """
+
+    def stats():
+        return domain.workspace.stats
+
+    registry.register_gauge(
+        "/arena/checkouts",
+        lambda: stats().checkouts,
+        description="scratch buffers handed to kernels",
+    )
+    registry.register_gauge(
+        "/arena/bytes-reused",
+        lambda: stats().bytes_reused,
+        unit="[bytes]",
+        description="checkout bytes served from the pool (no allocation)",
+    )
+    registry.register_gauge(
+        "/arena/high-water",
+        lambda: stats().high_water_bytes,
+        unit="[bytes]",
+        description="peak live scratch bytes held by the arena",
+    )
+    registry.register_gauge(
+        "/arena/allocations",
+        lambda: stats().allocations,
+        description="checkouts that had to allocate a fresh buffer",
+    )
+    registry.register_gauge(
+        "/arena/gather-hits",
+        lambda: stats().gather_hits,
+        description="corner gathers served from the per-partition cache",
+    )

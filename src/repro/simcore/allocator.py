@@ -19,7 +19,7 @@ from dataclasses import dataclass, field
 
 from repro.simcore.costmodel import CostModel
 
-__all__ = ["AllocatorModel", "AllocationStats"]
+__all__ = ["AllocatorModel", "AllocationStats", "workspace_allocation_stats"]
 
 
 @dataclass
@@ -73,3 +73,27 @@ class AllocatorModel:
         if work_ns < 0:
             raise ValueError(f"work must be non-negative, got {work_ns}")
         return int(round(work_ns * self.work_multiplier()))
+
+
+def workspace_allocation_stats(workspace) -> AllocationStats:
+    """Map a real :class:`~repro.lulesh.workspace.Workspace` onto this shape.
+
+    The simulated model above charges hypothetical costs; the execute-mode
+    workspace counts *actual* NumPy allocations.  This bridge lets tooling
+    (the wall-clock bench, counter dumps) report both in one vocabulary:
+    pooled checkouts count as arena activity, fresh allocations as global
+    activity.  ``total_cost_ns`` stays zero — real time is measured, not
+    modeled.
+    """
+    s = workspace.stats
+    if workspace.reuse:
+        return AllocationStats(
+            n_arena_allocs=s.checkouts - s.allocations,
+            n_global_allocs=s.allocations,
+            arena_bytes=s.bytes_reused,
+            global_bytes=s.bytes_allocated,
+        )
+    return AllocationStats(
+        n_global_allocs=s.allocations,
+        global_bytes=s.bytes_allocated,
+    )

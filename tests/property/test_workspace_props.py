@@ -1,0 +1,89 @@
+"""Property: the workspace arena never changes the physics, bit for bit.
+
+The arena and the allocate-each-time ablation run the *same* kernel code —
+only buffer provenance differs — so every field must match exactly between
+``task_local_temporaries=True`` and ``False``, on every variant rung and
+orchestration.  This is the reproduction-level analogue of the paper's
+fairness requirement: the jemalloc/arena trick must be a pure memory-system
+optimization with zero effect on the computed answer.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.driver import run_hpx, run_omp
+from repro.core.hpx_lulesh import HpxVariant
+
+from repro.lulesh.options import LuleshOptions
+
+RUNGS = {
+    "fig5": HpxVariant.fig5,
+    "fig6": HpxVariant.fig6,
+    "fig7": HpxVariant.fig7,
+    "full": HpxVariant.full,
+}
+
+
+def assert_bitwise_equal(a, b):
+    state_a, state_b = a.copy_state(), b.copy_state()
+    for name, arr in state_a.items():
+        assert arr.tobytes() == state_b[name].tobytes(), (
+            f"field {name} not bitwise identical"
+        )
+    assert a.origin_energy() == b.origin_energy()
+
+
+class TestArenaBitwiseIdentity:
+    @given(
+        rung=st.sampled_from(sorted(RUNGS)),
+        nx=st.integers(4, 7),
+        iterations=st.integers(2, 6),
+        num_reg=st.integers(1, 3),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_hpx_rungs(self, rung, nx, iterations, num_reg):
+        opts = LuleshOptions(nx=nx, numReg=num_reg)
+        results = []
+        for task_local in (True, False):
+            variant = replace(
+                RUNGS[rung](), task_local_temporaries=task_local
+            )
+            res = run_hpx(
+                opts, 4, iterations, execute=True, variant=variant,
+                nodal_partition=32, elements_partition=32,
+            )
+            assert res.domain.workspace.reuse is task_local
+            results.append(res)
+        assert_bitwise_equal(results[0].domain, results[1].domain)
+
+    @given(nx=st.integers(4, 7), iterations=st.integers(2, 6))
+    @settings(max_examples=5, deadline=None)
+    def test_omp_structure(self, nx, iterations):
+        opts = LuleshOptions(nx=nx, numReg=2)
+        arena = run_omp(opts, 8, iterations, execute=True,
+                        task_local_temporaries=True)
+        heap = run_omp(opts, 8, iterations, execute=True,
+                       task_local_temporaries=False)
+        assert_bitwise_equal(arena.domain, heap.domain)
+
+    def test_arena_matches_heap_allocation_counts_not_physics(self):
+        """The two arms differ in allocator traffic but not state."""
+        opts = LuleshOptions(nx=6, numReg=2)
+        arena = run_hpx(opts, 4, 4, execute=True,
+                        nodal_partition=32, elements_partition=32)
+        heap = run_hpx(
+            opts, 4, 4, execute=True,
+            variant=replace(HpxVariant.full(), task_local_temporaries=False),
+            nodal_partition=32, elements_partition=32,
+        )
+        assert_bitwise_equal(arena.domain, heap.domain)
+        a, h = arena.domain.workspace.stats, heap.domain.workspace.stats
+        # Heap mode allocates on every checkout; arena mode mostly reuses
+        # (and skips checkouts entirely for cached gathers).
+        assert h.allocations == h.checkouts
+        assert a.allocations < h.allocations
+        assert a.bytes_reused > 0 and h.bytes_reused == 0
+        assert a.gather_hits > 0 and h.gather_hits == 0
