@@ -49,13 +49,15 @@ def for_loop(
     chunk_size: int | None = None,
     tag: str = "for_loop",
     blocking: bool = True,
+    idempotent: bool = False,
 ) -> list[Future]:
     """Parallel loop over ``[start, stop)`` calling ``body(lo, hi)`` per chunk.
 
     With ``blocking=True`` (the default execution policy) the call returns
     only after all chunks completed — i.e. it embeds a synchronization
     barrier, which is precisely the behaviour the paper's manual task
-    decomposition removes.
+    decomposition removes.  ``idempotent`` marks every chunk task safe for
+    bounded replay under a runtime replay policy.
     """
     if stop < start:
         raise ValueError(f"invalid range [{start}, {stop})")
@@ -76,6 +78,7 @@ def for_loop(
                 hi,
                 cost_ns=int(round(work_ns_per_item * (hi - lo))),
                 tag=f"{tag}[{lo}:{hi}]",
+                idempotent=idempotent,
             )
         )
     if blocking:

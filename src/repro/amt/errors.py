@@ -1,8 +1,26 @@
-"""Error types of the AMT runtime."""
+"""Error types of the AMT runtime.
+
+Failure semantics mirror HPX: an exception thrown inside a task body is
+stored on the task's future (``hpx::future`` exception propagation),
+continuations over a failed future short-circuit to a failed state, and
+``when_all`` aggregates its children's failures into one
+:class:`TaskGroupError` — the analogue of ``hpx::exception_list`` — that
+names every failed task tag so the offending kernel partition can be
+identified from the top-level error alone.
+"""
 
 from __future__ import annotations
 
-__all__ = ["AmtError", "FutureError", "DeadlockError"]
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+__all__ = [
+    "AmtError",
+    "FutureError",
+    "DeadlockError",
+    "TaskFailure",
+    "TaskGroupError",
+]
 
 
 class AmtError(RuntimeError):
@@ -15,3 +33,83 @@ class FutureError(AmtError):
 
 class DeadlockError(AmtError):
     """The task graph contains a cycle or an unsatisfiable dependency."""
+
+
+@dataclass(frozen=True)
+class TaskFailure:
+    """One failed task: its tag and the exception its body raised."""
+
+    tag: str
+    exception: BaseException
+
+    def __str__(self) -> str:
+        return f"{self.tag}: {type(self.exception).__name__}: {self.exception}"
+
+
+class TaskGroupError(AmtError):
+    """Aggregated failure of one or more tasks behind a barrier.
+
+    Raised (as a future's stored exception) by ``when_all`` when any input
+    future failed.  ``failures`` holds the *root* failures: nested
+    :class:`TaskGroupError` instances from upstream barriers are flattened,
+    so the tags always name the tasks whose bodies actually raised.
+    """
+
+    def __init__(self, failures: Sequence[TaskFailure]) -> None:
+        if not failures:
+            raise ValueError("TaskGroupError requires at least one failure")
+        self.failures = tuple(failures)
+        lines = "; ".join(str(f) for f in self.failures[:8])
+        more = (
+            f" (+{len(self.failures) - 8} more)" if len(self.failures) > 8 else ""
+        )
+        super().__init__(
+            f"{len(self.failures)} task(s) failed: {lines}{more}"
+        )
+
+    @classmethod
+    def collect(
+        cls, tagged_exceptions: Iterable[tuple[str, BaseException]]
+    ) -> "TaskGroupError":
+        """Build a group error, flattening nested groups to root failures.
+
+        Duplicate (tag, exception) pairs — the same root failure reaching a
+        barrier through several intermediate futures — are recorded once.
+        """
+        failures: list[TaskFailure] = []
+        seen: set[tuple[str, int]] = set()
+
+        def add(tag: str, exc: BaseException) -> None:
+            if isinstance(exc, TaskGroupError):
+                for f in exc.failures:
+                    add(f.tag, f.exception)
+                return
+            key = (tag, id(exc))
+            if key not in seen:
+                seen.add(key)
+                failures.append(TaskFailure(tag, exc))
+
+        for tag, exc in tagged_exceptions:
+            add(tag, exc)
+        return cls(failures)
+
+    @property
+    def tags(self) -> tuple[str, ...]:
+        """Tags of every failed task, in aggregation order."""
+        return tuple(f.tag for f in self.failures)
+
+    def common_cause(self, base: type) -> BaseException | None:
+        """The single shared root exception, if all failures are *base*.
+
+        Used at driver boundaries to re-raise a domain abort (e.g. LULESH's
+        ``VolumeError``) with its original type when every failed partition
+        reported the same class of physics error; returns ``None`` when the
+        failures are heterogeneous or not subclasses of *base*.
+        """
+        excs = [f.exception for f in self.failures]
+        if not all(isinstance(e, base) for e in excs):
+            return None
+        first_type = type(excs[0])
+        if not all(type(e) is first_type for e in excs):
+            return None
+        return excs[0]

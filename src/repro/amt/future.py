@@ -9,6 +9,11 @@ A future is bound to the :class:`~repro.amt.runtime.AmtRuntime` that created
 it and wraps one :class:`~repro.simcore.pool.SimTask`.  Continuations receive
 the *predecessor future* as their single leading argument — the
 ``f1.then([](hpx::future<int> &&f) { ... f.get() ... })`` idiom.
+
+Futures carry exceptions, exactly like ``hpx::future``: a task body that
+raises stores the exception instead of a value, ``get``/``result_nowait``
+re-raise it, and the runtime short-circuits continuations and barriers over
+failed futures (see :mod:`repro.amt.runtime`).
 """
 
 from __future__ import annotations
@@ -27,12 +32,20 @@ __all__ = ["Future", "SharedFuture"]
 class Future:
     """Handle to the eventual result of an asynchronous task."""
 
-    __slots__ = ("_runtime", "_task", "_value", "_has_value", "_retrieved")
+    __slots__ = (
+        "_runtime",
+        "_task",
+        "_value",
+        "_exception",
+        "_has_value",
+        "_retrieved",
+    )
 
     def __init__(self, runtime: "AmtRuntime", task: SimTask) -> None:
         self._runtime = runtime
         self._task = task
         self._value: Any = None
+        self._exception: BaseException | None = None
         self._has_value = False
         self._retrieved = False
 
@@ -47,11 +60,39 @@ class Future:
         self._value = value
         self._has_value = True
 
+    def _set_exception(self, exc: BaseException) -> None:
+        """Store *exc* as this future's outcome (``set_exception``)."""
+        self._exception = exc
+        self._has_value = True
+
     # --- HPX-like public surface ----------------------------------------------
 
     def is_ready(self) -> bool:
-        """True once the task has executed (after a flush/get)."""
+        """True once the task has executed (value *or* exception stored)."""
         return self._has_value
+
+    def has_exception(self) -> bool:
+        """True if the task executed and its body raised."""
+        return self._exception is not None
+
+    def exception_nowait(self) -> BaseException | None:
+        """Non-consuming peek at the stored exception (``None`` if ok).
+
+        Unlike :meth:`get`, this never raises and never invalidates the
+        future; it requires the future to be ready.
+        """
+        if not self._has_value:
+            raise FutureError("future is not ready; use get() or flush first")
+        return self._exception
+
+    def exception(self) -> BaseException | None:
+        """Force execution, then return the stored exception (or ``None``).
+
+        The future stays valid: unlike ``get``, checking for failure does
+        not consume the one-shot value.
+        """
+        self._force()
+        return self._exception
 
     def then(
         self,
@@ -64,9 +105,19 @@ class Future:
 
         *fn* is called as ``fn(predecessor_future, *args)`` once this future
         is ready, exactly like ``hpx::future::then``.  ``cost_ns`` is the
-        simulated work of the continuation.
+        simulated work of the continuation.  If this future fails, the
+        continuation is short-circuited and its future carries the same
+        exception.
         """
         return self._runtime.continuation(self, fn, *args, cost_ns=cost_ns, tag=tag)
+
+    def _force(self) -> None:
+        if not self._has_value:
+            self._runtime.flush()
+            if not self._has_value:
+                raise FutureError(
+                    "future did not become ready after flush (task never ran)"
+                )
 
     def get(self) -> Any:
         """Force execution up to this future and return its value.
@@ -74,22 +125,26 @@ class Future:
         Like ``hpx::future::get``, the value may be retrieved once; HPX
         futures are move-only and ``get`` invalidates them.  We reproduce the
         single-retrieval contract to catch ports that would be invalid C++.
+        A failed future re-raises the stored exception (and is consumed,
+        matching HPX's rethrow-on-get).
         """
         if self._retrieved:
             raise FutureError("future value already retrieved (futures are one-shot)")
-        if not self._has_value:
-            self._runtime.flush()
-            if not self._has_value:
-                raise FutureError(
-                    "future did not become ready after flush (task never ran)"
-                )
+        self._force()
         self._retrieved = True
+        if self._exception is not None:
+            raise self._exception
         return self._value
 
     def result_nowait(self) -> Any:
-        """Non-consuming read for continuations over already-ready futures."""
+        """Non-consuming read for continuations over already-ready futures.
+
+        Re-raises the stored exception if the task failed.
+        """
         if not self._has_value:
             raise FutureError("future is not ready; use get() or flush first")
+        if self._exception is not None:
+            raise self._exception
         return self._value
 
     def share(self) -> "SharedFuture":
@@ -104,7 +159,12 @@ class Future:
         return SharedFuture(self)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        state = "ready" if self._has_value else "pending"
+        if not self._has_value:
+            state = "pending"
+        elif self._exception is not None:
+            state = f"failed({type(self._exception).__name__})"
+        else:
+            state = "ready"
         return f"Future({self._task.tag!r}, {state})"
 
 
@@ -112,7 +172,7 @@ class SharedFuture:
     """Multi-get view of a future (``hpx::shared_future``).
 
     ``get`` may be called any number of times, and continuations can still
-    be attached.
+    be attached.  A failed shared future re-raises on every ``get``.
     """
 
     __slots__ = ("_future",)
@@ -128,6 +188,10 @@ class SharedFuture:
         """True once the underlying task has executed."""
         return self._future.is_ready()
 
+    def has_exception(self) -> bool:
+        """True if the underlying task executed and raised."""
+        return self._future.has_exception()
+
     def get(self) -> Any:
         """Force execution if needed; repeatable."""
         if not self._future._has_value:
@@ -136,6 +200,8 @@ class SharedFuture:
                 raise FutureError(
                     "shared future did not become ready after flush"
                 )
+        if self._future._exception is not None:
+            raise self._future._exception
         return self._future._value
 
     def then(
@@ -151,5 +217,4 @@ class SharedFuture:
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        state = "ready" if self._future._has_value else "pending"
-        return f"SharedFuture({self._future._task.tag!r}, {state})"
+        return f"Shared{self._future!r}"

@@ -17,6 +17,31 @@ Timing semantics: each ``flush`` simulates one execution segment starting at
 virtual t=0 whose task creations are charged serially to the spawning worker
 (the main thread).  Total program time is the sum of segment makespans —
 faithful to a main loop that blocks at segment boundaries.
+
+Failure semantics (HPX exception propagation):
+
+* an exception raised by a task body is **stored on the task's future**
+  instead of escaping the worker pool; ``get`` re-raises it;
+* a continuation over a failed future **short-circuits**: its body never
+  runs and its future carries the predecessor's exception unchanged;
+* ``when_all`` over failed inputs fails with a
+  :class:`~repro.amt.errors.TaskGroupError` naming every failed task tag
+  (``dataflow``, built on ``when_all``, short-circuits the same way);
+* the rest of the graph is unaffected — sibling tasks with no dependency on
+  the failed one execute normally, and a failed task's simulated cost is
+  still charged (the schedule does not know the body was cut short).
+
+Two optional resilience hooks (duck-typed so :mod:`repro.amt` never imports
+:mod:`repro.resilience`):
+
+* ``fault_injector`` — consulted at task creation via
+  ``draw_task(task) -> fire | None``; the injector may inflate
+  ``task.cost_ns`` (a stalled worker) and/or return a ``fire()`` callable
+  invoked at the start of every execution attempt (raising to simulate a
+  task failure);
+* ``replay`` — bounded retry of tasks declared ``idempotent=True``:
+  ``max_retries`` attempts with ``backoff_ns(attempt)`` of simulated-time
+  backoff charged to the task before the failure is allowed to propagate.
 """
 
 from __future__ import annotations
@@ -24,7 +49,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
-from repro.amt.errors import AmtError
+from repro.amt.errors import AmtError, TaskGroupError
 from repro.amt.future import Future
 from repro.simcore.costmodel import CostModel
 from repro.simcore.machine import MachineConfig
@@ -78,6 +103,8 @@ class AmtRuntime:
         cost_model: shared overhead table.
         n_workers: number of OS worker threads (``--hpx:threads``).
         record_spans: keep per-task Gantt spans on the trace (debugging).
+        fault_injector: optional resilience hook (see module docstring).
+        replay: optional bounded-retry policy for idempotent tasks.
     """
 
     def __init__(
@@ -87,6 +114,8 @@ class AmtRuntime:
         n_workers: int,
         record_spans: bool = False,
         policy: "SchedulerPolicy | None" = None,
+        fault_injector: Any = None,
+        replay: Any = None,
     ) -> None:
         self.machine = machine
         self.cost_model = cost_model
@@ -100,6 +129,8 @@ class AmtRuntime:
         self._flushing = False
         self._stats = RunStats(n_workers=n_workers, record_spans=record_spans)
         self._flush_hooks: list[Callable[["AmtRuntime", int], None]] = []
+        self.fault_injector = fault_injector
+        self.replay = replay
 
     # --- task creation -----------------------------------------------------
 
@@ -111,6 +142,52 @@ class AmtRuntime:
             )
         self._pending.append(task)
 
+    def _bind_body(
+        self,
+        fut: Future,
+        task: SimTask,
+        thunk: Callable[[], Any],
+        idempotent: bool,
+    ) -> Callable[[], None]:
+        """Wrap *thunk* with exception capture, injection, and replay.
+
+        The wrapper runs at dispatch time (before the pool reads
+        ``task.cost_ns``), so retry backoff added here is charged as
+        simulated execution time of this very task.
+        """
+        fire = None
+        if self.fault_injector is not None:
+            fire = self.fault_injector.draw_task(task)
+
+        def body() -> None:
+            attempt = 0
+            while True:
+                try:
+                    if fire is not None:
+                        fire()
+                    fut._set_value(thunk())
+                    return
+                except AmtError:
+                    # Runtime misuse (e.g. spawning tasks mid-flush) is a
+                    # programming error, not a task failure — let it escape.
+                    raise
+                except Exception as exc:  # noqa: BLE001 - future carries it
+                    replay = self.replay
+                    if (
+                        idempotent
+                        and replay is not None
+                        and attempt < replay.max_retries
+                        and replay.retryable(exc)
+                    ):
+                        attempt += 1
+                        task.cost_ns += replay.backoff_ns(attempt)
+                        replay.record_retry(task.tag, exc)
+                        continue
+                    fut._set_exception(exc)
+                    return
+
+        return body
+
     def async_(
         self,
         fn: Callable[..., Any],
@@ -119,12 +196,16 @@ class AmtRuntime:
         tag: str | None = None,
         depends: Sequence[Future] = (),
         priority: int = 0,
+        idempotent: bool = False,
     ) -> Future:
         """Create a task running ``fn(*args)``; returns its future.
 
         ``depends`` adds explicit predecessor futures (used to attach work
         after a non-blocking ``when_all`` barrier); ``priority`` is honoured
-        only under a priority-enabled scheduler policy.
+        only under a priority-enabled scheduler policy.  ``idempotent``
+        declares the body safe to re-execute, making it eligible for
+        bounded replay under a :attr:`replay` policy.  If any dependency
+        failed, the task short-circuits and propagates that failure.
         """
         task = SimTask(
             cost_ns=cost_ns,
@@ -132,9 +213,15 @@ class AmtRuntime:
             priority=priority,
         )
         fut = Future(self, task)
+        depends = tuple(depends)
+        run = self._bind_body(fut, task, lambda: fn(*args), idempotent)
 
         def body() -> None:
-            fut._set_value(fn(*args))
+            exc = _first_failure(depends)
+            if exc is not None:
+                fut._set_exception(exc)
+                return
+            run()
 
         task.body = body
         task.depends_on(*[d.task for d in depends])
@@ -149,17 +236,30 @@ class AmtRuntime:
         cost_ns: int = 0,
         tag: str | None = None,
         priority: int = 0,
+        idempotent: bool = False,
     ) -> Future:
-        """Attach ``fn(parent_future, *args)`` to run after *parent*."""
+        """Attach ``fn(parent_future, *args)`` to run after *parent*.
+
+        A failed *parent* short-circuits the continuation: *fn* never runs
+        and the returned future carries the parent's exception unchanged
+        (HPX rethrows the predecessor's exception when the continuation
+        calls ``get``; our continuations read eagerly, so the propagation
+        happens for them).
+        """
         task = SimTask(
             cost_ns=cost_ns,
             tag=tag or getattr(fn, "__name__", "then"),
             priority=priority,
         )
         fut = Future(self, task)
+        run = self._bind_body(fut, task, lambda: fn(parent, *args), idempotent)
 
         def body() -> None:
-            fut._set_value(fn(parent, *args))
+            exc = parent.exception_nowait()
+            if exc is not None:
+                fut._set_exception(exc)
+                return
+            run()
 
         task.body = body
         task.depends_on(parent.task)
@@ -171,14 +271,25 @@ class AmtRuntime:
 
         Its value is the list of input futures (HPX's
         ``future<vector<future<T>>>`` analogue).  Zero compute cost; the join
-        bookkeeping is charged by the pool per dependency edge.
+        bookkeeping is charged by the pool per dependency edge.  If any
+        input failed, the barrier fails with a
+        :class:`~repro.amt.errors.TaskGroupError` listing every failed
+        task's tag (root causes are flattened through nested barriers).
         """
         futures = list(futures)
         task = SimTask(cost_ns=0, tag=tag)
         fut = Future(self, task)
 
         def body() -> None:
-            fut._set_value(futures)
+            failed = [
+                (f.task.tag, f.exception_nowait())
+                for f in futures
+                if f.has_exception()
+            ]
+            if failed:
+                fut._set_exception(TaskGroupError.collect(failed))
+            else:
+                fut._set_value(futures)
 
         task.body = body
         task.depends_on(*[f.task for f in futures])
@@ -193,7 +304,11 @@ class AmtRuntime:
         cost_ns: int = 0,
         tag: str | None = None,
     ) -> Future:
-        """``hpx::dataflow``: run ``fn(futures, *args)`` when all are ready."""
+        """``hpx::dataflow``: run ``fn(futures, *args)`` when all are ready.
+
+        Short-circuits to a failed state (carrying the aggregated
+        ``TaskGroupError``) if any input future failed.
+        """
         gate = self.when_all(futures, tag="dataflow-gate")
         return self.continuation(
             gate,
@@ -211,23 +326,49 @@ class AmtRuntime:
         self._register(task)
         return fut
 
+    def make_exceptional_future(self, exc: BaseException) -> Future:
+        """A future that is already failed (``hpx::make_exceptional_future``)."""
+        task = SimTask(cost_ns=0, tag="exceptional")
+        fut = Future(self, task)
+        task.body = lambda: fut._set_exception(exc)
+        self._register(task)
+        return fut
+
     # --- execution -------------------------------------------------------------
 
-    def wait_all(self, futures: Sequence[Future] | None = None) -> None:
+    def wait_all(
+        self, futures: Sequence[Future] | None = None, rethrow: bool = True
+    ) -> None:
         """Blocking barrier (paper Fig. 5): execute everything created so far.
 
         HPX's ``wait_all`` blocks the calling thread until the given futures
         are ready; since our graphs execute only via flush, any blocking wait
         drains the whole pending segment.
+
+        With ``rethrow=True`` (default) a failure among the waited futures
+        is raised here: the single original exception if exactly one task
+        failed, else an aggregated ``TaskGroupError``.  (Strict HPX
+        ``wait_all`` never throws — pass ``rethrow=False`` for that — but
+        every blocking barrier in the drivers is an abort point, so
+        surfacing failures at the barrier is the useful default.)
         """
         self.flush()
-        if futures is not None:
-            for f in futures:
-                if not f.is_ready():
-                    raise AmtError(
-                        f"wait_all: future {f!r} not ready after flush; "
-                        "was it created on a different runtime?"
-                    )
+        if futures is None:
+            return
+        failed: list[tuple[str, BaseException]] = []
+        for f in futures:
+            if not f.is_ready():
+                raise AmtError(
+                    f"wait_all: future {f!r} not ready after flush; "
+                    "was it created on a different runtime?"
+                )
+            exc = f.exception_nowait()
+            if exc is not None:
+                failed.append((f.task.tag, exc))
+        if rethrow and failed:
+            if len(failed) == 1 and not isinstance(failed[0][1], TaskGroupError):
+                raise failed[0][1]
+            raise TaskGroupError.collect(failed)
 
     def flush(self) -> int:
         """Execute all pending tasks; returns this segment's makespan (ns)."""
@@ -278,3 +419,12 @@ class AmtRuntime:
     def n_pending(self) -> int:
         """Tasks created but not yet executed."""
         return len(self._pending)
+
+
+def _first_failure(futures: Sequence[Future]) -> BaseException | None:
+    """The first stored exception among *futures* (``None`` if all ok)."""
+    for f in futures:
+        exc = f.exception_nowait()
+        if exc is not None:
+            return exc
+    return None

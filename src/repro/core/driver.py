@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.amt.errors import TaskGroupError
 from repro.amt.runtime import AmtRuntime
 from repro.core.hpx_lulesh import HpxLuleshProgram, HpxVariant
 from repro.core.kernel_graph import ProblemShape
@@ -28,19 +29,59 @@ from repro.core.omp_lulesh import OmpLuleshProgram
 from repro.core.partitioning import table1_partition_sizes
 from repro.lulesh.costs import DEFAULT_COSTS, KernelCosts
 from repro.lulesh.domain import Domain
+from repro.lulesh.errors import LuleshError
 from repro.lulesh.options import LuleshOptions
 from repro.perf.registry import CounterRegistry
 from repro.perf.sources import (
     install_amt_counters,
     install_arena_counters,
     install_omp_counters,
+    install_resilience_counters,
 )
+from repro.resilience.plan import ResiliencePlan
+from repro.resilience.recovery import run_with_recovery
 from repro.simcore.costmodel import CostModel
 from repro.simcore.machine import MachineConfig
 from repro.simcore.policy import SchedulerPolicy
 from repro.simcore.trace import TraceRecorder
 
 __all__ = ["RunResult", "run_omp", "run_hpx", "run_naive_hpx"]
+
+
+def _execute_program(
+    program,
+    domain: Domain | None,
+    iterations: int,
+    plan: ResiliencePlan | None,
+) -> None:
+    """Run *program* with the requested failure semantics.
+
+    Without auto-recovery, a :class:`TaskGroupError` whose failures all
+    share one :class:`LuleshError` type is unwrapped so physics aborts keep
+    their original exception class (``VolumeError``/``QStopError``) at the
+    driver boundary; heterogeneous or injected failures surface as the
+    group error naming every failed task tag.  With auto-recovery (execute
+    mode only), the run is driven cycle-by-cycle under the checkpoint/
+    rollback protocol instead.
+    """
+    if plan is not None and plan.auto_recover and domain is not None:
+        manager = plan.make_recovery(domain)
+        assert manager is not None
+        try:
+            run_with_recovery(
+                program.step, domain, iterations, manager,
+                stoptime=domain.opts.stoptime,
+            )
+        finally:
+            manager.close()
+        return
+    try:
+        program.run(iterations)
+    except TaskGroupError as group:
+        cause = group.common_cause(LuleshError)
+        if cause is not None:
+            raise cause from group
+        raise
 
 
 @dataclass(frozen=True)
@@ -100,6 +141,7 @@ def run_omp(
     omp_schedule: str = "static",
     registry: CounterRegistry | None = None,
     task_local_temporaries: bool = True,
+    resilience: ResiliencePlan | None = None,
 ) -> RunResult:
     """Run the OpenMP-structured LULESH (the reference baseline).
 
@@ -107,7 +149,9 @@ def run_omp(
     uses OpenMP dynamic scheduling instead of the reference's static.
     With a *registry*, the idle-rate counter family is installed and
     sampled once per iteration.  ``task_local_temporaries=False`` runs the
-    allocate-each-time workspace ablation (execute mode only).
+    allocate-each-time workspace ablation (execute mode only).  A
+    *resilience* plan enables fault injection at parallel-region entry and
+    checkpoint-based auto-recovery (execute mode).
     """
     machine = machine or MachineConfig()
     cost_model = cost_model or CostModel()
@@ -116,14 +160,18 @@ def run_omp(
 
     omp = OmpRuntime(machine, cost_model, n_threads, execute_bodies=execute,
                      default_schedule=omp_schedule)
+    if resilience is not None:
+        omp.fault_injector = resilience.make_injector()
     if registry is not None:
         install_omp_counters(registry, omp)
         if domain is not None:
             install_arena_counters(registry, domain)
+        if resilience is not None:
+            install_resilience_counters(registry, resilience.stats)
     program = OmpLuleshProgram(
         omp, shape, costs, domain, task_local_temporaries=task_local_temporaries
     )
-    program.run(iterations)
+    _execute_program(program, domain, iterations, resilience)
     stats = omp.stats
     done = domain.cycle if domain is not None else iterations
     return RunResult(
@@ -150,6 +198,7 @@ def run_hpx(
     policy: SchedulerPolicy | None = None,
     registry: CounterRegistry | None = None,
     record_spans: bool = False,
+    resilience: ResiliencePlan | None = None,
 ) -> RunResult:
     """Run the paper's task-based LULESH.
 
@@ -158,19 +207,27 @@ def run_hpx(
     the scheduler-discipline ablation.  With a *registry*, the HPX counter
     namespace is installed and sampled at every flush; ``record_spans``
     keeps per-task spans on ``RunResult.trace`` for the phase profiler and
-    critical-path analyzer.
+    critical-path analyzer.  A *resilience* plan wires fault injection and
+    bounded replay into the runtime, and (execute mode) checkpoint-based
+    auto-recovery into the run loop.
     """
     machine = machine or MachineConfig()
     cost_model = cost_model or CostModel()
     variant = variant or HpxVariant.full()
     table_nodal, table_elems = table1_partition_sizes(opts.nx)
     shape, domain = _shape_and_domain(opts, execute)
-    rt = AmtRuntime(machine, cost_model, n_workers, policy=policy,
-                    record_spans=record_spans)
+    rt = AmtRuntime(
+        machine, cost_model, n_workers, policy=policy,
+        record_spans=record_spans,
+        fault_injector=resilience.make_injector() if resilience else None,
+        replay=resilience.make_replay() if resilience else None,
+    )
     if registry is not None:
         install_amt_counters(registry, rt)
         if domain is not None:
             install_arena_counters(registry, domain)
+        if resilience is not None:
+            install_resilience_counters(registry, resilience.stats)
     program = HpxLuleshProgram(
         rt,
         shape,
@@ -180,7 +237,7 @@ def run_hpx(
         domain=domain,
         variant=variant,
     )
-    program.run(iterations)
+    _execute_program(program, domain, iterations, resilience)
     stats = rt.stats
     done = domain.cycle if domain is not None else iterations
     return RunResult(
@@ -203,18 +260,25 @@ def run_naive_hpx(
     execute: bool = False,
     registry: CounterRegistry | None = None,
     record_spans: bool = False,
+    resilience: ResiliencePlan | None = None,
 ) -> RunResult:
     """Run the prior-work [16] for_each-style port."""
     machine = machine or MachineConfig()
     cost_model = cost_model or CostModel()
     shape, domain = _shape_and_domain(opts, execute)
-    rt = AmtRuntime(machine, cost_model, n_workers, record_spans=record_spans)
+    rt = AmtRuntime(
+        machine, cost_model, n_workers, record_spans=record_spans,
+        fault_injector=resilience.make_injector() if resilience else None,
+        replay=resilience.make_replay() if resilience else None,
+    )
     if registry is not None:
         install_amt_counters(registry, rt)
         if domain is not None:
             install_arena_counters(registry, domain)
+        if resilience is not None:
+            install_resilience_counters(registry, resilience.stats)
     program = NaiveHpxProgram(rt, shape, costs, domain)
-    program.run(iterations)
+    _execute_program(program, domain, iterations, resilience)
     stats = rt.stats
     done = domain.cycle if domain is not None else iterations
     return RunResult(

@@ -108,6 +108,13 @@ class _Kernel:
     differs from ``rate`` only for the EOS kernel, whose ``rep``-fold
     repetition re-reads the *same* data (work scales with rep, the working
     set does not).
+
+    ``idempotent`` declares the body safe to re-execute on the same range
+    (it writes its outputs fresh rather than accumulating in place), which
+    makes its tasks eligible for bounded replay.  Kernels that read-modify-
+    write state (velocity/position integration, strain-rate subtraction,
+    the EOS energy update) must stay ``False``; a combined task is
+    replayable only if *every* member kernel is.
     """
 
     name: str
@@ -115,6 +122,7 @@ class _Kernel:
     body: Callable[[int, int], object] | None
     n_temps: int = 0  # temporary arrays allocated per invocation
     ws_rate: float | None = None
+    idempotent: bool = False
 
     @property
     def working_set_rate(self) -> float:
@@ -152,16 +160,23 @@ class HpxLuleshProgram:
         self.variant = variant
         self.allocator = allocator
         self.barriers_per_iteration = 0
+        self._timing_cycle = 0  # cycle counter for timing-only runs
         if domain is not None:
             domain.configure_workspace(variant.task_local_temporaries)
 
     # --- kernel bindings ------------------------------------------------------
 
-    def _bind(self, name: str, rate: float, fn, *args, n_temps: int = 0) -> _Kernel:
+    def _bind(
+        self, name: str, rate: float, fn, *args,
+        n_temps: int = 0, idempotent: bool = False,
+    ) -> _Kernel:
         d = self.domain
         if d is None or fn is None:
-            return _Kernel(name, rate, None, n_temps)
-        return _Kernel(name, rate, lambda lo, hi: fn(d, *args, lo, hi), n_temps)
+            return _Kernel(name, rate, None, n_temps, idempotent=idempotent)
+        return _Kernel(
+            name, rate, lambda lo, hi: fn(d, *args, lo, hi), n_temps,
+            idempotent=idempotent,
+        )
 
     def _task_cost(
         self,
@@ -233,15 +248,17 @@ class HpxLuleshProgram:
             body = self._task_body(group, lo, hi)
             names = "+".join(k.name for k in group)
             gtag = f"{tag}:{names}[{lo}:{hi}]"
+            # A combined task may be replayed only if every member loop is.
+            idem = all(k.idempotent for k in group)
             if fut is None:
                 fut = self.rt.async_(
                     body or _noop, cost_ns=cost, tag=gtag, depends=depends,
-                    priority=priority,
+                    priority=priority, idempotent=idem,
                 )
             else:
                 fut = self.rt.continuation(
                     fut, _run_after(body), cost_ns=cost, tag=gtag,
-                    priority=priority,
+                    priority=priority, idempotent=idem,
                 )
         assert fut is not None
         return fut
@@ -273,42 +290,52 @@ class HpxLuleshProgram:
 
         # Kernel bindings (shared work definition with the OpenMP structure).
         k_stress = [
-            self._bind("init_stress", c.init_stress, stress_k.init_stress_terms),
+            self._bind("init_stress", c.init_stress, stress_k.init_stress_terms,
+                       idempotent=True),
             self._bind(
                 "integrate_stress", c.integrate_stress, stress_k.integrate_stress,
-                n_temps=4,
+                n_temps=4, idempotent=True,
             ),
         ]
         k_hg = [
             self._bind(
                 "hg_control", c.hourglass_control, hg_k.calc_hourglass_control,
-                n_temps=7,
+                n_temps=7, idempotent=True,
             ),
             self._bind("fb_hourglass", c.fb_hourglass, hg_k.calc_fb_hourglass_force,
-                       n_temps=2),
+                       n_temps=2, idempotent=True),
         ]
         k_nodesum = [
-            self._bind("zero_forces", c.zero_forces, _zero_forces_body),
-            self._bind("sum_forces", c.sum_forces, nodal_k.sum_elem_forces_to_nodes),
-            self._bind("acceleration", c.acceleration, nodal_k.calc_acceleration),
+            self._bind("zero_forces", c.zero_forces, _zero_forces_body,
+                       idempotent=True),
+            self._bind("sum_forces", c.sum_forces, nodal_k.sum_elem_forces_to_nodes,
+                       idempotent=True),
+            self._bind("acceleration", c.acceleration, nodal_k.calc_acceleration,
+                       idempotent=True),
         ]
+        # velocity/position integrate in place (+=) — never replayable.
         k_velpos = [
             self._bind("velocity", c.velocity, nodal_k.calc_velocity_dt, dt),
             self._bind("position", c.position, nodal_k.calc_position_dt, dt),
         ]
+        # strain_rates subtracts vdov/3 from the strain diagonals in place,
+        # so the combined kinematics chain is not replayable either.
         k_kin = [
             self._bind("kinematics", c.kinematics, kin_k.calc_kinematics_dt, dt,
-                       n_temps=2),
+                       n_temps=2, idempotent=True),
             self._bind("strain_rates", c.strain_rates,
                        kin_k.calc_lagrange_elements_part2),
             self._bind("monoq_gradients", c.monoq_gradients,
-                       q_k.calc_monotonic_q_gradients),
+                       q_k.calc_monotonic_q_gradients, idempotent=True),
         ]
         k_prologue = [
             self._bind("material_prologue", c.material_prologue,
-                       eos_k.apply_material_properties_prologue, n_temps=1),
-            self._bind("qstop_check", c.qstop_check, q_k.check_q_stop),
-            self._bind("update_volumes", c.update_volumes, eos_k.update_volumes),
+                       eos_k.apply_material_properties_prologue, n_temps=1,
+                       idempotent=True),
+            self._bind("qstop_check", c.qstop_check, q_k.check_q_stop,
+                       idempotent=True),
+            self._bind("update_volumes", c.update_volumes, eos_k.update_volumes,
+                       idempotent=True),
         ]
 
         def flush_if_unchained(futures: Sequence[Future], tag: str) -> list[Future]:
@@ -467,7 +494,8 @@ class HpxLuleshProgram:
         )
         kernels = [
             self._bind("monoq_region", c.monoq_region, _monoq_region_body, r,
-                       n_temps=3),
+                       n_temps=3, idempotent=True),
+            # EOS reads AND rewrites e/p/q — re-execution is not safe.
             _Kernel(
                 f"eos[x{rep}]",
                 c.eos_eval * rep,
@@ -503,10 +531,43 @@ class HpxLuleshProgram:
 
         return self.rt.continuation(
             fut, body, cost_ns=cost, tag=f"constraints[{r}][{lo}:{hi}]",
-            priority=priority,
+            priority=priority, idempotent=True,
         )
 
     # --- multi-iteration driver ---------------------------------------------------
+
+    def step(self) -> None:
+        """Advance exactly one leapfrog cycle.
+
+        Builds the iteration graph, flushes it, and re-raises the final
+        future's failure if any task failed — a physics abort surfaces with
+        its original type wrapped in the barrier's
+        :class:`~repro.amt.errors.TaskGroupError` naming the failed
+        partitions.  The runtime's fault injector (if any) is told the
+        upcoming cycle number and given its chance to corrupt state.
+        """
+        d = self.domain
+        if d is not None:
+            time_increment(d)
+            phase = d.workspace.phase()
+            cycle = d.cycle
+        else:
+            self._timing_cycle += 1
+            phase = nullcontext()
+            cycle = self._timing_cycle
+        injector = self.rt.fault_injector
+        if injector is not None:
+            injector.begin_cycle(cycle)
+            if d is not None:
+                injector.corrupt_fields(d)
+        with phase:
+            final = self.build_iteration()
+            self.rt.flush()
+        if not final.is_ready():
+            raise RuntimeError("iteration graph did not complete")
+        exc = final.exception_nowait()
+        if exc is not None:
+            raise exc
 
     def run(self, iterations: int) -> None:
         """Advance *iterations* cycles, flushing the graph once per cycle."""
@@ -516,15 +577,7 @@ class HpxLuleshProgram:
             if self.domain is not None:
                 if self.domain.time >= self.domain.opts.stoptime:
                     break
-                time_increment(self.domain)
-                phase = self.domain.workspace.phase()
-            else:
-                phase = nullcontext()
-            with phase:
-                final = self.build_iteration()
-                self.rt.flush()
-            if not final.is_ready():
-                raise RuntimeError("iteration graph did not complete")
+            self.step()
 
 
 def _noop() -> None:

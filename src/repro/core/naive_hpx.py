@@ -54,21 +54,30 @@ def naive_iteration(
             return lambda lo, hi: None
         return lambda lo, hi: fn(d, *args, lo, hi)
 
-    def loop(n, fn_body, rate, tag):
+    def loop(n, fn_body, rate, tag, idempotent=False):
         # Loop-at-a-time structure: the reuse working set is the full loop
         # footprint (same streaming behaviour as the OpenMP reference).
         rate = rate * rt.cost_model.stream_penalty(n, rate, rt.n_workers)
-        for_loop(rt, 0, n, fn_body, work_ns_per_item=rate, tag=tag)
+        for_loop(rt, 0, n, fn_body, work_ns_per_item=rate, tag=tag,
+                 idempotent=idempotent)
 
-    # LagrangeNodal
-    loop(nn, body(_zero_forces), c.zero_forces, "zero_forces")
-    loop(ne, body(stress_k.init_stress_terms), c.init_stress, "init_stress")
-    loop(ne, body(stress_k.integrate_stress), c.integrate_stress, "integrate_stress")
-    loop(nn, lambda lo, hi: None, c.sum_forces * 0.5, "collect_stress")
-    loop(ne, body(hg_k.calc_hourglass_control), c.hourglass_control, "hg_control")
-    loop(ne, body(hg_k.calc_fb_hourglass_force), c.fb_hourglass, "fb_hourglass")
-    loop(nn, body(nodal_k.sum_elem_forces_to_nodes), c.sum_forces * 0.5, "collect_hg")
-    loop(nn, body(nodal_k.calc_acceleration), c.acceleration, "acceleration")
+    # LagrangeNodal (fresh-write loops are replay-safe; the velocity and
+    # position integrations accumulate in place and are not)
+    loop(nn, body(_zero_forces), c.zero_forces, "zero_forces", idempotent=True)
+    loop(ne, body(stress_k.init_stress_terms), c.init_stress, "init_stress",
+         idempotent=True)
+    loop(ne, body(stress_k.integrate_stress), c.integrate_stress,
+         "integrate_stress", idempotent=True)
+    loop(nn, lambda lo, hi: None, c.sum_forces * 0.5, "collect_stress",
+         idempotent=True)
+    loop(ne, body(hg_k.calc_hourglass_control), c.hourglass_control, "hg_control",
+         idempotent=True)
+    loop(ne, body(hg_k.calc_fb_hourglass_force), c.fb_hourglass, "fb_hourglass",
+         idempotent=True)
+    loop(nn, body(nodal_k.sum_elem_forces_to_nodes), c.sum_forces * 0.5,
+         "collect_hg", idempotent=True)
+    loop(nn, body(nodal_k.calc_acceleration), c.acceleration, "acceleration",
+         idempotent=True)
     bc_done = [False]
 
     def bc_body(lo: int, hi: int) -> None:
@@ -77,24 +86,28 @@ def naive_iteration(
             bc_done[0] = True
 
     for _ in range(3):
-        loop(shape.num_symm_nodes, bc_body, c.accel_bc, "accel_bc")
+        loop(shape.num_symm_nodes, bc_body, c.accel_bc, "accel_bc",
+             idempotent=True)
     loop(nn, body(nodal_k.calc_velocity_dt, dt), c.velocity, "velocity")
     loop(nn, body(nodal_k.calc_position_dt, dt), c.position, "position")
 
-    # LagrangeElements
-    loop(ne, body(kin_k.calc_kinematics_dt, dt), c.kinematics, "kinematics")
+    # LagrangeElements (strain_rates subtracts in place — not replay-safe)
+    loop(ne, body(kin_k.calc_kinematics_dt, dt), c.kinematics, "kinematics",
+         idempotent=True)
     loop(ne, body(kin_k.calc_lagrange_elements_part2), c.strain_rates, "strain_rates")
-    loop(ne, body(q_k.calc_monotonic_q_gradients), c.monoq_gradients, "q_gradients")
+    loop(ne, body(q_k.calc_monotonic_q_gradients), c.monoq_gradients, "q_gradients",
+         idempotent=True)
     for r in range(shape.num_regions):
         loop(
             shape.region_sizes[r],
             body(_monoq_region, r),
             c.monoq_region,
             f"monoq[{r}]",
+            idempotent=True,
         )
-    loop(ne, body(q_k.check_q_stop), c.qstop_check, "qstop_check")
+    loop(ne, body(q_k.check_q_stop), c.qstop_check, "qstop_check", idempotent=True)
     loop(ne, body(eos_k.apply_material_properties_prologue), c.material_prologue,
-         "prologue")
+         "prologue", idempotent=True)
     for r in range(shape.num_regions):
         rep = shape.region_reps[r]
         size = shape.region_sizes[r]
@@ -108,7 +121,8 @@ def naive_iteration(
         per_loop_rate = c.eos_eval / EOS_LOOPS_PER_REP
         for _ in range(rep * EOS_LOOPS_PER_REP):
             loop(size, eos_body, per_loop_rate, f"eos[{r}]")
-    loop(ne, body(eos_k.update_volumes), c.update_volumes, "update_volumes")
+    loop(ne, body(eos_k.update_volumes), c.update_volumes, "update_volumes",
+         idempotent=True)
 
     # Constraints
     acc = {"courant": 1.0e20, "hydro": 1.0e20}
@@ -129,8 +143,8 @@ def naive_iteration(
                     calc_hydro_constraint(d, d.regions.reg_elem_lists[r], lo, hi),
                 )
 
-        loop(size, courant_body, c.courant, f"courant[{r}]")
-        loop(size, hydro_body, c.hydro, f"hydro[{r}]")
+        loop(size, courant_body, c.courant, f"courant[{r}]", idempotent=True)
+        loop(size, hydro_body, c.hydro, f"hydro[{r}]", idempotent=True)
     if d is not None:
         reduce_time_constraints(d, acc["courant"], acc["hydro"])
 
@@ -159,6 +173,30 @@ class NaiveHpxProgram:
         self.shape = shape
         self.costs = costs
         self.domain = domain
+        self._timing_cycle = 0  # cycle counter for timing-only runs
+
+    def step(self) -> None:
+        """Advance exactly one leapfrog cycle.
+
+        Failures surface at the blocking barrier of the loop that failed
+        (``wait_all`` re-raises a single failure with its original type).
+        """
+        d = self.domain
+        if d is not None:
+            time_increment(d)
+            phase = d.workspace.phase()
+            cycle = d.cycle
+        else:
+            self._timing_cycle += 1
+            phase = nullcontext()
+            cycle = self._timing_cycle
+        injector = self.rt.fault_injector
+        if injector is not None:
+            injector.begin_cycle(cycle)
+            if d is not None:
+                injector.corrupt_fields(d)
+        with phase:
+            naive_iteration(self.rt, self.shape, self.costs, d)
 
     def run(self, iterations: int) -> None:
         """Advance *iterations* cycles (or fewer if stoptime hits)."""
@@ -168,9 +206,4 @@ class NaiveHpxProgram:
             if self.domain is not None:
                 if self.domain.time >= self.domain.opts.stoptime:
                     break
-                time_increment(self.domain)
-                phase = self.domain.workspace.phase()
-            else:
-                phase = nullcontext()
-            with phase:
-                naive_iteration(self.rt, self.shape, self.costs, self.domain)
+            self.step()

@@ -202,8 +202,34 @@ class OmpLuleshProgram:
         self.shape = shape
         self.costs = costs
         self.domain = domain
+        self._timing_cycle = 0  # cycle counter for timing-only runs
         if domain is not None:
             domain.configure_workspace(task_local_temporaries)
+
+    def step(self) -> None:
+        """Advance exactly one leapfrog cycle.
+
+        Injected faults fire at parallel-region entry (OpenMP's closest
+        analogue to a task boundary); physics aborts propagate directly
+        from the inlined kernel bodies as they always have.
+        """
+        d = self.domain
+        if d is not None:
+            time_increment(d)
+            phase = d.workspace.phase()
+            cycle = d.cycle
+        else:
+            self._timing_cycle += 1
+            phase = nullcontext()
+            cycle = self._timing_cycle
+        injector = self.omp.fault_injector
+        if injector is not None:
+            injector.begin_cycle(cycle)
+            if d is not None:
+                injector.corrupt_fields(d)
+        with phase:
+            omp_iteration(self.omp, self.shape, self.costs, d)
+        self.omp.end_iteration()
 
     def run(self, iterations: int) -> None:
         """Advance *iterations* leapfrog cycles (or fewer if stoptime hits)."""
@@ -213,10 +239,4 @@ class OmpLuleshProgram:
             if self.domain is not None:
                 if self.domain.time >= self.domain.opts.stoptime:
                     break
-                time_increment(self.domain)
-                phase = self.domain.workspace.phase()
-            else:
-                phase = nullcontext()
-            with phase:
-                omp_iteration(self.omp, self.shape, self.costs, self.domain)
-            self.omp.end_iteration()
+            self.step()

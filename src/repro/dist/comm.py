@@ -11,10 +11,19 @@ shared state peeked).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
 
 import numpy as np
 
-__all__ = ["CommStats", "PlaneExchanger"]
+__all__ = ["CommError", "CommStats", "PlaneExchanger"]
+
+
+class CommError(RuntimeError):
+    """A communication protocol violation (missing or duplicate message).
+
+    Carries a human-readable description naming the ranks, tag, and phase
+    involved, so a failed exchange can be diagnosed from the message alone.
+    """
 
 
 @dataclass
@@ -40,13 +49,16 @@ class PlaneExchanger:
     reads data of the wrong phase (posts are versioned by a phase counter).
     """
 
-    def __init__(self, n_ranks: int) -> None:
+    def __init__(self, n_ranks: int, fault_injector: Any = None) -> None:
         if n_ranks < 1:
             raise ValueError(f"n_ranks must be >= 1, got {n_ranks}")
         self.n_ranks = n_ranks
         self.stats = [CommStats() for _ in range(n_ranks)]
         self._mailbox: dict[tuple[int, int, str], np.ndarray] = {}
         self._phase = 0
+        # Optional resilience hook (duck-typed): consulted at every post
+        # via ``draw_comm(src, dst, tag) -> "drop" | "dup" | None``.
+        self.fault_injector = fault_injector
 
     def start_phase(self) -> None:
         """Begin a new exchange phase (clears stale posts)."""
@@ -54,16 +66,30 @@ class PlaneExchanger:
         self._phase += 1
 
     def post(self, src: int, dst: int, tag: str, data: np.ndarray) -> None:
-        """Send *data* from rank *src* to rank *dst* under *tag*."""
+        """Send *data* from rank *src* to rank *dst* under *tag*.
+
+        With a fault injector attached, the message may be dropped (sent
+        but never stored — the receiver's ``fetch`` will fail with a
+        :class:`CommError`) or duplicated (sent twice on the wire: the
+        byte/message accounting doubles while correctness is preserved,
+        since the mailbox keeps a single copy).
+        """
         self._check_rank(src)
         self._check_rank(dst)
         if src == dst:
             raise ValueError("self-send is not a message")
         key = (self._phase, dst, f"{src}:{tag}")
         if key in self._mailbox:
-            raise RuntimeError(f"duplicate post {key}")
-        self._mailbox[key] = data.copy()
+            raise CommError(f"duplicate post {key}")
+        action = None
+        if self.fault_injector is not None:
+            action = self.fault_injector.draw_comm(src, dst, tag)
         self.stats[src].record_send(data.nbytes)
+        if action == "drop":
+            return
+        if action == "dup":
+            self.stats[src].record_send(data.nbytes)
+        self._mailbox[key] = data.copy()
 
     def fetch(self, dst: int, src: int, tag: str) -> np.ndarray:
         """Receive the array rank *src* posted for rank *dst*."""
@@ -71,7 +97,7 @@ class PlaneExchanger:
         self._check_rank(dst)
         key = (self._phase, dst, f"{src}:{tag}")
         if key not in self._mailbox:
-            raise RuntimeError(
+            raise CommError(
                 f"no message from rank {src} to rank {dst} tagged {tag!r} "
                 f"in phase {self._phase}"
             )

@@ -147,7 +147,80 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the artifact-evaluation flow (run-reduced.sh + "
              "generate-graphs.py equivalents) into this directory",
     )
+    parser.add_argument(
+        "--inject-fault",
+        action="append",
+        default=None,
+        metavar="SPEC",
+        help="inject a deterministic fault: 'target:pattern[:kind][@cycle]' "
+             "with targets task/comm/field and kinds raise/stall/drop/dup/"
+             "nan/inf, e.g. 'task:CalcQ*' or 'field:e:nan@3' (repeatable)",
+    )
+    parser.add_argument(
+        "--fault-seed",
+        type=int,
+        default=0,
+        help="seed for the fault injector's deterministic choices",
+    )
+    parser.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=10,
+        metavar="K",
+        help="cycles between recovery checkpoints (with --auto-recover)",
+    )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=0,
+        metavar="N",
+        help="bounded replay: re-run a failed idempotent task up to N times",
+    )
+    parser.add_argument(
+        "--max-rollbacks",
+        type=int,
+        default=3,
+        metavar="M",
+        help="give up after M consecutive checkpoint rollbacks",
+    )
+    parser.add_argument(
+        "--auto-recover",
+        action="store_true",
+        help="restore the last checkpoint and resume when a cycle fails "
+             "(requires --execute)",
+    )
     return parser
+
+
+def _resilience_plan(args: argparse.Namespace):
+    """Build the ResiliencePlan the resilience flags describe (or None)."""
+    wants = bool(
+        args.inject_fault or args.auto_recover or args.max_retries > 0
+    )
+    if not wants:
+        return None
+    if args.auto_recover and not args.execute:
+        raise SystemExit("--auto-recover requires --execute (real physics)")
+    from repro.resilience import (
+        FaultSpecError,
+        ResiliencePlan,
+        parse_fault_spec,
+    )
+
+    specs = tuple(args.inject_fault or ())
+    try:
+        for spec in specs:  # validate eagerly: bad specs die before the run
+            parse_fault_spec(spec)
+    except FaultSpecError as exc:
+        raise SystemExit(f"bad --inject-fault spec: {exc}")
+    return ResiliencePlan(
+        inject=specs,
+        fault_seed=args.fault_seed,
+        max_retries=args.max_retries,
+        auto_recover=args.auto_recover,
+        checkpoint_every=args.checkpoint_every,
+        max_rollbacks=args.max_rollbacks,
+    )
 
 
 def _single_run(args: argparse.Namespace) -> int:
@@ -156,6 +229,7 @@ def _single_run(args: argparse.Namespace) -> int:
         nx=args.s, numReg=args.r,
         max_iterations=args.i if args.execute else None,
     )
+    resilience = _resilience_plan(args)
     want_counters = bool(
         args.print_counters or args.counters or args.list_counters
     )
@@ -204,16 +278,24 @@ def _single_run(args: argparse.Namespace) -> int:
         from repro.perf.registry import CounterRegistry
 
         registry = CounterRegistry()
-    if args.impl == "hpx":
-        result = run_hpx(opts, threads, args.i, execute=args.execute,
-                         variant=_selected_variant(args), registry=registry,
-                         record_spans=need_spans)
-    elif args.impl == "naive":
-        result = run_naive_hpx(opts, threads, args.i, execute=args.execute,
-                               registry=registry, record_spans=need_spans)
-    else:
-        result = run_omp(opts, threads, args.i, execute=args.execute,
-                         registry=registry)
+    try:
+        if args.impl == "hpx":
+            result = run_hpx(opts, threads, args.i, execute=args.execute,
+                             variant=_selected_variant(args), registry=registry,
+                             record_spans=need_spans, resilience=resilience)
+        elif args.impl == "naive":
+            result = run_naive_hpx(opts, threads, args.i, execute=args.execute,
+                                   registry=registry, record_spans=need_spans,
+                                   resilience=resilience)
+        else:
+            result = run_omp(opts, threads, args.i, execute=args.execute,
+                             registry=registry, resilience=resilience)
+    except Exception:
+        # Failed runs still export whatever counters were sampled — the
+        # post-mortem (`/resilience/*` included) is most useful on failure.
+        if registry is not None:
+            _emit_counters(args, registry)
+        raise
     if args.save_checkpoint and result.domain is not None:
         from repro.lulesh.checkpoint import save_checkpoint
 
@@ -453,9 +535,34 @@ def _write_trace(args: argparse.Namespace, opts: LuleshOptions,
               f"to {args.trace}")
 
 
+#: Exit code for a run killed by a task/physics/resilience failure.
+EXIT_TASK_FAILURE = 4
+
+
 def main(argv: list[str] | None = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    A run killed by a task failure (injected fault without recovery, physics
+    abort, exhausted recovery) prints the failure — naming every failed task
+    tag for grouped failures — and returns :data:`EXIT_TASK_FAILURE`.
+    """
+    from repro.amt.errors import TaskGroupError
+    from repro.lulesh.errors import LuleshError
+    from repro.resilience.errors import ResilienceError
+
     args = build_parser().parse_args(argv)
+    try:
+        return _dispatch(args)
+    except TaskGroupError as exc:
+        print(f"run failed: {exc}", file=sys.stderr)
+        print(f"failed task tags: {', '.join(exc.tags)}", file=sys.stderr)
+        return EXIT_TASK_FAILURE
+    except (LuleshError, ResilienceError) as exc:
+        print(f"run failed: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return EXIT_TASK_FAILURE
+
+
+def _dispatch(args: argparse.Namespace) -> int:
     if args.artifact_dir is not None:
         from repro.harness.artifact import (
             analyze_artifact_csvs,

@@ -15,10 +15,13 @@ problems.
 from __future__ import annotations
 
 import dataclasses
+import os
+import zipfile
 
 import numpy as np
 
 from repro.lulesh.domain import Domain
+from repro.lulesh.errors import CheckpointError
 from repro.lulesh.options import LuleshOptions
 
 __all__ = ["save_checkpoint", "load_checkpoint", "restore_checkpoint"]
@@ -35,12 +38,27 @@ _SCALARS = ("time", "cycle", "deltatime", "dtcourant", "dthydro")
 
 
 def _fingerprint(opts: LuleshOptions) -> str:
-    """Canonical option string used to guard restores."""
-    return repr(dataclasses.astuple(opts))
+    """Canonical option string used to guard restores.
+
+    Keyed by field *name* (sorted), so reordering ``LuleshOptions`` fields
+    can never silently change a fingerprint's meaning — an option value can
+    only ever be compared against the same-named option.  ``max_iterations``
+    is excluded: it is run-length control, not problem identity, and a
+    restart legitimately resumes for a different number of cycles.
+    """
+    items = dataclasses.asdict(opts)
+    items.pop("max_iterations", None)
+    return repr(sorted(items.items()))
 
 
 def save_checkpoint(domain: Domain, path: str) -> None:
-    """Write the domain's evolving state to *path* (.npz, compressed)."""
+    """Write the domain's evolving state to *path* (.npz, compressed).
+
+    The write is atomic: the payload goes to ``path + ".tmp"`` first and is
+    moved into place with ``os.replace``, so a crash mid-write can never
+    leave a torn checkpoint under the real name for a later auto-recovery
+    to restore from.
+    """
     payload: dict[str, np.ndarray] = {
         name: getattr(domain, name) for name in _EVOLVING_FIELDS
     }
@@ -50,7 +68,13 @@ def save_checkpoint(domain: Domain, path: str) -> None:
     payload["_fingerprint"] = np.array(
         _fingerprint(domain.opts), dtype=np.str_
     )
-    np.savez_compressed(path, **payload)
+    path = os.fspath(path)
+    tmp = path + ".tmp"
+    # np.savez appends ".npz" to bare string paths; an open file object is
+    # written as-is, keeping the temp name exact for the replace below.
+    with open(tmp, "wb") as fh:
+        np.savez_compressed(fh, **payload)
+    os.replace(tmp, path)
 
 
 def restore_checkpoint(domain: Domain, path: str) -> None:
@@ -59,10 +83,22 @@ def restore_checkpoint(domain: Domain, path: str) -> None:
     The domain must have been built from the same options (guarded by the
     stored fingerprint).
     """
-    with np.load(path, allow_pickle=False) as data:
-        stored = str(data["_fingerprint"])
+    try:
+        data = np.load(path, allow_pickle=False)
+    except (OSError, ValueError, zipfile.BadZipFile) as exc:
+        raise CheckpointError(
+            f"unreadable checkpoint {os.fspath(path)!r}: {exc}"
+        ) from exc
+    with data:
+        try:
+            stored = str(data["_fingerprint"])
+        except KeyError as exc:
+            raise CheckpointError(
+                f"truncated checkpoint {os.fspath(path)!r}: "
+                "missing fingerprint entry"
+            ) from exc
         if stored != _fingerprint(domain.opts):
-            raise ValueError(
+            raise CheckpointError(
                 "checkpoint was written for different options:\n"
                 f"  stored:  {stored}\n"
                 f"  current: {_fingerprint(domain.opts)}"
@@ -71,7 +107,7 @@ def restore_checkpoint(domain: Domain, path: str) -> None:
             arr = data[name]
             target = getattr(domain, name)
             if target.shape != arr.shape:
-                raise ValueError(
+                raise CheckpointError(
                     f"field {name}: checkpoint shape {arr.shape} does not "
                     f"match domain shape {target.shape}"
                 )

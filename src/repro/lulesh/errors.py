@@ -7,7 +7,7 @@ failure modes (e.g. element inversion under a too-large timestep).
 
 from __future__ import annotations
 
-__all__ = ["LuleshError", "VolumeError", "QStopError"]
+__all__ = ["LuleshError", "VolumeError", "QStopError", "CheckpointError"]
 
 
 class LuleshError(RuntimeError):
@@ -26,4 +26,13 @@ class QStopError(LuleshError):
     """Artificial viscosity exceeded ``qstop`` (shock too strong for dt).
 
     Matches the reference's ``QStopError`` abort in ``CalcQForElems``.
+    """
+
+
+class CheckpointError(LuleshError, ValueError):
+    """A checkpoint could not be restored (mismatched options, torn file,
+    or shape drift).
+
+    Also a :class:`ValueError` for compatibility with callers that guarded
+    the original bare-``ValueError`` behaviour of ``restore_checkpoint``.
     """

@@ -22,11 +22,26 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Callable, Iterator
 
+from typing import Any
+
 from repro.openmp.parallel import static_chunks
 from repro.simcore.costmodel import CostModel
 from repro.simcore.machine import MachineConfig
 
 __all__ = ["OmpRuntime", "OmpStats"]
+
+
+@dataclass
+class _RegionProbe:
+    """Duck-typed stand-in for a task handed to the fault injector.
+
+    OpenMP has no tasks, so fault injection happens at parallel-region
+    granularity: the region name plays the task tag, and a ``stall`` fault's
+    cost inflation lands on the region's elapsed time.
+    """
+
+    tag: str
+    cost_ns: int = 0
 
 
 @dataclass
@@ -91,6 +106,9 @@ class OmpRuntime:
         self._in_region = False
         self._region_elapsed = 0
         self._iteration_hooks: list[Callable[["OmpRuntime"], None]] = []
+        # Optional resilience hook (duck-typed): consulted at region entry
+        # via ``draw_task(probe)``; may raise InjectedFault or inflate cost.
+        self.fault_injector: Any = None
 
     # --- structure ------------------------------------------------------------
 
@@ -103,8 +121,19 @@ class OmpRuntime:
         """
         if self._in_region:
             raise RuntimeError("parallel regions cannot nest")
+        stall_ns = 0
+        if self.fault_injector is not None:
+            probe = _RegionProbe(tag=name)
+            fire = self.fault_injector.draw_task(probe)
+            stall_ns = probe.cost_ns
+            if fire is not None:
+                # Raises before the region is entered — runtime state stays
+                # consistent, the caller sees the injected failure.
+                fire()
         self._in_region = True
-        self._region_elapsed = self.cost_model.omp_fork_ns(self.n_threads)
+        self._region_elapsed = (
+            self.cost_model.omp_fork_ns(self.n_threads) + stall_ns
+        )
         try:
             yield
         finally:

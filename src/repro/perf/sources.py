@@ -35,6 +35,7 @@ __all__ = [
     "install_amt_counters",
     "install_omp_counters",
     "install_arena_counters",
+    "install_resilience_counters",
     "worker_thread_path",
 ]
 
@@ -175,4 +176,51 @@ def install_arena_counters(registry: CounterRegistry, domain) -> None:
         "/arena/gather-hits",
         lambda: stats().gather_hits,
         description="corner gathers served from the per-partition cache",
+    )
+
+
+def install_resilience_counters(registry: CounterRegistry, stats) -> None:
+    """Register the ``/resilience/*`` family reading a
+    :class:`~repro.resilience.stats.ResilienceStats` instance.
+
+    The stats object is shared by the fault injector, the replay policy,
+    and the recovery manager of one run (one
+    :class:`~repro.resilience.plan.ResiliencePlan`), so these counters
+    describe everything the resilience layer did, regardless of which
+    component did it.
+    """
+    registry.register_gauge(
+        "/resilience/injected-faults",
+        lambda: stats.injected_faults,
+        description="faults fired by the injector (task/comm/field)",
+    )
+    registry.register_gauge(
+        "/resilience/retries",
+        lambda: stats.retries,
+        description="task re-executions performed by bounded replay",
+    )
+    registry.register_gauge(
+        "/resilience/rollbacks",
+        lambda: stats.rollbacks,
+        description="checkpoint restores performed by auto-recovery",
+    )
+    registry.register_gauge(
+        "/resilience/degraded-cycles",
+        lambda: stats.degraded_cycles,
+        description="cycles executed under a degraded (halved) timestep",
+    )
+    registry.register_gauge(
+        "/resilience/checkpoints",
+        lambda: stats.checkpoints,
+        description="checkpoints written (including the initial one)",
+    )
+    registry.register_gauge(
+        "/resilience/comm-drops",
+        lambda: stats.comm_dropped,
+        description="plane-exchange messages suppressed by the injector",
+    )
+    registry.register_gauge(
+        "/resilience/comm-dups",
+        lambda: stats.comm_duplicated,
+        description="plane-exchange messages duplicated by the injector",
     )

@@ -1,0 +1,49 @@
+"""Resilience layer: fault injection, task replay, checkpoint recovery.
+
+The counterpart of the exception-carrying-future semantics in
+:mod:`repro.amt`: deterministic fault injection (task raise/stall, comm
+drop/duplicate, field NaN/Inf), bounded replay of idempotent tasks, and
+checkpoint-based auto-recovery with graceful timestep degradation — the
+failure scenarios a production AMT runtime must absorb (see ISSUE 3 and the
+runtime-managed-recovery discussion in PAPERS.md).
+"""
+
+from repro.resilience.errors import (
+    CorruptedStateError,
+    FaultSpecError,
+    InjectedFault,
+    RecoveryExhausted,
+    ResilienceError,
+)
+from repro.resilience.injector import (
+    FaultInjector,
+    FaultSpec,
+    build_injector,
+    parse_fault_spec,
+)
+from repro.resilience.plan import ResiliencePlan
+from repro.resilience.recovery import (
+    RecoveryManager,
+    recoverable_types,
+    run_with_recovery,
+)
+from repro.resilience.replay import ReplayPolicy
+from repro.resilience.stats import ResilienceStats
+
+__all__ = [
+    "ResilienceError",
+    "InjectedFault",
+    "CorruptedStateError",
+    "RecoveryExhausted",
+    "FaultSpecError",
+    "FaultSpec",
+    "FaultInjector",
+    "parse_fault_spec",
+    "build_injector",
+    "ReplayPolicy",
+    "ResilienceStats",
+    "RecoveryManager",
+    "run_with_recovery",
+    "recoverable_types",
+    "ResiliencePlan",
+]

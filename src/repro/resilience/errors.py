@@ -1,0 +1,52 @@
+"""Error types of the resilience layer.
+
+Split by *who* is to blame:
+
+* :class:`InjectedFault` — a deliberate, injector-produced task failure
+  (transient by construction, hence retryable and recoverable);
+* :class:`CorruptedStateError` — silent data corruption detected by the
+  post-step state scan (non-finite values in an evolving field);
+* :class:`RecoveryExhausted` — the driver gave up after the configured
+  number of consecutive rollbacks;
+* :class:`FaultSpecError` — a malformed ``--inject-fault`` specification
+  (a :class:`ValueError`, raised at parse time, never mid-run).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ResilienceError",
+    "InjectedFault",
+    "CorruptedStateError",
+    "RecoveryExhausted",
+    "FaultSpecError",
+]
+
+
+class ResilienceError(RuntimeError):
+    """Base class for resilience-layer errors."""
+
+
+class InjectedFault(ResilienceError):
+    """A fault deliberately raised by the :class:`FaultInjector`.
+
+    Not a :class:`~repro.lulesh.errors.LuleshError`: injected faults model
+    *transient* failures (a flipped bit, a killed thread), so replay retries
+    them and auto-recovery rolls them back without degrading the timestep.
+    """
+
+
+class CorruptedStateError(ResilienceError):
+    """A non-finite value was detected in an evolving domain field.
+
+    Raised by the post-step state scan of the recovery manager; models
+    silent data corruption surfacing as NaN/Inf in the physics state.
+    """
+
+
+class RecoveryExhausted(ResilienceError):
+    """Auto-recovery gave up after too many consecutive rollbacks."""
+
+
+class FaultSpecError(ResilienceError, ValueError):
+    """A fault-injection specification string could not be parsed."""

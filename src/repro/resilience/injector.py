@@ -1,0 +1,319 @@
+"""Deterministic fault injection.
+
+A fault is described by a compact spec string (the ``--inject-fault`` CLI
+grammar)::
+
+    target:pattern[:kind][@cycle]
+
+* ``target`` — what to attack: ``task`` (a task body), ``comm`` (a
+  :class:`~repro.dist.comm.PlaneExchanger` message), or ``field`` (an
+  evolving domain array);
+* ``pattern`` — what to match: a task-tag glob for ``task``, a message-tag
+  glob for ``comm``, a field name (``e``, ``p``, ``xd``, …) for ``field``.
+  Task patterns also accept the reference implementation's kernel names
+  (``CalcQ*``, ``EvalEOS*``, …) via an alias table mapping them onto the
+  tag fragments our three ports actually use;
+* ``kind`` — how to fail: ``raise`` (task throws :class:`InjectedFault`),
+  ``stall`` (inflate the task's simulated cost — a hung worker),
+  ``nan``/``inf`` (corrupt one element of a field), ``drop``/``dup``
+  (suppress / double-send a message).  Defaults per target: ``task`` →
+  ``raise``, ``comm`` → ``drop``, ``field`` → ``nan``;
+* ``@cycle`` — the 1-based cycle to fire in; omitted, the injector draws
+  one deterministically from its seeded :class:`~repro.util.rng.Lcg`.
+
+Each spec carries one charge by default: after firing it is spent, so a
+replayed task or a rolled-back cycle re-executes cleanly — modelling a
+*transient* fault.  ``persistent=True`` (programmatic only) keeps firing.
+
+Everything is deterministic under a fixed seed: armed cycles are drawn in
+spec order at construction, and charge consumption happens in execution
+order of the (deterministic) simulated schedule.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Iterable, Sequence
+
+from repro.resilience.errors import FaultSpecError, InjectedFault
+from repro.resilience.stats import ResilienceStats
+from repro.util.rng import Lcg
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.lulesh.domain import Domain
+    from repro.simcore.pool import SimTask
+
+__all__ = ["FaultSpec", "FaultInjector", "parse_fault_spec", "build_injector"]
+
+_TARGETS = ("task", "comm", "field")
+_KINDS_BY_TARGET = {
+    "task": ("raise", "stall"),
+    "comm": ("drop", "dup"),
+    "field": ("nan", "inf"),
+}
+_DEFAULT_KIND = {"task": "raise", "comm": "drop", "field": "nan"}
+
+# Reference-implementation kernel names → tag fragments of our three ports
+# (hpx chains like "region3:monoq_region+eos[x1][lo:hi]", naive tags like
+# "monoq[3][lo:hi]", omp region names like "MonotonicQRegion[3]").  A task
+# pattern matches if it fnmatch-matches the tag directly OR any fragment of
+# its alias expansion occurs in the tag.
+_TAG_ALIASES: dict[str, tuple[str, ...]] = {
+    "CalcQ": ("monoq", "qstop_check", "MonotonicQ", "QStop"),
+    "CalcMonotonicQ": ("monoq", "MonotonicQ"),
+    "CalcForceForNodes": ("stress", "hourglass", "Force"),
+    "IntegrateStressForElems": ("integrate_stress", "IntegrateStress"),
+    "CalcFBHourglassForce": ("hourglass", "Hourglass"),
+    "CalcKinematics": ("kin", "Kinematics"),
+    "CalcLagrangeElements": ("kin", "strain", "Lagrange"),
+    "EvalEOSForElems": ("eos", "EvalEOS", "EOS"),
+    "CalcEnergyForElems": ("eos", "EvalEOS", "EOS"),
+    "ApplyMaterialProperties": ("prologue", "Material"),
+    "UpdateVolumesForElems": ("update_volumes", "UpdateVolumes", "prologue"),
+    "CalcTimeConstraints": ("constraints", "TimeConstraints"),
+}
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One parsed fault: what to attack, how, and when."""
+
+    target: str
+    pattern: str
+    kind: str
+    cycle: int | None = None
+    count: int = 1
+    persistent: bool = False
+
+    def __post_init__(self) -> None:
+        if self.target not in _TARGETS:
+            raise FaultSpecError(
+                f"unknown fault target {self.target!r} "
+                f"(expected one of {', '.join(_TARGETS)})"
+            )
+        if self.kind not in _KINDS_BY_TARGET[self.target]:
+            raise FaultSpecError(
+                f"kind {self.kind!r} is not valid for target "
+                f"{self.target!r} (expected one of "
+                f"{', '.join(_KINDS_BY_TARGET[self.target])})"
+            )
+        if self.cycle is not None and self.cycle < 1:
+            raise FaultSpecError(f"cycle must be >= 1, got {self.cycle}")
+        if self.count < 1:
+            raise FaultSpecError(f"count must be >= 1, got {self.count}")
+
+
+def parse_fault_spec(text: str) -> FaultSpec:
+    """Parse one ``target:pattern[:kind][@cycle]`` spec string."""
+    body, at, cycle_part = text.partition("@")
+    cycle: int | None = None
+    if at:
+        try:
+            cycle = int(cycle_part)
+        except ValueError:
+            raise FaultSpecError(
+                f"bad cycle {cycle_part!r} in fault spec {text!r}"
+            ) from None
+    parts = body.split(":")
+    if len(parts) == 2:
+        target, pattern = parts
+        kind = _DEFAULT_KIND.get(target, "")
+    elif len(parts) == 3:
+        target, pattern, kind = parts
+    else:
+        raise FaultSpecError(
+            f"bad fault spec {text!r}: expected target:pattern[:kind][@cycle]"
+        )
+    if not pattern:
+        raise FaultSpecError(f"empty pattern in fault spec {text!r}")
+    return FaultSpec(target=target, pattern=pattern, kind=kind, cycle=cycle)
+
+
+def _tag_matches(pattern: str, tag: str) -> bool:
+    """True if *pattern* (glob or reference-kernel alias) matches *tag*."""
+    if fnmatch.fnmatchcase(tag, pattern):
+        return True
+    base = pattern.rstrip("*")
+    for frag in _TAG_ALIASES.get(base, ()):
+        if frag in tag:
+            return True
+    return False
+
+
+class _Armed:
+    """A spec armed with its trigger cycle and remaining charges."""
+
+    __slots__ = ("spec", "cycle", "remaining")
+
+    def __init__(self, spec: FaultSpec, cycle: int) -> None:
+        self.spec = spec
+        self.cycle = cycle
+        self.remaining = spec.count
+
+    def live(self, current_cycle: int) -> bool:
+        if not self.spec.persistent:
+            if self.remaining <= 0 or self.cycle != current_cycle:
+                return False
+        return True
+
+    def consume(self) -> None:
+        if not self.spec.persistent:
+            self.remaining -= 1
+
+
+class FaultInjector:
+    """Seeded, deterministic fault source shared by runtime/comm/driver.
+
+    The runtime consults :meth:`draw_task` at task creation, the
+    :class:`~repro.dist.comm.PlaneExchanger` consults :meth:`draw_comm` at
+    every post, and the driver calls :meth:`begin_cycle` before building
+    each iteration's graph and :meth:`corrupt_fields` right after (field
+    faults strike state, not tasks).
+
+    Args:
+        specs: parsed specs or raw spec strings.
+        seed: seed for the armed-cycle draws (``repro.util.rng.Lcg``).
+        stats: shared accounting (a fresh one is made if omitted).
+        stall_ns: simulated-time penalty of one ``stall`` fault.
+    """
+
+    #: Default window (cycles 1..N) for specs without an explicit ``@cycle``.
+    DEFAULT_CYCLE_WINDOW = 3
+
+    def __init__(
+        self,
+        specs: Iterable[FaultSpec | str],
+        seed: int = 0,
+        stats: ResilienceStats | None = None,
+        stall_ns: int = 2_000_000,
+    ) -> None:
+        self.stats = stats if stats is not None else ResilienceStats()
+        self.stall_ns = stall_ns
+        self._rng = Lcg(seed)
+        self._armed: list[_Armed] = []
+        for spec in specs:
+            if isinstance(spec, str):
+                spec = parse_fault_spec(spec)
+            cycle = spec.cycle
+            if cycle is None:
+                # Drawn in spec order at construction: deterministic.
+                cycle = 1 + self._rng.next_in_range(self.DEFAULT_CYCLE_WINDOW)
+            self._armed.append(_Armed(spec, cycle))
+        self._cycle = 0
+
+    @property
+    def armed_cycles(self) -> tuple[int, ...]:
+        """The trigger cycle of every spec, in spec order (for tests)."""
+        return tuple(a.cycle for a in self._armed)
+
+    def begin_cycle(self, cycle: int) -> None:
+        """Tell the injector which 1-based cycle is about to execute."""
+        self._cycle = cycle
+
+    # --- task faults --------------------------------------------------------
+
+    def draw_task(self, task: "SimTask") -> Callable[[], None] | None:
+        """Consulted by the runtime when *task* is created.
+
+        ``stall`` faults are applied immediately (the task's simulated cost
+        is inflated; its charge is spent at creation).  ``raise`` faults
+        return a ``fire()`` callable the runtime invokes at the start of
+        every execution attempt; the charge is spent at the first actual
+        raise, so a retry or a rolled-back re-run executes cleanly.
+        """
+        fire: Callable[[], None] | None = None
+        for armed in self._armed:
+            if armed.spec.target != "task" or not armed.live(self._cycle):
+                continue
+            if not _tag_matches(armed.spec.pattern, task.tag):
+                continue
+            if armed.spec.kind == "stall":
+                armed.consume()
+                task.cost_ns += self.stall_ns
+                self.stats.injected_faults += 1
+                self.stats.record(
+                    "stall", tag=task.tag, cycle=self._cycle,
+                    stall_ns=self.stall_ns,
+                )
+            elif fire is None:
+                fire = self._make_fire(armed, task.tag)
+        return fire
+
+    def _make_fire(self, armed: _Armed, tag: str) -> Callable[[], None]:
+        cycle = self._cycle
+
+        def fire() -> None:
+            # Charges are spent at the first actual raise, so a retry (or a
+            # rolled-back re-run) of the same task executes cleanly.
+            if armed.remaining <= 0 and not armed.spec.persistent:
+                return
+            armed.consume()
+            self.stats.injected_faults += 1
+            self.stats.record("raise", tag=tag, cycle=cycle)
+            raise InjectedFault(
+                f"injected fault in task {tag!r} at cycle {cycle}"
+            )
+
+        return fire
+
+    # --- comm faults --------------------------------------------------------
+
+    def draw_comm(self, src: int, dst: int, tag: str) -> str | None:
+        """Consulted by ``PlaneExchanger.post``; returns ``drop``/``dup``/None."""
+        for armed in self._armed:
+            if armed.spec.target != "comm" or not armed.live(self._cycle):
+                continue
+            if not fnmatch.fnmatchcase(tag, armed.spec.pattern):
+                continue
+            armed.consume()
+            if armed.spec.kind == "drop":
+                self.stats.comm_dropped += 1
+            else:
+                self.stats.comm_duplicated += 1
+            self.stats.injected_faults += 1
+            self.stats.record(
+                armed.spec.kind, src=src, dst=dst, tag=tag, cycle=self._cycle
+            )
+            return armed.spec.kind
+        return None
+
+    # --- field corruption ---------------------------------------------------
+
+    def corrupt_fields(self, domain: "Domain") -> None:
+        """Strike armed field faults for the current cycle against *domain*.
+
+        Each strike writes one NaN/Inf into a deterministically chosen
+        element of the named field — silent corruption that only the
+        recovery manager's state scan will notice.
+        """
+        for armed in self._armed:
+            if armed.spec.target != "field" or not armed.live(self._cycle):
+                continue
+            arr = getattr(domain, armed.spec.pattern, None)
+            if arr is None:
+                raise FaultSpecError(
+                    f"field fault names unknown domain field "
+                    f"{armed.spec.pattern!r}"
+                )
+            armed.consume()
+            idx = self._rng.next_in_range(arr.size)
+            arr.flat[idx] = math.nan if armed.spec.kind == "nan" else math.inf
+            self.stats.injected_faults += 1
+            self.stats.record(
+                armed.spec.kind, field=armed.spec.pattern, index=idx,
+                cycle=self._cycle,
+            )
+
+
+def build_injector(
+    specs: Sequence[str],
+    seed: int = 0,
+    stats: ResilienceStats | None = None,
+) -> FaultInjector | None:
+    """Parse CLI spec strings into an injector; ``None`` if no specs."""
+    if not specs:
+        return None
+    return FaultInjector([parse_fault_spec(s) for s in specs], seed=seed,
+                         stats=stats)

@@ -1,0 +1,74 @@
+"""The resilience configuration object the drivers consume.
+
+A :class:`ResiliencePlan` bundles every knob of the layer (fault specs,
+retry budget, checkpoint cadence, rollback limit) plus one shared
+:class:`~repro.resilience.stats.ResilienceStats` instance, and knows how to
+build the concrete collaborators — injector, replay policy, recovery
+manager — wired to that shared accounting.  The CLI constructs one from its
+flags; tests construct them directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.lulesh.domain import Domain
+from repro.resilience.injector import FaultInjector, parse_fault_spec
+from repro.resilience.recovery import RecoveryManager
+from repro.resilience.replay import ReplayPolicy
+from repro.resilience.stats import ResilienceStats
+
+__all__ = ["ResiliencePlan"]
+
+
+@dataclass
+class ResiliencePlan:
+    """Everything the resilience layer needs for one run.
+
+    Attributes:
+        inject: raw ``target:pattern[:kind][@cycle]`` fault spec strings.
+        fault_seed: seed of the injector's deterministic RNG.
+        max_retries: replay budget for idempotent tasks (0 disables replay).
+        auto_recover: enable checkpoint/rollback in the driver.
+        checkpoint_every: successful cycles between checkpoints.
+        max_rollbacks: consecutive rollbacks before giving up.
+        checkpoint_path: checkpoint file (``None`` = managed tempdir).
+        stats: shared accounting; backs the ``/resilience/*`` counters.
+    """
+
+    inject: tuple[str, ...] = ()
+    fault_seed: int = 0
+    max_retries: int = 0
+    auto_recover: bool = False
+    checkpoint_every: int = 10
+    max_rollbacks: int = 3
+    checkpoint_path: str | None = None
+    stats: ResilienceStats = field(default_factory=ResilienceStats)
+
+    def make_injector(self) -> FaultInjector | None:
+        """The fault injector for this run (``None`` without specs)."""
+        if not self.inject:
+            return None
+        return FaultInjector(
+            [parse_fault_spec(s) for s in self.inject],
+            seed=self.fault_seed,
+            stats=self.stats,
+        )
+
+    def make_replay(self) -> ReplayPolicy | None:
+        """The replay policy (``None`` when retries are disabled)."""
+        if self.max_retries <= 0:
+            return None
+        return ReplayPolicy(max_retries=self.max_retries, stats=self.stats)
+
+    def make_recovery(self, domain: Domain) -> RecoveryManager | None:
+        """The recovery manager bound to *domain* (``None`` if disabled)."""
+        if not self.auto_recover:
+            return None
+        return RecoveryManager(
+            domain,
+            checkpoint_path=self.checkpoint_path,
+            checkpoint_every=self.checkpoint_every,
+            max_rollbacks=self.max_rollbacks,
+            stats=self.stats,
+        )

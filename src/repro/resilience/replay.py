@@ -1,0 +1,59 @@
+"""Bounded task replay: retry idempotent tasks before failing the future.
+
+The AMT runtime consults an instance of :class:`ReplayPolicy` (installed as
+``runtime.replay``) when a task body declared ``idempotent=True`` raises.
+Retries happen *in place*, inside the same simulated task: each attempt adds
+``backoff_ns(attempt)`` of simulated time to the task's cost, so the replay
+penalty shows up in the schedule exactly where a real runtime would pay it.
+
+Physics aborts (:class:`~repro.lulesh.errors.LuleshError` — mesh inversion,
+qstop) are *deterministic*: re-running the same inputs re-raises the same
+error, so they are never retried; recovery for those belongs to the
+checkpoint/rollback layer.  Transient failures (injected faults, I/O-style
+runtime errors) are retried up to ``max_retries`` times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.lulesh.errors import LuleshError
+from repro.resilience.errors import RecoveryExhausted
+from repro.resilience.stats import ResilienceStats
+
+__all__ = ["ReplayPolicy"]
+
+
+@dataclass
+class ReplayPolicy:
+    """Retry budget and backoff schedule for idempotent tasks.
+
+    Args:
+        max_retries: re-executions allowed per task (0 disables replay).
+        backoff_base_ns: simulated-time penalty of the first retry; attempt
+            *k* costs ``backoff_base_ns * 2**(k-1)`` (exponential backoff).
+        stats: shared resilience accounting.
+    """
+
+    max_retries: int = 2
+    backoff_base_ns: int = 100_000
+    stats: ResilienceStats = field(default_factory=ResilienceStats)
+
+    def backoff_ns(self, attempt: int) -> int:
+        """Simulated backoff charged before retry *attempt* (1-based)."""
+        return self.backoff_base_ns * (1 << (attempt - 1))
+
+    def retryable(self, exc: BaseException) -> bool:
+        """Whether *exc* models a transient failure worth re-executing.
+
+        Deterministic physics aborts and give-up signals are not; anything
+        else (notably :class:`InjectedFault`) is.
+        """
+        return not isinstance(exc, (LuleshError, RecoveryExhausted))
+
+    def record_retry(self, tag: str, exc: BaseException) -> None:
+        """Account one retry of the task *tag* after *exc*."""
+        self.stats.retries += 1
+        self.stats.record(
+            "retry", tag=tag, exception=type(exc).__name__, message=str(exc)
+        )

@@ -1,0 +1,48 @@
+"""Shared accounting for the resilience layer.
+
+One :class:`ResilienceStats` instance is threaded through the injector, the
+replay policy, and the recovery manager so a single object answers "what did
+resilience do this run" — it backs the ``/resilience/*`` counters in the
+performance registry (:func:`repro.perf.sources.install_resilience_counters`)
+and the trace-event list consumed by tests and the CLI summary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["ResilienceStats"]
+
+
+@dataclass
+class ResilienceStats:
+    """Counters and an event log for one run.
+
+    Attributes:
+        injected_faults: faults actually fired (not merely armed).
+        retries: task re-executions performed by the replay policy.
+        rollbacks: checkpoint restores performed by auto-recovery.
+        degraded_cycles: cycles executed under a degraded (halved) timestep.
+        checkpoints: checkpoints written (including the initial one).
+        comm_dropped: PlaneExchanger messages suppressed by the injector.
+        comm_duplicated: PlaneExchanger messages sent twice by the injector.
+        events: ``(kind, detail)`` tuples in occurrence order — the trace
+            of everything the resilience layer did, for tests and debugging.
+    """
+
+    injected_faults: int = 0
+    retries: int = 0
+    rollbacks: int = 0
+    degraded_cycles: int = 0
+    checkpoints: int = 0
+    comm_dropped: int = 0
+    comm_duplicated: int = 0
+    events: list[tuple[str, dict]] = field(default_factory=list)
+
+    def record(self, kind: str, **detail: object) -> None:
+        """Append one trace event."""
+        self.events.append((kind, dict(detail)))
+
+    def events_of(self, kind: str) -> list[dict]:
+        """All event details of one *kind*, in occurrence order."""
+        return [d for k, d in self.events if k == kind]

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.dist.comm import PlaneExchanger
+from repro.dist.comm import CommError, PlaneExchanger
 
 
 class TestPlaneExchanger:
@@ -77,3 +77,55 @@ class TestPlaneExchanger:
             ex.post(0, 5, "t", np.zeros(1))
         with pytest.raises(ValueError):
             PlaneExchanger(0)
+
+    def test_protocol_violations_are_comm_errors(self):
+        ex = PlaneExchanger(2)
+        ex.start_phase()
+        with pytest.raises(CommError, match="from rank 0 to rank 1"):
+            ex.fetch(1, 0, "missing")
+        ex.post(0, 1, "t", np.zeros(1))
+        with pytest.raises(CommError, match="duplicate"):
+            ex.post(0, 1, "t", np.zeros(1))
+        assert issubclass(CommError, RuntimeError)  # old matchers still fit
+
+    def test_fetch_error_names_tag_and_phase(self):
+        ex = PlaneExchanger(2)
+        ex.start_phase()
+        with pytest.raises(CommError, match=r"tagged 'fz-up' in phase 1"):
+            ex.fetch(1, 0, "fz-up")
+
+
+class TestFaultInjection:
+    def test_dropped_message_never_arrives(self):
+        from repro.resilience import FaultInjector, FaultSpec
+
+        inj = FaultInjector([FaultSpec("comm", "fz*", "drop", cycle=1)])
+        inj.begin_cycle(1)
+        ex = PlaneExchanger(2, fault_injector=inj)
+        ex.start_phase()
+        ex.post(0, 1, "fz-up", np.zeros(4))
+        assert ex.stats[0].n_messages == 1  # sent on the wire...
+        with pytest.raises(CommError, match="no message"):
+            ex.fetch(1, 0, "fz-up")  # ...but lost before delivery
+        assert inj.stats.comm_dropped == 1
+
+    def test_duplicate_doubles_accounting_not_data(self):
+        from repro.resilience import FaultInjector, FaultSpec
+
+        inj = FaultInjector([FaultSpec("comm", "e*", "dup", cycle=1)])
+        inj.begin_cycle(1)
+        ex = PlaneExchanger(2, fault_injector=inj)
+        ex.start_phase()
+        data = np.arange(4.0)
+        ex.post(0, 1, "e-up", data)
+        assert ex.stats[0].n_messages == 2
+        assert ex.stats[0].bytes_sent == 2 * data.nbytes
+        assert np.array_equal(ex.fetch(1, 0, "e-up"), data)  # delivered once
+        assert inj.stats.comm_duplicated == 1
+
+    def test_uninjected_exchanger_unchanged(self):
+        ex = PlaneExchanger(2)
+        assert ex.fault_injector is None
+        ex.start_phase()
+        ex.post(0, 1, "t", np.zeros(1))
+        assert ex.stats[0].n_messages == 1

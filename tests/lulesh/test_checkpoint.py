@@ -1,5 +1,7 @@
 """Unit tests for checkpoint / restart."""
 
+import os
+
 import numpy as np
 import pytest
 
@@ -9,6 +11,7 @@ from repro.lulesh.checkpoint import (
     save_checkpoint,
 )
 from repro.lulesh.domain import Domain
+from repro.lulesh.errors import CheckpointError, LuleshError
 from repro.lulesh.options import LuleshOptions
 from repro.lulesh.reference import SequentialDriver
 
@@ -63,6 +66,14 @@ class TestGuards:
         with pytest.raises(ValueError, match="different options"):
             load_checkpoint(other, path)
 
+    def test_different_run_length_is_restorable(self, opts, tmp_path):
+        # max_iterations is run control, not problem identity: a restart
+        # may resume for a different number of cycles
+        path = str(tmp_path / "ckpt.npz")
+        save_checkpoint(Domain(opts), path)
+        longer = LuleshOptions(nx=5, numReg=3, max_iterations=99)
+        assert load_checkpoint(longer, path).cycle == 0
+
     def test_restore_into_existing_domain(self, opts, tmp_path):
         path = str(tmp_path / "ckpt.npz")
         a = Domain(opts)
@@ -79,3 +90,49 @@ class TestGuards:
         fresh = Domain(opts)
         assert np.array_equal(restored.e, fresh.e)
         assert np.array_equal(restored.x, fresh.x)
+
+
+class TestAtomicity:
+    def test_save_leaves_no_temp_file(self, opts, tmp_path):
+        path = str(tmp_path / "ckpt.npz")
+        save_checkpoint(Domain(opts), path)
+        assert os.listdir(tmp_path) == ["ckpt.npz"]
+
+    def test_save_keeps_exact_path(self, opts, tmp_path):
+        # np.savez appends ".npz" to bare string paths; the atomic write
+        # must not (the recovery manager restores from the exact name)
+        path = str(tmp_path / "recovery")  # no extension
+        save_checkpoint(Domain(opts), path)
+        assert os.path.exists(path)
+        assert load_checkpoint(opts, path).cycle == 0
+
+    def test_overwrite_is_atomic_replace(self, opts, tmp_path):
+        path = str(tmp_path / "ckpt.npz")
+        a = Domain(opts)
+        save_checkpoint(a, path)
+        a.e[1] = 7.0
+        save_checkpoint(a, path)
+        assert load_checkpoint(opts, path).e[1] == 7.0
+        assert os.listdir(tmp_path) == ["ckpt.npz"]
+
+    def test_torn_write_detected(self, opts, tmp_path):
+        path = str(tmp_path / "ckpt.npz")
+        save_checkpoint(Domain(opts), path)
+        size = os.path.getsize(path)
+        with open(path, "r+b") as fh:  # simulate a crash mid-write
+            fh.truncate(size // 2)
+        with pytest.raises(CheckpointError, match="checkpoint"):
+            load_checkpoint(opts, path)
+
+    def test_garbage_file_rejected(self, opts, tmp_path):
+        path = str(tmp_path / "ckpt.npz")
+        with open(path, "wb") as fh:
+            fh.write(b"not an npz archive")
+        with pytest.raises(CheckpointError, match="unreadable"):
+            load_checkpoint(opts, path)
+
+    def test_checkpoint_error_types(self):
+        # CheckpointError must stay a ValueError (pre-existing callers) and
+        # join the LuleshError family (driver failure classification)
+        assert issubclass(CheckpointError, ValueError)
+        assert issubclass(CheckpointError, LuleshError)

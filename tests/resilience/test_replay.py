@@ -1,0 +1,103 @@
+"""Unit tests for bounded replay of idempotent tasks."""
+
+import pytest
+
+from repro.amt.runtime import AmtRuntime
+from repro.lulesh.errors import VolumeError
+from repro.resilience import FaultInjector, InjectedFault, ReplayPolicy
+from repro.simcore.costmodel import CostModel
+from repro.simcore.machine import MachineConfig
+
+
+def _runtime(specs=(), max_retries=2, seed=0):
+    replay = ReplayPolicy(max_retries=max_retries)
+    injector = FaultInjector(specs, seed=seed, stats=replay.stats)
+    rt = AmtRuntime(
+        MachineConfig(), CostModel(), n_workers=2,
+        fault_injector=injector, replay=replay,
+    )
+    rt.fault_injector.begin_cycle(1)
+    return rt, replay
+
+
+class TestReplayThenSucceed:
+    def test_transient_fault_absorbed(self):
+        rt, replay = _runtime(["task:work*@1"])
+        f = rt.async_(lambda: 42, tag="work[0:8]", idempotent=True)
+        assert f.get() == 42  # first attempt raises, replay succeeds
+        assert replay.stats.retries == 1
+        assert replay.stats.injected_faults == 1
+
+    def test_backoff_charged_to_simulated_time(self):
+        rt, replay = _runtime(["task:work*@1"])
+        f = rt.async_(lambda: 1, tag="work", cost_ns=500, idempotent=True)
+        rt.flush()
+        assert f.task.cost_ns == 500 + replay.backoff_ns(1)
+
+    def test_retry_budget_exhausted(self):
+        calls = []
+
+        def always_fails():
+            calls.append(1)
+            raise OSError("flaky io")
+
+        rt, replay = _runtime(max_retries=2)
+        f = rt.async_(always_fails, tag="io", idempotent=True)
+        rt.flush()
+        assert isinstance(f.exception_nowait(), OSError)
+        assert len(calls) == 3  # initial attempt + 2 retries
+        assert replay.stats.retries == 2
+
+
+class TestReplayEligibility:
+    def test_non_idempotent_not_retried(self):
+        rt, replay = _runtime(["task:work*@1"])
+        f = rt.async_(lambda: 1, tag="work")  # idempotent defaults to False
+        rt.flush()
+        assert isinstance(f.exception_nowait(), InjectedFault)
+        assert replay.stats.retries == 0
+
+    def test_physics_abort_not_retried(self):
+        calls = []
+
+        def inverts():
+            calls.append(1)
+            raise VolumeError("negative volume in element 7")
+
+        rt, replay = _runtime()
+        f = rt.async_(inverts, tag="kin", idempotent=True)
+        rt.flush()
+        assert isinstance(f.exception_nowait(), VolumeError)
+        assert len(calls) == 1  # deterministic: re-running cannot help
+        assert replay.stats.retries == 0
+
+    def test_no_policy_means_no_retries(self):
+        injector = FaultInjector(["task:work*@1"], seed=0)
+        rt = AmtRuntime(
+            MachineConfig(), CostModel(), n_workers=2,
+            fault_injector=injector,
+        )
+        injector.begin_cycle(1)
+        f = rt.async_(lambda: 1, tag="work", idempotent=True)
+        rt.flush()
+        assert isinstance(f.exception_nowait(), InjectedFault)
+
+
+class TestPolicy:
+    def test_exponential_backoff(self):
+        p = ReplayPolicy(max_retries=4, backoff_base_ns=1000)
+        assert [p.backoff_ns(k) for k in (1, 2, 3)] == [1000, 2000, 4000]
+
+    def test_retryable_classification(self):
+        p = ReplayPolicy()
+        assert p.retryable(InjectedFault("transient"))
+        assert p.retryable(OSError("io"))
+        assert not p.retryable(VolumeError("deterministic"))
+
+    def test_retry_recorded_with_tag(self):
+        rt, replay = _runtime(["task:work*@1"])
+        rt.async_(lambda: 1, tag="work[0:8]", idempotent=True)
+        rt.flush()
+        (event,) = replay.stats.events_of("retry")
+        assert event["tag"] == "work[0:8]"
+        assert event["exception"] == "InjectedFault"
