@@ -19,6 +19,7 @@ determines them exactly (the simulation is deterministic).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.amt.errors import TaskGroupError
 from repro.amt.runtime import AmtRuntime
@@ -44,6 +45,9 @@ from repro.simcore.costmodel import CostModel
 from repro.simcore.machine import MachineConfig
 from repro.simcore.policy import SchedulerPolicy
 from repro.simcore.trace import TraceRecorder
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (tuning -> driver)
+    from repro.tuning.database import TuningDatabase
 
 __all__ = ["RunResult", "run_omp", "run_hpx", "run_naive_hpx"]
 
@@ -139,6 +143,7 @@ def run_omp(
     costs: KernelCosts = DEFAULT_COSTS,
     execute: bool = False,
     omp_schedule: str = "static",
+    dynamic_chunk: int | None = None,
     registry: CounterRegistry | None = None,
     task_local_temporaries: bool = True,
     resilience: ResiliencePlan | None = None,
@@ -146,7 +151,9 @@ def run_omp(
     """Run the OpenMP-structured LULESH (the reference baseline).
 
     ``omp_schedule='dynamic'`` runs the counterfactual where every loop
-    uses OpenMP dynamic scheduling instead of the reference's static.
+    uses OpenMP dynamic scheduling instead of the reference's static;
+    *dynamic_chunk* pins ``schedule(dynamic, chunk)``'s chunk size (the
+    tuner's OpenMP chunking knob; default: modeled auto-chunking).
     With a *registry*, the idle-rate counter family is installed and
     sampled once per iteration.  ``task_local_temporaries=False`` runs the
     allocate-each-time workspace ablation (execute mode only).  A
@@ -159,7 +166,8 @@ def run_omp(
     from repro.openmp.runtime import OmpRuntime
 
     omp = OmpRuntime(machine, cost_model, n_threads, execute_bodies=execute,
-                     default_schedule=omp_schedule)
+                     default_schedule=omp_schedule,
+                     dynamic_chunk=dynamic_chunk)
     if resilience is not None:
         omp.fault_injector = resilience.make_injector()
     if registry is not None:
@@ -196,25 +204,41 @@ def run_hpx(
     nodal_partition: int | None = None,
     elements_partition: int | None = None,
     policy: SchedulerPolicy | None = None,
+    balanced_partitions: bool = False,
+    tuning: "TuningDatabase | None" = None,
     registry: CounterRegistry | None = None,
     record_spans: bool = False,
     resilience: ResiliencePlan | None = None,
 ) -> RunResult:
     """Run the paper's task-based LULESH.
 
-    Partition sizes default to the Table I policy for ``opts.nx``; pass
-    explicit values for the partition-size sweep (E4) and a *policy* for
-    the scheduler-discipline ablation.  With a *registry*, the HPX counter
-    namespace is installed and sampled at every flush; ``record_spans``
-    keeps per-task spans on ``RunResult.trace`` for the phase profiler and
-    critical-path analyzer.  A *resilience* plan wires fault injection and
-    bounded replay into the runtime, and (execute mode) checkpoint-based
-    auto-recovery into the run loop.
+    Partition sizes resolve in precedence order: explicit arguments, then
+    the *tuning* database (:meth:`~repro.tuning.database.TuningDatabase.
+    tuned_partition_sizes` — what ``lulesh-hpx tune`` learned for this
+    machine and shape, nearest tuned size for unseen shapes), then the
+    static Table I policy for ``opts.nx``.  Pass explicit values for the
+    partition-size sweep (E4) and a *policy* for the scheduler-discipline
+    ablation; ``balanced_partitions`` spreads each phase's remainder over
+    all partitions instead of one short trailing task.  With a *registry*,
+    the HPX counter namespace is installed and sampled at every flush (the
+    resolved partition sizes are exported as ``/hpx/partition-size/*``);
+    ``record_spans`` keeps per-task spans on ``RunResult.trace`` for the
+    phase profiler and critical-path analyzer.  A *resilience* plan wires
+    fault injection and bounded replay into the runtime, and (execute
+    mode) checkpoint-based auto-recovery into the run loop.
     """
     machine = machine or MachineConfig()
     cost_model = cost_model or CostModel()
     variant = variant or HpxVariant.full()
     table_nodal, table_elems = table1_partition_sizes(opts.nx)
+    if tuning is not None and (
+        nodal_partition is None or elements_partition is None
+    ):
+        tuned = tuning.tuned_partition_sizes(
+            machine, "hpx", opts.nx, opts.numReg, n_workers
+        )
+        if tuned is not None:
+            table_nodal, table_elems = tuned
     shape, domain = _shape_and_domain(opts, execute)
     rt = AmtRuntime(
         machine, cost_model, n_workers, policy=policy,
@@ -222,8 +246,20 @@ def run_hpx(
         fault_injector=resilience.make_injector() if resilience else None,
         replay=resilience.make_replay() if resilience else None,
     )
+    resolved_nodal = nodal_partition or table_nodal
+    resolved_elems = elements_partition or table_elems
     if registry is not None:
         install_amt_counters(registry, rt)
+        registry.register_gauge(
+            "/hpx/partition-size/nodal",
+            lambda: resolved_nodal,
+            description="resolved LagrangeNodal partition size for this run",
+        )
+        registry.register_gauge(
+            "/hpx/partition-size/elements",
+            lambda: resolved_elems,
+            description="resolved LagrangeElements partition size for this run",
+        )
         if domain is not None:
             install_arena_counters(registry, domain)
         if resilience is not None:
@@ -232,10 +268,11 @@ def run_hpx(
         rt,
         shape,
         costs,
-        nodal_partition=nodal_partition or table_nodal,
-        elements_partition=elements_partition or table_elems,
+        nodal_partition=resolved_nodal,
+        elements_partition=resolved_elems,
         domain=domain,
         variant=variant,
+        balanced_partitions=balanced_partitions,
     )
     _execute_program(program, domain, iterations, resilience)
     stats = rt.stats

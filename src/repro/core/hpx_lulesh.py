@@ -142,6 +142,7 @@ class HpxLuleshProgram:
         domain: Domain | None = None,
         variant: HpxVariant = HpxVariant.full(),
         allocator: AllocatorModel | None = None,
+        balanced_partitions: bool = False,
     ) -> None:
         if allocator is None:
             allocator = AllocatorModel(
@@ -159,10 +160,17 @@ class HpxLuleshProgram:
         self.domain = domain
         self.variant = variant
         self.allocator = allocator
+        self.balanced_partitions = balanced_partitions
         self.barriers_per_iteration = 0
         self._timing_cycle = 0  # cycle counter for timing-only runs
         if domain is not None:
             domain.configure_workspace(variant.task_local_temporaries)
+
+    def _ranges(self, n_items: int, partition_size: int):
+        """Partition layout for one phase (honours the balanced-split knob)."""
+        return partition_ranges(
+            n_items, partition_size, balanced=self.balanced_partitions
+        )
 
     # --- kernel bindings ------------------------------------------------------
 
@@ -347,7 +355,7 @@ class HpxLuleshProgram:
         # ---- Phase 1: element force chains -> B1 ---------------------------------
         force_finals: list[Future] = []
         if chain:
-            for lo, hi in partition_ranges(ne, pn):
+            for lo, hi in self._ranges(ne, pn):
                 f_stress = self._chain(k_stress, lo, hi, (), "stress")
                 if parallel:
                     f_hg = self._chain(k_hg, lo, hi, (), "hg")
@@ -360,7 +368,7 @@ class HpxLuleshProgram:
             for kern in k_stress + k_hg:
                 futs = [
                     self._chain([kern], lo, hi, (), "k", reuse_items=ne)
-                    for lo, hi in partition_ranges(ne, pn)
+                    for lo, hi in self._ranges(ne, pn)
                 ]
                 flush_if_unchained(futs, kern.name)
             node_dep = ()
@@ -369,7 +377,7 @@ class HpxLuleshProgram:
         if chain:
             node_finals = [
                 self._chain(k_nodesum, lo, hi, node_dep, "node")
-                for lo, hi in partition_ranges(nn, pn)
+                for lo, hi in self._ranges(nn, pn)
             ]
             b2 = self._barrier(node_finals, "B2:accel")
             bc = self.rt.continuation(
@@ -380,7 +388,7 @@ class HpxLuleshProgram:
             )
             velpos_finals = [
                 self._chain(k_velpos, lo, hi, (bc,), "velpos")
-                for lo, hi in partition_ranges(nn, pn)
+                for lo, hi in self._ranges(nn, pn)
             ]
             b4 = self._barrier(velpos_finals, "B4:positions")
             elem_dep: Sequence[Future] = (b4,)
@@ -388,7 +396,7 @@ class HpxLuleshProgram:
             for kern in k_nodesum:
                 futs = [
                     self._chain([kern], lo, hi, (), "k", reuse_items=nn)
-                    for lo, hi in partition_ranges(nn, pn)
+                    for lo, hi in self._ranges(nn, pn)
                 ]
                 flush_if_unchained(futs, kern.name)
             bc = self.rt.async_(
@@ -400,7 +408,7 @@ class HpxLuleshProgram:
             for kern in k_velpos:
                 futs = [
                     self._chain([kern], lo, hi, (), "k", reuse_items=nn)
-                    for lo, hi in partition_ranges(nn, pn)
+                    for lo, hi in self._ranges(nn, pn)
                 ]
                 flush_if_unchained(futs, kern.name)
             elem_dep = ()
@@ -409,7 +417,7 @@ class HpxLuleshProgram:
         if chain:
             kin_finals = [
                 self._chain(k_kin, lo, hi, elem_dep, "kin")
-                for lo, hi in partition_ranges(ne, pe)
+                for lo, hi in self._ranges(ne, pe)
             ]
             b5 = self._barrier(kin_finals, "B5:gradients")
             region_dep: Sequence[Future] = (b5,)
@@ -417,7 +425,7 @@ class HpxLuleshProgram:
             for kern in k_kin:
                 futs = [
                     self._chain([kern], lo, hi, (), "k", reuse_items=ne)
-                    for lo, hi in partition_ranges(ne, pe)
+                    for lo, hi in self._ranges(ne, pe)
                 ]
                 flush_if_unchained(futs, kern.name)
             region_dep = ()
@@ -427,7 +435,7 @@ class HpxLuleshProgram:
         if chain:
             prologue_finals = [
                 self._chain(k_prologue, lo, hi, region_dep, "prologue")
-                for lo, hi in partition_ranges(ne, pe)
+                for lo, hi in self._ranges(ne, pe)
             ]
             # Region EOS gathers cross partition boundaries (region element
             # lists are scattered), so the region chains wait on all
@@ -446,7 +454,7 @@ class HpxLuleshProgram:
                     region_chain_dep.append(prev_region_gate)
                 region_futs = [
                     self._region_chain(r, rep, lo, hi, region_chain_dep)
-                    for lo, hi in partition_ranges(size, pe)
+                    for lo, hi in self._ranges(size, pe)
                 ]
                 constraint_futs += region_futs
                 if not parallel:
@@ -457,7 +465,7 @@ class HpxLuleshProgram:
         else:
             futs = [
                 self._chain(k_prologue, lo, hi, (), "prologue", reuse_items=ne)
-                for lo, hi in partition_ranges(ne, pe)
+                for lo, hi in self._ranges(ne, pe)
             ]
             flush_if_unchained(futs, "prologue")
             for r in range(shape.num_regions):
@@ -465,7 +473,7 @@ class HpxLuleshProgram:
                 rep = shape.region_reps[r]
                 futs = [
                     self._region_chain(r, rep, lo, hi, ())
-                    for lo, hi in partition_ranges(size, pe)
+                    for lo, hi in self._ranges(size, pe)
                 ]
                 constraint_futs += futs
                 flush_if_unchained(futs, f"region[{r}]")

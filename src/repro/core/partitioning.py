@@ -59,23 +59,46 @@ def table1_partition_sizes(nx: int) -> tuple[int, int]:
     return nodal, elements
 
 
-def partition_ranges(n_items: int, partition_size: int) -> Iterator[tuple[int, int]]:
+def partition_ranges(
+    n_items: int, partition_size: int, balanced: bool = False
+) -> Iterator[tuple[int, int]]:
     """Yield contiguous ``[lo, hi)`` ranges of at most *partition_size* items.
 
     The manual task decomposition of paper Fig. 5: each task iterates over
     ``P`` items only.  Covers ``[0, n_items)`` exactly once; yields nothing
     for an empty range.
+
+    With ``balanced=True`` the *number* of partitions is unchanged
+    (``ceil(n/P)``) but the remainder is spread across all of them instead
+    of landing in one short trailing range: 10 000 items at ``P=4096``
+    yield 3334/3333/3333 rather than 4096/4096/1808.  Earlier ranges are
+    never smaller than later ones, every range size differs by at most one,
+    and no range exceeds *partition_size*.  This is the ``balanced_split``
+    tuning knob (:mod:`repro.tuning`): a short trailing task is a load-
+    imbalance hazard exactly when the partition count is close to the
+    worker count.
     """
     if partition_size < 1:
         raise ValueError(f"partition_size must be >= 1, got {partition_size}")
     if n_items < 0:
         raise ValueError(f"n_items must be non-negative, got {n_items}")
+    if balanced:
+        parts = n_partitions(n_items, partition_size)
+        if parts == 0:
+            return
+        base, rem = divmod(n_items, parts)
+        lo = 0
+        for i in range(parts):
+            hi = lo + base + (1 if i < rem else 0)
+            yield lo, hi
+            lo = hi
+        return
     for lo in range(0, n_items, partition_size):
         yield lo, min(lo + partition_size, n_items)
 
 
 def n_partitions(n_items: int, partition_size: int) -> int:
-    """Number of ranges :func:`partition_ranges` yields."""
+    """Number of ranges :func:`partition_ranges` yields (either mode)."""
     if partition_size < 1:
         raise ValueError(f"partition_size must be >= 1, got {partition_size}")
     return -(-n_items // partition_size) if n_items > 0 else 0

@@ -12,6 +12,13 @@ Experiment mode regenerates a whole paper element::
 
     lulesh-hpx --experiment fig9
     lulesh-hpx --experiment fig10 --csv out.csv
+
+Tune mode searches the knob space (:mod:`repro.tuning`) instead of using
+the hand-calibrated defaults, persists what it learns, and ``--tuned``
+runs consult the database before falling back to Table I::
+
+    lulesh-hpx tune --s 45 --tune-strategy exhaustive --tuning-db db.json
+    lulesh-hpx --s 45 --tuned --tuning-db db.json
 """
 
 from __future__ import annotations
@@ -41,6 +48,14 @@ def build_parser() -> argparse.ArgumentParser:
             "'Speeding-Up LULESH on HPX' (SC 2024)"
         ),
     )
+    parser.add_argument(
+        "mode",
+        nargs="?",
+        choices=("run", "tune"),
+        default="run",
+        help="run (default): a single run or experiment; tune: search the "
+             "knob space for this problem and persist the winner",
+    )
     parser.add_argument("--s", type=int, default=30, help="problem size (mesh edge)")
     parser.add_argument("--r", type=int, default=11, help="number of regions")
     parser.add_argument("--i", type=int, default=10, help="number of iterations")
@@ -66,10 +81,84 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--experiment",
         choices=("fig9", "fig10", "fig11", "table1", "ablation",
-                 "multinode", "scheduler"),
+                 "multinode", "scheduler", "tuning"),
         default=None,
         help="regenerate a paper element (or a future-work extension) "
              "instead of a single run",
+    )
+    parser.add_argument(
+        "--partition-nodal",
+        type=int,
+        default=None,
+        metavar="P",
+        help="override the LagrangeNodal partition size (>=1; default: "
+             "tuned value if --tuned, else the Table I policy)",
+    )
+    parser.add_argument(
+        "--partition-elems",
+        type=int,
+        default=None,
+        metavar="P",
+        help="override the LagrangeElements partition size (>=1)",
+    )
+    parser.add_argument(
+        "--balanced-partitions",
+        action="store_true",
+        help="spread each phase's remainder over all partitions instead "
+             "of one short trailing task (the balanced_split tuning knob)",
+    )
+    parser.add_argument(
+        "--tuned",
+        action="store_true",
+        help="consult the tuning database for this machine/shape before "
+             "falling back to the Table I policy (hpx runs)",
+    )
+    parser.add_argument(
+        "--tuning-db",
+        default=None,
+        metavar="FILE",
+        help="tuning-database path (default: "
+             "$XDG_CACHE_HOME/lulesh-hpx/tuning.json)",
+    )
+    parser.add_argument(
+        "--tune-strategy",
+        choices=("exhaustive", "coordinate", "random"),
+        default="coordinate",
+        help="search strategy for tune mode (default: coordinate descent)",
+    )
+    parser.add_argument(
+        "--tune-space",
+        choices=("partitions", "full"),
+        default="partitions",
+        help="knob surface for tune mode: the Table I partition sizes "
+             "only, or partitions + variant bits + scheduler policy",
+    )
+    parser.add_argument(
+        "--tune-trials",
+        type=int,
+        default=64,
+        metavar="N",
+        help="budget: maximum trial evaluations (cache hits included)",
+    )
+    parser.add_argument(
+        "--tune-sim-budget",
+        type=float,
+        default=None,
+        metavar="S",
+        help="budget: maximum simulated seconds spent on uncached trials",
+    )
+    parser.add_argument(
+        "--tune-seed",
+        type=int,
+        default=0,
+        help="seed for the random-restarts strategy's deterministic stream",
+    )
+    parser.add_argument(
+        "--tune-restarts",
+        type=int,
+        default=4,
+        metavar="K",
+        help="random starting points for --tune-strategy random",
     )
     parser.add_argument(
         "--csv", default=None, help="write experiment records to this CSV file"
@@ -223,12 +312,62 @@ def _resilience_plan(args: argparse.Namespace):
     )
 
 
+def _load_tuning_db(args: argparse.Namespace):
+    """Open the tuning database the flags name (empty if absent)."""
+    from repro.tuning import TuningDatabase, default_db_path
+
+    return TuningDatabase.load(args.tuning_db or default_db_path())
+
+
+def _validate_partition_flags(args: argparse.Namespace) -> None:
+    for flag, value in (
+        ("--partition-nodal", args.partition_nodal),
+        ("--partition-elems", args.partition_elems),
+    ):
+        if value is not None and value < 1:
+            raise SystemExit(f"{flag} must be >= 1, got {value}")
+
+
+def _resolved_partitions(
+    args: argparse.Namespace, threads: int, tuning_db
+) -> tuple[int, int, str]:
+    """The (nodal, elements, source) the driver resolved for this run.
+
+    Mirrors :func:`repro.core.driver.run_hpx`'s precedence — explicit flags,
+    then the tuning database, then Table I — so the verbose report can name
+    where each run's partition sizes came from.
+    """
+    from repro.core.partitioning import table1_partition_sizes
+    from repro.simcore.machine import MachineConfig
+
+    pn, pe = table1_partition_sizes(args.s)
+    source = "table1"
+    if tuning_db is not None:
+        tuned = tuning_db.tuned_partition_sizes(
+            MachineConfig(), "hpx", args.s, args.r, threads
+        )
+        if tuned is not None:
+            pn, pe = tuned
+            source = "tuned"
+    if args.partition_nodal is not None:
+        pn, source = args.partition_nodal, "explicit"
+    if args.partition_elems is not None:
+        pe, source = args.partition_elems, "explicit"
+    return pn, pe, source
+
+
 def _single_run(args: argparse.Namespace) -> int:
     threads = args.hpx_threads if args.hpx_threads is not None else args.threads
     opts = LuleshOptions(
         nx=args.s, numReg=args.r,
         max_iterations=args.i if args.execute else None,
     )
+    _validate_partition_flags(args)
+    if (args.partition_nodal or args.partition_elems) and args.impl != "hpx":
+        raise SystemExit(
+            "--partition-nodal/--partition-elems apply to --impl hpx only"
+        )
+    tuning_db = _load_tuning_db(args) if args.tuned else None
     resilience = _resilience_plan(args)
     want_counters = bool(
         args.print_counters or args.counters or args.list_counters
@@ -282,6 +421,10 @@ def _single_run(args: argparse.Namespace) -> int:
         if args.impl == "hpx":
             result = run_hpx(opts, threads, args.i, execute=args.execute,
                              variant=_selected_variant(args), registry=registry,
+                             nodal_partition=args.partition_nodal,
+                             elements_partition=args.partition_elems,
+                             balanced_partitions=args.balanced_partitions,
+                             tuning=tuning_db,
                              record_spans=need_spans, resilience=resilience)
         elif args.impl == "naive":
             result = run_naive_hpx(opts, threads, args.i, execute=args.execute,
@@ -312,6 +455,10 @@ def _single_run(args: argparse.Namespace) -> int:
     if not args.q:
         print(f"impl={args.impl} size={args.s} regions={args.r} "
               f"threads={threads} iterations={result.iterations}")
+        if args.impl == "hpx":
+            pn, pe, source = _resolved_partitions(args, threads, tuning_db)
+            print(f"partition sizes: nodal={pn} elements={pe} [{source}]"
+                  + (" balanced" if args.balanced_partitions else ""))
         print(f"simulated runtime: {result.runtime_s:.6f} s "
               f"({result.per_iteration_ns/1e6:.3f} ms/iteration)")
         print(f"worker utilization: {result.utilization:.3f}")
@@ -326,6 +473,97 @@ def _single_run(args: argparse.Namespace) -> int:
         _emit_counters(args, registry)
     if need_spans:
         _emit_span_analyses(args, result)
+    return 0
+
+
+def _tune_run(args: argparse.Namespace) -> int:
+    """``lulesh-hpx tune``: search the knob space, persist the winner."""
+    from repro.core.partitioning import table1_partition_sizes
+    from repro.harness.report import (
+        TRIAL_COLUMNS,
+        render_trial_table,
+        trial_records,
+    )
+    from repro.perf.sources import install_tuning_counters
+    from repro.tuning import (
+        Evaluator,
+        SearchSpace,
+        Tuner,
+        TuningBudget,
+        strategy_from_name,
+    )
+
+    threads = args.hpx_threads if args.hpx_threads is not None else args.threads
+    if args.impl == "naive":
+        raise SystemExit("tune mode supports --impl hpx and --impl omp only")
+    opts = LuleshOptions(nx=args.s, numReg=args.r)
+    if args.impl == "omp":
+        space = SearchSpace.omp_baseline()
+    elif args.tune_space == "full":
+        space = SearchSpace.hpx_full(args.s)
+    else:
+        space = SearchSpace.hpx_partitions(args.s)
+    db = _load_tuning_db(args)
+    evaluator = Evaluator(
+        opts, threads, runtime=args.impl, iterations=args.i
+    )
+    registry = None
+    want_counters = bool(
+        args.print_counters or args.counters or args.list_counters
+    )
+    if want_counters:
+        from repro.perf.registry import CounterRegistry
+
+        registry = CounterRegistry()
+    tuner = Tuner(
+        space,
+        evaluator,
+        strategy_from_name(
+            args.tune_strategy, seed=args.tune_seed, restarts=args.tune_restarts
+        ),
+        TuningBudget(
+            max_trials=args.tune_trials,
+            max_simulated_s=args.tune_sim_budget,
+        ),
+        db=db,
+        registry=registry,
+    )
+    if registry is not None:
+        install_tuning_counters(registry, evaluator.stats, db=db)
+    result = tuner.tune()
+    if not args.q:
+        title = (
+            f"Tuning {args.impl} s={args.s} r={args.r} threads={threads} "
+            f"({args.tune_strategy}, {len(result.trials)} trials)"
+        )
+        print(render_trial_table(result.trials, args.i, title=title))
+        print()
+    print(f"winner: {result.winner.config.label()}")
+    print(f"winner ms/iter: {result.winner.runtime_ns / args.i / 1e6:.3f}")
+    print(f"speedup vs default: {result.speedup_vs_default:.3f}x")
+    if args.impl == "hpx":
+        tuned = result.tuned_partition_sizes()
+        if tuned is not None:
+            tn, te = table1_partition_sizes(args.s)
+            print(f"partition sizes: tuned nodal={tuned[0]} elements={tuned[1]} "
+                  f"(Table I: nodal={tn} elements={te})")
+    if not args.q:
+        print(f"trials={result.stats.trials} "
+              f"cache_hits={result.stats.cache_hits} "
+              f"cache_misses={result.stats.cache_misses} "
+              f"simulated={result.stats.simulated_ns / 1e9:.3f}s")
+        if db.path is not None:
+            print(f"tuning database: {db.path} "
+                  f"({db.n_entries} entries, {len(db.memo)} memoised trials)")
+    if args.csv:
+        with open(args.csv, "w", encoding="utf-8") as fh:
+            fh.write(records_to_csv(
+                trial_records(result.trials, args.i), TRIAL_COLUMNS
+            ))
+        if not args.q:
+            print(f"wrote {len(result.trials)} trial records to {args.csv}")
+    if registry is not None:
+        _emit_counters(args, registry)
     return 0
 
 
@@ -412,6 +650,13 @@ _EXPERIMENTS = {
         lambda: _scheduler_experiment(),
         ("policy", "ms_per_iter", "speedup_vs_omp"),
         "Scheduler-policy ablation (beyond the paper)",
+    ),
+    "tuning": (
+        exp.tuning_experiment,
+        ("size", "trials", "cache_hits", "table1_nodal", "table1_elements",
+         "tuned_nodal", "tuned_elements", "table1_ms_per_iter",
+         "tuned_ms_per_iter", "speedup_vs_table1"),
+        "Tuning: autotuner-discovered partition sizes vs the Table I policy",
     ),
 }
 
@@ -575,6 +820,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         if not args.q:
             print(f"\nwrote {hpx_csv} and {ref_csv}")
         return 0
+    if args.mode == "tune":
+        return _tune_run(args)
     if args.experiment is not None:
         return _experiment(args)
     return _single_run(args)

@@ -31,6 +31,9 @@ __all__ = [
     "fig11_experiment",
     "table1_experiment",
     "ablation_experiment",
+    "tuning_experiment",
+    "TUNING_SIZES",
+    "TUNING_LADDER",
 ]
 
 # The exact sweeps of the paper's evaluation (§V-A and the artifact).
@@ -200,6 +203,88 @@ def best_partitions(records: list[dict]) -> dict[int, tuple[int, int]]:
         if s not in best or key < best[s]:
             best[s] = key
     return {s: (v[1], v[2]) for s, v in best.items()}
+
+
+# The tuner-vs-Table-I comparison (E4's shape targets): sizes where the
+# paper's nodal optimum grows and the elements optimum is non-monotone.
+TUNING_SIZES = (45, 60, 90)
+# Ladder kept at >= 512: sub-512 partitions explode the task count (and the
+# discrete-event simulation's cost) without changing the observed pattern.
+TUNING_LADDER = (512, 1024, 2048, 4096, 8192, 16384)
+
+
+def tuning_experiment(
+    sizes: Sequence[int] = TUNING_SIZES,
+    threads: int = 24,
+    iterations: int = 1,
+    num_reg: int = 11,
+    strategy: str = "exhaustive",
+    ladder: Sequence[int] = TUNING_LADDER,
+    seed: int = 0,
+    db=None,
+    machine: MachineConfig | None = None,
+    cost_model: CostModel | None = None,
+    costs: KernelCosts = DEFAULT_COSTS,
+) -> list[dict]:
+    """Autotuner vs. the static Table I calibration, per problem size.
+
+    For each size, runs one tuning search over the partition-size surface
+    (:meth:`~repro.tuning.space.SearchSpace.hpx_partitions`) and reports
+    the discovered optimum against the Table I default.  With the default
+    exhaustive strategy this is the memo-cached, subsystem-driven version
+    of :func:`table1_experiment`'s sweep; the tuned config can never be
+    slower than Table I because the tuner's baseline trial *is* the
+    Table I config.  Pass a ``TuningDatabase`` as *db* to persist winners
+    and service repeats from the memo cache.
+    """
+    from repro.core.partitioning import table1_partition_sizes
+    from repro.tuning import (
+        Evaluator,
+        SearchSpace,
+        Tuner,
+        TuningBudget,
+        strategy_from_name,
+    )
+
+    machine, cost_model = _ctx(machine, cost_model)
+    records = []
+    for s in sizes:
+        opts = LuleshOptions(nx=s, numReg=num_reg)
+        space = SearchSpace.hpx_partitions(s, ladder=tuple(ladder))
+        evaluator = Evaluator(
+            opts, threads, runtime="hpx", iterations=iterations,
+            machine=machine, cost_model=cost_model, costs=costs,
+        )
+        tuner = Tuner(
+            space,
+            evaluator,
+            strategy_from_name(strategy, seed=seed),
+            TuningBudget(max_trials=space.size + 2),
+            db=db,
+        )
+        result = tuner.tune()
+        tuned = result.tuned_partition_sizes()
+        assert tuned is not None  # partition space always carries both knobs
+        table_nodal, table_elems = table1_partition_sizes(s)
+        records.append(
+            {
+                "size": s,
+                "threads": threads,
+                "strategy": strategy,
+                "trials": len(result.trials),
+                "cache_hits": result.stats.cache_hits,
+                "table1_nodal": table_nodal,
+                "table1_elements": table_elems,
+                "tuned_nodal": tuned[0],
+                "tuned_elements": tuned[1],
+                "table1_ms_per_iter": result.baseline.runtime_ns
+                / iterations / 1e6,
+                "tuned_ms_per_iter": result.winner.runtime_ns
+                / iterations / 1e6,
+                "speedup_vs_table1": result.speedup_vs_default,
+            }
+        )
+    return records
 
 
 def ablation_experiment(

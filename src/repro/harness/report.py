@@ -19,6 +19,8 @@ __all__ = [
     "speedup",
     "render_table",
     "records_to_csv",
+    "trial_records",
+    "render_trial_table",
 ]
 
 ARTIFACT_CSV_HEADER = ("size", "regions", "iterations", "threads", "runtime", "result")
@@ -60,3 +62,40 @@ def records_to_csv(
     """CSV text from flat record dicts."""
     rows = [[rec[c] for c in columns] for rec in records]
     return format_csv(list(columns), rows)
+
+
+#: Columns of the per-trial tuning report (CLI table and CSV export).
+TRIAL_COLUMNS = ("trial", "ms_per_iter", "cached", "best", "config")
+
+
+def trial_records(trials: Sequence, iterations: int = 1) -> list[dict]:
+    """Flat record dicts from a tuning run's
+    :class:`~repro.tuning.evaluate.TrialOutcome` log."""
+    best_ns = None
+    records = []
+    for t in trials:
+        best_ns = t.runtime_ns if best_ns is None else min(best_ns, t.runtime_ns)
+        records.append(
+            {
+                "trial": t.trial,
+                "ms_per_iter": t.runtime_ns / iterations / 1e6,
+                "cached": "hit" if t.cached else "",
+                "best": "*" if t.runtime_ns == best_ns else "",
+                "config": t.config.label(),
+            }
+        )
+    return records
+
+
+def render_trial_table(
+    trials: Sequence, iterations: int = 1, title: str | None = None
+) -> str:
+    """The ``lulesh-hpx tune`` per-trial report table.
+
+    One row per trial in evaluation order: per-iteration simulated
+    runtime, whether the memo cache served it, and a ``*`` marking each
+    new best.
+    """
+    return render_table(
+        trial_records(trials, iterations), TRIAL_COLUMNS, title=title
+    )

@@ -88,17 +88,24 @@ class OmpRuntime:
         n_threads: int,
         execute_bodies: bool = True,
         default_schedule: str = "static",
+        dynamic_chunk: int | None = None,
     ) -> None:
         machine.validate_workers(n_threads)
         if default_schedule not in ("static", "dynamic"):
             raise ValueError(
                 f"default_schedule must be static/dynamic, got {default_schedule}"
             )
+        if dynamic_chunk is not None and dynamic_chunk < 1:
+            raise ValueError(
+                f"dynamic_chunk must be >= 1, got {dynamic_chunk}"
+            )
         self.machine = machine
         self.cost_model = cost_model
         self.n_threads = n_threads
         self.execute_bodies = execute_bodies
         self.default_schedule = default_schedule
+        # schedule(dynamic, chunk): None models libgomp auto-chunking.
+        self.dynamic_chunk = dynamic_chunk
         self._speeds = [
             machine.worker_speed(t, n_threads) for t in range(n_threads)
         ]
@@ -210,7 +217,10 @@ class OmpRuntime:
             # dequeue per chunk; libgomp default dynamic chunk is 1 item —
             # modeled at a saner auto-chunk of ~n/(8T) with a floor.
             if self.n_threads > 1 and n_items > 0:
-                chunk_items = max(64, n_items // (8 * self.n_threads))
+                if self.dynamic_chunk is not None:
+                    chunk_items = self.dynamic_chunk
+                else:
+                    chunk_items = max(64, n_items // (8 * self.n_threads))
                 n_chunks = -(-n_items // chunk_items)
                 dequeue = n_chunks * self.cost_model.omp_loop_setup_ns
                 elapsed = slowest + dequeue // self.n_threads

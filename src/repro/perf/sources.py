@@ -36,6 +36,7 @@ __all__ = [
     "install_omp_counters",
     "install_arena_counters",
     "install_resilience_counters",
+    "install_tuning_counters",
     "worker_thread_path",
 ]
 
@@ -177,6 +178,56 @@ def install_arena_counters(registry: CounterRegistry, domain) -> None:
         lambda: stats().gather_hits,
         description="corner gathers served from the per-partition cache",
     )
+
+
+def install_tuning_counters(registry: CounterRegistry, stats, db=None) -> None:
+    """Register the ``/tuning/*`` family reading a
+    :class:`~repro.tuning.evaluate.TuningStats` instance.
+
+    The stats object is shared by the evaluator and the tuner of one run
+    (:class:`~repro.tuning.tuner.Tuner` samples the registry once per
+    trial, with the simulated-time spend as the interval timestamp).  With
+    a *db*, the database's size is exported too — a repeated tune shows
+    ``cache-hits`` tracking ``trials`` while ``simulated-time`` stays flat.
+    """
+    registry.register_gauge(
+        "/tuning/trials",
+        lambda: stats.trials,
+        description="trial evaluations requested (cache hits included)",
+    )
+    registry.register_gauge(
+        "/tuning/cache-hits",
+        lambda: stats.cache_hits,
+        description="trials served from the content-addressed memo cache",
+    )
+    registry.register_gauge(
+        "/tuning/cache-misses",
+        lambda: stats.cache_misses,
+        description="trials that actually ran the simulation",
+    )
+    registry.register_gauge(
+        "/tuning/simulated-time",
+        lambda: stats.simulated_ns,
+        unit="[ns]",
+        description="simulated wall-clock spent on cache misses",
+    )
+    registry.register_gauge(
+        "/tuning/best-runtime",
+        lambda: stats.best_runtime_ns,
+        unit="[ns]",
+        description="best trial runtime observed so far",
+    )
+    if db is not None:
+        registry.register_gauge(
+            "/tuning/db-entries",
+            lambda: db.n_entries,
+            description="tuned (fingerprint, shape) entries in the database",
+        )
+        registry.register_gauge(
+            "/tuning/db-memo-size",
+            lambda: len(db.memo),
+            description="memoised trial records in the database",
+        )
 
 
 def install_resilience_counters(registry: CounterRegistry, stats) -> None:

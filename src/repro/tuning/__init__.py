@@ -1,0 +1,86 @@
+"""Deterministic autotuning of partition sizes, variant bits, and policy.
+
+The paper found its Table I partition sizes by hand-sweeping per problem
+size; every other knob (optimization ladder, scheduler discipline) is tuned
+by eyeball.  This package closes the loop mechanically:
+
+* :mod:`repro.tuning.space` — the typed search space (ordered knob
+  ladders: partitions, :class:`~repro.core.hpx_lulesh.HpxVariant` bits,
+  scheduler policy, balanced-split mode, OpenMP chunking);
+* :mod:`repro.tuning.strategies` — exhaustive grid, pruned coordinate
+  descent, seeded random restarts; all deterministic and budget-bounded;
+* :mod:`repro.tuning.evaluate` — timing-only trials through
+  :mod:`repro.core.driver` behind a content-addressed memo cache;
+* :mod:`repro.tuning.database` — the persistent JSON store of winners and
+  memoised trials, with nearest-neighbour fallback for unseen sizes and
+  the ``tuned_partition_sizes()`` policy drivers consult before Table I;
+* :mod:`repro.tuning.tuner` — the orchestrator tying it all together.
+
+Quick start::
+
+    from repro import LuleshOptions
+    from repro.tuning import (
+        Evaluator, SearchSpace, Tuner, TuningBudget, CoordinateDescent,
+    )
+
+    opts = LuleshOptions(nx=45, numReg=11)
+    tuner = Tuner(
+        SearchSpace.hpx_partitions(opts.nx),
+        Evaluator(opts, n_workers=24),
+        CoordinateDescent(),
+        TuningBudget(max_trials=32),
+    )
+    result = tuner.tune()
+    print(result.winner.config.label(), result.speedup_vs_default)
+"""
+
+from repro.tuning.database import TuningDatabase, default_db_path
+from repro.tuning.errors import TuningDBError, TuningError
+from repro.tuning.evaluate import (
+    Evaluator,
+    MemoCache,
+    TrialOutcome,
+    TuningStats,
+    policy_from_name,
+)
+from repro.tuning.space import (
+    PARTITION_LADDER,
+    POLICY_LADDER,
+    Knob,
+    SearchSpace,
+    TuningConfig,
+)
+from repro.tuning.strategies import (
+    CoordinateDescent,
+    ExhaustiveSearch,
+    RandomRestarts,
+    SearchStrategy,
+    TuningBudget,
+    strategy_from_name,
+)
+from repro.tuning.tuner import Tuner, TuningResult
+
+__all__ = [
+    "Knob",
+    "TuningConfig",
+    "SearchSpace",
+    "PARTITION_LADDER",
+    "POLICY_LADDER",
+    "Evaluator",
+    "MemoCache",
+    "TrialOutcome",
+    "TuningStats",
+    "policy_from_name",
+    "TuningBudget",
+    "SearchStrategy",
+    "ExhaustiveSearch",
+    "CoordinateDescent",
+    "RandomRestarts",
+    "strategy_from_name",
+    "Tuner",
+    "TuningResult",
+    "TuningDatabase",
+    "TuningDBError",
+    "TuningError",
+    "default_db_path",
+]

@@ -1,0 +1,209 @@
+"""Persistent tuning database: learned configs + the trial memo cache.
+
+One JSON file (default ``~/.cache/lulesh-hpx/tuning.json``, or wherever
+``--tuning-db`` points) holding
+
+* **entries** — the winning config per (machine fingerprint, problem
+  shape): what ``lulesh-hpx tune`` learned, consulted by ``--tuned`` runs
+  and by :meth:`TuningDatabase.tuned_partition_sizes`, the policy
+  :func:`repro.core.driver.run_hpx` checks before falling back to Table I;
+* **memo** — the content-addressed trial cache
+  (:class:`~repro.tuning.evaluate.MemoCache` records), so a repeated tune
+  or a re-swept experiment grid never re-simulates a config it has seen.
+
+Writes are atomic (tmp + ``os.replace``, the checkpoint layer's torn-write
+discipline); a file that exists but cannot be parsed raises
+:class:`~repro.tuning.errors.TuningDBError`.
+
+For a problem size the database has never seen, :meth:`nearest` falls back
+to the nearest tuned size under the same fingerprint — partition optima
+drift slowly with ``nx`` (Table I holds whole bands of sizes at the same
+values), so the nearest neighbour is a far better prior than nothing.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.tuning.errors import TuningDBError
+from repro.tuning.evaluate import MemoCache
+
+__all__ = ["TuningDatabase", "default_db_path", "SCHEMA"]
+
+SCHEMA = "lulesh-hpx-tuning/1"
+
+
+def default_db_path() -> str:
+    """``$XDG_CACHE_HOME/lulesh-hpx/tuning.json`` (or under ``~/.cache``)."""
+    cache_home = os.environ.get("XDG_CACHE_HOME")
+    if not cache_home:
+        cache_home = os.path.join(os.path.expanduser("~"), ".cache")
+    return os.path.join(cache_home, "lulesh-hpx", "tuning.json")
+
+
+def _key(d: dict) -> str:
+    """Canonical JSON string key for a fingerprint/shape dict."""
+    return json.dumps(d, sort_keys=True, separators=(",", ":"))
+
+
+class TuningDatabase:
+    """In-memory view of one tuning-database file."""
+
+    def __init__(self, path: str | None = None) -> None:
+        self.path = os.fspath(path) if path is not None else None
+        #: fingerprint key -> shape key -> entry dict
+        self.entries: dict[str, dict[str, dict]] = {}
+        self.memo = MemoCache()
+
+    # --- persistence ----------------------------------------------------------
+
+    @classmethod
+    def load(cls, path: str) -> "TuningDatabase":
+        """Read *path*; a missing file yields an empty database bound to it.
+
+        An unreadable or unparsable file raises :class:`TuningDBError` —
+        the caller decides whether corruption is fatal or means
+        "start fresh".
+        """
+        db = cls(path)
+        if not os.path.exists(db.path):
+            return db
+        try:
+            with open(db.path, "r", encoding="utf-8") as fh:
+                payload = json.load(fh)
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise TuningDBError(
+                f"unreadable tuning database {db.path!r}: {exc}"
+            ) from exc
+        if not isinstance(payload, dict) or payload.get("schema") != SCHEMA:
+            raise TuningDBError(
+                f"tuning database {db.path!r} has wrong schema "
+                f"{payload.get('schema') if isinstance(payload, dict) else payload!r}; "
+                f"expected {SCHEMA!r}"
+            )
+        entries = payload.get("entries", {})
+        memo = payload.get("memo", {})
+        if not isinstance(entries, dict) or not isinstance(memo, dict):
+            raise TuningDBError(
+                f"tuning database {db.path!r} is malformed (entries/memo)"
+            )
+        db.entries = entries
+        db.memo = MemoCache(data=memo)
+        return db
+
+    def save(self, path: str | None = None) -> str:
+        """Atomically write the database (tmp + ``os.replace``)."""
+        path = os.fspath(path) if path is not None else self.path
+        if path is None:
+            raise TuningDBError("tuning database has no path to save to")
+        os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+        payload = {
+            "schema": SCHEMA,
+            "entries": self.entries,
+            "memo": self.memo.data,
+        }
+        tmp = path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=1, sort_keys=True)
+        os.replace(tmp, path)
+        self.path = path
+        return path
+
+    # --- entries --------------------------------------------------------------
+
+    @property
+    def n_entries(self) -> int:
+        return sum(len(shapes) for shapes in self.entries.values())
+
+    def record(
+        self,
+        fingerprint: dict,
+        shape: dict,
+        config: dict,
+        runtime_ns: int,
+        strategy: str,
+        seed: int,
+        n_trials: int,
+    ) -> dict:
+        """Store (or overwrite) the winning *config* for one context."""
+        entry = {
+            "shape": dict(shape),
+            "config": dict(config),
+            "runtime_ns": int(runtime_ns),
+            "strategy": strategy,
+            "seed": int(seed),
+            "n_trials": int(n_trials),
+        }
+        self.entries.setdefault(_key(fingerprint), {})[_key(shape)] = entry
+        return entry
+
+    def lookup(self, fingerprint: dict, shape: dict) -> dict | None:
+        """The exact entry for this context, or None."""
+        return self.entries.get(_key(fingerprint), {}).get(_key(shape))
+
+    def nearest(self, fingerprint: dict, shape: dict) -> dict | None:
+        """Exact entry if present, else the nearest tuned size.
+
+        Candidates share the fingerprint; those matching region count and
+        thread count are preferred over those that don't.  Among candidates
+        the smallest ``|nx - target|`` wins, ties broken toward the smaller
+        ``nx`` — fully deterministic.
+        """
+        exact = self.lookup(fingerprint, shape)
+        if exact is not None:
+            return exact
+        shapes = self.entries.get(_key(fingerprint), {})
+        best: tuple | None = None
+        best_entry: dict | None = None
+        for entry in shapes.values():
+            s = entry.get("shape", {})
+            if "nx" not in s:
+                continue
+            mismatch = 0 if (
+                s.get("numReg") == shape.get("numReg")
+                and s.get("threads") == shape.get("threads")
+            ) else 1
+            rank = (mismatch, abs(int(s["nx"]) - int(shape["nx"])), int(s["nx"]))
+            if best is None or rank < best:
+                best = rank
+                best_entry = entry
+        return best_entry
+
+    def tuned_partition_sizes(
+        self,
+        machine,
+        runtime: str,
+        nx: int,
+        numReg: int,
+        threads: int,
+    ) -> tuple[int, int] | None:
+        """Learned ``(nodal_P, elements_P)`` for this context, or None.
+
+        The partition-size policy drivers consult *before* falling back to
+        :func:`repro.core.partitioning.table1_partition_sizes` — exact
+        match first, nearest tuned size otherwise.  Returns None when the
+        database knows nothing useful (no entry, or an entry whose config
+        carries no partition knobs).
+        """
+        fingerprint = {
+            "n_cores": machine.n_cores,
+            "smt_per_core": machine.smt_per_core,
+            "smt_efficiency": machine.smt_efficiency,
+            "runtime": runtime,
+        }
+        shape = {"nx": nx, "numReg": numReg, "threads": threads}
+        entry = self.nearest(fingerprint, shape)
+        if entry is None:
+            return None
+        config = entry.get("config", {})
+        nodal = config.get("nodal_partition")
+        elems = config.get("elements_partition")
+        if nodal is None or elems is None:
+            return None
+        return int(nodal), int(elems)
+
+    def tuned_config(self, fingerprint: dict, shape: dict) -> dict | None:
+        """The full learned config for this context (nearest fallback)."""
+        entry = self.nearest(fingerprint, shape)
+        return None if entry is None else dict(entry.get("config", {}))

@@ -1,0 +1,29 @@
+"""Tuning error conditions.
+
+Follows the checkpoint layer's convention (:mod:`repro.lulesh.errors`):
+typed exceptions under the :class:`~repro.lulesh.errors.LuleshError` root so
+the CLI's failure path catches everything in one place, with the database
+error doubling as a :class:`ValueError` like
+:class:`~repro.lulesh.errors.CheckpointError` does for torn checkpoints.
+"""
+
+from __future__ import annotations
+
+from repro.lulesh.errors import LuleshError
+
+__all__ = ["TuningError", "TuningDBError"]
+
+
+class TuningError(LuleshError):
+    """Base class for autotuning failures (bad space, bad config, bad DB)."""
+
+
+class TuningDBError(TuningError, ValueError):
+    """A tuning database could not be read (torn file, wrong schema,
+    unparsable JSON).
+
+    Mirrors the ``CheckpointError`` torn-write contract: the writer is
+    atomic (tmp + ``os.replace``), so a file that *exists* but cannot be
+    parsed is corruption, reported as this error — callers may choose to
+    start from an empty database instead.
+    """

@@ -1,0 +1,204 @@
+"""Search strategies: deterministic, budget-bounded config exploration.
+
+Three strategies, all deterministic under a fixed seed (randomness comes
+only from the repo's :class:`~repro.util.rng.Lcg` stream, never from
+``random``/hash order) and all budget-bounded by trial count and simulated-
+time spend:
+
+* :class:`ExhaustiveSearch` — the full grid in odometer order; what the
+  paper's Table I experimentation did by hand, and the oracle the cheaper
+  strategies are judged against.
+* :class:`CoordinateDescent` — hill climbing one knob at a time with early
+  pruning: walk a knob's ladder in one direction only while it keeps
+  strictly improving (for partition knobs this is the halve/double probe
+  pattern), repeat sweeps until a whole sweep yields no improvement.
+* :class:`RandomRestarts` — seeded random starting points, each refined by
+  the same pruned descent; escapes local minima the single-start descent
+  can fall into on the non-convex elements-partition surface.
+
+A strategy proposes configs and observes outcomes; it never simulates
+(that's :class:`~repro.tuning.evaluate.Evaluator`'s job, behind the memo
+cache) and never records trials (the :class:`~repro.tuning.tuner.Tuner`
+owns the log).  Within one search, re-proposals of an already-seen config
+are answered from a local table without consuming budget, so the *proposal
+sequence* — and therefore the whole trial log — is a pure function of
+(space, seed, outcomes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.tuning.errors import TuningError
+from repro.tuning.evaluate import TrialOutcome, TuningStats
+from repro.tuning.space import SearchSpace, TuningConfig
+from repro.util.rng import Lcg
+
+__all__ = [
+    "TuningBudget",
+    "SearchStrategy",
+    "ExhaustiveSearch",
+    "CoordinateDescent",
+    "RandomRestarts",
+    "strategy_from_name",
+]
+
+#: evaluate(config) -> outcome, provided by the tuner (memoised, logged).
+EvalFn = Callable[[TuningConfig], TrialOutcome]
+
+
+@dataclass(frozen=True)
+class TuningBudget:
+    """Hard bounds on one tuning run.
+
+    Attributes:
+        max_trials: evaluations allowed (cache hits count — the trial
+            *sequence*, not the simulation cost, is what is bounded).
+        max_simulated_s: optional cap on simulated wall-clock spent on
+            cache misses, in simulated seconds.
+    """
+
+    max_trials: int = 64
+    max_simulated_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_trials < 1:
+            raise TuningError(
+                f"max_trials must be >= 1, got {self.max_trials}"
+            )
+        if self.max_simulated_s is not None and self.max_simulated_s <= 0:
+            raise TuningError(
+                f"max_simulated_s must be positive, got {self.max_simulated_s}"
+            )
+
+    def allows(self, stats: TuningStats) -> bool:
+        """May another trial start, given what *stats* has spent so far?"""
+        if stats.trials >= self.max_trials:
+            return False
+        if (
+            self.max_simulated_s is not None
+            and stats.simulated_ns >= self.max_simulated_s * 1e9
+        ):
+            return False
+        return True
+
+
+class SearchStrategy:
+    """Base strategy: propose configs through a deduplicating evaluator."""
+
+    #: stable identifier (CLI value, database record).
+    name = "base"
+    #: seed recorded to the database (only RandomRestarts consumes it).
+    seed = 0
+
+    def __init__(self) -> None:
+        self._seen: dict[str, TrialOutcome] = {}
+
+    def search(
+        self, space: SearchSpace, evaluate: EvalFn, allows: Callable[[], bool]
+    ) -> None:
+        """Explore *space* through *evaluate* while *allows()* permits."""
+        raise NotImplementedError
+
+    def _eval(self, config: TuningConfig, evaluate: EvalFn) -> TrialOutcome:
+        """Evaluate once per distinct config; replays are budget-free."""
+        key = config.key()
+        out = self._seen.get(key)
+        if out is None:
+            out = evaluate(config)
+            self._seen[key] = out
+        return out
+
+    def _descend(
+        self,
+        space: SearchSpace,
+        start: TrialOutcome,
+        evaluate: EvalFn,
+        allows: Callable[[], bool],
+    ) -> TrialOutcome:
+        """Pruned coordinate descent from *start* until a sweep stalls."""
+        current = start
+        improved = True
+        while improved and allows():
+            improved = False
+            for knob in space.knobs:
+                for direction in (-1, +1):
+                    while allows():
+                        i = knob.index_of(current.config[knob.name])
+                        j = i + direction
+                        if not 0 <= j < len(knob.values):
+                            break
+                        candidate = current.config.replace(
+                            knob.name, knob.values[j]
+                        )
+                        out = self._eval(candidate, evaluate)
+                        if out.runtime_ns < current.runtime_ns:
+                            current = out
+                            improved = True
+                        else:
+                            break  # early pruning: stop this direction
+        return current
+
+
+class ExhaustiveSearch(SearchStrategy):
+    """Every grid point, in the space's deterministic odometer order."""
+
+    name = "exhaustive"
+
+    def search(self, space, evaluate, allows) -> None:
+        """Evaluate the whole grid until the budget runs out."""
+        for config in space.grid():
+            if not allows():
+                return
+            self._eval(config, evaluate)
+
+
+class CoordinateDescent(SearchStrategy):
+    """Single pruned descent from the space's default config."""
+
+    name = "coordinate"
+
+    def search(self, space, evaluate, allows) -> None:
+        """Descend from the default config until a sweep stalls."""
+        if not allows():
+            return
+        start = self._eval(space.default_config(), evaluate)
+        self._descend(space, start, evaluate, allows)
+
+
+class RandomRestarts(SearchStrategy):
+    """Seeded random starting points, each refined by pruned descent."""
+
+    name = "random"
+
+    def __init__(self, seed: int = 0, restarts: int = 4) -> None:
+        super().__init__()
+        if restarts < 1:
+            raise TuningError(f"restarts must be >= 1, got {restarts}")
+        self.seed = seed
+        self.restarts = restarts
+
+    def search(self, space, evaluate, allows) -> None:
+        """Descend from ``restarts`` seeded random starting points."""
+        rng = Lcg(self.seed)
+        for _ in range(self.restarts):
+            if not allows():
+                return
+            start = self._eval(space.random_config(rng), evaluate)
+            self._descend(space, start, evaluate, allows)
+
+
+def strategy_from_name(
+    name: str, seed: int = 0, restarts: int = 4
+) -> SearchStrategy:
+    """Build the strategy the CLI's ``--tune-strategy`` names."""
+    if name == "exhaustive":
+        return ExhaustiveSearch()
+    if name == "coordinate":
+        return CoordinateDescent()
+    if name == "random":
+        return RandomRestarts(seed=seed, restarts=restarts)
+    raise TuningError(
+        f"unknown strategy {name!r}; known: exhaustive, coordinate, random"
+    )

@@ -51,6 +51,15 @@ class TestTimingMode:
         coarse = run_hpx(OPTS, 8, 1, nodal_partition=64, elements_partition=64)
         assert fine.n_tasks > coarse.n_tasks
 
+    def test_balanced_partitions_same_task_count(self):
+        # n=125 elements at P=50: 50/50/25 unbalanced vs 42/42/41 balanced —
+        # same number of tasks, different schedule
+        plain = run_hpx(OPTS, 8, 1, nodal_partition=50, elements_partition=50)
+        balanced = run_hpx(OPTS, 8, 1, nodal_partition=50,
+                           elements_partition=50, balanced_partitions=True)
+        assert balanced.n_tasks == plain.n_tasks
+        assert balanced.runtime_ns != plain.runtime_ns
+
 
 class TestExecuteMode:
     def test_execute_returns_domain(self):
@@ -69,3 +78,9 @@ class TestExecuteMode:
     def test_variant_passthrough(self):
         r = run_hpx(OPTS, 4, 2, execute=True, variant=HpxVariant.fig6())
         assert r.domain is not None
+
+    def test_balanced_partitions_identical_physics(self):
+        plain = run_hpx(OPTS, 4, 3, execute=True)
+        balanced = run_hpx(OPTS, 4, 3, execute=True,
+                           balanced_partitions=True)
+        assert np.array_equal(plain.domain.e, balanced.domain.e)

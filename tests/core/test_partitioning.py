@@ -70,6 +70,48 @@ class TestPartitionRanges:
             list(partition_ranges(-1, 5))
 
 
+class TestBalancedRanges:
+    def test_issue_example(self):
+        # 10 000 items at P=4096: 4096/4096/1808 unbalanced, 3334/3333/3333
+        # balanced
+        sizes = [hi - lo for lo, hi in
+                 partition_ranges(10_000, 4096, balanced=True)]
+        assert sizes == [3334, 3333, 3333]
+
+    def test_exact_cover(self):
+        ranges = list(partition_ranges(100, 30, balanced=True))
+        assert ranges == [(0, 25), (25, 50), (50, 75), (75, 100)]
+
+    def test_same_partition_count_as_unbalanced(self):
+        for n in (1, 5, 100, 1023, 10_000):
+            for p in (1, 7, 64, 2048, 4096):
+                assert len(list(partition_ranges(n, p, balanced=True))) == \
+                    n_partitions(n, p)
+
+    def test_sizes_differ_by_at_most_one(self):
+        for n, p in ((10_000, 4096), (1023, 64), (7, 3)):
+            sizes = [hi - lo for lo, hi in
+                     partition_ranges(n, p, balanced=True)]
+            assert max(sizes) - min(sizes) <= 1
+            assert sizes == sorted(sizes, reverse=True)
+
+    def test_never_exceeds_partition_size(self):
+        for n, p in ((10_000, 4096), (4096, 4096), (4097, 4096)):
+            for lo, hi in partition_ranges(n, p, balanced=True):
+                assert hi - lo <= p
+
+    def test_exact_multiple_is_identical_to_unbalanced(self):
+        assert list(partition_ranges(8192, 4096, balanced=True)) == \
+            list(partition_ranges(8192, 4096))
+
+    def test_empty_range(self):
+        assert list(partition_ranges(0, 10, balanced=True)) == []
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            list(partition_ranges(10, 0, balanced=True))
+
+
 class TestNPartitions:
     def test_matches_ranges(self):
         for n in (0, 1, 99, 2048, 2049):

@@ -1,0 +1,179 @@
+"""CLI tests for tune mode, --tuned runs, and partition-size flags."""
+
+import json
+
+import pytest
+
+from repro.harness.cli import build_parser, main
+
+
+def tune(tmp_path, *extra, s="6", trials="10"):
+    """Run a tiny tune and return (exit_code, db_path)."""
+    db = str(tmp_path / "db.json")
+    code = main([
+        "tune", "--s", s, "--r", "2", "--threads", "4",
+        "--tune-trials", trials, "--tuning-db", db, *extra,
+    ])
+    return code, db
+
+
+class TestParser:
+    def test_tune_mode_and_flags(self):
+        args = build_parser().parse_args(
+            ["tune", "--s", "45", "--tune-strategy", "exhaustive",
+             "--tune-trials", "9", "--tune-seed", "3"]
+        )
+        assert args.mode == "tune"
+        assert args.tune_strategy == "exhaustive"
+        assert args.tune_trials == 9
+        assert args.tune_seed == 3
+
+    def test_default_mode_is_run(self):
+        assert build_parser().parse_args(["--s", "4"]).mode == "run"
+
+
+class TestTuneMode:
+    def test_smoke_prints_report_and_winner(self, capsys, tmp_path):
+        code, db = tune(tmp_path)
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "trial" in out and "config" in out  # per-trial table
+        assert "winner:" in out
+        assert "speedup vs default:" in out
+        assert "tuned nodal=" in out
+
+    def test_persists_database(self, capsys, tmp_path):
+        _, db = tune(tmp_path)
+        payload = json.loads(open(db, encoding="utf-8").read())
+        assert payload["schema"] == "lulesh-hpx-tuning/1"
+        assert payload["entries"]
+        assert payload["memo"]
+
+    def test_repeat_served_from_cache(self, capsys, tmp_path):
+        _, db = tune(tmp_path)
+        first = capsys.readouterr().out
+        code = main(["tune", "--s", "6", "--r", "2", "--threads", "4",
+                     "--tune-trials", "10", "--tuning-db", db])
+        assert code == 0
+        second = capsys.readouterr().out
+        assert "cache_misses=0" in second
+        assert "simulated=0.000s" in second
+        # identical winner line
+        winner = [ln for ln in first.splitlines() if ln.startswith("winner:")]
+        assert winner[0] in second
+
+    def test_tuning_counters_exported(self, capsys, tmp_path):
+        db = str(tmp_path / "db.json")
+        ctr = str(tmp_path / "ctr.json")
+        assert main(["tune", "--s", "6", "--r", "2", "--threads", "4",
+                     "--tune-trials", "6", "--tuning-db", db,
+                     "--counters", ctr]) == 0
+        payload = json.loads(open(ctr, encoding="utf-8").read())
+        paths = set(payload["counters"])
+        assert {"/tuning/trials", "/tuning/cache-hits",
+                "/tuning/cache-misses", "/tuning/simulated-time",
+                "/tuning/best-runtime", "/tuning/db-entries",
+                "/tuning/db-memo-size"} <= paths
+        assert payload["counters"]["/tuning/trials"]["samples"][-1]["value"] == 6
+
+    def test_print_counters_pattern(self, capsys, tmp_path):
+        assert tune(tmp_path, "--print-counters", "/tuning/*")[0] == 0
+        out = capsys.readouterr().out
+        assert "/tuning/cache-misses" in out
+
+    def test_csv_export(self, capsys, tmp_path):
+        csv = str(tmp_path / "trials.csv")
+        assert tune(tmp_path, "--csv", csv)[0] == 0
+        lines = open(csv, encoding="utf-8").read().strip().splitlines()
+        assert lines[0] == "trial,ms_per_iter,cached,best,config"
+        assert len(lines) > 2
+
+    def test_omp_impl(self, capsys, tmp_path):
+        assert tune(tmp_path, "--impl", "omp")[0] == 0
+        out = capsys.readouterr().out
+        assert "omp_schedule" in out
+
+    def test_naive_impl_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            tune(tmp_path, "--impl", "naive")
+
+    def test_full_space_strategy_and_seed(self, capsys, tmp_path):
+        assert tune(tmp_path, "--tune-space", "full", "--tune-strategy",
+                    "random", "--tune-seed", "5", "--tune-restarts", "2",
+                    trials="8")[0] == 0
+        assert "winner:" in capsys.readouterr().out
+
+
+class TestTunedRuns:
+    def test_tuned_run_uses_database(self, capsys, tmp_path):
+        _, db = tune(tmp_path, trials="20", s="6")
+        capsys.readouterr()
+        assert main(["--s", "6", "--r", "2", "--threads", "4", "--i", "1",
+                     "--tuned", "--tuning-db", db]) == 0
+        out = capsys.readouterr().out
+        assert "[tuned]" in out
+
+    def test_untuned_run_reports_table1(self, capsys):
+        assert main(["--s", "6", "--r", "2", "--threads", "4",
+                     "--i", "1"]) == 0
+        assert "[table1]" in capsys.readouterr().out
+
+    def test_tuned_with_empty_db_falls_back_to_table1(self, capsys, tmp_path):
+        db = str(tmp_path / "empty.json")
+        assert main(["--s", "6", "--r", "2", "--threads", "4", "--i", "1",
+                     "--tuned", "--tuning-db", db]) == 0
+        assert "[table1]" in capsys.readouterr().out
+
+
+class TestPartitionFlags:
+    def test_explicit_overrides_reported(self, capsys):
+        assert main(["--s", "6", "--r", "2", "--threads", "4", "--i", "1",
+                     "--partition-nodal", "32",
+                     "--partition-elems", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "nodal=32 elements=16 [explicit]" in out
+
+    def test_partition_gauges_in_counters_json(self, capsys, tmp_path):
+        ctr = str(tmp_path / "ctr.json")
+        assert main(["--s", "6", "--r", "2", "--threads", "4", "--i", "1",
+                     "--q", "--partition-nodal", "32",
+                     "--partition-elems", "16", "--counters", ctr]) == 0
+        payload = json.loads(open(ctr, encoding="utf-8").read())
+        counters = payload["counters"]
+        assert counters["/hpx/partition-size/nodal"]["samples"][-1]["value"] == 32
+        assert counters["/hpx/partition-size/elements"]["samples"][-1]["value"] == 16
+
+    @pytest.mark.parametrize("flag", ["--partition-nodal", "--partition-elems"])
+    def test_rejects_non_positive(self, flag):
+        with pytest.raises(SystemExit):
+            main(["--s", "6", "--i", "1", flag, "0"])
+
+    def test_rejects_non_hpx_impl(self):
+        with pytest.raises(SystemExit):
+            main(["--s", "6", "--i", "1", "--impl", "omp",
+                  "--partition-nodal", "32"])
+
+    def test_balanced_partitions_flag(self, capsys):
+        assert main(["--s", "6", "--r", "2", "--threads", "4", "--i", "1",
+                     "--balanced-partitions"]) == 0
+        assert "balanced" in capsys.readouterr().out
+
+
+class TestTuningExperiment:
+    def test_experiment_table(self, capsys, monkeypatch):
+        from repro.harness import cli as cli_mod
+        from repro.harness import experiments as exp
+
+        def tiny(**kw):
+            return exp.tuning_experiment(
+                sizes=(6,), threads=4, num_reg=2, ladder=(16, 32),
+            )
+
+        monkeypatch.setitem(
+            cli_mod._EXPERIMENTS, "tuning",
+            (tiny,) + cli_mod._EXPERIMENTS["tuning"][1:],
+        )
+        assert main(["--experiment", "tuning"]) == 0
+        out = capsys.readouterr().out
+        assert "tuned_nodal" in out
+        assert "speedup_vs_table1" in out

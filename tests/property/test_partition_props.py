@@ -33,6 +33,32 @@ class TestPartitionRanges:
             assert hi - lo == p
 
 
+class TestBalancedPartitionRanges:
+    @given(st.integers(0, 100_000), st.integers(1, 10_000))
+    @settings(max_examples=200)
+    def test_exact_cover_no_overlap(self, n, p):
+        expected_lo = 0
+        for lo, hi in partition_ranges(n, p, balanced=True):
+            assert lo == expected_lo
+            assert lo < hi
+            assert hi - lo <= p
+            expected_lo = hi
+        assert expected_lo == n
+
+    @given(st.integers(0, 100_000), st.integers(1, 10_000))
+    @settings(max_examples=200)
+    def test_same_count_as_unbalanced(self, n, p):
+        assert len(list(partition_ranges(n, p, balanced=True))) == \
+            n_partitions(n, p)
+
+    @given(st.integers(1, 100_000), st.integers(1, 10_000))
+    @settings(max_examples=200)
+    def test_balanced_within_one_and_front_loaded(self, n, p):
+        sizes = [hi - lo for lo, hi in partition_ranges(n, p, balanced=True)]
+        assert max(sizes) - min(sizes) <= 1
+        assert sizes == sorted(sizes, reverse=True)
+
+
 class TestStaticChunks:
     @given(st.integers(0, 100_000), st.integers(1, 64))
     @settings(max_examples=200)

@@ -1,0 +1,140 @@
+"""Unit tests for the trial evaluator and its memo cache."""
+
+import pytest
+
+from repro.lulesh.options import LuleshOptions
+from repro.tuning.errors import TuningError
+from repro.tuning.evaluate import Evaluator, MemoCache, policy_from_name
+from repro.tuning.space import SearchSpace, TuningConfig
+
+
+def make_evaluator(**kw):
+    kw.setdefault("runtime", "hpx")
+    return Evaluator(LuleshOptions(nx=6, numReg=2), 4, **kw)
+
+
+class TestPolicyFromName:
+    def test_all_ladder_names_resolve(self):
+        from repro.tuning.space import POLICY_LADDER
+
+        for name in POLICY_LADDER:
+            policy_from_name(name)
+
+    def test_unknown(self):
+        with pytest.raises(TuningError):
+            policy_from_name("zzz")
+
+
+class TestMemoCache:
+    def test_hit_miss_accounting(self):
+        cache = MemoCache()
+        assert cache.get("k") is None
+        cache.put("k", {"runtime_ns": 1})
+        assert cache.get("k") == {"runtime_ns": 1}
+        assert cache.misses == 1
+        assert cache.hits == 1
+        assert len(cache) == 1
+
+
+class TestEvaluator:
+    def test_rejects_bad_runtime_and_iterations(self):
+        with pytest.raises(TuningError):
+            make_evaluator(runtime="naive")
+        with pytest.raises(TuningError):
+            make_evaluator(iterations=0)
+
+    def test_trial_key_content_addressing(self):
+        ev = make_evaluator()
+        a = TuningConfig.from_mapping(
+            {"nodal_partition": 64, "elements_partition": 64}
+        )
+        same = TuningConfig.from_mapping(
+            {"elements_partition": 64, "nodal_partition": 64}
+        )
+        other = TuningConfig.from_mapping(
+            {"nodal_partition": 128, "elements_partition": 64}
+        )
+        assert ev.trial_key(a) == ev.trial_key(same)
+        assert ev.trial_key(a) != ev.trial_key(other)
+
+    def test_trial_key_depends_on_iterations_but_shape_does_not(self):
+        a = make_evaluator(iterations=1)
+        b = make_evaluator(iterations=3)
+        cfg = TuningConfig.from_mapping({"nodal_partition": 64,
+                                         "elements_partition": 64})
+        assert a.shape() == b.shape()
+        assert "iterations" not in a.shape()
+        assert a.trial_key(cfg) != b.trial_key(cfg)
+
+    def test_evaluate_caches_and_counts(self):
+        ev = make_evaluator()
+        cfg = TuningConfig.from_mapping({"nodal_partition": 64,
+                                         "elements_partition": 64})
+        first = ev.evaluate(cfg)
+        second = ev.evaluate(cfg)
+        assert not first.cached
+        assert second.cached
+        assert first.runtime_ns == second.runtime_ns
+        assert ev.stats.trials == 2
+        assert ev.stats.cache_hits == 1
+        assert ev.stats.cache_misses == 1
+        assert ev.stats.simulated_ns == first.runtime_ns
+        assert ev.stats.best_runtime_ns == first.runtime_ns
+        assert (first.trial, second.trial) == (1, 2)
+
+    def test_evaluate_deterministic_across_instances(self):
+        cfg = TuningConfig.from_mapping({"nodal_partition": 64,
+                                         "elements_partition": 64})
+        a = make_evaluator().evaluate(cfg)
+        b = make_evaluator().evaluate(cfg)
+        assert a.runtime_ns == b.runtime_ns
+        assert a.utilization == b.utilization
+
+    def test_partition_knobs_change_runtime(self):
+        ev = make_evaluator()
+        small = ev.evaluate(TuningConfig.from_mapping(
+            {"nodal_partition": 8, "elements_partition": 8}
+        ))
+        huge = ev.evaluate(TuningConfig.from_mapping(
+            {"nodal_partition": 100_000, "elements_partition": 100_000}
+        ))
+        assert small.runtime_ns != huge.runtime_ns
+
+    def test_full_space_knobs_are_honoured(self):
+        ev = make_evaluator()
+        base = {"nodal_partition": 64, "elements_partition": 64,
+                "combine_loops": True, "parallel_chains": True,
+                "prioritize_expensive_regions": False,
+                "balanced_split": False, "policy": "hpx-default"}
+        full = ev.evaluate(TuningConfig.from_mapping(base))
+        uncombined = ev.evaluate(TuningConfig.from_mapping(
+            {**base, "combine_loops": False}
+        ))
+        # dropping a ladder rung must change the simulated schedule
+        assert uncombined.runtime_ns != full.runtime_ns
+
+    def test_omp_runtime_and_chunk_knob(self):
+        ev = make_evaluator(runtime="omp")
+        static = ev.evaluate(TuningConfig.from_mapping(
+            {"omp_schedule": "static", "omp_dynamic_chunk": 64}
+        ))
+        dynamic = ev.evaluate(TuningConfig.from_mapping(
+            {"omp_schedule": "dynamic", "omp_dynamic_chunk": 64}
+        ))
+        assert static.runtime_ns != dynamic.runtime_ns
+        assert static.n_tasks == 0
+
+    def test_shared_cache_across_evaluators(self):
+        cache = MemoCache()
+        cfg = TuningConfig.from_mapping({"nodal_partition": 64,
+                                         "elements_partition": 64})
+        make_evaluator(cache=cache).evaluate(cfg)
+        second = make_evaluator(cache=cache).evaluate(cfg)
+        assert second.cached
+
+    def test_default_space_configs_evaluate(self):
+        ev = make_evaluator()
+        sp = SearchSpace.hpx_full(6, ladder=(32, 64))
+        out = ev.evaluate(sp.default_config())
+        assert out.runtime_ns > 0
+        assert out.n_tasks > 0

@@ -1,0 +1,178 @@
+"""Unit tests for the search strategies and the trial budget.
+
+Strategies are tested against a synthetic evaluator with a known cost
+surface (no simulation), so optima and trial sequences are exact.
+"""
+
+import pytest
+
+from repro.tuning.errors import TuningError
+from repro.tuning.evaluate import TrialOutcome, TuningStats
+from repro.tuning.space import Knob, SearchSpace, TuningConfig
+from repro.tuning.strategies import (
+    CoordinateDescent,
+    ExhaustiveSearch,
+    RandomRestarts,
+    TuningBudget,
+    strategy_from_name,
+)
+
+
+def quadratic_space():
+    """Two integer knobs; cost (a-4)^2 + (b-2)^2, unique optimum (4, 2)."""
+    return SearchSpace((
+        Knob("a", (1, 2, 4, 8, 16), 16),
+        Knob("b", (1, 2, 4, 8), 8),
+    ))
+
+
+class SyntheticEvaluator:
+    """Deterministic cost surface with the Evaluator's observable protocol."""
+
+    def __init__(self, cost_fn):
+        self.cost_fn = cost_fn
+        self.stats = TuningStats()
+        self.log: list[TuningConfig] = []
+
+    def __call__(self, config: TuningConfig) -> TrialOutcome:
+        self.log.append(config)
+        self.stats.trials += 1
+        self.stats.cache_misses += 1
+        runtime = int(self.cost_fn(config))
+        self.stats.simulated_ns += runtime
+        self.stats.observe_best(runtime)
+        return TrialOutcome(
+            trial=self.stats.trials, config=config, runtime_ns=runtime,
+            utilization=1.0, n_tasks=0, cached=False,
+        )
+
+
+def run(strategy, space, cost_fn, budget=None):
+    budget = budget or TuningBudget(max_trials=1000)
+    ev = SyntheticEvaluator(cost_fn)
+    strategy.search(space, ev, lambda: budget.allows(ev.stats))
+    best = min(ev.log, key=lambda c: (cost_fn(c), c.key()))
+    return ev, best
+
+
+def paraboloid(c):
+    return (c["a"] - 4) ** 2 + (c["b"] - 2) ** 2 + 1
+
+
+class TestTuningBudget:
+    def test_validation(self):
+        with pytest.raises(TuningError):
+            TuningBudget(max_trials=0)
+        with pytest.raises(TuningError):
+            TuningBudget(max_simulated_s=0)
+
+    def test_trial_bound(self):
+        b = TuningBudget(max_trials=2)
+        stats = TuningStats(trials=1)
+        assert b.allows(stats)
+        stats.trials = 2
+        assert not b.allows(stats)
+
+    def test_simulated_time_bound(self):
+        b = TuningBudget(max_trials=100, max_simulated_s=1.0)
+        assert b.allows(TuningStats(simulated_ns=999_999_999))
+        assert not b.allows(TuningStats(simulated_ns=1_000_000_000))
+
+
+class TestExhaustive:
+    def test_visits_full_grid_in_order(self):
+        space = quadratic_space()
+        ev, best = run(ExhaustiveSearch(), space, paraboloid)
+        assert len(ev.log) == space.size
+        assert [c.key() for c in ev.log] == [c.key() for c in space.grid()]
+        assert best.as_dict() == {"a": 4, "b": 2}
+
+    def test_budget_truncates(self):
+        ev, _ = run(ExhaustiveSearch(), quadratic_space(), paraboloid,
+                    TuningBudget(max_trials=3))
+        assert len(ev.log) == 3
+
+    def test_no_duplicate_proposals(self):
+        ev, _ = run(ExhaustiveSearch(), quadratic_space(), paraboloid)
+        keys = [c.key() for c in ev.log]
+        assert len(keys) == len(set(keys))
+
+
+class TestCoordinateDescent:
+    def test_finds_unique_optimum(self):
+        _, best = run(CoordinateDescent(), quadratic_space(), paraboloid)
+        assert best.as_dict() == {"a": 4, "b": 2}
+
+    def test_cheaper_than_grid(self):
+        space = quadratic_space()
+        ev, _ = run(CoordinateDescent(), space, paraboloid)
+        assert len(ev.log) < space.size
+
+    def test_deterministic_sequence(self):
+        runs = [
+            [c.key() for c in
+             run(CoordinateDescent(), quadratic_space(), paraboloid)[0].log]
+            for _ in range(2)
+        ]
+        assert runs[0] == runs[1]
+
+    def test_respects_budget(self):
+        ev, _ = run(CoordinateDescent(), quadratic_space(), paraboloid,
+                    TuningBudget(max_trials=2))
+        assert len(ev.log) == 2
+
+    def test_seen_replays_are_budget_free(self):
+        # a flat surface: every probe is pruned immediately, but the
+        # default config itself must only be evaluated once
+        ev, _ = run(CoordinateDescent(), quadratic_space(), lambda c: 7)
+        keys = [c.key() for c in ev.log]
+        assert len(keys) == len(set(keys))
+
+
+class TestRandomRestarts:
+    def test_validation(self):
+        with pytest.raises(TuningError):
+            RandomRestarts(restarts=0)
+
+    def test_deterministic_under_seed(self):
+        runs = [
+            [c.key() for c in
+             run(RandomRestarts(seed=7, restarts=3), quadratic_space(),
+                 paraboloid)[0].log]
+            for _ in range(2)
+        ]
+        assert runs[0] == runs[1]
+
+    def test_different_seeds_differ(self):
+        a = [c.key() for c in
+             run(RandomRestarts(seed=1, restarts=3), quadratic_space(),
+                 paraboloid)[0].log]
+        b = [c.key() for c in
+             run(RandomRestarts(seed=2, restarts=3), quadratic_space(),
+                 paraboloid)[0].log]
+        assert a != b
+
+    def test_finds_optimum_on_multimodal_surface(self):
+        # two basins; the one at a=16 is deeper — single-start descent from
+        # the default can reach it, restarts must too
+        def bimodal(c):
+            return min((c["a"] - 1) ** 2 + 5, (c["a"] - 16) ** 2) \
+                + (c["b"] - 2) ** 2 + 1
+
+        _, best = run(RandomRestarts(seed=0, restarts=4), quadratic_space(),
+                      bimodal)
+        assert best.as_dict() == {"a": 16, "b": 2}
+
+
+class TestStrategyFromName:
+    def test_known_names(self):
+        assert strategy_from_name("exhaustive").name == "exhaustive"
+        assert strategy_from_name("coordinate").name == "coordinate"
+        rr = strategy_from_name("random", seed=9, restarts=2)
+        assert rr.name == "random"
+        assert rr.seed == 9
+        assert rr.restarts == 2
+
+    def test_unknown(self):
+        with pytest.raises(TuningError):
+            strategy_from_name("zzz")
