@@ -11,7 +11,10 @@ A Python reproduction of the HPX programming surface the paper uses
 * :mod:`~repro.amt.algorithms` — ``for_each`` / ``for_loop`` parallel
   algorithms (used by the naive prior-work port [16]);
 * :mod:`~repro.amt.counters` — performance counters equivalent to HPX's
-  ``/threads/idle-rate``, used for Fig. 11.
+  ``/threads/idle-rate``, used for Fig. 11;
+* :mod:`~repro.amt.graph` — graph capture & replay: record one iteration's
+  task graph as an immutable template and re-fire it every cycle with zero
+  graph-construction allocations (the CUDA-Graphs trick).
 
 Tasks execute on :class:`repro.simcore.pool.SimWorkerPool`, which implements
 the *priority local scheduling policy* mechanics (per-worker queues, LIFO
@@ -22,6 +25,7 @@ dependency graph, so physics results are exact while timing is simulated.
 
 from repro.amt.errors import AmtError, FutureError, DeadlockError
 from repro.amt.future import Future, SharedFuture
+from repro.amt.graph import CapturedSegment, GraphStats, GraphTemplate
 from repro.amt.runtime import AmtRuntime, RunStats
 from repro.amt.algorithms import for_each, for_loop, parallel_reduce
 from repro.amt.counters import IdleRateCounter
@@ -32,6 +36,9 @@ __all__ = [
     "DeadlockError",
     "Future",
     "SharedFuture",
+    "CapturedSegment",
+    "GraphStats",
+    "GraphTemplate",
     "AmtRuntime",
     "RunStats",
     "for_each",

@@ -65,6 +65,20 @@ class Future:
         self._exception = exc
         self._has_value = True
 
+    def _reset_for_replay(self) -> None:
+        """Clear the stored outcome so a captured graph can refill it.
+
+        Part of the graph-replay re-arm protocol (:mod:`repro.amt.graph`):
+        the future object identity is preserved — continuations and
+        barriers captured in the template keep their references — while the
+        value/exception/retrieved state returns to freshly-created.  In
+        place, no allocation.
+        """
+        self._value = None
+        self._exception = None
+        self._has_value = False
+        self._retrieved = False
+
     # --- HPX-like public surface ----------------------------------------------
 
     def is_ready(self) -> bool:

@@ -46,18 +46,55 @@ Two optional resilience hooks (duck-typed so :mod:`repro.amt` never imports
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
 from repro.amt.errors import AmtError, TaskGroupError
 from repro.amt.future import Future
+from repro.amt.graph import GraphTemplate, reset_segment, snapshot_segment
 from repro.simcore.costmodel import CostModel
 from repro.simcore.machine import MachineConfig
 from repro.simcore.policy import SchedulerPolicy
-from repro.simcore.pool import SimTask, SimWorkerPool
+from repro.simcore.pool import PoolResult, SimTask, SimWorkerPool
 from repro.simcore.trace import TraceRecorder
 
 __all__ = ["AmtRuntime", "RunStats"]
+
+
+class _GraphRecorder:
+    """Capture state between ``begin_capture`` and ``end_capture``.
+
+    Futures are recorded at creation, tasks at the flush that executes
+    them; a blocking ``wait_all`` notes its checked futures just before
+    flushing so the segment can reproduce the barrier's rethrow behaviour
+    on replay.
+    """
+
+    __slots__ = ("segments", "futures", "next_wait")
+
+    def __init__(self) -> None:
+        self.segments: list = []
+        self.futures: list[Future] = []
+        self.next_wait: tuple[tuple[Future, ...], bool] | None = None
+
+    def record_future(self, fut: Future) -> None:
+        self.futures.append(fut)
+
+    def note_wait(self, futures: Sequence[Future], rethrow: bool) -> None:
+        self.next_wait = (tuple(futures), rethrow)
+
+    def end_segment(self, tasks: Sequence[SimTask]) -> None:
+        wait, self.next_wait = self.next_wait, None
+        futures, self.futures = self.futures, []
+        self.segments.append(
+            snapshot_segment(
+                tasks,
+                futures,
+                wait[0] if wait is not None else None,
+                wait[1] if wait is not None else True,
+            )
+        )
 
 
 @dataclass
@@ -129,18 +166,25 @@ class AmtRuntime:
         self._flushing = False
         self._stats = RunStats(n_workers=n_workers, record_spans=record_spans)
         self._flush_hooks: list[Callable[["AmtRuntime", int], None]] = []
+        self._recorder: _GraphRecorder | None = None
+        #: Real wall-clock spent inside pool execution (perf_counter_ns
+        #: deltas) — lets callers separate graph-construction time from
+        #: execution time even when blocking barriers interleave the two.
+        self.real_exec_ns = 0
         self.fault_injector = fault_injector
         self.replay = replay
 
     # --- task creation -----------------------------------------------------
 
-    def _register(self, task: SimTask) -> None:
+    def _register(self, task: SimTask, fut: Future) -> None:
         if self._flushing:
             raise AmtError(
                 "cannot create tasks while the graph is executing; "
                 "pre-create the task graph as the paper does"
             )
         self._pending.append(task)
+        if self._recorder is not None:
+            self._recorder.record_future(fut)
 
     def _bind_body(
         self,
@@ -225,7 +269,7 @@ class AmtRuntime:
 
         task.body = body
         task.depends_on(*[d.task for d in depends])
-        self._register(task)
+        self._register(task, fut)
         return fut
 
     def continuation(
@@ -263,7 +307,7 @@ class AmtRuntime:
 
         task.body = body
         task.depends_on(parent.task)
-        self._register(task)
+        self._register(task, fut)
         return fut
 
     def when_all(self, futures: Sequence[Future], tag: str = "when_all") -> Future:
@@ -293,7 +337,7 @@ class AmtRuntime:
 
         task.body = body
         task.depends_on(*[f.task for f in futures])
-        self._register(task)
+        self._register(task, fut)
         return fut
 
     def dataflow(
@@ -323,7 +367,7 @@ class AmtRuntime:
         task = SimTask(cost_ns=0, tag="ready")
         fut = Future(self, task)
         task.body = lambda: fut._set_value(value)
-        self._register(task)
+        self._register(task, fut)
         return fut
 
     def make_exceptional_future(self, exc: BaseException) -> Future:
@@ -331,7 +375,7 @@ class AmtRuntime:
         task = SimTask(cost_ns=0, tag="exceptional")
         fut = Future(self, task)
         task.body = lambda: fut._set_exception(exc)
-        self._register(task)
+        self._register(task, fut)
         return fut
 
     # --- execution -------------------------------------------------------------
@@ -352,9 +396,17 @@ class AmtRuntime:
         every blocking barrier in the drivers is an abort point, so
         surfacing failures at the barrier is the useful default.)
         """
+        if self._recorder is not None and futures is not None and self._pending:
+            self._recorder.note_wait(futures, rethrow)
         self.flush()
         if futures is None:
             return
+        self._check_waited(futures, rethrow)
+
+    def _check_waited(
+        self, futures: Sequence[Future], rethrow: bool = True
+    ) -> None:
+        """The post-flush readiness/failure check of a blocking barrier."""
         failed: list[tuple[str, BaseException]] = []
         for f in futures:
             if not f.is_ready():
@@ -370,18 +422,17 @@ class AmtRuntime:
                 raise failed[0][1]
             raise TaskGroupError.collect(failed)
 
-    def flush(self) -> int:
-        """Execute all pending tasks; returns this segment's makespan (ns)."""
-        if not self._pending:
-            return 0
+    def _run_segment(self, tasks: Sequence[SimTask]) -> PoolResult:
+        """Hand one segment to the pool and fold its outcome into stats."""
         if self._flushing:
             raise AmtError("re-entrant flush")
-        tasks, self._pending = self._pending, []
         self._flushing = True
+        t0 = time.perf_counter_ns()
         try:
             result = self._pool.run(tasks, spawn_worker=0)
         finally:
             self._flushing = False
+            self.real_exec_ns += time.perf_counter_ns() - t0
         self._stats.total_ns += result.makespan_ns
         self._stats.n_tasks += result.n_tasks
         self._stats.n_flushes += 1
@@ -389,7 +440,77 @@ class AmtRuntime:
         self._stats.trace.merge(result.trace)
         for hook in self._flush_hooks:
             hook(self, result.makespan_ns)
+        return result
+
+    def flush(self) -> int:
+        """Execute all pending tasks; returns this segment's makespan (ns)."""
+        if not self._pending:
+            return 0
+        tasks, self._pending = self._pending, []
+        if self._recorder is not None:
+            self._recorder.end_segment(tasks)
+        result = self._run_segment(tasks)
         return result.makespan_ns
+
+    # --- graph capture & replay ---------------------------------------------
+
+    def begin_capture(self) -> None:
+        """Start recording created tasks/futures into a graph template.
+
+        Everything created until :meth:`end_capture` is recorded, segmented
+        at flush boundaries (a blocking ``wait_all`` mid-build produces a
+        multi-segment template — the Fig. 5 structure).  Capture must start
+        with no pending tasks so segment boundaries line up with the
+        template's.
+        """
+        if self._recorder is not None:
+            raise AmtError("graph capture already active")
+        if self._pending:
+            raise AmtError("cannot begin capture with pending tasks")
+        self._recorder = _GraphRecorder()
+
+    def end_capture(self) -> GraphTemplate:
+        """Stop recording and freeze the captured graph into a template."""
+        rec = self._recorder
+        if rec is None:
+            raise AmtError("no active graph capture")
+        self._recorder = None
+        if self._pending or rec.futures:
+            raise AmtError(
+                "cannot end capture with unflushed tasks; flush first"
+            )
+        return GraphTemplate(segments=tuple(rec.segments))
+
+    def abort_capture(self) -> None:
+        """Discard an active capture (e.g. the recorded build failed)."""
+        self._recorder = None
+
+    def replay_graph(self, template: GraphTemplate) -> int:
+        """Re-fire a captured template; returns the re-arm wall-clock (ns).
+
+        Each segment is re-armed in place (futures cleared, tasks reset to
+        created state with capture-time costs) and handed to the pool, then
+        the segment's recorded blocking barrier — if any — re-performs its
+        readiness/failure check, reproducing ``wait_all`` rethrow semantics.
+        Simulated timing, traces, counters, and executed physics are
+        bit-identical to rebuilding the graph; only the Python-side
+        construction cost disappears.  The returned duration covers the
+        reset loops only (execution excluded) — the like-for-like
+        counterpart of a build's construction time.
+        """
+        if self._pending:
+            raise AmtError("cannot replay with pending tasks")
+        if self._recorder is not None:
+            raise AmtError("cannot replay while capturing")
+        rearm_ns = 0
+        for seg in template.segments:
+            t0 = time.perf_counter_ns()
+            reset_segment(seg)
+            rearm_ns += time.perf_counter_ns() - t0
+            self._run_segment(seg.tasks)
+            if seg.wait_futures is not None:
+                self._check_waited(seg.wait_futures, seg.rethrow)
+        return rearm_ns
 
     # --- accounting ---------------------------------------------------------
 

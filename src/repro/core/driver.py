@@ -36,6 +36,7 @@ from repro.perf.registry import CounterRegistry
 from repro.perf.sources import (
     install_amt_counters,
     install_arena_counters,
+    install_graph_counters,
     install_omp_counters,
     install_resilience_counters,
 )
@@ -209,6 +210,7 @@ def run_hpx(
     registry: CounterRegistry | None = None,
     record_spans: bool = False,
     resilience: ResiliencePlan | None = None,
+    replay_graph: bool = True,
 ) -> RunResult:
     """Run the paper's task-based LULESH.
 
@@ -226,6 +228,9 @@ def run_hpx(
     phase profiler and critical-path analyzer.  A *resilience* plan wires
     fault injection and bounded replay into the runtime, and (execute
     mode) checkpoint-based auto-recovery into the run loop.
+    ``replay_graph=False`` disables graph capture & replay — every cycle
+    rebuilds its task graph from scratch (the pre-capture behaviour; the
+    ``--no-replay-graph`` CLI flag and the tuner's ``replay_graph`` knob).
     """
     machine = machine or MachineConfig()
     cost_model = cost_model or CostModel()
@@ -273,7 +278,10 @@ def run_hpx(
         domain=domain,
         variant=variant,
         balanced_partitions=balanced_partitions,
+        replay_graph=replay_graph,
     )
+    if registry is not None:
+        install_graph_counters(registry, program.graph_stats)
     _execute_program(program, domain, iterations, resilience)
     stats = rt.stats
     done = domain.cycle if domain is not None else iterations
@@ -298,8 +306,13 @@ def run_naive_hpx(
     registry: CounterRegistry | None = None,
     record_spans: bool = False,
     resilience: ResiliencePlan | None = None,
+    replay_graph: bool = True,
 ) -> RunResult:
-    """Run the prior-work [16] for_each-style port."""
+    """Run the prior-work [16] for_each-style port.
+
+    ``replay_graph`` works as in :func:`run_hpx`: the first cycle's loop
+    graph is captured and re-fired on subsequent cycles.
+    """
     machine = machine or MachineConfig()
     cost_model = cost_model or CostModel()
     shape, domain = _shape_and_domain(opts, execute)
@@ -314,7 +327,10 @@ def run_naive_hpx(
             install_arena_counters(registry, domain)
         if resilience is not None:
             install_resilience_counters(registry, resilience.stats)
-    program = NaiveHpxProgram(rt, shape, costs, domain)
+    program = NaiveHpxProgram(rt, shape, costs, domain,
+                              replay_graph=replay_graph)
+    if registry is not None:
+        install_graph_counters(registry, program.graph_stats)
     _execute_program(program, domain, iterations, resilience)
     stats = rt.stats
     done = domain.cycle if domain is not None else iterations

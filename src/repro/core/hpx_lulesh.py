@@ -29,11 +29,13 @@ extra allocation latency and memory-traffic penalty.
 
 from __future__ import annotations
 
+import time
 from contextlib import nullcontext
 from dataclasses import dataclass, replace
 from typing import Callable, Sequence
 
 from repro.amt.future import Future
+from repro.amt.graph import GraphStats, GraphTemplate
 from repro.amt.runtime import AmtRuntime
 from repro.core.kernel_graph import ProblemShape
 from repro.core.partitioning import partition_ranges
@@ -143,6 +145,7 @@ class HpxLuleshProgram:
         variant: HpxVariant = HpxVariant.full(),
         allocator: AllocatorModel | None = None,
         balanced_partitions: bool = False,
+        replay_graph: bool = True,
     ) -> None:
         if allocator is None:
             allocator = AllocatorModel(
@@ -161,10 +164,73 @@ class HpxLuleshProgram:
         self.variant = variant
         self.allocator = allocator
         self.balanced_partitions = balanced_partitions
+        self.replay_graph = replay_graph
         self.barriers_per_iteration = 0
+        self.graph_stats = GraphStats()
         self._timing_cycle = 0  # cycle counter for timing-only runs
+        self._template: GraphTemplate | None = None
+        self._template_final: Future | None = None
+        self._template_barriers = 0
+        self._template_key: tuple | None = None
+        self._last_cycle: int | None = None
         if domain is not None:
             domain.configure_workspace(variant.task_local_temporaries)
+        # Captured-once kernel bindings: the per-kernel closures (and the
+        # BC body) depend only on ctor state, so they are built here rather
+        # than once per cycle.  Per-cycle state is read dynamically — the
+        # velocity/position/kinematics bodies read ``domain.deltatime`` at
+        # execution time, which is what makes a captured graph replayable
+        # across cycles.
+        c = costs
+        self._k_stress = [
+            self._bind("init_stress", c.init_stress, stress_k.init_stress_terms,
+                       idempotent=True),
+            self._bind(
+                "integrate_stress", c.integrate_stress, stress_k.integrate_stress,
+                n_temps=4, idempotent=True,
+            ),
+        ]
+        self._k_hg = [
+            self._bind(
+                "hg_control", c.hourglass_control, hg_k.calc_hourglass_control,
+                n_temps=7, idempotent=True,
+            ),
+            self._bind("fb_hourglass", c.fb_hourglass, hg_k.calc_fb_hourglass_force,
+                       n_temps=2, idempotent=True),
+        ]
+        self._k_nodesum = [
+            self._bind("zero_forces", c.zero_forces, _zero_forces_body,
+                       idempotent=True),
+            self._bind("sum_forces", c.sum_forces, nodal_k.sum_elem_forces_to_nodes,
+                       idempotent=True),
+            self._bind("acceleration", c.acceleration, nodal_k.calc_acceleration,
+                       idempotent=True),
+        ]
+        # velocity/position integrate in place (+=) — never replayable.
+        self._k_velpos = [
+            self._bind("velocity", c.velocity, _velocity_body),
+            self._bind("position", c.position, _position_body),
+        ]
+        # strain_rates subtracts vdov/3 from the strain diagonals in place,
+        # so the combined kinematics chain is not replayable either.
+        self._k_kin = [
+            self._bind("kinematics", c.kinematics, _kinematics_body,
+                       n_temps=2, idempotent=True),
+            self._bind("strain_rates", c.strain_rates,
+                       kin_k.calc_lagrange_elements_part2),
+            self._bind("monoq_gradients", c.monoq_gradients,
+                       q_k.calc_monotonic_q_gradients, idempotent=True),
+        ]
+        self._k_prologue = [
+            self._bind("material_prologue", c.material_prologue,
+                       eos_k.apply_material_properties_prologue, n_temps=1,
+                       idempotent=True),
+            self._bind("qstop_check", c.qstop_check, q_k.check_q_stop,
+                       idempotent=True),
+            self._bind("update_volumes", c.update_volumes, eos_k.update_volumes,
+                       idempotent=True),
+        ]
+        self._bc = _bc_body(domain)
 
     def _ranges(self, n_items: int, partition_size: int):
         """Partition layout for one phase (honours the balanced-split knob)."""
@@ -292,59 +358,17 @@ class HpxLuleshProgram:
         ne, nn = shape.num_elem, shape.num_node
         pn = self.nodal_partition
         pe = self.elements_partition
-        dt = d.deltatime if d is not None else 0.0
         chain = self.variant.chain_kernels
         parallel = self.variant.parallel_chains
 
-        # Kernel bindings (shared work definition with the OpenMP structure).
-        k_stress = [
-            self._bind("init_stress", c.init_stress, stress_k.init_stress_terms,
-                       idempotent=True),
-            self._bind(
-                "integrate_stress", c.integrate_stress, stress_k.integrate_stress,
-                n_temps=4, idempotent=True,
-            ),
-        ]
-        k_hg = [
-            self._bind(
-                "hg_control", c.hourglass_control, hg_k.calc_hourglass_control,
-                n_temps=7, idempotent=True,
-            ),
-            self._bind("fb_hourglass", c.fb_hourglass, hg_k.calc_fb_hourglass_force,
-                       n_temps=2, idempotent=True),
-        ]
-        k_nodesum = [
-            self._bind("zero_forces", c.zero_forces, _zero_forces_body,
-                       idempotent=True),
-            self._bind("sum_forces", c.sum_forces, nodal_k.sum_elem_forces_to_nodes,
-                       idempotent=True),
-            self._bind("acceleration", c.acceleration, nodal_k.calc_acceleration,
-                       idempotent=True),
-        ]
-        # velocity/position integrate in place (+=) — never replayable.
-        k_velpos = [
-            self._bind("velocity", c.velocity, nodal_k.calc_velocity_dt, dt),
-            self._bind("position", c.position, nodal_k.calc_position_dt, dt),
-        ]
-        # strain_rates subtracts vdov/3 from the strain diagonals in place,
-        # so the combined kinematics chain is not replayable either.
-        k_kin = [
-            self._bind("kinematics", c.kinematics, kin_k.calc_kinematics_dt, dt,
-                       n_temps=2, idempotent=True),
-            self._bind("strain_rates", c.strain_rates,
-                       kin_k.calc_lagrange_elements_part2),
-            self._bind("monoq_gradients", c.monoq_gradients,
-                       q_k.calc_monotonic_q_gradients, idempotent=True),
-        ]
-        k_prologue = [
-            self._bind("material_prologue", c.material_prologue,
-                       eos_k.apply_material_properties_prologue, n_temps=1,
-                       idempotent=True),
-            self._bind("qstop_check", c.qstop_check, q_k.check_q_stop,
-                       idempotent=True),
-            self._bind("update_volumes", c.update_volumes, eos_k.update_volumes,
-                       idempotent=True),
-        ]
+        # Kernel bindings (shared work definition with the OpenMP structure)
+        # are captured once at construction — see ``__init__``.
+        k_stress = self._k_stress
+        k_hg = self._k_hg
+        k_nodesum = self._k_nodesum
+        k_velpos = self._k_velpos
+        k_kin = self._k_kin
+        k_prologue = self._k_prologue
 
         def flush_if_unchained(futures: Sequence[Future], tag: str) -> list[Future]:
             """Fig. 5 semantics: blocking wait_all after every kernel group."""
@@ -382,7 +406,7 @@ class HpxLuleshProgram:
             b2 = self._barrier(node_finals, "B2:accel")
             bc = self.rt.continuation(
                 b2,
-                _bc_body(d),
+                self._bc,
                 cost_ns=int(round(3 * c.accel_bc * shape.num_symm_nodes)),
                 tag="accel_bc",
             )
@@ -400,7 +424,7 @@ class HpxLuleshProgram:
                 ]
                 flush_if_unchained(futs, kern.name)
             bc = self.rt.async_(
-                _bc_body(d),
+                self._bc,
                 cost_ns=int(round(3 * c.accel_bc * shape.num_symm_nodes)),
                 tag="accel_bc",
             )
@@ -542,17 +566,94 @@ class HpxLuleshProgram:
             priority=priority, idempotent=True,
         )
 
+    # --- graph capture & replay ---------------------------------------------------
+
+    def _graph_key(self) -> tuple:
+        """Everything the graph's structure depends on (invalidation key)."""
+        return (
+            self.variant,
+            self.nodal_partition,
+            self.elements_partition,
+            self.balanced_partitions,
+            self.shape,
+        )
+
+    def _invalidate_template(self) -> None:
+        """Drop the captured graph; the next cycle rebuilds (and recaptures)."""
+        if self._template is not None:
+            self._template = None
+            self._template_final = None
+            self.graph_stats.invalidations += 1
+
+    def _advance(self, cycle: int, injector) -> Future:
+        """Produce this cycle's iteration result: replay, or build-and-flush.
+
+        A captured template is invalidated when the graph structure key
+        changes, when the cycle counter is non-monotone (a checkpoint
+        rollback rewound the run — the captured graph would replay against
+        the wrong per-cycle bindings), or when the fault injector plans to
+        strike this cycle (fault draws happen at task *creation*, which a
+        replay never performs, so the cycle must be rebuilt).  Fault cycles
+        are also not captured: their graphs embed spent fire closures and
+        stall-inflated costs.
+        """
+        stats = self.graph_stats
+        faulty = injector is not None and injector.plans_faults(cycle)
+        if self.replay_graph and self._template is not None:
+            rollback = self._last_cycle is not None and cycle <= self._last_cycle
+            if self._graph_key() != self._template_key or rollback or faulty:
+                self._invalidate_template()
+        self._last_cycle = cycle
+        if self._template is not None:
+            try:
+                stats.replay_ns += self.rt.replay_graph(self._template)
+            except Exception:
+                # A failure mid-replay leaves later segments un-rearmed;
+                # the template is not safely reusable.
+                self._invalidate_template()
+                raise
+            stats.replays += 1
+            self.barriers_per_iteration = self._template_barriers
+            assert self._template_final is not None
+            return self._template_final
+        capture = self.replay_graph and not faulty
+        if capture:
+            self.rt.begin_capture()
+        t0 = time.perf_counter_ns()
+        exec0 = self.rt.real_exec_ns
+        try:
+            final = self.build_iteration()
+            self.rt.flush()
+        except Exception:
+            if capture:
+                self.rt.abort_capture()
+            raise
+        # Construction cost only: the Fig. 5 variant executes blocking
+        # barriers *inside* the build, so subtract pool-execution time.
+        stats.build_ns += (
+            time.perf_counter_ns() - t0 - (self.rt.real_exec_ns - exec0)
+        )
+        if capture:
+            self._template = self.rt.end_capture()
+            self._template_final = final
+            self._template_barriers = self.barriers_per_iteration
+            self._template_key = self._graph_key()
+            stats.captures += 1
+        return final
+
     # --- multi-iteration driver ---------------------------------------------------
 
     def step(self) -> None:
         """Advance exactly one leapfrog cycle.
 
-        Builds the iteration graph, flushes it, and re-raises the final
-        future's failure if any task failed — a physics abort surfaces with
-        its original type wrapped in the barrier's
-        :class:`~repro.amt.errors.TaskGroupError` naming the failed
-        partitions.  The runtime's fault injector (if any) is told the
-        upcoming cycle number and given its chance to corrupt state.
+        Builds the iteration graph and flushes it — or, with
+        ``replay_graph`` (the default), re-fires the captured graph
+        template in place — then re-raises the final future's failure if
+        any task failed: a physics abort surfaces with its original type
+        wrapped in the barrier's :class:`~repro.amt.errors.TaskGroupError`
+        naming the failed partitions.  The runtime's fault injector (if
+        any) is told the upcoming cycle number and given its chance to
+        corrupt state.
         """
         d = self.domain
         if d is not None:
@@ -569,8 +670,7 @@ class HpxLuleshProgram:
             if d is not None:
                 injector.corrupt_fields(d)
         with phase:
-            final = self.build_iteration()
-            self.rt.flush()
+            final = self._advance(cycle, injector)
         if not final.is_ready():
             raise RuntimeError("iteration graph did not complete")
         exc = final.exception_nowait()
@@ -604,6 +704,24 @@ def _zero_forces_body(domain, lo: int, hi: int) -> None:
     domain.fx[lo:hi] = 0.0
     domain.fy[lo:hi] = 0.0
     domain.fz[lo:hi] = 0.0
+
+
+# The timestep is read at execution time, not bound at graph-build time:
+# ``time_increment`` fixes ``deltatime`` before the graph runs and nothing
+# mutates it mid-cycle, so these bodies are correct every cycle — including
+# replayed ones, where no rebuild re-binds the value.
+
+
+def _velocity_body(domain, lo: int, hi: int) -> None:
+    nodal_k.calc_velocity_dt(domain, domain.deltatime, lo, hi)
+
+
+def _position_body(domain, lo: int, hi: int) -> None:
+    nodal_k.calc_position_dt(domain, domain.deltatime, lo, hi)
+
+
+def _kinematics_body(domain, lo: int, hi: int) -> None:
+    kin_k.calc_kinematics_dt(domain, domain.deltatime, lo, hi)
 
 
 def _monoq_region_body(domain, r: int, lo: int, hi: int) -> None:

@@ -10,13 +10,21 @@ This module reproduces that approach: every loop of the reference becomes a
 blocking :func:`repro.amt.algorithms.for_loop` with HPX's default
 auto-chunking.  Each loop pays task creation, scheduling, and a blocking
 barrier — the structure the paper's manual decomposition dismantles.
+
+Like :class:`~repro.core.hpx_lulesh.HpxLuleshProgram`, the program captures
+the first cycle's loop graph and replays it on subsequent cycles
+(``replay_graph``): per-cycle state the loop bodies need lives in one
+recyclable :class:`_NaiveCycleState` that is reset in place before each
+replay, and the timestep is read from the domain at execution time.
 """
 
 from __future__ import annotations
 
+import time
 from contextlib import nullcontext
 
 from repro.amt.algorithms import for_loop
+from repro.amt.graph import GraphStats, GraphTemplate
 from repro.amt.runtime import AmtRuntime
 from repro.core.kernel_graph import EOS_LOOPS_PER_REP, ProblemShape
 from repro.lulesh.costs import KernelCosts
@@ -37,17 +45,52 @@ from repro.lulesh.kernels.constraints import (
 __all__ = ["naive_iteration", "NaiveHpxProgram"]
 
 
+class _NaiveCycleState:
+    """Per-cycle mutable state the loop bodies close over.
+
+    One instance is shared by every loop body of a built graph; resetting
+    it in place re-arms the bodies for a replayed cycle without recreating
+    a single closure.
+    """
+
+    __slots__ = ("bc_done", "eos_done", "courant", "hydro")
+
+    def __init__(self, n_regions: int) -> None:
+        self.bc_done = False
+        self.eos_done = [False] * n_regions
+        self.courant = 1.0e20
+        self.hydro = 1.0e20
+
+    def reset(self) -> None:
+        self.bc_done = False
+        done = self.eos_done
+        for r in range(len(done)):
+            done[r] = False
+        self.courant = 1.0e20
+        self.hydro = 1.0e20
+
+
 def naive_iteration(
     rt: AmtRuntime,
     shape: ProblemShape,
     costs: KernelCosts,
     domain: Domain | None = None,
-) -> None:
-    """One leapfrog iteration as a sequence of blocking ``for_each`` loops."""
+    state: _NaiveCycleState | None = None,
+) -> _NaiveCycleState:
+    """One leapfrog iteration as a sequence of blocking ``for_each`` loops.
+
+    With *state* (graph capture), the final constraint reduction is left to
+    the caller — it runs as plain Python outside the loop graph, so a
+    replayed cycle must re-run it itself.  Without, the reduction is
+    applied here (standalone behaviour).  Returns the cycle state holding
+    the accumulated constraint minima.
+    """
     c = costs
     ne, nn = shape.num_elem, shape.num_node
     d = domain
-    dt = d.deltatime if d is not None else 0.0
+    standalone = state is None
+    if state is None:
+        state = _NaiveCycleState(shape.num_regions)
 
     def body(fn, *args):
         if d is None:
@@ -78,22 +121,21 @@ def naive_iteration(
          "collect_hg", idempotent=True)
     loop(nn, body(nodal_k.calc_acceleration), c.acceleration, "acceleration",
          idempotent=True)
-    bc_done = [False]
 
     def bc_body(lo: int, hi: int) -> None:
-        if d is not None and not bc_done[0]:
+        if d is not None and not state.bc_done:
             nodal_k.apply_acceleration_bc(d)
-            bc_done[0] = True
+            state.bc_done = True
 
     for _ in range(3):
         loop(shape.num_symm_nodes, bc_body, c.accel_bc, "accel_bc",
              idempotent=True)
-    loop(nn, body(nodal_k.calc_velocity_dt, dt), c.velocity, "velocity")
-    loop(nn, body(nodal_k.calc_position_dt, dt), c.position, "position")
+    # dt is read from the domain at execution time (replay-safe binding).
+    loop(nn, body(_velocity), c.velocity, "velocity")
+    loop(nn, body(_position), c.position, "position")
 
     # LagrangeElements (strain_rates subtracts in place — not replay-safe)
-    loop(ne, body(kin_k.calc_kinematics_dt, dt), c.kinematics, "kinematics",
-         idempotent=True)
+    loop(ne, body(_kinematics), c.kinematics, "kinematics", idempotent=True)
     loop(ne, body(kin_k.calc_lagrange_elements_part2), c.strain_rates, "strain_rates")
     loop(ne, body(q_k.calc_monotonic_q_gradients), c.monoq_gradients, "q_gradients",
          idempotent=True)
@@ -111,12 +153,11 @@ def naive_iteration(
     for r in range(shape.num_regions):
         rep = shape.region_reps[r]
         size = shape.region_sizes[r]
-        eos_done = [False]
 
-        def eos_body(lo: int, hi: int, r=r, rep=rep, flag=eos_done) -> None:
-            if d is not None and not flag[0]:
+        def eos_body(lo: int, hi: int, r=r, rep=rep) -> None:
+            if d is not None and not state.eos_done[r]:
                 eos_k.eval_eos_region(d, d.regions.reg_elem_lists[r], rep)
-                flag[0] = True
+                state.eos_done[r] = True
 
         per_loop_rate = c.eos_eval / EOS_LOOPS_PER_REP
         for _ in range(rep * EOS_LOOPS_PER_REP):
@@ -125,28 +166,28 @@ def naive_iteration(
          idempotent=True)
 
     # Constraints
-    acc = {"courant": 1.0e20, "hydro": 1.0e20}
     for r in range(shape.num_regions):
         size = shape.region_sizes[r]
 
         def courant_body(lo: int, hi: int, r=r) -> None:
             if d is not None:
-                acc["courant"] = min(
-                    acc["courant"],
+                state.courant = min(
+                    state.courant,
                     calc_courant_constraint(d, d.regions.reg_elem_lists[r], lo, hi),
                 )
 
         def hydro_body(lo: int, hi: int, r=r) -> None:
             if d is not None:
-                acc["hydro"] = min(
-                    acc["hydro"],
+                state.hydro = min(
+                    state.hydro,
                     calc_hydro_constraint(d, d.regions.reg_elem_lists[r], lo, hi),
                 )
 
         loop(size, courant_body, c.courant, f"courant[{r}]", idempotent=True)
         loop(size, hydro_body, c.hydro, f"hydro[{r}]", idempotent=True)
-    if d is not None:
-        reduce_time_constraints(d, acc["courant"], acc["hydro"])
+    if standalone and d is not None:
+        reduce_time_constraints(d, state.courant, state.hydro)
+    return state
 
 
 def _zero_forces(domain, lo: int, hi: int) -> None:
@@ -159,6 +200,18 @@ def _monoq_region(domain, r: int, lo: int, hi: int) -> None:
     q_k.calc_monotonic_q_region(domain, domain.regions.reg_elem_lists[r], lo, hi)
 
 
+def _velocity(domain, lo: int, hi: int) -> None:
+    nodal_k.calc_velocity_dt(domain, domain.deltatime, lo, hi)
+
+
+def _position(domain, lo: int, hi: int) -> None:
+    nodal_k.calc_position_dt(domain, domain.deltatime, lo, hi)
+
+
+def _kinematics(domain, lo: int, hi: int) -> None:
+    kin_k.calc_kinematics_dt(domain, domain.deltatime, lo, hi)
+
+
 class NaiveHpxProgram:
     """Multi-iteration naive (prior-work [16]) HPX LULESH run."""
 
@@ -168,12 +221,73 @@ class NaiveHpxProgram:
         shape: ProblemShape,
         costs: KernelCosts,
         domain: Domain | None = None,
+        replay_graph: bool = True,
     ) -> None:
         self.rt = rt
         self.shape = shape
         self.costs = costs
         self.domain = domain
+        self.replay_graph = replay_graph
+        self.graph_stats = GraphStats()
         self._timing_cycle = 0  # cycle counter for timing-only runs
+        self._state = _NaiveCycleState(shape.num_regions)
+        self._template: GraphTemplate | None = None
+        self._last_cycle: int | None = None
+
+    def _invalidate_template(self) -> None:
+        if self._template is not None:
+            self._template = None
+            self.graph_stats.invalidations += 1
+
+    def _advance(self, cycle: int, injector) -> None:
+        """Replay the captured loop graph, or build-and-capture it.
+
+        Same invalidation rules as the task-graph program: a rolled-back
+        (non-monotone) cycle or a fault-injection cycle rebuilds from
+        scratch, and fault cycles are never captured.
+        """
+        stats = self.graph_stats
+        d = self.domain
+        faulty = injector is not None and injector.plans_faults(cycle)
+        if self._template is not None:
+            rollback = self._last_cycle is not None and cycle <= self._last_cycle
+            if rollback or faulty:
+                self._invalidate_template()
+        self._last_cycle = cycle
+        if self._template is not None:
+            self._state.reset()
+            try:
+                stats.replay_ns += self.rt.replay_graph(self._template)
+            except Exception:
+                self._invalidate_template()
+                raise
+            stats.replays += 1
+            if d is not None:
+                reduce_time_constraints(d, self._state.courant, self._state.hydro)
+            return
+        capture = self.replay_graph and not faulty
+        if capture:
+            self.rt.begin_capture()
+        self._state.reset()
+        t0 = time.perf_counter_ns()
+        exec0 = self.rt.real_exec_ns
+        try:
+            naive_iteration(self.rt, self.shape, self.costs, d,
+                            state=self._state)
+        except Exception:
+            if capture:
+                self.rt.abort_capture()
+            raise
+        # Every loop is a blocking barrier, so pool-execution time is
+        # interleaved with construction; subtract it out.
+        stats.build_ns += (
+            time.perf_counter_ns() - t0 - (self.rt.real_exec_ns - exec0)
+        )
+        if capture:
+            self._template = self.rt.end_capture()
+            stats.captures += 1
+        if d is not None:
+            reduce_time_constraints(d, self._state.courant, self._state.hydro)
 
     def step(self) -> None:
         """Advance exactly one leapfrog cycle.
@@ -196,7 +310,7 @@ class NaiveHpxProgram:
             if d is not None:
                 injector.corrupt_fields(d)
         with phase:
-            naive_iteration(self.rt, self.shape, self.costs, d)
+            self._advance(cycle, injector)
 
     def run(self, iterations: int) -> None:
         """Advance *iterations* cycles (or fewer if stoptime hits)."""

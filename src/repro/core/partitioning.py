@@ -22,9 +22,15 @@ with those two rules extended to arbitrary sizes; the partition-sweep bench
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Iterator
 
-__all__ = ["table1_partition_sizes", "partition_ranges", "n_partitions"]
+__all__ = [
+    "table1_partition_sizes",
+    "partition_layout",
+    "partition_ranges",
+    "n_partitions",
+]
 
 # The exact published tuning (problem size -> (nodal P, elements P)).
 TABLE1 = {
@@ -37,6 +43,7 @@ TABLE1 = {
 }
 
 
+@lru_cache(maxsize=None)
 def table1_partition_sizes(nx: int) -> tuple[int, int]:
     """Partition sizes ``(lagrange_nodal_P, lagrange_elements_P)`` for *nx*.
 
@@ -59,14 +66,15 @@ def table1_partition_sizes(nx: int) -> tuple[int, int]:
     return nodal, elements
 
 
-def partition_ranges(
+@lru_cache(maxsize=None)
+def partition_layout(
     n_items: int, partition_size: int, balanced: bool = False
-) -> Iterator[tuple[int, int]]:
-    """Yield contiguous ``[lo, hi)`` ranges of at most *partition_size* items.
+) -> tuple[tuple[int, int], ...]:
+    """The contiguous ``[lo, hi)`` ranges of at most *partition_size* items.
 
     The manual task decomposition of paper Fig. 5: each task iterates over
-    ``P`` items only.  Covers ``[0, n_items)`` exactly once; yields nothing
-    for an empty range.
+    ``P`` items only.  Covers ``[0, n_items)`` exactly once; empty for an
+    empty range.
 
     With ``balanced=True`` the *number* of partitions is unchanged
     (``ceil(n/P)``) but the remainder is spread across all of them instead
@@ -77,6 +85,10 @@ def partition_ranges(
     tuning knob (:mod:`repro.tuning`): a short trailing task is a load-
     imbalance hazard exactly when the partition count is close to the
     worker count.
+
+    Layouts are memoized per ``(n_items, partition_size, balanced)`` —
+    every kernel region recomputes the same handful of splits each cycle,
+    so graph (re)builds hit the cache after the first iteration.
     """
     if partition_size < 1:
         raise ValueError(f"partition_size must be >= 1, got {partition_size}")
@@ -85,16 +97,26 @@ def partition_ranges(
     if balanced:
         parts = n_partitions(n_items, partition_size)
         if parts == 0:
-            return
+            return ()
         base, rem = divmod(n_items, parts)
+        ranges = []
         lo = 0
         for i in range(parts):
             hi = lo + base + (1 if i < rem else 0)
-            yield lo, hi
+            ranges.append((lo, hi))
             lo = hi
-        return
-    for lo in range(0, n_items, partition_size):
-        yield lo, min(lo + partition_size, n_items)
+        return tuple(ranges)
+    return tuple(
+        (lo, min(lo + partition_size, n_items))
+        for lo in range(0, n_items, partition_size)
+    )
+
+
+def partition_ranges(
+    n_items: int, partition_size: int, balanced: bool = False
+) -> Iterator[tuple[int, int]]:
+    """Iterate :func:`partition_layout` (memoized ranges)."""
+    return iter(partition_layout(n_items, partition_size, balanced))
 
 
 def n_partitions(n_items: int, partition_size: int) -> int:

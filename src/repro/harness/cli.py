@@ -108,6 +108,13 @@ def build_parser() -> argparse.ArgumentParser:
              "of one short trailing task (the balanced_split tuning knob)",
     )
     parser.add_argument(
+        "--replay-graph",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="capture the first cycle's task graph and re-fire it every "
+             "cycle (hpx/naive runs; --no-replay-graph rebuilds each cycle)",
+    )
+    parser.add_argument(
         "--tuned",
         action="store_true",
         help="consult the tuning database for this machine/shape before "
@@ -425,11 +432,13 @@ def _single_run(args: argparse.Namespace) -> int:
                              elements_partition=args.partition_elems,
                              balanced_partitions=args.balanced_partitions,
                              tuning=tuning_db,
-                             record_spans=need_spans, resilience=resilience)
+                             record_spans=need_spans, resilience=resilience,
+                             replay_graph=args.replay_graph)
         elif args.impl == "naive":
             result = run_naive_hpx(opts, threads, args.i, execute=args.execute,
                                    registry=registry, record_spans=need_spans,
-                                   resilience=resilience)
+                                   resilience=resilience,
+                                   replay_graph=args.replay_graph)
         else:
             result = run_omp(opts, threads, args.i, execute=args.execute,
                              registry=registry, resilience=resilience)
@@ -459,6 +468,8 @@ def _single_run(args: argparse.Namespace) -> int:
             pn, pe, source = _resolved_partitions(args, threads, tuning_db)
             print(f"partition sizes: nodal={pn} elements={pe} [{source}]"
                   + (" balanced" if args.balanced_partitions else ""))
+        if args.impl in ("hpx", "naive") and not args.replay_graph:
+            print("graph replay: disabled (rebuilding every cycle)")
         print(f"simulated runtime: {result.runtime_s:.6f} s "
               f"({result.per_iteration_ns/1e6:.3f} ms/iteration)")
         print(f"worker utilization: {result.utilization:.3f}")

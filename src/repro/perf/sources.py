@@ -35,6 +35,7 @@ __all__ = [
     "install_amt_counters",
     "install_omp_counters",
     "install_arena_counters",
+    "install_graph_counters",
     "install_resilience_counters",
     "install_tuning_counters",
     "worker_thread_path",
@@ -228,6 +229,46 @@ def install_tuning_counters(registry: CounterRegistry, stats, db=None) -> None:
             lambda: len(db.memo),
             description="memoised trial records in the database",
         )
+
+
+def install_graph_counters(registry: CounterRegistry, stats) -> None:
+    """Register the ``/graph/*`` family reading a
+    :class:`~repro.amt.graph.GraphStats` instance.
+
+    The stats object belongs to one program (``HpxLuleshProgram`` /
+    ``NaiveHpxProgram``), so these counters describe that program's graph
+    capture & replay activity: how often the iteration graph was captured,
+    re-fired, or thrown away, and the real (host) time split between
+    building graphs and re-arming captured ones.
+    """
+    registry.register_gauge(
+        "/graph/captures",
+        lambda: stats.captures,
+        description="iteration graphs captured as replay templates",
+    )
+    registry.register_gauge(
+        "/graph/replays",
+        lambda: stats.replays,
+        description="cycles served by re-firing a captured graph",
+    )
+    registry.register_gauge(
+        "/graph/invalidations",
+        lambda: stats.invalidations,
+        description="captured graphs discarded (shape/knob change, "
+        "rollback, or fault-injection cycle)",
+    )
+    registry.register_gauge(
+        "/graph/build-time",
+        lambda: stats.build_ns,
+        unit="[ns]",
+        description="real time spent constructing iteration graphs",
+    )
+    registry.register_gauge(
+        "/graph/replay-time",
+        lambda: stats.replay_ns,
+        unit="[ns]",
+        description="real time spent re-arming captured graphs",
+    )
 
 
 def install_resilience_counters(registry: CounterRegistry, stats) -> None:

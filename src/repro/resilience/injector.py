@@ -212,6 +212,24 @@ class FaultInjector:
         """Tell the injector which 1-based cycle is about to execute."""
         self._cycle = cycle
 
+    def plans_faults(self, cycle: int) -> bool:
+        """True if any armed spec could still strike in *cycle*.
+
+        Consulted by the graph capture/replay machinery: fault draws happen
+        at task *creation* (``draw_task``), which a replayed graph never
+        performs, so a cycle the injector plans to strike must rebuild its
+        graph — and the rebuilt graph must not be captured (it embeds fire
+        closures and stall-inflated costs).  Persistent specs plan faults
+        for every cycle; one-shot specs only for their armed cycle while
+        charges remain.
+        """
+        for armed in self._armed:
+            if armed.spec.persistent:
+                return True
+            if armed.remaining > 0 and armed.cycle == cycle:
+                return True
+        return False
+
     # --- task faults --------------------------------------------------------
 
     def draw_task(self, task: "SimTask") -> Callable[[], None] | None:

@@ -124,6 +124,32 @@ class SimTask:
         """True once the task has executed in some pool run."""
         return self.state == _DONE
 
+    def reset_for_replay(self, cost_ns: int) -> None:
+        """Re-arm an executed task so a captured graph can run it again.
+
+        Restores the creation-time lifecycle fields in place (no
+        allocation): the recorded dependency topology is kept, ``pending``
+        is recomputed from the recorded parents (parents outside the
+        captured segment were never recorded — see :meth:`depends_on`), and
+        ``cost_ns`` is restored from the caller's capture-time snapshot
+        because execution may have mutated it (bounded-replay backoff,
+        stall faults).  The pool assigns a fresh ``task_id`` at the next
+        run, in the same relative order, so traces and critical-path
+        analyses of a replayed segment are structurally identical to the
+        original's.
+        """
+        if self.state != _DONE:
+            raise ValueError(
+                f"cannot reset task {self.tag!r}: not executed "
+                f"(state={self.state})"
+            )
+        self.task_id = -1
+        self.cost_ns = cost_ns
+        self.pending = len(self.parents)
+        self.released = False
+        self.state = _CREATED
+        self.finish_ns = -1
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"SimTask(id={self.task_id}, tag={self.tag!r}, cost={self.cost_ns}ns, "

@@ -265,6 +265,7 @@ class Evaluator:
                     str(cfg.get("policy", "hpx-default"))
                 ),
                 balanced_partitions=bool(cfg.get("balanced_split", False)),
+                replay_graph=bool(cfg.get("replay_graph", True)),
             )
         else:
             schedule = str(cfg.get("omp_schedule", "static"))

@@ -257,6 +257,7 @@ class SearchSpace:
             Knob("parallel_chains", (False, True), True),
             Knob("prioritize_expensive_regions", (False, True), False),
             Knob("balanced_split", (False, True), False),
+            Knob("replay_graph", (False, True), True),
             Knob("policy", POLICY_LADDER, "hpx-default"),
         ))
 

@@ -1,0 +1,193 @@
+"""Unit tests for graph capture & replay (:mod:`repro.amt.graph`)."""
+
+import pytest
+
+from repro.amt.errors import AmtError
+from repro.amt.graph import GraphStats, reset_segment
+from repro.amt.runtime import AmtRuntime
+from repro.simcore.costmodel import CostModel
+from repro.simcore.machine import MachineConfig
+
+
+def make_rt(n_workers=4):
+    return AmtRuntime(MachineConfig(), CostModel(), n_workers)
+
+
+def capture_two_segments(rt, log):
+    """A two-segment graph: a flushed chain, then a waited pair."""
+    rt.begin_capture()
+    a = rt.async_(lambda: log.append("a") or 1, cost_ns=100, tag="a")
+    b = rt.continuation(a, lambda fa: log.append("b") or fa.get() + 1,
+                        cost_ns=100, tag="b")
+    rt.flush()
+    c = rt.async_(lambda: log.append("c") or 10, cost_ns=100, tag="c")
+    d = rt.async_(lambda: log.append("d") or 20, cost_ns=100, tag="d")
+    rt.wait_all([c, d])
+    return rt.end_capture(), (a, b, c, d)
+
+
+class TestCapture:
+    def test_capture_produces_template(self):
+        rt = make_rt()
+        template, _ = capture_two_segments(rt, [])
+        assert template.n_segments == 2
+        assert template.n_tasks == 4
+        # second segment remembers its blocking barrier
+        assert template.segments[0].wait_futures is None
+        assert template.segments[1].wait_futures is not None
+
+    def test_capture_runs_bodies_normally(self):
+        rt = make_rt()
+        log = []
+        _, (a, b, c, d) = capture_two_segments(rt, log)
+        assert sorted(log) == ["a", "b", "c", "d"]
+        # a was consumed by b's body; the rest are read non-destructively
+        assert (b.result_nowait(), c.result_nowait(), d.result_nowait()) == \
+            (2, 10, 20)
+
+    def test_costs_are_snapshotted(self):
+        rt = make_rt()
+        template, _ = capture_two_segments(rt, [])
+        for seg in template.segments:
+            assert seg.costs == tuple(100 for _ in seg.tasks)
+
+    def test_begin_twice_raises(self):
+        rt = make_rt()
+        rt.begin_capture()
+        with pytest.raises(AmtError):
+            rt.begin_capture()
+
+    def test_begin_with_pending_raises(self):
+        rt = make_rt()
+        rt.async_(lambda: None, cost_ns=10)
+        with pytest.raises(AmtError):
+            rt.begin_capture()
+
+    def test_end_with_unflushed_raises(self):
+        rt = make_rt()
+        rt.begin_capture()
+        rt.async_(lambda: None, cost_ns=10)
+        with pytest.raises(AmtError):
+            rt.end_capture()
+
+    def test_abort_allows_new_capture(self):
+        rt = make_rt()
+        rt.begin_capture()
+        rt.async_(lambda: None, cost_ns=10)
+        rt.flush()
+        rt.abort_capture()
+        template, _ = capture_two_segments(rt, [])
+        assert template.n_segments == 2
+
+
+class TestReplay:
+    def test_replay_reruns_bodies_and_values(self):
+        rt = make_rt()
+        log = []
+        template, (a, b, c, d) = capture_two_segments(rt, log)
+        log.clear()
+        rt.replay_graph(template)
+        assert sorted(log) == ["a", "b", "c", "d"]
+        assert (b.result_nowait(), c.result_nowait(), d.result_nowait()) == \
+            (2, 10, 20)
+
+    def test_replay_is_des_deterministic(self):
+        rt = make_rt()
+        template, _ = capture_two_segments(rt, [])
+        once = rt.stats.total_ns
+        flushes = rt.stats.n_flushes
+        rt.replay_graph(template)
+        assert rt.stats.total_ns == 2 * once
+        assert rt.stats.n_flushes == 2 * flushes
+
+    def test_replay_many_times(self):
+        rt = make_rt()
+        log = []
+        template, _ = capture_two_segments(rt, log)
+        once = rt.stats.total_ns
+        for _ in range(5):
+            rt.replay_graph(template)
+        assert rt.stats.total_ns == 6 * once
+        assert len(log) == 6 * 4
+
+    def test_replay_returns_rearm_time_only(self):
+        rt = make_rt()
+        template, _ = capture_two_segments(rt, [])
+        rearm = rt.replay_graph(template)
+        assert 0 < rearm < 10_000_000  # resets, not execution
+
+    def test_replay_with_pending_raises(self):
+        rt = make_rt()
+        template, _ = capture_two_segments(rt, [])
+        rt.async_(lambda: None, cost_ns=10)
+        with pytest.raises(AmtError):
+            rt.replay_graph(template)
+
+    def test_replay_while_capturing_raises(self):
+        rt = make_rt()
+        template, _ = capture_two_segments(rt, [])
+        rt.begin_capture()
+        with pytest.raises(AmtError):
+            rt.replay_graph(template)
+        rt.abort_capture()
+
+    def test_replay_rethrows_at_captured_barrier(self):
+        rt = make_rt()
+        arm = {"fail": False}
+
+        def maybe_fail():
+            if arm["fail"]:
+                raise RuntimeError("armed")
+            return 1
+
+        rt.begin_capture()
+        f = rt.async_(maybe_fail, cost_ns=10, tag="maybe")
+        rt.wait_all([f])
+        template = rt.end_capture()
+        arm["fail"] = True
+        with pytest.raises(RuntimeError, match="armed"):
+            rt.replay_graph(template)
+
+    def test_dynamic_state_read_at_execution_time(self):
+        rt = make_rt()
+        box = {"v": 1}
+        rt.begin_capture()
+        f = rt.async_(lambda: box["v"], cost_ns=10)
+        rt.flush()
+        template = rt.end_capture()
+        assert f.get() == 1
+        box["v"] = 7
+        rt.replay_graph(template)
+        assert f.get() == 7
+
+
+class TestResetProtocol:
+    def test_reset_unexecuted_task_raises(self):
+        rt = make_rt()
+        template, _ = capture_two_segments(rt, [])
+        seg = template.segments[0]
+        reset_segment(seg)  # legal: tasks are done
+        with pytest.raises(ValueError):
+            reset_segment(seg)  # illegal: not re-executed in between
+
+    def test_reset_restores_snapshot_costs(self):
+        rt = make_rt()
+        template, _ = capture_two_segments(rt, [])
+        seg = template.segments[0]
+        seg.tasks[0].cost_ns = 999_999  # e.g. a stall-fault inflation
+        reset_segment(seg)
+        assert seg.tasks[0].cost_ns == seg.costs[0]
+
+    def test_reset_clears_future_state(self):
+        rt = make_rt()
+        template, (a, _, _, _) = capture_two_segments(rt, [])
+        assert a.is_ready()
+        reset_segment(template.segments[0])
+        assert not a.is_ready()
+
+
+class TestGraphStats:
+    def test_defaults(self):
+        stats = GraphStats()
+        assert (stats.captures, stats.replays, stats.invalidations) == (0, 0, 0)
+        assert (stats.build_ns, stats.replay_ns) == (0, 0)

@@ -155,13 +155,14 @@ class TestCanonicalSpaces:
         assert set(sp.names) == {
             "nodal_partition", "elements_partition", "combine_loops",
             "parallel_chains", "prioritize_expensive_regions",
-            "balanced_split", "policy",
+            "balanced_split", "replay_graph", "policy",
         }
         assert sp.knob("policy").values == POLICY_LADDER
         # defaults match the paper's full variant
         c = sp.default_config()
         assert c["combine_loops"] is True
         assert c["parallel_chains"] is True
+        assert c["replay_graph"] is True
         assert c["policy"] == "hpx-default"
 
     def test_omp_baseline(self):
