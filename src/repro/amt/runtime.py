@@ -142,6 +142,9 @@ class AmtRuntime:
         record_spans: keep per-task Gantt spans on the trace (debugging).
         fault_injector: optional resilience hook (see module docstring).
         replay: optional bounded-retry policy for idempotent tasks.
+        flight_recorder: optional :class:`~repro.obs.recorder.FlightRecorder`
+            (duck-typed, same pattern as the resilience hooks) receiving
+            ``task_spawn``/``task_steal``/``task_retire``/``flush`` events.
     """
 
     def __init__(
@@ -153,6 +156,7 @@ class AmtRuntime:
         policy: "SchedulerPolicy | None" = None,
         fault_injector: Any = None,
         replay: Any = None,
+        flight_recorder: Any = None,
     ) -> None:
         self.machine = machine
         self.cost_model = cost_model
@@ -173,6 +177,7 @@ class AmtRuntime:
         self.real_exec_ns = 0
         self.fault_injector = fault_injector
         self.replay = replay
+        self.flight_recorder = flight_recorder
 
     # --- task creation -----------------------------------------------------
 
@@ -185,6 +190,10 @@ class AmtRuntime:
         self._pending.append(task)
         if self._recorder is not None:
             self._recorder.record_future(fut)
+        if self.flight_recorder is not None:
+            self.flight_recorder.record(
+                "task_spawn", time_ns=self._stats.total_ns, tag=task.tag
+            )
 
     def _bind_body(
         self,
@@ -433,11 +442,45 @@ class AmtRuntime:
         finally:
             self._flushing = False
             self.real_exec_ns += time.perf_counter_ns() - t0
+        # Each segment's discrete-event simulation starts at virtual t=0;
+        # rebase its spans onto the run's global timeline and stamp them
+        # with the flush index so replayed cycles never collide.
+        base_ns = self._stats.total_ns
+        cycle = self._stats.n_flushes + 1
         self._stats.total_ns += result.makespan_ns
         self._stats.n_tasks += result.n_tasks
         self._stats.n_flushes += 1
         self._stats.spawn_ns += result.spawn_total_ns
-        self._stats.trace.merge(result.trace)
+        self._stats.trace.merge(result.trace, offset_ns=base_ns, cycle=cycle)
+        fr = self.flight_recorder
+        if fr is not None:
+            steals = sum(w.steals for w in result.trace.workers)
+            attempts = sum(w.steal_attempts for w in result.trace.workers)
+            fr.record(
+                "flush",
+                time_ns=self._stats.total_ns,
+                cycle=cycle,
+                makespan_ns=result.makespan_ns,
+                n_tasks=result.n_tasks,
+            )
+            if attempts:
+                fr.record(
+                    "task_steal",
+                    time_ns=self._stats.total_ns,
+                    cycle=cycle,
+                    steals=steals,
+                    attempts=attempts,
+                )
+            for s in result.trace.spans:
+                fr.record(
+                    "task_retire",
+                    time_ns=base_ns + s.end_ns,
+                    cycle=cycle,
+                    tag=s.tag,
+                    worker=s.worker,
+                    task_id=s.task_id,
+                    duration_ns=s.duration_ns,
+                )
         for hook in self._flush_hooks:
             hook(self, result.makespan_ns)
         return result

@@ -148,6 +148,7 @@ def run_omp(
     registry: CounterRegistry | None = None,
     task_local_temporaries: bool = True,
     resilience: ResiliencePlan | None = None,
+    flight_recorder=None,
 ) -> RunResult:
     """Run the OpenMP-structured LULESH (the reference baseline).
 
@@ -171,6 +172,8 @@ def run_omp(
                      dynamic_chunk=dynamic_chunk)
     if resilience is not None:
         omp.fault_injector = resilience.make_injector()
+        if flight_recorder is not None:
+            resilience.stats.flight_recorder = flight_recorder
     if registry is not None:
         install_omp_counters(registry, omp)
         if domain is not None:
@@ -211,6 +214,7 @@ def run_hpx(
     record_spans: bool = False,
     resilience: ResiliencePlan | None = None,
     replay_graph: bool = True,
+    flight_recorder=None,
 ) -> RunResult:
     """Run the paper's task-based LULESH.
 
@@ -250,7 +254,10 @@ def run_hpx(
         record_spans=record_spans,
         fault_injector=resilience.make_injector() if resilience else None,
         replay=resilience.make_replay() if resilience else None,
+        flight_recorder=flight_recorder,
     )
+    if resilience is not None and flight_recorder is not None:
+        resilience.stats.flight_recorder = flight_recorder
     resolved_nodal = nodal_partition or table_nodal
     resolved_elems = elements_partition or table_elems
     if registry is not None:
@@ -307,6 +314,7 @@ def run_naive_hpx(
     record_spans: bool = False,
     resilience: ResiliencePlan | None = None,
     replay_graph: bool = True,
+    flight_recorder=None,
 ) -> RunResult:
     """Run the prior-work [16] for_each-style port.
 
@@ -320,7 +328,10 @@ def run_naive_hpx(
         machine, cost_model, n_workers, record_spans=record_spans,
         fault_injector=resilience.make_injector() if resilience else None,
         replay=resilience.make_replay() if resilience else None,
+        flight_recorder=flight_recorder,
     )
+    if resilience is not None and flight_recorder is not None:
+        resilience.stats.flight_recorder = flight_recorder
     if registry is not None:
         install_amt_counters(registry, rt)
         if domain is not None:

@@ -584,6 +584,10 @@ class HpxLuleshProgram:
             self._template = None
             self._template_final = None
             self.graph_stats.invalidations += 1
+            if self.rt.flight_recorder is not None:
+                self.rt.flight_recorder.record(
+                    "graph_invalidate", time_ns=self.rt.stats.total_ns
+                )
 
     def _advance(self, cycle: int, injector) -> Future:
         """Produce this cycle's iteration result: replay, or build-and-flush.
@@ -613,6 +617,10 @@ class HpxLuleshProgram:
                 self._invalidate_template()
                 raise
             stats.replays += 1
+            if self.rt.flight_recorder is not None:
+                self.rt.flight_recorder.record(
+                    "graph_replay", time_ns=self.rt.stats.total_ns, cycle=cycle
+                )
             self.barriers_per_iteration = self._template_barriers
             assert self._template_final is not None
             return self._template_final
@@ -639,6 +647,13 @@ class HpxLuleshProgram:
             self._template_barriers = self.barriers_per_iteration
             self._template_key = self._graph_key()
             stats.captures += 1
+            if self.rt.flight_recorder is not None:
+                self.rt.flight_recorder.record(
+                    "graph_capture",
+                    time_ns=self.rt.stats.total_ns,
+                    cycle=cycle,
+                    n_segments=len(self._template.segments),
+                )
         return final
 
     # --- multi-iteration driver ---------------------------------------------------

@@ -238,6 +238,10 @@ class NaiveHpxProgram:
         if self._template is not None:
             self._template = None
             self.graph_stats.invalidations += 1
+            if self.rt.flight_recorder is not None:
+                self.rt.flight_recorder.record(
+                    "graph_invalidate", time_ns=self.rt.stats.total_ns
+                )
 
     def _advance(self, cycle: int, injector) -> None:
         """Replay the captured loop graph, or build-and-capture it.
@@ -262,6 +266,10 @@ class NaiveHpxProgram:
                 self._invalidate_template()
                 raise
             stats.replays += 1
+            if self.rt.flight_recorder is not None:
+                self.rt.flight_recorder.record(
+                    "graph_replay", time_ns=self.rt.stats.total_ns, cycle=cycle
+                )
             if d is not None:
                 reduce_time_constraints(d, self._state.courant, self._state.hydro)
             return
@@ -286,6 +294,13 @@ class NaiveHpxProgram:
         if capture:
             self._template = self.rt.end_capture()
             stats.captures += 1
+            if self.rt.flight_recorder is not None:
+                self.rt.flight_recorder.record(
+                    "graph_capture",
+                    time_ns=self.rt.stats.total_ns,
+                    cycle=cycle,
+                    n_segments=len(self._template.segments),
+                )
         if d is not None:
             reduce_time_constraints(d, self._state.courant, self._state.hydro)
 

@@ -59,10 +59,20 @@ class PlaneExchanger:
         # Optional resilience hook (duck-typed): consulted at every post
         # via ``draw_comm(src, dst, tag) -> "drop" | "dup" | None``.
         self.fault_injector = fault_injector
+        # Optional observability hooks (duck-typed, default off):
+        # ``tracer`` is a SpanTracer whose SpanContexts are piggybacked on
+        # every message (send context stored alongside the payload, consumed
+        # at fetch so the receive span is parented across ranks);
+        # ``flight_recorder`` receives halo_send/halo_recv/allreduce events.
+        self.tracer: Any = None
+        self.flight_recorder: Any = None
+        self.cycle: int | None = None
+        self._contexts: dict[tuple[int, int, str], Any] = {}
 
     def start_phase(self) -> None:
         """Begin a new exchange phase (clears stale posts)."""
         self._mailbox.clear()
+        self._contexts.clear()
         self._phase += 1
 
     def post(self, src: int, dst: int, tag: str, data: np.ndarray) -> None:
@@ -85,6 +95,15 @@ class PlaneExchanger:
         if self.fault_injector is not None:
             action = self.fault_injector.draw_comm(src, dst, tag)
         self.stats[src].record_send(data.nbytes)
+        if self.tracer is not None:
+            self._contexts[key] = self.tracer.message_send(
+                f"halo_send:{tag}->r{dst}", src, data.nbytes, cycle=self.cycle
+            )
+        if self.flight_recorder is not None:
+            self.flight_recorder.record(
+                "halo_send", rank=src, cycle=self.cycle, dst=dst, tag=tag,
+                nbytes=data.nbytes, dropped=action == "drop",
+            )
         if action == "drop":
             return
         if action == "dup":
@@ -101,7 +120,18 @@ class PlaneExchanger:
                 f"no message from rank {src} to rank {dst} tagged {tag!r} "
                 f"in phase {self._phase}"
             )
-        return self._mailbox.pop(key)
+        data = self._mailbox.pop(key)
+        if self.tracer is not None:
+            self.tracer.message_recv(
+                f"halo_recv:{tag}<-r{src}", dst, data.nbytes,
+                self._contexts.pop(key, None), cycle=self.cycle,
+            )
+        if self.flight_recorder is not None:
+            self.flight_recorder.record(
+                "halo_recv", rank=dst, cycle=self.cycle, src=src, tag=tag,
+                nbytes=data.nbytes,
+            )
+        return data
 
     def allreduce_min(self, values: list[float]) -> float:
         """Global minimum across all ranks (counted per rank)."""
@@ -111,6 +141,12 @@ class PlaneExchanger:
             )
         for st in self.stats:
             st.n_allreduce += 1
+        if self.tracer is not None:
+            self.tracer.sync_all("allreduce_min", cycle=self.cycle)
+        if self.flight_recorder is not None:
+            self.flight_recorder.record(
+                "allreduce", cycle=self.cycle, op="min", n_ranks=self.n_ranks
+            )
         return min(values)
 
     def total_bytes(self) -> int:

@@ -23,6 +23,7 @@ per-plane partial sums.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass
 
 import numpy as np
@@ -81,12 +82,29 @@ class DistributedSummary:
 
 
 class DistributedDriver:
-    """Lockstep distributed leapfrog over all slab ranks."""
+    """Lockstep distributed leapfrog over all slab ranks.
 
-    def __init__(self, opts: LuleshOptions, n_ranks: int) -> None:
+    With a *tracer* (:class:`~repro.obs.spans.SpanTracer` built for the
+    same rank count), every per-rank compute phase becomes a compute span
+    on that rank's virtual timeline and every plane exchange a pair of
+    cross-rank-parented communication spans — the merged timeline the
+    observability CLI exports.  A *flight_recorder* receives the
+    ``halo_send``/``halo_recv``/``allreduce`` event stream.
+    """
+
+    def __init__(
+        self,
+        opts: LuleshOptions,
+        n_ranks: int,
+        tracer=None,
+        flight_recorder=None,
+    ) -> None:
         self.opts = opts
         self.decomp = SlabDecomposition(opts.nx, n_ranks)
         self.comm = PlaneExchanger(n_ranks)
+        self.tracer = tracer
+        self.comm.tracer = tracer
+        self.comm.flight_recorder = flight_recorder
         global_regions = RegionSet(
             num_elem=opts.numElem,
             num_reg=opts.numReg,
@@ -195,66 +213,82 @@ class DistributedDriver:
 
     # --- one iteration -----------------------------------------------------------
 
+    def _span(self, name: str, rank: int):
+        """A tracer compute span on *rank*'s timeline (no-op untraced)."""
+        if self.tracer is None:
+            return nullcontext()
+        return self.tracer.span(name, rank=rank, cycle=self.comm.cycle)
+
     def step(self) -> None:
         """One distributed leapfrog cycle."""
+        self.comm.cycle = self.domains[0].cycle + 1
         for d in self.domains:
             time_increment(d)
         dt = self.domains[0].deltatime
 
         # LagrangeNodal: element force kernels + per-node partial sums.
         for d in self.domains:
-            ne = d.numElem
-            init_stress_terms(d, 0, ne)
-            integrate_stress(d, 0, ne)
-            calc_hourglass_control(d, 0, ne)
-            calc_fb_hourglass_force(d, 0, ne)
-            mesh = d.mesh
-            mesh.sum_corners_to_nodes(d.fx_elem, d.fx)
-            mesh.sum_corners_to_nodes(d.fy_elem, d.fy)
-            mesh.sum_corners_to_nodes(d.fz_elem, d.fz)
-            mesh.sum_corners_to_nodes(d.hgfx_elem, d.hgfx_node)
-            mesh.sum_corners_to_nodes(d.hgfy_elem, d.hgfy_node)
-            mesh.sum_corners_to_nodes(d.hgfz_elem, d.hgfz_node)
+            with self._span("nodal_forces", d.rank):
+                ne = d.numElem
+                init_stress_terms(d, 0, ne)
+                integrate_stress(d, 0, ne)
+                calc_hourglass_control(d, 0, ne)
+                calc_fb_hourglass_force(d, 0, ne)
+                mesh = d.mesh
+                mesh.sum_corners_to_nodes(d.fx_elem, d.fx)
+                mesh.sum_corners_to_nodes(d.fy_elem, d.fy)
+                mesh.sum_corners_to_nodes(d.fz_elem, d.fz)
+                mesh.sum_corners_to_nodes(d.hgfx_elem, d.hgfx_node)
+                mesh.sum_corners_to_nodes(d.hgfy_elem, d.hgfy_node)
+                mesh.sum_corners_to_nodes(d.hgfz_elem, d.hgfz_node)
 
         self._exchange_forces()
 
         for d in self.domains:
-            nn = d.numNode
-            calc_acceleration(d, 0, nn)
-            apply_acceleration_bc(d)
-            calc_velocity(d, 0, nn, dt)
-            calc_position(d, 0, nn, dt)
+            with self._span("nodal_update", d.rank):
+                nn = d.numNode
+                calc_acceleration(d, 0, nn)
+                apply_acceleration_bc(d)
+                calc_velocity(d, 0, nn, dt)
+                calc_position(d, 0, nn, dt)
 
         # LagrangeElements.
         for d in self.domains:
-            ne = d.numElem
-            calc_kinematics(d, 0, ne, dt)
-            calc_lagrange_elements_part2(d, 0, ne)
-            calc_monotonic_q_gradients(d, 0, ne)
+            with self._span("lagrange_elements", d.rank):
+                ne = d.numElem
+                calc_kinematics(d, 0, ne, dt)
+                calc_lagrange_elements_part2(d, 0, ne)
+                calc_monotonic_q_gradients(d, 0, ne)
 
         self._exchange_gradients()
 
         for d in self.domains:
-            regions = d.regions
-            for r in range(regions.num_reg):
-                calc_monotonic_q_region(d, regions.reg_elem_lists[r], 0, None)
-            check_q_stop(d, 0, d.numElem)
-            apply_material_properties_prologue(d, 0, d.numElem)
-            for r in range(regions.num_reg):
-                eval_eos_region(d, regions.reg_elem_lists[r], regions.rep(r))
-            update_volumes(d, 0, d.numElem)
+            with self._span("q_eos", d.rank):
+                regions = d.regions
+                for r in range(regions.num_reg):
+                    calc_monotonic_q_region(
+                        d, regions.reg_elem_lists[r], 0, None
+                    )
+                check_q_stop(d, 0, d.numElem)
+                apply_material_properties_prologue(d, 0, d.numElem)
+                for r in range(regions.num_reg):
+                    eval_eos_region(
+                        d, regions.reg_elem_lists[r], regions.rep(r)
+                    )
+                update_volumes(d, 0, d.numElem)
 
         # Time constraints: local minima, then global allreduce.
         courants, hydros = [], []
         for d in self.domains:
-            regions = d.regions
-            c = h = 1.0e20
-            for r in range(regions.num_reg):
-                lst = regions.reg_elem_lists[r]
-                c = min(c, calc_courant_constraint(d, lst))
-                h = min(h, calc_hydro_constraint(d, lst))
-            courants.append(c)
-            hydros.append(h)
+            with self._span("constraints", d.rank):
+                regions = d.regions
+                c = h = 1.0e20
+                for r in range(regions.num_reg):
+                    lst = regions.reg_elem_lists[r]
+                    c = min(c, calc_courant_constraint(d, lst))
+                    h = min(h, calc_hydro_constraint(d, lst))
+                courants.append(c)
+                hydros.append(h)
         gc = self.comm.allreduce_min(courants)
         gh = self.comm.allreduce_min(hydros)
         for d in self.domains:
@@ -302,9 +336,15 @@ class DistributedDriver:
 
 
 def run_distributed_reference(
-    opts: LuleshOptions, n_ranks: int, max_iterations: int | None = None
+    opts: LuleshOptions,
+    n_ranks: int,
+    max_iterations: int | None = None,
+    tracer=None,
+    flight_recorder=None,
 ) -> tuple[DistributedDriver, DistributedSummary]:
     """Build and run a distributed reference; returns driver + summary."""
-    driver = DistributedDriver(opts, n_ranks)
+    driver = DistributedDriver(
+        opts, n_ranks, tracer=tracer, flight_recorder=flight_recorder
+    )
     summary = driver.run(max_iterations)
     return driver, summary

@@ -19,6 +19,18 @@ runs consult the database before falling back to Table I::
 
     lulesh-hpx tune --s 45 --tune-strategy exhaustive --tuning-db db.json
     lulesh-hpx --s 45 --tuned --tuning-db db.json
+
+Observability (:mod:`repro.obs`): ``--flight-record`` keeps a bounded ring
+buffer of structured events (dumped as JSONL at exit, or automatically when
+the run fails), ``--trace`` exports the run's own task schedule,
+``--ranks N --trace`` exports a merged multi-rank timeline with
+cross-rank-parented halo-exchange spans, and ``obs diff`` gates a run's
+metrics against a stored baseline::
+
+    lulesh-hpx --s 10 --i 2 --flight-record flight.jsonl --trace trace.json
+    lulesh-hpx --s 10 --i 2 --ranks 4 --trace timeline.json
+    lulesh-hpx obs baseline --baseline base.json --s 10 --i 2
+    lulesh-hpx obs diff --baseline base.json --s 10 --i 2
 """
 
 from __future__ import annotations
@@ -51,10 +63,19 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "mode",
         nargs="?",
-        choices=("run", "tune"),
+        choices=("run", "tune", "obs"),
         default="run",
         help="run (default): a single run or experiment; tune: search the "
-             "knob space for this problem and persist the winner",
+             "knob space for this problem and persist the winner; obs: "
+             "observability actions (diff/baseline)",
+    )
+    parser.add_argument(
+        "action",
+        nargs="?",
+        default=None,
+        help="obs-mode action: 'diff' compares a run's metrics against "
+             "--baseline with tolerance bands; 'baseline' runs once and "
+             "writes the --baseline file",
     )
     parser.add_argument("--s", type=int, default=30, help="problem size (mesh edge)")
     parser.add_argument("--r", type=int, default=11, help="number of regions")
@@ -184,9 +205,84 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--trace",
         default=None,
-        help="write a chrome://tracing JSON of one iteration's task "
-             "schedule (with dependency flow events and utilization "
-             "counter tracks) to this path (hpx single runs only)",
+        help="write a chrome://tracing JSON of the run's task schedule "
+             "(with dependency flow events and utilization counter tracks) "
+             "to this path; with --ranks N>1, a merged multi-rank timeline "
+             "(plus a .jsonl span export) with cross-rank-parented "
+             "halo-exchange spans",
+    )
+    parser.add_argument(
+        "--ranks",
+        type=int,
+        default=1,
+        metavar="N",
+        help="simulated ranks: N>1 runs the distributed execute-mode "
+             "driver (slab decomposition, real physics) instead of the "
+             "single-node runtimes",
+    )
+    parser.add_argument(
+        "--flight-record",
+        nargs="?",
+        const="flight.jsonl",
+        default=None,
+        metavar="FILE",
+        help="record structured events (task spawn/steal/retire, flush, "
+             "faults, retries, rollbacks, checkpoints, graph capture/"
+             "replay, halo traffic) into a bounded ring buffer and dump "
+             "them as JSONL to FILE (default flight.jsonl) at exit — or "
+             "automatically when the run fails",
+    )
+    parser.add_argument(
+        "--flight-capacity",
+        type=int,
+        default=65_536,
+        metavar="N",
+        help="flight-recorder ring-buffer capacity (oldest events evicted)",
+    )
+    parser.add_argument(
+        "--metrics",
+        default=None,
+        metavar="FILE",
+        help="write the sampled performance counters as a time-series "
+             "metrics JSONL (per-interval series, for 'obs diff' and "
+             "offline analysis)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help="obs mode: the stored baseline to diff against (any metric "
+             "snapshot format: obs baseline, --counters JSON, --metrics "
+             "JSONL, or a BENCH_*.json trajectory)",
+    )
+    parser.add_argument(
+        "--current",
+        default=None,
+        metavar="FILE",
+        help="obs diff: compare this snapshot instead of running the "
+             "configured problem",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.05,
+        metavar="F",
+        help="obs diff: relative tolerance band around each baseline "
+             "value (default 0.05)",
+    )
+    parser.add_argument(
+        "--warn-only",
+        action="store_true",
+        help="obs diff: print regressions but exit 0 (CI soft gate)",
+    )
+    parser.add_argument(
+        "--skip",
+        action="append",
+        default=None,
+        metavar="PATTERN",
+        help="obs diff: skip metrics matching this glob (repeatable; "
+             "default skips the wall-clock */build-time* and "
+             "*/replay-time* counters)",
     )
     parser.add_argument(
         "--print-counters",
@@ -376,16 +472,29 @@ def _single_run(args: argparse.Namespace) -> int:
         )
     tuning_db = _load_tuning_db(args) if args.tuned else None
     resilience = _resilience_plan(args)
+    if args.ranks < 1:
+        raise SystemExit(f"--ranks must be >= 1, got {args.ranks}")
+    if args.ranks > 1:
+        return _distributed_run(args, opts)
     want_counters = bool(
         args.print_counters or args.counters or args.list_counters
+        or args.metrics
     )
-    need_spans = args.profile or args.critical_path
+    trace_spans = args.trace is not None
+    if trace_spans and args.impl not in ("hpx", "naive"):
+        raise SystemExit(
+            "--trace records task spans; use --impl hpx/naive (or --ranks "
+            "N>1 for the distributed timeline)"
+        )
+    need_spans = args.profile or args.critical_path or trace_spans
     if need_spans and args.impl not in ("hpx", "naive"):
         raise SystemExit(
             "--profile/--critical-path need task spans; use --impl hpx/naive"
         )
-    if args.trace and args.impl == "hpx":
-        _write_trace(args, opts, threads)
+    # The flight recorder's task_retire events read recorded spans; turn
+    # recording on when it can (the omp path has no task spans to record).
+    if args.flight_record is not None and args.impl in ("hpx", "naive"):
+        need_spans = True
     if (args.save_checkpoint or args.restore_checkpoint) and not args.execute:
         raise SystemExit("checkpointing requires --execute (real physics)")
     if args.restore_checkpoint and (want_counters or need_spans):
@@ -424,6 +533,12 @@ def _single_run(args: argparse.Namespace) -> int:
         from repro.perf.registry import CounterRegistry
 
         registry = CounterRegistry()
+    flight = _make_flight_recorder(args)
+    if flight is not None:
+        flight.record(
+            "run_begin", impl=args.impl, size=args.s, regions=args.r,
+            iterations=args.i, threads=threads,
+        )
     try:
         if args.impl == "hpx":
             result = run_hpx(opts, threads, args.i, execute=args.execute,
@@ -433,20 +548,25 @@ def _single_run(args: argparse.Namespace) -> int:
                              balanced_partitions=args.balanced_partitions,
                              tuning=tuning_db,
                              record_spans=need_spans, resilience=resilience,
-                             replay_graph=args.replay_graph)
+                             replay_graph=args.replay_graph,
+                             flight_recorder=flight)
         elif args.impl == "naive":
             result = run_naive_hpx(opts, threads, args.i, execute=args.execute,
                                    registry=registry, record_spans=need_spans,
                                    resilience=resilience,
-                                   replay_graph=args.replay_graph)
+                                   replay_graph=args.replay_graph,
+                                   flight_recorder=flight)
         else:
             result = run_omp(opts, threads, args.i, execute=args.execute,
-                             registry=registry, resilience=resilience)
+                             registry=registry, resilience=resilience,
+                             flight_recorder=flight)
     except Exception:
-        # Failed runs still export whatever counters were sampled — the
-        # post-mortem (`/resilience/*` included) is most useful on failure.
+        # Failed runs still export whatever was observed — the post-mortem
+        # (`/resilience/*` counters, the flight-recorder tail) is most
+        # useful on failure.  This is the exit-code-4 path's auto-dump.
         if registry is not None:
             _emit_counters(args, registry)
+        _dump_flight(args, flight)
         raise
     if args.save_checkpoint and result.domain is not None:
         from repro.lulesh.checkpoint import save_checkpoint
@@ -482,8 +602,129 @@ def _single_run(args: argparse.Namespace) -> int:
     )
     if registry is not None:
         _emit_counters(args, registry)
-    if need_spans:
+    if flight is not None:
+        flight.record(
+            "run_end", time_ns=result.runtime_ns,
+            iterations=result.iterations,
+        )
+        _dump_flight(args, flight)
+    if trace_spans:
+        _emit_trace(args, result, threads)
+    if args.profile or args.critical_path:
         _emit_span_analyses(args, result)
+    return 0
+
+
+def _make_flight_recorder(args: argparse.Namespace):
+    """The run's FlightRecorder, or None when ``--flight-record`` is off."""
+    if args.flight_record is None:
+        return None
+    from repro.obs import FlightRecorder
+
+    if args.flight_capacity < 1:
+        raise SystemExit(
+            f"--flight-capacity must be >= 1, got {args.flight_capacity}"
+        )
+    return FlightRecorder(capacity=args.flight_capacity)
+
+
+def _dump_flight(args: argparse.Namespace, flight) -> None:
+    if flight is None:
+        return
+    n = flight.dump_jsonl(args.flight_record)
+    if not args.q:
+        dropped = f" ({flight.n_dropped} evicted)" if flight.n_dropped else ""
+        print(f"wrote {n} flight-recorder events{dropped} "
+              f"to {args.flight_record}")
+
+
+def _emit_trace(args: argparse.Namespace, result, threads: int) -> None:
+    """Export the run's recorded task schedule as a Chrome trace."""
+    from repro.harness.traceview import write_chrome_trace
+
+    if result.trace is None:
+        raise SystemExit("no task spans recorded (empty run?)")
+    write_chrome_trace(
+        args.trace, result.trace.spans,
+        process_name=(
+            f"lulesh-hpx {args.impl} s={args.s} T={threads}"
+            + (f" [{_selected_variant(args).label()}]"
+               if args.impl == "hpx" else "")
+        ),
+        n_workers=threads,
+    )
+    if not args.q:
+        print(f"wrote task-schedule trace ({len(result.trace.spans)} spans) "
+              f"to {args.trace}")
+
+
+def _jsonl_sibling(path: str) -> str:
+    """`out.json` -> `out.jsonl`; anything else gets `.jsonl` appended."""
+    if path.endswith(".json"):
+        return path + "l"
+    return path + ".jsonl"
+
+
+def _distributed_run(args: argparse.Namespace, opts: LuleshOptions) -> int:
+    """``--ranks N>1``: the distributed execute-mode driver, instrumented.
+
+    With ``--trace``, every rank's compute phases and halo exchanges are
+    recorded on per-rank virtual timelines (receive spans parented to the
+    sending rank's span via the propagated context) and exported as one
+    merged Chrome trace plus a JSONL span file; ``--flight-record`` captures
+    the halo_send/halo_recv/allreduce event stream.
+    """
+    from repro.dist.driver import run_distributed_reference
+
+    if args.impl != "hpx":
+        raise SystemExit("--ranks N>1 supports --impl hpx only")
+    unsupported = (
+        args.profile or args.critical_path or args.print_counters
+        or args.counters or args.list_counters or args.metrics
+    )
+    if unsupported:
+        raise SystemExit(
+            "counters/profiles are not available for --ranks N>1 runs"
+        )
+    tracer = None
+    if args.trace is not None:
+        from repro.obs import SpanTracer
+
+        tracer = SpanTracer(n_ranks=args.ranks)
+    flight = _make_flight_recorder(args)
+    if flight is not None:
+        flight.record(
+            "run_begin", impl="dist", size=args.s, regions=args.r,
+            iterations=args.i, ranks=args.ranks,
+        )
+    driver, summary = run_distributed_reference(
+        opts, args.ranks, max_iterations=args.i,
+        tracer=tracer, flight_recorder=flight,
+    )
+    if flight is not None:
+        flight.record(
+            "run_end", cycle=summary.cycles,
+            total_messages=summary.total_messages,
+            total_bytes=summary.total_bytes,
+        )
+        _dump_flight(args, flight)
+    if tracer is not None:
+        from repro.obs import write_span_timeline
+
+        jsonl_path = _jsonl_sibling(args.trace)
+        write_span_timeline(args.trace, jsonl_path, tracer.spans)
+        if not args.q:
+            print(f"wrote merged {args.ranks}-rank timeline "
+                  f"({len(tracer.spans)} spans) to {args.trace} "
+                  f"and {jsonl_path}")
+    if not args.q:
+        print(f"distributed run: ranks={summary.n_ranks} "
+              f"cycles={summary.cycles} "
+              f"messages={summary.total_messages} "
+              f"bytes={summary.total_bytes}")
+    print(",".join(ARTIFACT_CSV_HEADER))
+    print(f"{args.s},{args.r},{summary.cycles},{args.ranks},0.0,"
+          f"{summary.origin_energy:.6e}")
     return 0
 
 
@@ -521,6 +762,7 @@ def _tune_run(args: argparse.Namespace) -> int:
     registry = None
     want_counters = bool(
         args.print_counters or args.counters or args.list_counters
+        or args.metrics
     )
     if want_counters:
         from repro.perf.registry import CounterRegistry
@@ -538,10 +780,12 @@ def _tune_run(args: argparse.Namespace) -> int:
         ),
         db=db,
         registry=registry,
+        flight_recorder=_make_flight_recorder(args),
     )
     if registry is not None:
         install_tuning_counters(registry, evaluator.stats, db=db)
     result = tuner.tune()
+    _dump_flight(args, tuner.flight_recorder)
     if not args.q:
         title = (
             f"Tuning {args.impl} s={args.s} r={args.r} threads={threads} "
@@ -607,6 +851,12 @@ def _emit_counters(args: argparse.Namespace, registry) -> None:
         if not args.q:
             print(f"wrote {registry.n_intervals} counter intervals "
                   f"to {args.counters}")
+    if args.metrics:
+        from repro.obs import MetricStore
+
+        n = MetricStore.from_registry(registry).dump_jsonl(args.metrics)
+        if not args.q:
+            print(f"wrote {n} metric series to {args.metrics}")
 
 
 def _emit_span_analyses(args: argparse.Namespace, result) -> None:
@@ -754,45 +1004,98 @@ def _scheduler_experiment() -> list[dict]:
     return records
 
 
-def _write_trace(args: argparse.Namespace, opts: LuleshOptions,
-                 threads: int) -> None:
-    """Record one iteration's task spans and export a Chrome trace.
+def _obs_snapshot(args: argparse.Namespace) -> dict[str, float]:
+    """Run the configured problem and return its final metric values.
 
-    The selected ``--variant`` is honoured, so e.g. ``--variant fig5
-    --trace out.json`` shows the barriered schedule, not the full one.
+    This is ``obs diff``'s "current" side when no ``--current`` snapshot is
+    given, and the payload ``obs baseline`` writes.  The simulated timing
+    model is deterministic pure-integer arithmetic, so these values are
+    reproducible across machines (only the wall-clock ``/graph/*-time``
+    counters vary, and the diff skips those by default).
     """
-    from repro.amt.runtime import AmtRuntime
-    from repro.core.hpx_lulesh import HpxLuleshProgram
-    from repro.core.kernel_graph import ProblemShape
-    from repro.core.partitioning import table1_partition_sizes
-    from repro.harness.traceview import write_chrome_trace
-    from repro.lulesh.costs import DEFAULT_COSTS
-    from repro.simcore.costmodel import CostModel
-    from repro.simcore.machine import MachineConfig
+    from repro.obs import MetricStore
+    from repro.perf.registry import CounterRegistry
 
-    variant = _selected_variant(args)
-    rt = AmtRuntime(MachineConfig(), CostModel(), threads, record_spans=True)
-    pn, pe = table1_partition_sizes(opts.nx)
-    program = HpxLuleshProgram(
-        rt, ProblemShape.from_options(opts), DEFAULT_COSTS,
-        nodal_partition=pn, elements_partition=pe, variant=variant,
+    threads = args.hpx_threads if args.hpx_threads is not None else args.threads
+    opts = LuleshOptions(
+        nx=args.s, numReg=args.r,
+        max_iterations=args.i if args.execute else None,
     )
-    program.build_iteration()
-    rt.flush()
-    write_chrome_trace(
-        args.trace, rt.stats.trace.spans,
-        process_name=(
-            f"lulesh-hpx s={opts.nx} T={threads} [{variant.label()}]"
-        ),
-        n_workers=threads,
+    registry = CounterRegistry()
+    resilience = _resilience_plan(args)
+    if args.impl == "hpx":
+        run_hpx(opts, threads, args.i, execute=args.execute,
+                variant=_selected_variant(args), registry=registry,
+                resilience=resilience, replay_graph=args.replay_graph)
+    elif args.impl == "naive":
+        run_naive_hpx(opts, threads, args.i, execute=args.execute,
+                      registry=registry, resilience=resilience,
+                      replay_graph=args.replay_graph)
+    else:
+        run_omp(opts, threads, args.i, execute=args.execute,
+                registry=registry, resilience=resilience)
+    return MetricStore.from_registry(registry).last_values()
+
+
+def _obs_run(args: argparse.Namespace) -> int:
+    """``lulesh-hpx obs diff|baseline``: the metric regression gate."""
+    from repro.obs import (
+        DEFAULT_SKIP,
+        diff_metrics,
+        load_metric_values,
+        write_baseline,
     )
-    if not args.q:
-        print(f"wrote task-schedule trace ({len(rt.stats.trace.spans)} spans) "
-              f"to {args.trace}")
+
+    if args.action == "baseline":
+        if not args.baseline:
+            raise SystemExit(
+                "obs baseline requires --baseline FILE (the output path)"
+            )
+        values = _obs_snapshot(args)
+        write_baseline(
+            args.baseline, values,
+            note=f"impl={args.impl} s={args.s} r={args.r} i={args.i}",
+        )
+        print(f"wrote baseline with {len(values)} metrics to {args.baseline}")
+        return 0
+    if args.action != "diff":
+        raise SystemExit("obs mode requires an action: diff or baseline")
+    if not args.baseline:
+        raise SystemExit("obs diff requires --baseline FILE")
+    baseline = load_metric_values(args.baseline)
+    if args.current is not None:
+        current = load_metric_values(args.current)
+    else:
+        current = _obs_snapshot(args)
+    skip = tuple(args.skip) if args.skip else DEFAULT_SKIP
+    result = diff_metrics(
+        baseline, current, tolerance=args.tolerance, skip=skip
+    )
+    for line in result.format_table():
+        print(line)
+    if result.ok:
+        if result.improvements and not args.q:
+            print(f"note: {len(result.improvements)} metric(s) improved "
+                  "beyond tolerance — consider refreshing the baseline")
+        return 0
+    worst = max(
+        result.regressions,
+        key=lambda v: v.rel_change if v.rel_change is not None else 0.0,
+    )
+    msg = (f"{len(result.regressions)} metric(s) regressed beyond "
+           f"±{args.tolerance:.1%} (worst: {worst.path})")
+    if args.warn_only:
+        print(f"WARNING: {msg} (--warn-only: not failing the gate)")
+        return 0
+    print(f"FAIL: {msg}", file=sys.stderr)
+    return EXIT_PERF_REGRESSION
 
 
 #: Exit code for a run killed by a task/physics/resilience failure.
 EXIT_TASK_FAILURE = 4
+
+#: Exit code for an ``obs diff`` that found out-of-band metrics.
+EXIT_PERF_REGRESSION = 5
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -831,6 +1134,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         if not args.q:
             print(f"\nwrote {hpx_csv} and {ref_csv}")
         return 0
+    if args.mode == "obs":
+        return _obs_run(args)
     if args.mode == "tune":
         return _tune_run(args)
     if args.experiment is not None:

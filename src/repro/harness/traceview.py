@@ -59,15 +59,30 @@ def _metadata_events(
 
 
 def _flow_events(spans: Sequence[TaskSpan]) -> list[dict]:
-    """One s/f pair per dependency edge whose both endpoints were recorded."""
-    by_id = {s.task_id: s for s in spans}
+    """One s/f pair per dependency edge whose both endpoints were recorded.
+
+    Spans are keyed by ``(cycle, task_id)``: a bare task id is ambiguous
+    across graph-replayed cycles, and a plain id-keyed dict would be
+    silently overwritten by every replay, attaching all arrows to the last
+    cycle's spans.  Same-cycle resolution wins; an edge whose parent
+    retired in an *earlier* flush segment (a blocking barrier mid-cycle,
+    the Fig. 5 structure) falls back to the nearest preceding cycle.
+    """
+    by_key = {(s.cycle, s.task_id): s for s in spans}
+    earlier: dict[int, TaskSpan] = {}
+    for s in sorted(spans, key=lambda s: s.cycle):
+        earlier[s.task_id] = s  # last (highest-cycle) span per id
     events: list[dict] = []
     flow_id = 0
     for child in spans:
         for pid in child.parents:
-            parent = by_id.get(pid)
+            parent = by_key.get((child.cycle, pid))
             if parent is None:
-                continue  # e.g. retired before a blocking barrier's flush
+                cand = earlier.get(pid)
+                if cand is not None and cand.cycle <= child.cycle:
+                    parent = cand
+            if parent is None:
+                continue  # predecessor's span was never recorded
             flow_id += 1
             events.append(
                 {
@@ -155,7 +170,7 @@ def to_chrome_trace(
                 "tid": span.worker,
                 "ts": span.start_ns / 1000.0,
                 "dur": span.duration_ns / 1000.0,
-                "args": {"task_id": span.task_id},
+                "args": {"task_id": span.task_id, "cycle": span.cycle},
             }
         )
     if flow_events:

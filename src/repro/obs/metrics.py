@@ -1,0 +1,282 @@
+"""Time-series metrics store over the counter registry's interval samples.
+
+:class:`~repro.perf.registry.CounterRegistry` already snapshots every
+registered counter at each sampling boundary (one flush / iteration); what
+it lacks is a *series* view — the last-value-only reads the CLI does today
+throw away the trajectory.  :class:`MetricStore` ingests the registry's
+samples into per-path :class:`MetricSeries` and answers the questions the
+paper's §V methodology asks of a trajectory:
+
+* windowed aggregates (:class:`SeriesAggregate`: p50/p95/max/mean and the
+  per-second rate of change over simulated time);
+* per-interval deltas and **monotonicity checks** — a cumulative counter
+  that ever steps backwards (e.g. ``/resilience/rollbacks`` losing history
+  across a checkpoint restore) is an accounting bug, and
+  :meth:`MetricSeries.monotonic_violations` finds it;
+* JSONL export (``lulesh-hpx-metrics/1``) for the ``obs diff`` gate and
+  offline analysis.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from typing import Sequence
+
+__all__ = ["MetricSeries", "MetricStore", "SeriesAggregate"]
+
+
+def _percentile(ordered: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile of an already-sorted sequence."""
+    if not ordered:
+        return math.nan
+    if len(ordered) == 1:
+        return ordered[0]
+    pos = q * (len(ordered) - 1)
+    lo = int(math.floor(pos))
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = pos - lo
+    return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+
+@dataclass(frozen=True)
+class SeriesAggregate:
+    """Summary statistics of one metric over a sample window."""
+
+    n: int
+    min: float
+    max: float
+    mean: float
+    p50: float
+    p95: float
+    last: float
+    rate_per_s: float  # (last - first) / elapsed simulated seconds
+
+    def to_dict(self) -> dict:
+        """Plain-dict view for JSON export."""
+        return {
+            "n": self.n,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "p50": self.p50,
+            "p95": self.p95,
+            "last": self.last,
+            "rate_per_s": self.rate_per_s,
+        }
+
+
+@dataclass
+class MetricSeries:
+    """One counter's recorded trajectory: parallel interval/time/value rows."""
+
+    path: str
+    unit: str = ""
+    description: str = ""
+    intervals: list[int] = field(default_factory=list)
+    times_ns: list[int] = field(default_factory=list)
+    values: list[float] = field(default_factory=list)
+
+    def append(self, interval: int, time_ns: int, value: float) -> None:
+        """Record one sample row."""
+        self.intervals.append(interval)
+        self.times_ns.append(time_ns)
+        self.values.append(float(value))
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    @property
+    def last(self) -> float:
+        """The most recent sampled value (NaN when empty)."""
+        return self.values[-1] if self.values else math.nan
+
+    def deltas(self) -> list[float]:
+        """Per-interval increments (``value[i] - value[i-1]``)."""
+        return [
+            b - a for a, b in zip(self.values, self.values[1:])
+        ]
+
+    def monotonic_violations(self) -> list[tuple[int, float]]:
+        """Intervals whose delta is negative, as ``(interval, delta)`` rows.
+
+        For cumulative counters a negative interval delta means recorded
+        history was lost (e.g. a stats object rolled back alongside a
+        checkpoint restore); an empty result certifies the series is
+        monotone non-decreasing.
+        """
+        return [
+            (self.intervals[i + 1], d)
+            for i, d in enumerate(self.deltas())
+            if d < 0
+        ]
+
+    def aggregate(self, window: int | None = None) -> SeriesAggregate:
+        """Summary statistics over the last *window* samples (all if None)."""
+        vals = self.values if window is None else self.values[-window:]
+        times = self.times_ns if window is None else self.times_ns[-window:]
+        if not vals:
+            nan = math.nan
+            return SeriesAggregate(0, nan, nan, nan, nan, nan, nan, 0.0)
+        ordered = sorted(vals)
+        elapsed_ns = times[-1] - times[0]
+        rate = (
+            (vals[-1] - vals[0]) / (elapsed_ns / 1e9) if elapsed_ns > 0 else 0.0
+        )
+        return SeriesAggregate(
+            n=len(vals),
+            min=ordered[0],
+            max=ordered[-1],
+            mean=sum(vals) / len(vals),
+            p50=_percentile(ordered, 0.50),
+            p95=_percentile(ordered, 0.95),
+            last=vals[-1],
+            rate_per_s=rate,
+        )
+
+    def to_json(self) -> str:
+        """One compact JSON object (one JSONL line)."""
+        obj: dict = {
+            "path": self.path,
+            "samples": [
+                {"interval": i, "time_ns": t, "value": v}
+                for i, t, v in zip(self.intervals, self.times_ns, self.values)
+            ],
+        }
+        if self.unit:
+            obj["unit"] = self.unit
+        if self.description:
+            obj["description"] = self.description
+        return json.dumps(obj, sort_keys=True)
+
+
+class MetricStore:
+    """Per-path metric series with windowed aggregates and JSONL export."""
+
+    def __init__(self) -> None:
+        self._series: dict[str, MetricSeries] = {}
+
+    @classmethod
+    def from_registry(cls, registry) -> "MetricStore":
+        """Ingest every recorded sample of a ``CounterRegistry``."""
+        store = cls()
+        for path in registry.paths():
+            c = registry.counter(path)
+            series = store._series.setdefault(
+                path, MetricSeries(path, c.unit, c.description)
+            )
+            for s in registry.series(path):
+                series.append(s.interval, s.time_ns, s.value)
+        return store
+
+    @classmethod
+    def from_json_dict(cls, payload: dict) -> "MetricStore":
+        """Ingest a ``lulesh-hpx-counters/1`` export (``--counters`` JSON)."""
+        store = cls()
+        for path, entry in payload.get("counters", {}).items():
+            series = store._series.setdefault(
+                path,
+                MetricSeries(
+                    path, entry.get("unit", ""), entry.get("description", "")
+                ),
+            )
+            for s in entry.get("samples", []):
+                series.append(s["interval"], s["time_ns"], s["value"])
+        return store
+
+    # --- access -------------------------------------------------------------
+
+    def paths(self) -> list[str]:
+        """Every stored metric path, sorted."""
+        return sorted(self._series)
+
+    def series(self, path: str) -> MetricSeries:
+        """The series stored under *path* (KeyError when absent)."""
+        try:
+            return self._series[path]
+        except KeyError:
+            raise KeyError(
+                f"unknown metric {path!r}; stored: {self.paths()}"
+            ) from None
+
+    def record(
+        self, path: str, interval: int, time_ns: int, value: float,
+        unit: str = "", description: str = "",
+    ) -> None:
+        """Append one sample directly (for metrics outside the registry)."""
+        series = self._series.setdefault(
+            path, MetricSeries(path, unit, description)
+        )
+        series.append(interval, time_ns, value)
+
+    def last_values(self) -> dict[str, float]:
+        """``{path: last sampled value}`` for every non-empty series."""
+        return {
+            path: s.last for path, s in sorted(self._series.items()) if len(s)
+        }
+
+    def aggregates(self, window: int | None = None) -> dict[str, SeriesAggregate]:
+        """Windowed :class:`SeriesAggregate` per path."""
+        return {
+            path: s.aggregate(window)
+            for path, s in sorted(self._series.items())
+        }
+
+    def monotonic_violations(self) -> dict[str, list[tuple[int, float]]]:
+        """Paths with negative interval deltas (empty dict = all monotone)."""
+        out: dict[str, list[tuple[int, float]]] = {}
+        for path, s in sorted(self._series.items()):
+            violations = s.monotonic_violations()
+            if violations:
+                out[path] = violations
+        return out
+
+    # --- export -------------------------------------------------------------
+
+    def to_json_lines(self) -> list[str]:
+        """Header line plus one JSON line per series."""
+        header = json.dumps(
+            {
+                "schema": "lulesh-hpx-metrics/1",
+                "n_series": len(self._series),
+            },
+            sort_keys=True,
+        )
+        return [header] + [
+            self._series[p].to_json() for p in self.paths()
+        ]
+
+    def dump_jsonl(self, path: str) -> int:
+        """Write the store as JSONL; returns the number of series written."""
+        lines = self.to_json_lines()
+        with open(path, "w", encoding="utf-8") as fh:
+            for line in lines:
+                fh.write(line + "\n")
+        return len(lines) - 1
+
+    @classmethod
+    def load_jsonl(cls, path: str) -> "MetricStore":
+        """Read a ``lulesh-hpx-metrics/1`` JSONL file back into a store."""
+        store = cls()
+        with open(path, "r", encoding="utf-8") as fh:
+            first = True
+            for raw in fh:
+                raw = raw.strip()
+                if not raw:
+                    continue
+                obj = json.loads(raw)
+                if first:
+                    first = False
+                    if obj.get("schema", "").startswith("lulesh-hpx-metrics"):
+                        continue  # header line
+                series = store._series.setdefault(
+                    obj["path"],
+                    MetricSeries(
+                        obj["path"], obj.get("unit", ""),
+                        obj.get("description", ""),
+                    ),
+                )
+                for s in obj.get("samples", []):
+                    series.append(s["interval"], s["time_ns"], s["value"])
+        return store

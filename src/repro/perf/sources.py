@@ -90,6 +90,12 @@ def install_amt_counters(registry: CounterRegistry, rt: AmtRuntime) -> None:
         description="serialized task-creation time",
     )
     registry.register_gauge(
+        "/runtime/total-time",
+        total_ns,
+        unit="[ns]",
+        description="simulated wall-clock time (summed segment makespans)",
+    )
+    registry.register_gauge(
         "/amt/flushes",
         lambda: rt.stats.n_flushes,
         description="executed segments (blocking barriers + final waits)",
@@ -137,6 +143,12 @@ def install_omp_counters(registry: CounterRegistry, omp: OmpRuntime) -> None:
         lambda: omp.stats.serial_ns,
         unit="[ns]",
         description="single-threaded program time",
+    )
+    registry.register_gauge(
+        "/runtime/total-time",
+        lambda: omp.stats.total_ns,
+        unit="[ns]",
+        description="simulated wall-clock time",
     )
     omp.add_iteration_hook(lambda omp_: registry.sample(omp_.stats.total_ns))
 

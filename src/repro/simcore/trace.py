@@ -28,6 +28,12 @@ class TaskSpan:
     (the edges of the pre-created graph), which lets the critical-path
     analyzer and the Chrome-trace flow events reconstruct the DAG from the
     recorded spans alone.
+
+    ``cycle`` is the flush segment (leapfrog iteration, for the
+    pre-created-graph variants) the span belongs to: each flush's
+    discrete-event simulation starts at virtual t=0, so spans from
+    different cycles overlap in raw time and ``(cycle, task_id)`` is the
+    only collision-free span identity across graph-replayed runs.
     """
 
     worker: int
@@ -36,6 +42,7 @@ class TaskSpan:
     start_ns: int
     end_ns: int
     parents: tuple[int, ...] = ()
+    cycle: int = 0
 
     @property
     def duration_ns(self) -> int:
@@ -138,8 +145,20 @@ class TraceRecorder:
             raise ValueError(f"makespan must be positive, got {makespan_ns}")
         return self.total_productive_ns() / (self.n_workers * makespan_ns)
 
-    def merge(self, other: "TraceRecorder") -> None:
-        """Fold another recorder (e.g. a later iteration) into this one."""
+    def merge(
+        self,
+        other: "TraceRecorder",
+        offset_ns: int = 0,
+        cycle: int | None = None,
+    ) -> None:
+        """Fold another recorder (e.g. a later iteration) into this one.
+
+        *offset_ns* rebases the other recorder's span times (each flush
+        segment starts at virtual t=0, so the caller passes the cumulative
+        makespan of everything merged before); *cycle* stamps the merged
+        spans with their flush segment so replayed-graph cycles stay
+        distinguishable.
+        """
         if other.n_workers != self.n_workers:
             raise ValueError("cannot merge traces with different worker counts")
         for mine, theirs in zip(self.workers, other.workers):
@@ -150,4 +169,15 @@ class TraceRecorder:
             mine.steals += theirs.steals
             mine.steal_attempts += theirs.steal_attempts
         if self.record_spans and other.record_spans:
-            self.spans.extend(other.spans)
+            for s in other.spans:
+                self.spans.append(
+                    TaskSpan(
+                        s.worker,
+                        s.task_id,
+                        s.tag,
+                        s.start_ns + offset_ns,
+                        s.end_ns + offset_ns,
+                        s.parents,
+                        s.cycle if cycle is None else cycle,
+                    )
+                )

@@ -71,6 +71,7 @@ class Tuner:
         budget: TuningBudget | None = None,
         db: TuningDatabase | None = None,
         registry=None,
+        flight_recorder=None,
     ) -> None:
         self.space = space
         self.evaluator = evaluator
@@ -78,6 +79,7 @@ class Tuner:
         self.budget = budget or TuningBudget()
         self.db = db
         self.registry = registry
+        self.flight_recorder = flight_recorder
         if db is not None:
             # Route trials through the database's persistent memo so this
             # run reuses (and extends) everything previously simulated.
@@ -94,6 +96,15 @@ class Tuner:
             trials.append(outcome)
             if self.registry is not None:
                 self.registry.sample(stats.simulated_ns)
+            if self.flight_recorder is not None:
+                self.flight_recorder.record(
+                    "tuner_trial",
+                    time_ns=stats.simulated_ns,
+                    trial=len(trials),
+                    config=config.as_dict(),
+                    runtime_ns=outcome.runtime_ns,
+                    cached=outcome.cached,
+                )
             return outcome
 
         baseline = evaluate(self.space.default_config())

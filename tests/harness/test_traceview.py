@@ -110,3 +110,80 @@ class TestAsciiGantt:
             ascii_gantt([], makespan_ns=0, n_workers=1)
         with pytest.raises(ValueError):
             ascii_gantt([], makespan_ns=100, n_workers=1, width=2)
+
+
+class TestReplayCycleFlowEdges:
+    """Flow edges must resolve per (cycle, task_id), not per bare task id.
+
+    A graph-replayed run re-fires the same task graph every cycle; merged
+    spans from several cycles can then carry overlapping timelines.  A
+    bare-id parent lookup is silently overwritten by every later cycle,
+    attaching all arrows to the *last* cycle's spans — and drawing arrows
+    that point backwards in time.
+    """
+
+    def two_cycle_spans(self):
+        return [
+            # cycle 1: a -> b
+            TaskSpan(worker=0, task_id=0, tag="a", start_ns=0, end_ns=1000,
+                     cycle=1),
+            TaskSpan(worker=1, task_id=1, tag="b", start_ns=1000,
+                     end_ns=2000, parents=(0,), cycle=1),
+            # cycle 2 (replayed): same ids, later on the merged timeline
+            TaskSpan(worker=0, task_id=0, tag="a", start_ns=5000,
+                     end_ns=6000, cycle=2),
+            TaskSpan(worker=1, task_id=1, tag="b", start_ns=6000,
+                     end_ns=7000, parents=(0,), cycle=2),
+        ]
+
+    def test_edges_attach_within_their_cycle(self):
+        events = to_chrome_trace(self.two_cycle_spans())
+        starts = sorted((e for e in events if e["ph"] == "s"),
+                        key=lambda e: e["ts"])
+        # one arrow per cycle, each rooted at its own cycle's parent end
+        assert [e["ts"] for e in starts] == [1.0, 6.0]
+
+    def test_no_backwards_arrows(self):
+        events = to_chrome_trace(self.two_cycle_spans())
+        pairs = {}
+        for e in events:
+            if e["ph"] in ("s", "f"):
+                pairs.setdefault(e["id"], {})[e["ph"]] = e["ts"]
+        assert pairs
+        for ts in pairs.values():
+            assert ts["s"] <= ts["f"]
+
+    def test_cross_segment_edge_falls_back_to_earlier_cycle(self):
+        # a child whose parent retired in a previous flush segment (the
+        # Fig. 5 mid-cycle barrier) still gets its arrow
+        spans = [
+            TaskSpan(worker=0, task_id=0, tag="a", start_ns=0, end_ns=1000,
+                     cycle=1),
+            TaskSpan(worker=1, task_id=9, tag="b", start_ns=5000,
+                     end_ns=6000, parents=(0,), cycle=2),
+        ]
+        events = to_chrome_trace(spans)
+        (s,) = [e for e in events if e["ph"] == "s"]
+        assert s["ts"] == 1.0
+
+    def test_x_events_carry_cycle(self):
+        events = to_chrome_trace(self.two_cycle_spans())
+        cycles = [e["args"]["cycle"] for e in events if e["ph"] == "X"]
+        assert sorted(cycles) == [1, 1, 2, 2]
+
+    def test_real_replayed_run_has_no_backwards_arrows(self):
+        from repro.core.driver import run_hpx
+        from repro.lulesh.options import LuleshOptions
+
+        res = run_hpx(LuleshOptions(nx=6, numReg=2), 4, 3,
+                      record_spans=True, replay_graph=True)
+        cycles = {s.cycle for s in res.trace.spans}
+        assert len(cycles) == 3  # merged spans span all replayed cycles
+        events = to_chrome_trace(res.trace.spans)
+        pairs = {}
+        for e in events:
+            if e["ph"] in ("s", "f"):
+                pairs.setdefault(e["id"], {})[e["ph"]] = e["ts"]
+        assert pairs
+        for ts in pairs.values():
+            assert ts["s"] <= ts["f"]

@@ -1,0 +1,139 @@
+"""Tests for the time-series metrics store and its monotonicity checks."""
+
+import json
+import math
+
+import pytest
+
+from repro.harness.cli import main
+from repro.lulesh.options import LuleshOptions
+from repro.obs import MetricStore
+from repro.obs.metrics import MetricSeries, _percentile
+from repro.core.driver import run_hpx
+from repro.perf.registry import CounterRegistry
+
+
+class TestSeries:
+    def make(self, values):
+        s = MetricSeries("/x", unit="[1]")
+        for i, v in enumerate(values):
+            s.append(i + 1, (i + 1) * 1000, v)
+        return s
+
+    def test_append_and_last(self):
+        s = self.make([1.0, 2.0, 5.0])
+        assert len(s) == 3
+        assert s.last == 5.0
+
+    def test_empty_last_is_nan(self):
+        assert math.isnan(MetricSeries("/x").last)
+
+    def test_deltas(self):
+        assert self.make([1.0, 4.0, 2.0]).deltas() == [3.0, -2.0]
+
+    def test_monotonic_violations_flags_negative_deltas(self):
+        s = self.make([0.0, 2.0, 1.0, 1.0, 0.5])
+        assert s.monotonic_violations() == [(3, -1.0), (5, -0.5)]
+
+    def test_monotone_series_has_no_violations(self):
+        assert self.make([0.0, 0.0, 3.0, 7.0]).monotonic_violations() == []
+
+    def test_aggregate_stats(self):
+        s = self.make([1.0, 2.0, 3.0, 4.0])
+        agg = s.aggregate()
+        assert agg.n == 4
+        assert agg.min == 1.0 and agg.max == 4.0
+        assert agg.mean == 2.5
+        assert agg.p50 == 2.5
+        assert agg.last == 4.0
+        # (4 - 1) over 3000 ns of simulated time
+        assert agg.rate_per_s == pytest.approx(3.0 / (3000 / 1e9))
+
+    def test_aggregate_window(self):
+        s = self.make([10.0, 1.0, 2.0, 3.0])
+        assert s.aggregate(window=3).max == 3.0
+
+    def test_aggregate_empty(self):
+        agg = MetricSeries("/x").aggregate()
+        assert agg.n == 0
+        assert math.isnan(agg.mean)
+
+    def test_percentile_interpolates(self):
+        assert _percentile([0.0, 10.0], 0.5) == 5.0
+        assert _percentile([1.0], 0.95) == 1.0
+        assert math.isnan(_percentile([], 0.5))
+
+
+class TestStore:
+    def test_record_and_access(self):
+        store = MetricStore()
+        store.record("/a", 1, 100, 2.0, unit="[1]")
+        store.record("/a", 2, 200, 3.0)
+        store.record("/b", 1, 100, 0.0)
+        assert store.paths() == ["/a", "/b"]
+        assert store.series("/a").last == 3.0
+        assert store.last_values() == {"/a": 3.0, "/b": 0.0}
+
+    def test_unknown_path_raises(self):
+        with pytest.raises(KeyError, match="unknown metric"):
+            MetricStore().series("/nope")
+
+    def test_jsonl_round_trip(self, tmp_path):
+        store = MetricStore()
+        store.record("/a", 1, 100, 2.0, unit="[ns]", description="d")
+        store.record("/a", 2, 200, 4.0)
+        out = tmp_path / "metrics.jsonl"
+        assert store.dump_jsonl(str(out)) == 1
+        header = json.loads(out.read_text().splitlines()[0])
+        assert header["schema"] == "lulesh-hpx-metrics/1"
+        back = MetricStore.load_jsonl(str(out))
+        assert back.series("/a").values == [2.0, 4.0]
+        assert back.series("/a").unit == "[ns]"
+
+    def test_from_registry_captures_trajectories(self):
+        registry = CounterRegistry()
+        run_hpx(LuleshOptions(nx=6, numReg=2), 4, 3, registry=registry)
+        store = MetricStore.from_registry(registry)
+        flushes = store.series("/amt/flushes")
+        assert len(flushes) == 3  # one sample per iteration
+        assert flushes.values == sorted(flushes.values)
+        assert store.monotonic_violations() == {}
+
+    def test_aggregates_per_path(self):
+        store = MetricStore()
+        for i in range(4):
+            store.record("/a", i + 1, (i + 1) * 10, float(i))
+        assert store.aggregates()["/a"].max == 3.0
+
+
+class TestRollbackMonotonicity:
+    """Cumulative counters must never lose history across a rollback.
+
+    A checkpoint restore rewinds the *domain*, not the accounting: the
+    ``/resilience/*`` and ``/graph/*`` series sampled through a
+    fault-and-recover run must stay monotone non-decreasing — a negative
+    interval delta in the metrics store means a stats object was rolled
+    back along with the physics state.
+    """
+
+    @pytest.mark.parametrize("impl", ["hpx", "naive"])
+    def test_rollback_never_yields_negative_deltas(self, capsys, tmp_path,
+                                                   impl):
+        out = tmp_path / "counters.json"
+        code = main([
+            "--impl", impl, "--s", "8", "--r", "3", "--i", "6", "--execute",
+            "--threads", "4", "--q",
+            "--inject-fault", "task:CalcQ*@3", "--fault-seed", "1",
+            "--auto-recover", "--checkpoint-every", "2",
+            "--counters", str(out),
+        ])
+        assert code == 0
+        store = MetricStore.from_json_dict(json.loads(out.read_text()))
+        rollbacks = store.series("/resilience/rollbacks")
+        assert rollbacks.last >= 1.0  # the run really rolled back
+        guarded = {
+            path: v
+            for path, v in store.monotonic_violations().items()
+            if path.startswith(("/resilience/", "/graph/"))
+        }
+        assert guarded == {}

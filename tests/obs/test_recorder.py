@@ -1,0 +1,105 @@
+"""Tests for the bounded ring-buffer flight recorder."""
+
+import json
+
+import pytest
+
+from repro.obs import EVENT_KINDS, FlightRecorder, ObsEvent
+
+
+class TestRecord:
+    def test_basic_record_returns_event(self):
+        fr = FlightRecorder()
+        ev = fr.record("flush", time_ns=123, cycle=2, makespan_ns=500)
+        assert isinstance(ev, ObsEvent)
+        assert ev.kind == "flush"
+        assert ev.time_ns == 123
+        assert ev.cycle == 2
+        assert ev.detail == {"makespan_ns": 500}
+
+    def test_seq_is_monotonic(self):
+        fr = FlightRecorder()
+        seqs = [fr.record("task_spawn").seq for _ in range(5)]
+        assert seqs == [0, 1, 2, 3, 4]
+
+    def test_unknown_kind_rejected(self):
+        fr = FlightRecorder()
+        with pytest.raises(ValueError, match="unknown flight-recorder"):
+            fr.record("frobnicate")
+
+    def test_every_documented_kind_accepted(self):
+        fr = FlightRecorder()
+        for kind in sorted(EVENT_KINDS):
+            fr.record(kind)
+        assert fr.n_recorded == len(EVENT_KINDS)
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError, match="capacity"):
+            FlightRecorder(capacity=0)
+
+
+class TestRing:
+    def test_eviction_keeps_newest(self):
+        fr = FlightRecorder(capacity=4)
+        for i in range(10):
+            fr.record("task_spawn", tag=f"t{i}")
+        assert fr.n_recorded == 10
+        assert fr.n_dropped == 6
+        assert len(fr.events) == 4
+        # the newest four survive, with their original seq numbers
+        assert [e.seq for e in fr.events] == [6, 7, 8, 9]
+        assert fr.events[-1].detail == {"tag": "t9"}
+
+    def test_no_eviction_below_capacity(self):
+        fr = FlightRecorder(capacity=100)
+        for _ in range(10):
+            fr.record("task_retire")
+        assert fr.n_dropped == 0
+        assert len(fr.events) == 10
+
+    def test_events_of_and_counts(self):
+        fr = FlightRecorder()
+        fr.record("flush")
+        fr.record("task_retire")
+        fr.record("flush")
+        assert len(fr.events_of("flush")) == 2
+        assert fr.counts() == {"flush": 2, "task_retire": 1}
+
+
+class TestExport:
+    def test_to_json_omits_empty_fields(self):
+        ev = ObsEvent(seq=0, kind="flush", time_ns=5)
+        obj = json.loads(ev.to_json())
+        assert obj == {"seq": 0, "kind": "flush", "time_ns": 5}
+        assert "cycle" not in obj and "rank" not in obj and "detail" not in obj
+
+    def test_to_json_includes_populated_fields(self):
+        ev = ObsEvent(seq=1, kind="halo_send", time_ns=9, cycle=3, rank=1,
+                      detail={"dst": 2})
+        obj = json.loads(ev.to_json())
+        assert obj["cycle"] == 3
+        assert obj["rank"] == 1
+        assert obj["detail"] == {"dst": 2}
+
+    def test_dump_jsonl_header_and_rows(self, tmp_path):
+        fr = FlightRecorder(capacity=3)
+        for i in range(5):
+            fr.record("task_spawn", tag=str(i))
+        out = tmp_path / "flight.jsonl"
+        n = fr.dump_jsonl(str(out))
+        assert n == 3
+        lines = [json.loads(raw) for raw in out.read_text().splitlines()]
+        header = lines[0]
+        assert header["schema"] == "lulesh-hpx-flight/1"
+        assert header["capacity"] == 3
+        assert header["n_recorded"] == 5
+        assert header["n_dropped"] == 2
+        assert header["n_events"] == 3
+        assert [row["kind"] for row in lines[1:]] == ["task_spawn"] * 3
+        # seq gaps in the dump reveal the evicted prefix
+        assert [row["seq"] for row in lines[1:]] == [2, 3, 4]
+
+    def test_non_serializable_detail_stringified(self):
+        fr = FlightRecorder()
+        ev = fr.record("tuner_trial", config=frozenset({"x"}))
+        json.loads(ev.to_json())  # must not raise

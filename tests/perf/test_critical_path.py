@@ -135,3 +135,42 @@ class TestRealRuns:
         # merged multi-flush spans stay analyzable
         cp = analyze_critical_path(rt.stats.trace.spans, rt.stats.total_ns)
         assert cp.critical_path_ns <= rt.stats.total_ns
+
+
+class TestReplayedGraphRuns:
+    """Critical-path analysis over merged spans of a graph-replayed run."""
+
+    def run_recorded(self, replay, iterations=3):
+        return run_hpx(LuleshOptions(nx=6, numReg=2), 4, iterations,
+                       record_spans=True, replay_graph=replay)
+
+    def test_bound_holds_over_replayed_cycles(self):
+        res = self.run_recorded(replay=True)
+        cp = analyze_critical_path(res.trace.spans, res.runtime_ns)
+        assert 0 < cp.critical_path_ns <= res.runtime_ns
+        assert cp.n_spans == len(res.trace.spans)
+        # spans from all three cycles are analyzable in one merged stream
+        assert {s.cycle for s in res.trace.spans} == {1, 2, 3}
+
+    def test_replay_and_rebuild_agree(self):
+        replayed = self.run_recorded(replay=True)
+        rebuilt = self.run_recorded(replay=False)
+        cp_r = analyze_critical_path(replayed.trace.spans,
+                                     replayed.runtime_ns)
+        cp_b = analyze_critical_path(rebuilt.trace.spans,
+                                     rebuilt.runtime_ns)
+        assert cp_r.critical_path_ns == cp_b.critical_path_ns
+        assert cp_r.n_spans == cp_b.n_spans
+        assert [s.tag for s in cp_r.path] == [s.tag for s in cp_b.path]
+
+    def test_merged_spans_are_rebased_per_cycle(self):
+        res = self.run_recorded(replay=True)
+        # each cycle's spans live after the previous cycle's on the merged
+        # timeline (the per-segment DES clocks were rebased at merge time)
+        by_cycle = {}
+        for s in res.trace.spans:
+            lo, hi = by_cycle.get(s.cycle, (s.start_ns, s.end_ns))
+            by_cycle[s.cycle] = (min(lo, s.start_ns), max(hi, s.end_ns))
+        ordered = [by_cycle[c] for c in sorted(by_cycle)]
+        for (_, prev_hi), (cur_lo, _) in zip(ordered, ordered[1:]):
+            assert cur_lo >= prev_hi
