@@ -38,6 +38,7 @@ from repro.perf.sources import (
     install_arena_counters,
     install_graph_counters,
     install_omp_counters,
+    install_parallel_counters,
     install_resilience_counters,
 )
 from repro.resilience.plan import ResiliencePlan
@@ -215,6 +216,8 @@ def run_hpx(
     resilience: ResiliencePlan | None = None,
     replay_graph: bool = True,
     flight_recorder=None,
+    backend: str = "sim",
+    backend_workers: int | None = None,
 ) -> RunResult:
     """Run the paper's task-based LULESH.
 
@@ -235,7 +238,22 @@ def run_hpx(
     ``replay_graph=False`` disables graph capture & replay — every cycle
     rebuilds its task graph from scratch (the pre-capture behaviour; the
     ``--no-replay-graph`` CLI flag and the tuner's ``replay_graph`` knob).
+
+    ``backend="process"`` (execute mode only) runs warm cycles on real
+    cores: a :class:`~repro.parallel.backend.ParallelHpxBackend` lowers the
+    captured graph to a wave schedule and drives *backend_workers* (default
+    2) shared-memory worker processes with it — bit-identical fields, and
+    ``RunResult.runtime_ns`` becomes **measured host wall-clock** instead
+    of simulated time (utilization and ``n_tasks`` still describe the
+    simulated serial-fallback cycles only).
     """
+    if backend not in ("sim", "process"):
+        raise ValueError(f"backend must be 'sim' or 'process', got {backend!r}")
+    if backend == "process" and not execute:
+        raise ValueError(
+            "the process backend executes real kernels and requires "
+            "execute mode"
+        )
     machine = machine or MachineConfig()
     cost_model = cost_model or CostModel()
     variant = variant or HpxVariant.full()
@@ -286,12 +304,43 @@ def run_hpx(
         variant=variant,
         balanced_partitions=balanced_partitions,
         replay_graph=replay_graph,
+        backend=backend,
+        backend_workers=(backend_workers or 2) if backend == "process" else None,
     )
     if registry is not None:
         install_graph_counters(registry, program.graph_stats)
-    _execute_program(program, domain, iterations, resilience)
+    backend_obj = None
+    if backend == "process":
+        from repro.parallel import ParallelHpxBackend
+
+        backend_obj = ParallelHpxBackend(
+            program, workers=backend_workers or 2,
+            flight_recorder=flight_recorder,
+        )
+        if registry is not None:
+            install_parallel_counters(registry, backend_obj.stats)
+    try:
+        _execute_program(backend_obj or program, domain, iterations, resilience)
+        if backend_obj is not None and registry is not None:
+            # Warm parallel cycles never flush the DES, so the flush-hook
+            # sampler stops after the capture cycle; take one closing sample
+            # so /parallel/* gauges reflect the finished run.  The wall clock
+            # extends the simulated timeline to keep sample times monotone.
+            registry.sample(rt.stats.total_ns + backend_obj.stats.wall_ns)
+    finally:
+        if backend_obj is not None:
+            backend_obj.close()
     stats = rt.stats
     done = domain.cycle if domain is not None else iterations
+    if backend_obj is not None:
+        return RunResult(
+            runtime_ns=backend_obj.stats.wall_ns,
+            iterations=done,
+            utilization=stats.utilization(),
+            n_tasks=stats.n_tasks,
+            domain=domain,
+            trace=stats.trace if record_spans else None,
+        )
     return RunResult(
         runtime_ns=stats.total_ns,
         iterations=done,

@@ -146,6 +146,8 @@ class HpxLuleshProgram:
         allocator: AllocatorModel | None = None,
         balanced_partitions: bool = False,
         replay_graph: bool = True,
+        backend: str = "sim",
+        backend_workers: int | None = None,
     ) -> None:
         if allocator is None:
             allocator = AllocatorModel(
@@ -165,6 +167,13 @@ class HpxLuleshProgram:
         self.allocator = allocator
         self.balanced_partitions = balanced_partitions
         self.replay_graph = replay_graph
+        # Execution backend identity ("sim" DES pool, or "process" real
+        # cores via repro.parallel) and its worker count.  Part of the
+        # template invalidation key: a backend switch mid-run must rebuild
+        # the graph instead of replaying a schedule lowered for the other
+        # backend.
+        self.backend = backend
+        self.backend_workers = backend_workers
         self.barriers_per_iteration = 0
         self.graph_stats = GraphStats()
         self._timing_cycle = 0  # cycle counter for timing-only runs
@@ -576,6 +585,8 @@ class HpxLuleshProgram:
             self.elements_partition,
             self.balanced_partitions,
             self.shape,
+            self.backend,
+            self.backend_workers,
         )
 
     def _invalidate_template(self) -> None:

@@ -100,6 +100,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the real physics (default: timing-only simulation)",
     )
     parser.add_argument(
+        "--backend",
+        choices=("sim", "process"),
+        default="sim",
+        help="execution backend: 'sim' runs kernels on the simulated "
+             "runtime's virtual workers; 'process' fires the captured task "
+             "graph on real cores via shared-memory worker processes "
+             "(requires --impl hpx and --execute)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for --backend process (default: 2)",
+    )
+    parser.add_argument(
         "--experiment",
         choices=("fig9", "fig10", "fig11", "table1", "ablation",
                  "multinode", "scheduler", "tuning"),
@@ -282,7 +298,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATTERN",
         help="obs diff: skip metrics matching this glob (repeatable; "
              "default skips the wall-clock */build-time* and "
-             "*/replay-time* counters)",
+             "*/replay-time* counters and the /parallel/* family)",
     )
     parser.add_argument(
         "--print-counters",
@@ -474,6 +490,23 @@ def _single_run(args: argparse.Namespace) -> int:
     resilience = _resilience_plan(args)
     if args.ranks < 1:
         raise SystemExit(f"--ranks must be >= 1, got {args.ranks}")
+    if args.workers is not None and args.backend != "process":
+        raise SystemExit("--workers applies to --backend process only")
+    if args.backend == "process":
+        if args.impl != "hpx":
+            raise SystemExit("--backend process requires --impl hpx")
+        if not args.execute:
+            raise SystemExit(
+                "--backend process runs real kernels; add --execute"
+            )
+        if args.ranks > 1:
+            raise SystemExit(
+                "--backend process supports single-rank runs only"
+            )
+        if args.workers is not None and args.workers < 1:
+            raise SystemExit(
+                f"--workers must be >= 1, got {args.workers}"
+            )
     if args.ranks > 1:
         return _distributed_run(args, opts)
     want_counters = bool(
@@ -549,7 +582,9 @@ def _single_run(args: argparse.Namespace) -> int:
                              tuning=tuning_db,
                              record_spans=need_spans, resilience=resilience,
                              replay_graph=args.replay_graph,
-                             flight_recorder=flight)
+                             flight_recorder=flight,
+                             backend=args.backend,
+                             backend_workers=args.workers)
         elif args.impl == "naive":
             result = run_naive_hpx(opts, threads, args.i, execute=args.execute,
                                    registry=registry, record_spans=need_spans,
@@ -590,6 +625,9 @@ def _single_run(args: argparse.Namespace) -> int:
                   + (" balanced" if args.balanced_partitions else ""))
         if args.impl in ("hpx", "naive") and not args.replay_graph:
             print("graph replay: disabled (rebuilding every cycle)")
+        if args.backend == "process":
+            print(f"backend: process ({args.workers or 2} worker processes, "
+                  "shared-memory domain)")
         print(f"simulated runtime: {result.runtime_s:.6f} s "
               f"({result.per_iteration_ns/1e6:.3f} ms/iteration)")
         print(f"worker utilization: {result.utilization:.3f}")

@@ -44,8 +44,10 @@ __all__ = [
 
 #: Wall-clock-derived counters: nondeterministic across hosts, never gated.
 #: (``/graph/build-time`` and ``/graph/replay-time`` measure real host time;
-#: everything else in the registry is deterministic simulated arithmetic.)
-DEFAULT_SKIP = ("*build-time*", "*replay-time*")
+#: the whole ``/parallel/*`` family is produced by the process backend whose
+#: wall time, wave counts and fallback splits depend on the host; everything
+#: else in the registry is deterministic simulated arithmetic.)
+DEFAULT_SKIP = ("*build-time*", "*replay-time*", "/parallel/*")
 
 BASELINE_SCHEMA = "lulesh-hpx-obs-baseline/1"
 

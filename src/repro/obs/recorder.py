@@ -43,6 +43,11 @@ EVENT_KINDS = frozenset(
         "graph_invalidate",
         # tuning (repro.tuning)
         "tuner_trial",
+        # process execution backend (repro.parallel)
+        "parallel_start",  # pool spawned, segment shared (workers, shm_bytes)
+        "parallel_stop",  # backend closed (cycles, fallbacks)
+        "parallel_cycle",  # one cycle ran on real cores (waves, tasks)
+        "parallel_fallback",  # one cycle ran serially (reason)
         # distributed exchange (repro.dist.comm)
         "halo_send",
         "halo_recv",

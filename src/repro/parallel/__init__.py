@@ -1,0 +1,50 @@
+"""Real-parallel shared-memory execution of the captured task graph.
+
+The simulated runtime proves the paper's task decomposition is good; this
+package makes it *fast*: the captured cycle-1
+:class:`~repro.amt.graph.GraphTemplate` is lowered to a topological wave
+schedule (:mod:`repro.parallel.plan`) and executed on real cores by a
+persistent fork-server worker pool (:mod:`repro.parallel.pool`) against
+shared-memory views of the Domain's fields (:mod:`repro.parallel.shm`) —
+bit-identical to the single-process arena path, selected with
+``--backend process --workers N``.
+"""
+
+from repro.parallel.backend import ParallelHpxBackend, ParallelStats
+from repro.parallel.errors import ParallelBackendError, PlanLoweringError
+from repro.parallel.plan import (
+    KERNEL_BODIES,
+    ParallelSchedule,
+    TaskSpec,
+    Wave,
+    assign_waves,
+    execute_spec,
+    lower_template,
+    parse_task_tag,
+)
+from repro.parallel.pool import (
+    ProcessWorkerPool,
+    pick_start_method,
+    process_backend_supported,
+)
+from repro.parallel.shm import SharedDomainArena, domain_field_layout
+
+__all__ = [
+    "KERNEL_BODIES",
+    "ParallelBackendError",
+    "ParallelHpxBackend",
+    "ParallelSchedule",
+    "ParallelStats",
+    "PlanLoweringError",
+    "ProcessWorkerPool",
+    "SharedDomainArena",
+    "TaskSpec",
+    "Wave",
+    "assign_waves",
+    "domain_field_layout",
+    "execute_spec",
+    "lower_template",
+    "parse_task_tag",
+    "pick_start_method",
+    "process_backend_supported",
+]

@@ -1,0 +1,259 @@
+"""The process execution backend: real cores firing the captured graph.
+
+:class:`ParallelHpxBackend` wraps an execute-mode
+:class:`~repro.core.hpx_lulesh.HpxLuleshProgram` and is a drop-in ``step()``
+/ ``run()`` driver for it (the same duck type ``_execute_program`` and
+``run_with_recovery`` expect).  Division of labour per cycle:
+
+* **Serial (capture/fallback) cycles** delegate to ``program.step()`` — the
+  full simulated path, whose kernels write through the shared-memory views
+  installed by :class:`~repro.parallel.shm.SharedDomainArena` — then lower
+  the (re)captured template to a wave schedule and broadcast it.  Cycle 1
+  is always serial (it captures the graph); so are rollback cycles (the
+  in-place checkpoint restore wrote through shared memory, resynchronizing
+  the workers for free) and fault-injection cycles (fault draws happen at
+  task creation, which only a rebuild performs — the same rule the replay
+  path uses).
+* **Parallel (warm) cycles** replicate ``step()``'s prologue
+  (``time_increment``, injector hooks), then execute the schedule wave by
+  wave on the worker pool — shipping only spec indices and the per-cycle
+  scalars — run the serial specs (``accel_bc``) in the main process at
+  their wave position, min-fold the workers' constraint partials in spec
+  order, and apply ``reduce_time_constraints``.  Shared segments and the
+  warm pool persist across cycles: the replay-style warm path, on real
+  cores.
+
+Bit-exactness holds because every kernel invocation is the same NumPy code
+over the same ``[lo, hi)`` slice of the same float64 bytes as the simulated
+backend — which process executes it cannot change the result — and the
+wave join is strictly stronger than the captured dependency edges.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass
+
+from repro.lulesh.kernels.constraints import (
+    reduce_time_constraints,
+    time_increment,
+)
+from repro.parallel.errors import ParallelBackendError
+from repro.parallel.plan import assign_waves, execute_spec, lower_template
+from repro.parallel.pool import ProcessWorkerPool
+from repro.parallel.shm import SharedDomainArena
+
+__all__ = ["ParallelHpxBackend", "ParallelStats"]
+
+
+@dataclass
+class ParallelStats:
+    """Accounting behind the ``/parallel/*`` counters.
+
+    ``wall_ns`` is real host time (the only wall-clock-only family member
+    set: the obs ``diff`` gate skips ``/parallel/*`` wholesale since task
+    counts vary with fallback timing across hosts).
+    """
+
+    workers: int = 0
+    parallel_cycles: int = 0
+    fallback_cycles: int = 0
+    waves: int = 0
+    tasks_dispatched: int = 0
+    lowerings: int = 0
+    wall_ns: int = 0
+    shm_bytes: int = 0
+
+
+class ParallelHpxBackend:
+    """Drive an ``HpxLuleshProgram`` on real cores via its captured graph."""
+
+    def __init__(
+        self,
+        program,
+        workers: int,
+        flight_recorder=None,
+        start_method: str | None = None,
+    ) -> None:
+        if program.domain is None:
+            raise ParallelBackendError(
+                "the process backend needs a real Domain (execute mode)"
+            )
+        if workers < 1:
+            raise ParallelBackendError(f"workers must be >= 1, got {workers}")
+        self.program = program
+        self.domain = program.domain
+        self.flight_recorder = flight_recorder
+        self.stats = ParallelStats(workers=workers)
+        self._schedule = None
+        self._assignments = None
+        self._schedule_template = None
+        self._schedule_key = None
+        self._last_cycle: int | None = None
+        self._closed = False
+        self.arena = SharedDomainArena.create(self.domain)
+        self.stats.shm_bytes = self.arena.nbytes
+        self.pool = ProcessWorkerPool(workers, start_method=start_method)
+        try:
+            self.pool.start(self.arena.name, self.arena.layout, self.domain.opts)
+        except BaseException:
+            self.close()
+            raise
+        if flight_recorder is not None:
+            flight_recorder.record(
+                "parallel_start",
+                workers=workers,
+                shm_bytes=self.arena.nbytes,
+                start_method=self.pool.start_method,
+            )
+
+    # --- driving --------------------------------------------------------------
+
+    def step(self) -> None:
+        """Advance exactly one leapfrog cycle (parallel when warm)."""
+        t0 = _time.perf_counter_ns()
+        try:
+            self._step_inner()
+        finally:
+            self.stats.wall_ns += _time.perf_counter_ns() - t0
+
+    def run(self, iterations: int) -> None:
+        """Advance *iterations* cycles (stops at ``stoptime``)."""
+        if iterations < 1:
+            raise ValueError(f"iterations must be >= 1, got {iterations}")
+        for _ in range(iterations):
+            if self.domain.time >= self.domain.opts.stoptime:
+                break
+            self.step()
+
+    def _step_inner(self) -> None:
+        if self._closed:
+            raise ParallelBackendError("backend is closed")
+        program = self.program
+        next_cycle = self.domain.cycle + 1
+        injector = program.rt.fault_injector
+        reason = None
+        if self._last_cycle is not None and next_cycle <= self._last_cycle:
+            reason = "rollback"  # checkpoint restore rewound the run
+        elif injector is not None and injector.plans_faults(next_cycle):
+            reason = "fault-cycle"  # draws happen at build time only
+        elif (
+            self._schedule is None
+            or self._schedule_template is not program._template
+            or self._schedule_key != program._graph_key()
+        ):
+            reason = "no-schedule"  # first cycle, or knobs/backend changed
+        if reason is not None:
+            self._serial_step(reason, next_cycle)
+        else:
+            self._parallel_step()
+        self._last_cycle = self.domain.cycle
+
+    # --- serial (capture / resync) path ---------------------------------------
+
+    def _serial_step(self, reason: str, cycle: int) -> None:
+        self.stats.fallback_cycles += 1
+        if self.flight_recorder is not None:
+            self.flight_recorder.record(
+                "parallel_fallback", cycle=cycle, reason=reason
+            )
+        self.program.step()  # writes through the shared views
+        self._refresh_schedule()
+
+    def _refresh_schedule(self) -> None:
+        """(Re)lower the program's template and broadcast the spec table."""
+        program = self.program
+        template = program._template
+        if template is None:
+            self._schedule = None
+            self._schedule_template = None
+            return
+        key = program._graph_key()
+        if template is self._schedule_template and key == self._schedule_key:
+            return
+        schedule = lower_template(template)
+        self._assignments = assign_waves(schedule, self.pool.n_workers)
+        self._schedule = schedule
+        self._schedule_template = template
+        self._schedule_key = key
+        self.stats.lowerings += 1
+        self.pool.broadcast_plan(schedule.specs)
+
+    # --- parallel (warm) path -------------------------------------------------
+
+    def _parallel_step(self) -> None:
+        d = self.domain
+        time_increment(d)
+        cycle = d.cycle
+        injector = self.program.rt.fault_injector
+        if injector is not None:
+            injector.begin_cycle(cycle)
+            injector.corrupt_fields(d)  # no-op here: strike cycles go serial
+        schedule = self._schedule
+        partials: dict[int, tuple[float, float]] = {}
+        dispatched = 0
+        for wi, wave in enumerate(schedule.waves):
+            if wave.parallel:
+                results = self.pool.run_wave(
+                    d.deltatime, d.time, cycle, self._assignments[wi]
+                )
+                partials.update(results)
+                dispatched += len(wave.parallel)
+            for idx in wave.serial:
+                spec = schedule.specs[idx]
+                if spec.kind == "reduce":
+                    # Fold in ascending spec order == the captured graph's
+                    # creation order == the simulated reduce's fold order.
+                    courant, hydro = 1.0e20, 1.0e20
+                    for i in sorted(partials):
+                        cmin, hmin = partials[i]
+                        courant = min(courant, cmin)
+                        hydro = min(hydro, hmin)
+                    reduce_time_constraints(d, courant, hydro)
+                else:
+                    value = execute_spec(d, spec)
+                    if value is not None:
+                        partials[idx] = value
+        self.stats.parallel_cycles += 1
+        self.stats.waves += schedule.n_waves
+        self.stats.tasks_dispatched += dispatched
+        # Keep the program's rollback detector coherent: a later serial
+        # cycle must see the cycles we advanced here.
+        self.program._last_cycle = cycle
+        if self.flight_recorder is not None:
+            self.flight_recorder.record(
+                "parallel_cycle",
+                cycle=cycle,
+                waves=schedule.n_waves,
+                tasks=dispatched,
+            )
+
+    # --- lifecycle ------------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop the pool, copy fields out, unlink the segment.  Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        if self.flight_recorder is not None:
+            try:
+                self.flight_recorder.record(
+                    "parallel_stop",
+                    cycles=self.stats.parallel_cycles,
+                    fallbacks=self.stats.fallback_cycles,
+                )
+            except Exception:
+                pass
+        pool = getattr(self, "pool", None)
+        if pool is not None:
+            pool.stop()
+        arena = getattr(self, "arena", None)
+        if arena is not None and not arena.closed:
+            arena.detach(self.domain)
+            arena.close()
+
+    def __enter__(self) -> "ParallelHpxBackend":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()

@@ -1,0 +1,27 @@
+"""Errors of the process execution backend."""
+
+from __future__ import annotations
+
+__all__ = ["ParallelBackendError", "PlanLoweringError"]
+
+
+class ParallelBackendError(RuntimeError):
+    """Infrastructure failure of the process backend.
+
+    Raised for transport and lifecycle problems — a worker process died, a
+    shared-memory segment vanished, the pool was used after ``close()`` —
+    never for physics failures: a kernel exception raised inside a worker
+    is shipped back over the pipe and re-raised in the main process with
+    its original type, so ``QStopError``/``VolumeError`` semantics are
+    identical across backends.
+    """
+
+
+class PlanLoweringError(ParallelBackendError):
+    """A captured task graph could not be lowered to a wave schedule.
+
+    Every task tag the HPX program emits is part of a closed grammar (see
+    :mod:`repro.parallel.plan`); an unparseable tag means the program and
+    the lowering pass have drifted apart, which is a programming error —
+    not something to silently fall back from.
+    """

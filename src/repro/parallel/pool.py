@@ -1,0 +1,226 @@
+"""Persistent fork-server worker pool for the process backend.
+
+Workers are warm and long-lived: spawned once per backend (fork-server
+start method where available — Linux; ``spawn`` otherwise), they attach the
+shared Domain segment at startup and then serve wave after wave, cycle
+after cycle, over per-worker pipes.  Dispatch messages carry only spec
+*indices* plus three per-cycle scalars — never closures, never field data.
+
+Failure semantics: a dead worker (``EOFError``/``BrokenPipeError`` on its
+pipe) raises :class:`~repro.parallel.errors.ParallelBackendError` naming
+the worker and its exit code; an exception *inside* a worker's kernel is
+re-raised here with its original type after the remaining replies of the
+wave are drained (keeping every pipe message-aligned, so a checkpoint
+rollback can keep using the pool).
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing as mp
+import os
+import pickle
+
+from repro.parallel.errors import ParallelBackendError
+from repro.parallel.worker import worker_main
+
+__all__ = [
+    "ProcessWorkerPool",
+    "pick_start_method",
+    "process_backend_supported",
+]
+
+
+def pick_start_method() -> str:
+    """``forkserver`` where available (POSIX), else ``spawn``."""
+    if "forkserver" in mp.get_all_start_methods():
+        return "forkserver"
+    return "spawn"
+
+
+def process_backend_supported(opts=None) -> bool:
+    """Whether this host can run the process backend at all.
+
+    Needs POSIX shared memory and, when *opts* is given, picklable options
+    (workers rebuild their Domain from them) — the tuner's skip guard.
+    """
+    if os.name != "posix":
+        return False
+    try:
+        from multiprocessing import shared_memory  # noqa: F401
+    except ImportError:
+        return False
+    if opts is not None:
+        try:
+            pickle.dumps(opts)
+        except Exception:
+            return False
+    return True
+
+
+def _ensure_child_importable() -> None:
+    """Guarantee spawned children can ``import repro``.
+
+    ``forkserver``/``spawn`` children re-import the package; when the
+    parent found it through a ``sys.path`` entry not reflected in
+    ``PYTHONPATH`` (e.g. a conftest hack), prepend it so the children
+    inherit it through the environment.
+    """
+    import repro
+
+    src_root = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    existing = os.environ.get("PYTHONPATH", "")
+    entries = existing.split(os.pathsep) if existing else []
+    if src_root not in entries:
+        os.environ["PYTHONPATH"] = os.pathsep.join([src_root] + entries)
+
+
+class ProcessWorkerPool:
+    """``n_workers`` warm processes behind per-worker pipes."""
+
+    def __init__(self, n_workers: int, start_method: str | None = None) -> None:
+        if n_workers < 1:
+            raise ParallelBackendError(f"n_workers must be >= 1, got {n_workers}")
+        self.n_workers = n_workers
+        self.start_method = start_method or pick_start_method()
+        self._procs: list = []
+        self._conns: list = []
+        self._started = False
+        self._stopped = False
+
+    # --- lifecycle ------------------------------------------------------------
+
+    def start(self, shm_name: str, layout, opts) -> None:
+        """Spawn the workers and round-trip each once.
+
+        The startup ping surfaces worker-side failures (import errors, a
+        vanished segment) here instead of mid-cycle.
+        """
+        if self._started:
+            raise ParallelBackendError("pool already started")
+        _ensure_child_importable()
+        ctx = mp.get_context(self.start_method)
+        if self.start_method == "forkserver" and hasattr(
+            ctx, "set_forkserver_preload"
+        ):
+            ctx.set_forkserver_preload(["repro.parallel.worker"])
+        self._started = True
+        atexit.register(self.stop)
+        for i in range(self.n_workers):
+            parent, child = ctx.Pipe()
+            proc = ctx.Process(
+                target=worker_main,
+                args=(child, shm_name, layout, opts),
+                name=f"lulesh-parallel-{i}",
+                daemon=True,
+            )
+            proc.start()
+            child.close()
+            self._procs.append(proc)
+            self._conns.append(parent)
+        for w in range(self.n_workers):
+            self._send(w, ("ping",))
+        for w in range(self.n_workers):
+            self._reply(w)
+
+    def stop(self) -> None:
+        """Shut the workers down; escalate to terminate/kill if needed."""
+        if not self._started or self._stopped:
+            return
+        self._stopped = True
+        atexit.unregister(self.stop)
+        for conn in self._conns:
+            try:
+                conn.send(("stop",))
+            except Exception:
+                pass
+        for proc in self._procs:
+            proc.join(timeout=2.0)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=1.0)
+            if proc.is_alive():
+                proc.kill()
+                proc.join(timeout=1.0)
+        for conn in self._conns:
+            try:
+                conn.close()
+            except Exception:
+                pass
+
+    @property
+    def alive(self) -> bool:
+        return (
+            self._started
+            and not self._stopped
+            and bool(self._procs)
+            and all(p.is_alive() for p in self._procs)
+        )
+
+    # --- dispatch -------------------------------------------------------------
+
+    def broadcast_plan(self, specs) -> None:
+        """Ship the lowered spec table to every worker (once per lowering)."""
+        self._check_usable()
+        for w in range(self.n_workers):
+            self._send(w, ("plan", specs))
+        for w in range(self.n_workers):
+            self._reply(w)
+
+    def run_wave(self, deltatime, time_now, cycle, assignments):
+        """Execute one wave; returns ``[(spec_index, partial), ...]``.
+
+        *assignments* is one index tuple per worker; workers with an empty
+        tuple are skipped.  Kernel exceptions are re-raised with their
+        original type after all active replies are drained; dead workers
+        raise :class:`ParallelBackendError` immediately.
+        """
+        self._check_usable()
+        active = [w for w in range(self.n_workers) if assignments[w]]
+        for w in active:
+            self._send(w, ("wave", deltatime, time_now, cycle, assignments[w]))
+        results: list = []
+        first_err: BaseException | None = None
+        for w in active:
+            try:
+                results.extend(self._reply(w))
+            except ParallelBackendError:
+                raise
+            except BaseException as exc:
+                if first_err is None:
+                    first_err = exc
+        if first_err is not None:
+            raise first_err
+        return results
+
+    # --- plumbing -------------------------------------------------------------
+
+    def _check_usable(self) -> None:
+        if not self._started or self._stopped:
+            raise ParallelBackendError("worker pool is not running")
+
+    def _send(self, w: int, msg) -> None:
+        try:
+            self._conns[w].send(msg)
+        except (OSError, ValueError) as exc:
+            raise self._death(w) from exc
+
+    def _reply(self, w: int):
+        try:
+            status, payload = self._conns[w].recv()
+        except (EOFError, OSError) as exc:
+            raise self._death(w) from exc
+        if status == "err":
+            if isinstance(payload, BaseException):
+                raise payload
+            raise ParallelBackendError(f"worker {w} error: {payload!r}")
+        return payload
+
+    def _death(self, w: int) -> ParallelBackendError:
+        proc = self._procs[w]
+        proc.join(timeout=1.0)
+        return ParallelBackendError(
+            f"worker {w} ({proc.name}) died mid-run "
+            f"(exitcode {proc.exitcode}); the process backend cannot "
+            "continue — shared state for the current cycle is suspect"
+        )

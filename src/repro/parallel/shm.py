@@ -1,0 +1,187 @@
+"""Shared-memory backing for the Domain's field arrays.
+
+The process backend needs every worker to see the same field data without
+pickling arrays per task.  :class:`SharedDomainArena` moves *all* float64
+arrays of a :class:`~repro.lulesh.domain.Domain` — node/element fields
+*and* the cross-task workspace carriers (``fx_elem`` & co., written by one
+kernel and read by another) — into a single POSIX shared-memory segment and
+rebinds the domain attributes to views into it.  Workers attach the same
+segment by name and rebind their own (deterministically reconstructed)
+Domain to the same views, so a kernel writing ``domain.x[lo:hi]`` in a
+worker writes the exact bytes the main process reads.
+
+Layout is deterministic: fields sorted by attribute name, each 64-byte
+aligned, described by ``(name, shape, offset)`` tuples that are shipped to
+workers once at pool startup.
+
+Cleanup guarantees (crashed runs must not leak ``/dev/shm``):
+
+* segments are named ``lulesh-<pid-hex>-<uuid8>`` so a leaked segment is
+  attributable;
+* the creating process registers an ``atexit`` unlink and the arena is a
+  context manager (``close()`` is idempotent and unlinks even while views
+  are still alive — the mapping then dies with the process);
+* the Python resource tracker keeps exactly one registration as a
+  last-resort unlink on hard crashes.  Workers share the owner's tracker
+  process (spawn and forkserver both pass the tracker fd down), and its
+  per-name cache is a set, so a worker's attach-time re-register is a
+  no-op — and crucially the worker must *not* unregister, which would
+  delete the owner's sole entry and unbalance the owner's unlink.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import uuid
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.parallel.errors import ParallelBackendError
+
+__all__ = ["SharedDomainArena", "domain_field_layout"]
+
+_ALIGN = 64
+
+
+def _aligned(offset: int) -> int:
+    return (offset + _ALIGN - 1) & ~(_ALIGN - 1)
+
+
+def domain_field_layout(domain) -> tuple[tuple[tuple[str, tuple[int, ...], int], ...], int]:
+    """``((name, shape, byte_offset), ...), total_bytes`` for *domain*.
+
+    Covers every float64 ndarray attribute — the physics fields and the
+    domain-resident workspace temporaries alike.  Scalars (``time``,
+    ``cycle``, ``deltatime``, ...) stay process-private: the main process
+    owns them and ships what workers need (``deltatime``) per wave.
+    """
+    layout: list[tuple[str, tuple[int, ...], int]] = []
+    offset = 0
+    for name in sorted(domain.__dict__):
+        arr = domain.__dict__[name]
+        if isinstance(arr, np.ndarray) and arr.dtype == np.float64:
+            offset = _aligned(offset)
+            layout.append((name, tuple(arr.shape), offset))
+            offset += arr.nbytes
+    return tuple(layout), offset
+
+
+class SharedDomainArena:
+    """One shared segment holding every float64 field of a Domain."""
+
+    def __init__(
+        self,
+        shm: shared_memory.SharedMemory,
+        layout: tuple[tuple[str, tuple[int, ...], int], ...],
+        owner: bool,
+    ) -> None:
+        self._shm = shm
+        self.layout = layout
+        self._index = {name: (shape, off) for name, shape, off in layout}
+        self._owner = owner
+        self._closed = False
+
+    # --- lifecycle ------------------------------------------------------------
+
+    @classmethod
+    def create(cls, domain) -> "SharedDomainArena":
+        """Back *domain*'s arrays with a fresh shared segment (main process).
+
+        Copies current field contents into the segment and rebinds every
+        array attribute to a view, so all subsequent reads and writes —
+        including serial-fallback cycles and in-place checkpoint restores —
+        go through shared memory and are visible to attached workers.
+        """
+        layout, total = domain_field_layout(domain)
+        name = f"lulesh-{os.getpid():x}-{uuid.uuid4().hex[:8]}"
+        shm = shared_memory.SharedMemory(name=name, create=True, size=max(total, 1))
+        arena = cls(shm, layout, owner=True)
+        for fname, _shape, _off in layout:
+            view = arena.view(fname)
+            np.copyto(view, getattr(domain, fname))
+            setattr(domain, fname, view)
+        atexit.register(arena.close)
+        return arena
+
+    @classmethod
+    def attach(
+        cls, name: str, layout: tuple[tuple[str, tuple[int, ...], int], ...]
+    ) -> "SharedDomainArena":
+        """Attach to an existing segment by name (worker process)."""
+        try:
+            shm = shared_memory.SharedMemory(name=name)
+        except FileNotFoundError as exc:
+            raise ParallelBackendError(
+                f"shared-memory segment {name!r} is gone (owner exited?)"
+            ) from exc
+        # Python < 3.13 registers *attached* segments with the resource
+        # tracker too.  The tracker is shared with the owner and its cache
+        # is a set, so that re-register is harmless — but do NOT unregister
+        # here: that would remove the owner's sole entry and break the
+        # owner-side unlink bookkeeping.
+        return cls(shm, layout, owner=False)
+
+    def close(self) -> None:
+        """Release the mapping; the owner also unlinks the segment.
+
+        Idempotent, and safe while views are still alive: the unlink
+        happens regardless (the mapping itself dies with the process).
+        """
+        if self._closed:
+            return
+        self._closed = True
+        atexit.unregister(self.close)
+        try:
+            self._shm.close()
+        except BufferError:
+            pass  # live views keep the mapping; freed at process exit
+        if self._owner:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:
+                pass
+
+    def __enter__(self) -> "SharedDomainArena":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    # --- binding --------------------------------------------------------------
+
+    def view(self, name: str) -> np.ndarray:
+        """A float64 view of field *name* inside the segment."""
+        shape, off = self._index[name]
+        return np.ndarray(shape, dtype=np.float64, buffer=self._shm.buf, offset=off)
+
+    def bind(self, domain) -> None:
+        """Rebind every laid-out attribute of *domain* to segment views."""
+        for fname in self._index:
+            setattr(domain, fname, self.view(fname))
+
+    def detach(self, domain) -> None:
+        """Copy fields back into private arrays and rebind *domain* to them.
+
+        Run before ``close()`` on the owner so the domain stays usable
+        (result comparison, checkpointing) after the segment is unlinked.
+        """
+        for fname in self._index:
+            setattr(
+                domain, fname, np.array(getattr(domain, fname), dtype=np.float64)
+            )
+
+    # --- introspection --------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    @property
+    def nbytes(self) -> int:
+        return self._shm.size
+
+    @property
+    def closed(self) -> bool:
+        return self._closed

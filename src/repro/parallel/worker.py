@@ -1,0 +1,84 @@
+"""Worker-process entry point for the process backend.
+
+A worker reconstructs its own :class:`~repro.lulesh.domain.Domain` from the
+pickled options (mesh, region lists, and symmetry planes are deterministic
+functions of the options, so every process agrees on them), attaches the
+shared field segment, and rebinds the domain's arrays to shared views.
+From then on it serves a tiny message protocol over its pipe:
+
+* ``("plan", specs)`` — install the lowered spec table (once per lowering);
+* ``("wave", deltatime, time, cycle, indices)`` — sync the per-cycle
+  scalars, execute the indexed specs in order, reply ``("ok", partials)``
+  where *partials* are the non-``None`` spec results (constraint minima);
+* ``("ping",)`` — liveness round-trip, replies ``("ok", None)``;
+* ``("stop",)`` — detach and exit.
+
+Each wave runs inside its own workspace phase window: wave tasks are
+mutually independent (that is what a wave *is*), so gather caching within
+the window is safe, and the window's epoch bump invalidates everything at
+the next wave, when other processes may have rewritten fields.
+
+A kernel exception is shipped back as ``("err", exc)`` with its original
+type (falling back to a stringified ``RuntimeError`` if unpicklable) and
+the worker stays alive — the run may continue after a checkpoint rollback.
+"""
+
+from __future__ import annotations
+
+__all__ = ["worker_main"]
+
+
+def worker_main(conn, shm_name, layout, opts) -> None:
+    """Serve wave execution requests until ``stop`` or pipe closure."""
+    # Imports deferred: under forkserver/spawn this module is imported in a
+    # fresh interpreter, and keeping the import surface minimal keeps
+    # worker startup cheap.
+    from repro.lulesh.domain import Domain
+    from repro.parallel.plan import execute_spec
+    from repro.parallel.shm import SharedDomainArena
+
+    domain = Domain(opts)
+    arena = SharedDomainArena.attach(shm_name, layout)
+    arena.bind(domain)
+    specs = None
+    try:
+        while True:
+            msg = conn.recv()
+            op = msg[0]
+            if op == "wave":
+                _, deltatime, time_now, cycle, indices = msg
+                domain.deltatime = deltatime
+                domain.time = time_now
+                domain.cycle = cycle
+                try:
+                    partials = []
+                    with domain.workspace.phase():
+                        for idx in indices:
+                            value = execute_spec(domain, specs[idx])
+                            if value is not None:
+                                partials.append((idx, value))
+                    conn.send(("ok", partials))
+                except BaseException as exc:  # ship it back, keep serving
+                    try:
+                        conn.send(("err", exc))
+                    except Exception:
+                        conn.send(
+                            ("err", RuntimeError(f"{type(exc).__name__}: {exc}"))
+                        )
+            elif op == "plan":
+                specs = msg[1]
+                conn.send(("ok", None))
+            elif op == "ping":
+                conn.send(("ok", None))
+            elif op == "stop":
+                return
+            else:
+                conn.send(("err", RuntimeError(f"unknown worker op {op!r}")))
+    except (EOFError, OSError):
+        return  # main process went away; nothing left to serve
+    finally:
+        arena.close()
+        try:
+            conn.close()
+        except Exception:
+            pass

@@ -36,6 +36,7 @@ __all__ = [
     "install_omp_counters",
     "install_arena_counters",
     "install_graph_counters",
+    "install_parallel_counters",
     "install_resilience_counters",
     "install_tuning_counters",
     "worker_thread_path",
@@ -280,6 +281,60 @@ def install_graph_counters(registry: CounterRegistry, stats) -> None:
         lambda: stats.replay_ns,
         unit="[ns]",
         description="real time spent re-arming captured graphs",
+    )
+
+
+def install_parallel_counters(registry: CounterRegistry, stats) -> None:
+    """Register the ``/parallel/*`` family reading a
+    :class:`~repro.parallel.backend.ParallelStats` instance.
+
+    The stats object belongs to one process-backend run
+    (:class:`~repro.parallel.backend.ParallelHpxBackend`).  The whole
+    family is wall-clock flavoured — cycle/wave splits depend on when the
+    host recaptured — so the obs ``diff`` gate skips ``/parallel/*`` by
+    default.
+    """
+    registry.register_gauge(
+        "/parallel/workers",
+        lambda: stats.workers,
+        description="worker processes in the shared-memory pool",
+    )
+    registry.register_gauge(
+        "/parallel/cycles",
+        lambda: stats.parallel_cycles,
+        description="cycles executed on real cores via the wave schedule",
+    )
+    registry.register_gauge(
+        "/parallel/fallback-cycles",
+        lambda: stats.fallback_cycles,
+        description="cycles run serially (capture, rollback, fault cycles)",
+    )
+    registry.register_gauge(
+        "/parallel/waves",
+        lambda: stats.waves,
+        description="wave joins executed across all parallel cycles",
+    )
+    registry.register_gauge(
+        "/parallel/tasks-dispatched",
+        lambda: stats.tasks_dispatched,
+        description="spec-indexed tasks shipped to worker processes",
+    )
+    registry.register_gauge(
+        "/parallel/lowerings",
+        lambda: stats.lowerings,
+        description="templates lowered to wave schedules (plan broadcasts)",
+    )
+    registry.register_gauge(
+        "/parallel/wall-time",
+        lambda: stats.wall_ns,
+        unit="[ns]",
+        description="real host time spent inside backend steps",
+    )
+    registry.register_gauge(
+        "/parallel/shm-bytes",
+        lambda: stats.shm_bytes,
+        unit="[bytes]",
+        description="size of the shared Domain field segment",
     )
 
 

@@ -243,6 +243,20 @@ class Evaluator:
         from repro.core.driver import run_hpx, run_omp
 
         cfg = config.as_dict()
+        if cfg.get("backend") == "process":
+            # The process backend reuses the sim backend's task graph
+            # wholesale, so its simulated makespan is the right score —
+            # but only score it at all where real worker processes could
+            # run (POSIX, shared_memory present, picklable options).
+            from repro.parallel import process_backend_supported
+
+            if not process_backend_supported(self.opts):
+                return {
+                    "runtime_ns": 2**62,  # poisoned: never selected as best
+                    "utilization": 0.0,
+                    "n_tasks": 0,
+                    "skipped": "process-backend-unsupported",
+                }
         if self.runtime == "hpx":
             variant = HpxVariant(
                 combine_loops=bool(cfg.get("combine_loops", True)),

@@ -250,7 +250,13 @@ class SearchSpace:
         nx: int,
         ladder: tuple[int, ...] = PARTITION_LADDER,
     ) -> "SearchSpace":
-        """Partitions + variant-ladder bits + scheduler policy + balance."""
+        """Partitions + variant bits + policy + balance + execution backend.
+
+        ``backend``/``workers`` select the process execution backend
+        (:mod:`repro.parallel`); evaluators score process configs by the
+        simulated run (identical task graph, identical makespan) and skip
+        them when the host can't support real worker processes.
+        """
         base = cls.hpx_partitions(nx, ladder)
         return cls(base.knobs + (
             Knob("combine_loops", (False, True), True),
@@ -259,6 +265,8 @@ class SearchSpace:
             Knob("balanced_split", (False, True), False),
             Knob("replay_graph", (False, True), True),
             Knob("policy", POLICY_LADDER, "hpx-default"),
+            Knob("backend", ("sim", "process"), "sim"),
+            Knob("workers", (1, 2, 4), 2),
         ))
 
     @classmethod

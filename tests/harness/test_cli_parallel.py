@@ -1,0 +1,67 @@
+"""CLI surface of the process backend: flag validation and a tiny run."""
+
+import pytest
+
+from repro.harness.cli import build_parser, main
+from repro.parallel import process_backend_supported
+
+
+class TestFlagValidation:
+    def test_defaults(self):
+        args = build_parser().parse_args([])
+        assert args.backend == "sim"
+        assert args.workers is None
+
+    def test_workers_requires_process_backend(self):
+        with pytest.raises(SystemExit, match="--backend process"):
+            main(["--workers", "2", "--s", "4", "--i", "1"])
+
+    def test_process_requires_execute(self):
+        with pytest.raises(SystemExit, match="--execute"):
+            main(["--backend", "process", "--s", "4", "--i", "1"])
+
+    def test_process_requires_hpx_impl(self):
+        with pytest.raises(SystemExit, match="--impl hpx"):
+            main(["--backend", "process", "--impl", "omp",
+                  "--execute", "--s", "4", "--i", "1"])
+
+    def test_process_rejects_multirank(self):
+        with pytest.raises(SystemExit, match="single-rank"):
+            main(["--backend", "process", "--execute", "--ranks", "2",
+                  "--s", "4", "--i", "1"])
+
+    def test_workers_must_be_positive(self):
+        with pytest.raises(SystemExit, match=">= 1"):
+            main(["--backend", "process", "--execute", "--workers", "0",
+                  "--s", "4", "--i", "1"])
+
+
+@pytest.mark.parallel
+@pytest.mark.skipif(
+    not process_backend_supported(),
+    reason="host cannot run the process backend",
+)
+class TestProcessRun:
+    def test_tiny_process_run(self, capsys):
+        assert main([
+            "--backend", "process", "--workers", "2", "--execute",
+            "--s", "8", "--i", "3", "--threads", "4",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "backend: process (2 worker processes" in out
+        assert "final origin energy" in out
+        assert "size,regions,iterations,threads,runtime,result" in out
+
+    def test_counters_exported(self, capsys):
+        assert main([
+            "--backend", "process", "--workers", "1", "--execute",
+            "--s", "6", "--i", "3", "--threads", "4", "--q",
+            "--print-counters", "/parallel/*",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "/parallel/workers" in out
+        # the closing sample must reflect the finished run, not just the
+        # serial capture cycle (warm cycles never flush the DES sampler)
+        cycle_rows = [l for l in out.splitlines()
+                      if l.startswith("/parallel/cycles,")]
+        assert cycle_rows and cycle_rows[-1].split(",")[-1] == "2"

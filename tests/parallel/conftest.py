@@ -1,0 +1,45 @@
+"""Shared helpers for the process-backend tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.amt.runtime import AmtRuntime
+from repro.core.hpx_lulesh import HpxLuleshProgram, HpxVariant
+from repro.core.kernel_graph import ProblemShape
+from repro.lulesh.costs import DEFAULT_COSTS
+from repro.lulesh.domain import Domain
+from repro.lulesh.options import LuleshOptions
+from repro.parallel import process_backend_supported
+
+#: Whole-module guard: the process backend needs POSIX shared memory.
+requires_process_backend = pytest.mark.skipif(
+    not process_backend_supported(),
+    reason="host cannot run the process backend (no POSIX shared memory)",
+)
+
+
+def make_execute_program(
+    nx: int = 6,
+    num_reg: int = 4,
+    n_workers: int = 4,
+    variant: HpxVariant | None = None,
+    partition: int = 64,
+):
+    """An execute-mode HpxLuleshProgram over a fresh Domain."""
+    from repro.simcore.costmodel import CostModel
+    from repro.simcore.machine import MachineConfig
+
+    opts = LuleshOptions(nx=nx, numReg=num_reg)
+    domain = Domain(opts)
+    rt = AmtRuntime(MachineConfig(), CostModel(), n_workers)
+    program = HpxLuleshProgram(
+        rt,
+        ProblemShape.from_domain(domain),
+        DEFAULT_COSTS,
+        nodal_partition=partition,
+        elements_partition=partition,
+        domain=domain,
+        variant=variant or HpxVariant.full(),
+    )
+    return program

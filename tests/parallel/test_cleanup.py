@@ -1,0 +1,81 @@
+"""Satellite: shm cleanup and worker-death semantics.
+
+A crashed or misbehaving run must not leak ``/dev/shm`` segments, and a
+dead worker must surface as a clear :class:`ParallelBackendError` rather
+than a hang or a silent wrong answer.
+"""
+
+from multiprocessing import shared_memory
+
+import pytest
+
+from repro.parallel import ParallelBackendError, ParallelHpxBackend
+
+from tests.parallel.conftest import make_execute_program, requires_process_backend
+
+pytestmark = [requires_process_backend, pytest.mark.parallel]
+
+
+def test_worker_death_raises_backend_error():
+    program = make_execute_program(nx=5, num_reg=3)
+    with ParallelHpxBackend(program, workers=2) as backend:
+        backend.step()  # capture (serial) — broadcasts the plan
+        backend.step()  # first parallel cycle: pool is live and warm
+        assert backend.stats.parallel_cycles == 1
+        backend.pool._procs[0].kill()
+        backend.pool._procs[0].join(timeout=5.0)
+        with pytest.raises(ParallelBackendError, match="died"):
+            backend.step()
+
+
+def test_segment_unlinked_after_worker_death():
+    program = make_execute_program(nx=5, num_reg=3)
+    backend = ParallelHpxBackend(program, workers=2)
+    name = backend.arena.name
+    try:
+        backend.step()
+        backend.step()
+        backend.pool._procs[1].kill()
+        backend.pool._procs[1].join(timeout=5.0)
+        with pytest.raises(ParallelBackendError):
+            backend.step()
+    finally:
+        backend.close()
+    with pytest.raises(FileNotFoundError):
+        shared_memory.SharedMemory(name=name)
+
+
+def test_close_unlinks_and_domain_survives():
+    program = make_execute_program(nx=4, num_reg=3)
+    backend = ParallelHpxBackend(program, workers=1)
+    backend.run(3)
+    name = backend.arena.name
+    energy = program.domain.origin_energy()
+    backend.close()
+    backend.close()  # idempotent
+    with pytest.raises(FileNotFoundError):
+        shared_memory.SharedMemory(name=name)
+    # detach copied the fields out: the domain outlives the segment
+    assert program.domain.origin_energy() == energy
+
+
+def test_step_after_close_raises():
+    program = make_execute_program(nx=4, num_reg=3)
+    backend = ParallelHpxBackend(program, workers=1)
+    backend.close()
+    with pytest.raises(ParallelBackendError, match="closed"):
+        backend.step()
+
+
+def test_kernel_exception_keeps_original_type():
+    """A physics exception in a worker re-raises with its own type."""
+    program = make_execute_program(nx=4, num_reg=3)
+    with ParallelHpxBackend(program, workers=2) as backend:
+        backend.step()
+        backend.step()
+        # poison the volume field: the kinematics kernel raises VolumeError
+        program.domain.v[:] = -1.0
+        from repro.lulesh.errors import VolumeError
+
+        with pytest.raises(VolumeError):
+            backend.step()

@@ -1,0 +1,69 @@
+"""Satellite: the graph fingerprint covers the execution backend.
+
+A captured template lowered for one backend/worker configuration must not
+be silently replayed for another: ``HpxLuleshProgram._graph_key()`` — the
+invalidation fingerprint — includes ``backend`` and ``backend_workers``.
+"""
+
+import pytest
+
+from tests.parallel.conftest import make_execute_program
+
+
+class TestGraphKey:
+    def test_key_includes_backend_and_workers(self):
+        program = make_execute_program(nx=4, num_reg=3)
+        base = program._graph_key()
+        program.backend = "process"
+        assert program._graph_key() != base
+        with_two = program._graph_key()
+        program.backend_workers = 4
+        assert program._graph_key() != with_two
+
+    def test_backend_change_invalidates_replay(self):
+        program = make_execute_program(nx=4, num_reg=3)
+        program.run(2)
+        assert program.graph_stats.captures == 1
+        program.backend = "process"
+        program.backend_workers = 2
+        program.run(2)
+        assert program.graph_stats.invalidations == 1
+        assert program.graph_stats.captures == 2
+
+    def test_worker_count_change_invalidates_replay(self):
+        program = make_execute_program(nx=4, num_reg=3)
+        program.backend = "process"
+        program.backend_workers = 2
+        program.run(2)
+        assert program.graph_stats.captures == 1
+        program.backend_workers = 4
+        program.run(2)
+        assert program.graph_stats.invalidations == 1
+
+    def test_stable_key_keeps_replaying(self):
+        program = make_execute_program(nx=4, num_reg=3)
+        program.run(3)
+        assert program.graph_stats.captures == 1
+        assert program.graph_stats.invalidations == 0
+        assert program.graph_stats.replays == 2
+
+
+class TestBackendScheduleInvalidation:
+    def test_stale_schedule_relowered_after_knob_change(self):
+        """The backend relowers (serially) when the fingerprint moves."""
+        from tests.parallel.conftest import requires_process_backend  # noqa: F401
+        from repro.parallel import ParallelHpxBackend, process_backend_supported
+
+        if not process_backend_supported():
+            pytest.skip("process backend unsupported on this host")
+        program = make_execute_program(nx=4, num_reg=3)
+        with ParallelHpxBackend(program, workers=1) as backend:
+            backend.step()  # capture + lower
+            backend.step()  # parallel
+            assert backend.stats.lowerings == 1
+            program.nodal_partition //= 2  # invalidates the template
+            backend.step()  # falls back serially, recaptures, relowers
+            assert backend.stats.lowerings == 2
+            assert backend.stats.fallback_cycles == 2
+            backend.step()
+            assert backend.stats.parallel_cycles == 2

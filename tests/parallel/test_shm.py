@@ -1,0 +1,112 @@
+"""Unit tests for the shared Domain arena (:mod:`repro.parallel.shm`)."""
+
+import os
+import re
+
+import numpy as np
+import pytest
+from multiprocessing import shared_memory
+
+from repro.lulesh.domain import Domain
+from repro.lulesh.options import LuleshOptions
+from repro.parallel import (
+    ParallelBackendError,
+    SharedDomainArena,
+    domain_field_layout,
+)
+
+OPTS = LuleshOptions(nx=4, numReg=3)
+
+
+class TestLayout:
+    def test_covers_fields_and_workspace_carriers(self):
+        layout, total = domain_field_layout(Domain(OPTS))
+        names = {name for name, _shape, _off in layout}
+        # physics fields and the cross-task element-force carriers alike
+        for expected in ("x", "e", "p", "xd", "fx", "fx_elem"):
+            assert expected in names
+        assert total > 0
+
+    def test_deterministic_and_sorted(self):
+        a, ta = domain_field_layout(Domain(OPTS))
+        b, tb = domain_field_layout(Domain(OPTS))
+        assert a == b and ta == tb
+        assert [n for n, _s, _o in a] == sorted(n for n, _s, _o in a)
+
+    def test_offsets_aligned_and_disjoint(self):
+        layout, total = domain_field_layout(Domain(OPTS))
+        end = 0
+        for _name, shape, off in layout:
+            assert off % 64 == 0
+            assert off >= end
+            end = off + int(np.prod(shape, dtype=np.int64)) * 8
+        assert end <= total
+
+
+class TestArena:
+    def test_create_rebinds_and_preserves_values(self):
+        domain = Domain(OPTS)
+        x0 = domain.x.copy()
+        with SharedDomainArena.create(domain) as arena:
+            assert np.array_equal(domain.x, x0)
+            # the attribute now aliases segment bytes
+            domain.x[0] = 123.5
+            assert arena.view("x")[0] == 123.5
+
+    def test_attach_sees_owner_writes(self):
+        domain = Domain(OPTS)
+        with SharedDomainArena.create(domain) as arena:
+            other = SharedDomainArena.attach(arena.name, arena.layout)
+            try:
+                domain.e[3] = 42.0
+                assert other.view("e")[3] == 42.0
+                peer = Domain(LuleshOptions(nx=4, numReg=3))
+                other.bind(peer)
+                assert peer.e[3] == 42.0
+            finally:
+                other.close()
+
+    def test_segment_name_is_attributable(self):
+        domain = Domain(OPTS)
+        with SharedDomainArena.create(domain) as arena:
+            assert re.fullmatch(
+                rf"/?lulesh-{os.getpid():x}-[0-9a-f]{{8}}",
+                arena.name,
+            )
+
+    def test_close_unlinks_segment(self):
+        domain = Domain(OPTS)
+        arena = SharedDomainArena.create(domain)
+        name = arena.name
+        arena.detach(domain)
+        arena.close()
+        assert arena.closed
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+    def test_close_is_idempotent(self):
+        domain = Domain(OPTS)
+        arena = SharedDomainArena.create(domain)
+        arena.detach(domain)
+        arena.close()
+        arena.close()  # no raise
+
+    def test_attach_after_unlink_raises_backend_error(self):
+        domain = Domain(OPTS)
+        arena = SharedDomainArena.create(domain)
+        name, layout = arena.name, arena.layout
+        arena.detach(domain)
+        arena.close()
+        with pytest.raises(ParallelBackendError, match="gone"):
+            SharedDomainArena.attach(name, layout)
+
+    def test_detach_restores_private_arrays(self):
+        domain = Domain(OPTS)
+        arena = SharedDomainArena.create(domain)
+        domain.x[1] = 7.25
+        arena.detach(domain)
+        arena.close()
+        # values survive and the array no longer aliases the (dead) segment
+        assert domain.x[1] == 7.25
+        assert domain.x.base is None
+        domain.x[1] = 8.0  # still writable after unlink

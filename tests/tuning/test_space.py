@@ -156,6 +156,7 @@ class TestCanonicalSpaces:
             "nodal_partition", "elements_partition", "combine_loops",
             "parallel_chains", "prioritize_expensive_regions",
             "balanced_split", "replay_graph", "policy",
+            "backend", "workers",
         }
         assert sp.knob("policy").values == POLICY_LADDER
         # defaults match the paper's full variant
@@ -164,6 +165,9 @@ class TestCanonicalSpaces:
         assert c["parallel_chains"] is True
         assert c["replay_graph"] is True
         assert c["policy"] == "hpx-default"
+        # execution-backend knobs default to the in-process path
+        assert c["backend"] == "sim"
+        assert c["workers"] == 2
 
     def test_omp_baseline(self):
         sp = SearchSpace.omp_baseline()
