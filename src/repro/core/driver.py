@@ -218,6 +218,7 @@ def run_hpx(
     flight_recorder=None,
     backend: str = "sim",
     backend_workers: int | None = None,
+    supervision=None,
 ) -> RunResult:
     """Run the paper's task-based LULESH.
 
@@ -245,7 +246,11 @@ def run_hpx(
     2) shared-memory worker processes with it — bit-identical fields, and
     ``RunResult.runtime_ns`` becomes **measured host wall-clock** instead
     of simulated time (utilization and ``n_tasks`` still describe the
-    simulated serial-fallback cycles only).
+    simulated serial-fallback cycles only).  *supervision* (a
+    :class:`~repro.parallel.supervisor.SupervisionConfig`) tunes the
+    backend's self-healing — watchdog deadline, respawn budget, and
+    whether budget exhaustion degrades to the serial path or fails the
+    run.
     """
     if backend not in ("sim", "process"):
         raise ValueError(f"backend must be 'sim' or 'process', got {backend!r}")
@@ -316,9 +321,13 @@ def run_hpx(
         backend_obj = ParallelHpxBackend(
             program, workers=backend_workers or 2,
             flight_recorder=flight_recorder,
+            supervision=supervision,
         )
         if registry is not None:
-            install_parallel_counters(registry, backend_obj.stats)
+            install_parallel_counters(
+                registry, backend_obj.stats,
+                supervision=backend_obj.supervisor.stats,
+            )
     try:
         _execute_program(backend_obj or program, domain, iterations, resilience)
         if backend_obj is not None and registry is not None:

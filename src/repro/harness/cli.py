@@ -116,6 +116,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for --backend process (default: 2)",
     )
     parser.add_argument(
+        "--worker-timeout",
+        type=float,
+        default=None,
+        metavar="SEC",
+        help="supervision watchdog deadline for the costliest wave of "
+             "--backend process; cheaper waves get a proportional share "
+             "(default: 10.0)",
+    )
+    parser.add_argument(
+        "--max-worker-respawns",
+        type=int,
+        default=None,
+        metavar="N",
+        help="total worker respawns the process backend may perform before "
+             "its supervision budget is exhausted (default: 2)",
+    )
+    parser.add_argument(
+        "--no-degrade",
+        action="store_true",
+        help="fail the run (exit 4) when the supervision budget is "
+             "exhausted instead of degrading --backend process to the "
+             "serial path",
+    )
+    parser.add_argument(
         "--experiment",
         choices=("fig9", "fig10", "fig11", "table1", "ablation",
                  "multinode", "scheduler", "tuning"),
@@ -361,8 +385,9 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="SPEC",
         help="inject a deterministic fault: 'target:pattern[:kind][@cycle]' "
-             "with targets task/comm/field and kinds raise/stall/drop/dup/"
-             "nan/inf, e.g. 'task:CalcQ*' or 'field:e:nan@3' (repeatable)",
+             "with targets task/comm/field/worker and kinds raise/stall/"
+             "drop/dup/nan/inf/kill/hang/garble, e.g. 'task:CalcQ*', "
+             "'field:e:nan@3' or 'worker:0:kill@3' (repeatable)",
     )
     parser.add_argument(
         "--fault-seed",
@@ -431,6 +456,33 @@ def _resilience_plan(args: argparse.Namespace):
     )
 
 
+def _supervision_config(args: argparse.Namespace):
+    """Build the SupervisionConfig the worker-supervision flags describe.
+
+    Returns ``None`` when every flag is at its default — the backend then
+    uses its built-in :class:`~repro.parallel.supervisor.SupervisionConfig`
+    defaults (supervision is always on for ``--backend process``).
+    """
+    if args.backend != "process":
+        return None
+    if (
+        args.worker_timeout is None
+        and args.max_worker_respawns is None
+        and not args.no_degrade
+    ):
+        return None
+    from repro.parallel import SupervisionConfig
+
+    kwargs: dict = {}
+    if args.worker_timeout is not None:
+        kwargs["worker_timeout_s"] = args.worker_timeout
+    if args.max_worker_respawns is not None:
+        kwargs["max_respawns"] = args.max_worker_respawns
+    if args.no_degrade:
+        kwargs["degrade"] = False
+    return SupervisionConfig(**kwargs)
+
+
 def _load_tuning_db(args: argparse.Namespace):
     """Open the tuning database the flags name (empty if absent)."""
     from repro.tuning import TuningDatabase, default_db_path
@@ -492,6 +544,15 @@ def _single_run(args: argparse.Namespace) -> int:
         raise SystemExit(f"--ranks must be >= 1, got {args.ranks}")
     if args.workers is not None and args.backend != "process":
         raise SystemExit("--workers applies to --backend process only")
+    if args.backend != "process":
+        if args.worker_timeout is not None:
+            raise SystemExit("--worker-timeout applies to --backend process only")
+        if args.max_worker_respawns is not None:
+            raise SystemExit(
+                "--max-worker-respawns applies to --backend process only"
+            )
+        if args.no_degrade:
+            raise SystemExit("--no-degrade applies to --backend process only")
     if args.backend == "process":
         if args.impl != "hpx":
             raise SystemExit("--backend process requires --impl hpx")
@@ -506,6 +567,15 @@ def _single_run(args: argparse.Namespace) -> int:
         if args.workers is not None and args.workers < 1:
             raise SystemExit(
                 f"--workers must be >= 1, got {args.workers}"
+            )
+        if args.worker_timeout is not None and args.worker_timeout <= 0:
+            raise SystemExit(
+                f"--worker-timeout must be > 0, got {args.worker_timeout}"
+            )
+        if args.max_worker_respawns is not None and args.max_worker_respawns < 0:
+            raise SystemExit(
+                f"--max-worker-respawns must be >= 0, "
+                f"got {args.max_worker_respawns}"
             )
     if args.ranks > 1:
         return _distributed_run(args, opts)
@@ -584,7 +654,8 @@ def _single_run(args: argparse.Namespace) -> int:
                              replay_graph=args.replay_graph,
                              flight_recorder=flight,
                              backend=args.backend,
-                             backend_workers=args.workers)
+                             backend_workers=args.workers,
+                             supervision=_supervision_config(args))
         elif args.impl == "naive":
             result = run_naive_hpx(opts, threads, args.i, execute=args.execute,
                                    registry=registry, record_spans=need_spans,
@@ -1145,6 +1216,7 @@ def main(argv: list[str] | None = None) -> int:
     """
     from repro.amt.errors import TaskGroupError
     from repro.lulesh.errors import LuleshError
+    from repro.parallel.errors import ParallelBackendError
     from repro.resilience.errors import ResilienceError
 
     args = build_parser().parse_args(argv)
@@ -1154,7 +1226,7 @@ def main(argv: list[str] | None = None) -> int:
         print(f"run failed: {exc}", file=sys.stderr)
         print(f"failed task tags: {', '.join(exc.tags)}", file=sys.stderr)
         return EXIT_TASK_FAILURE
-    except (LuleshError, ResilienceError) as exc:
+    except (LuleshError, ResilienceError, ParallelBackendError) as exc:
         print(f"run failed: {type(exc).__name__}: {exc}", file=sys.stderr)
         return EXIT_TASK_FAILURE
 

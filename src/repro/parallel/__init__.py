@@ -8,12 +8,27 @@ persistent fork-server worker pool (:mod:`repro.parallel.pool`) against
 shared-memory views of the Domain's fields (:mod:`repro.parallel.shm`) —
 bit-identical to the single-process arena path, selected with
 ``--backend process --workers N``.
+
+The backend is self-healing: a :mod:`repro.parallel.supervisor` watchdog
+detects dead/hung/garbling workers in bounded time, respawns them, and
+retries the failed wave after rewinding non-idempotent write slices from
+shadow buffers (:mod:`repro.parallel.shadow`); exhausted budgets degrade
+the run to the serial simulated path instead of killing it.
 """
 
 from repro.parallel.backend import ParallelHpxBackend, ParallelStats
-from repro.parallel.errors import ParallelBackendError, PlanLoweringError
+from repro.parallel.errors import (
+    GarbledReplyError,
+    ParallelBackendError,
+    PlanLoweringError,
+    SupervisionExhausted,
+    WorkerDiedError,
+    WorkerFailure,
+    WorkerHangError,
+)
 from repro.parallel.plan import (
     KERNEL_BODIES,
+    KERNEL_IDEMPOTENT,
     ParallelSchedule,
     TaskSpec,
     Wave,
@@ -21,16 +36,26 @@ from repro.parallel.plan import (
     execute_spec,
     lower_template,
     parse_task_tag,
+    spec_is_idempotent,
 )
 from repro.parallel.pool import (
     ProcessWorkerPool,
     pick_start_method,
     process_backend_supported,
 )
+from repro.parallel.shadow import NON_IDEMPOTENT_WRITES, WaveShadow
 from repro.parallel.shm import SharedDomainArena, domain_field_layout
+from repro.parallel.supervisor import (
+    SupervisionConfig,
+    SupervisionStats,
+    WorkerSupervisor,
+)
 
 __all__ = [
+    "GarbledReplyError",
     "KERNEL_BODIES",
+    "KERNEL_IDEMPOTENT",
+    "NON_IDEMPOTENT_WRITES",
     "ParallelBackendError",
     "ParallelHpxBackend",
     "ParallelSchedule",
@@ -38,8 +63,16 @@ __all__ = [
     "PlanLoweringError",
     "ProcessWorkerPool",
     "SharedDomainArena",
+    "SupervisionConfig",
+    "SupervisionExhausted",
+    "SupervisionStats",
     "TaskSpec",
     "Wave",
+    "WaveShadow",
+    "WorkerDiedError",
+    "WorkerFailure",
+    "WorkerHangError",
+    "WorkerSupervisor",
     "assign_waves",
     "domain_field_layout",
     "execute_spec",
@@ -47,4 +80,5 @@ __all__ = [
     "parse_task_tag",
     "pick_start_method",
     "process_backend_supported",
+    "spec_is_idempotent",
 ]

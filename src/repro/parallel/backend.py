@@ -27,21 +27,34 @@ Bit-exactness holds because every kernel invocation is the same NumPy code
 over the same ``[lo, hi)`` slice of the same float64 bytes as the simulated
 backend — which process executes it cannot change the result — and the
 wave join is strictly stronger than the captured dependency edges.
+
+Worker failures are not fatal: wave dispatch goes through a
+:class:`~repro.parallel.supervisor.WorkerSupervisor` (deadline watchdog,
+kill/respawn, shadow-buffered wave retry), and when its budgets run out the
+backend *degrades* instead of dying — the failed cycle is completed
+serially in the main process (the failed wave's non-idempotent slices were
+rewound first, so the cycle stays bit-identical) and every later cycle
+routes to the serial simulated path with the pool drained.  A degraded run
+finishes with a ``RuntimeWarning`` and correct results; ``--no-degrade``
+turns exhaustion back into a hard :class:`SupervisionExhausted` failure.
 """
 
 from __future__ import annotations
 
 import time as _time
+import warnings
 from dataclasses import dataclass
 
 from repro.lulesh.kernels.constraints import (
     reduce_time_constraints,
     time_increment,
 )
-from repro.parallel.errors import ParallelBackendError
+from repro.parallel.errors import ParallelBackendError, SupervisionExhausted
 from repro.parallel.plan import assign_waves, execute_spec, lower_template
 from repro.parallel.pool import ProcessWorkerPool
+from repro.parallel.shadow import WaveShadow
 from repro.parallel.shm import SharedDomainArena
+from repro.parallel.supervisor import SupervisionConfig, WorkerSupervisor
 
 __all__ = ["ParallelHpxBackend", "ParallelStats"]
 
@@ -74,6 +87,7 @@ class ParallelHpxBackend:
         workers: int,
         flight_recorder=None,
         start_method: str | None = None,
+        supervision: SupervisionConfig | None = None,
     ) -> None:
         if program.domain is None:
             raise ParallelBackendError(
@@ -91,9 +105,13 @@ class ParallelHpxBackend:
         self._schedule_key = None
         self._last_cycle: int | None = None
         self._closed = False
+        self._degraded = False
         self.arena = SharedDomainArena.create(self.domain)
         self.stats.shm_bytes = self.arena.nbytes
         self.pool = ProcessWorkerPool(workers, start_method=start_method)
+        self.supervisor = WorkerSupervisor(
+            self.pool, supervision, flight_recorder=flight_recorder
+        )
         try:
             self.pool.start(self.arena.name, self.arena.layout, self.domain.opts)
         except BaseException:
@@ -133,7 +151,9 @@ class ParallelHpxBackend:
         next_cycle = self.domain.cycle + 1
         injector = program.rt.fault_injector
         reason = None
-        if self._last_cycle is not None and next_cycle <= self._last_cycle:
+        if self._degraded:
+            reason = "degraded"  # pool drained; serial for the rest
+        elif self._last_cycle is not None and next_cycle <= self._last_cycle:
             reason = "rollback"  # checkpoint restore rewound the run
         elif injector is not None and injector.plans_faults(next_cycle):
             reason = "fault-cycle"  # draws happen at build time only
@@ -158,7 +178,8 @@ class ParallelHpxBackend:
                 "parallel_fallback", cycle=cycle, reason=reason
             )
         self.program.step()  # writes through the shared views
-        self._refresh_schedule()
+        if not self._degraded:
+            self._refresh_schedule()
 
     def _refresh_schedule(self) -> None:
         """(Re)lower the program's template and broadcast the spec table."""
@@ -178,6 +199,7 @@ class ParallelHpxBackend:
         self._schedule_key = key
         self.stats.lowerings += 1
         self.pool.broadcast_plan(schedule.specs)
+        self.supervisor.install_plan(schedule, self._assignments)
 
     # --- parallel (warm) path -------------------------------------------------
 
@@ -186,47 +208,109 @@ class ParallelHpxBackend:
         time_increment(d)
         cycle = d.cycle
         injector = self.program.rt.fault_injector
+        faults: dict[int, str] = {}
         if injector is not None:
             injector.begin_cycle(cycle)
             injector.corrupt_fields(d)  # no-op here: strike cycles go serial
+            for w in range(self.pool.n_workers):
+                kind = injector.draw_worker(w)
+                if kind is not None:
+                    faults[w] = kind
         schedule = self._schedule
         partials: dict[int, tuple[float, float]] = {}
         dispatched = 0
         for wi, wave in enumerate(schedule.waves):
             if wave.parallel:
-                results = self.pool.run_wave(
-                    d.deltatime, d.time, cycle, self._assignments[wi]
-                )
+                shadow = WaveShadow.capture(d, schedule, wave)
+                try:
+                    results = self.supervisor.run_wave(
+                        d, cycle, wi, self._assignments[wi], faults, shadow
+                    )
+                except SupervisionExhausted as exc:
+                    if not self.supervisor.config.degrade:
+                        raise
+                    # The supervisor restored this wave's shadow: field
+                    # state is exactly pre-dispatch for wave *wi*, and all
+                    # earlier waves completed.  Finish the cycle serially.
+                    self._degrade(exc, cycle, schedule, wi, partials)
+                    break
                 partials.update(results)
                 dispatched += len(wave.parallel)
-            for idx in wave.serial:
-                spec = schedule.specs[idx]
-                if spec.kind == "reduce":
-                    # Fold in ascending spec order == the captured graph's
-                    # creation order == the simulated reduce's fold order.
-                    courant, hydro = 1.0e20, 1.0e20
-                    for i in sorted(partials):
-                        cmin, hmin = partials[i]
-                        courant = min(courant, cmin)
-                        hydro = min(hydro, hmin)
-                    reduce_time_constraints(d, courant, hydro)
-                else:
-                    value = execute_spec(d, spec)
-                    if value is not None:
-                        partials[idx] = value
-        self.stats.parallel_cycles += 1
-        self.stats.waves += schedule.n_waves
-        self.stats.tasks_dispatched += dispatched
+            self._run_serial_specs(schedule, wave, partials)
+        else:
+            self.stats.parallel_cycles += 1
+            self.stats.waves += schedule.n_waves
+            self.stats.tasks_dispatched += dispatched
+            if self.flight_recorder is not None:
+                self.flight_recorder.record(
+                    "parallel_cycle",
+                    cycle=cycle,
+                    waves=schedule.n_waves,
+                    tasks=dispatched,
+                )
         # Keep the program's rollback detector coherent: a later serial
         # cycle must see the cycles we advanced here.
         self.program._last_cycle = cycle
+
+    def _run_serial_specs(self, schedule, wave, partials) -> None:
+        """Run a wave's main-process specs (``bc``/``reduce``) in order."""
+        d = self.domain
+        for idx in wave.serial:
+            spec = schedule.specs[idx]
+            if spec.kind == "reduce":
+                # Fold in ascending spec order == the captured graph's
+                # creation order == the simulated reduce's fold order.
+                courant, hydro = 1.0e20, 1.0e20
+                for i in sorted(partials):
+                    cmin, hmin = partials[i]
+                    courant = min(courant, cmin)
+                    hydro = min(hydro, hmin)
+                reduce_time_constraints(d, courant, hydro)
+            else:
+                value = execute_spec(d, spec)
+                if value is not None:
+                    partials[idx] = value
+
+    # --- graceful degradation -------------------------------------------------
+
+    def _degrade(self, exc, cycle, schedule, start_wave, partials) -> None:
+        """Finish the cycle serially and route the rest of the run serial.
+
+        Called when the supervisor exhausted its respawn/retry budgets at
+        wave *start_wave*: earlier waves' writes are complete and correct,
+        the failed wave's non-idempotent slices have been rewound, so
+        executing the failed wave and every later wave in the main process
+        — same kernels, same slices, same fold order — completes the cycle
+        bit-identically.  Then the pool is drained and every subsequent
+        cycle delegates to the serial simulated path (which writes through
+        the shared views), so the run *continues* instead of dying.
+        """
+        d = self.domain
+        for wave in schedule.waves[start_wave:]:
+            with d.workspace.phase():
+                for idx in wave.parallel:
+                    value = execute_spec(d, schedule.specs[idx])
+                    if value is not None:
+                        partials[idx] = value
+            self._run_serial_specs(schedule, wave, partials)
+        self._degraded = True
+        self.supervisor.stats.degraded = True
+        self.stats.fallback_cycles += 1
         if self.flight_recorder is not None:
             self.flight_recorder.record(
-                "parallel_cycle",
+                "backend_degraded",
                 cycle=cycle,
-                waves=schedule.n_waves,
-                tasks=dispatched,
+                wave=start_wave,
+                reason=str(exc),
+                respawns=self.supervisor.stats.respawns,
             )
+        warnings.warn(
+            f"process backend degraded to the serial path at cycle {cycle} "
+            f"({exc}); the run continues on one process",
+            RuntimeWarning,
+            stacklevel=4,
+        )
+        self.pool.stop()
 
     # --- lifecycle ------------------------------------------------------------
 

@@ -2,7 +2,15 @@
 
 from __future__ import annotations
 
-__all__ = ["ParallelBackendError", "PlanLoweringError"]
+__all__ = [
+    "GarbledReplyError",
+    "ParallelBackendError",
+    "PlanLoweringError",
+    "SupervisionExhausted",
+    "WorkerDiedError",
+    "WorkerFailure",
+    "WorkerHangError",
+]
 
 
 class ParallelBackendError(RuntimeError):
@@ -24,4 +32,48 @@ class PlanLoweringError(ParallelBackendError):
     :mod:`repro.parallel.plan`); an unparseable tag means the program and
     the lowering pass have drifted apart, which is a programming error —
     not something to silently fall back from.
+    """
+
+
+class WorkerFailure(ParallelBackendError):
+    """One worker process failed; carries the supervision taxonomy.
+
+    ``worker`` is the pool index, ``reason`` one of ``dead`` / ``hang`` /
+    ``garble`` — the three failure classes the watchdog distinguishes
+    (closed pipe, missed deadline, undecodable or malformed reply).
+    """
+
+    def __init__(self, worker: int, reason: str, message: str) -> None:
+        super().__init__(message)
+        self.worker = worker
+        self.reason = reason
+
+
+class WorkerDiedError(WorkerFailure):
+    """A worker's pipe closed (process exited or was killed)."""
+
+    def __init__(self, worker: int, message: str) -> None:
+        super().__init__(worker, "dead", message)
+
+
+class WorkerHangError(WorkerFailure):
+    """A worker missed its wave deadline (watchdog timeout)."""
+
+    def __init__(self, worker: int, message: str) -> None:
+        super().__init__(worker, "hang", message)
+
+
+class GarbledReplyError(WorkerFailure):
+    """A worker's reply could not be decoded or failed validation."""
+
+    def __init__(self, worker: int, message: str) -> None:
+        super().__init__(worker, "garble", message)
+
+
+class SupervisionExhausted(ParallelBackendError):
+    """The supervisor ran out of respawn or retry budget.
+
+    The backend catches this to degrade gracefully to the serial simulated
+    path (when degradation is enabled); with ``--no-degrade`` it surfaces
+    to the driver as a run failure.
     """

@@ -57,6 +57,7 @@ from repro.parallel.errors import PlanLoweringError
 
 __all__ = [
     "KERNEL_BODIES",
+    "KERNEL_IDEMPOTENT",
     "TaskSpec",
     "Wave",
     "ParallelSchedule",
@@ -64,6 +65,7 @@ __all__ = [
     "lower_template",
     "assign_waves",
     "execute_spec",
+    "spec_is_idempotent",
 ]
 
 #: Worker-side kernel table: the same functions the simulated backend binds
@@ -84,6 +86,39 @@ KERNEL_BODIES = {
     "material_prologue": eos_k.apply_material_properties_prologue,
     "qstop_check": q_k.check_q_stop,
     "update_volumes": eos_k.update_volumes,
+}
+
+#: Per-kernel idempotency, mirroring the ``idempotent=`` flags
+#: ``HpxLuleshProgram.__init__`` sets on its ``_Kernel`` bindings (the same
+#: flags the resilience layer's bounded replay consults).  A kernel is
+#: idempotent when re-running it over the same ``[lo, hi)`` range from the
+#: current field state reproduces the same result — i.e. it only writes
+#: values computed from fields it does not modify.  The read-modify-write
+#: kernels (``velocity``/``position`` accumulate ``+= dt * rate``,
+#: ``strain_rates`` subtracts ``vdov/3`` in place, ``eos`` feeds back
+#: ``e``/``p``/``q``) are the ones whose written slices the wave-retry
+#: shadow buffer must snapshot (:mod:`repro.parallel.shadow`).
+#: ``tests/parallel/test_shadow.py`` locks this table against the program
+#: bindings so the two sources of truth cannot drift.
+KERNEL_IDEMPOTENT = {
+    "init_stress": True,
+    "integrate_stress": True,
+    "hg_control": True,
+    "fb_hourglass": True,
+    "zero_forces": True,
+    "sum_forces": True,
+    "acceleration": True,
+    "velocity": False,
+    "position": False,
+    "kinematics": True,
+    "strain_rates": False,
+    "monoq_gradients": True,
+    "material_prologue": True,
+    "qstop_check": True,
+    "update_volumes": True,
+    # region kinds (not in KERNEL_BODIES: dispatched via execute_spec)
+    "monoq_region": True,
+    "eos": False,
 }
 
 _SYNC_RE = re.compile(
@@ -246,6 +281,22 @@ def assign_waves(
             buckets[w].append(idx)
         out.append(tuple(tuple(b) for b in buckets))
     return tuple(out)
+
+
+def spec_is_idempotent(spec: TaskSpec) -> bool:
+    """Whether re-executing *spec* from current field state is safe as-is.
+
+    A combined spec (chained/fused kernels) is idempotent only when every
+    member kernel is — the same rule the resilience layer applies to
+    combined tasks.  Serial kinds: ``constraints`` is a pure read,
+    ``bc`` writes constants, ``reduce``/``sync`` touch no fields.
+    """
+    if spec.kind in ("constraints", "bc", "reduce", "sync"):
+        return True
+    names = []
+    for nm in spec.names:
+        names.append("eos" if _EOS_RE.match(nm) else nm)
+    return all(KERNEL_IDEMPOTENT[nm] for nm in names)
 
 
 def execute_spec(domain, spec: TaskSpec):

@@ -7,11 +7,16 @@ after cycle, over per-worker pipes.  Dispatch messages carry only spec
 *indices* plus three per-cycle scalars — never closures, never field data.
 
 Failure semantics: a dead worker (``EOFError``/``BrokenPipeError`` on its
-pipe) raises :class:`~repro.parallel.errors.ParallelBackendError` naming
-the worker and its exit code; an exception *inside* a worker's kernel is
+pipe) raises :class:`~repro.parallel.errors.WorkerDiedError` naming the
+worker and its exit code, and *poisons* the pool — further dispatches fail
+until the worker is respawned (:meth:`ProcessWorkerPool.respawn_worker`,
+normally driven by :class:`~repro.parallel.supervisor.WorkerSupervisor`)
+or the pool is stopped.  An exception *inside* a worker's kernel is
 re-raised here with its original type after the remaining replies of the
 wave are drained (keeping every pipe message-aligned, so a checkpoint
-rollback can keep using the pool).
+rollback can keep using the pool); the same drain-before-raise discipline
+applies when a worker dies mid-wave, so the survivors stay aligned for the
+supervisor's retry.
 """
 
 from __future__ import annotations
@@ -20,8 +25,14 @@ import atexit
 import multiprocessing as mp
 import os
 import pickle
+import time
 
-from repro.parallel.errors import ParallelBackendError
+from repro.parallel.errors import (
+    GarbledReplyError,
+    ParallelBackendError,
+    WorkerDiedError,
+    WorkerHangError,
+)
 from repro.parallel.worker import worker_main
 
 __all__ = [
@@ -87,6 +98,10 @@ class ProcessWorkerPool:
         self._conns: list = []
         self._started = False
         self._stopped = False
+        self._poisoned: str | None = None
+        self._ctx = None
+        self._boot = None  # (shm_name, layout, opts) for respawns
+        self._specs = None  # last broadcast plan, rebroadcast to respawns
 
     # --- lifecycle ------------------------------------------------------------
 
@@ -104,27 +119,43 @@ class ProcessWorkerPool:
             ctx, "set_forkserver_preload"
         ):
             ctx.set_forkserver_preload(["repro.parallel.worker"])
+        self._ctx = ctx
+        self._boot = (shm_name, layout, opts)
         self._started = True
         atexit.register(self.stop)
         for i in range(self.n_workers):
-            parent, child = ctx.Pipe()
-            proc = ctx.Process(
-                target=worker_main,
-                args=(child, shm_name, layout, opts),
-                name=f"lulesh-parallel-{i}",
-                daemon=True,
-            )
-            proc.start()
-            child.close()
-            self._procs.append(proc)
-            self._conns.append(parent)
+            self._spawn(i, append=True)
         for w in range(self.n_workers):
             self._send(w, ("ping",))
         for w in range(self.n_workers):
             self._reply(w)
 
+    def _spawn(self, w: int, append: bool) -> None:
+        shm_name, layout, opts = self._boot
+        parent, child = self._ctx.Pipe()
+        proc = self._ctx.Process(
+            target=worker_main,
+            args=(child, shm_name, layout, opts),
+            name=f"lulesh-parallel-{w}",
+            daemon=True,
+        )
+        proc.start()
+        child.close()
+        if append:
+            self._procs.append(proc)
+            self._conns.append(parent)
+        else:
+            self._procs[w] = proc
+            self._conns[w] = parent
+
     def stop(self) -> None:
-        """Shut the workers down; escalate to terminate/kill if needed."""
+        """Shut the workers down; escalate to terminate/kill if needed.
+
+        Stops are sent to every worker first, then each escalation stage
+        joins all workers against one *shared* deadline — shutdown of an
+        unresponsive pool costs one escalation ladder (~4 s), not one per
+        worker.
+        """
         if not self._started or self._stopped:
             return
         self._stopped = True
@@ -134,14 +165,20 @@ class ProcessWorkerPool:
                 conn.send(("stop",))
             except Exception:
                 pass
-        for proc in self._procs:
-            proc.join(timeout=2.0)
-            if proc.is_alive():
-                proc.terminate()
-                proc.join(timeout=1.0)
-            if proc.is_alive():
-                proc.kill()
-                proc.join(timeout=1.0)
+        for grace, escalate in ((2.0, "terminate"), (1.0, "kill"), (1.0, None)):
+            deadline = time.monotonic() + grace
+            survivors = []
+            for proc in self._procs:
+                proc.join(timeout=max(0.0, deadline - time.monotonic()))
+                if proc.is_alive():
+                    survivors.append(proc)
+            if not survivors:
+                break
+            for proc in survivors:
+                if escalate == "terminate":
+                    proc.terminate()
+                elif escalate == "kill":
+                    proc.kill()
         for conn in self._conns:
             try:
                 conn.close()
@@ -157,11 +194,100 @@ class ProcessWorkerPool:
             and all(p.is_alive() for p in self._procs)
         )
 
+    @property
+    def poisoned(self) -> str | None:
+        """Why the pool is unusable (``None`` when healthy)."""
+        return self._poisoned
+
+    # --- supervision primitives -----------------------------------------------
+
+    def kill_worker(self, w: int) -> int | None:
+        """Kill and reap one worker; returns its exit code (None if unknown).
+
+        Used by the supervisor after a classified failure — the process may
+        already be dead (pipe closed), hung (never replied), or alive but
+        untrusted (garbled reply); in every case it is removed for good.
+        """
+        proc = self._procs[w]
+        if proc.is_alive():
+            proc.kill()
+        proc.join(timeout=5.0)
+        try:
+            self._conns[w].close()
+        except Exception:
+            pass
+        return proc.exitcode
+
+    def respawn_worker(self, w: int, ping_timeout_s: float = 30.0) -> None:
+        """Replace a reaped worker: fresh process, pipe, segment attach.
+
+        The new process re-attaches the shared segment from the boot state
+        saved at :meth:`start` and receives the current spec table (the one
+        from the last :meth:`broadcast_plan`), so it is wave-ready the
+        moment this returns.  Clears the pool poison on success.
+        """
+        self._check_usable(allow_poisoned=True)
+        self._spawn(w, append=False)
+        self._send(w, ("ping",))
+        self.reply_deadline(w, ping_timeout_s)
+        if self._specs is not None:
+            self._send(w, ("plan", self._specs))
+            self.reply_deadline(w, ping_timeout_s)
+        self._poisoned = None
+
+    def send_wave(self, w: int, deltatime, time_now, cycle, indices, fault=None):
+        """Dispatch one wave message to one worker (supervision path)."""
+        self._check_usable(allow_poisoned=True)
+        self._send(w, ("wave", deltatime, time_now, cycle, indices, fault))
+
+    def reply_deadline(self, w: int, timeout_s: float):
+        """Collect one reply with a deadline; classify what went wrong.
+
+        Raises :class:`WorkerHangError` when the deadline passes with no
+        reply, :class:`WorkerDiedError` when the pipe is closed, and
+        :class:`GarbledReplyError` when the reply cannot be decoded or has
+        the wrong shape.  A kernel exception shipped back by the worker is
+        re-raised with its original type, exactly like :meth:`_reply`.
+        """
+        conn = self._conns[w]
+        try:
+            if not conn.poll(max(0.0, timeout_s)):
+                self._poisoned = f"worker {w} missed its wave deadline"
+                raise WorkerHangError(
+                    w,
+                    f"worker {w} sent no reply within {timeout_s:.3f}s "
+                    "(watchdog deadline)",
+                )
+            reply = conn.recv()
+        except (EOFError, OSError) as exc:
+            raise self._death(w) from exc
+        except (pickle.UnpicklingError, AttributeError, ImportError) as exc:
+            self._poisoned = f"worker {w} sent an undecodable reply"
+            raise GarbledReplyError(
+                w, f"worker {w} reply could not be decoded: {exc!r}"
+            ) from exc
+        if (
+            not isinstance(reply, tuple)
+            or len(reply) != 2
+            or reply[0] not in ("ok", "err")
+        ):
+            self._poisoned = f"worker {w} sent a malformed reply"
+            raise GarbledReplyError(
+                w, f"worker {w} sent a malformed reply: {reply!r}"
+            )
+        status, payload = reply
+        if status == "err":
+            if isinstance(payload, BaseException):
+                raise payload
+            raise ParallelBackendError(f"worker {w} error: {payload!r}")
+        return payload
+
     # --- dispatch -------------------------------------------------------------
 
     def broadcast_plan(self, specs) -> None:
         """Ship the lowered spec table to every worker (once per lowering)."""
         self._check_usable()
+        self._specs = specs
         for w in range(self.n_workers):
             self._send(w, ("plan", specs))
         for w in range(self.n_workers):
@@ -171,33 +297,53 @@ class ProcessWorkerPool:
         """Execute one wave; returns ``[(spec_index, partial), ...]``.
 
         *assignments* is one index tuple per worker; workers with an empty
-        tuple are skipped.  Kernel exceptions are re-raised with their
-        original type after all active replies are drained; dead workers
-        raise :class:`ParallelBackendError` immediately.
+        tuple are skipped.  Any per-worker failure — a kernel exception or
+        a dead pipe — is re-raised only after every other worker that
+        received this wave has been drained, so the surviving pipes stay
+        message-aligned.  Backend (transport) errors outrank kernel errors
+        when both happen in one wave.
         """
         self._check_usable()
         active = [w for w in range(self.n_workers) if assignments[w]]
-        for w in active:
-            self._send(w, ("wave", deltatime, time_now, cycle, assignments[w]))
-        results: list = []
-        first_err: BaseException | None = None
+        sent: list[int] = []
+        send_err: ParallelBackendError | None = None
         for w in active:
             try:
+                self._send(w, ("wave", deltatime, time_now, cycle, assignments[w], None))
+            except ParallelBackendError as exc:
+                send_err = exc
+                break
+            sent.append(w)
+        results: list = []
+        backend_err: ParallelBackendError | None = None
+        kernel_err: BaseException | None = None
+        for w in sent:
+            try:
                 results.extend(self._reply(w))
-            except ParallelBackendError:
-                raise
+            except ParallelBackendError as exc:
+                if backend_err is None:
+                    backend_err = exc
             except BaseException as exc:
-                if first_err is None:
-                    first_err = exc
-        if first_err is not None:
-            raise first_err
+                if kernel_err is None:
+                    kernel_err = exc
+        if send_err is not None:
+            raise send_err
+        if backend_err is not None:
+            raise backend_err
+        if kernel_err is not None:
+            raise kernel_err
         return results
 
     # --- plumbing -------------------------------------------------------------
 
-    def _check_usable(self) -> None:
+    def _check_usable(self, allow_poisoned: bool = False) -> None:
         if not self._started or self._stopped:
             raise ParallelBackendError("worker pool is not running")
+        if self._poisoned is not None and not allow_poisoned:
+            raise ParallelBackendError(
+                f"worker pool is poisoned ({self._poisoned}); "
+                "respawn the worker or stop the pool"
+            )
 
     def _send(self, w: int, msg) -> None:
         try:
@@ -216,11 +362,13 @@ class ProcessWorkerPool:
             raise ParallelBackendError(f"worker {w} error: {payload!r}")
         return payload
 
-    def _death(self, w: int) -> ParallelBackendError:
+    def _death(self, w: int) -> WorkerDiedError:
         proc = self._procs[w]
         proc.join(timeout=1.0)
-        return ParallelBackendError(
+        self._poisoned = f"worker {w} died (exitcode {proc.exitcode})"
+        return WorkerDiedError(
+            w,
             f"worker {w} ({proc.name}) died mid-run "
             f"(exitcode {proc.exitcode}); the process backend cannot "
-            "continue — shared state for the current cycle is suspect"
+            "continue — shared state for the current cycle is suspect",
         )

@@ -7,11 +7,20 @@ shared field segment, and rebinds the domain's arrays to shared views.
 From then on it serves a tiny message protocol over its pipe:
 
 * ``("plan", specs)`` — install the lowered spec table (once per lowering);
-* ``("wave", deltatime, time, cycle, indices)`` — sync the per-cycle
+* ``("wave", deltatime, time, cycle, indices, fault)`` — sync the per-cycle
   scalars, execute the indexed specs in order, reply ``("ok", partials)``
   where *partials* are the non-``None`` spec results (constraint minima);
 * ``("ping",)`` — liveness round-trip, replies ``("ok", None)``;
 * ``("stop",)`` — detach and exit.
+
+The wave message's ``fault`` slot (normally ``None``) carries a seeded
+chaos directive from the fault injector's ``worker:`` target.  The worker
+honours it *after* executing its specs — the hard case for recovery, since
+the wave's writes have already landed in shared memory: ``kill`` exits the
+process without replying, ``hang`` sleeps far past any watchdog deadline,
+``garble`` sends undecodable bytes instead of the reply.  Recovery (and
+the shadow-buffer restore that makes retrying non-idempotent specs safe)
+is the supervisor's job on the other end of the pipe.
 
 Each wave runs inside its own workspace phase window: wave tasks are
 mutually independent (that is what a wave *is*), so gather caching within
@@ -33,6 +42,9 @@ def worker_main(conn, shm_name, layout, opts) -> None:
     # Imports deferred: under forkserver/spawn this module is imported in a
     # fresh interpreter, and keeping the import surface minimal keeps
     # worker startup cheap.
+    import os
+    import time
+
     from repro.lulesh.domain import Domain
     from repro.parallel.plan import execute_spec
     from repro.parallel.shm import SharedDomainArena
@@ -46,7 +58,7 @@ def worker_main(conn, shm_name, layout, opts) -> None:
             msg = conn.recv()
             op = msg[0]
             if op == "wave":
-                _, deltatime, time_now, cycle, indices = msg
+                _, deltatime, time_now, cycle, indices, fault = msg
                 domain.deltatime = deltatime
                 domain.time = time_now
                 domain.cycle = cycle
@@ -57,6 +69,16 @@ def worker_main(conn, shm_name, layout, opts) -> None:
                             value = execute_spec(domain, specs[idx])
                             if value is not None:
                                 partials.append((idx, value))
+                    if fault == "kill":
+                        # Writes are in shared memory but no reply ever
+                        # comes: the parent sees a closed pipe mid-wave.
+                        os._exit(17)
+                    elif fault == "hang":
+                        time.sleep(3600.0)
+                        continue  # unreachable in practice: reaped long before
+                    elif fault == "garble":
+                        conn.send_bytes(b"\x80\x04not a pickle")
+                        continue
                     conn.send(("ok", partials))
                 except BaseException as exc:  # ship it back, keep serving
                     try:

@@ -284,9 +284,11 @@ def install_graph_counters(registry: CounterRegistry, stats) -> None:
     )
 
 
-def install_parallel_counters(registry: CounterRegistry, stats) -> None:
+def install_parallel_counters(registry: CounterRegistry, stats, supervision=None) -> None:
     """Register the ``/parallel/*`` family reading a
-    :class:`~repro.parallel.backend.ParallelStats` instance.
+    :class:`~repro.parallel.backend.ParallelStats` instance, plus the
+    ``/parallel/supervision/*`` subtree when a
+    :class:`~repro.parallel.supervisor.SupervisionStats` is given.
 
     The stats object belongs to one process-backend run
     (:class:`~repro.parallel.backend.ParallelHpxBackend`).  The whole
@@ -335,6 +337,55 @@ def install_parallel_counters(registry: CounterRegistry, stats) -> None:
         lambda: stats.shm_bytes,
         unit="[bytes]",
         description="size of the shared Domain field segment",
+    )
+    if supervision is None:
+        return
+    sup = supervision
+    registry.register_gauge(
+        "/parallel/supervision/worker-losses",
+        lambda: sup.worker_losses,
+        description="classified worker failures (dead + hang + garble)",
+    )
+    registry.register_gauge(
+        "/parallel/supervision/deaths",
+        lambda: sup.deaths,
+        description="workers lost to a closed pipe (process exit)",
+    )
+    registry.register_gauge(
+        "/parallel/supervision/hangs",
+        lambda: sup.hangs,
+        description="workers lost to a missed watchdog deadline",
+    )
+    registry.register_gauge(
+        "/parallel/supervision/garbled-replies",
+        lambda: sup.garbles,
+        description="workers lost to undecodable or malformed replies",
+    )
+    registry.register_gauge(
+        "/parallel/supervision/respawns",
+        lambda: sup.respawns,
+        description="worker processes respawned into the warm pool",
+    )
+    registry.register_gauge(
+        "/parallel/supervision/wave-retries",
+        lambda: sup.wave_retries,
+        description="waves re-dispatched after a worker failure",
+    )
+    registry.register_gauge(
+        "/parallel/supervision/shadow-restores",
+        lambda: sup.shadow_restores,
+        description="shadow-buffer rewinds of non-idempotent write slices",
+    )
+    registry.register_gauge(
+        "/parallel/supervision/shadow-bytes-peak",
+        lambda: sup.shadow_bytes_peak,
+        unit="[bytes]",
+        description="largest per-wave shadow snapshot taken",
+    )
+    registry.register_gauge(
+        "/parallel/supervision/degraded",
+        lambda: int(sup.degraded),
+        description="1 if the run fell back to the serial path for good",
     )
 
 

@@ -6,18 +6,24 @@ grammar)::
     target:pattern[:kind][@cycle]
 
 * ``target`` — what to attack: ``task`` (a task body), ``comm`` (a
-  :class:`~repro.dist.comm.PlaneExchanger` message), or ``field`` (an
-  evolving domain array);
+  :class:`~repro.dist.comm.PlaneExchanger` message), ``field`` (an
+  evolving domain array), or ``worker`` (a real worker *process* of the
+  process backend);
 * ``pattern`` — what to match: a task-tag glob for ``task``, a message-tag
-  glob for ``comm``, a field name (``e``, ``p``, ``xd``, …) for ``field``.
+  glob for ``comm``, a field name (``e``, ``p``, ``xd``, …) for ``field``,
+  a pool index or ``*`` for ``worker``.
   Task patterns also accept the reference implementation's kernel names
   (``CalcQ*``, ``EvalEOS*``, …) via an alias table mapping them onto the
   tag fragments our three ports actually use;
 * ``kind`` — how to fail: ``raise`` (task throws :class:`InjectedFault`),
   ``stall`` (inflate the task's simulated cost — a hung worker),
   ``nan``/``inf`` (corrupt one element of a field), ``drop``/``dup``
-  (suppress / double-send a message).  Defaults per target: ``task`` →
-  ``raise``, ``comm`` → ``drop``, ``field`` → ``nan``;
+  (suppress / double-send a message), ``kill``/``hang``/``garble`` (the
+  worker process exits without replying / sleeps past the watchdog
+  deadline / sends undecodable bytes — after executing its wave, so the
+  supervisor's shadow-restore path is exercised).  Defaults per target:
+  ``task`` → ``raise``, ``comm`` → ``drop``, ``field`` → ``nan``,
+  ``worker`` → ``kill``;
 * ``@cycle`` — the 1-based cycle to fire in; omitted, the injector draws
   one deterministically from its seeded :class:`~repro.util.rng.Lcg`.
 
@@ -47,13 +53,19 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 __all__ = ["FaultSpec", "FaultInjector", "parse_fault_spec", "build_injector"]
 
-_TARGETS = ("task", "comm", "field")
+_TARGETS = ("task", "comm", "field", "worker")
 _KINDS_BY_TARGET = {
     "task": ("raise", "stall"),
     "comm": ("drop", "dup"),
     "field": ("nan", "inf"),
+    "worker": ("kill", "hang", "garble"),
 }
-_DEFAULT_KIND = {"task": "raise", "comm": "drop", "field": "nan"}
+_DEFAULT_KIND = {
+    "task": "raise",
+    "comm": "drop",
+    "field": "nan",
+    "worker": "kill",
+}
 
 # Reference-implementation kernel names → tag fragments of our three ports
 # (hpx chains like "region3:monoq_region+eos[x1][lo:hi]", naive tags like
@@ -103,6 +115,12 @@ class FaultSpec:
             raise FaultSpecError(f"cycle must be >= 1, got {self.cycle}")
         if self.count < 1:
             raise FaultSpecError(f"count must be >= 1, got {self.count}")
+        if self.target == "worker" and self.pattern != "*":
+            if not self.pattern.isdigit():
+                raise FaultSpecError(
+                    f"worker fault pattern must be a pool index or '*', "
+                    f"got {self.pattern!r}"
+                )
 
 
 def parse_fault_spec(text: str) -> FaultSpec:
@@ -221,9 +239,14 @@ class FaultInjector:
         graph — and the rebuilt graph must not be captured (it embeds fire
         closures and stall-inflated costs).  Persistent specs plan faults
         for every cycle; one-shot specs only for their armed cycle while
-        charges remain.
+        charges remain.  ``worker`` faults are excluded: they strike the
+        process backend's real dispatch path (``draw_worker``), not graph
+        construction — forcing a serial fallback for them would mean they
+        never strike at all.
         """
         for armed in self._armed:
+            if armed.spec.target == "worker":
+                continue
             if armed.spec.persistent:
                 return True
             if armed.remaining > 0 and armed.cycle == cycle:
@@ -275,6 +298,31 @@ class FaultInjector:
             )
 
         return fire
+
+    # --- worker-process faults ----------------------------------------------
+
+    def draw_worker(self, worker: int) -> str | None:
+        """Consulted by the process backend once per worker per cycle.
+
+        Returns the fault kind (``kill``/``hang``/``garble``) the worker
+        must act out this cycle, or ``None``.  The charge is spent at the
+        draw, so the supervisor's retry dispatch of the same wave reaches
+        the respawned worker clean — transient-fault semantics, same as
+        every other target.
+        """
+        for armed in self._armed:
+            if armed.spec.target != "worker" or not armed.live(self._cycle):
+                continue
+            pat = armed.spec.pattern
+            if pat != "*" and int(pat) != worker:
+                continue
+            armed.consume()
+            self.stats.injected_faults += 1
+            self.stats.record(
+                armed.spec.kind, worker=worker, cycle=self._cycle
+            )
+            return armed.spec.kind
+        return None
 
     # --- comm faults --------------------------------------------------------
 

@@ -28,6 +28,9 @@ _FLIGHT_KINDS = {
     "inf": "fault",
     "drop": "comm_fault",
     "dup": "comm_fault",
+    "kill": "fault",
+    "hang": "fault",
+    "garble": "fault",
 }
 
 

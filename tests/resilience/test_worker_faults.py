@@ -1,0 +1,89 @@
+"""Worker-process fault grammar and draw semantics (in-process unit tests).
+
+The end-to-end behaviour (a struck worker actually dying / hanging and the
+supervisor healing the pool) lives in ``tests/parallel/test_supervision.py``;
+here we pin the injector-side contract: parse, arm, match, consume.
+"""
+
+import pytest
+
+from repro.resilience import (
+    FaultInjector,
+    FaultSpec,
+    FaultSpecError,
+    parse_fault_spec,
+)
+
+
+class TestWorkerSpecGrammar:
+    def test_default_kind_is_kill(self):
+        spec = parse_fault_spec("worker:1")
+        assert spec == FaultSpec("worker", "1", "kill", cycle=None)
+
+    @pytest.mark.parametrize("kind", ["kill", "hang", "garble"])
+    def test_explicit_kinds(self, kind):
+        spec = parse_fault_spec(f"worker:0:{kind}@5")
+        assert (spec.target, spec.kind, spec.cycle) == ("worker", kind, 5)
+
+    def test_wildcard_pattern(self):
+        assert parse_fault_spec("worker:*:hang").pattern == "*"
+
+    @pytest.mark.parametrize("bad", [
+        "worker:abc",           # pattern must be a pool index or '*'
+        "worker:-1",            # negative is not a pool index
+        "worker:0:raise",       # task kind on a worker target
+        "worker:0:stall",       # likewise
+        "worker:",              # empty pattern
+    ])
+    def test_bad_worker_specs_rejected(self, bad):
+        with pytest.raises(FaultSpecError):
+            parse_fault_spec(bad)
+
+
+class TestDrawWorker:
+    def test_matching_index_strikes_and_consumes(self):
+        inj = FaultInjector(["worker:1:hang@3"])
+        inj.begin_cycle(3)
+        assert inj.draw_worker(0) is None          # wrong worker
+        assert inj.draw_worker(1) == "hang"
+        assert inj.draw_worker(1) is None          # charge spent at the draw
+        assert inj.stats.injected_faults == 1
+
+    def test_wrong_cycle_does_not_strike(self):
+        inj = FaultInjector(["worker:0:kill@3"])
+        inj.begin_cycle(2)
+        assert inj.draw_worker(0) is None
+        inj.begin_cycle(4)
+        assert inj.draw_worker(0) is None
+
+    def test_wildcard_strikes_first_drawn_worker_only(self):
+        inj = FaultInjector(["worker:*:kill@2"])
+        inj.begin_cycle(2)
+        assert inj.draw_worker(3) == "kill"
+        assert inj.draw_worker(0) is None
+
+    def test_stats_mirror_records_fault_events(self):
+        inj = FaultInjector(["worker:0:garble@1"])
+        inj.begin_cycle(1)
+        inj.draw_worker(0)
+        ((kind, detail),) = inj.stats.events
+        assert kind == "garble"
+        assert detail == {"worker": 0, "cycle": 1}
+
+    def test_unarmed_cycle_draw_defaults_to_window(self):
+        inj = FaultInjector(["worker:0"])
+        (cycle,) = inj.armed_cycles
+        assert 1 <= cycle <= FaultInjector.DEFAULT_CYCLE_WINDOW
+
+
+class TestPlansFaults:
+    def test_worker_targets_excluded_from_graph_rebuild_planning(self):
+        """Worker faults strike the dispatch path, not graph construction —
+        forcing a serial fallback for them would mean they never strike."""
+        inj = FaultInjector(["worker:0:kill@3"])
+        assert not inj.plans_faults(3)
+
+    def test_mixed_specs_still_plan_for_task_faults(self):
+        inj = FaultInjector(["worker:0:kill@3", "task:eos*:raise@3"])
+        assert inj.plans_faults(3)
+        assert not inj.plans_faults(2)
