@@ -1,0 +1,106 @@
+"""Campaign throughput benchmark: jobs/sec and cache dedup on a real sweep.
+
+The headline artifact of the simulation-as-a-service layer: a 54-job
+parameter sweep at s=10 (variant ladder x thread counts x iteration
+counts, execute and timing-only) submitted twice through the
+:class:`~repro.serve.scheduler.CampaignScheduler`.  Pass 1 is all cache
+misses and measures warm-executor throughput (executor and template reuse
+across the sweep's shape classes); pass 2 replays the identical sweep and
+must be served almost entirely from the content-addressed result cache.
+
+Results go to ``BENCH_campaign.json`` at the repo root (CI uploads it):
+jobs/sec per pass, cache hit rate per pass, executor/template reuse
+tallies.  The acceptance headline — the repeated pass resolves >= 90% of
+jobs from the cache, and hit payloads are bit-identical to their pass-1
+computations — is asserted, not just recorded.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from repro.serve import CampaignScheduler, JobSpec, ResultCache, expand_sweep
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUT_PATH = REPO_ROOT / "BENCH_campaign.json"
+
+#: 3 variants x 3 thread counts x 3 iteration counts x {timing, execute}
+#: = 54 jobs at s=10, well past the 50-job acceptance floor.
+SWEEP_AXES = {
+    "variant": ["full", "fig6", "fig7"],
+    "threads": [8, 16, 24],
+    "i": [2, 3, 4],
+    "execute": [False, True],
+}
+MIN_REPEAT_HIT_RATE = 0.9
+
+
+def _sweep():
+    return expand_sweep(SWEEP_AXES, defaults={"s": 10, "r": 11})
+
+
+def _run_pass(scheduler, specs):
+    before_hits = scheduler.stats.cache.hits
+    before_done = scheduler.stats.completed
+    t0 = time.perf_counter_ns()
+    records = scheduler.run_campaign(specs)
+    wall_ns = time.perf_counter_ns() - t0
+    completed = scheduler.stats.completed - before_done
+    hits = scheduler.stats.cache.hits - before_hits
+    assert all(r.status == "completed" for r in records), [
+        (r.job_id, r.status, r.error) for r in records if r.status != "completed"
+    ]
+    return records, {
+        "jobs": len(specs),
+        "completed": completed,
+        "cache_hits": hits,
+        "hit_rate": hits / len(specs),
+        "wall_s": wall_ns / 1e9,
+        "jobs_per_sec": completed / (wall_ns / 1e9),
+    }
+
+
+class TestCampaignThroughput:
+    def test_repeated_sweep(self, tmp_path, oneshot):
+        specs = _sweep()
+        assert len(specs) >= 50
+
+        cache = ResultCache(str(tmp_path / "cache"))
+        with CampaignScheduler(cache=cache, lanes=2, max_executors=6) as sched:
+            first, pass1 = _run_pass(sched, specs)
+            second, pass2 = oneshot(_run_pass, sched, specs)
+            pool = {
+                "executors_created": sched.pool.created,
+                "executors_reused": sched.pool.reused,
+                "template_reuses": sched.stats.template_reuses,
+            }
+
+        assert pass1["hit_rate"] == 0.0  # cold cache: everything computes
+        assert pass2["hit_rate"] >= MIN_REPEAT_HIT_RATE, pass2
+        # A hit is the stored computation, bit for bit.
+        for a, b in zip(first, second):
+            assert b.result == a.result, (a.job_id, b.job_id)
+        # The sweep shares executors across iteration counts: far fewer
+        # stacks than jobs.
+        assert pool["executors_created"] < len(specs) / 2
+
+        payload = {
+            "meta": {
+                "sweep": {k: list(v) for k, v in SWEEP_AXES.items()},
+                "s": 10,
+                "n_jobs": len(specs),
+                "lanes": 2,
+                "max_executors": 6,
+                "min_repeat_hit_rate": MIN_REPEAT_HIT_RATE,
+            },
+            "pass1": pass1,
+            "pass2": pass2,
+            "pool": pool,
+        }
+        OUT_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(
+            f"\ncampaign: {len(specs)} jobs  "
+            f"pass1 {pass1['jobs_per_sec']:.1f} jobs/s ({pass1['hit_rate']:.0%} "
+            f"cached)  pass2 {pass2['jobs_per_sec']:.1f} jobs/s "
+            f"({pass2['hit_rate']:.0%} cached)"
+        )

@@ -119,6 +119,18 @@ class GraphStats:
     build_ns: int = 0
     replay_ns: int = 0
 
+    def reset(self) -> None:
+        """Zero every field **in place**.
+
+        Counter closures capture this object, so per-job scoping must
+        mutate it rather than rebind a fresh instance.
+        """
+        self.captures = 0
+        self.replays = 0
+        self.invalidations = 0
+        self.build_ns = 0
+        self.replay_ns = 0
+
 
 def reset_segment(segment: CapturedSegment) -> None:
     """Re-arm one captured segment in place (zero allocations).

@@ -566,6 +566,15 @@ class AmtRuntime:
         """
         self._flush_hooks.append(hook)
 
+    def clear_flush_hooks(self) -> None:
+        """Drop every registered flush hook.
+
+        Campaign executors re-install a fresh per-job counter sampler each
+        job; without this, hooks from earlier jobs would accumulate and
+        sample dead registries forever.
+        """
+        self._flush_hooks.clear()
+
     @property
     def stats(self) -> RunStats:
         """Accumulated statistics since construction or last reset."""

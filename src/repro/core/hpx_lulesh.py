@@ -600,6 +600,22 @@ class HpxLuleshProgram:
                     "graph_invalidate", time_ns=self.rt.stats.total_ns
                 )
 
+    def begin_job(self) -> None:
+        """Rewind per-run bookkeeping for a fresh run on a warm program.
+
+        Campaign executors (:mod:`repro.serve`) reuse one program across
+        many jobs.  A new job restarts at cycle 1, which the rollback
+        detector would misread as a checkpoint rewind and drop the captured
+        template — the template reuse this method exists to preserve.  The
+        kernel closures bind the domain *object*, so with the domain's
+        fields restored in place the capture stays valid across jobs.
+        ``graph_stats`` is zeroed in place (counter closures hold it); the
+        template itself is deliberately kept.
+        """
+        self._last_cycle = None
+        self._timing_cycle = 0
+        self.graph_stats.reset()
+
     def _advance(self, cycle: int, injector) -> Future:
         """Produce this cycle's iteration result: replay, or build-and-flush.
 

@@ -243,6 +243,17 @@ class NaiveHpxProgram:
                     "graph_invalidate", time_ns=self.rt.stats.total_ns
                 )
 
+    def begin_job(self) -> None:
+        """Rewind per-run bookkeeping for a fresh run on a warm program.
+
+        Same contract as :meth:`HpxLuleshProgram.begin_job`: a new campaign
+        job restarts at cycle 1 without tripping the rollback detector, and
+        the captured loop graph survives for cross-job replay.
+        """
+        self._last_cycle = None
+        self._timing_cycle = 0
+        self.graph_stats.reset()
+
     def _advance(self, cycle: int, injector) -> None:
         """Replay the captured loop graph, or build-and-capture it.
 

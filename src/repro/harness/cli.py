@@ -63,11 +63,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "mode",
         nargs="?",
-        choices=("run", "tune", "obs"),
+        choices=("run", "tune", "obs", "campaign"),
         default="run",
         help="run (default): a single run or experiment; tune: search the "
              "knob space for this problem and persist the winner; obs: "
-             "observability actions (diff/baseline)",
+             "observability actions (diff/baseline); campaign: serve a "
+             "parameter sweep of jobs through the cached campaign scheduler",
     )
     parser.add_argument(
         "action",
@@ -236,6 +237,73 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("full", "fig5", "fig6", "fig7"),
         default="full",
         help="HPX optimization-ladder variant for single runs",
+    )
+    parser.add_argument(
+        "--spec",
+        default=None,
+        metavar="FILE",
+        help="campaign mode: JSON sweep spec (defaults + sweep axes and/or "
+             "an explicit jobs list)",
+    )
+    parser.add_argument(
+        "--sweep",
+        default=None,
+        metavar="GRAMMAR",
+        help="campaign mode: inline sweep grammar, ';'-separated axes of "
+             "'key=v1,v2,...' (e.g. 's=10;i=2,3;variant=full,fig7'); "
+             "composes with --spec (grammar jobs run after the file's)",
+    )
+    parser.add_argument(
+        "--lanes",
+        type=int,
+        default=1,
+        metavar="N",
+        help="campaign mode: concurrent scheduler lanes (default 1, "
+             "strictly deterministic job order)",
+    )
+    parser.add_argument(
+        "--max-executors",
+        type=int,
+        default=4,
+        metavar="N",
+        help="campaign mode: bound on simultaneously-warm executor stacks "
+             "(domain + runtime + captured graph per shape/knob class)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=".serve-cache",
+        metavar="DIR",
+        help="campaign mode: content-addressed result-cache directory "
+             "(default .serve-cache)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="campaign mode: disable the result cache (every job computes)",
+    )
+    parser.add_argument(
+        "--job-timeout",
+        type=float,
+        default=None,
+        metavar="SEC",
+        help="campaign mode: per-attempt wall-clock deadline applied to "
+             "jobs that do not set their own",
+    )
+    parser.add_argument(
+        "--job-retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="campaign mode: transient-failure retry budget applied to "
+             "jobs that do not set their own",
+    )
+    parser.add_argument(
+        "--repeat",
+        type=int,
+        default=1,
+        metavar="N",
+        help="campaign mode: submit the sweep N times (the repeated passes "
+             "measure the cache hit rate; default 1)",
     )
     parser.add_argument(
         "--chart",
@@ -1200,6 +1268,159 @@ def _obs_run(args: argparse.Namespace) -> int:
     return EXIT_PERF_REGRESSION
 
 
+def _campaign_specs(args: argparse.Namespace):
+    """Expand --spec / --sweep into the campaign's job list."""
+    import dataclasses
+
+    from repro.serve import load_sweep_file, parse_sweep
+
+    specs = []
+    if args.spec:
+        specs.extend(load_sweep_file(args.spec))
+    if args.sweep:
+        specs.extend(parse_sweep(args.sweep))
+    if not specs:
+        raise SystemExit("campaign mode requires --spec FILE or --sweep GRAMMAR")
+    if args.job_timeout is not None or args.job_retries is not None:
+        patched = []
+        for spec in specs:
+            overrides = {}
+            if args.job_timeout is not None and spec.timeout_s is None:
+                overrides["timeout_s"] = args.job_timeout
+            if args.job_retries is not None and spec.max_retries == 0:
+                overrides["max_retries"] = args.job_retries
+            patched.append(
+                dataclasses.replace(spec, **overrides) if overrides else spec
+            )
+        specs = patched
+    return specs
+
+
+def _stream_campaign_results(records, quiet: bool) -> None:
+    """Print one line per job, in submit order, as each completes."""
+    import time as _t
+
+    for record in records:
+        while not record.done:
+            _t.sleep(0.002)
+        if quiet:
+            continue
+        spec = record.spec
+        source = "cache" if record.cached else "exec"
+        runtime = ""
+        if record.result is not None:
+            runtime = f"  sim={record.result['runtime_ns'] / 1e6:.3f}ms"
+        detail = f"  [{record.error}]" if record.error else ""
+        print(
+            f"{record.job_id}  {record.status:<9} {source:<5} "
+            f"{spec.impl}/{spec.variant} s={spec.s} r={spec.r} i={spec.i} "
+            f"t={spec.threads}{runtime}{detail}",
+            flush=True,
+        )
+
+
+def _campaign_csv(path: str, records) -> None:
+    import csv as _csv
+
+    with open(path, "w", newline="", encoding="utf-8") as fh:
+        writer = _csv.writer(fh)
+        writer.writerow(
+            ("job_id", "status", "cached", "attempts", "impl", "variant",
+             "s", "r", "i", "threads", "backend", "runtime_ns", "energy",
+             "fingerprint")
+        )
+        for r in records:
+            result = r.result or {}
+            writer.writerow(
+                (r.job_id, r.status, int(r.cached), r.attempts, r.spec.impl,
+                 r.spec.variant, r.spec.s, r.spec.r, r.spec.i,
+                 r.spec.threads, r.spec.backend, result.get("runtime_ns"),
+                 result.get("energy"), r.fingerprint)
+            )
+
+
+def _campaign_run(args: argparse.Namespace) -> int:
+    """``lulesh-hpx campaign``: serve a sweep through the job scheduler."""
+    from repro.perf.registry import CounterRegistry
+    from repro.perf.sources import install_serve_counters
+    from repro.serve import CampaignScheduler, ResultCache
+
+    if args.lanes < 1:
+        raise SystemExit(f"--lanes must be >= 1, got {args.lanes}")
+    if args.max_executors < 1:
+        raise SystemExit(
+            f"--max-executors must be >= 1, got {args.max_executors}"
+        )
+    if args.repeat < 1:
+        raise SystemExit(f"--repeat must be >= 1, got {args.repeat}")
+    specs = _campaign_specs(args)
+    tuning_db = _load_tuning_db(args) if args.tuned else None
+    flight = _make_flight_recorder(args)
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    scheduler = CampaignScheduler(
+        cache=cache,
+        lanes=args.lanes,
+        max_executors=args.max_executors,
+        tuning=tuning_db,
+        flight_recorder=flight,
+    )
+    registry = CounterRegistry()
+    install_serve_counters(registry, scheduler)
+    all_records = []
+    stats = scheduler.stats
+    try:
+        for pass_no in range(1, args.repeat + 1):
+            hits_before = stats.cache.hits
+            completed_before = stats.completed
+            if not args.q and args.repeat > 1:
+                print(f"--- pass {pass_no}/{args.repeat} "
+                      f"({len(specs)} jobs) ---")
+            records = scheduler.submit_all(specs)
+            _stream_campaign_results(records, args.q)
+            scheduler.drain()
+            all_records.extend(records)
+            pass_hits = stats.cache.hits - hits_before
+            pass_done = stats.completed - completed_before
+            if not args.q:
+                rate = pass_hits / len(specs) if specs else 0.0
+                print(f"pass {pass_no}: {pass_done}/{len(specs)} completed, "
+                      f"{pass_hits} from cache ({rate:.0%})")
+    finally:
+        scheduler.close()
+    registry.sample(stats.wall_ns)
+    total = stats.cache.hits + stats.cache.misses
+    hit_rate = stats.cache.hits / total if total else 0.0
+    if not args.q:
+        print()
+        summary = [
+            ("jobs submitted", str(stats.submitted)),
+            ("jobs completed", str(stats.completed)),
+            ("jobs failed", str(stats.failed)),
+            ("jobs cancelled", str(stats.cancelled)),
+            ("retries", str(stats.retried)),
+            ("cache hits", str(stats.cache.hits)),
+            ("cache misses", str(stats.cache.misses)),
+            ("cache hit rate", f"{hit_rate:.1%}"),
+            ("template reuses", str(stats.template_reuses)),
+            ("executors created", str(scheduler.pool.created)),
+            ("executors reused", str(scheduler.pool.reused)),
+            ("wall time", f"{stats.wall_ns / 1e9:.2f}s"),
+            ("throughput", f"{stats.jobs_per_sec():.1f} jobs/s"),
+        ]
+        print(render_table(
+            [{"metric": k, "value": v} for k, v in summary],
+            ("metric", "value"),
+            title="campaign summary",
+        ))
+    _emit_counters(args, registry)
+    _dump_flight(args, flight)
+    if args.csv:
+        _campaign_csv(args.csv, all_records)
+        if not args.q:
+            print(f"wrote {len(all_records)} job records to {args.csv}")
+    return 0 if stats.failed == 0 else EXIT_TASK_FAILURE
+
+
 #: Exit code for a run killed by a task/physics/resilience failure.
 EXIT_TASK_FAILURE = 4
 
@@ -1248,6 +1469,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _obs_run(args)
     if args.mode == "tune":
         return _tune_run(args)
+    if args.mode == "campaign":
+        return _campaign_run(args)
     if args.experiment is not None:
         return _experiment(args)
     return _single_run(args)

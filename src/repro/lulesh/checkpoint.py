@@ -24,7 +24,13 @@ from repro.lulesh.domain import Domain
 from repro.lulesh.errors import CheckpointError
 from repro.lulesh.options import LuleshOptions
 
-__all__ = ["save_checkpoint", "load_checkpoint", "restore_checkpoint"]
+__all__ = [
+    "save_checkpoint",
+    "load_checkpoint",
+    "restore_checkpoint",
+    "snapshot_state",
+    "restore_state",
+]
 
 # Every field that evolves during the run (workspace arrays are per-cycle
 # scratch and need not be preserved across a cycle boundary).
@@ -118,6 +124,35 @@ def restore_checkpoint(domain: Domain, path: str) -> None:
     domain.deltatime = float(scalars[2])
     domain.dtcourant = float(scalars[3])
     domain.dthydro = float(scalars[4])
+
+
+def snapshot_state(domain: Domain) -> dict:
+    """Copy the domain's evolving state into an in-memory snapshot.
+
+    The in-memory sibling of :func:`save_checkpoint` — campaign executors
+    take one snapshot of a freshly initialized domain and rewind to it
+    between jobs with :func:`restore_state`, which writes **in place** so
+    kernel closures, captured graph templates, and shared-memory views
+    bound to the field arrays all stay valid.
+    """
+    snap: dict[str, object] = {
+        name: np.copy(getattr(domain, name)) for name in _EVOLVING_FIELDS
+    }
+    snap["_scalars"] = tuple(getattr(domain, s) for s in _SCALARS)
+    return snap
+
+
+def restore_state(domain: Domain, snap: dict) -> None:
+    """Rewind *domain* to an in-memory snapshot, writing fields in place."""
+    for name in _EVOLVING_FIELDS:
+        target = getattr(domain, name)
+        target[:] = snap[name]
+    time_, cycle, deltatime, dtcourant, dthydro = snap["_scalars"]
+    domain.time = float(time_)
+    domain.cycle = int(cycle)
+    domain.deltatime = float(deltatime)
+    domain.dtcourant = float(dtcourant)
+    domain.dthydro = float(dthydro)
 
 
 def load_checkpoint(opts: LuleshOptions, path: str) -> Domain:

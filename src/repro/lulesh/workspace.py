@@ -76,6 +76,21 @@ class WorkspaceStats:
     gather_hits: int = 0
     static_builds: int = 0
 
+    def reset_tallies(self) -> None:
+        """Zero the per-run tallies in place (counter closures hold this).
+
+        ``live_bytes`` and ``static_builds`` describe the arena's *current
+        contents* — which persist across campaign jobs by design — so they
+        survive; the high-water mark restarts from the live level.
+        """
+        self.checkouts = 0
+        self.allocations = 0
+        self.bytes_allocated = 0
+        self.bytes_reused = 0
+        self.gathers = 0
+        self.gather_hits = 0
+        self.high_water_bytes = self.live_bytes
+
 
 class KernelArena:
     """Pool of scratch ndarrays keyed by ``(shape, dtype)``.

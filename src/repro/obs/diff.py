@@ -45,9 +45,17 @@ __all__ = [
 #: Wall-clock-derived counters: nondeterministic across hosts, never gated.
 #: (``/graph/build-time`` and ``/graph/replay-time`` measure real host time;
 #: the whole ``/parallel/*`` family is produced by the process backend whose
-#: wall time, wave counts and fallback splits depend on the host; everything
-#: else in the registry is deterministic simulated arithmetic.)
-DEFAULT_SKIP = ("*build-time*", "*replay-time*", "/parallel/*")
+#: wall time, wave counts and fallback splits depend on the host; the
+#: ``/serve/`` wall-time and jobs-per-sec counters are campaign host
+#: throughput; everything else in the registry is deterministic simulated
+#: arithmetic.)
+DEFAULT_SKIP = (
+    "*build-time*",
+    "*replay-time*",
+    "/parallel/*",
+    "/serve/wall-time",
+    "/serve/jobs-per-sec",
+)
 
 BASELINE_SCHEMA = "lulesh-hpx-obs-baseline/1"
 

@@ -60,6 +60,12 @@ EVENT_KINDS = frozenset(
         # run lifecycle (drivers/CLI)
         "run_begin",
         "run_end",
+        # campaign scheduler (repro.serve)
+        "job_submitted",  # job admitted (job_id, priority)
+        "job_start",  # attempt began on an executor (job_id, attempt)
+        "job_cache_hit",  # served from the result cache (job_id, fingerprint)
+        "job_done",  # completed (job_id, cached, wall_ns)
+        "job_failed",  # terminal failure (job_id, status, error)
     }
 )
 

@@ -169,6 +169,47 @@ class ParallelHpxBackend:
             self._parallel_step()
         self._last_cycle = self.domain.cycle
 
+    @property
+    def degraded(self) -> bool:
+        """True once supervision exhausted its budgets and drained the pool.
+
+        A degraded backend keeps working (serially) but cannot be warmed
+        for another job — campaign executors check this and rebuild.
+        """
+        return self._degraded
+
+    def begin_job(self, flight_recorder=None) -> None:
+        """Rewind per-run bookkeeping so the warm pool serves another job.
+
+        Keeps the shared segment, the worker processes, and the lowered
+        wave schedule (TaskSpecs address ``[lo, hi)`` slices of the shared
+        float64 bytes, so an in-place field restore leaves them valid).
+        Per-job stats are zeroed in place — counter closures hold the
+        :class:`ParallelStats` object — with ``workers``/``shm_bytes``
+        (segment-lifetime facts) preserved.
+        """
+        if self._closed:
+            raise ParallelBackendError("backend is closed")
+        if self._degraded:
+            raise ParallelBackendError(
+                "cannot reuse a degraded backend; rebuild the executor"
+            )
+        self._last_cycle = None
+        st = self.stats
+        st.parallel_cycles = 0
+        st.fallback_cycles = 0
+        st.waves = 0
+        st.tasks_dispatched = 0
+        st.lowerings = 0
+        st.wall_ns = 0
+        sup = self.supervisor.stats
+        sup.worker_losses = sup.deaths = sup.hangs = sup.garbles = 0
+        sup.respawns = sup.wave_retries = sup.shadow_restores = 0
+        sup.shadow_bytes_peak = 0
+        sup.loss_log.clear()
+        self.flight_recorder = flight_recorder
+        self.supervisor._flight = flight_recorder
+
     # --- serial (capture / resync) path ---------------------------------------
 
     def _serial_step(self, reason: str, cycle: int) -> None:

@@ -38,6 +38,7 @@ __all__ = [
     "install_graph_counters",
     "install_parallel_counters",
     "install_resilience_counters",
+    "install_serve_counters",
     "install_tuning_counters",
     "worker_thread_path",
 ]
@@ -433,4 +434,87 @@ def install_resilience_counters(registry: CounterRegistry, stats) -> None:
         "/resilience/comm-dups",
         lambda: stats.comm_duplicated,
         description="plane-exchange messages duplicated by the injector",
+    )
+
+
+def install_serve_counters(registry: CounterRegistry, scheduler) -> None:
+    """Register the ``/serve/*`` family reading a
+    :class:`~repro.serve.scheduler.CampaignScheduler`.
+
+    Job and cache tallies are deterministic for a deterministic campaign;
+    ``/serve/wall-time`` and ``/serve/jobs-per-sec`` are host throughput
+    and sit on the obs ``diff`` gate's default skip list.
+    """
+    stats = scheduler.stats
+    pool = scheduler.pool
+    registry.register_gauge(
+        "/serve/jobs/submitted",
+        lambda: stats.submitted,
+        description="jobs admitted to the campaign queue",
+    )
+    registry.register_gauge(
+        "/serve/jobs/completed",
+        lambda: stats.completed,
+        description="jobs finished successfully (cached or computed)",
+    )
+    registry.register_gauge(
+        "/serve/jobs/failed",
+        lambda: stats.failed,
+        description="jobs that ended in failure or timeout",
+    )
+    registry.register_gauge(
+        "/serve/jobs/cancelled",
+        lambda: stats.cancelled,
+        description="jobs cancelled before completion",
+    )
+    registry.register_gauge(
+        "/serve/jobs/retried",
+        lambda: stats.retried,
+        description="transient-failure re-attempts performed",
+    )
+    registry.register_gauge(
+        "/serve/cache/hits",
+        lambda: stats.cache.hits,
+        description="jobs served from the content-addressed result cache",
+    )
+    registry.register_gauge(
+        "/serve/cache/misses",
+        lambda: stats.cache.misses,
+        description="cache lookups that required execution",
+    )
+    registry.register_gauge(
+        "/serve/cache/stores",
+        lambda: stats.cache.stores,
+        description="clean results persisted into the cache",
+    )
+    registry.register_gauge(
+        "/serve/template-reuses",
+        lambda: stats.template_reuses,
+        description="jobs that re-fired a previous job's captured graph",
+    )
+    registry.register_gauge(
+        "/serve/executors/created",
+        lambda: pool.created,
+        description="warm executor stacks built",
+    )
+    registry.register_gauge(
+        "/serve/executors/reused",
+        lambda: pool.reused,
+        description="jobs served by an already-warm executor stack",
+    )
+    registry.register_gauge(
+        "/serve/executors/evicted",
+        lambda: pool.evicted,
+        description="executor stacks torn down (LRU pressure or discard)",
+    )
+    registry.register_gauge(
+        "/serve/wall-time",
+        lambda: stats.wall_ns,
+        unit="[ns]",
+        description="real time from first admission to last completion",
+    )
+    registry.register_gauge(
+        "/serve/jobs-per-sec",
+        lambda: stats.jobs_per_sec(),
+        description="completed jobs per real second of campaign wall time",
     )

@@ -1,0 +1,53 @@
+"""Simulation-as-a-service: campaigns of LULESH runs over warm executors.
+
+The package turns the one-run drivers of :mod:`repro.core.driver` into a
+job service: thousands of parameter-sweep jobs are admitted through a
+:class:`~repro.serve.scheduler.CampaignScheduler`, deduplicated by a
+content-addressed :class:`~repro.serve.cache.ResultCache` keyed on the
+resolved job fingerprint, and executed on a bounded pool of
+:class:`~repro.serve.executor.WarmExecutor` stacks that keep domains,
+captured graph templates, and process-backend worker pools alive between
+jobs.  The ``campaign`` CLI mode (``lulesh-hpx campaign --sweep ...``) is
+the command-line surface.
+"""
+
+from repro.serve.cache import CacheStats, ResultCache
+from repro.serve.errors import (
+    CacheError,
+    JobCancelled,
+    JobTimeout,
+    ServeError,
+    SweepSpecError,
+)
+from repro.serve.executor import ExecutorPool, WarmExecutor, executor_key
+from repro.serve.fingerprint import job_fingerprint, resolve_spec
+from repro.serve.job import (
+    JobRecord,
+    JobSpec,
+    expand_sweep,
+    load_sweep_file,
+    parse_sweep,
+)
+from repro.serve.scheduler import CampaignScheduler, ServeStats
+
+__all__ = [
+    "CacheError",
+    "CacheStats",
+    "CampaignScheduler",
+    "ExecutorPool",
+    "JobCancelled",
+    "JobRecord",
+    "JobSpec",
+    "JobTimeout",
+    "ResultCache",
+    "ServeError",
+    "ServeStats",
+    "SweepSpecError",
+    "WarmExecutor",
+    "executor_key",
+    "expand_sweep",
+    "job_fingerprint",
+    "load_sweep_file",
+    "parse_sweep",
+    "resolve_spec",
+]

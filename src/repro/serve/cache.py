@@ -1,0 +1,161 @@
+"""Content-addressed result cache for campaign jobs.
+
+Layout: one JSON file per fingerprint at ``<root>/<fp[:2]>/<fp>.json``
+(two-hex-digit fan-out keeps directories small for thousand-entry
+campaigns).  Each entry stores the full resolved fingerprint document next
+to the result payload, so a hit can verify the key actually matches (a
+sha256 collision or a truncated write surfaces as :class:`CacheError` /
+a miss, never as a wrong result).
+
+Writes are atomic: the payload goes to a unique temp file in the same
+directory (pid + thread discriminated, so concurrent campaign lanes and
+concurrent *processes* never share a temp path) and is published with
+``os.replace``.  Readers therefore only ever observe complete entries;
+losing a race just means both writers store the same bytes.
+
+What is cached is only the **deterministic** part of a run — simulated
+runtime, final energy/timestep state, and the deterministic counter
+snapshot (wall-clock counters are stripped by the executor before the
+store).  Degraded and fault-injected runs are never stored — the executor
+refuses them before calling :meth:`ResultCache.store`, and ``store``
+re-checks the ``clean`` flag as a second line of defence.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from dataclasses import dataclass, field
+
+from repro.serve.errors import CacheError
+from repro.serve.fingerprint import FINGERPRINT_SCHEMA, canonical_json
+
+__all__ = ["CacheStats", "ResultCache"]
+
+CACHE_SCHEMA = "lulesh-hpx-serve-cache/1"
+
+
+@dataclass
+class CacheStats:
+    """Lookup/store tallies backing the ``/serve/cache/*`` counters."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    rejected: int = 0  # store refused (unclean result)
+    evicted_corrupt: int = 0  # unreadable entries dropped on lookup
+
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when idle)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+@dataclass
+class ResultCache:
+    """Persistent content-addressed store of job results.
+
+    Thread-safe: lookups and stores from concurrent scheduler lanes
+    serialize on an internal lock (entries are tiny JSON documents, so the
+    lock is never held across a simulation).
+    """
+
+    root: str
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        self._lock = threading.Lock()
+        os.makedirs(self.root, exist_ok=True)
+
+    def _path(self, fingerprint: str) -> str:
+        return os.path.join(self.root, fingerprint[:2], fingerprint + ".json")
+
+    def lookup(self, fingerprint: str, resolved: dict) -> dict | None:
+        """Return the cached result payload, or None on a miss.
+
+        *resolved* is the fingerprint document the key was derived from; a
+        stored entry whose document disagrees (collision, corruption) is
+        treated as corrupt and evicted rather than returned.
+        """
+        path = self._path(fingerprint)
+        with self._lock:
+            try:
+                with open(path, "r", encoding="utf-8") as fh:
+                    entry = json.load(fh)
+            except FileNotFoundError:
+                self.stats.misses += 1
+                return None
+            except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+                # A torn or unreadable entry must never poison the campaign:
+                # drop it and recompute.
+                self._evict(path)
+                self.stats.misses += 1
+                return None
+            if (
+                not isinstance(entry, dict)
+                or entry.get("schema") != CACHE_SCHEMA
+                or entry.get("fingerprint_schema") != FINGERPRINT_SCHEMA
+                or canonical_json(entry.get("resolved")) != canonical_json(resolved)
+                or not isinstance(entry.get("result"), dict)
+            ):
+                self._evict(path)
+                self.stats.misses += 1
+                return None
+            self.stats.hits += 1
+            return entry["result"]
+
+    def store(self, fingerprint: str, resolved: dict, result: dict, *,
+              clean: bool) -> bool:
+        """Persist *result* under *fingerprint*; returns True if stored.
+
+        ``clean=False`` (degraded backend, injected faults, rollback-
+        recovered physics) refuses the store — a later identical request
+        must recompute rather than inherit a tainted outcome.
+        """
+        if not clean:
+            with self._lock:
+                self.stats.rejected += 1
+            return False
+        entry = {
+            "schema": CACHE_SCHEMA,
+            "fingerprint_schema": FINGERPRINT_SCHEMA,
+            "fingerprint": fingerprint,
+            "resolved": resolved,
+            "result": result,
+        }
+        try:
+            payload = canonical_json(entry)
+        except (TypeError, ValueError) as exc:
+            raise CacheError(f"unserializable result for {fingerprint}: {exc}") from exc
+        path = self._path(fingerprint)
+        tmp = f"{path}.{os.getpid()}.{threading.get_ident()}.tmp"
+        with self._lock:
+            try:
+                os.makedirs(os.path.dirname(path), exist_ok=True)
+                with open(tmp, "w", encoding="utf-8") as fh:
+                    fh.write(payload)
+                    fh.flush()
+                    os.fsync(fh.fileno())
+                os.replace(tmp, path)
+            except OSError as exc:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise CacheError(f"cache store failed for {fingerprint}: {exc}") from exc
+            self.stats.stores += 1
+        return True
+
+    def _evict(self, path: str) -> None:
+        try:
+            os.unlink(path)
+            self.stats.evicted_corrupt += 1
+        except OSError:
+            pass
+
+    def __len__(self) -> int:
+        n = 0
+        for dirpath, _dirnames, filenames in os.walk(self.root):
+            n += sum(1 for f in filenames if f.endswith(".json"))
+        return n

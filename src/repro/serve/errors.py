@@ -1,0 +1,36 @@
+"""Error taxonomy of the simulation-as-a-service layer."""
+
+from __future__ import annotations
+
+__all__ = [
+    "ServeError",
+    "SweepSpecError",
+    "CacheError",
+    "JobTimeout",
+    "JobCancelled",
+]
+
+
+class ServeError(Exception):
+    """Base class for campaign-scheduler failures."""
+
+
+class SweepSpecError(ServeError, ValueError):
+    """A sweep spec (JSON file or CLI grammar) could not be parsed."""
+
+
+class CacheError(ServeError):
+    """The result cache hit an unreadable or malformed entry."""
+
+
+class JobTimeout(ServeError):
+    """A job exceeded its per-attempt wall-clock deadline.
+
+    Raised cooperatively between leapfrog cycles, so the executor's warm
+    state (captured template, worker pool) stays consistent.  Timeouts are
+    transient by classification — the retry policy may re-attempt the job.
+    """
+
+
+class JobCancelled(ServeError):
+    """A job was cancelled (before or during execution)."""

@@ -1,0 +1,489 @@
+"""Warm executors: long-lived runtime/program/domain stacks shared by jobs.
+
+The expensive parts of serving one more simulation are exactly the parts
+that do not depend on *which* job it is within a shape/knob class: building
+the Domain (mesh topology, region tables, workspace arena), capturing the
+cycle-1 task graph, and — for the process backend — creating the shared-
+memory segment and fork-server worker pool.  A :class:`WarmExecutor` owns
+one such stack, keyed by everything that shapes it
+(:func:`executor_key`: shape + impl + knobs, **excluding** the iteration
+count, which is run-length control), and serves any number of jobs:
+
+1. per-run runtime state is rewound (``reset_stats``, flush hooks cleared,
+   ``program.begin_job()``, ``backend.begin_job()``) — crucially *without*
+   dropping the captured :class:`~repro.amt.graph.GraphTemplate` or the
+   worker pool;
+2. the domain's evolving fields are restored **in place** from an initial-
+   state snapshot (:func:`~repro.lulesh.checkpoint.restore_state`), which
+   keeps kernel closures, captured templates, and shared-memory views valid;
+3. a fresh per-job :class:`~repro.perf.registry.CounterRegistry` and
+   flight recorder are wired in, so job N+1 never reports job N's numbers.
+
+The leapfrog then runs cycle by cycle with cooperative cancellation and
+deadline checks between cycles, and the executor distils the run into a
+deterministic result payload (counters filtered of wall-clock-only
+families) plus non-cacheable metadata (host wall time, reuse flags).
+
+:class:`ExecutorPool` bounds how many stacks exist at once, evicting the
+least-recently-used idle executor when a new key needs a slot.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import threading
+import time
+from collections import OrderedDict
+
+from repro.amt.errors import TaskGroupError
+from repro.amt.runtime import AmtRuntime
+from repro.core.hpx_lulesh import HpxLuleshProgram, HpxVariant
+from repro.core.kernel_graph import ProblemShape
+from repro.core.naive_hpx import NaiveHpxProgram
+from repro.core.omp_lulesh import OmpLuleshProgram
+from repro.lulesh.checkpoint import restore_state, snapshot_state
+from repro.lulesh.costs import DEFAULT_COSTS, KernelCosts
+from repro.lulesh.domain import Domain
+from repro.lulesh.errors import LuleshError
+from repro.lulesh.options import LuleshOptions
+from repro.obs.diff import DEFAULT_SKIP
+from repro.perf.registry import CounterRegistry
+from repro.perf.sources import (
+    install_amt_counters,
+    install_arena_counters,
+    install_graph_counters,
+    install_omp_counters,
+    install_parallel_counters,
+    install_resilience_counters,
+)
+from repro.resilience.plan import ResiliencePlan
+from repro.serve.errors import JobCancelled, JobTimeout
+from repro.serve.job import JobSpec
+from repro.simcore.costmodel import CostModel
+from repro.simcore.machine import MachineConfig
+
+__all__ = ["WarmExecutor", "ExecutorPool", "executor_key", "JobOutcome"]
+
+_VARIANTS = {
+    "full": HpxVariant.full,
+    "fig5": HpxVariant.fig5,
+    "fig6": HpxVariant.fig6,
+    "fig7": HpxVariant.fig7,
+}
+
+#: Counter families stripped from cached result payloads: wall-clock
+#: families (nondeterministic across hosts) plus the families whose values
+#: depend on executor *warmth* — ``/graph/*`` capture/replay splits and
+#: ``/arena/*`` allocation/reuse tallies differ between a cold first run
+#: and a warm re-run even though the physics and simulated timing are
+#: bit-identical.  Only warmth-independent counters may be cached, so a
+#: cache hit is indistinguishable from recomputation.
+SNAPSHOT_SKIP = tuple(DEFAULT_SKIP) + ("/serve/*", "/graph/*", "/arena/*")
+
+#: Extra families stripped for **process-backend** jobs.  Real-parallel
+#: execution drives the kernels through the worker pool, so the simulated
+#: runtime only runs during graph capture — its timing/thread/scheduler
+#: tallies therefore depend on whether the template was already warm, and
+#: a cached snapshot must not contain them.
+PROCESS_SNAPSHOT_SKIP = ("/amt/*", "/runtime/*", "/threads*", "/scheduler/*")
+
+
+def executor_key(resolved: dict) -> tuple:
+    """The warm-stack identity of a resolved job (iterations excluded)."""
+    shape = resolved["shape"]
+    knobs = resolved["knobs"]
+    return (
+        resolved["impl"],
+        resolved["execute"],
+        shape["nx"],
+        shape["numReg"],
+        shape["threads"],
+        resolved["variant"],
+        knobs["nodal_partition"],
+        knobs["elements_partition"],
+        knobs["balanced"],
+        knobs["replay_graph"],
+        knobs["backend"],
+        knobs["workers"],
+    )
+
+
+def _filtered_counters(
+    registry: CounterRegistry, skip: tuple[str, ...] = SNAPSHOT_SKIP
+) -> dict[str, float]:
+    """Final value of every deterministic counter, sorted by path."""
+    out: dict[str, float] = {}
+    for path in registry.paths():
+        if any(fnmatch.fnmatch(path, pat) for pat in skip):
+            continue
+        out[path] = registry.counter(path).sample_value()
+    return out
+
+
+class JobOutcome:
+    """What one executed job produced.
+
+    ``result`` is the deterministic (cacheable) payload; everything else
+    describes *this* execution and never enters the cache.
+    """
+
+    __slots__ = ("result", "clean", "wall_ns", "template_reused")
+
+    def __init__(self, result: dict, clean: bool, wall_ns: int,
+                 template_reused: bool) -> None:
+        self.result = result
+        self.clean = clean
+        self.wall_ns = wall_ns
+        self.template_reused = template_reused
+
+
+class WarmExecutor:
+    """One runtime/program/domain stack, reusable across same-key jobs."""
+
+    def __init__(
+        self,
+        resolved: dict,
+        machine: MachineConfig | None = None,
+        costs: KernelCosts = DEFAULT_COSTS,
+    ) -> None:
+        self.resolved = resolved
+        self.key = executor_key(resolved)
+        self.machine = machine or MachineConfig()
+        self.costs = costs
+        self.jobs_served = 0
+        self._lock = threading.Lock()
+        shape = resolved["shape"]
+        knobs = resolved["knobs"]
+        self.impl = resolved["impl"]
+        self.execute = resolved["execute"]
+        self.threads = shape["threads"]
+        self.opts = LuleshOptions(nx=shape["nx"], numReg=shape["numReg"])
+        self.domain = Domain(self.opts) if self.execute else None
+        if self.domain is not None:
+            self.shape = ProblemShape.from_domain(self.domain)
+            self._snapshot = snapshot_state(self.domain)
+        else:
+            self.shape = ProblemShape.from_options(self.opts)
+            self._snapshot = None
+        self.rt: AmtRuntime | None = None
+        self.program = None
+        self.backend = None
+        if self.impl == "hpx":
+            self.rt = AmtRuntime(self.machine, CostModel(), self.threads)
+            self.program = HpxLuleshProgram(
+                self.rt,
+                self.shape,
+                self.costs,
+                nodal_partition=knobs["nodal_partition"],
+                elements_partition=knobs["elements_partition"],
+                domain=self.domain,
+                variant=_VARIANTS[resolved["variant"]](),
+                balanced_partitions=knobs["balanced"],
+                replay_graph=knobs["replay_graph"],
+                backend=knobs["backend"],
+                backend_workers=knobs["workers"],
+            )
+            if knobs["backend"] == "process":
+                from repro.parallel import ParallelHpxBackend
+
+                self.backend = ParallelHpxBackend(
+                    self.program, workers=knobs["workers"]
+                )
+        elif self.impl == "naive":
+            self.rt = AmtRuntime(self.machine, CostModel(), self.threads)
+            self.program = NaiveHpxProgram(
+                self.rt, self.shape, self.costs, self.domain,
+                replay_graph=knobs["replay_graph"],
+            )
+        # impl == "omp": the OmpRuntime/program pair is cheap and carries
+        # per-run scheduling state, so it is rebuilt per job; the Domain
+        # (the expensive part) is still kept warm.
+
+    # --- per-job driving ------------------------------------------------------
+
+    def run_job(
+        self,
+        spec: JobSpec,
+        registry: CounterRegistry | None = None,
+        flight_recorder=None,
+        cancel_event: threading.Event | None = None,
+        deadline: float | None = None,
+    ) -> JobOutcome:
+        """Execute *spec* on the warm stack and distil its outcome.
+
+        *registry* must be a **fresh per-job** registry (or None);
+        *deadline* is a ``time.monotonic()`` instant checked between
+        cycles (:class:`JobTimeout`), *cancel_event* likewise
+        (:class:`JobCancelled`) — both cooperative, so the warm state stays
+        consistent for the next job.
+        """
+        with self._lock:
+            t0 = time.perf_counter_ns()
+            plan = (
+                ResiliencePlan(inject=spec.inject, fault_seed=spec.fault_seed)
+                if spec.inject
+                else None
+            )
+            if self.impl == "omp":
+                outcome = self._run_omp_job(spec, registry, plan)
+            else:
+                outcome = self._run_amt_job(
+                    spec, registry, flight_recorder, plan,
+                    cancel_event, deadline,
+                )
+            self.jobs_served += 1
+            outcome.wall_ns = time.perf_counter_ns() - t0
+            return outcome
+
+    def _rewind(self, flight_recorder, plan) -> None:
+        rt = self.rt
+        rt.reset_stats()
+        rt.clear_flush_hooks()
+        rt.flight_recorder = flight_recorder
+        rt.fault_injector = plan.make_injector() if plan else None
+        rt.replay = plan.make_replay() if plan else None
+        self.program.begin_job()
+        if self.domain is not None:
+            restore_state(self.domain, self._snapshot)
+            self.domain.workspace.stats.reset_tallies()
+        if self.backend is not None:
+            self.backend.begin_job(flight_recorder)
+
+    def _install_counters(self, registry, plan) -> None:
+        if registry is None:
+            return
+        install_amt_counters(registry, self.rt)
+        if self.impl == "hpx":
+            knobs = self.resolved["knobs"]
+            registry.register_gauge(
+                "/hpx/partition-size/nodal",
+                lambda: knobs["nodal_partition"],
+                description="resolved LagrangeNodal partition size for this job",
+            )
+            registry.register_gauge(
+                "/hpx/partition-size/elements",
+                lambda: knobs["elements_partition"],
+                description="resolved LagrangeElements partition size for this job",
+            )
+        if self.domain is not None:
+            install_arena_counters(registry, self.domain)
+        install_graph_counters(registry, self.program.graph_stats)
+        if self.backend is not None:
+            install_parallel_counters(
+                registry, self.backend.stats,
+                supervision=self.backend.supervisor.stats,
+            )
+        if plan is not None:
+            install_resilience_counters(registry, plan.stats)
+
+    def _step_loop(self, driver, iterations, cancel_event, deadline) -> None:
+        for _ in range(iterations):
+            if (
+                self.domain is not None
+                and self.domain.time >= self.domain.opts.stoptime
+            ):
+                break
+            if cancel_event is not None and cancel_event.is_set():
+                raise JobCancelled("job cancelled mid-run")
+            if deadline is not None and time.monotonic() > deadline:
+                raise JobTimeout("job exceeded its per-attempt deadline")
+            driver.step()
+
+    def _run_amt_job(
+        self, spec, registry, flight_recorder, plan, cancel_event, deadline
+    ) -> JobOutcome:
+        self._rewind(flight_recorder, plan)
+        self._install_counters(registry, plan)
+        template_was_warm = self.program._template is not None
+        driver = self.backend if self.backend is not None else self.program
+        try:
+            self._step_loop(driver, spec.i, cancel_event, deadline)
+        except TaskGroupError as group:
+            cause = group.common_cause(LuleshError)
+            if cause is not None:
+                raise cause from group
+            raise
+        rt = self.rt
+        wall = self.backend.stats.wall_ns if self.backend is not None else 0
+        if registry is not None:
+            registry.sample(rt.stats.total_ns + wall)
+        degraded = self.backend is not None and self.backend.degraded
+        template_reused = (
+            template_was_warm and self.program.graph_stats.captures == 0
+        )
+        if self.backend is not None:
+            # Real-parallel job: the runtime figure is host wall-clock (the
+            # driver's convention for this backend) and the snapshot keeps
+            # only warmth-independent counters.  Task/utilization tallies
+            # straddle the sim capture and the pool (whose per-cycle counts
+            # differ), so neither has a warmth-independent value here.
+            result = self._payload(
+                rt.stats.total_ns + wall, spec, registry,
+                n_tasks=None, utilization=None,
+                skip=SNAPSHOT_SKIP + PROCESS_SNAPSHOT_SKIP,
+            )
+        else:
+            result = self._payload(rt.stats.total_ns, spec, registry,
+                                   n_tasks=rt.stats.n_tasks,
+                                   utilization=rt.stats.utilization())
+        return JobOutcome(
+            result=result,
+            clean=not degraded and plan is None,
+            wall_ns=0,
+            template_reused=template_reused,
+        )
+
+    def _run_omp_job(self, spec, registry, plan) -> JobOutcome:
+        from repro.openmp.runtime import OmpRuntime
+
+        if self.domain is not None:
+            restore_state(self.domain, self._snapshot)
+            self.domain.workspace.stats.reset_tallies()
+        omp = OmpRuntime(
+            self.machine, CostModel(), self.threads,
+            execute_bodies=self.execute,
+        )
+        if plan is not None:
+            omp.fault_injector = plan.make_injector()
+        if registry is not None:
+            install_omp_counters(registry, omp)
+            if self.domain is not None:
+                install_arena_counters(registry, self.domain)
+            if plan is not None:
+                install_resilience_counters(registry, plan.stats)
+        program = OmpLuleshProgram(omp, self.shape, self.costs, self.domain)
+        try:
+            program.run(spec.i)
+        except TaskGroupError as group:
+            cause = group.common_cause(LuleshError)
+            if cause is not None:
+                raise cause from group
+            raise
+        if registry is not None:
+            registry.sample(omp.stats.total_ns)
+        return JobOutcome(
+            result=self._payload(omp.stats.total_ns, spec, registry,
+                                 utilization=omp.stats.utilization()),
+            clean=plan is None,
+            wall_ns=0,
+            template_reused=False,
+        )
+
+    def _payload(self, runtime_ns, spec, registry, n_tasks=0,
+                 utilization=0.0, skip=SNAPSHOT_SKIP) -> dict:
+        d = self.domain
+        iterations = d.cycle if d is not None else spec.i
+        payload = {
+            "runtime_ns": int(runtime_ns),
+            "iterations": int(iterations),
+            "per_iteration_ns": (runtime_ns / iterations) if iterations else 0.0,
+            "utilization": None if utilization is None else float(utilization),
+            "n_tasks": None if n_tasks is None else int(n_tasks),
+            "energy": float(d.e[0]) if d is not None else None,
+            "time_final": float(d.time) if d is not None else None,
+            "dt_final": float(d.deltatime) if d is not None else None,
+            "cycle": int(d.cycle) if d is not None else None,
+            "counters": _filtered_counters(registry, skip) if registry else {},
+        }
+        return payload
+
+    # --- lifecycle ------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the backend worker pool (idempotent)."""
+        if self.backend is not None:
+            self.backend.close()
+            self.backend = None
+
+
+class ExecutorPool:
+    """Bounded keyed pool of warm executors with LRU eviction.
+
+    ``acquire`` hands out an idle executor for *key* (building one via
+    *factory* on first use) and marks it busy; ``release`` returns it.
+    When all *max_executors* slots hold other keys, the least-recently-
+    used **idle** executor is closed to make room — if every executor is
+    busy, ``acquire`` blocks until one is released.
+    """
+
+    def __init__(self, max_executors: int = 4) -> None:
+        if max_executors < 1:
+            raise ValueError(f"max_executors must be >= 1, got {max_executors}")
+        self.max_executors = max_executors
+        self._executors: OrderedDict[tuple, WarmExecutor] = OrderedDict()
+        self._busy: set[tuple] = set()
+        self._building: set[tuple] = set()
+        self._cond = threading.Condition()
+        self.created = 0
+        self.reused = 0
+        self.evicted = 0
+
+    def acquire(self, key: tuple, factory) -> tuple[WarmExecutor, bool]:
+        """Return ``(executor, reused)`` for *key*, marking it busy."""
+        with self._cond:
+            while True:
+                if key in self._executors:
+                    if key not in self._busy:
+                        self._busy.add(key)
+                        self._executors.move_to_end(key)
+                        self.reused += 1
+                        return self._executors[key], True
+                    # The same key is running another job; wait for it —
+                    # executors are single-lane by design (one domain).
+                    self._cond.wait()
+                    continue
+                if key in self._building:
+                    # Another lane is constructing this key; wait for it.
+                    self._cond.wait()
+                    continue
+                if len(self._executors) + len(self._building) < self.max_executors:
+                    self._building.add(key)
+                    break
+                if not self._evict_one_idle():
+                    self._cond.wait()
+        # Build outside the lock: domain construction and pool start are
+        # the slow path and must not serialize unrelated lanes.
+        try:
+            executor = factory()
+        except BaseException:
+            with self._cond:
+                self._building.discard(key)
+                self._cond.notify_all()
+            raise
+        with self._cond:
+            self._building.discard(key)
+            self._executors[key] = executor
+            self._busy.add(key)
+            self.created += 1
+            self._cond.notify_all()
+        return executor, False
+
+    def _evict_one_idle(self) -> bool:
+        for key in self._executors:
+            if key not in self._busy:
+                victim = self._executors.pop(key)
+                victim.close()
+                self.evicted += 1
+                return True
+        return False
+
+    def release(self, key: tuple, discard: bool = False) -> None:
+        """Return *key*'s executor to the pool (``discard`` closes it)."""
+        with self._cond:
+            self._busy.discard(key)
+            if discard and key in self._executors:
+                self._executors.pop(key).close()
+                self.evicted += 1
+            self._cond.notify_all()
+
+    def close(self) -> None:
+        """Close every pooled executor and empty the pool."""
+        with self._cond:
+            for executor in self._executors.values():
+                executor.close()
+            self._executors.clear()
+            self._busy.clear()
+            self._cond.notify_all()
+
+    def __len__(self) -> int:
+        return len(self._executors)

@@ -12,7 +12,13 @@ One JSON file (default ``~/.cache/lulesh-hpx/tuning.json``, or wherever
   or a re-swept experiment grid never re-simulates a config it has seen.
 
 Writes are atomic (tmp + ``os.replace``, the checkpoint layer's torn-write
-discipline); a file that exists but cannot be parsed raises
+discipline) **and safe under concurrent writers**: campaign lanes and
+parallel tune processes may save to the same file, so :meth:`save` takes an
+advisory file lock (``fcntl.flock`` on a ``.lock`` sibling, where
+available), re-reads the file on disk, and merges its entries/memo under
+the lock before publishing — a load-merge-store that guarantees no writer
+can drop another's entries, with this writer winning same-key conflicts.
+A file that exists but cannot be parsed raises
 :class:`~repro.tuning.errors.TuningDBError`.
 
 For a problem size the database has never seen, :meth:`nearest` falls back
@@ -23,8 +29,14 @@ values), so the nearest neighbour is a far better prior than nothing.
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX hosts
+    fcntl = None
 
 from repro.tuning.errors import TuningDBError
 from repro.tuning.evaluate import MemoCache
@@ -93,22 +105,71 @@ class TuningDatabase:
         return db
 
     def save(self, path: str | None = None) -> str:
-        """Atomically write the database (tmp + ``os.replace``)."""
+        """Atomically write the database, merging concurrent writers.
+
+        Under an advisory lock, the current on-disk file is re-read and its
+        entries/memo merged beneath ours (load-merge-store: keys another
+        writer added since our load survive; our values win on conflict),
+        then the merged payload is published with tmp + ``os.replace``.
+        The tmp name is pid-unique so lockless hosts still never share a
+        temp file.  After a save the in-memory view includes the merge.
+        """
         path = os.fspath(path) if path is not None else self.path
         if path is None:
             raise TuningDBError("tuning database has no path to save to")
         os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
-        payload = {
-            "schema": SCHEMA,
-            "entries": self.entries,
-            "memo": self.memo.data,
-        }
-        tmp = path + ".tmp"
-        with open(tmp, "w", encoding="utf-8") as fh:
-            json.dump(payload, fh, indent=1, sort_keys=True)
-        os.replace(tmp, path)
+        with self._locked(path):
+            self._merge_from_disk(path)
+            payload = {
+                "schema": SCHEMA,
+                "entries": self.entries,
+                "memo": self.memo.data,
+            }
+            tmp = f"{path}.{os.getpid()}.tmp"
+            try:
+                with open(tmp, "w", encoding="utf-8") as fh:
+                    json.dump(payload, fh, indent=1, sort_keys=True)
+                os.replace(tmp, path)
+            except OSError:
+                with contextlib.suppress(OSError):
+                    os.unlink(tmp)
+                raise
         self.path = path
         return path
+
+    @contextlib.contextmanager
+    def _locked(self, path: str):
+        """Hold the database's advisory writer lock (no-op without fcntl).
+
+        The lock lives on a ``.lock`` sibling, not the database file itself
+        — ``os.replace`` swaps the inode under the real name, which would
+        silently detach a lock taken on it.
+        """
+        if fcntl is None:
+            yield
+            return
+        with open(path + ".lock", "a+b") as lock_fh:
+            fcntl.flock(lock_fh.fileno(), fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(lock_fh.fileno(), fcntl.LOCK_UN)
+
+    def _merge_from_disk(self, path: str) -> None:
+        """Merge the on-disk entries/memo beneath the in-memory ones."""
+        if not os.path.exists(path):
+            return
+        try:
+            disk = TuningDatabase.load(path)
+        except TuningDBError:
+            # A pre-lock-era torn file: our full rewrite repairs it.
+            return
+        for fp_key, shapes in disk.entries.items():
+            ours = self.entries.setdefault(fp_key, {})
+            for shape_key, entry in shapes.items():
+                ours.setdefault(shape_key, entry)
+        for memo_key, value in disk.memo.data.items():
+            self.memo.data.setdefault(memo_key, value)
 
     # --- entries --------------------------------------------------------------
 

@@ -1,0 +1,135 @@
+"""CLI surface of campaign mode: flags, streaming output, repeat passes."""
+
+import csv
+import json
+
+import pytest
+
+from repro.harness.cli import build_parser, main
+
+
+def campaign(tmp_path, *extra):
+    return [
+        "campaign",
+        "--cache-dir", str(tmp_path / "cache"),
+        *extra,
+    ]
+
+
+class TestFlagValidation:
+    def test_defaults(self):
+        args = build_parser().parse_args(["campaign"])
+        assert args.lanes == 1
+        assert args.max_executors == 4
+        assert args.repeat == 1
+        assert not args.no_cache
+
+    def test_requires_spec_or_sweep(self, tmp_path):
+        with pytest.raises(SystemExit, match="--spec FILE or --sweep"):
+            main(campaign(tmp_path))
+
+    def test_lanes_must_be_positive(self, tmp_path):
+        with pytest.raises(SystemExit, match="--lanes"):
+            main(campaign(tmp_path, "--sweep", "s=6", "--lanes", "0"))
+
+    def test_max_executors_must_be_positive(self, tmp_path):
+        with pytest.raises(SystemExit, match="--max-executors"):
+            main(campaign(tmp_path, "--sweep", "s=6", "--max-executors", "0"))
+
+    def test_repeat_must_be_positive(self, tmp_path):
+        with pytest.raises(SystemExit, match="--repeat"):
+            main(campaign(tmp_path, "--sweep", "s=6", "--repeat", "0"))
+
+    def test_bad_sweep_grammar_is_a_serve_error(self, tmp_path):
+        from repro.serve.errors import SweepSpecError
+
+        with pytest.raises(SweepSpecError, match="integer"):
+            main(campaign(tmp_path, "--sweep", "s=six"))
+
+
+class TestCampaignRuns:
+    def test_sweep_streams_one_line_per_job(self, tmp_path, capsys):
+        rc = main(campaign(
+            tmp_path, "--sweep", "s=6;r=5;i=2;threads=4;variant=full,fig7"
+        ))
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert out.count("completed") >= 2
+        assert "job-00001" in out and "job-00002" in out
+        assert "campaign summary" in out
+
+    def test_repeat_pass_hits_the_cache(self, tmp_path, capsys):
+        rc = main(campaign(
+            tmp_path,
+            "--sweep", "s=6;r=5;i=2;threads=4;execute=1;variant=full,fig7",
+            "--repeat", "2",
+        ))
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "pass 2: 2/2 completed, 2 from cache (100%)" in out
+
+    def test_cache_persists_across_invocations(self, tmp_path, capsys):
+        argv = campaign(tmp_path, "--sweep", "s=6;r=5;i=2;threads=4")
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "completed exec" in first and "completed cache" not in first
+        assert main(argv) == 0
+        # Second process: the on-disk cache serves the whole sweep.
+        assert "completed cache" in capsys.readouterr().out
+
+    def test_no_cache_disables_dedup(self, tmp_path, capsys):
+        rc = main(campaign(
+            tmp_path, "--sweep", "s=6;r=5;i=2;threads=4",
+            "--no-cache", "--repeat", "2",
+        ))
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "pass 2: 1/1 completed, 0 from cache (0%)" in out
+
+    def test_spec_file_and_csv(self, tmp_path, capsys):
+        spec = tmp_path / "sweep.json"
+        spec.write_text(json.dumps({
+            "defaults": {"s": 6, "r": 5, "i": 2, "threads": 4},
+            "sweep": {"variant": ["full", "fig7"]},
+        }))
+        csv_path = tmp_path / "jobs.csv"
+        rc = main(campaign(
+            tmp_path, "--spec", str(spec), "--csv", str(csv_path)
+        ))
+        assert rc == 0
+        with open(csv_path, newline="") as fh:
+            rows = list(csv.DictReader(fh))
+        assert len(rows) == 2
+        assert rows[0]["status"] == "completed"
+        assert rows[0]["fingerprint"]
+        assert {r["variant"] for r in rows} == {"full", "fig7"}
+
+    def test_quiet_mode(self, tmp_path, capsys):
+        rc = main(campaign(
+            tmp_path, "--sweep", "s=6;r=5;i=2;threads=4", "--q"
+        ))
+        assert rc == 0
+        assert "campaign summary" not in capsys.readouterr().out
+
+    def test_failed_job_sets_exit_code(self, tmp_path, capsys):
+        from repro.harness.cli import EXIT_TASK_FAILURE
+
+        rc = main(campaign(
+            tmp_path,
+            "--sweep", "s=6;r=5;i=2;threads=4;inject=task:CalcQ*@1",
+        ))
+        assert rc == EXIT_TASK_FAILURE
+        assert "failed" in capsys.readouterr().out
+
+    def test_flight_dump_records_job_events(self, tmp_path, capsys):
+        flight_path = tmp_path / "flight.jsonl"
+        rc = main(campaign(
+            tmp_path, "--sweep", "s=6;r=5;i=2;threads=4",
+            "--flight-record", str(flight_path),
+        ))
+        assert rc == 0
+        kinds = [
+            json.loads(line).get("kind")
+            for line in flight_path.read_text().splitlines()
+        ]
+        assert "job_submitted" in kinds and "job_done" in kinds

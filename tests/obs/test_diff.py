@@ -52,7 +52,13 @@ class TestBands:
         assert res.ok
 
     def test_default_skip_only_wall_clock_counters(self):
-        assert DEFAULT_SKIP == ("*build-time*", "*replay-time*", "/parallel/*")
+        assert DEFAULT_SKIP == (
+            "*build-time*",
+            "*replay-time*",
+            "/parallel/*",
+            "/serve/wall-time",
+            "/serve/jobs-per-sec",
+        )
 
     def test_negative_tolerance_rejected(self):
         with pytest.raises(ValueError, match="tolerance"):

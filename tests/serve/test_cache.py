@@ -1,0 +1,99 @@
+"""Result-cache behaviour: layout, atomicity, corruption, clean gating."""
+
+import json
+import os
+
+import pytest
+
+from repro.serve import JobSpec, ResultCache, job_fingerprint, resolve_spec
+from repro.serve.cache import CACHE_SCHEMA
+from repro.serve.errors import CacheError
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ResultCache(str(tmp_path / "cache"))
+
+
+RESOLVED = resolve_spec(JobSpec(s=8))
+FP = job_fingerprint(RESOLVED)
+RESULT = {"runtime_ns": 123, "energy": 1.5, "counters": {"/amt/flushes": 1.0}}
+
+
+class TestRoundtrip:
+    def test_miss_then_hit(self, cache):
+        assert cache.lookup(FP, RESOLVED) is None
+        assert cache.store(FP, RESOLVED, RESULT, clean=True)
+        assert cache.lookup(FP, RESOLVED) == RESULT
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+        assert len(cache) == 1
+
+    def test_fanout_layout(self, cache):
+        cache.store(FP, RESOLVED, RESULT, clean=True)
+        assert os.path.exists(
+            os.path.join(cache.root, FP[:2], FP + ".json")
+        )
+
+    def test_persists_across_instances(self, cache):
+        cache.store(FP, RESOLVED, RESULT, clean=True)
+        reopened = ResultCache(cache.root)
+        assert reopened.lookup(FP, RESOLVED) == RESULT
+
+    def test_entry_is_canonical_json(self, cache):
+        cache.store(FP, RESOLVED, RESULT, clean=True)
+        path = os.path.join(cache.root, FP[:2], FP + ".json")
+        with open(path, "r", encoding="utf-8") as fh:
+            entry = json.load(fh)
+        assert entry["schema"] == CACHE_SCHEMA
+        assert entry["fingerprint"] == FP
+        assert entry["resolved"] == RESOLVED
+
+
+class TestCleanGate:
+    def test_unclean_store_refused(self, cache):
+        assert not cache.store(FP, RESOLVED, RESULT, clean=False)
+        assert cache.stats.rejected == 1
+        assert cache.lookup(FP, RESOLVED) is None
+        assert len(cache) == 0
+
+    def test_unserializable_result_raises(self, cache):
+        with pytest.raises(CacheError, match="unserializable"):
+            cache.store(FP, RESOLVED, {"x": object()}, clean=True)
+
+
+class TestCorruption:
+    def entry_path(self, cache):
+        return os.path.join(cache.root, FP[:2], FP + ".json")
+
+    def test_torn_entry_evicted_as_miss(self, cache):
+        cache.store(FP, RESOLVED, RESULT, clean=True)
+        with open(self.entry_path(cache), "w") as fh:
+            fh.write('{"schema": "lulesh')  # torn write
+        assert cache.lookup(FP, RESOLVED) is None
+        assert cache.stats.evicted_corrupt == 1
+        assert not os.path.exists(self.entry_path(cache))
+
+    def test_mismatched_resolved_evicted(self, cache):
+        cache.store(FP, RESOLVED, RESULT, clean=True)
+        other = resolve_spec(JobSpec(s=12))
+        # Same path queried with a different document (collision model).
+        assert cache.lookup(FP, other) is None
+        assert cache.stats.evicted_corrupt == 1
+
+    def test_wrong_schema_evicted(self, cache):
+        cache.store(FP, RESOLVED, RESULT, clean=True)
+        path = self.entry_path(cache)
+        with open(path, "r") as fh:
+            entry = json.load(fh)
+        entry["schema"] = "something-else/9"
+        with open(path, "w") as fh:
+            json.dump(entry, fh)
+        assert cache.lookup(FP, RESOLVED) is None
+
+    def test_no_tmp_files_left_behind(self, cache):
+        cache.store(FP, RESOLVED, RESULT, clean=True)
+        leftovers = [
+            f for _, _, files in os.walk(cache.root)
+            for f in files if f.endswith(".tmp")
+        ]
+        assert leftovers == []

@@ -1,0 +1,99 @@
+"""Fingerprint resolution: dedup collisions and difference sensitivity."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.partitioning import table1_partition_sizes
+from repro.lulesh.costs import DEFAULT_COSTS
+from repro.serve import JobSpec, job_fingerprint, resolve_spec
+from repro.serve.fingerprint import FINGERPRINT_SCHEMA, canonical_json
+from repro.simcore.machine import MachineConfig
+from repro.tuning.database import TuningDatabase
+
+
+def fp(spec, **kw):
+    return job_fingerprint(resolve_spec(spec, **kw))
+
+
+class TestResolution:
+    def test_partition_defaults_resolve_to_table1(self):
+        resolved = resolve_spec(JobSpec(s=30))
+        nodal, elems = table1_partition_sizes(30)
+        assert resolved["knobs"]["nodal_partition"] == nodal
+        assert resolved["knobs"]["elements_partition"] == elems
+
+    def test_explicit_partition_equals_resolved_default(self):
+        nodal, elems = table1_partition_sizes(30)
+        explicit = JobSpec(s=30, nodal_partition=nodal, elements_partition=elems)
+        assert fp(explicit) == fp(JobSpec(s=30))
+
+    def test_tuned_partitions_enter_fingerprint(self):
+        machine = MachineConfig()
+        db = TuningDatabase()
+        db.record(
+            {"n_cores": machine.n_cores, "smt_per_core": machine.smt_per_core,
+             "smt_efficiency": machine.smt_efficiency, "runtime": "hpx"},
+            {"nx": 30, "numReg": 11, "threads": 24},
+            {"nodal_partition": 123, "elements_partition": 456},
+            runtime_ns=1, strategy="exhaustive", seed=0, n_trials=1,
+        )
+        tuned = resolve_spec(JobSpec(s=30, tuned=True), tuning=db)
+        assert tuned["knobs"]["nodal_partition"] == 123
+        assert fp(JobSpec(s=30, tuned=True), tuning=db) == fp(
+            JobSpec(s=30, nodal_partition=123, elements_partition=456)
+        )
+
+    def test_omp_normalizes_irrelevant_knobs(self):
+        a = JobSpec(impl="omp", variant="full", replay_graph=True)
+        b = JobSpec(impl="omp", variant="fig7", replay_graph=False)
+        assert fp(a) == fp(b)
+
+    def test_scheduling_fields_excluded(self):
+        base = JobSpec(s=8)
+        tweaked = dataclasses.replace(
+            base, priority=9, timeout_s=5.0, max_retries=3
+        )
+        assert fp(base) == fp(tweaked)
+
+    def test_schema_tag_present(self):
+        assert resolve_spec(JobSpec())["schema"] == FINGERPRINT_SCHEMA
+
+
+class TestSensitivity:
+    """Every result-relevant axis must change the fingerprint."""
+
+    @pytest.mark.parametrize("change", [
+        {"s": 12}, {"r": 5}, {"i": 5}, {"threads": 8},
+        {"impl": "naive"}, {"execute": True}, {"variant": "fig7"},
+        {"nodal_partition": 64}, {"elements_partition": 64},
+        {"balanced": True}, {"replay_graph": False},
+    ])
+    def test_spec_axis_changes_key(self, change):
+        assert fp(JobSpec(**change)) != fp(JobSpec())
+
+    def test_backend_changes_key(self):
+        base = JobSpec(execute=True)
+        proc = dataclasses.replace(base, backend="process", workers=2)
+        assert fp(base) != fp(proc)
+        assert fp(proc) != fp(dataclasses.replace(proc, workers=4))
+
+    def test_machine_changes_key(self):
+        assert fp(JobSpec()) != fp(
+            JobSpec(), machine=MachineConfig(n_cores=12)
+        )
+
+    def test_costs_change_key(self):
+        recalibrated = dataclasses.replace(
+            DEFAULT_COSTS, fb_hourglass=DEFAULT_COSTS.fb_hourglass * 2
+        )
+        assert fp(JobSpec()) != fp(JobSpec(), costs=recalibrated)
+
+
+class TestCanonicalJson:
+    def test_key_order_invariant(self):
+        assert canonical_json({"b": 1, "a": 2}) == canonical_json({"a": 2, "b": 1})
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            canonical_json({"x": float("nan")})

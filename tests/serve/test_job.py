@@ -1,0 +1,150 @@
+"""JobSpec validation and sweep expansion (grammar + JSON file)."""
+
+import json
+
+import pytest
+
+from repro.serve import (
+    JobSpec,
+    expand_sweep,
+    load_sweep_file,
+    parse_sweep,
+)
+from repro.serve.errors import ServeError, SweepSpecError
+
+
+class TestErrors:
+    def test_hierarchy(self):
+        # Serve failures are infrastructure, not physics: deliberately NOT
+        # LuleshError, so the retry policy classifies them itself.
+        assert issubclass(SweepSpecError, ServeError)
+        assert issubclass(SweepSpecError, ValueError)
+
+
+class TestJobSpec:
+    def test_defaults(self):
+        spec = JobSpec()
+        assert spec.s == 10 and spec.impl == "hpx" and not spec.execute
+        assert spec.cacheable
+
+    def test_bad_impl(self):
+        with pytest.raises(SweepSpecError, match="impl"):
+            JobSpec(impl="mpi")
+
+    def test_bad_variant(self):
+        with pytest.raises(SweepSpecError, match="variant"):
+            JobSpec(variant="fig99")
+
+    def test_bad_backend(self):
+        with pytest.raises(SweepSpecError, match="backend"):
+            JobSpec(backend="gpu")
+
+    def test_process_backend_requires_hpx_execute(self):
+        with pytest.raises(SweepSpecError, match="process"):
+            JobSpec(backend="process", execute=False)
+        with pytest.raises(SweepSpecError, match="process"):
+            JobSpec(backend="process", impl="omp", execute=True)
+        JobSpec(backend="process", impl="hpx", execute=True)  # ok
+
+    @pytest.mark.parametrize("field", ["s", "r", "i", "threads"])
+    def test_positive_shape_fields(self, field):
+        with pytest.raises(SweepSpecError, match=field):
+            JobSpec(**{field: 0})
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(SweepSpecError, match="max_retries"):
+            JobSpec(max_retries=-1)
+
+    def test_injected_jobs_not_cacheable(self):
+        assert not JobSpec(inject=("task:CalcFBHourglass*:crash@1",)).cacheable
+
+    def test_dict_roundtrip(self):
+        spec = JobSpec(s=8, variant="fig7", inject=("task:X:crash@1",))
+        assert JobSpec.from_dict(spec.to_dict()) == spec
+
+    def test_from_dict_rejects_unknown_field(self):
+        with pytest.raises(SweepSpecError, match="unknown job field"):
+            JobSpec.from_dict({"sx": 10})
+
+
+class TestExpandSweep:
+    def test_cross_product_order(self):
+        specs = expand_sweep({"s": [6, 8], "threads": [2, 4]})
+        assert [(sp.s, sp.threads) for sp in specs] == [
+            (6, 2), (6, 4), (8, 2), (8, 4)
+        ]
+
+    def test_defaults_apply(self):
+        specs = expand_sweep({"s": [6]}, defaults={"impl": "omp", "i": 3})
+        assert specs[0].impl == "omp" and specs[0].i == 3
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(SweepSpecError, match="non-empty"):
+            expand_sweep({"s": []})
+
+    def test_deterministic(self):
+        axes = {"s": [6, 8], "variant": ["full", "fig7"]}
+        assert expand_sweep(axes) == expand_sweep(axes)
+
+
+class TestParseSweep:
+    def test_grammar(self):
+        specs = parse_sweep("s=8;i=2;variant=full,fig7;execute=1")
+        assert len(specs) == 2
+        assert all(sp.s == 8 and sp.i == 2 and sp.execute for sp in specs)
+        assert [sp.variant for sp in specs] == ["full", "fig7"]
+
+    def test_bool_and_none_coercion(self):
+        (spec,) = parse_sweep("s=6;execute=true;workers=none")
+        assert spec.execute is True and spec.workers is None
+
+    def test_bad_clause(self):
+        with pytest.raises(SweepSpecError, match="key=v1,v2"):
+            parse_sweep("s=6;bogus")
+
+    def test_duplicate_axis(self):
+        with pytest.raises(SweepSpecError, match="duplicate"):
+            parse_sweep("s=6;s=8")
+
+    def test_bad_int(self):
+        with pytest.raises(SweepSpecError, match="integer"):
+            parse_sweep("s=six")
+
+    def test_empty_grammar(self):
+        with pytest.raises(SweepSpecError, match="empty"):
+            parse_sweep("  ;  ")
+
+
+class TestLoadSweepFile:
+    def write(self, tmp_path, payload):
+        path = tmp_path / "sweep.json"
+        path.write_text(json.dumps(payload))
+        return str(path)
+
+    def test_sweep_axes_plus_jobs(self, tmp_path):
+        path = self.write(tmp_path, {
+            "defaults": {"s": 6, "i": 2},
+            "sweep": {"variant": ["full", "fig7"]},
+            "jobs": [{"impl": "omp", "execute": True}],
+            "note": "fixture",
+        })
+        specs = load_sweep_file(path)
+        assert len(specs) == 3
+        assert [sp.variant for sp in specs[:2]] == ["full", "fig7"]
+        assert specs[2].impl == "omp" and specs[2].s == 6
+
+    def test_unknown_key_rejected(self, tmp_path):
+        path = self.write(tmp_path, {"sweeps": {"s": [6]}})
+        with pytest.raises(SweepSpecError, match="unknown key"):
+            load_sweep_file(path)
+
+    def test_empty_spec_rejected(self, tmp_path):
+        path = self.write(tmp_path, {"defaults": {"s": 6}})
+        with pytest.raises(SweepSpecError, match="defines no jobs"):
+            load_sweep_file(path)
+
+    def test_unreadable_file(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(SweepSpecError, match="unreadable"):
+            load_sweep_file(str(path))

@@ -245,3 +245,78 @@ class TestDriverConsultsDatabase:
         plain = run_hpx(opts, 4, 1, nodal_partition=64,
                         elements_partition=64)
         assert with_db.runtime_ns == plain.runtime_ns
+
+
+class TestConcurrentWriters:
+    """Campaign lanes and parallel tunes share one DB file safely."""
+
+    def test_parallel_thread_writers_drop_nothing(self, tmp_path):
+        import threading
+
+        path = str(tmp_path / "tuning.json")
+        n_writers, per_writer = 8, 5
+        barrier = threading.Barrier(n_writers)
+        errors = []
+
+        def writer(idx):
+            try:
+                barrier.wait()
+                for j in range(per_writer):
+                    db = TuningDatabase.load(path)
+                    record(db, nx=100 * idx + j, nodal=idx, elems=j)
+                    db.memo.data[f"trial-{idx}-{j}"] = {"runtime_ns": idx * j}
+                    db.save()
+            except Exception as exc:  # pragma: no cover - failure detail
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=writer, args=(i,))
+            for i in range(n_writers)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        final = TuningDatabase.load(path)  # parses => never torn
+        assert final.n_entries == n_writers * per_writer
+        assert len(final.memo.data) == n_writers * per_writer
+
+    def test_stale_writer_merges_instead_of_clobbering(self, tmp_path):
+        path = str(tmp_path / "tuning.json")
+        stale = TuningDatabase(path)  # loaded (empty) before the other save
+        record(stale, nx=10, nodal=1, elems=1)
+
+        other = TuningDatabase(path)
+        record(other, nx=20, nodal=2, elems=2)
+        other.save()
+
+        stale.save()  # publishes without ever having seen nx=20
+        final = TuningDatabase.load(path)
+        assert final.lookup(FP, shape(10)) is not None
+        assert final.lookup(FP, shape(20)) is not None
+
+    def test_same_key_conflict_writer_wins(self, tmp_path):
+        path = str(tmp_path / "tuning.json")
+        first = TuningDatabase(path)
+        record(first, nx=10, nodal=1, elems=1)
+        first.save()
+
+        second = TuningDatabase.load(path)
+        record(second, nx=10, nodal=9, elems=9)
+        second.save()
+        final = TuningDatabase.load(path)
+        entry = final.lookup(FP, shape(10))
+        assert entry["config"]["nodal_partition"] == 9
+
+    def test_no_lock_or_tmp_litter_in_entry_count(self, tmp_path):
+        import os
+
+        path = str(tmp_path / "tuning.json")
+        db = TuningDatabase(path)
+        record(db, nx=10, nodal=1, elems=1)
+        db.save()
+        leftovers = [
+            f for f in os.listdir(tmp_path) if f.endswith(".tmp")
+        ]
+        assert leftovers == []
