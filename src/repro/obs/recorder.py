@@ -53,6 +53,9 @@ EVENT_KINDS = frozenset(
         "worker_respawn",  # dead worker replaced (worker, respawns)
         "wave_retry",  # wave re-dispatched after shadow restore (attempt)
         "backend_degraded",  # budgets exhausted; serial path for the rest
+        # dataflow dispatch (repro.parallel.dataflow)
+        "spec_requeue",  # lost worker's in-flight specs back on the ready queue
+        "spec_cost_refresh",  # measured-duration EMA replaced the cost model
         # distributed exchange (repro.dist.comm)
         "halo_send",
         "halo_recv",

@@ -49,7 +49,16 @@ from repro.lulesh.kernels.constraints import (
     reduce_time_constraints,
     time_increment,
 )
-from repro.parallel.errors import ParallelBackendError, SupervisionExhausted
+from repro.parallel.dataflow import (
+    DEFAULT_WINDOW,
+    DataflowExecutor,
+    DataflowStats,
+)
+from repro.parallel.errors import (
+    DataflowAborted,
+    ParallelBackendError,
+    SupervisionExhausted,
+)
 from repro.parallel.plan import assign_waves, execute_spec, lower_template
 from repro.parallel.pool import ProcessWorkerPool
 from repro.parallel.shadow import WaveShadow
@@ -57,6 +66,11 @@ from repro.parallel.shm import SharedDomainArena
 from repro.parallel.supervisor import SupervisionConfig, WorkerSupervisor
 
 __all__ = ["ParallelHpxBackend", "ParallelStats"]
+
+#: EMA smoothing for measured per-spec durations: heavy enough that one
+#: noisy cycle cannot thrash the LPT packing, light enough to track a
+#: host warming up (caches, frequency scaling) within a few cycles.
+_EMA_ALPHA = 0.4
 
 
 @dataclass
@@ -76,6 +90,8 @@ class ParallelStats:
     lowerings: int = 0
     wall_ns: int = 0
     shm_bytes: int = 0
+    busy_ns: int = 0
+    cost_refreshes: int = 0
 
 
 class ParallelHpxBackend:
@@ -88,6 +104,8 @@ class ParallelHpxBackend:
         flight_recorder=None,
         start_method: str | None = None,
         supervision: SupervisionConfig | None = None,
+        dispatch: str = "wave",
+        window: int = DEFAULT_WINDOW,
     ) -> None:
         if program.domain is None:
             raise ParallelBackendError(
@@ -95,10 +113,19 @@ class ParallelHpxBackend:
             )
         if workers < 1:
             raise ParallelBackendError(f"workers must be >= 1, got {workers}")
+        if dispatch not in ("wave", "dataflow"):
+            raise ParallelBackendError(
+                f"dispatch must be 'wave' or 'dataflow', got {dispatch!r}"
+            )
         self.program = program
         self.domain = program.domain
         self.flight_recorder = flight_recorder
+        self.dispatch = dispatch
+        self.window = window
         self.stats = ParallelStats(workers=workers)
+        self.dataflow_stats = DataflowStats(window=window)
+        self._dataflow: DataflowExecutor | None = None
+        self._cost_ema: dict[int, float] = {}
         self._schedule = None
         self._assignments = None
         self._schedule_template = None
@@ -123,6 +150,7 @@ class ParallelHpxBackend:
                 workers=workers,
                 shm_bytes=self.arena.nbytes,
                 start_method=self.pool.start_method,
+                dispatch=dispatch,
             )
 
     # --- driving --------------------------------------------------------------
@@ -202,6 +230,14 @@ class ParallelHpxBackend:
         st.tasks_dispatched = 0
         st.lowerings = 0
         st.wall_ns = 0
+        st.busy_ns = 0
+        st.cost_refreshes = 0
+        df = self.dataflow_stats
+        df.cycles = 0
+        df.tasks_streamed = 0
+        df.steals = 0
+        df.requeues = 0
+        df.max_ready = 0
         sup = self.supervisor.stats
         sup.worker_losses = sup.deaths = sup.hangs = sup.garbles = 0
         sup.respawns = sup.wave_retries = sup.shadow_restores = 0
@@ -209,6 +245,8 @@ class ParallelHpxBackend:
         sup.loss_log.clear()
         self.flight_recorder = flight_recorder
         self.supervisor._flight = flight_recorder
+        if self._dataflow is not None:
+            self._dataflow._flight = flight_recorder
 
     # --- serial (capture / resync) path ---------------------------------------
 
@@ -238,9 +276,19 @@ class ParallelHpxBackend:
         self._schedule = schedule
         self._schedule_template = template
         self._schedule_key = key
+        self._cost_ema.clear()  # spec indices re-mapped; old EMAs meaningless
         self.stats.lowerings += 1
         self.pool.broadcast_plan(schedule.specs)
         self.supervisor.install_plan(schedule, self._assignments)
+        if self.dispatch == "dataflow":
+            self._dataflow = DataflowExecutor(
+                self.pool,
+                self.supervisor,
+                schedule,
+                window=self.window,
+                flight_recorder=self.flight_recorder,
+                stats=self.dataflow_stats,
+            )
 
     # --- parallel (warm) path -------------------------------------------------
 
@@ -257,14 +305,24 @@ class ParallelHpxBackend:
                 kind = injector.draw_worker(w)
                 if kind is not None:
                     faults[w] = kind
+        if self.dispatch == "dataflow":
+            self._dataflow_cycle(d, cycle, faults)
+        else:
+            self._wave_cycle(d, cycle, faults)
+        # Keep the program's rollback detector coherent: a later serial
+        # cycle must see the cycles we advanced here.
+        self.program._last_cycle = cycle
+
+    def _wave_cycle(self, d, cycle, faults) -> None:
         schedule = self._schedule
         partials: dict[int, tuple[float, float]] = {}
+        durations: list[tuple[int, int]] = []
         dispatched = 0
         for wi, wave in enumerate(schedule.waves):
             if wave.parallel:
                 shadow = WaveShadow.capture(d, schedule, wave)
                 try:
-                    results = self.supervisor.run_wave(
+                    results, durs = self.supervisor.run_wave(
                         d, cycle, wi, self._assignments[wi], faults, shadow
                     )
                 except SupervisionExhausted as exc:
@@ -276,8 +334,9 @@ class ParallelHpxBackend:
                     self._degrade(exc, cycle, schedule, wi, partials)
                     break
                 partials.update(results)
+                durations.extend(durs)
                 dispatched += len(wave.parallel)
-            self._run_serial_specs(schedule, wave, partials)
+            self._run_serial_specs(schedule, wave, partials, durations)
         else:
             self.stats.parallel_cycles += 1
             self.stats.waves += schedule.n_waves
@@ -288,16 +347,39 @@ class ParallelHpxBackend:
                     cycle=cycle,
                     waves=schedule.n_waves,
                     tasks=dispatched,
+                    dispatch="wave",
                 )
-        # Keep the program's rollback detector coherent: a later serial
-        # cycle must see the cycles we advanced here.
-        self.program._last_cycle = cycle
+            self._note_durations(durations, cycle, schedule)
 
-    def _run_serial_specs(self, schedule, wave, partials) -> None:
+    def _dataflow_cycle(self, d, cycle, faults) -> None:
+        schedule = self._schedule
+        streamed0 = self.dataflow_stats.tasks_streamed
+        try:
+            _partials, durations = self._dataflow.run_cycle(d, cycle, faults)
+        except DataflowAborted as exc:
+            if not self.supervisor.config.degrade:
+                raise
+            self._degrade_dataflow(exc, cycle, schedule)
+            return
+        streamed = self.dataflow_stats.tasks_streamed - streamed0
+        self.stats.parallel_cycles += 1
+        self.stats.tasks_dispatched += streamed
+        if self.flight_recorder is not None:
+            self.flight_recorder.record(
+                "parallel_cycle",
+                cycle=cycle,
+                waves=0,
+                tasks=streamed,
+                dispatch="dataflow",
+            )
+        self._note_durations(durations, cycle, schedule)
+
+    def _run_serial_specs(self, schedule, wave, partials, durations=None) -> None:
         """Run a wave's main-process specs (``bc``/``reduce``) in order."""
         d = self.domain
         for idx in wave.serial:
             spec = schedule.specs[idx]
+            t0 = _time.perf_counter_ns()
             if spec.kind == "reduce":
                 # Fold in ascending spec order == the captured graph's
                 # creation order == the simulated reduce's fold order.
@@ -311,6 +393,49 @@ class ParallelHpxBackend:
                 value = execute_spec(d, spec)
                 if value is not None:
                     partials[idx] = value
+            if durations is not None:
+                durations.append((idx, _time.perf_counter_ns() - t0))
+
+    # --- measured-cost feedback -----------------------------------------------
+
+    def _note_durations(self, durations, cycle, schedule) -> None:
+        """Fold measured per-spec wall times into the cost EMA.
+
+        Once **every** spec has at least one measurement, the measured
+        table replaces the capture-time cost model wholesale — the LPT
+        packing is re-run, the supervisor deadlines re-derived, and the
+        dataflow priority re-ranked.  Simulated-cost and measured-ns units
+        are never mixed within one table: a partially-measured table would
+        compare apples to oranges inside a single wave.
+        """
+        if not durations:
+            return
+        ema = self._cost_ema
+        for idx, ns in durations:
+            prev = ema.get(idx)
+            ema[idx] = (
+                float(ns)
+                if prev is None
+                else _EMA_ALPHA * ns + (1.0 - _EMA_ALPHA) * prev
+            )
+        self.stats.busy_ns += sum(ns for _idx, ns in durations)
+        if len(ema) < len(schedule.specs):
+            return
+        measured = tuple(max(1, int(ema[i])) for i in range(len(schedule.specs)))
+        self._assignments = assign_waves(
+            schedule, self.pool.n_workers, costs=measured
+        )
+        self.supervisor.install_plan(schedule, self._assignments, costs=measured)
+        if self._dataflow is not None:
+            self._dataflow.refresh_costs(measured)
+        self.stats.cost_refreshes += 1
+        if self.flight_recorder is not None:
+            self.flight_recorder.record(
+                "spec_cost_refresh",
+                cycle=cycle,
+                specs=len(measured),
+                costs=[[i, c] for i, c in enumerate(measured)],
+            )
 
     # --- graceful degradation -------------------------------------------------
 
@@ -334,6 +459,40 @@ class ParallelHpxBackend:
                     if value is not None:
                         partials[idx] = value
             self._run_serial_specs(schedule, wave, partials)
+        self._finish_degrade(exc, cycle, wave=start_wave)
+
+    def _degrade_dataflow(self, exc, cycle, schedule) -> None:
+        """Finish an aborted dataflow cycle serially, then route serial.
+
+        ``exc.unretired`` lists every spec still to run in ascending index
+        order — creation order, which is topological, so executing them in
+        sequence respects every dependency edge; retired specs' writes are
+        complete and any lost in-flight non-idempotent slices were rewound
+        before the abort was raised.  Each spec gets its own workspace
+        phase window (the dataflow invariant: other processes wrote between
+        specs, so gather caches must not survive across them).
+        """
+        d = self.domain
+        partials = dict(exc.partials)
+        for idx in exc.unretired:
+            spec = schedule.specs[idx]
+            if spec.kind == "reduce":
+                courant, hydro = 1.0e20, 1.0e20
+                for i in sorted(partials):
+                    cmin, hmin = partials[i]
+                    courant = min(courant, cmin)
+                    hydro = min(hydro, hmin)
+                reduce_time_constraints(d, courant, hydro)
+            elif spec.kind == "bc":
+                execute_spec(d, spec)
+            else:
+                with d.workspace.phase():
+                    value = execute_spec(d, spec)
+                if value is not None:
+                    partials[idx] = value
+        self._finish_degrade(exc, cycle, wave=-1)
+
+    def _finish_degrade(self, exc, cycle, wave) -> None:
         self._degraded = True
         self.supervisor.stats.degraded = True
         self.stats.fallback_cycles += 1
@@ -341,7 +500,7 @@ class ParallelHpxBackend:
             self.flight_recorder.record(
                 "backend_degraded",
                 cycle=cycle,
-                wave=start_wave,
+                wave=wave,
                 reason=str(exc),
                 respawns=self.supervisor.stats.respawns,
             )
@@ -349,7 +508,7 @@ class ParallelHpxBackend:
             f"process backend degraded to the serial path at cycle {cycle} "
             f"({exc}); the run continues on one process",
             RuntimeWarning,
-            stacklevel=4,
+            stacklevel=6,
         )
         self.pool.stop()
 

@@ -1,0 +1,445 @@
+"""Dependency-driven (dataflow) dispatch for the process backend.
+
+The wave scheduler (:func:`~repro.parallel.plan.lower_template` +
+:meth:`~repro.parallel.supervisor.WorkerSupervisor.run_wave`) is
+level-synchronous: a full join after every wave means the slowest task in
+each level idles every other core — exactly the fork-join slack the paper's
+futurization removes.  :class:`DataflowExecutor` retires that model: specs
+execute by *readiness*, not by level.
+
+Per captured segment (segments are flush boundaries, so they stay
+barriers), the executor seeds per-spec dependency counters from
+``ParallelSchedule.parents``, keeps a ready queue ordered by HEFT-style
+upward rank (:func:`~repro.parallel.plan.critical_ranks` — the spec with
+the longest dependent chain dispatches first, keeping the critical path
+hot), and streams single specs to warm workers over the pipelined ``task``
+protocol with a bounded in-flight window per worker.  Work rebalances by
+steal-on-idle: there is no static assignment, so a worker finishing early
+simply pulls the next costliest ready spec the moment its reply frees a
+window slot, instead of waiting at a join.  Serial specs (``accel_bc``,
+``reduce_dt``) run in the main process as soon as they become ready —
+the constraint min-fold happens at the reduce spec, over partials in
+ascending spec order, which is the captured graph's creation order and
+therefore the exact fold order of the simulated backend.
+
+**Bit-identity argument.**  Every spec is the same NumPy kernel over the
+same ``[lo, hi)`` slice of the same shared float64 bytes as the serial
+path; dependency edges are honoured by construction (a spec is dispatched
+only after every parent retired); independent specs write disjoint slices
+(that is what independence means in the captured graph), so their
+interleaving cannot change any byte; and the reduce fold order is pinned.
+Which worker runs a spec, and in which order independent specs complete,
+is therefore unobservable in the results — the same argument that makes
+the simulated runtime deterministic under arbitrary task interleavings.
+
+**Supervision.**  The watchdog clock is per-outstanding-spec: replies are
+FIFO per worker, so only the head of a worker's in-flight window can be
+making no progress, and its deadline
+(:meth:`~repro.parallel.supervisor.WorkerSupervisor.spec_deadline_s`)
+starts when it *becomes* head.  A classified failure (dead pipe / missed
+deadline / garbled reply) kills and respawns the worker through the shared
+supervision budget, restores the per-spec shadows of its in-flight
+non-idempotent specs (:meth:`WaveShadow.capture_specs` snapshots are taken
+at dispatch), and requeues them — their parents already retired, so they
+go straight back on the ready queue.  Budget exhaustion raises
+:class:`~repro.parallel.errors.DataflowAborted` carrying the retired
+partials and the ascending unretired spec list, from which the backend
+finishes the cycle serially and bit-identically.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time as _time
+from collections import deque
+from dataclasses import dataclass
+
+from repro.lulesh.kernels.constraints import reduce_time_constraints
+from repro.parallel.errors import (
+    DataflowAborted,
+    GarbledReplyError,
+    ParallelBackendError,
+    SupervisionExhausted,
+    WorkerFailure,
+    WorkerHangError,
+)
+from repro.parallel.plan import critical_ranks, execute_spec, spec_is_idempotent
+from repro.parallel.shadow import WaveShadow
+from repro.parallel.supervisor import _DRAIN_GRACE_S
+
+__all__ = ["DEFAULT_WINDOW", "DataflowStats", "DataflowExecutor"]
+
+#: In-flight specs per worker.  Two keeps the pipe primed — the worker
+#: starts its next spec the moment it finishes one, without a round-trip
+#: of dispatch latency — while bounding both the requeue set a lost worker
+#: can orphan and the scheduling laxity (a deep window would commit cheap
+#: specs to a busy worker that an idle one should steal).
+DEFAULT_WINDOW = 2
+
+
+@dataclass
+class DataflowStats:
+    """Accounting behind the ``/parallel/dataflow/*`` counters."""
+
+    cycles: int = 0
+    tasks_streamed: int = 0
+    steals: int = 0
+    requeues: int = 0
+    max_ready: int = 0
+    window: int = DEFAULT_WINDOW
+
+
+class DataflowExecutor:
+    """Stream a lowered schedule to the pool by per-spec readiness."""
+
+    def __init__(
+        self,
+        pool,
+        supervisor,
+        schedule,
+        costs=None,
+        window: int = DEFAULT_WINDOW,
+        flight_recorder=None,
+        stats: DataflowStats | None = None,
+    ) -> None:
+        if window < 1:
+            raise ParallelBackendError(f"window must be >= 1, got {window}")
+        self.pool = pool
+        self.supervisor = supervisor
+        self.schedule = schedule
+        self.window = window
+        self.stats = stats if stats is not None else DataflowStats()
+        self.stats.window = window
+        self._flight = flight_recorder
+        self._seq = 0
+        self.refresh_costs(costs)
+
+    def refresh_costs(self, costs=None) -> None:
+        """Reorder the ready-queue priority from a new cost table."""
+        self._costs = tuple(costs) if costs is not None else self.schedule.costs
+        self._rank = critical_ranks(self.schedule, self._costs)
+
+    # --- cycle driving --------------------------------------------------------
+
+    def run_cycle(self, domain, cycle: int, faults=None):
+        """Execute one warm cycle; returns ``(partials, durations)``.
+
+        *faults* maps worker index -> injected chaos kind, consumed on the
+        first task streamed to that worker (the dataflow analogue of the
+        wave path's first-active-wave rule).  Raises
+        :class:`DataflowAborted` on supervision-budget exhaustion and
+        re-raises worker kernel exceptions with their original type after
+        draining every pipe.
+        """
+        faults = dict(faults) if faults else {}
+        partials: dict[int, tuple[float, float]] = {}
+        durations: list[tuple[int, int]] = []
+        sched = self.schedule
+        for si, (start, end) in enumerate(sched.seg_ranges):
+            try:
+                self._run_segment(
+                    domain, cycle, start, end, faults, partials, durations
+                )
+            except DataflowAborted as exc:
+                rest = [
+                    i
+                    for s2, e2 in sched.seg_ranges[si + 1 :]
+                    for i in range(s2, e2)
+                ]
+                raise DataflowAborted(
+                    str(exc),
+                    partials=partials,
+                    unretired=tuple(exc.unretired) + tuple(rest),
+                ) from exc
+        self.stats.cycles += 1
+        return partials, durations
+
+    # --- one segment ----------------------------------------------------------
+
+    def _run_segment(
+        self, domain, cycle, start, end, faults, partials, durations
+    ) -> None:
+        n = end - start
+        if n == 0:
+            return
+        sched = self.schedule
+        specs = sched.specs
+        sup = self.supervisor
+        pool = self.pool
+        indeg: dict[int, int] = {}
+        ready_par: list[tuple[int, int]] = []  # heap of (-rank, idx)
+        ready_ser: list[int] = []  # heap of idx
+        outstanding: dict[int, deque] = {
+            w: deque() for w in range(pool.n_workers)
+        }
+        head_since: dict[int, float] = {}
+        retired: set[int] = set()
+        kernel_err: list[BaseException | None] = [None]
+
+        def push_ready(i: int) -> None:
+            if specs[i].kind in ("bc", "reduce"):
+                heapq.heappush(ready_ser, i)
+            else:
+                heapq.heappush(ready_par, (-self._rank[i], i))
+                self.stats.max_ready = max(
+                    self.stats.max_ready, len(ready_par)
+                )
+
+        def retire(i: int) -> None:
+            retired.add(i)
+            for s in sched.successors[i]:
+                indeg[s] -= 1
+                if indeg[s] == 0:
+                    push_ready(s)
+
+        def run_serial() -> None:
+            # The main process is otherwise idle while workers compute, so
+            # serial specs run the moment they are ready.  Ascending index
+            # order among simultaneously-ready serial specs preserves
+            # creation order.
+            while ready_ser:
+                i = heapq.heappop(ready_ser)
+                spec = specs[i]
+                t0 = _time.perf_counter_ns()
+                if spec.kind == "reduce":
+                    # All constraint specs are parents of the reduce, so
+                    # readiness implies every partial is present; fold in
+                    # ascending spec order == capture creation order.
+                    courant, hydro = 1.0e20, 1.0e20
+                    for j in sorted(partials):
+                        cmin, hmin = partials[j]
+                        courant = min(courant, cmin)
+                        hydro = min(hydro, hmin)
+                    reduce_time_constraints(domain, courant, hydro)
+                else:
+                    value = execute_spec(domain, spec)
+                    if value is not None:
+                        partials[i] = value
+                durations.append((i, _time.perf_counter_ns() - t0))
+                retire(i)
+
+        def fail_worker(w: int, exc: WorkerFailure, spec_hint=None) -> None:
+            # Kill first (recover_worker reaps the process), *then* restore
+            # and requeue: a garbling worker may still be executing queued
+            # specs, and restoring while it writes would race.
+            inflight = list(outstanding[w])
+            outstanding[w].clear()
+            head_since.pop(w, None)
+            head = spec_hint
+            if head is None and inflight:
+                head = inflight[0][1]
+            try:
+                sup.recover_worker(w, exc, cycle, wave=-1, spec=head)
+            finally:
+                for _seq, i, shadow in inflight:
+                    if shadow is not None:
+                        shadow.restore(domain)
+                        sup.stats.shadow_restores += 1
+                for _seq, i, _shadow in inflight:
+                    heapq.heappush(ready_par, (-self._rank[i], i))
+                if inflight:
+                    self.stats.requeues += len(inflight)
+                    self._record(
+                        "spec_requeue",
+                        cycle=cycle,
+                        worker=w,
+                        specs=[i for _seq, i, _shadow in inflight],
+                    )
+
+        def pick_worker():
+            best = None
+            for w in range(pool.n_workers):
+                load = len(outstanding[w])
+                if load >= self.window:
+                    continue
+                if best is None or load < len(outstanding[best]):
+                    best = w
+            return best
+
+        def dispatch_one() -> bool:
+            if not ready_par:
+                return False
+            w = pick_worker()
+            if w is None:
+                return False
+            _, i = heapq.heappop(ready_par)
+            shadow = None
+            if not spec_is_idempotent(specs[i]):
+                shadow = WaveShadow.capture_specs(domain, sched, (i,))
+                if shadow is not None:
+                    sup.stats.shadow_bytes_peak = max(
+                        sup.stats.shadow_bytes_peak, shadow.nbytes
+                    )
+            if retired and not outstanding[w] and any(
+                outstanding[x] for x in outstanding if x != w
+            ):
+                # A worker that drained its window while others are still
+                # busy is pulling work it was never assigned: a steal.
+                self.stats.steals += 1
+            fault = faults.pop(w, None) if faults else None
+            seq = self._seq
+            self._seq += 1
+            try:
+                pool.send_task(
+                    w, seq, domain.deltatime, domain.time, cycle, i, fault
+                )
+            except WorkerFailure as exc:
+                # The spec never reached the worker: back on the queue
+                # without a restore (nothing ran), then heal the worker.
+                heapq.heappush(ready_par, (-self._rank[i], i))
+                fail_worker(w, exc, spec_hint=i)
+                return True
+            outstanding[w].append((seq, i, shadow))
+            if len(outstanding[w]) == 1:
+                head_since[w] = _time.monotonic()
+            self.stats.tasks_streamed += 1
+            return True
+
+        def collect_some() -> None:
+            active = [w for w in outstanding if outstanding[w]]
+            deadlines = {
+                w: head_since[w] + sup.spec_deadline_s(outstanding[w][0][1])
+                for w in active
+            }
+            timeout = min(deadlines.values()) - _time.monotonic()
+            ready_ws = pool.poll_workers(active, timeout)
+            if not ready_ws:
+                now = _time.monotonic()
+                for w in active:
+                    if now >= deadlines[w] and outstanding[w]:
+                        i = outstanding[w][0][1]
+                        fail_worker(
+                            w,
+                            WorkerHangError(
+                                w,
+                                f"worker {w} made no progress on spec {i} "
+                                f"within {sup.spec_deadline_s(i):.3f}s "
+                                "(per-spec watchdog deadline)",
+                            ),
+                        )
+                return
+            for w in ready_ws:
+                if not outstanding[w]:
+                    continue
+                try:
+                    rseq, ridx, value, dur = pool.recv_task_reply(
+                        w, _DRAIN_GRACE_S
+                    )
+                except WorkerFailure as exc:
+                    fail_worker(w, exc)
+                    continue
+                except BaseException as exc:
+                    # Kernel exception: deterministic physics.  The errored
+                    # head retires nothing; keep draining, raise at the end.
+                    outstanding[w].popleft()
+                    if outstanding[w]:
+                        head_since[w] = _time.monotonic()
+                    else:
+                        head_since.pop(w, None)
+                    if kernel_err[0] is None:
+                        kernel_err[0] = exc
+                    continue
+                eseq, eidx, shadow = outstanding[w].popleft()
+                if rseq != eseq or ridx != eidx:
+                    outstanding[w].appendleft((eseq, eidx, shadow))
+                    fail_worker(
+                        w,
+                        GarbledReplyError(
+                            w,
+                            f"worker {w} answered seq {rseq} spec {ridx}, "
+                            f"expected seq {eseq} spec {eidx}",
+                        ),
+                    )
+                    continue
+                if outstanding[w]:
+                    head_since[w] = _time.monotonic()
+                else:
+                    head_since.pop(w, None)
+                durations.append((ridx, dur))
+                if value is not None:
+                    partials[ridx] = value
+                retire(ridx)
+
+        for i in range(start, end):
+            deg = len(sched.parents[i])
+            indeg[i] = deg
+            if deg == 0:
+                push_ready(i)
+        try:
+            while len(retired) < n and kernel_err[0] is None:
+                run_serial()
+                if len(retired) >= n:
+                    break
+                while dispatch_one():
+                    pass
+                if ready_ser:
+                    continue
+                if not any(outstanding.values()):
+                    if ready_par:
+                        raise ParallelBackendError(
+                            "dataflow dispatch stalled with ready work"
+                        )
+                    raise ParallelBackendError(
+                        f"dataflow deadlock: {n - len(retired)} specs "
+                        "unreachable (dependency table is cyclic?)"
+                    )
+                collect_some()
+            if kernel_err[0] is not None:
+                # Drain every pipe before raising so rollback can reuse the
+                # pool message-aligned (the wave path's discipline).
+                while any(outstanding.values()):
+                    collect_some()
+                raise kernel_err[0]
+        except SupervisionExhausted as exc:
+            self._abort_drain(
+                domain, outstanding, head_since, partials, durations, retire
+            )
+            unretired = sorted(set(range(start, end)) - retired)
+            raise DataflowAborted(
+                str(exc), partials=partials, unretired=unretired
+            ) from exc
+
+    def _abort_drain(
+        self, domain, outstanding, head_since, partials, durations, retire
+    ) -> None:
+        """Best-effort drain of the survivors after budget exhaustion.
+
+        Completed in-flight specs are retired (their writes are valid);
+        workers that fail during the drain are reaped without respawn (the
+        budget is spent) and their shadows restored — everything still
+        unretired is re-executed serially by the backend afterwards.
+        """
+        sup = self.supervisor
+        for w, queue in outstanding.items():
+            while queue:
+                head = queue[0][1]
+                try:
+                    rseq, ridx, value, dur = self.pool.recv_task_reply(
+                        w, sup.spec_deadline_s(head) + _DRAIN_GRACE_S
+                    )
+                except BaseException:
+                    self.pool.kill_worker(w)
+                    for _seq, _i, shadow in queue:
+                        if shadow is not None:
+                            shadow.restore(domain)
+                            sup.stats.shadow_restores += 1
+                    queue.clear()
+                    break
+                eseq, eidx, shadow = queue.popleft()
+                if rseq != eseq or ridx != eidx:
+                    self.pool.kill_worker(w)
+                    for sh in [shadow] + [s for _a, _b, s in queue]:
+                        if sh is not None:
+                            sh.restore(domain)
+                            sup.stats.shadow_restores += 1
+                    queue.clear()
+                    break
+                durations.append((ridx, dur))
+                if value is not None:
+                    partials[ridx] = value
+                retire(ridx)
+            head_since.pop(w, None)
+
+    def _record(self, kind: str, **args) -> None:
+        if self._flight is not None:
+            self._flight.record(kind, **args)

@@ -121,21 +121,29 @@ class WorkerSupervisor:
         self._flight = flight_recorder
         self._sleep = sleep
         self._deadlines: tuple[float, ...] = ()
+        self._spec_costs: tuple[float, ...] = ()
+        self._top_spec_cost: float = 0
 
     # --- planning -------------------------------------------------------------
 
-    def install_plan(self, schedule, assignments) -> None:
+    def install_plan(self, schedule, assignments, costs=None) -> None:
         """Derive per-wave deadlines from the schedule's cost estimates.
 
         A wave's wall time is governed by its most-loaded worker (the
         straggler), so each wave's deadline scales with its max per-worker
-        assigned cost relative to the costliest wave's.
+        assigned cost relative to the costliest wave's.  *costs* overrides
+        the capture-time estimates (the backend passes measured EMAs once
+        warm).  The same cost table feeds the per-outstanding-spec
+        deadlines the dataflow dispatcher polls against.
         """
+        spec_costs = tuple(costs) if costs is not None else schedule.costs
+        self._spec_costs = spec_costs
+        self._top_spec_cost = max(spec_costs, default=0)
         loads = []
         for wave_assign in assignments:
             loads.append(
                 max(
-                    (sum(schedule.costs[i] for i in idxs) for idxs in wave_assign),
+                    (sum(spec_costs[i] for i in idxs) for idxs in wave_assign),
                     default=0,
                 )
             )
@@ -152,6 +160,20 @@ class WorkerSupervisor:
             return self._deadlines[wave_index]
         return self.config.worker_timeout_s
 
+    def spec_deadline_s(self, index: int) -> float:
+        """Watchdog deadline for one outstanding spec (dataflow dispatch).
+
+        Scales with the spec's cost relative to the costliest spec, with
+        the same floor as waves — message latency does not shrink with
+        spec cost.  The clock starts when the spec reaches the head of its
+        worker's in-flight window, not at send (replies are FIFO per
+        worker, so only the head can be making no progress).
+        """
+        costs = self._spec_costs
+        top = self._top_spec_cost
+        frac = (costs[index] / top) if top and index < len(costs) else 1.0
+        return self.config.worker_timeout_s * max(_DEADLINE_FLOOR, frac)
+
     # --- dispatch -------------------------------------------------------------
 
     def run_wave(
@@ -163,7 +185,7 @@ class WorkerSupervisor:
         faults=None,
         shadow=None,
     ):
-        """Execute one wave with recovery; returns drained partials.
+        """Execute one wave with recovery; returns ``(partials, durations)``.
 
         *assignment* is the per-worker index-tuple row for this wave;
         *faults* maps worker index -> injected fault kind for this cycle
@@ -182,7 +204,7 @@ class WorkerSupervisor:
             )
         attempt = 0
         while True:
-            failures, results, kernel_err = self._dispatch_once(
+            failures, results, durations, kernel_err = self._dispatch_once(
                 domain, cycle, wave_index, assignment, faults
             )
             if failures:
@@ -196,7 +218,7 @@ class WorkerSupervisor:
                 # has already been healed above so rollback can reuse it.
                 raise kernel_err
             if not failures:
-                return results
+                return results, durations
             attempt += 1
             if attempt > self.config.max_wave_retries:
                 self._restore(shadow, domain)
@@ -223,10 +245,11 @@ class WorkerSupervisor:
     def _dispatch_once(self, domain, cycle, wave_index, assignment, faults):
         """One send/collect round; never raises for worker failures.
 
-        Returns ``(failures, results, kernel_err)`` where *failures* maps
-        worker index -> :class:`WorkerFailure`.  Every worker the wave was
-        sent to is drained (reply, failure, or deadline) before returning,
-        keeping surviving pipes message-aligned.
+        Returns ``(failures, results, durations, kernel_err)`` where
+        *failures* maps worker index -> :class:`WorkerFailure`.  Every
+        worker the wave was sent to is drained (reply, failure, or
+        deadline) before returning, keeping surviving pipes
+        message-aligned.
         """
         pool = self.pool
         active = [w for w in range(pool.n_workers) if assignment[w]]
@@ -244,46 +267,61 @@ class WorkerSupervisor:
             sent.append(w)
         deadline = _time.monotonic() + self.wave_deadline_s(wave_index)
         results: list = []
+        durations: list = []
         kernel_err: BaseException | None = None
         for w in sent:
             remaining = max(deadline - _time.monotonic(), _DRAIN_GRACE_S)
             try:
-                results.extend(pool.reply_deadline(w, remaining))
+                partials, durs = pool.reply_deadline(w, remaining)
+                results.extend(partials)
+                durations.extend(durs)
             except WorkerFailure as exc:
                 failures[w] = exc
             except BaseException as exc:
                 if kernel_err is None:
                     kernel_err = exc
-        return failures, results, kernel_err
+        return failures, results, durations, kernel_err
 
     # --- recovery -------------------------------------------------------------
 
     def _recover_workers(self, failures, cycle, wave_index) -> None:
         """Kill/reap every failed worker and respawn within budget."""
         for w, exc in sorted(failures.items()):
-            exitcode = self.pool.kill_worker(w)
-            self.stats.note_loss(w, exc.reason, cycle, wave_index)
-            self._record(
-                "worker_lost",
-                worker=w,
-                reason=exc.reason,
-                cycle=cycle,
-                wave=wave_index,
-                exitcode=exitcode,
+            self.recover_worker(w, exc, cycle, wave=wave_index)
+
+    def recover_worker(
+        self, w: int, exc: WorkerFailure, cycle: int,
+        wave: int = -1, spec: int | None = None,
+    ) -> None:
+        """Kill/reap/respawn one classified-failed worker within budget.
+
+        Shared by the wave path (``wave`` set) and the dataflow dispatcher
+        (``wave=-1``, ``spec`` naming the in-flight head when known).
+        Raises :class:`SupervisionExhausted` once the respawn budget is
+        spent — the worker is reaped but *not* replaced.
+        """
+        exitcode = self.pool.kill_worker(w)
+        self.stats.note_loss(w, exc.reason, cycle, wave)
+        detail = dict(
+            worker=w, reason=exc.reason, cycle=cycle, wave=wave,
+            exitcode=exitcode,
+        )
+        if spec is not None:
+            detail["spec"] = spec
+        self._record("worker_lost", **detail)
+        if self.stats.respawns >= self.config.max_respawns:
+            raise SupervisionExhausted(
+                f"worker {w} lost ({exc.reason}) but the respawn budget "
+                f"({self.config.max_respawns}) is spent"
             )
-            if self.stats.respawns >= self.config.max_respawns:
-                raise SupervisionExhausted(
-                    f"worker {w} lost ({exc.reason}) but the respawn budget "
-                    f"({self.config.max_respawns}) is spent"
-                )
-            self.pool.respawn_worker(w)
-            self.stats.respawns += 1
-            self._record(
-                "worker_respawn",
-                worker=w,
-                cycle=cycle,
-                respawns=self.stats.respawns,
-            )
+        self.pool.respawn_worker(w)
+        self.stats.respawns += 1
+        self._record(
+            "worker_respawn",
+            worker=w,
+            cycle=cycle,
+            respawns=self.stats.respawns,
+        )
 
     def _record(self, kind: str, **args) -> None:
         if self._flight is not None:

@@ -56,6 +56,7 @@ class TestBands:
             "*build-time*",
             "*replay-time*",
             "/parallel/*",
+            "/parallel/dataflow/*",
             "/serve/wall-time",
             "/serve/jobs-per-sec",
         )

@@ -1,0 +1,275 @@
+"""Unit tests for the dataflow dispatcher's scheduling machinery.
+
+A :class:`FakePool`/:class:`FakeSupervisor` pair lets these tests drive
+:class:`~repro.parallel.dataflow.DataflowExecutor` without real worker
+processes: the pool answers every reply instantly and in FIFO order, so
+the dispatch sequence the executor produces is fully deterministic and
+can be asserted exactly — ready-counter bookkeeping, rank-ordered
+priority, bounded windows, steal accounting, requeue-on-failure, and the
+abort protocol.
+"""
+
+from collections import deque
+from types import SimpleNamespace
+
+import pytest
+
+from repro.obs import FlightRecorder
+from repro.parallel.dataflow import DEFAULT_WINDOW, DataflowExecutor, DataflowStats
+from repro.parallel.errors import (
+    DataflowAborted,
+    ParallelBackendError,
+    SupervisionExhausted,
+    WorkerDiedError,
+)
+from repro.parallel.plan import (
+    ParallelSchedule,
+    TaskSpec,
+    assign_waves,
+    critical_ranks,
+)
+
+pytestmark = pytest.mark.parallel
+
+
+def kernel_spec():
+    # init_stress is idempotent: no shadow capture, so no Domain needed.
+    return TaskSpec("kernels", names=("init_stress",), lo=0, hi=8)
+
+
+def make_schedule(parents, costs=None):
+    """A schedule of idempotent kernel specs from a parents table."""
+    n = len(parents)
+    succ = [[] for _ in range(n)]
+    for i, deps in enumerate(parents):
+        for p in deps:
+            succ[p].append(i)
+    return ParallelSchedule(
+        specs=tuple(kernel_spec() for _ in range(n)),
+        costs=tuple(costs) if costs is not None else tuple([10] * n),
+        waves=(),
+        parents=tuple(tuple(d) for d in parents),
+        successors=tuple(tuple(s) for s in succ),
+        seg_ranges=((0, n),),
+    )
+
+
+DIAMOND = ((), (0,), (0,), (1, 2))  # A -> {B, C} -> D
+
+
+class FakePool:
+    """Instant-reply pool: every dispatched spec 'completes' at next poll.
+
+    ``fail_recv`` maps a worker index to a count of
+    :class:`WorkerDiedError` raises to serve before healthy replies.
+    """
+
+    def __init__(self, n_workers, fail_recv=None):
+        self.n_workers = n_workers
+        self.inbox = {w: deque() for w in range(n_workers)}
+        self.sent = []  # (worker, spec index) in dispatch order
+        self.killed = []
+        self.fail_recv = dict(fail_recv or {})
+
+    def send_task(self, w, seq, deltatime, time_now, cycle, index, fault=None):
+        self.inbox[w].append((seq, index))
+        self.sent.append((w, index))
+
+    def poll_workers(self, workers, timeout_s):
+        return sorted(w for w in workers if self.inbox[w])
+
+    def recv_task_reply(self, w, timeout_s):
+        if self.fail_recv.get(w, 0) > 0:
+            self.fail_recv[w] -= 1
+            raise WorkerDiedError(w, f"worker {w} pipe closed (test)")
+        seq, idx = self.inbox[w].popleft()
+        return (seq, idx, None, 1000)
+
+    def kill_worker(self, w):
+        self.killed.append(w)
+        self.inbox[w].clear()
+
+
+class FakeSupervisor:
+    """Bookkeeping-only supervisor: records recoveries, never exhausts
+    unless constructed with ``budget`` recoveries remaining.  Like the
+    real one, a recovery kills the worker (the fake pool drops its
+    undrained inbox — a respawned process has a fresh pipe)."""
+
+    def __init__(self, budget=None, pool=None):
+        self.stats = SimpleNamespace(shadow_restores=0, shadow_bytes_peak=0)
+        self.recovered = []
+        self.budget = budget
+        self.pool = pool
+
+    def spec_deadline_s(self, index):
+        return 10.0
+
+    def recover_worker(self, w, exc, cycle, wave=-1, spec=None):
+        self.recovered.append((w, exc.reason, spec))
+        if self.pool is not None:
+            self.pool.kill_worker(w)
+        if self.budget is not None:
+            if self.budget == 0:
+                raise SupervisionExhausted("respawn budget exhausted (test)")
+            self.budget -= 1
+
+
+def run(executor, cycle=1, faults=None):
+    domain = SimpleNamespace(deltatime=1e-7, time=0.0)
+    return executor.run_cycle(domain, cycle, faults=faults)
+
+
+def test_ready_counters_release_specs_in_dependency_order():
+    sched = make_schedule(DIAMOND)
+    pool = FakePool(2)
+    ex = DataflowExecutor(pool, FakeSupervisor(), sched)
+    partials, durations = run(ex)
+    order = [i for _w, i in pool.sent]
+    assert sorted(order) == [0, 1, 2, 3]  # every spec exactly once
+    assert order.index(0) < order.index(1)
+    assert order.index(0) < order.index(2)
+    assert order.index(3) == 3  # D strictly after both parents retired
+    assert partials == {}
+    assert sorted(i for i, _d in durations) == [0, 1, 2, 3]
+    assert ex.stats.tasks_streamed == 4
+    assert ex.stats.cycles == 1
+
+
+def test_ready_queue_is_rank_ordered():
+    # C's chain is costlier than B's, so C must dispatch first once A
+    # retires — the HEFT priority keeps the critical path hot.
+    sched = make_schedule(DIAMOND, costs=(10, 5, 500, 10))
+    ranks = critical_ranks(sched)
+    assert ranks[2] > ranks[1]
+    pool = FakePool(2)
+    ex = DataflowExecutor(pool, FakeSupervisor(), sched)
+    run(ex)
+    order = [i for _w, i in pool.sent]
+    assert order.index(2) < order.index(1)
+
+
+def test_refresh_costs_reorders_priority():
+    sched = make_schedule(DIAMOND, costs=(10, 5, 500, 10))
+    pool = FakePool(2)
+    ex = DataflowExecutor(pool, FakeSupervisor(), sched)
+    # measured costs invert the capture-time guess: B is the long chain now
+    ex.refresh_costs((10, 500, 5, 10))
+    run(ex)
+    order = [i for _w, i in pool.sent]
+    assert order.index(1) < order.index(2)
+
+
+def test_dispatch_is_deterministic_across_runs():
+    # Steal-on-idle determinism: same schedule, same pool behavior ->
+    # byte-for-byte the same dispatch sequence and the same steal count.
+    wide = ((),) * 6 + ((0, 1, 2, 3, 4, 5),)
+    runs = []
+    for _ in range(3):
+        pool = FakePool(3)
+        ex = DataflowExecutor(pool, FakeSupervisor(), make_schedule(wide))
+        run(ex)
+        runs.append((tuple(pool.sent), ex.stats.steals, ex.stats.max_ready))
+    assert runs[0] == runs[1] == runs[2]
+
+
+def test_window_bounds_in_flight_specs():
+    wide = ((),) * 8
+
+    class WindowAssertingPool(FakePool):
+        def send_task(self, w, seq, *a, **k):
+            assert len(self.inbox[w]) < 2  # window slots free before send
+            super().send_task(w, seq, *a, **k)
+
+    pool = WindowAssertingPool(1)
+    ex = DataflowExecutor(pool, FakeSupervisor(), make_schedule(wide), window=2)
+    run(ex)
+    assert ex.stats.tasks_streamed == 8
+    assert ex.stats.window == 2
+
+
+def test_window_must_be_positive():
+    with pytest.raises(ParallelBackendError, match="window"):
+        DataflowExecutor(FakePool(1), FakeSupervisor(), make_schedule(DIAMOND),
+                         window=0)
+
+
+def test_requeue_after_worker_failure_retires_everything():
+    # Worker 0's first reply is a dead pipe: its in-flight specs must be
+    # requeued and the cycle still retires every spec exactly once in
+    # dependency order.
+    flight = FlightRecorder()
+    sched = make_schedule(DIAMOND)
+    pool = FakePool(2, fail_recv={0: 1})
+    sup = FakeSupervisor(pool=pool)
+    ex = DataflowExecutor(pool, sup, sched, flight_recorder=flight)
+    run(ex)
+    assert len(sup.recovered) == 1
+    assert sup.recovered[0][1] == "dead"
+    assert ex.stats.requeues >= 1
+    events = flight.events_of("spec_requeue")
+    assert len(events) == 1 and events[0].detail["worker"] == 0
+    # the requeued spec was re-sent: dispatches exceed the spec count
+    assert len(pool.sent) == 4 + ex.stats.requeues
+    # and every spec ultimately retired once (duplicates would double-send)
+    final = [i for _w, i in pool.sent]
+    assert sorted(set(final)) == [0, 1, 2, 3]
+
+
+def test_exhaustion_raises_dataflow_aborted_with_unretired():
+    sched = make_schedule(DIAMOND)
+    # every recv fails and the budget is zero: exhaustion on first failure
+    pool = FakePool(1, fail_recv={0: 99})
+    ex = DataflowExecutor(pool, FakeSupervisor(budget=0), sched)
+    with pytest.raises(DataflowAborted) as ei:
+        run(ex)
+    exc = ei.value
+    assert isinstance(exc, SupervisionExhausted)  # backends catch the base
+    assert exc.unretired == tuple(sorted(exc.unretired))
+    assert set(exc.unretired) <= {0, 1, 2, 3}
+    assert 3 in exc.unretired  # the dependent tail never ran
+    assert exc.partials == {}
+
+
+def test_cyclic_dependency_table_is_a_deadlock_error():
+    sched = make_schedule(((1,), (0,)))
+    ex = DataflowExecutor(FakePool(1), FakeSupervisor(), sched)
+    with pytest.raises(ParallelBackendError, match="deadlock"):
+        run(ex)
+
+
+def test_stats_default_window_matches_module_default():
+    assert DataflowStats().window == DEFAULT_WINDOW
+
+
+# --- satellite: measured-cost plumbing at the plan layer ---------------------
+
+
+def test_assign_waves_accepts_measured_cost_override():
+    sched = ParallelSchedule(
+        specs=tuple(kernel_spec() for _ in range(3)),
+        costs=(100, 10, 10),
+        waves=(__import__("repro.parallel.plan", fromlist=["Wave"]).Wave(
+            (0, 1, 2), ()),),
+        parents=((), (), ()),
+        successors=((), (), ()),
+        seg_ranges=((0, 3),),
+    )
+    by_capture = assign_waves(sched, 2)
+    # measured costs say spec 2 is the expensive one: LPT must repack
+    by_measured = assign_waves(sched, 2, costs=(10, 10, 100))
+    assert by_capture[0][0][0] == 0
+    assert by_measured[0][0][0] == 2
+    with pytest.raises(ParallelBackendError, match="cost override"):
+        assign_waves(sched, 2, costs=(1, 2))
+
+
+def test_critical_ranks_sum_chain_costs():
+    sched = make_schedule(DIAMOND, costs=(1, 2, 4, 8))
+    ranks = critical_ranks(sched)
+    assert ranks[3] == 8
+    assert ranks[1] == 2 + 8
+    assert ranks[2] == 4 + 8
+    assert ranks[0] == 1 + max(ranks[1], ranks[2])
+    # measured override flows through
+    assert critical_ranks(sched, (1, 1, 1, 1)) == (3, 2, 2, 1)

@@ -1,0 +1,181 @@
+"""Satellite: cross-dispatch bit-identity (dataflow vs wave vs serial).
+
+Dataflow dispatch is a pure execution-strategy change: for every ladder
+variant at s=10 the final physics must be *bitwise* identical to both the
+serial simulated run and the wave-dispatched process run — including runs
+that roll back through a checkpoint and runs where workers are killed or
+hung mid-cycle and the dispatcher requeues their in-flight specs.
+"""
+
+import pytest
+
+from repro.core.driver import run_hpx
+from repro.core.hpx_lulesh import HpxVariant
+from repro.lulesh.options import LuleshOptions
+from repro.obs import FlightRecorder
+from repro.parallel import SupervisionConfig
+from repro.resilience import ResiliencePlan
+
+from tests.parallel.conftest import requires_process_backend
+from tests.parallel.test_backend_identity import assert_bitwise_identical
+
+pytestmark = [requires_process_backend, pytest.mark.parallel]
+
+VARIANTS = {
+    "fig5": HpxVariant.fig5(),
+    "fig6": HpxVariant.fig6(),
+    "fig7": HpxVariant.fig7(),
+    "full": HpxVariant.full(),
+}
+
+FAST_WATCHDOG = SupervisionConfig(worker_timeout_s=2.0)
+
+
+def opts_s10():
+    return LuleshOptions(nx=10, numReg=6, max_iterations=6)
+
+
+@pytest.fixture(scope="module")
+def serial_baselines():
+    """Fault-free serial runs at s=10, one per ladder variant."""
+    return {
+        name: run_hpx(opts_s10(), 4, 6, execute=True, variant=v)
+        for name, v in VARIANTS.items()
+    }
+
+
+@pytest.mark.parametrize("name", sorted(VARIANTS))
+def test_dispatch_matrix_bit_identity_s10(name, serial_baselines):
+    """serial == wave == dataflow on every ladder variant."""
+    wave = run_hpx(
+        opts_s10(), 4, 6, execute=True, variant=VARIANTS[name],
+        backend="process", backend_workers=2, dispatch="wave",
+    )
+    flow = run_hpx(
+        opts_s10(), 4, 6, execute=True, variant=VARIANTS[name],
+        backend="process", backend_workers=2, dispatch="dataflow",
+    )
+    assert_bitwise_identical(serial_baselines[name].domain, wave.domain)
+    assert_bitwise_identical(serial_baselines[name].domain, flow.domain)
+
+
+def test_worker_count_does_not_change_dataflow_physics():
+    opts = lambda: LuleshOptions(nx=8, numReg=4, max_iterations=5)  # noqa: E731
+    one = run_hpx(opts(), 4, 5, execute=True, backend="process",
+                  backend_workers=1, dispatch="dataflow")
+    three = run_hpx(opts(), 4, 5, execute=True, backend="process",
+                    backend_workers=3, dispatch="dataflow")
+    assert_bitwise_identical(one.domain, three.domain)
+
+
+def test_rollback_resync_bit_identity_dataflow(tmp_path):
+    """A NaN fault + checkpoint rollback mid-run under dataflow dispatch
+    lands on the same final state as the serial reference."""
+    def plan(tag):
+        return ResiliencePlan(
+            inject=("field:e:nan@4",),
+            auto_recover=True,
+            checkpoint_every=2,
+            checkpoint_path=str(tmp_path / f"{tag}.npz"),
+        )
+
+    opts = lambda: LuleshOptions(nx=8, numReg=4, max_iterations=8)  # noqa: E731
+    sim = run_hpx(opts(), 4, 8, execute=True, resilience=plan("sim"))
+    flow = run_hpx(opts(), 4, 8, execute=True, resilience=plan("flow"),
+                   backend="process", backend_workers=2, dispatch="dataflow")
+    assert sim.domain.cycle > 4  # the run recovered and kept going
+    assert_bitwise_identical(sim.domain, flow.domain)
+
+
+@pytest.mark.parametrize("kind", ["kill", "hang"])
+def test_worker_chaos_requeues_and_stays_bit_identical(kind, serial_baselines):
+    """Satellite acceptance: losing a worker mid-dataflow-cycle requeues
+    its in-flight specs on the healed pool and changes no bytes."""
+    flight = FlightRecorder()
+    plan = ResiliencePlan(inject=(f"worker:*:{kind}@3",))
+    flow = run_hpx(
+        opts_s10(), 4, 6, execute=True, variant=VARIANTS["full"],
+        backend="process", backend_workers=2, dispatch="dataflow",
+        supervision=FAST_WATCHDOG, resilience=plan, flight_recorder=flight,
+    )
+    assert flow.iterations == 6  # the run finished, it did not terminate
+    assert_bitwise_identical(serial_baselines["full"].domain, flow.domain)
+    lost = flight.events_of("worker_lost")
+    assert len(lost) == 1
+    expected_reason = "dead" if kind == "kill" else "hang"
+    assert lost[0].detail["reason"] == expected_reason
+    assert lost[0].cycle == 3
+    assert len(flight.events_of("worker_respawn")) == 1
+    # the lost worker had specs in flight; they were requeued, not retried
+    # as a whole wave
+    requeues = flight.events_of("spec_requeue")
+    assert len(requeues) >= 1
+    assert all(e.detail["specs"] for e in requeues)
+    assert not flight.events_of("wave_retry")
+    assert not flight.events_of("backend_degraded")
+    # every post-capture cycle ran warm under dataflow dispatch
+    cycles = flight.events_of("parallel_cycle")
+    assert [e.cycle for e in cycles] == [2, 3, 4, 5, 6]
+    assert all(e.detail["dispatch"] == "dataflow" for e in cycles)
+
+
+def test_exhaustion_mid_cycle_degrades_bit_identically(serial_baselines):
+    """Budget exhaustion mid-dataflow-cycle finishes the cycle serially
+    from the retired frontier (DataflowAborted carries the partials and
+    the unretired tail) and the remaining cycles fall back — same bytes."""
+    flight = FlightRecorder()
+    plan = ResiliencePlan(inject=("worker:0:kill@3",))
+    cfg = SupervisionConfig(worker_timeout_s=2.0, max_respawns=0)
+    with pytest.warns(RuntimeWarning, match="degraded to the serial path"):
+        flow = run_hpx(
+            opts_s10(), 4, 6, execute=True, variant=VARIANTS["full"],
+            backend="process", backend_workers=2, dispatch="dataflow",
+            supervision=cfg, resilience=plan, flight_recorder=flight,
+        )
+    assert flow.iterations == 6
+    assert_bitwise_identical(serial_baselines["full"].domain, flow.domain)
+    degraded = flight.events_of("backend_degraded")
+    assert len(degraded) == 1 and degraded[0].cycle == 3
+
+
+@pytest.mark.parametrize("dispatch", ["wave", "dataflow"])
+def test_measured_costs_refresh_the_plan(dispatch):
+    """Satellite: once every spec has a measured duration, the EMA table
+    replaces the capture-time cost model — LPT repacks, deadlines and
+    ready-queue ranks rescale — and the refresh lands in the flight
+    record with the full cost table."""
+    from repro.parallel import ParallelHpxBackend
+
+    from tests.parallel.conftest import make_execute_program
+
+    flight = FlightRecorder()
+    program = make_execute_program(nx=6, num_reg=3)
+    with ParallelHpxBackend(
+        program, workers=2, dispatch=dispatch, flight_recorder=flight
+    ) as backend:
+        backend.run(4)  # capture + 3 warm cycles
+        assert backend.stats.cost_refreshes >= 1
+        assert backend.stats.busy_ns > 0
+        events = flight.events_of("spec_cost_refresh")
+        assert len(events) == backend.stats.cost_refreshes
+        table = events[0].detail["costs"]
+        assert len(table) == len(backend._schedule.specs)
+        assert all(cost >= 1 for _i, cost in table)
+        # the supervisor's deadline table now runs on measured time
+        measured = dict((i, c) for i, c in table)
+        assert backend.supervisor._spec_costs[0] >= 1
+        assert len(backend.supervisor._spec_costs) == len(measured)
+
+
+def test_no_degrade_surfaces_dataflow_abort():
+    from repro.parallel import SupervisionExhausted
+
+    plan = ResiliencePlan(inject=("worker:0:kill@3",))
+    cfg = SupervisionConfig(worker_timeout_s=2.0, max_respawns=0,
+                            degrade=False)
+    with pytest.raises(SupervisionExhausted):
+        run_hpx(
+            LuleshOptions(nx=6, numReg=3, max_iterations=4), 4, 4,
+            execute=True, backend="process", backend_workers=2,
+            dispatch="dataflow", supervision=cfg, resilience=plan,
+        )

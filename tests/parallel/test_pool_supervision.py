@@ -46,10 +46,11 @@ def test_run_wave_drains_survivors_before_raising():
         # would read it and desynchronize — so this round-trip is the proof
         pool.respawn_worker(1)
         assert pool.poisoned is None
-        results = pool.run_wave(
+        results, durations = pool.run_wave(
             d.deltatime, d.time, d.cycle, backend._assignments[wi]
         )
         assert isinstance(results, list)
+        assert isinstance(durations, list)
 
 
 def test_reply_deadline_classifies_hang():
@@ -78,10 +79,11 @@ def test_respawned_worker_serves_the_current_plan():
         pool.kill_worker(0)
         pool.respawn_worker(0)
         # dispatch real specs to the fresh process: it must know the plan
-        results = pool.run_wave(
+        results, durations = pool.run_wave(
             d.deltatime, d.time, d.cycle, backend._assignments[0]
         )
         assert isinstance(results, list)
+        assert len(durations) == sum(len(a) for a in backend._assignments[0])
         backend.step()  # and a whole cycle still works end to end
 
 
@@ -124,5 +126,5 @@ def test_poisoned_pool_rejects_new_dispatch_only():
         d = backend.domain
         # supervision path stays open: that is how the pool gets healed
         pool.send_wave(0, d.deltatime, d.time, d.cycle, ())
-        assert pool.reply_deadline(0, 10.0) == []
+        assert pool.reply_deadline(0, 10.0) == ([], [])
         pool._poisoned = None

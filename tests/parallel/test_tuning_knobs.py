@@ -18,10 +18,14 @@ class TestSpace:
         workers = space.knob("workers")
         assert workers.values == (1, 2, 4)
         assert workers.default == 2
+        dispatch = space.knob("dispatch")
+        assert dispatch.values == ("wave", "dataflow")
+        assert dispatch.default == "wave"
 
     def test_default_config_stays_on_sim(self):
         cfg = SearchSpace.hpx_full(30).default_config()
         assert cfg["backend"] == "sim"
+        assert cfg["dispatch"] == "wave"
 
 
 class TestEvaluator:
